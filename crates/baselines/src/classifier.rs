@@ -1,0 +1,144 @@
+//! A single-label CNN classifier — the strawman of the paper's §I: on a
+//! platter (*thali*) image it can emit exactly one label, so it
+//! structurally cannot describe multi-dish images. The quickstart example
+//! demonstrates this failure next to YOLOv4's multi-box output.
+
+use platter_dataset::{BatchLoader, LoaderConfig, SyntheticDataset};
+use platter_tensor::nn::{Activation, ConvBlock, Linear};
+use platter_tensor::ops::Conv2dSpec;
+use platter_tensor::{Adam, Graph, Param, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small plain CNN classifier.
+pub struct SingleLabelClassifier {
+    convs: Vec<ConvBlock>,
+    head: Linear,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Square input edge.
+    pub input_size: usize,
+}
+
+impl SingleLabelClassifier {
+    /// Build with 4 downsampling stages.
+    pub fn new(num_classes: usize, input_size: usize, width: usize, seed: u64) -> SingleLabelClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let relu = Activation::Relu;
+        let mut convs = Vec::new();
+        let mut cin = 3;
+        for i in 0..4 {
+            let cout = width << i;
+            convs.push(ConvBlock::new(&format!("clf.c{i}"), cin, cout, 3, Conv2dSpec::down(3), relu, &mut rng));
+            cin = cout;
+        }
+        let head = Linear::new("clf.fc", cin, num_classes, &mut rng);
+        SingleLabelClassifier { convs, head, num_classes, input_size }
+    }
+
+    /// Forward to `[n, classes]` logits.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let mut h = x;
+        for c in &self.convs {
+            h = c.forward(g, h, training);
+        }
+        let pooled = g.global_avg_pool(h);
+        self.head.forward(g, pooled)
+    }
+
+    /// Trainable parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p: Vec<Param> = self.convs.iter().flat_map(|c| c.parameters()).collect();
+        p.extend(self.head.parameters());
+        p
+    }
+
+    /// Predict the single label per image.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let logits = self.forward(&mut g, xv, false);
+        let lv = g.value(logits);
+        let k = self.num_classes;
+        (0..lv.shape()[0])
+            .map(|i| {
+                lv.as_slice()[i * k..(i + 1) * k]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Train the classifier on the dataset's *single-dish* images (a platter
+/// has no single true label). Labels are each image's first annotation.
+pub fn train_classifier(
+    model: &SingleLabelClassifier,
+    dataset: &SyntheticDataset,
+    indices: &[usize],
+    iterations: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<f32> {
+    let single: Vec<usize> = indices
+        .iter()
+        .copied()
+        .filter(|&i| !dataset.items[i].is_platter())
+        .collect();
+    let mut cfg = LoaderConfig::train(batch_size, model.input_size, seed);
+    cfg.mosaic_prob = 0.0;
+    let mut loader = BatchLoader::new(dataset, &single, cfg);
+    let mut opt = Adam::new(model.parameters(), 1e-4);
+    let mut history = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let batch = loader.next_batch();
+        let labels: Vec<usize> = batch.annotations.iter().map(|a| a.first().map(|x| x.class).unwrap_or(0)).collect();
+        let x = Tensor::from_vec(batch.data, &batch.shape);
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let logits = model.forward(&mut g, xv, true);
+        let loss = g.softmax_cross_entropy(logits, &labels);
+        g.backward(loss);
+        opt.step(1e-3);
+        opt.zero_grad();
+        history.push(g.value(loss).item());
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platter_dataset::{ClassSet, DatasetSpec};
+
+    #[test]
+    fn forward_shape_and_predict() {
+        let clf = SingleLabelClassifier::new(10, 64, 8, 1);
+        let preds = clf.predict(&Tensor::zeros(&[3, 3, 64, 64]));
+        assert_eq!(preds.len(), 3);
+        assert!(preds.iter().all(|&p| p < 10));
+    }
+
+    #[test]
+    fn emits_exactly_one_label_per_image() {
+        // The structural limitation: even for a 3-dish platter tensor there
+        // is one output label.
+        let clf = SingleLabelClassifier::new(10, 64, 8, 2);
+        let preds = clf.predict(&Tensor::zeros(&[1, 3, 64, 64]));
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn training_reduces_ce() {
+        let ds = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 20, 64, 3));
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let clf = SingleLabelClassifier::new(10, 64, 6, 4);
+        let h = train_classifier(&clf, &ds, &indices, 24, 4, 5);
+        let first: f32 = h[..6].iter().sum::<f32>() / 6.0;
+        let last: f32 = h[h.len() - 6..].iter().sum::<f32>() / 6.0;
+        assert!(last < first, "CE should trend down: {first} → {last}");
+    }
+}

@@ -1,0 +1,155 @@
+//! A compact Inception-style backbone (parallel 1×1 / 3×3 / double-3×3 /
+//! pool-projection branches) standing in for the InceptionV2 feature
+//! extractor of the paper's SSD baseline (Ramesh et al., Table III).
+
+use platter_tensor::nn::{Activation, ConvBlock};
+use platter_tensor::ops::Conv2dSpec;
+use platter_tensor::{Graph, Param, Var};
+use rand::Rng;
+
+/// One inception block: four parallel branches concatenated on channels.
+pub struct InceptionBlock {
+    b1: ConvBlock,
+    b3_reduce: ConvBlock,
+    b3: ConvBlock,
+    b5_reduce: ConvBlock,
+    b5a: ConvBlock,
+    b5b: ConvBlock,
+    pool_proj: ConvBlock,
+}
+
+impl InceptionBlock {
+    /// `cout` must be divisible by 4 (each branch emits `cout/4`).
+    pub fn new<R: Rng + ?Sized>(name: &str, cin: usize, cout: usize, rng: &mut R) -> InceptionBlock {
+        assert_eq!(cout % 4, 0, "inception output channels must divide by 4");
+        let q = cout / 4;
+        let relu = Activation::Relu;
+        InceptionBlock {
+            b1: ConvBlock::new(&format!("{name}.b1"), cin, q, 1, Conv2dSpec::same(1), relu, rng),
+            b3_reduce: ConvBlock::new(&format!("{name}.b3r"), cin, q, 1, Conv2dSpec::same(1), relu, rng),
+            b3: ConvBlock::new(&format!("{name}.b3"), q, q, 3, Conv2dSpec::same(3), relu, rng),
+            b5_reduce: ConvBlock::new(&format!("{name}.b5r"), cin, q, 1, Conv2dSpec::same(1), relu, rng),
+            b5a: ConvBlock::new(&format!("{name}.b5a"), q, q, 3, Conv2dSpec::same(3), relu, rng),
+            b5b: ConvBlock::new(&format!("{name}.b5b"), q, q, 3, Conv2dSpec::same(3), relu, rng),
+            pool_proj: ConvBlock::new(&format!("{name}.pp"), cin, q, 1, Conv2dSpec::same(1), relu, rng),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let y1 = self.b1.forward(g, x, training);
+        let y3 = self.b3_reduce.forward(g, x, training);
+        let y3 = self.b3.forward(g, y3, training);
+        let y5 = self.b5_reduce.forward(g, x, training);
+        let y5 = self.b5a.forward(g, y5, training);
+        let y5 = self.b5b.forward(g, y5, training);
+        let yp = g.maxpool2d(x, 3, 1, 1);
+        let yp = self.pool_proj.forward(g, yp, training);
+        g.concat(&[y1, y3, y5, yp], 1)
+    }
+
+    /// Trainable parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        [&self.b1, &self.b3_reduce, &self.b3, &self.b5_reduce, &self.b5a, &self.b5b, &self.pool_proj]
+            .iter()
+            .flat_map(|c| c.parameters())
+            .collect()
+    }
+}
+
+/// Inception-mini backbone producing strides 8/16/32 features.
+pub struct InceptionBackbone {
+    stem1: ConvBlock,
+    stem2: ConvBlock,
+    down1: ConvBlock,
+    inc1: InceptionBlock,
+    down2: ConvBlock,
+    inc2: InceptionBlock,
+    down3: ConvBlock,
+    inc3: InceptionBlock,
+    /// Channels of the three outputs.
+    pub out_channels: [usize; 3],
+}
+
+impl InceptionBackbone {
+    /// Build with base width `w` (stride-8 features get `2w`, deeper ones
+    /// `4w` and `8w`; `w` must be divisible by 2).
+    pub fn new<R: Rng + ?Sized>(name: &str, w: usize, rng: &mut R) -> InceptionBackbone {
+        let relu = Activation::Relu;
+        let (c8, c16, c32) = (w * 2, w * 4, w * 8);
+        InceptionBackbone {
+            stem1: ConvBlock::new(&format!("{name}.stem1"), 3, w, 3, Conv2dSpec::down(3), relu, rng),
+            stem2: ConvBlock::new(&format!("{name}.stem2"), w, w, 3, Conv2dSpec::down(3), relu, rng),
+            down1: ConvBlock::new(&format!("{name}.down1"), w, c8, 3, Conv2dSpec::down(3), relu, rng),
+            inc1: InceptionBlock::new(&format!("{name}.inc1"), c8, c8, rng),
+            down2: ConvBlock::new(&format!("{name}.down2"), c8, c16, 3, Conv2dSpec::down(3), relu, rng),
+            inc2: InceptionBlock::new(&format!("{name}.inc2"), c16, c16, rng),
+            down3: ConvBlock::new(&format!("{name}.down3"), c16, c32, 3, Conv2dSpec::down(3), relu, rng),
+            inc3: InceptionBlock::new(&format!("{name}.inc3"), c32, c32, rng),
+            out_channels: [c8, c16, c32],
+        }
+    }
+
+    /// Forward to `[stride8, stride16, stride32]` features.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> [Var; 3] {
+        let h = self.stem1.forward(g, x, training);
+        let h = self.stem2.forward(g, h, training);
+        let h = self.down1.forward(g, h, training);
+        let f8 = self.inc1.forward(g, h, training);
+        let h = self.down2.forward(g, f8, training);
+        let f16 = self.inc2.forward(g, h, training);
+        let h = self.down3.forward(g, f16, training);
+        let f32_ = self.inc3.forward(g, h, training);
+        [f8, f16, f32_]
+    }
+
+    /// Trainable parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p = self.stem1.parameters();
+        p.extend(self.stem2.parameters());
+        p.extend(self.down1.parameters());
+        p.extend(self.inc1.parameters());
+        p.extend(self.down2.parameters());
+        p.extend(self.inc2.parameters());
+        p.extend(self.down3.parameters());
+        p.extend(self.inc3.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platter_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_concatenates_four_branches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = InceptionBlock::new("i", 8, 16, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::zeros(&[1, 8, 6, 6]));
+        let y = block.forward(&mut g, x, false);
+        assert_eq!(g.shape(y), &[1, 16, 6, 6]);
+    }
+
+    #[test]
+    fn backbone_strides() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bb = InceptionBackbone::new("ssd.bb", 8, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::zeros(&[1, 3, 64, 64]));
+        let [f8, f16, f32_] = bb.forward(&mut g, x, false);
+        assert_eq!(g.shape(f8), &[1, 16, 8, 8]);
+        assert_eq!(g.shape(f16), &[1, 32, 4, 4]);
+        assert_eq!(g.shape(f32_), &[1, 64, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide by 4")]
+    fn block_rejects_odd_widths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        InceptionBlock::new("i", 8, 10, &mut rng);
+    }
+}

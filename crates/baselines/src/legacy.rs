@@ -1,0 +1,295 @@
+//! A deliberately dated single-scale grid detector — the stand-in for the
+//! oldest row of Table III (BTBU-Food-60, 67.7% mAP). YOLOv1-style: one
+//! box per cell, direct coordinate regression with MSE, softmax class per
+//! cell, single stride-16 feature map, plain ReLU CNN. Its weaknesses
+//! (single scale, one box per cell, no anchors) are the point.
+
+use platter_dataset::{Annotation, BatchLoader, LoaderConfig, SyntheticDataset};
+use platter_tensor::nn::{Activation, ConvBlock};
+use platter_tensor::ops::Conv2dSpec;
+use platter_tensor::{clip_global_norm, Graph, Param, Sgd, Tensor, Var};
+use platter_yolo::{nms, Detection, NmsKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Legacy detector config.
+#[derive(Clone, Debug)]
+pub struct LegacyConfig {
+    pub num_classes: usize,
+    pub input_size: usize,
+    /// Grid edge (single scale).
+    pub grid: usize,
+    /// Base channel width.
+    pub width: usize,
+}
+
+impl LegacyConfig {
+    /// Micro profile: 64-px input, 4×4 grid.
+    pub fn micro(num_classes: usize) -> LegacyConfig {
+        LegacyConfig { num_classes, input_size: 64, grid: 4, width: 8 }
+    }
+
+    fn head_channels(&self) -> usize {
+        5 + self.num_classes
+    }
+}
+
+/// The legacy grid detector.
+pub struct LegacyDetector {
+    pub config: LegacyConfig,
+    convs: Vec<ConvBlock>,
+    head: ConvBlock,
+}
+
+impl LegacyDetector {
+    /// Build with plain conv downsampling to the grid resolution.
+    pub fn new(config: LegacyConfig, seed: u64) -> LegacyDetector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let relu = Activation::Relu;
+        let w = config.width;
+        let downs = (config.input_size / config.grid).ilog2() as usize;
+        let mut convs = Vec::new();
+        let mut cin = 3;
+        for i in 0..downs {
+            let cout = (w << i).min(w * 8);
+            convs.push(ConvBlock::new(&format!("legacy.c{i}"), cin, cout, 3, Conv2dSpec::down(3), relu, &mut rng));
+            cin = cout;
+        }
+        convs.push(ConvBlock::new("legacy.mix", cin, cin, 3, Conv2dSpec::same(3), relu, &mut rng));
+        let head = ConvBlock::without_bn("legacy.head", cin, config.head_channels(), 1, Conv2dSpec::same(1), Activation::Linear, &mut rng);
+        LegacyDetector { config, convs, head }
+    }
+
+    /// Forward to `[n, 5+c, grid, grid]` raw outputs.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let mut h = x;
+        for c in &self.convs {
+            h = c.forward(g, h, training);
+        }
+        self.head.forward(g, h, training)
+    }
+
+    /// Trainable parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p: Vec<Param> = self.convs.iter().flat_map(|c| c.parameters()).collect();
+        p.extend(self.head.parameters());
+        p
+    }
+
+    /// Detect over a CHW batch.
+    pub fn detect_batch(&self, x: &Tensor, conf_thresh: f32, nms_iou: f32) -> Vec<Vec<Detection>> {
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let out = self.forward(&mut g, xv, false);
+        let t = g.value(out);
+        let n = t.shape()[0];
+        let gsz = self.config.grid;
+        let c = self.config.num_classes;
+        let plane = gsz * gsz;
+        let data = t.as_slice();
+        let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
+        let mut result = vec![Vec::new(); n];
+        for b in 0..n {
+            for row in 0..gsz {
+                for col in 0..gsz {
+                    let at = |k: usize| data[(b * (5 + c) + k) * plane + row * gsz + col];
+                    let obj = sigmoid(at(4));
+                    if obj < conf_thresh {
+                        continue;
+                    }
+                    // Softmax class.
+                    let mut m = f32::NEG_INFINITY;
+                    for k in 0..c {
+                        m = m.max(at(5 + k));
+                    }
+                    let mut z = 0.0;
+                    let mut best = (0usize, 0.0f32);
+                    for k in 0..c {
+                        let e = (at(5 + k) - m).exp();
+                        z += e;
+                        if e > best.1 {
+                            best = (k, e);
+                        }
+                    }
+                    let score = obj * best.1 / z;
+                    if score < conf_thresh {
+                        continue;
+                    }
+                    let cx = (sigmoid(at(0)) + col as f32) / gsz as f32;
+                    let cy = (sigmoid(at(1)) + row as f32) / gsz as f32;
+                    let w = sigmoid(at(2));
+                    let h = sigmoid(at(3));
+                    if let Some(bbox) = platter_imaging::NormBox::new(cx, cy, w, h).clipped() {
+                        result[b].push(Detection { class: best.0, score, bbox });
+                    }
+                }
+            }
+        }
+        result.into_iter().map(|d| nms(d, nms_iou, NmsKind::Greedy)).collect()
+    }
+}
+
+/// YOLOv1-style MSE + CE loss on the single grid.
+fn legacy_loss(g: &mut Graph, out: Var, batch: &[Vec<Annotation>], cfg: &LegacyConfig) -> Var {
+    let n = batch.len();
+    let gsz = cfg.grid;
+    let c = cfg.num_classes;
+    let plane = gsz * gsz;
+    // Dense targets.
+    let mut obj = vec![0.0f32; n * plane];
+    let mut txy = vec![0.0f32; n * 2 * plane];
+    let mut twh = vec![0.0f32; n * 2 * plane];
+    let mut tcls = vec![0.0f32; n * c * plane];
+    for (b, anns) in batch.iter().enumerate() {
+        for ann in anns {
+            let col = ((ann.bbox.cx * gsz as f32) as usize).min(gsz - 1);
+            let row = ((ann.bbox.cy * gsz as f32) as usize).min(gsz - 1);
+            let cell = row * gsz + col;
+            if obj[b * plane + cell] == 1.0 {
+                continue; // one box per cell: later dishes in the same cell are dropped
+            }
+            obj[b * plane + cell] = 1.0;
+            txy[(b * 2) * plane + cell] = ann.bbox.cx * gsz as f32 - col as f32;
+            txy[(b * 2 + 1) * plane + cell] = ann.bbox.cy * gsz as f32 - row as f32;
+            twh[(b * 2) * plane + cell] = ann.bbox.w;
+            twh[(b * 2 + 1) * plane + cell] = ann.bbox.h;
+            tcls[(b * c + ann.class) * plane + cell] = 1.0;
+        }
+    }
+    let obj_t = Tensor::from_vec(obj, &[n, 1, gsz, gsz]);
+    let txy_t = Tensor::from_vec(txy, &[n, 2, gsz, gsz]);
+    let twh_t = Tensor::from_vec(twh, &[n, 2, gsz, gsz]);
+    let tcls_t = Tensor::from_vec(tcls, &[n, c, gsz, gsz]);
+    let num_pos = obj_t.sum().max(1.0);
+
+    let xy_logits = g.narrow(out, 1, 0, 2);
+    let wh_logits = g.narrow(out, 1, 2, 2);
+    let obj_logits = g.narrow(out, 1, 4, 1);
+    let cls_logits = g.narrow(out, 1, 5, c);
+
+    let mask = g.constant(obj_t.clone());
+    // MSE on sigmoid-decoded xy and wh.
+    let pxy = g.sigmoid(xy_logits);
+    let txy_c = g.constant(txy_t);
+    let dxy = g.sub(pxy, txy_c);
+    let dxy2 = g.square(dxy);
+    let dxy2m = g.mul(dxy2, mask);
+    let loss_xy = g.sum_all(dxy2m);
+
+    let pwh = g.sigmoid(wh_logits);
+    let twh_c = g.constant(twh_t);
+    let dwh = g.sub(pwh, twh_c);
+    let dwh2 = g.square(dwh);
+    let dwh2m = g.mul(dwh2, mask);
+    let loss_wh = g.sum_all(dwh2m);
+
+    let obj_bce = g.bce_with_logits(obj_logits, &obj_t);
+    let loss_obj = g.sum_all(obj_bce);
+
+    let cls_bce = g.bce_with_logits(cls_logits, &tcls_t);
+    let cls_m = g.mul(cls_bce, mask);
+    let loss_cls = g.sum_all(cls_m);
+
+    let box_part0 = g.add(loss_xy, loss_wh);
+    let box_part = g.mul_scalar(box_part0, 5.0 / num_pos);
+    let obj_part = g.mul_scalar(loss_obj, 1.0 / (n * plane) as f32);
+    let cls_part = g.mul_scalar(loss_cls, 1.0 / num_pos);
+    let ab = g.add(box_part, obj_part);
+    g.add(ab, cls_part)
+}
+
+/// Train the legacy detector.
+pub fn train_legacy(
+    model: &LegacyDetector,
+    dataset: &SyntheticDataset,
+    indices: &[usize],
+    iterations: usize,
+    batch_size: usize,
+    lr: f32,
+    seed: u64,
+) -> Vec<f32> {
+    let mut loader_cfg = LoaderConfig::train(batch_size, model.config.input_size, seed);
+    loader_cfg.mosaic_prob = 0.0;
+    loader_cfg.augment = None; // the era's pipelines barely augmented
+    let mut loader = BatchLoader::new(dataset, indices, loader_cfg);
+    let mut opt = Sgd::new(model.parameters(), 0.9, 5e-4);
+    let mut history = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let batch = loader.next_batch();
+        let x = Tensor::from_vec(batch.data, &batch.shape);
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let out = model.forward(&mut g, xv, true);
+        let loss = legacy_loss(&mut g, out, &batch.annotations, &model.config);
+        g.backward(loss);
+        clip_global_norm(&model.parameters(), 10.0);
+        opt.step(lr);
+        opt.zero_grad();
+        history.push(g.value(loss).item());
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platter_dataset::{ClassSet, DatasetSpec};
+    use platter_imaging::NormBox;
+
+    #[test]
+    fn forward_shape() {
+        let model = LegacyDetector::new(LegacyConfig::micro(10), 1);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::zeros(&[2, 3, 64, 64]));
+        let out = model.forward(&mut g, x, false);
+        assert_eq!(g.shape(out), &[2, 15, 4, 4]);
+    }
+
+    #[test]
+    fn loss_backprops() {
+        let model = LegacyDetector::new(LegacyConfig::micro(5), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&[1, 3, 64, 64], &mut rng);
+        let batch = vec![vec![Annotation { class: 2, bbox: NormBox::new(0.5, 0.5, 0.4, 0.4) }]];
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let out = model.forward(&mut g, xv, true);
+        let loss = legacy_loss(&mut g, out, &batch, &model.config);
+        assert!(g.value(loss).item().is_finite());
+        g.backward(loss);
+        assert!(model.parameters()[0].grad().as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 8, 64, 9));
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let model = LegacyDetector::new(LegacyConfig::micro(10), 4);
+        let history = train_legacy(&model, &ds, &indices, 12, 2, 5e-3, 5);
+        assert!(history.last().unwrap() < history.first().unwrap());
+    }
+
+    #[test]
+    fn one_box_per_cell_limit() {
+        // Two dishes in the same cell: the legacy loss keeps only one — the
+        // structural weakness that caps its platter performance.
+        let model = LegacyDetector::new(LegacyConfig::micro(5), 6);
+        let batch = vec![vec![
+            Annotation { class: 0, bbox: NormBox::new(0.51, 0.51, 0.2, 0.2) },
+            Annotation { class: 1, bbox: NormBox::new(0.55, 0.55, 0.2, 0.2) },
+        ]];
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[1, 3, 64, 64]));
+        let out = model.forward(&mut g, x, true);
+        // Just verifies it builds and stays finite with the conflict.
+        let loss = legacy_loss(&mut g, out, &batch, &model.config);
+        assert!(g.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn detect_batch_contract() {
+        let model = LegacyDetector::new(LegacyConfig::micro(10), 7);
+        let out = model.detect_batch(&Tensor::zeros(&[2, 3, 64, 64]), 0.3, 0.5);
+        assert_eq!(out.len(), 2);
+    }
+}

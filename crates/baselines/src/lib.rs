@@ -1,0 +1,20 @@
+//! # platter-baselines
+//!
+//! The comparators of the paper's Table III, re-implemented on the same
+//! substrate and data: an **SSD + Inception-style** single-shot detector
+//! (stand-in for Ramesh et al.'s SSD+InceptionV2, 76.9% mAP), a dated
+//! **single-scale grid detector** (stand-in for the BTBU-Food-60 pipeline,
+//! 67.7%), and a **single-label CNN classifier** demonstrating the paper's
+//! §I claim that classification fails on multi-dish platters.
+
+pub mod classifier;
+pub mod inception;
+pub mod legacy;
+pub mod priors;
+pub mod ssd;
+
+pub use classifier::{train_classifier, SingleLabelClassifier};
+pub use inception::{InceptionBackbone, InceptionBlock};
+pub use legacy::{train_legacy, LegacyConfig, LegacyDetector};
+pub use priors::{decode, encode, generate_priors, micro_specs, PriorSpec, PRIORS_PER_CELL};
+pub use ssd::{train_ssd, SsdConfig, SsdDetector, SsdTrainRecord};

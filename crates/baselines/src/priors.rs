@@ -1,0 +1,125 @@
+//! SSD default boxes ("priors"): per feature-map cell, a small set of
+//! boxes at fixed scales and aspect ratios, plus the offset encoding SSD
+//! regresses against.
+
+use platter_imaging::NormBox;
+
+/// SSD's offset-encoding variances.
+pub const VAR_XY: f32 = 0.1;
+pub const VAR_WH: f32 = 0.2;
+
+/// Prior-box configuration for one feature map.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorSpec {
+    /// Feature-map edge (cells).
+    pub grid: usize,
+    /// Base scale of the boxes (normalised).
+    pub scale: f32,
+    /// Extra scale for the additional square box (geometric mean style).
+    pub scale_next: f32,
+}
+
+/// Aspect ratios used per cell (1, 2, ½) plus the extra square → 4 priors.
+pub const PRIORS_PER_CELL: usize = 4;
+
+/// Generate the priors for a set of feature maps (normalised cx/cy/w/h,
+/// row-major cell order, specs in order).
+pub fn generate_priors(specs: &[PriorSpec]) -> Vec<NormBox> {
+    let mut out = Vec::new();
+    for spec in specs {
+        let g = spec.grid as f32;
+        for row in 0..spec.grid {
+            for col in 0..spec.grid {
+                let cx = (col as f32 + 0.5) / g;
+                let cy = (row as f32 + 0.5) / g;
+                let s = spec.scale;
+                let s2 = (spec.scale * spec.scale_next).sqrt();
+                let r2 = 2.0f32.sqrt();
+                out.push(NormBox::new(cx, cy, s, s));
+                out.push(NormBox::new(cx, cy, s2, s2));
+                out.push(NormBox::new(cx, cy, s * r2, s / r2));
+                out.push(NormBox::new(cx, cy, s / r2, s * r2));
+            }
+        }
+    }
+    out
+}
+
+/// Standard specs for a 64-px input with 8/4/2 feature maps.
+pub fn micro_specs() -> Vec<PriorSpec> {
+    vec![
+        PriorSpec { grid: 8, scale: 0.2, scale_next: 0.42 },
+        PriorSpec { grid: 4, scale: 0.42, scale_next: 0.64 },
+        PriorSpec { grid: 2, scale: 0.64, scale_next: 0.9 },
+    ]
+}
+
+/// Encode a ground-truth box against a prior (SSD's `(g − p)/p/var` form).
+pub fn encode(gt: &NormBox, prior: &NormBox) -> [f32; 4] {
+    [
+        (gt.cx - prior.cx) / (prior.w * VAR_XY),
+        (gt.cy - prior.cy) / (prior.h * VAR_XY),
+        (gt.w / prior.w).max(1e-6).ln() / VAR_WH,
+        (gt.h / prior.h).max(1e-6).ln() / VAR_WH,
+    ]
+}
+
+/// Decode predicted offsets against a prior.
+pub fn decode(offsets: [f32; 4], prior: &NormBox) -> NormBox {
+    NormBox {
+        cx: prior.cx + offsets[0] * VAR_XY * prior.w,
+        cy: prior.cy + offsets[1] * VAR_XY * prior.h,
+        w: prior.w * (offsets[2] * VAR_WH).clamp(-6.0, 6.0).exp(),
+        h: prior.h * (offsets[3] * VAR_WH).clamp(-6.0, 6.0).exp(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_count_matches_grids() {
+        let priors = generate_priors(&micro_specs());
+        assert_eq!(priors.len(), (64 + 16 + 4) * PRIORS_PER_CELL);
+    }
+
+    #[test]
+    fn priors_are_centred_in_cells() {
+        let priors = generate_priors(&[PriorSpec { grid: 2, scale: 0.5, scale_next: 0.7 }]);
+        // First cell centre is (0.25, 0.25).
+        assert!((priors[0].cx - 0.25).abs() < 1e-6);
+        assert!((priors[0].cy - 0.25).abs() < 1e-6);
+        // Last cell centre is (0.75, 0.75).
+        assert!((priors.last().unwrap().cx - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let prior = NormBox::new(0.5, 0.5, 0.3, 0.3);
+        let gt = NormBox::new(0.55, 0.42, 0.25, 0.4);
+        let enc = encode(&gt, &prior);
+        let back = decode(enc, &prior);
+        assert!((back.cx - gt.cx).abs() < 1e-5);
+        assert!((back.cy - gt.cy).abs() < 1e-5);
+        assert!((back.w - gt.w).abs() < 1e-5);
+        assert!((back.h - gt.h).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identical_boxes_encode_to_zero() {
+        let prior = NormBox::new(0.3, 0.7, 0.2, 0.25);
+        let enc = encode(&prior.clone(), &prior);
+        for v in enc {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_priors_cover_wide_and_tall() {
+        let priors = generate_priors(&[PriorSpec { grid: 1, scale: 0.4, scale_next: 0.6 }]);
+        assert_eq!(priors.len(), 4);
+        assert!(priors[2].w > priors[2].h, "wide prior");
+        assert!(priors[3].h > priors[3].w, "tall prior");
+    }
+}

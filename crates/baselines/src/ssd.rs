@@ -1,0 +1,504 @@
+//! The SSD + Inception baseline of Table III (Ramesh et al. achieved 76.9%
+//! mAP with SSD+InceptionV2): multibox priors over three feature maps,
+//! softmax classification with hard negative mining, smooth-L1 offset
+//! regression, trained on the same data as YOLOv4.
+
+use platter_dataset::{Annotation, BatchLoader, LoaderConfig, SyntheticDataset};
+use platter_imaging::NormBox;
+use platter_tensor::nn::{Activation, ConvBlock};
+use platter_tensor::ops::Conv2dSpec;
+use platter_tensor::{clip_global_norm, Graph, LrSchedule, Param, Sgd, Tensor, Var};
+use platter_yolo::{nms, Detection, NmsKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::inception::InceptionBackbone;
+use crate::priors::{decode, encode, generate_priors, micro_specs, PriorSpec, PRIORS_PER_CELL};
+
+/// SSD configuration.
+#[derive(Clone, Debug)]
+pub struct SsdConfig {
+    /// Number of object classes (background is added internally).
+    pub num_classes: usize,
+    /// Square input edge.
+    pub input_size: usize,
+    /// Backbone base width.
+    pub width: usize,
+    /// Prior specs (must match the backbone's three output grids).
+    pub specs: Vec<PriorSpec>,
+    /// Positive-match IoU threshold.
+    pub match_iou: f32,
+    /// Hard-negative : positive ratio.
+    pub neg_ratio: usize,
+}
+
+impl SsdConfig {
+    /// Micro profile matching the YOLOv4-micro experiment scale.
+    pub fn micro(num_classes: usize) -> SsdConfig {
+        SsdConfig {
+            num_classes,
+            input_size: 64,
+            width: 8,
+            specs: micro_specs(),
+            match_iou: 0.5,
+            neg_ratio: 3,
+        }
+    }
+
+    /// Channels per head: priors × (4 offsets + classes + background).
+    fn head_channels(&self) -> usize {
+        PRIORS_PER_CELL * (4 + self.num_classes + 1)
+    }
+
+    fn depth(&self) -> usize {
+        4 + self.num_classes + 1
+    }
+}
+
+/// The SSD detector.
+pub struct SsdDetector {
+    /// Configuration.
+    pub config: SsdConfig,
+    backbone: InceptionBackbone,
+    heads: Vec<ConvBlock>,
+    /// All priors in cell-major order matching the flattened heads.
+    pub priors: Vec<NormBox>,
+}
+
+impl SsdDetector {
+    /// Build a fresh SSD.
+    pub fn new(config: SsdConfig, seed: u64) -> SsdDetector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let backbone = InceptionBackbone::new("ssd.backbone", config.width, &mut rng);
+        let heads = backbone
+            .out_channels
+            .iter()
+            .enumerate()
+            .map(|(i, &cin)| {
+                ConvBlock::without_bn(
+                    &format!("ssd.head{i}"),
+                    cin,
+                    config.head_channels(),
+                    3,
+                    Conv2dSpec::same(3),
+                    Activation::Linear,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let priors = generate_priors(&config.specs);
+        SsdDetector { config, backbone, heads, priors }
+    }
+
+    /// Forward to raw per-scale logits `[n, k·(4+c+1), g, g]`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Vec<Var> {
+        let feats = self.backbone.forward(g, x, training);
+        feats
+            .iter()
+            .zip(&self.heads)
+            .map(|(&f, head)| head.forward(g, f, training))
+            .collect()
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p = self.backbone.parameters();
+        for h in &self.heads {
+            p.extend(h.parameters());
+        }
+        p
+    }
+
+    /// Total parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Detect over a CHW batch tensor; returns per-image detections.
+    pub fn detect_batch(&self, x: &Tensor, conf_thresh: f32, nms_iou: f32) -> Vec<Vec<Detection>> {
+        let n = x.shape()[0];
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let heads = self.forward(&mut g, xv, false);
+        let c = self.config.num_classes;
+        let depth = self.config.depth();
+        let mut out = vec![Vec::new(); n];
+        let mut prior_base = 0usize;
+        for (si, &hv) in heads.iter().enumerate() {
+            let t = g.value(hv);
+            let gsz = self.config.specs[si].grid;
+            let plane = gsz * gsz;
+            let data = t.as_slice();
+            for b in 0..n {
+                for row in 0..gsz {
+                    for col in 0..gsz {
+                        for k in 0..PRIORS_PER_CELL {
+                            let prior = &self.priors[prior_base + (row * gsz + col) * PRIORS_PER_CELL + k];
+                            let at = |d: usize| data[((b * PRIORS_PER_CELL + k) * depth + d) * plane + row * gsz + col];
+                            // Softmax over classes + background.
+                            let mut m = f32::NEG_INFINITY;
+                            for d in 0..=c {
+                                m = m.max(at(4 + d));
+                            }
+                            let mut z = 0.0f32;
+                            let mut probs = vec![0.0f32; c + 1];
+                            for (d, p) in probs.iter_mut().enumerate() {
+                                *p = (at(4 + d) - m).exp();
+                                z += *p;
+                            }
+                            let (mut best_c, mut best_p) = (0usize, 0.0f32);
+                            for (d, p) in probs.iter().enumerate().take(c) {
+                                if p / z > best_p {
+                                    best_p = p / z;
+                                    best_c = d;
+                                }
+                            }
+                            if best_p < conf_thresh {
+                                continue;
+                            }
+                            let bbox = decode([at(0), at(1), at(2), at(3)], prior);
+                            if let Some(clipped) = bbox.clipped() {
+                                out[b].push(Detection { class: best_c, score: best_p, bbox: clipped });
+                            }
+                        }
+                    }
+                }
+            }
+            prior_base += plane * PRIORS_PER_CELL;
+        }
+        out.into_iter().map(|dets| nms(dets, nms_iou, NmsKind::Greedy)).collect()
+    }
+}
+
+/// Per-scale dense targets for the SSD loss.
+struct SsdTargets {
+    /// `[n,k,1,g,g]` positive mask.
+    pos: Tensor,
+    /// `[n,k,c+1,g,g]` one-hot class targets (background for negatives).
+    onehot: Tensor,
+    /// `[n,k,4,g,g]` encoded offset targets (zero off-mask).
+    loc: Tensor,
+    num_pos: usize,
+}
+
+fn build_ssd_targets(cfg: &SsdConfig, priors: &[NormBox], batch: &[Vec<Annotation>]) -> Vec<SsdTargets> {
+    let n = batch.len();
+    let c = cfg.num_classes;
+    let k = PRIORS_PER_CELL;
+
+    // First pass: per-image prior→gt matches over the flat prior list.
+    // matches[img][prior] = Some(gt index)
+    let mut matches: Vec<Vec<Option<usize>>> = vec![vec![None; priors.len()]; n];
+    for (b, gts) in batch.iter().enumerate() {
+        // Best prior per GT is always positive.
+        for (gi, gt) in gts.iter().enumerate() {
+            let mut best = (0usize, -1.0f32);
+            for (pi, prior) in priors.iter().enumerate() {
+                let iou = gt.bbox.iou(prior);
+                if iou > best.1 {
+                    best = (pi, iou);
+                }
+            }
+            matches[b][best.0] = Some(gi);
+        }
+        // Any prior above the threshold matches its best GT.
+        for (pi, prior) in priors.iter().enumerate() {
+            if matches[b][pi].is_some() {
+                continue;
+            }
+            let mut best: Option<(usize, f32)> = None;
+            for (gi, gt) in gts.iter().enumerate() {
+                let iou = gt.bbox.iou(prior);
+                if iou >= cfg.match_iou && best.map_or(true, |(_, bi)| iou > bi) {
+                    best = Some((gi, iou));
+                }
+            }
+            if let Some((gi, _)) = best {
+                matches[b][pi] = Some(gi);
+            }
+        }
+    }
+
+    // Second pass: scatter into per-scale dense tensors.
+    let mut out = Vec::with_capacity(cfg.specs.len());
+    let mut prior_base = 0usize;
+    let mut num_pos_total = 0usize;
+    for spec in &cfg.specs {
+        let gsz = spec.grid;
+        let plane = gsz * gsz;
+        let mut pos = vec![0.0f32; n * k * plane];
+        let mut onehot = vec![0.0f32; n * k * (c + 1) * plane];
+        let mut loc = vec![0.0f32; n * k * 4 * plane];
+        let mut num_pos = 0usize;
+        for b in 0..n {
+            for cell in 0..plane {
+                for kk in 0..k {
+                    let pi = prior_base + cell * k + kk;
+                    let (row, col) = (cell / gsz, cell % gsz);
+                    let pos_idx = (b * k + kk) * plane + row * gsz + col;
+                    match matches[b][pi] {
+                        Some(gi) => {
+                            let gt = &batch[b][gi];
+                            pos[pos_idx] = 1.0;
+                            num_pos += 1;
+                            let enc = encode(&gt.bbox, &priors[pi]);
+                            for (d, v) in enc.into_iter().enumerate() {
+                                loc[((b * k + kk) * 4 + d) * plane + row * gsz + col] = v;
+                            }
+                            onehot[((b * k + kk) * (c + 1) + gt.class) * plane + row * gsz + col] = 1.0;
+                        }
+                        None => {
+                            // Background one-hot.
+                            onehot[((b * k + kk) * (c + 1) + c) * plane + row * gsz + col] = 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        num_pos_total += num_pos;
+        out.push(SsdTargets {
+            pos: Tensor::from_vec(pos, &[n, k, 1, gsz, gsz]),
+            onehot: Tensor::from_vec(onehot, &[n, k, c + 1, gsz, gsz]),
+            loc: Tensor::from_vec(loc, &[n, k, 4, gsz, gsz]),
+            num_pos,
+        });
+        prior_base += plane * k;
+    }
+    // Stash the total in each scale (used for normalisation).
+    for t in &mut out {
+        t.num_pos = t.num_pos.max(0);
+    }
+    let _ = num_pos_total;
+    out
+}
+
+/// Per-position max over axis 2 of a `[n,k,d,g,g]` tensor (stability shift
+/// for the softmax CE; detached by construction).
+fn max_axis2(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    let (n, k, d, g1, g2) = (s[0], s[1], s[2], s[3], s[4]);
+    let mut out = vec![f32::NEG_INFINITY; n * k * g1 * g2];
+    let data = t.as_slice();
+    for b in 0..n {
+        for kk in 0..k {
+            for dd in 0..d {
+                let base = ((b * k + kk) * d + dd) * g1 * g2;
+                let obase = (b * k + kk) * g1 * g2;
+                for p in 0..g1 * g2 {
+                    let v = data[base + p];
+                    if v > out[obase + p] {
+                        out[obase + p] = v;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, k, 1, g1, g2])
+}
+
+/// SSD multibox loss: smooth-L1 on positives + softmax CE with 3:1 hard
+/// negative mining. Returns `(loss_var, loc_value, cls_value)`.
+fn ssd_loss(g: &mut Graph, heads: &[Var], targets: &[SsdTargets], cfg: &SsdConfig) -> (Var, f32, f32) {
+    let c = cfg.num_classes;
+    let total_pos: usize = targets.iter().map(|t| t.num_pos).sum();
+    let norm = total_pos.max(1) as f32;
+    let mut total: Option<Var> = None;
+    let mut loc_val = 0.0f32;
+    let mut cls_val = 0.0f32;
+
+    for (si, (&head, t)) in heads.iter().zip(targets).enumerate() {
+        let gsz = cfg.specs[si].grid;
+        let n = g.shape(head)[0];
+        let raw = g.reshape(head, &[n, PRIORS_PER_CELL, cfg.depth(), gsz, gsz]);
+
+        // Localization: smooth-L1 at positives.
+        let offsets = g.narrow(raw, 2, 0, 4);
+        let l1 = g.smooth_l1(offsets, &t.loc);
+        let pos = g.constant(t.pos.clone());
+        let l1m = g.mul(l1, pos);
+        let l1s = g.sum_all(l1m);
+        let loc_term = g.mul_scalar(l1s, 1.0 / norm);
+
+        // Classification: dense per-prior CE (log-sum-exp − target logit).
+        let cls = g.narrow(raw, 2, 4, c + 1);
+        let m = g.constant(max_axis2(g.value(cls)));
+        let shifted = g.sub(cls, m);
+        let e = g.exp(shifted);
+        let z = g.sum_axes(e, &[2]);
+        let lz = g.ln(z);
+        let lse = g.add(lz, m);
+        let onehot = g.constant(t.onehot.clone());
+        let picked = g.mul(cls, onehot);
+        let tgt = g.sum_axes(picked, &[2]);
+        let ce = g.sub(lse, tgt); // [n,k,1,g,g]
+
+        // Hard negative mining from the CE *values*.
+        let ce_vals = g.value(ce).clone();
+        let mut weight = t.pos.clone();
+        {
+            let w = weight.as_mut_slice();
+            let cev = ce_vals.as_slice();
+            let posm = t.pos.as_slice();
+            let per_img = w.len() / n;
+            for b in 0..n {
+                let lo = b * per_img;
+                let hi = lo + per_img;
+                let img_pos = posm[lo..hi].iter().filter(|&&v| v == 1.0).count();
+                let quota = cfg.neg_ratio * img_pos.max(1);
+                let mut negs: Vec<(usize, f32)> = (lo..hi)
+                    .filter(|&i| posm[i] == 0.0)
+                    .map(|i| (i, cev[i]))
+                    .collect();
+                negs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for &(i, _) in negs.iter().take(quota) {
+                    w[i] = 1.0;
+                }
+            }
+        }
+        let wmask = g.constant(weight);
+        let cem = g.mul(ce, wmask);
+        let ces = g.sum_all(cem);
+        let cls_term = g.mul_scalar(ces, 1.0 / norm);
+
+        loc_val += g.value(loc_term).item();
+        cls_val += g.value(cls_term).item();
+        let scale_loss = g.add(loc_term, cls_term);
+        total = Some(match total {
+            Some(acc) => g.add(acc, scale_loss),
+            None => scale_loss,
+        });
+    }
+    (total.expect("at least one scale"), loc_val, cls_val)
+}
+
+/// One logged SSD training step.
+#[derive(Clone, Copy, Debug)]
+pub struct SsdTrainRecord {
+    pub iteration: usize,
+    pub loss: f32,
+    pub loc_loss: f32,
+    pub cls_loss: f32,
+}
+
+/// Train an SSD on `indices` of `dataset` for `iterations` batches.
+pub fn train_ssd(
+    model: &SsdDetector,
+    dataset: &SyntheticDataset,
+    indices: &[usize],
+    iterations: usize,
+    batch_size: usize,
+    lr: f32,
+    seed: u64,
+) -> Vec<SsdTrainRecord> {
+    let mut loader_cfg = LoaderConfig::train(batch_size, model.config.input_size, seed);
+    loader_cfg.mosaic_prob = 0.0; // SSD's original recipe has no mosaic
+    let mut loader = BatchLoader::new(dataset, indices, loader_cfg);
+    let schedule = LrSchedule::darknet(lr, iterations);
+    let mut opt = Sgd::new(model.parameters(), 0.9, 5e-4);
+    let mut history = Vec::with_capacity(iterations);
+    for iter in 0..iterations {
+        let batch = loader.next_batch();
+        let x = Tensor::from_vec(batch.data, &batch.shape);
+        let targets = build_ssd_targets(&model.config, &model.priors, &batch.annotations);
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let heads = model.forward(&mut g, xv, true);
+        let (loss, loc_loss, cls_loss) = ssd_loss(&mut g, &heads, &targets, &model.config);
+        g.backward(loss);
+        clip_global_norm(&model.parameters(), 10.0);
+        opt.step(schedule.lr_at(iter));
+        opt.zero_grad();
+        history.push(SsdTrainRecord {
+            iteration: iter + 1,
+            loss: g.value(loss).item(),
+            loc_loss,
+            cls_loss,
+        });
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platter_dataset::{ClassSet, DatasetSpec};
+
+    #[test]
+    fn forward_shapes() {
+        let model = SsdDetector::new(SsdConfig::micro(10), 1);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::zeros(&[2, 3, 64, 64]));
+        let heads = model.forward(&mut g, x, false);
+        assert_eq!(heads.len(), 3);
+        assert_eq!(g.shape(heads[0]), &[2, 60, 8, 8]);
+        assert_eq!(g.shape(heads[2]), &[2, 60, 2, 2]);
+        assert_eq!(model.priors.len(), (64 + 16 + 4) * 4);
+    }
+
+    #[test]
+    fn targets_mark_positives_for_each_gt() {
+        let cfg = SsdConfig::micro(10);
+        let model = SsdDetector::new(cfg.clone(), 2);
+        let batch = vec![vec![
+            Annotation { class: 3, bbox: NormBox::new(0.5, 0.5, 0.4, 0.4) },
+            Annotation { class: 7, bbox: NormBox::new(0.2, 0.2, 0.2, 0.2) },
+        ]];
+        let targets = build_ssd_targets(&cfg, &model.priors, &batch);
+        let total_pos: usize = targets.iter().map(|t| t.num_pos).sum();
+        assert!(total_pos >= 2, "every GT gets at least its best prior");
+        // One-hot rows always sum to 1 (class or background).
+        for t in &targets {
+            let n_cells = t.pos.numel();
+            assert!((t.onehot.sum() - n_cells as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn loss_is_finite_and_backprops() {
+        let cfg = SsdConfig::micro(6);
+        let model = SsdDetector::new(cfg.clone(), 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[2, 3, 64, 64], &mut rng).map(|v| v * 0.2 + 0.5);
+        let batch = vec![
+            vec![Annotation { class: 1, bbox: NormBox::new(0.5, 0.5, 0.35, 0.3) }],
+            vec![Annotation { class: 4, bbox: NormBox::new(0.3, 0.6, 0.25, 0.25) }],
+        ];
+        let targets = build_ssd_targets(&cfg, &model.priors, &batch);
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let heads = model.forward(&mut g, xv, true);
+        let (loss, loc, cls) = ssd_loss(&mut g, &heads, &targets, &cfg);
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v > 0.0);
+        assert!(loc >= 0.0 && cls > 0.0);
+        g.backward(loss);
+        let live = model.parameters().iter().filter(|p| p.grad().as_slice().iter().any(|&x| x != 0.0)).count();
+        assert!(live > 10, "{live} params with gradient");
+    }
+
+    #[test]
+    fn short_training_reduces_loss() {
+        let ds = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 12, 64, 5));
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let model = SsdDetector::new(SsdConfig::micro(10), 6);
+        let history = train_ssd(&model, &ds, &indices, 24, 2, 5e-3, 7);
+        assert_eq!(history.len(), 24);
+        assert!(history.iter().all(|r| r.loss.is_finite()));
+        let first: f32 = history[..6].iter().map(|r| r.loss).sum::<f32>() / 6.0;
+        let last: f32 = history[history.len() - 6..].iter().map(|r| r.loss).sum::<f32>() / 6.0;
+        assert!(last < first, "loss should trend down: {first} → {last}");
+    }
+
+    #[test]
+    fn detect_batch_contract() {
+        let model = SsdDetector::new(SsdConfig::micro(10), 8);
+        let out = model.detect_batch(&Tensor::zeros(&[2, 3, 64, 64]), 0.3, 0.45);
+        assert_eq!(out.len(), 2);
+        for dets in &out {
+            for d in dets {
+                assert!(d.class < 10);
+                assert!(d.bbox.is_valid());
+            }
+        }
+    }
+}

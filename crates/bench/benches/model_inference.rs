@@ -1,0 +1,63 @@
+//! Criterion benches for whole-model inference and post-processing: the
+//! YOLOv4-micro forward pass, prediction decoding, and both NMS flavours
+//! (the "bag of specials" choice the paper inherits).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use platter_imaging::NormBox;
+use platter_tensor::Tensor;
+use platter_yolo::{decode_detections, nms, Detection, NmsKind, YoloConfig, Yolov4};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let model = Yolov4::new(YoloConfig::micro(10), 1);
+    let x = Tensor::zeros(&[1, 3, 64, 64]);
+    c.bench_function("yolov4_micro_forward", |b| {
+        b.iter(|| black_box(model.infer(&x)));
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let model = Yolov4::new(YoloConfig::micro(10), 2);
+    let heads = model.infer(&Tensor::zeros(&[1, 3, 64, 64]));
+    let cfg = YoloConfig::micro(10);
+    c.bench_function("decode_detections", |b| {
+        b.iter(|| black_box(decode_detections(&heads, &cfg, 0.01).len()));
+    });
+}
+
+fn random_dets(n: usize, seed: u64) -> Vec<Detection> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Detection {
+            class: rng.random_range(0..10usize),
+            score: rng.random_range(0.01..1.0f32),
+            bbox: NormBox::new(
+                rng.random_range(0.2..0.8),
+                rng.random_range(0.2..0.8),
+                rng.random_range(0.1..0.4),
+                rng.random_range(0.1..0.4),
+            ),
+        })
+        .collect()
+}
+
+fn bench_nms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nms_200_boxes");
+    let dets = random_dets(200, 3);
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(nms(dets.clone(), 0.45, NmsKind::Greedy).len()));
+    });
+    group.bench_function("diou", |b| {
+        b.iter(|| black_box(nms(dets.clone(), 0.45, NmsKind::Diou).len()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_forward, bench_decode, bench_nms
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches for the data pipeline: scene synthesis, augmentation,
+//! mosaic, batching and metric evaluation — everything around the network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use platter_dataset::{Annotation, BatchLoader, ClassSet, DatasetSpec, LoaderConfig, SyntheticDataset};
+use platter_imaging::augment::{augment, mosaic, AugmentConfig};
+use platter_imaging::synth::{render_scene, DishKind, PlatterStyle, SceneSpec};
+use platter_imaging::NormBox;
+use platter_metrics::{evaluate, PredBox};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render_scene_64px");
+    let single = SceneSpec { size: 64, seed: 1, dishes: vec![DishKind::Biryani], style: PlatterStyle::SingleDish };
+    let thali = SceneSpec {
+        size: 64,
+        seed: 2,
+        dishes: vec![DishKind::Chapati, DishKind::PalakPaneer, DishKind::PlainRice],
+        style: PlatterStyle::Thali,
+    };
+    group.bench_function("single_dish", |b| b.iter(|| black_box(render_scene(&single))));
+    group.bench_function("thali_3_dishes", |b| b.iter(|| black_box(render_scene(&thali))));
+    group.finish();
+}
+
+fn bench_augment(c: &mut Criterion) {
+    let spec = SceneSpec { size: 64, seed: 3, dishes: vec![DishKind::Poha], style: PlatterStyle::SingleDish };
+    let (img, boxes) = render_scene(&spec);
+    let cfg = AugmentConfig::default();
+    c.bench_function("augment_64px", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(augment(&img, &boxes, &cfg, &mut rng)));
+    });
+
+    let tiles: [(platter_imaging::Image, Vec<platter_imaging::LabeledBox>); 4] =
+        [render_scene(&spec), render_scene(&spec), render_scene(&spec), render_scene(&spec)];
+    c.bench_function("mosaic_64px", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(mosaic(&tiles, 64, &mut rng)));
+    });
+}
+
+fn bench_loader(c: &mut Criterion) {
+    let ds = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 32, 64, 6));
+    let indices: Vec<usize> = (0..ds.len()).collect();
+    c.bench_function("loader_batch4_augmented", |b| {
+        let mut loader = BatchLoader::new(&ds, &indices, LoaderConfig::train(4, 64, 7));
+        b.iter(|| black_box(loader.next_batch().data.len()));
+    });
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    // 100 images × 3 GT × 30 predictions: a realistic eval workload.
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut gt = Vec::new();
+    let mut preds = Vec::new();
+    for _ in 0..100 {
+        let g: Vec<Annotation> = (0..3)
+            .map(|k| Annotation { class: k % 10, bbox: NormBox::new(0.2 + 0.3 * k as f32, 0.5, 0.2, 0.2) })
+            .collect();
+        let p: Vec<PredBox> = (0..30)
+            .map(|k| PredBox {
+                class: k % 10,
+                score: rng.random_range(0.01..1.0),
+                bbox: NormBox::new(rng.random_range(0.1..0.9), rng.random_range(0.1..0.9), 0.2, 0.2),
+            })
+            .collect();
+        gt.push(g);
+        preds.push(p);
+    }
+    c.bench_function("evaluate_100_images", |b| {
+        b.iter(|| black_box(evaluate(&gt, &preds, 10, 0.5).map));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_render, bench_augment, bench_loader, bench_evaluation
+}
+criterion_main!(benches);

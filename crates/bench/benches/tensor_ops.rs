@@ -1,0 +1,88 @@
+//! Criterion microbenches for the tensor substrate: GEMM, convolution
+//! forward/backward, activation maps — the compute kernels behind every
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use platter_tensor::ops::Conv2dSpec;
+use platter_tensor::{gemm, Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(gemm::matmul(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_forward");
+    let mut rng = StdRng::seed_from_u64(2);
+    // The micro profile's hottest conv shapes.
+    for &(cin, cout, hw) in &[(8usize, 16usize, 32usize), (16, 32, 16), (32, 64, 8)] {
+        let x = Tensor::randn(&[1, cin, hw, hw], &mut rng);
+        let w = Tensor::randn(&[cout, cin, 3, 3], &mut rng);
+        let label = format!("{cin}x{hw}x{hw}->{cout}");
+        group.bench_function(&label, |bench| {
+            bench.iter(|| {
+                let mut g = Graph::inference();
+                let xv = g.leaf(x.clone());
+                let wv = g.leaf(w.clone());
+                black_box(g.conv2d(xv, wv, Conv2dSpec::same(3)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn(&[2, 16, 16, 16], &mut rng);
+    let w = Tensor::randn(&[32, 16, 3, 3], &mut rng);
+    c.bench_function("conv2d_forward_backward", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let wv = g.leaf(w.clone());
+            let y = g.conv2d(xv, wv, Conv2dSpec::same(3));
+            let sq = g.square(y);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            black_box(g.grad(wv).is_some());
+        });
+    });
+}
+
+fn bench_activations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("activation");
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = Tensor::randn(&[1, 64, 32, 32], &mut rng);
+    for name in ["mish", "leaky"] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut g = Graph::inference();
+                let xv = g.leaf(x.clone());
+                let y = match name {
+                    "mish" => g.mish(xv),
+                    _ => g.leaky_relu(xv),
+                };
+                black_box(g.value(y).sum());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_conv_forward, bench_conv_backward, bench_activations
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Ablation: box-regression loss variant** — IoU vs GIoU vs DIoU vs CIoU
+//! (the paper's YOLOv4 uses CIoU; Bochkovskiy et al. report CIoU as the
+//! best-performing regression loss). Four identical runs differing only in
+//! the loss.
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin ablation_loss [-- --smoke|--extended]
+//! ```
+
+use platter_bench::{
+    collect_predictions, experiment_dataset, render_val_set, standard_split, two_point_eval, write_json, RunScale,
+    Timer,
+};
+use platter_dataset::ClassSet;
+use platter_yolo::{train, BoxLoss, Detector, TrainConfig, YoloConfig, Yolov4};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    loss: String,
+    map_pct: f32,
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== Ablation: box loss variants (scale {scale:?}) ==");
+    let dataset = experiment_dataset(scale.dataset_size(), 7);
+    let split = standard_split(&dataset);
+    let classes = ClassSet::indianfood10();
+    let (val_tensors, gt) = render_val_set(&dataset, &split.val, 64);
+    // The loss ablation halves the budget per run to keep four runs
+    // affordable; the comparison is internally consistent.
+    let iters = (scale.iterations() / 2).max(20);
+
+    let mut rows = Vec::new();
+    for variant in [BoxLoss::Iou, BoxLoss::Giou, BoxLoss::Diou, BoxLoss::Ciou] {
+        let model = Yolov4::new(YoloConfig::micro(10), 42);
+        let mut cfg = TrainConfig::micro(iters);
+        cfg.box_loss = variant;
+        {
+            let _t = Timer::start("training");
+            train(&model, &dataset, &split.train, &cfg, 0, |_, _| {}, |_| {});
+        }
+        let mut det = Detector::new(model);
+        det.conf_thresh = 0.01;
+        let preds = collect_predictions(|b| det.detect_batch(b), &val_tensors);
+        let map = two_point_eval(&gt, &preds, classes.len()).ap.map * 100.0;
+        println!("{variant:?}: mAP {map:.2}%");
+        rows.push(Row { loss: format!("{variant:?}"), map_pct: map });
+    }
+    write_json("ablation_loss", &rows);
+}

@@ -1,0 +1,49 @@
+//! **Ablation: mosaic augmentation on/off** — YOLOv4's signature "bag of
+//! freebies" item (§III-B). Two identical runs differing only in mosaic
+//! probability.
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin ablation_mosaic [-- --smoke|--extended]
+//! ```
+
+use platter_bench::{
+    collect_predictions, experiment_dataset, render_val_set, standard_split, two_point_eval, write_json, RunScale,
+    Timer,
+};
+use platter_dataset::ClassSet;
+use platter_yolo::{train, Detector, TrainConfig, YoloConfig, Yolov4};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    map_no_mosaic_pct: f32,
+    map_mosaic_pct: f32,
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== Ablation: mosaic augmentation (scale {scale:?}) ==");
+    let dataset = experiment_dataset(scale.dataset_size(), 7);
+    let split = standard_split(&dataset);
+    let classes = ClassSet::indianfood10();
+    let (val_tensors, gt) = render_val_set(&dataset, &split.val, 64);
+
+    let mut results = [0.0f32; 2];
+    for (slot, (mosaic, label)) in [(0.0f64, "no mosaic"), (0.3, "mosaic 0.3")].iter().enumerate() {
+        let model = Yolov4::new(YoloConfig::micro(10), 42);
+        let mut cfg = TrainConfig::micro(scale.iterations());
+        cfg.mosaic_prob = *mosaic;
+        {
+            let _t = Timer::start("training");
+            train(&model, &dataset, &split.train, &cfg, 0, |_, _| {}, |_| {});
+        }
+        let mut det = Detector::new(model);
+        det.conf_thresh = 0.01;
+        let preds = collect_predictions(|b| det.detect_batch(b), &val_tensors);
+        let map = two_point_eval(&gt, &preds, classes.len()).ap.map * 100.0;
+        println!("{label}: mAP {map:.2}%");
+        results[slot] = map;
+    }
+    println!("mosaic effect: {:+.2} mAP points", results[1] - results[0]);
+    write_json("ablation_mosaic", &Record { map_no_mosaic_pct: results[0], map_mosaic_pct: results[1] });
+}

@@ -1,0 +1,88 @@
+//! **Figs. 1, 4 & 6** — qualitative outputs: example platter renderings
+//! (Fig. 1), the chapati orientation variants with model predictions
+//! (Fig. 4), and prediction overlays on validation platters (Fig. 6).
+//! All written as PPM images under `results/figures/`.
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin fig4_fig6_predictions [-- --smoke|--extended]
+//! ```
+
+use platter_bench::{ensure_trained_yolo, results_dir, RunScale, OP_CONF};
+use platter_imaging::io::{draw_detection, write_ppm};
+use platter_imaging::synth::{render_scene, DishKind, PlatterStyle, SceneSpec};
+use platter_yolo::Detector;
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== Figs. 1/4/6: qualitative predictions (scale {scale:?}) ==");
+    let (model, dataset, split) = ensure_trained_yolo("standard", scale, false);
+    let mut detector = Detector::new(model);
+    detector.conf_thresh = OP_CONF;
+
+    let dir = results_dir().join("figures");
+    std::fs::create_dir_all(&dir).expect("figures dir");
+
+    // Fig. 1: example platters (no predictions).
+    for (i, dishes) in [
+        vec![DishKind::Chapati, DishKind::PalakPaneer, DishKind::PlainRice, DishKind::Rasgulla],
+        vec![DishKind::Biryani, DishKind::ChickenTikka],
+        vec![DishKind::Poha, DishKind::Omelette, DishKind::Khichdi],
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = SceneSpec { size: 192, seed: 400 + i as u64, dishes, style: PlatterStyle::Thali };
+        let (img, _) = render_scene(&spec);
+        write_ppm(&img, dir.join(format!("fig1_platter_{i}.ppm"))).expect("fig1");
+    }
+
+    // Fig. 4: chapati orientations (full / half / quarter folds across
+    // seeds) with the model's predictions overlaid.
+    let mut fold_count = 0;
+    for seed in 0..24u64 {
+        if fold_count >= 6 {
+            break;
+        }
+        let spec = SceneSpec { size: 160, seed: 700 + seed, dishes: vec![DishKind::Chapati], style: PlatterStyle::SingleDish };
+        let (img, boxes) = render_scene(&spec);
+        // Keep a mix of aspect ratios (folded chapatis have narrower boxes).
+        let aspect = boxes[0].bbox.w / boxes[0].bbox.h;
+        if fold_count >= 3 && (0.95..=1.05).contains(&aspect) {
+            continue;
+        }
+        let dets = detector.detect(&img);
+        let mut annotated = img.clone();
+        for d in &dets {
+            draw_detection(&mut annotated, &d.bbox, d.class, Some(d.score));
+        }
+        write_ppm(&annotated, dir.join(format!("fig4_chapati_{fold_count}.ppm"))).expect("fig4");
+        println!("fig4_chapati_{fold_count}: aspect {aspect:.2}, {} detections", dets.len());
+        fold_count += 1;
+    }
+
+    // Fig. 6: validation platters with predictions.
+    let mut emitted = 0;
+    for &idx in &split.val {
+        if emitted >= 6 {
+            break;
+        }
+        if !dataset.items[idx].is_platter() {
+            continue;
+        }
+        let (img, gt) = dataset.render(idx);
+        let big = img.resize(192, 192);
+        let dets = detector.detect(&big);
+        let mut annotated = big.clone();
+        for d in &dets {
+            draw_detection(&mut annotated, &d.bbox, d.class, Some(d.score));
+        }
+        write_ppm(&annotated, dir.join(format!("fig6_platter_{emitted}.ppm"))).expect("fig6");
+        println!(
+            "fig6_platter_{emitted}: {} ground-truth dishes, {} predictions",
+            gt.len(),
+            dets.len()
+        );
+        emitted += 1;
+    }
+    println!("[artifact] {}", dir.display());
+}

@@ -1,0 +1,65 @@
+//! **Fig. 5** — Confusion matrix for the 10 classes plus the extra *None*
+//! class (missed ground truths in the None column, background false
+//! positives in the None row; the None row is bracketed/greyed because a
+//! single-dish image's true class can never be None).
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin fig5_confusion_matrix [-- --smoke|--extended]
+//! ```
+
+use platter_bench::{collect_predictions, ensure_trained_yolo, render_val_set, write_json, write_text, RunScale, OP_CONF};
+use platter_dataset::ClassSet;
+use platter_metrics::{render_confusion, ConfusionMatrix, PredBox};
+use platter_yolo::Detector;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    diagonal_fraction: f64,
+    worst_confusion: Option<(String, String, usize)>,
+    counts: Vec<Vec<usize>>,
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== Fig. 5: confusion matrix (scale {scale:?}) ==");
+    let (model, dataset, split) = ensure_trained_yolo("standard", scale, false);
+    let classes = ClassSet::indianfood10();
+
+    let (val_tensors, gt) = render_val_set(&dataset, &split.val, model.config.input_size);
+    let mut detector = Detector::new(model);
+    detector.conf_thresh = 0.01;
+    let preds = collect_predictions(|b| detector.detect_batch(b), &val_tensors);
+    // Confusion at the deployment operating point (conf ≥ 0.25), like the
+    // paper's qualitative figure.
+    let op_preds: Vec<Vec<PredBox>> = preds
+        .iter()
+        .map(|p| p.iter().copied().filter(|d| d.score >= OP_CONF).collect())
+        .collect();
+
+    let matrix = ConfusionMatrix::build(&gt, &op_preds, classes.len(), 0.5);
+    let names: Vec<&str> = (0..classes.len()).map(|i| classes.name_of(i)).collect();
+    let rendered = render_confusion(&matrix, &names);
+    println!("{rendered}");
+    println!(
+        "diagonal fraction: {:.1}% of ground truths predicted as their own class",
+        matrix.diagonal_fraction() * 100.0
+    );
+    let worst = matrix.worst_confusion().map(|(t, p, c)| {
+        println!(
+            "largest confusion: {} → {} ({c} instances); paper's hardest pair is the breads (Aloo Paratha ↔ Chapati)",
+            names[t], names[p]
+        );
+        (names[t].to_string(), names[p].to_string(), c)
+    });
+
+    write_text("fig5_confusion.txt", &rendered);
+    write_json(
+        "fig5",
+        &Record {
+            diagonal_fraction: matrix.diagonal_fraction(),
+            worst_confusion: worst,
+            counts: matrix.counts.clone(),
+        },
+    );
+}

@@ -1,0 +1,41 @@
+//! **Fig. 7** — Precision–recall curves for all 10 classes, rendered as
+//! ASCII plots and emitted as CSV series for external plotting.
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin fig7_pr_curves [-- --smoke|--extended]
+//! ```
+
+use platter_bench::{collect_predictions, ensure_trained_yolo, render_val_set, two_point_eval, write_text, RunScale};
+use platter_dataset::ClassSet;
+use platter_metrics::{pr_curve_csv, render_pr_curve, summary_line};
+use platter_yolo::Detector;
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== Fig. 7: PR curves for the 10 classes (scale {scale:?}) ==");
+    let (model, dataset, split) = ensure_trained_yolo("standard", scale, false);
+    let classes = ClassSet::indianfood10();
+
+    let (val_tensors, gt) = render_val_set(&dataset, &split.val, model.config.input_size);
+    let mut detector = Detector::new(model);
+    detector.conf_thresh = 0.01;
+    let preds = collect_predictions(|b| detector.detect_batch(b), &val_tensors);
+    let tp = two_point_eval(&gt, &preds, classes.len());
+    println!("{}", summary_line(&tp.ap));
+
+    let mut all_plots = String::new();
+    let mut all_csv = String::new();
+    for c in &tp.ap.per_class {
+        let name = classes.name_of(c.class);
+        let title = format!("{name} (AP {:.1}%)", c.ap * 100.0);
+        let plot = render_pr_curve(&c.curve, &title, 48, 12);
+        println!("{plot}");
+        all_plots.push_str(&plot);
+        all_plots.push('\n');
+        all_csv.push_str(&format!("# class: {name}\n"));
+        all_csv.push_str(&pr_curve_csv(&c.curve));
+    }
+
+    write_text("fig7_pr_curves.txt", &all_plots);
+    write_text("fig7_pr_curves.csv", &all_csv);
+}

@@ -1,0 +1,38 @@
+//! Diagnostic: overfit a tiny fixed set (train = eval) with no
+//! augmentation. If optimization is healthy, mAP on the training images
+//! should approach 1.0. Not tied to a paper table.
+
+use platter_bench::{evaluate_detector, experiment_dataset, render_val_set};
+use platter_metrics::summary_line;
+use platter_yolo::{train, Detector, TrainConfig, YoloConfig, Yolov4};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let lr: f32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3e-3);
+
+    let dataset = experiment_dataset(n, 11);
+    let indices: Vec<usize> = (0..n).collect();
+    let model = Yolov4::new(YoloConfig::micro(10), 42);
+    let mut cfg = TrainConfig::micro(iters);
+    cfg.lr = lr;
+    cfg.mosaic_prob = 0.0;
+    cfg.batch_size = 4;
+    cfg.clip_norm = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1e9);
+    // Kill augmentation via a custom loader? train() always uses LoaderConfig::train.
+    // For the probe we rely on light augmentation defaults.
+    train(&model, &dataset, &indices, &cfg, 0, |_, _| {}, |r| {
+        if r.iteration % 25 == 0 || r.iteration == 1 {
+            println!(
+                "iter {:4}  loss {:7.3} box {:6.3} obj {:6.3} cls {:6.3} iou {:.3} |g| {:8.2} lr {:.5}",
+                r.iteration, r.loss.total, r.loss.box_loss, r.loss.obj_loss, r.loss.cls_loss, r.loss.mean_iou, r.grad_norm, r.lr
+            );
+        }
+    });
+    let (val_tensors, gt) = render_val_set(&dataset, &indices, 64);
+    let mut det = Detector::new(model);
+    det.conf_thresh = 0.25;
+    let eval = evaluate_detector(|b| det.detect_batch(b), &val_tensors, &gt, 10);
+    println!("TRAIN-SET {}", summary_line(&eval));
+}

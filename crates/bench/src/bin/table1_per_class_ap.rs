@@ -1,0 +1,81 @@
+//! **Table I** — Average precision for each of the 10 IndianFood10 classes.
+//!
+//! Trains (or loads the cached) YOLOv4-micro with transfer-initialised
+//! backbone on the synthetic IndianFood10 split and reports per-class AP at
+//! IoU 0.5, next to the paper's reported values.
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin table1_per_class_ap [-- --smoke|--extended] [--retrain]
+//! ```
+
+use platter_bench::{
+    collect_predictions, ensure_trained_yolo, render_val_set, two_point_eval, write_json, write_text, RunScale,
+};
+use platter_dataset::ClassSet;
+use platter_metrics::{summary_line, table_per_class_ap};
+use platter_yolo::Detector;
+use serde::Serialize;
+
+/// The paper's Table I values (%).
+pub const PAPER_TABLE1: [(&str, f32); 10] = [
+    ("Aloo Paratha", 78.3),
+    ("Biryani", 93.0),
+    ("Chapati", 79.4),
+    ("Chicken Tikka", 85.1),
+    ("Khichdi", 91.0),
+    ("Omelette", 91.9),
+    ("Palak Paneer", 94.3),
+    ("Plain rice", 89.7),
+    ("Poha", 91.5),
+    ("Rasgulla", 94.9),
+];
+
+#[derive(Serialize)]
+struct Record {
+    scale: String,
+    map_pct: f32,
+    f1: f32,
+    per_class: Vec<(String, f32, f32)>, // (name, measured AP %, paper AP %)
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== Table I: per-class AP (scale {scale:?}) ==");
+    let (model, dataset, split) = ensure_trained_yolo("standard", scale, false);
+    let classes = ClassSet::indianfood10();
+
+    let (val_tensors, gt) = render_val_set(&dataset, &split.val, model.config.input_size);
+    let mut detector = Detector::new(model);
+    detector.conf_thresh = 0.01;
+    let preds = collect_predictions(|b| detector.detect_batch(b), &val_tensors);
+    let tp = two_point_eval(&gt, &preds, classes.len());
+
+    let names: Vec<&str> = (0..classes.len()).map(|i| classes.name_of(i)).collect();
+    println!("{}", table_per_class_ap(&tp.ap, &names));
+    println!("{}", summary_line(&tp.ap));
+    println!("operating point (conf ≥ 0.25): {}", summary_line(&tp.op));
+
+    println!("\n{:<14} {:>10} {:>10}", "Class", "measured%", "paper%");
+    let mut per_class = Vec::new();
+    for (i, (name, paper)) in PAPER_TABLE1.iter().enumerate() {
+        let measured = tp.ap.per_class[i].ap * 100.0;
+        println!("{name:<14} {measured:>10.1} {paper:>10.1}");
+        per_class.push((name.to_string(), measured, *paper));
+    }
+    // Shape check the paper's structure: breads are the weakest pair.
+    let bread_mean = (tp.ap.per_class[0].ap + tp.ap.per_class[2].ap) / 2.0;
+    let other_mean: f32 =
+        tp.ap.per_class.iter().enumerate().filter(|(i, _)| *i != 0 && *i != 2).map(|(_, c)| c.ap).sum::<f32>() / 8.0;
+    println!("\nbread-pair mean AP {:.1}% vs others {:.1}% (paper: 78.9% vs 91.4%)", bread_mean * 100.0, other_mean * 100.0);
+
+    write_text("table1.txt", &table_per_class_ap(&tp.ap, &names));
+    write_json(
+        "table1",
+        &Record {
+            scale: format!("{scale:?}"),
+            map_pct: tp.ap.map * 100.0,
+            f1: tp.op.f1,
+            per_class,
+        },
+    );
+}

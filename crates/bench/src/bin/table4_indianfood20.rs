@@ -1,0 +1,97 @@
+//! **Table IV + §IV-B** — dataset composition: the IndianFood20 class list
+//! (17,817 images) and the IndianFood10 statistics (11,547 images, 842
+//! multi-dish ≈ 7%, 2.33 dishes/platter).
+//!
+//! The paper reports no model results for IndianFood20 ("our work with the
+//! 20 class data set is preliminary"), so — like the paper — this binary
+//! reports the dataset itself: full-size plan statistics computed exactly,
+//! plus a rendered sample of every class to prove the generator covers all
+//! 20 (written as PPM files).
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin table4_indianfood20 [-- --smoke]
+//! ```
+
+use platter_bench::{results_dir, write_json, write_text, RunScale};
+use platter_dataset::{DatasetSpec, PlanStats, SyntheticDataset, INDIANFOOD10_PAPER, INDIANFOOD20_PAPER};
+use platter_imaging::io::write_ppm;
+use platter_imaging::synth::{render_scene, PlatterStyle, SceneSpec};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    images: usize,
+    multi_dish: usize,
+    multi_fraction: f64,
+    dishes_per_platter: f64,
+    classes: Vec<String>,
+}
+
+fn report(ds: &SyntheticDataset, paper_images: usize, paper_multi: usize, paper_dpp: f64) -> Record {
+    let stats = PlanStats::of(ds);
+    println!(
+        "{}: {} images (paper {}), {} multi-dish (paper {}), {:.1}% multi, {:.2} dishes/platter (paper {:.2})",
+        ds.spec.classes.name,
+        stats.images,
+        paper_images,
+        stats.multi_dish,
+        paper_multi,
+        stats.multi_fraction * 100.0,
+        stats.dishes_per_platter,
+        paper_dpp,
+    );
+    Record {
+        dataset: ds.spec.classes.name.to_string(),
+        images: stats.images,
+        multi_dish: stats.multi_dish,
+        multi_fraction: stats.multi_fraction,
+        dishes_per_platter: stats.dishes_per_platter,
+        classes: (0..ds.spec.classes.len()).map(|i| ds.spec.classes.name_of(i).to_string()).collect(),
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    println!("== Table IV: IndianFood20 class list + dataset composition ==");
+
+    let ds10 = SyntheticDataset::generate(DatasetSpec::indianfood10_paper());
+    let r10 = report(&ds10, INDIANFOOD10_PAPER.images, INDIANFOOD10_PAPER.multi_dish, INDIANFOOD10_PAPER.dishes_per_platter);
+
+    let ds20 = SyntheticDataset::generate(DatasetSpec::indianfood20_paper());
+    let r20 = report(&ds20, INDIANFOOD20_PAPER.images, 0, 2.33);
+
+    // Table IV: the 20 food classes, two columns as in the paper.
+    let mut table = String::from("FOOD CLASSES IN IndianFood20\n| List of Food Items            |\n");
+    for pair in r20.classes.chunks(2) {
+        let left = pair.first().cloned().unwrap_or_default();
+        let right = pair.get(1).cloned().unwrap_or_default();
+        let _ = writeln!(table, "| {left:<14} | {right:<12} |");
+    }
+    println!("\n{table}");
+
+    // Per-class instance counts (coverage proof).
+    let stats20 = PlanStats::of(&ds20);
+    println!("per-class instances (IndianFood20):");
+    for (i, n) in stats20.per_class_instances.iter().enumerate() {
+        println!("  {:<14} {:>6}", ds20.spec.classes.name_of(i), n);
+    }
+
+    // Render one sample per IndianFood20 class (skipped in smoke mode).
+    if scale != RunScale::Smoke {
+        let dir = results_dir().join("indianfood20_samples");
+        std::fs::create_dir_all(&dir).expect("samples dir");
+        for (i, _) in (0..ds20.spec.classes.len()).enumerate() {
+            let kind = ds20.spec.classes.kind(i);
+            let spec = SceneSpec { size: 160, seed: 9_000 + i as u64, dishes: vec![kind], style: PlatterStyle::SingleDish };
+            let (img, _) = render_scene(&spec);
+            let name = ds20.spec.classes.name_of(i).replace(' ', "_").to_lowercase();
+            write_ppm(&img, dir.join(format!("{name}.ppm"))).expect("write sample");
+        }
+        println!("[artifact] {}", dir.display());
+    }
+
+    write_text("table4.txt", &table);
+    write_json("table4", &vec![r10, r20]);
+}

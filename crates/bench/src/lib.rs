@@ -1,0 +1,305 @@
+//! # platter-bench
+//!
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §4), plus the Criterion
+//! microbenches. Each binary accepts `--smoke` for a seconds-scale run and
+//! `--scale <f>` to grow/shrink the workload; results are printed as text
+//! tables and also written to `results/` as JSON records.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use platter_dataset::{Annotation, BatchLoader, ClassSet, DatasetSpec, LoaderConfig, Split, SyntheticDataset};
+use platter_metrics::{evaluate, Evaluation, PredBox};
+use platter_tensor::Tensor;
+use platter_yolo::Detection;
+use serde::Serialize;
+
+/// Standard experiment scales.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunScale {
+    /// Seconds-scale smoke test (CI-sized).
+    Smoke,
+    /// The default minutes-scale run used for EXPERIMENTS.md.
+    Standard,
+    /// A longer run for tighter numbers.
+    Extended,
+}
+
+impl RunScale {
+    /// Parse from process args: `--smoke` or `--extended` (default standard).
+    pub fn from_args() -> RunScale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--smoke") {
+            RunScale::Smoke
+        } else if args.iter().any(|a| a == "--extended") {
+            RunScale::Extended
+        } else {
+            RunScale::Standard
+        }
+    }
+
+    /// Dataset size for this scale.
+    pub fn dataset_size(self) -> usize {
+        match self {
+            RunScale::Smoke => 60,
+            RunScale::Standard => 400,
+            RunScale::Extended => 1200,
+        }
+    }
+
+    /// Training iterations for this scale.
+    pub fn iterations(self) -> usize {
+        match self {
+            RunScale::Smoke => 30,
+            RunScale::Standard => 1200,
+            RunScale::Extended => 1500,
+        }
+    }
+}
+
+/// The shared experiment dataset: micro IndianFood10 at 64 px with the
+/// paper's composition.
+pub fn experiment_dataset(n_images: usize, seed: u64) -> SyntheticDataset {
+    SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), n_images, 64, seed))
+}
+
+/// Render the validation subset once into `(images, ground_truth)` batches
+/// of CHW tensors.
+pub fn render_val_set(dataset: &SyntheticDataset, indices: &[usize], input: usize) -> (Vec<Tensor>, Vec<Vec<Annotation>>) {
+    let mut loader = BatchLoader::new(dataset, indices, LoaderConfig::val(8, input));
+    let mut tensors = Vec::new();
+    let mut gt = Vec::new();
+    for _ in 0..loader.batches_per_epoch() {
+        let b = loader.next_batch();
+        tensors.push(Tensor::from_vec(b.data, &b.shape));
+        gt.extend(b.annotations);
+    }
+    (tensors, gt)
+}
+
+/// Convert detector output to the metrics crate's input type.
+pub fn to_pred_boxes(dets: &[Detection]) -> Vec<PredBox> {
+    dets.iter().map(|d| PredBox { class: d.class, score: d.score, bbox: d.bbox }).collect()
+}
+
+/// Evaluate any batch detector (a closure from batch tensor to per-image
+/// detections) over a prepared validation set.
+pub fn evaluate_detector(
+    mut detect: impl FnMut(&Tensor) -> Vec<Vec<Detection>>,
+    val_tensors: &[Tensor],
+    ground_truth: &[Vec<Annotation>],
+    num_classes: usize,
+) -> Evaluation {
+    let mut preds: Vec<Vec<PredBox>> = Vec::with_capacity(ground_truth.len());
+    for batch in val_tensors {
+        for dets in detect(batch) {
+            preds.push(to_pred_boxes(&dets));
+        }
+    }
+    assert_eq!(preds.len(), ground_truth.len(), "prediction/GT image count mismatch");
+    evaluate(ground_truth, &preds, num_classes, 0.5)
+}
+
+/// Collect raw per-image predictions (for the confusion matrix / figures).
+pub fn collect_predictions(
+    mut detect: impl FnMut(&Tensor) -> Vec<Vec<Detection>>,
+    val_tensors: &[Tensor],
+) -> Vec<Vec<PredBox>> {
+    let mut preds = Vec::new();
+    for batch in val_tensors {
+        for dets in detect(batch) {
+            preds.push(to_pred_boxes(&dets));
+        }
+    }
+    preds
+}
+
+/// Evaluate at two operating points the way darknet reports: AP/mAP from
+/// *all* detections above a very low threshold (the detector should be
+/// configured with `conf_thresh ≈ 0.01`), and precision/recall/F1 at the
+/// deployment threshold 0.25.
+pub struct TwoPointEval {
+    /// Ranking-based metrics (per-class AP, mAP, PR curves).
+    pub ap: Evaluation,
+    /// Operating-point metrics (precision/recall/F1 at conf ≥ 0.25).
+    pub op: Evaluation,
+}
+
+/// The darknet-default deployment confidence.
+pub const OP_CONF: f32 = 0.25;
+
+/// Build a [`TwoPointEval`] from raw predictions.
+pub fn two_point_eval(ground_truth: &[Vec<Annotation>], preds: &[Vec<PredBox>], num_classes: usize) -> TwoPointEval {
+    let ap = evaluate(ground_truth, preds, num_classes, 0.5);
+    let filtered: Vec<Vec<PredBox>> = preds
+        .iter()
+        .map(|p| p.iter().copied().filter(|d| d.score >= OP_CONF).collect())
+        .collect();
+    let op = evaluate(ground_truth, &filtered, num_classes, 0.5);
+    TwoPointEval { ap, op }
+}
+
+/// Cache directory for trained checkpoints shared between binaries.
+pub fn cache_dir() -> PathBuf {
+    let dir = results_dir().join("cache");
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+/// Train (or load from cache) the standard YOLOv4-micro for a scale.
+///
+/// The shared experiment model trains from scratch (`transfer: false` at
+/// the call sites): at CPU scale the pretext pretraining is too short to
+/// help (see `ablation_transfer`, which measures exactly this), while the
+/// freeze phase costs iterations the budget cannot spare. The
+/// transfer-learning *mechanism* is exercised by `ablation_transfer` and
+/// the quickstart example.
+///
+/// The first experiment binary to run at a given scale pays the training
+/// cost and saves `results/cache/yolo_<tag>.pltw`; later binaries reload it
+/// so Tables I/III and Figs. 5–7 describe the *same* trained model, exactly
+/// as in the paper. Pass `--retrain` to force a fresh run.
+pub fn ensure_trained_yolo(tag: &str, scale: RunScale, transfer: bool) -> (platter_yolo::Yolov4, SyntheticDataset, Split) {
+    use platter_tensor::serialize::LoadMode;
+    use platter_yolo::{pretrain_backbone, train, transfer_backbone, TrainConfig, YoloConfig, Yolov4};
+
+    let dataset = experiment_dataset(scale.dataset_size(), 7);
+    let split = standard_split(&dataset);
+    let model = Yolov4::new(YoloConfig::micro(10), 42);
+    let path = cache_dir().join(format!("yolo_{tag}.pltw"));
+    let retrain = std::env::args().any(|a| a == "--retrain");
+    if !retrain && path.exists() {
+        let buf = std::fs::read(&path).expect("read cached checkpoint");
+        if model.load(&buf, LoadMode::Strict).is_ok() {
+            println!("[cache] loaded {}", path.display());
+            return (model, dataset, split);
+        }
+        println!("[cache] incompatible checkpoint at {}, retraining", path.display());
+    }
+
+    if transfer {
+        let t = Timer::start("pretext pretraining");
+        let pre_iters = match scale {
+            RunScale::Smoke => 10,
+            RunScale::Standard => 120,
+            RunScale::Extended => 300,
+        };
+        let outcome = pretrain_backbone(&model.config, pre_iters, 8, 21);
+        println!("pretext accuracy: {:.2}", outcome.accuracy);
+        drop(t);
+        let report = transfer_backbone(&outcome.classifier, &model).expect("transfer");
+        println!("transferred {} backbone tensors", report.loaded.len());
+    }
+
+    let t = Timer::start("training yolo");
+    let mut cfg = TrainConfig::micro(scale.iterations());
+    if transfer {
+        cfg.freeze_backbone_iters = scale.iterations() / 10;
+    }
+    train(&model, &dataset, &split.train, &cfg, 0, |_, _| {}, |r| {
+        if r.iteration % 100 == 0 {
+            println!(
+                "iter {:4}  loss {:7.3}  iou {:.3}  lr {:.5}",
+                r.iteration, r.loss.total, r.loss.mean_iou, r.lr
+            );
+        }
+    });
+    drop(t);
+    std::fs::write(&path, model.save()).expect("write checkpoint cache");
+    println!("[cache] saved {}", path.display());
+    (model, dataset, split)
+}
+
+/// The standard 80/20 split of an experiment dataset.
+pub fn standard_split(dataset: &SyntheticDataset) -> Split {
+    Split::eighty_twenty(dataset.len(), 0x5EED)
+}
+
+/// Results directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a JSON record next to the text output.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize record");
+    std::fs::write(&path, json).expect("write record");
+    println!("[record] {}", path.display());
+}
+
+/// Write a text artifact (table/curve/figure listing).
+pub fn write_text(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write artifact");
+    println!("[artifact] {}", path.display());
+}
+
+/// Simple wall-clock scope timer.
+pub struct Timer(Instant, &'static str);
+
+impl Timer {
+    /// Start a named timer.
+    pub fn start(name: &'static str) -> Timer {
+        Timer(Instant::now(), name)
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        println!("[time] {}: {:.1}s", self.1, self.secs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn val_set_rendering_matches_split() {
+        let ds = experiment_dataset(20, 1);
+        let split = standard_split(&ds);
+        let (tensors, gt) = render_val_set(&ds, &split.val, 64);
+        let total: usize = tensors.iter().map(|t| t.shape()[0]).sum();
+        assert_eq!(total, split.val.len());
+        assert_eq!(gt.len(), split.val.len());
+    }
+
+    #[test]
+    fn evaluate_detector_with_oracle_is_perfect() {
+        // An oracle that returns the ground truth as detections gets mAP 1.
+        let ds = experiment_dataset(12, 2);
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let (tensors, gt) = render_val_set(&ds, &indices, 64);
+        let mut cursor = 0usize;
+        let gt_ref = gt.clone();
+        let eval = evaluate_detector(
+            move |batch| {
+                let n = batch.shape()[0];
+                let out: Vec<Vec<Detection>> = gt_ref[cursor..cursor + n]
+                    .iter()
+                    .map(|anns| {
+                        anns.iter()
+                            .map(|a| Detection { class: a.class, score: 0.99, bbox: a.bbox })
+                            .collect()
+                    })
+                    .collect();
+                cursor += n;
+                out
+            },
+            &tensors,
+            &gt,
+            10,
+        );
+        assert!((eval.map - 1.0).abs() < 1e-5, "oracle mAP {}", eval.map);
+        assert!((eval.f1 - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,146 @@
+//! YOLO-format annotations.
+//!
+//! The paper annotates every image with a text file of
+//! `class cx cy w h` lines (normalised coordinates) produced by
+//! makesense.ai; this module reads and writes exactly that format.
+
+use std::fmt::Write as _;
+
+use platter_imaging::NormBox;
+use serde::{Deserialize, Serialize};
+
+/// One ground-truth object: class id + normalised box.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Class id in the dataset's [`crate::ClassSet`].
+    pub class: usize,
+    /// Normalised centre/size box.
+    pub bbox: NormBox,
+}
+
+/// Errors when parsing a YOLO annotation file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AnnotationError {
+    /// A line did not have exactly 5 whitespace-separated fields.
+    FieldCount { line: usize, got: usize },
+    /// A field failed to parse as a number.
+    BadNumber { line: usize, field: &'static str },
+    /// A coordinate fell outside `[0, 1]` (plus small tolerance).
+    OutOfRange { line: usize },
+}
+
+impl std::fmt::Display for AnnotationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnotationError::FieldCount { line, got } => {
+                write!(f, "line {line}: expected 5 fields, got {got}")
+            }
+            AnnotationError::BadNumber { line, field } => write!(f, "line {line}: bad {field}"),
+            AnnotationError::OutOfRange { line } => write!(f, "line {line}: coordinate out of [0,1]"),
+        }
+    }
+}
+
+impl std::error::Error for AnnotationError {}
+
+/// Serialise annotations to YOLO txt (one `class cx cy w h` line each).
+pub fn to_yolo_txt(annotations: &[Annotation]) -> String {
+    let mut out = String::new();
+    for a in annotations {
+        let _ = writeln!(out, "{} {:.6} {:.6} {:.6} {:.6}", a.class, a.bbox.cx, a.bbox.cy, a.bbox.w, a.bbox.h);
+    }
+    out
+}
+
+/// Parse a YOLO txt annotation file. Blank lines are ignored.
+pub fn from_yolo_txt(text: &str) -> Result<Vec<Annotation>, AnnotationError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(AnnotationError::FieldCount { line, got: fields.len() });
+        }
+        let class: usize = fields[0].parse().map_err(|_| AnnotationError::BadNumber { line, field: "class" })?;
+        let mut nums = [0.0f32; 4];
+        for (slot, (raw, name)) in nums
+            .iter_mut()
+            .zip(fields[1..].iter().zip(["cx", "cy", "w", "h"]))
+        {
+            *slot = raw.parse().map_err(|_| AnnotationError::BadNumber { line, field: name })?;
+        }
+        let [cx, cy, w, h] = nums;
+        const TOL: f32 = 1e-3;
+        if !(-TOL..=1.0 + TOL).contains(&cx)
+            || !(-TOL..=1.0 + TOL).contains(&cy)
+            || !(0.0..=1.0 + TOL).contains(&w)
+            || !(0.0..=1.0 + TOL).contains(&h)
+        {
+            return Err(AnnotationError::OutOfRange { line });
+        }
+        out.push(Annotation { class, bbox: NormBox::new(cx, cy, w, h) });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let anns = vec![
+            Annotation { class: 2, bbox: NormBox::new(0.5, 0.5, 0.25, 0.3) },
+            Annotation { class: 9, bbox: NormBox::new(0.125, 0.875, 0.1, 0.05) },
+        ];
+        let txt = to_yolo_txt(&anns);
+        let back = from_yolo_txt(&txt).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in anns.iter().zip(&back) {
+            assert_eq!(a.class, b.class);
+            assert!((a.bbox.cx - b.bbox.cx).abs() < 1e-5);
+            assert!((a.bbox.h - b.bbox.h).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn format_matches_yolo_convention() {
+        let txt = to_yolo_txt(&[Annotation { class: 3, bbox: NormBox::new(0.5, 0.25, 0.1, 0.2) }]);
+        assert_eq!(txt.trim(), "3 0.500000 0.250000 0.100000 0.200000");
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let anns = from_yolo_txt("\n0 0.5 0.5 0.2 0.2\n\n  \n1 0.3 0.3 0.1 0.1\n").unwrap();
+        assert_eq!(anns.len(), 2);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        assert_eq!(
+            from_yolo_txt("0 0.5 0.5 0.2"),
+            Err(AnnotationError::FieldCount { line: 1, got: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        assert!(matches!(
+            from_yolo_txt("0 x 0.5 0.2 0.2"),
+            Err(AnnotationError::BadNumber { line: 1, field: "cx" })
+        ));
+        assert!(matches!(
+            from_yolo_txt("nope 0.5 0.5 0.2 0.2"),
+            Err(AnnotationError::BadNumber { line: 1, field: "class" })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(from_yolo_txt("0 1.5 0.5 0.2 0.2"), Err(AnnotationError::OutOfRange { line: 1 }));
+    }
+}

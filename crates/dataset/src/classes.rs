@@ -1,0 +1,138 @@
+//! Class vocabularies: *IndianFood10* (Table I) and *IndianFood20*
+//! (Table IV), exactly as the paper lists them.
+
+use platter_imaging::DishKind;
+
+/// An ordered class vocabulary; the position of a dish is its YOLO class id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassSet {
+    /// Dataset name (e.g. `IndianFood10`).
+    pub name: &'static str,
+    classes: Vec<DishKind>,
+}
+
+impl ClassSet {
+    /// The 10-class vocabulary of Table I, in the paper's order.
+    pub fn indianfood10() -> ClassSet {
+        ClassSet {
+            name: "IndianFood10",
+            classes: vec![
+                DishKind::AlooParatha,
+                DishKind::Biryani,
+                DishKind::Chapati,
+                DishKind::ChickenTikka,
+                DishKind::Khichdi,
+                DishKind::Omelette,
+                DishKind::PalakPaneer,
+                DishKind::PlainRice,
+                DishKind::Poha,
+                DishKind::Rasgulla,
+            ],
+        }
+    }
+
+    /// The 20-class vocabulary of Table IV (column-major reading order of
+    /// the paper's two-column table).
+    pub fn indianfood20() -> ClassSet {
+        ClassSet {
+            name: "IndianFood20",
+            classes: vec![
+                DishKind::IndianBread,
+                DishKind::Rasgulla,
+                DishKind::Biryani,
+                DishKind::Uttapam,
+                DishKind::Paneer,
+                DishKind::Poha,
+                DishKind::Khichdi,
+                DishKind::Omelette,
+                DishKind::PlainRice,
+                DishKind::DalMakhni,
+                DishKind::Dosa,
+                DishKind::Rajma,
+                DishKind::Poori,
+                DishKind::Chole,
+                DishKind::Dal,
+                DishKind::Sambhar,
+                DishKind::Papad,
+                DishKind::GulabJamun,
+                DishKind::Idli,
+                DishKind::Vada,
+            ],
+        }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the vocabulary is empty (never, for the built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The dish for a class id.
+    pub fn kind(&self, class: usize) -> DishKind {
+        self.classes[class]
+    }
+
+    /// The class id for a dish, if present.
+    pub fn class_of(&self, kind: DishKind) -> Option<usize> {
+        self.classes.iter().position(|&k| k == kind)
+    }
+
+    /// Class display name.
+    pub fn name_of(&self, class: usize) -> &'static str {
+        self.classes[class].name()
+    }
+
+    /// Iterate `(class_id, kind)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, DishKind)> + '_ {
+        self.classes.iter().copied().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indianfood10_matches_table1() {
+        let cs = ClassSet::indianfood10();
+        assert_eq!(cs.len(), 10);
+        assert_eq!(cs.name_of(0), "Aloo Paratha");
+        assert_eq!(cs.name_of(2), "Chapati");
+        assert_eq!(cs.name_of(9), "Rasgulla");
+    }
+
+    #[test]
+    fn indianfood20_matches_table4() {
+        let cs = ClassSet::indianfood20();
+        assert_eq!(cs.len(), 20);
+        // Spot-check entries from Table IV.
+        assert!(cs.class_of(DishKind::IndianBread).is_some());
+        assert!(cs.class_of(DishKind::GulabJamun).is_some());
+        assert!(cs.class_of(DishKind::Vada).is_some());
+        // Chicken Tikka is *not* in IndianFood20 (merged out in the paper).
+        assert!(cs.class_of(DishKind::ChickenTikka).is_none());
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let cs = ClassSet::indianfood10();
+        for (id, kind) in cs.iter() {
+            assert_eq!(cs.class_of(kind), Some(id));
+            assert_eq!(cs.kind(id), kind);
+        }
+    }
+
+    #[test]
+    fn vocabularies_have_no_duplicates() {
+        for cs in [ClassSet::indianfood10(), ClassSet::indianfood20()] {
+            let mut kinds = cs.classes.clone();
+            kinds.sort();
+            kinds.dedup();
+            assert_eq!(kinds.len(), cs.len(), "{}", cs.name);
+        }
+    }
+}

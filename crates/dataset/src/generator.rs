@@ -1,0 +1,267 @@
+//! Deterministic synthetic-dataset generation.
+//!
+//! A dataset is a *plan*: one [`SceneSpec`] per image, derived from a single
+//! seed. Images and their annotations are rendered on demand, so the
+//! full-size IndianFood10 plan (11,547 images) is cheap to hold while the
+//! micro experiments render only what they train on. The composition knobs
+//! default to the paper's §IV-B numbers: ~7% multi-dish images averaging
+//! 2.33 dishes per platter.
+
+use platter_imaging::synth::{render_scene, PlatterStyle, SceneSpec};
+use platter_imaging::Image;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::annotation::Annotation;
+use crate::classes::ClassSet;
+
+/// Recipe for a synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Class vocabulary.
+    pub classes: ClassSet,
+    /// Total number of images.
+    pub n_images: usize,
+    /// Fraction of multi-dish (platter) images; the paper has 842/11,547.
+    pub multi_dish_fraction: f64,
+    /// Rendered image edge (square) in pixels.
+    pub image_size: usize,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The full-size IndianFood10 plan as the paper describes it: 11,547
+    /// images, 842 multi-dish (≈7.3%), rendered at 416 px.
+    pub fn indianfood10_paper() -> DatasetSpec {
+        DatasetSpec {
+            classes: ClassSet::indianfood10(),
+            n_images: 11_547,
+            multi_dish_fraction: 842.0 / 11_547.0,
+            image_size: 416,
+            seed: 0x1001,
+        }
+    }
+
+    /// The full-size IndianFood20 plan: 17,817 images.
+    pub fn indianfood20_paper() -> DatasetSpec {
+        DatasetSpec {
+            classes: ClassSet::indianfood20(),
+            n_images: 17_817,
+            multi_dish_fraction: 842.0 / 11_547.0,
+            image_size: 416,
+            seed: 0x2002,
+        }
+    }
+
+    /// A CPU-friendly plan with the same composition, for experiments.
+    pub fn micro(classes: ClassSet, n_images: usize, image_size: usize, seed: u64) -> DatasetSpec {
+        DatasetSpec { classes, n_images, multi_dish_fraction: 842.0 / 11_547.0, image_size, seed }
+    }
+}
+
+/// One planned image.
+#[derive(Clone, Debug)]
+pub struct DatasetItem {
+    /// Stable image id (also the annotation filename stem).
+    pub id: usize,
+    /// The scene to render.
+    pub scene: SceneSpec,
+}
+
+impl DatasetItem {
+    /// True if this is a multi-dish (platter) image.
+    pub fn is_platter(&self) -> bool {
+        self.scene.dishes.len() > 1
+    }
+}
+
+/// A fully planned synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct SyntheticDataset {
+    /// The recipe this plan was generated from.
+    pub spec: DatasetSpec,
+    /// One entry per image.
+    pub items: Vec<DatasetItem>,
+}
+
+/// Dishes-per-platter distribution with mean 2.33 (matching §IV-B):
+/// P(2)=0.70, P(3)=0.27, P(4)=0.03.
+fn sample_platter_count(rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random_range(0.0..1.0);
+    if u < 0.70 {
+        2
+    } else if u < 0.97 {
+        3
+    } else {
+        4
+    }
+}
+
+impl SyntheticDataset {
+    /// Generate the plan for `spec`. Deterministic in `spec`.
+    pub fn generate(spec: DatasetSpec) -> SyntheticDataset {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let n_multi = (spec.n_images as f64 * spec.multi_dish_fraction).round() as usize;
+        let n_single = spec.n_images - n_multi;
+        let k = spec.classes.len();
+        let mut items = Vec::with_capacity(spec.n_images);
+
+        // Single-dish images: round-robin over classes for balance, random
+        // everything else.
+        for i in 0..n_single {
+            let kind = spec.classes.kind(i % k);
+            items.push(DatasetItem {
+                id: items.len(),
+                scene: SceneSpec {
+                    size: spec.image_size,
+                    seed: rng.random_range(0..u64::MAX / 2),
+                    dishes: vec![kind],
+                    style: PlatterStyle::SingleDish,
+                },
+            });
+        }
+
+        // Platter images: 2–4 *distinct* classes per image (the paper counts
+        // an image as multi-dish when it contains more than one unique
+        // class), shared-plate or thali layout.
+        for _ in 0..n_multi {
+            let count = sample_platter_count(&mut rng).min(k);
+            let mut picked: Vec<usize> = Vec::with_capacity(count);
+            while picked.len() < count {
+                let c = rng.random_range(0..k);
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            let dishes = picked.iter().map(|&c| spec.classes.kind(c)).collect();
+            let style = if rng.random_bool(0.4) { PlatterStyle::SharedPlate } else { PlatterStyle::Thali };
+            items.push(DatasetItem {
+                id: items.len(),
+                scene: SceneSpec { size: spec.image_size, seed: rng.random_range(0..u64::MAX / 2), dishes, style },
+            });
+        }
+
+        // Interleave platters through the dataset deterministically so splits
+        // see both kinds (Fisher–Yates with the same master RNG).
+        for i in (1..items.len()).rev() {
+            let j = rng.random_range(0..=i);
+            items.swap(i, j);
+        }
+        for (i, item) in items.iter_mut().enumerate() {
+            item.id = i;
+        }
+        SyntheticDataset { spec, items }
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Render one item to an image plus YOLO annotations (classes mapped
+    /// through this dataset's vocabulary).
+    pub fn render(&self, index: usize) -> (Image, Vec<Annotation>) {
+        let item = &self.items[index];
+        let (image, boxes) = render_scene(&item.scene);
+        let annotations = boxes
+            .iter()
+            .filter_map(|b| {
+                self.spec
+                    .classes
+                    .class_of(b.kind)
+                    .map(|class| Annotation { class, bbox: b.bbox })
+            })
+            .collect();
+        (image, annotations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro() -> SyntheticDataset {
+        SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 200, 64, 42))
+    }
+
+    #[test]
+    fn plan_counts_match_spec() {
+        let ds = micro();
+        assert_eq!(ds.len(), 200);
+        let platters = ds.items.iter().filter(|i| i.is_platter()).count();
+        let expect = (200.0f64 * 842.0 / 11_547.0).round() as usize;
+        assert_eq!(platters, expect);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = micro();
+        let b = micro();
+        for (x, y) in a.items.iter().zip(&b.items) {
+            assert_eq!(x.scene.seed, y.scene.seed);
+            assert_eq!(x.scene.dishes, y.scene.dishes);
+        }
+    }
+
+    #[test]
+    fn single_dish_images_are_class_balanced() {
+        let ds = micro();
+        let mut counts = vec![0usize; 10];
+        for item in ds.items.iter().filter(|i| !i.is_platter()) {
+            let c = ds.spec.classes.class_of(item.scene.dishes[0]).unwrap();
+            counts[c] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn platters_have_distinct_classes() {
+        let ds = micro();
+        for item in ds.items.iter().filter(|i| i.is_platter()) {
+            let mut dishes = item.scene.dishes.clone();
+            dishes.sort();
+            dishes.dedup();
+            assert_eq!(dishes.len(), item.scene.dishes.len());
+            assert!(item.scene.dishes.len() >= 2 && item.scene.dishes.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn render_produces_annotations_for_every_dish() {
+        let ds = micro();
+        let platter_idx = ds.items.iter().position(|i| i.is_platter()).unwrap();
+        let (img, anns) = ds.render(platter_idx);
+        assert_eq!(img.width(), 64);
+        assert_eq!(anns.len(), ds.items[platter_idx].scene.dishes.len());
+        for a in &anns {
+            assert!(a.class < 10);
+            assert!(a.bbox.is_valid());
+        }
+    }
+
+    #[test]
+    fn paper_specs_have_paper_numbers() {
+        let s10 = DatasetSpec::indianfood10_paper();
+        assert_eq!(s10.n_images, 11_547);
+        let s20 = DatasetSpec::indianfood20_paper();
+        assert_eq!(s20.n_images, 17_817);
+        assert_eq!(s20.classes.len(), 20);
+    }
+
+    #[test]
+    fn full_size_plan_generates_quickly() {
+        // Plans are cheap even at paper scale (no rendering).
+        let ds = SyntheticDataset::generate(DatasetSpec::indianfood10_paper());
+        assert_eq!(ds.len(), 11_547);
+        let platters = ds.items.iter().filter(|i| i.is_platter()).count();
+        assert_eq!(platters, 842);
+    }
+}

@@ -1,0 +1,280 @@
+//! Batched data loading with optional augmentation, mosaic, shuffling and a
+//! prefetch thread (the role darknet's data-loading threads play).
+
+use platter_imaging::augment::{augment, mosaic, AugmentConfig};
+use platter_imaging::synth::LabeledBox;
+use platter_imaging::Image;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::annotation::Annotation;
+use crate::generator::SyntheticDataset;
+
+/// Loader configuration.
+#[derive(Clone, Debug)]
+pub struct LoaderConfig {
+    /// Images per batch.
+    pub batch_size: usize,
+    /// Network input edge; images are resized (square→square) to this.
+    pub input_size: usize,
+    /// Photometric/geometric augmentation; `None` for validation.
+    pub augment: Option<AugmentConfig>,
+    /// Probability of replacing a sample with a 4-image mosaic.
+    pub mosaic_prob: f64,
+    /// Shuffle order each epoch.
+    pub shuffle: bool,
+    /// Loader RNG seed.
+    pub seed: u64,
+}
+
+impl LoaderConfig {
+    /// Training defaults: full augmentation + 50% mosaic.
+    pub fn train(batch_size: usize, input_size: usize, seed: u64) -> LoaderConfig {
+        LoaderConfig {
+            batch_size,
+            input_size,
+            augment: Some(AugmentConfig::default()),
+            mosaic_prob: 0.5,
+            shuffle: true,
+            seed,
+        }
+    }
+
+    /// Validation defaults: no augmentation, stable order.
+    pub fn val(batch_size: usize, input_size: usize) -> LoaderConfig {
+        LoaderConfig { batch_size, input_size, augment: None, mosaic_prob: 0.0, shuffle: false, seed: 0 }
+    }
+}
+
+/// A rendered batch: planar CHW floats plus per-image annotations.
+#[derive(Clone, Debug)]
+pub struct ImageBatch {
+    /// `[n, 3, s, s]` image data, CHW per image, values in `[0, 1]`.
+    pub data: Vec<f32>,
+    /// Batch shape `[n, 3, s, s]`.
+    pub shape: [usize; 4],
+    /// Ground truth per image.
+    pub annotations: Vec<Vec<Annotation>>,
+}
+
+/// Epoch iterator over a dataset subset.
+pub struct BatchLoader<'a> {
+    dataset: &'a SyntheticDataset,
+    indices: Vec<usize>,
+    cfg: LoaderConfig,
+    rng: StdRng,
+    cursor: usize,
+    epoch: usize,
+}
+
+impl<'a> BatchLoader<'a> {
+    /// Create a loader over `indices` of `dataset`.
+    pub fn new(dataset: &'a SyntheticDataset, indices: &[usize], cfg: LoaderConfig) -> BatchLoader<'a> {
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        let mut loader = BatchLoader {
+            dataset,
+            indices: indices.to_vec(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            cursor: 0,
+            epoch: 0,
+        };
+        loader.reshuffle();
+        loader
+    }
+
+    fn reshuffle(&mut self) {
+        if self.cfg.shuffle {
+            for i in (1..self.indices.len()).rev() {
+                let j = self.rng.random_range(0..=i);
+                self.indices.swap(i, j);
+            }
+        }
+    }
+
+    /// Number of batches per epoch (final partial batch included).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.indices.len().div_ceil(self.cfg.batch_size)
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    fn to_labeled(&self, anns: &[Annotation]) -> Vec<LabeledBox> {
+        anns.iter()
+            .map(|a| LabeledBox { kind: self.dataset.spec.classes.kind(a.class), bbox: a.bbox })
+            .collect()
+    }
+
+    fn from_labeled(&self, boxes: &[LabeledBox]) -> Vec<Annotation> {
+        boxes
+            .iter()
+            .filter_map(|b| {
+                self.dataset
+                    .spec
+                    .classes
+                    .class_of(b.kind)
+                    .map(|class| Annotation { class, bbox: b.bbox })
+            })
+            .collect()
+    }
+
+    /// Render one training sample (with augmentation/mosaic as configured).
+    fn render_sample(&mut self, index: usize) -> (Image, Vec<Annotation>) {
+        let use_mosaic = self.cfg.mosaic_prob > 0.0 && self.rng.random_bool(self.cfg.mosaic_prob);
+        if use_mosaic && self.indices.len() >= 4 {
+            let mut tiles = Vec::with_capacity(4);
+            let (img0, anns0) = self.dataset.render(index);
+            tiles.push((img0, self.to_labeled(&anns0)));
+            for _ in 0..3 {
+                let pick = self.indices[self.rng.random_range(0..self.indices.len())];
+                let (img, anns) = self.dataset.render(pick);
+                tiles.push((img, self.to_labeled(&anns)));
+            }
+            let tiles: [(Image, Vec<LabeledBox>); 4] = tiles.try_into().expect("4 tiles");
+            let (img, boxes) = mosaic(&tiles, self.cfg.input_size, &mut self.rng);
+            return (img, self.from_labeled(&boxes));
+        }
+        let (img, anns) = self.dataset.render(index);
+        if let Some(cfg) = &self.cfg.augment {
+            let labeled = self.to_labeled(&anns);
+            let (img, boxes) = augment(&img, &labeled, cfg, &mut self.rng);
+            (img, self.from_labeled(&boxes))
+        } else {
+            (img, anns)
+        }
+    }
+
+    /// Next batch; rolls into the next epoch automatically.
+    pub fn next_batch(&mut self) -> ImageBatch {
+        let s = self.cfg.input_size;
+        let n = self.cfg.batch_size.min(self.indices.len() - self.cursor).max(1);
+        let mut data = Vec::with_capacity(n * 3 * s * s);
+        let mut annotations = Vec::with_capacity(n);
+        for k in 0..n {
+            let idx = self.indices[self.cursor + k];
+            let (img, anns) = self.render_sample(idx);
+            let img = if img.width() == s && img.height() == s { img } else { img.resize(s, s) };
+            data.extend_from_slice(&img.to_chw());
+            annotations.push(anns);
+        }
+        self.cursor += n;
+        if self.cursor >= self.indices.len() {
+            self.cursor = 0;
+            self.epoch += 1;
+            self.reshuffle();
+        }
+        ImageBatch { data, shape: [n, 3, s, s], annotations }
+    }
+}
+
+/// Drive `consume` over `n_batches` batches while a background thread renders
+/// ahead through a bounded crossbeam channel — the prefetch pattern darknet
+/// uses to hide data-loading latency.
+pub fn run_prefetched(
+    dataset: &SyntheticDataset,
+    indices: &[usize],
+    cfg: LoaderConfig,
+    n_batches: usize,
+    capacity: usize,
+    mut consume: impl FnMut(usize, ImageBatch),
+) {
+    crossbeam::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::bounded::<ImageBatch>(capacity.max(1));
+        scope.spawn(move |_| {
+            let mut loader = BatchLoader::new(dataset, indices, cfg);
+            for _ in 0..n_batches {
+                if tx.send(loader.next_batch()).is_err() {
+                    break;
+                }
+            }
+        });
+        for i in 0..n_batches {
+            match rx.recv() {
+                Ok(batch) => consume(i, batch),
+                Err(_) => break,
+            }
+        }
+    })
+    .expect("prefetch worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassSet;
+    use crate::generator::DatasetSpec;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 24, 48, 9))
+    }
+
+    #[test]
+    fn batch_shapes_and_values() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let mut loader = BatchLoader::new(&ds, &indices, LoaderConfig::val(4, 32));
+        let b = loader.next_batch();
+        assert_eq!(b.shape, [4, 3, 32, 32]);
+        assert_eq!(b.data.len(), 4 * 3 * 32 * 32);
+        assert_eq!(b.annotations.len(), 4);
+        assert!(b.data.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn epoch_advances_and_covers_all_items() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let mut loader = BatchLoader::new(&ds, &indices, LoaderConfig::val(5, 32));
+        assert_eq!(loader.batches_per_epoch(), 5);
+        let mut seen = 0;
+        for _ in 0..5 {
+            seen += loader.next_batch().annotations.len();
+        }
+        assert_eq!(seen, 24);
+        assert_eq!(loader.epoch(), 1);
+    }
+
+    #[test]
+    fn validation_loader_is_reproducible() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..8).collect();
+        let mut a = BatchLoader::new(&ds, &indices, LoaderConfig::val(4, 32));
+        let mut b = BatchLoader::new(&ds, &indices, LoaderConfig::val(4, 32));
+        let ba = a.next_batch();
+        let bb = b.next_batch();
+        assert_eq!(ba.data, bb.data);
+        assert_eq!(ba.annotations.len(), bb.annotations.len());
+    }
+
+    #[test]
+    fn train_loader_augments_but_keeps_annotations_valid() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let mut loader = BatchLoader::new(&ds, &indices, LoaderConfig::train(4, 32, 11));
+        for _ in 0..4 {
+            let b = loader.next_batch();
+            for anns in &b.annotations {
+                for a in anns {
+                    assert!(a.class < 10);
+                    assert!(a.bbox.is_valid(), "{a:?}");
+                    let (x0, y0, x1, y1) = a.bbox.xyxy();
+                    assert!(x0 >= -1e-3 && y0 >= -1e-3 && x1 <= 1.0 + 1e-3 && y1 <= 1.0 + 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefetched_delivers_all_batches_in_order() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let mut got = Vec::new();
+        run_prefetched(&ds, &indices, LoaderConfig::val(6, 32), 4, 2, |i, b| {
+            got.push((i, b.annotations.len()));
+        });
+        assert_eq!(got, vec![(0, 6), (1, 6), (2, 6), (3, 6)]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Train/validation splitting (the paper trains on 80% and validates on the
+//! remaining 20%).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Index sets for a train/val split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Split {
+    /// Training image indices.
+    pub train: Vec<usize>,
+    /// Validation image indices.
+    pub val: Vec<usize>,
+}
+
+impl Split {
+    /// Shuffled split with `train_fraction` of `n` items in train.
+    pub fn random(n: usize, train_fraction: f64, seed: u64) -> Split {
+        assert!((0.0..=1.0).contains(&train_fraction), "fraction out of range");
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            indices.swap(i, j);
+        }
+        let cut = (n as f64 * train_fraction).round() as usize;
+        let val = indices.split_off(cut);
+        Split { train: indices, val }
+    }
+
+    /// The paper's 80/20 split.
+    pub fn eighty_twenty(n: usize, seed: u64) -> Split {
+        Split::random(n, 0.8, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_exact_and_disjoint() {
+        let s = Split::eighty_twenty(100, 7);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.val.len(), 20);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(Split::eighty_twenty(50, 3), Split::eighty_twenty(50, 3));
+        assert_ne!(Split::eighty_twenty(50, 3), Split::eighty_twenty(50, 4));
+    }
+
+    #[test]
+    fn split_is_shuffled() {
+        let s = Split::eighty_twenty(1000, 1);
+        // The train set should not simply be 0..800.
+        let sorted: Vec<usize> = (0..800).collect();
+        let mut train = s.train.clone();
+        train.sort_unstable();
+        assert_ne!(s.train, sorted, "train order must be shuffled");
+        assert_ne!(train, sorted, "membership must be shuffled too");
+    }
+
+    #[test]
+    fn odd_sizes_round() {
+        let s = Split::random(5, 0.8, 0);
+        assert_eq!(s.train.len(), 4);
+        assert_eq!(s.val.len(), 1);
+        let s = Split::random(0, 0.8, 0);
+        assert!(s.train.is_empty() && s.val.is_empty());
+    }
+}

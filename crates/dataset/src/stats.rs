@@ -1,0 +1,107 @@
+//! Dataset composition statistics (the §IV-B numbers and Table IV).
+
+use crate::generator::SyntheticDataset;
+
+/// Composition statistics of a dataset plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanStats {
+    /// Total images.
+    pub images: usize,
+    /// Images with exactly one dish.
+    pub single_dish: usize,
+    /// Images with more than one unique class.
+    pub multi_dish: usize,
+    /// `multi_dish / images`.
+    pub multi_fraction: f64,
+    /// Mean dishes per multi-dish image (the paper reports 2.33).
+    pub dishes_per_platter: f64,
+    /// Annotated instances per class id.
+    pub per_class_instances: Vec<usize>,
+}
+
+impl PlanStats {
+    /// Compute stats from a plan (no rendering required).
+    pub fn of(dataset: &SyntheticDataset) -> PlanStats {
+        let mut single = 0usize;
+        let mut multi = 0usize;
+        let mut dish_total = 0usize;
+        let mut per_class = vec![0usize; dataset.spec.classes.len()];
+        for item in &dataset.items {
+            if item.is_platter() {
+                multi += 1;
+                dish_total += item.scene.dishes.len();
+            } else {
+                single += 1;
+            }
+            for &kind in &item.scene.dishes {
+                if let Some(c) = dataset.spec.classes.class_of(kind) {
+                    per_class[c] += 1;
+                }
+            }
+        }
+        PlanStats {
+            images: dataset.len(),
+            single_dish: single,
+            multi_dish: multi,
+            multi_fraction: multi as f64 / dataset.len().max(1) as f64,
+            dishes_per_platter: if multi == 0 { 0.0 } else { dish_total as f64 / multi as f64 },
+            per_class_instances: per_class,
+        }
+    }
+}
+
+/// The paper's reported composition of IndianFood10 (§IV-B), for
+/// paper-vs-measured reporting in the experiment binaries.
+pub struct PaperComposition {
+    pub images: usize,
+    pub multi_dish: usize,
+    pub dishes_per_platter: f64,
+}
+
+/// §IV-B reference numbers.
+pub const INDIANFOOD10_PAPER: PaperComposition =
+    PaperComposition { images: 11_547, multi_dish: 842, dishes_per_platter: 2.33 };
+
+/// Future-work section reference for IndianFood20.
+pub const INDIANFOOD20_PAPER: PaperComposition =
+    PaperComposition { images: 17_817, multi_dish: 0, dishes_per_platter: 0.0 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassSet;
+    use crate::generator::DatasetSpec;
+
+    #[test]
+    fn stats_sum_correctly() {
+        let ds = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 300, 64, 5));
+        let s = PlanStats::of(&ds);
+        assert_eq!(s.images, 300);
+        assert_eq!(s.single_dish + s.multi_dish, 300);
+        let total_instances: usize = s.per_class_instances.iter().sum();
+        assert!(total_instances >= 300, "platters add instances");
+    }
+
+    #[test]
+    fn full_plan_reproduces_paper_composition() {
+        let ds = SyntheticDataset::generate(DatasetSpec::indianfood10_paper());
+        let s = PlanStats::of(&ds);
+        assert_eq!(s.images, INDIANFOOD10_PAPER.images);
+        assert_eq!(s.multi_dish, INDIANFOOD10_PAPER.multi_dish);
+        // Mean dishes/platter within sampling noise of 2.33.
+        assert!(
+            (s.dishes_per_platter - INDIANFOOD10_PAPER.dishes_per_platter).abs() < 0.08,
+            "dishes/platter {}",
+            s.dishes_per_platter
+        );
+    }
+
+    #[test]
+    fn every_class_appears() {
+        let ds = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood20(), 400, 64, 8));
+        let s = PlanStats::of(&ds);
+        for (c, &n) in s.per_class_instances.iter().enumerate() {
+            assert!(n > 0, "class {c} absent");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Data augmentation with box-consistent geometry, following the YOLOv4
+//! recipe: HSV jitter, horizontal flip, random scale/translate, and mosaic
+//! (the paper's §III-B "bag of freebies" augmentation).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::bbox::NormBox;
+use crate::color::Rgb;
+use crate::image::Image;
+use crate::synth::LabeledBox;
+
+/// Augmentation hyper-parameters (darknet-flavoured defaults).
+#[derive(Clone, Debug)]
+pub struct AugmentConfig {
+    /// Maximum hue shift in degrees (±).
+    pub hue: f32,
+    /// Max saturation gain factor (sampled in `[1/sat, sat]`).
+    pub saturation: f32,
+    /// Max value/exposure gain factor (sampled in `[1/val, val]`).
+    pub value: f32,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+    /// Scale jitter: factor sampled in `[1 − jitter, 1 + jitter]`.
+    pub scale_jitter: f32,
+    /// Translation jitter as a fraction of the canvas.
+    pub translate: f32,
+    /// Minimum fraction of a box that must remain visible after the
+    /// geometric transform for the label to survive.
+    pub min_visibility: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            hue: 12.0,
+            saturation: 1.3,
+            value: 1.25,
+            flip_prob: 0.5,
+            scale_jitter: 0.15,
+            translate: 0.08,
+            min_visibility: 0.3,
+        }
+    }
+}
+
+/// Resample `img` under the *output→input* map `x_in = (x_out − tx)/sx`
+/// (normalised coordinates), padding out-of-range samples with grey.
+fn affine_resample(img: &Image, sx: f32, sy: f32, tx: f32, ty: f32) -> Image {
+    let w = img.width();
+    let h = img.height();
+    let mut out = Image::new(w, h, Rgb::new(0.5, 0.5, 0.5));
+    for y in 0..h {
+        for x in 0..w {
+            let u = (x as f32 / w as f32 - tx) / sx;
+            let v = (y as f32 / h as f32 - ty) / sy;
+            if (0.0..1.0).contains(&u) && (0.0..1.0).contains(&v) {
+                out.set(x, y, img.sample_bilinear(u * w as f32, v * h as f32));
+            }
+        }
+    }
+    out
+}
+
+/// Apply the full augmentation pipeline to an image and its boxes.
+pub fn augment(img: &Image, boxes: &[LabeledBox], cfg: &AugmentConfig, rng: &mut StdRng) -> (Image, Vec<LabeledBox>) {
+    let mut image = img.clone();
+    let mut out_boxes: Vec<LabeledBox> = boxes.to_vec();
+
+    // Photometric.
+    let dh = rng.random_range(-cfg.hue..cfg.hue);
+    let sg = sample_gain(rng, cfg.saturation);
+    let vg = sample_gain(rng, cfg.value);
+    image = image.hsv_shift(dh, sg, vg);
+
+    // Horizontal flip.
+    if rng.random_bool(cfg.flip_prob) {
+        image = image.flip_horizontal();
+        for b in &mut out_boxes {
+            b.bbox = b.bbox.flipped_horizontal();
+        }
+    }
+
+    // Scale + translate.
+    let sx = 1.0 + rng.random_range(-cfg.scale_jitter..cfg.scale_jitter);
+    let sy = sx * (1.0 + rng.random_range(-0.05..0.05f32)); // slight anisotropy
+    let tx = rng.random_range(-cfg.translate..cfg.translate);
+    let ty = rng.random_range(-cfg.translate..cfg.translate);
+    image = affine_resample(&image, sx, sy, tx, ty);
+    let transformed: Vec<LabeledBox> = out_boxes
+        .iter()
+        .filter_map(|b| {
+            let moved = b.bbox.affine(sx, sy, tx, ty);
+            let clipped = moved.clipped()?;
+            // Visibility: the clipped area relative to the transformed area.
+            if clipped.area() < cfg.min_visibility * moved.area() {
+                return None;
+            }
+            Some(LabeledBox { kind: b.kind, bbox: clipped })
+        })
+        .collect();
+    (image, transformed)
+}
+
+fn sample_gain(rng: &mut StdRng, max: f32) -> f32 {
+    let g = rng.random_range(1.0..max.max(1.0 + 1e-6));
+    if rng.random_bool(0.5) {
+        g
+    } else {
+        1.0 / g
+    }
+}
+
+/// Mosaic augmentation: four images combined around a random pivot, each
+/// contributing one quadrant — YOLOv4's signature augmentation.
+pub fn mosaic(tiles: &[(Image, Vec<LabeledBox>); 4], size: usize, rng: &mut StdRng) -> (Image, Vec<LabeledBox>) {
+    let px = rng.random_range(0.3..0.7f32);
+    let py = rng.random_range(0.3..0.7f32);
+    let mut out = Image::new(size, size, Rgb::new(0.5, 0.5, 0.5));
+    let mut boxes = Vec::new();
+    // Quadrants: (x-range, y-range) in normalised output coordinates.
+    let quads = [
+        (0.0, 0.0, px, py),
+        (px, 0.0, 1.0 - px, py),
+        (0.0, py, px, 1.0 - py),
+        (px, py, 1.0 - px, 1.0 - py),
+    ];
+    for ((img, tile_boxes), &(qx, qy, qw, qh)) in tiles.iter().zip(quads.iter()) {
+        let tw = ((qw * size as f32).round() as usize).max(1);
+        let th = ((qh * size as f32).round() as usize).max(1);
+        let scaled = img.resize(tw, th);
+        out.paste(&scaled, (qx * size as f32).round() as isize, (qy * size as f32).round() as isize);
+        for b in tile_boxes {
+            let moved = b.bbox.affine(qw, qh, qx, qy);
+            if let Some(clipped) = moved.clipped() {
+                if clipped.area() >= 0.25 * moved.area() && clipped.w > 0.01 && clipped.h > 0.01 {
+                    boxes.push(LabeledBox { kind: b.kind, bbox: clipped });
+                }
+            }
+        }
+    }
+    (out, boxes)
+}
+
+/// Map a box from letterboxed coordinates back to the original image frame
+/// (inference post-processing).
+pub fn unletterbox_box(b: &NormBox, lb_size: usize, scale: f32, pad_x: usize, pad_y: usize, orig_w: usize, orig_h: usize) -> NormBox {
+    let s = lb_size as f32;
+    let (x0, y0, x1, y1) = b.xyxy();
+    let map_x = |x: f32| ((x * s - pad_x as f32) / scale) / orig_w as f32;
+    let map_y = |y: f32| ((y * s - pad_y as f32) / scale) / orig_h as f32;
+    NormBox::from_xyxy(map_x(x0), map_y(y0), map_x(x1), map_y(y1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DishKind;
+    use rand::SeedableRng;
+
+    fn scene() -> (Image, Vec<LabeledBox>) {
+        let mut img = Image::new(64, 64, Rgb::new(0.2, 0.3, 0.4));
+        crate::raster::fill_circle(&mut img, 32.0, 32.0, 12.0, Rgb::new(0.9, 0.1, 0.1), 1.0);
+        let boxes = vec![LabeledBox { kind: DishKind::Biryani, bbox: NormBox::new(0.5, 0.5, 0.4, 0.4) }];
+        (img, boxes)
+    }
+
+    #[test]
+    fn augment_keeps_box_count_for_central_boxes() {
+        let (img, boxes) = scene();
+        let cfg = AugmentConfig::default();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (out, out_boxes) = augment(&img, &boxes, &cfg, &mut rng);
+            assert_eq!(out.width(), 64);
+            assert_eq!(out_boxes.len(), 1, "seed {seed}");
+            assert!(out_boxes[0].bbox.is_valid());
+        }
+    }
+
+    #[test]
+    fn flip_only_config_mirrors_boxes() {
+        let (img, _boxes) = scene();
+        let cfg = AugmentConfig {
+            hue: 1e-6,
+            saturation: 1.0,
+            value: 1.0,
+            flip_prob: 1.0,
+            scale_jitter: 1e-6,
+            translate: 1e-6,
+            min_visibility: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let shifted = LabeledBox { kind: DishKind::Chapati, bbox: NormBox::new(0.3, 0.5, 0.2, 0.2) };
+        let (_, out) = augment(&img, &[shifted], &cfg, &mut rng);
+        assert!((out[0].bbox.cx - 0.7).abs() < 0.02, "cx {}", out[0].bbox.cx);
+    }
+
+    #[test]
+    fn boxes_translated_off_canvas_are_dropped() {
+        let (img, _) = scene();
+        let corner = LabeledBox { kind: DishKind::Poha, bbox: NormBox::new(0.05, 0.05, 0.08, 0.08) };
+        let cfg = AugmentConfig { translate: 0.0, ..Default::default() };
+        // Force a transform that pushes the corner box out: use affine directly.
+        let moved = corner.bbox.affine(1.0, 1.0, -0.2, -0.2);
+        assert!(moved.clipped().is_none() || moved.clipped().unwrap().area() < 0.5 * moved.area());
+        let _ = (img, cfg);
+    }
+
+    #[test]
+    fn mosaic_combines_boxes_from_all_quadrants() {
+        let tiles: [(Image, Vec<LabeledBox>); 4] = [scene(), scene(), scene(), scene()];
+        let mut rng = StdRng::seed_from_u64(4);
+        let (img, boxes) = mosaic(&tiles, 96, &mut rng);
+        assert_eq!(img.width(), 96);
+        // Central boxes survive in all four quadrants.
+        assert_eq!(boxes.len(), 4);
+        for b in &boxes {
+            assert!(b.bbox.is_valid());
+            let (x0, y0, x1, y1) = b.bbox.xyxy();
+            assert!(x0 >= -1e-4 && y0 >= -1e-4 && x1 <= 1.0 + 1e-4 && y1 <= 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn mosaic_is_deterministic() {
+        let tiles: [(Image, Vec<LabeledBox>); 4] = [scene(), scene(), scene(), scene()];
+        let (a, ba) = mosaic(&tiles, 64, &mut StdRng::seed_from_u64(9));
+        let (b, bb) = mosaic(&tiles, 64, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn unletterbox_inverts_letterbox() {
+        let img = Image::new(40, 20, Rgb::WHITE);
+        let lb = img.letterbox(32);
+        // A box covering the whole original maps to the content region and back.
+        let full = NormBox::new(0.5, 0.5, 1.0, 1.0);
+        // Forward: original → letterboxed.
+        let fwd = NormBox::from_xyxy(
+            (0.0 * lb.scale + lb.pad_x as f32) / 32.0,
+            (0.0 * lb.scale + lb.pad_y as f32) / 32.0,
+            (40.0 * lb.scale + lb.pad_x as f32) / 32.0,
+            (20.0 * lb.scale + lb.pad_y as f32) / 32.0,
+        );
+        let back = unletterbox_box(&fwd, 32, lb.scale, lb.pad_x, lb.pad_y, 40, 20);
+        assert!((back.cx - full.cx).abs() < 1e-3);
+        assert!((back.w - full.w).abs() < 1e-3);
+        assert!((back.h - full.h).abs() < 1e-3);
+    }
+}

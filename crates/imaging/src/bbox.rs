@@ -1,0 +1,188 @@
+//! Normalised bounding boxes (YOLO's `cx cy w h` convention, all in
+//! `[0, 1]`) and the geometry shared by synthesis, augmentation, target
+//! assignment and evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// A box in normalised centre/size form.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NormBox {
+    /// Centre x in `[0, 1]`.
+    pub cx: f32,
+    /// Centre y in `[0, 1]`.
+    pub cy: f32,
+    /// Width in `[0, 1]`.
+    pub w: f32,
+    /// Height in `[0, 1]`.
+    pub h: f32,
+}
+
+impl NormBox {
+    /// Construct from centre/size.
+    pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> NormBox {
+        NormBox { cx, cy, w, h }
+    }
+
+    /// Construct from normalised corners.
+    pub fn from_xyxy(x0: f32, y0: f32, x1: f32, y1: f32) -> NormBox {
+        NormBox { cx: (x0 + x1) * 0.5, cy: (y0 + y1) * 0.5, w: x1 - x0, h: y1 - y0 }
+    }
+
+    /// Construct from pixel corners on a `(w, h)` canvas.
+    pub fn from_pixels(x0: f32, y0: f32, x1: f32, y1: f32, img_w: usize, img_h: usize) -> NormBox {
+        NormBox::from_xyxy(
+            x0 / img_w as f32,
+            y0 / img_h as f32,
+            x1 / img_w as f32,
+            y1 / img_h as f32,
+        )
+    }
+
+    /// Normalised corners `(x0, y0, x1, y1)`.
+    pub fn xyxy(&self) -> (f32, f32, f32, f32) {
+        (
+            self.cx - self.w * 0.5,
+            self.cy - self.h * 0.5,
+            self.cx + self.w * 0.5,
+            self.cy + self.h * 0.5,
+        )
+    }
+
+    /// Pixel corners on a `(w, h)` canvas.
+    pub fn pixels(&self, img_w: usize, img_h: usize) -> (f32, f32, f32, f32) {
+        let (x0, y0, x1, y1) = self.xyxy();
+        (x0 * img_w as f32, y0 * img_h as f32, x1 * img_w as f32, y1 * img_h as f32)
+    }
+
+    /// Box area (w·h), 0 for degenerate boxes.
+    pub fn area(&self) -> f32 {
+        (self.w.max(0.0)) * (self.h.max(0.0))
+    }
+
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &NormBox) -> f32 {
+        let (ax0, ay0, ax1, ay1) = self.xyxy();
+        let (bx0, by0, bx1, by1) = other.xyxy();
+        let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+        let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+        let inter = ix * iy;
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Clip to the unit square, shrinking as needed. Returns `None` when
+    /// nothing remains.
+    pub fn clipped(&self) -> Option<NormBox> {
+        let (x0, y0, x1, y1) = self.xyxy();
+        let x0 = x0.clamp(0.0, 1.0);
+        let y0 = y0.clamp(0.0, 1.0);
+        let x1 = x1.clamp(0.0, 1.0);
+        let y1 = y1.clamp(0.0, 1.0);
+        if x1 - x0 <= 1e-4 || y1 - y0 <= 1e-4 {
+            None
+        } else {
+            Some(NormBox::from_xyxy(x0, y0, x1, y1))
+        }
+    }
+
+    /// Mirror horizontally (x → 1 − x).
+    pub fn flipped_horizontal(&self) -> NormBox {
+        NormBox { cx: 1.0 - self.cx, ..*self }
+    }
+
+    /// Apply an affine map `x → x·sx + tx`, `y → y·sy + ty` in normalised
+    /// space (no clipping; combine with [`NormBox::clipped`]).
+    pub fn affine(&self, sx: f32, sy: f32, tx: f32, ty: f32) -> NormBox {
+        NormBox {
+            cx: self.cx * sx + tx,
+            cy: self.cy * sy + ty,
+            w: self.w * sx.abs(),
+            h: self.h * sy.abs(),
+        }
+    }
+
+    /// True when all coordinates are finite and the box has positive size.
+    pub fn is_valid(&self) -> bool {
+        self.cx.is_finite()
+            && self.cy.is_finite()
+            && self.w.is_finite()
+            && self.h.is_finite()
+            && self.w > 0.0
+            && self.h > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_round_trip() {
+        let b = NormBox::new(0.5, 0.4, 0.2, 0.3);
+        let (x0, y0, x1, y1) = b.xyxy();
+        let back = NormBox::from_xyxy(x0, y0, x1, y1);
+        assert!((back.cx - b.cx).abs() < 1e-6);
+        assert!((back.h - b.h).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = NormBox::new(0.3, 0.3, 0.2, 0.2);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let b = NormBox::new(0.8, 0.8, 0.1, 0.1);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_known_overlap() {
+        // Two unit-quarter boxes sharing half their area.
+        let a = NormBox::from_xyxy(0.0, 0.0, 0.4, 0.4);
+        let b = NormBox::from_xyxy(0.2, 0.0, 0.6, 0.4);
+        // inter = 0.2·0.4 = 0.08, union = 0.16+0.16−0.08 = 0.24.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = NormBox::new(0.4, 0.5, 0.3, 0.2);
+        let b = NormBox::new(0.5, 0.5, 0.25, 0.45);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn clip_drops_degenerate() {
+        let outside = NormBox::new(1.5, 0.5, 0.2, 0.2);
+        assert!(outside.clipped().is_none());
+        let partial = NormBox::new(0.0, 0.5, 0.4, 0.2);
+        let c = partial.clipped().unwrap();
+        assert!((c.w - 0.2).abs() < 1e-5, "half the width survives");
+    }
+
+    #[test]
+    fn flip_round_trip() {
+        let b = NormBox::new(0.3, 0.6, 0.2, 0.1);
+        assert_eq!(b.flipped_horizontal().flipped_horizontal(), b);
+        assert!((b.flipped_horizontal().cx - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn affine_scales_and_translates() {
+        let b = NormBox::new(0.5, 0.5, 0.2, 0.2);
+        let t = b.affine(0.5, 0.5, 0.25, 0.25);
+        assert!((t.cx - 0.5).abs() < 1e-6);
+        assert!((t.w - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pixel_conversion() {
+        let b = NormBox::new(0.5, 0.5, 0.5, 0.25);
+        let (x0, y0, x1, y1) = b.pixels(100, 200);
+        assert_eq!((x0, y0, x1, y1), (25.0, 75.0, 75.0, 125.0));
+        let back = NormBox::from_pixels(x0, y0, x1, y1, 100, 200);
+        assert!((back.cx - 0.5).abs() < 1e-6);
+    }
+}

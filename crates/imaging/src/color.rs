@@ -1,0 +1,149 @@
+//! Linear-RGB color with HSV conversion (the augmentation pipeline jitters
+//! hue/saturation/value exactly as darknet does).
+
+use serde::{Deserialize, Serialize};
+
+/// An RGB color with components in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rgb {
+    pub r: f32,
+    pub g: f32,
+    pub b: f32,
+}
+
+impl Rgb {
+    /// Construct from components (not clamped; see [`Rgb::clamped`]).
+    pub const fn new(r: f32, g: f32, b: f32) -> Rgb {
+        Rgb { r, g, b }
+    }
+
+    /// Construct from 8-bit components.
+    pub fn from_u8(r: u8, g: u8, b: u8) -> Rgb {
+        Rgb::new(r as f32 / 255.0, g as f32 / 255.0, b as f32 / 255.0)
+    }
+
+    /// Pure black.
+    pub const BLACK: Rgb = Rgb::new(0.0, 0.0, 0.0);
+    /// Pure white.
+    pub const WHITE: Rgb = Rgb::new(1.0, 1.0, 1.0);
+
+    /// Clamp all components into `[0, 1]`.
+    pub fn clamped(self) -> Rgb {
+        Rgb::new(self.r.clamp(0.0, 1.0), self.g.clamp(0.0, 1.0), self.b.clamp(0.0, 1.0))
+    }
+
+    /// Component-wise linear interpolation: `self` at `t = 0`, `other` at 1.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        Rgb::new(
+            self.r + (other.r - self.r) * t,
+            self.g + (other.g - self.g) * t,
+            self.b + (other.b - self.b) * t,
+        )
+    }
+
+    /// Scale brightness.
+    pub fn scaled(self, k: f32) -> Rgb {
+        Rgb::new(self.r * k, self.g * k, self.b * k)
+    }
+
+    /// Convert to HSV (h in degrees `[0, 360)`, s and v in `[0, 1]`).
+    pub fn to_hsv(self) -> (f32, f32, f32) {
+        let c = self.clamped();
+        let max = c.r.max(c.g).max(c.b);
+        let min = c.r.min(c.g).min(c.b);
+        let delta = max - min;
+        let h = if delta < 1e-8 {
+            0.0
+        } else if max == c.r {
+            60.0 * (((c.g - c.b) / delta).rem_euclid(6.0))
+        } else if max == c.g {
+            60.0 * ((c.b - c.r) / delta + 2.0)
+        } else {
+            60.0 * ((c.r - c.g) / delta + 4.0)
+        };
+        let s = if max < 1e-8 { 0.0 } else { delta / max };
+        (h, s, max)
+    }
+
+    /// Build from HSV (h in degrees, wrapped into `[0, 360)`).
+    pub fn from_hsv(h: f32, s: f32, v: f32) -> Rgb {
+        let h = h.rem_euclid(360.0);
+        let s = s.clamp(0.0, 1.0);
+        let v = v.clamp(0.0, 1.0);
+        let c = v * s;
+        let x = c * (1.0 - ((h / 60.0).rem_euclid(2.0) - 1.0).abs());
+        let m = v - c;
+        let (r, g, b) = match (h / 60.0) as u32 {
+            0 => (c, x, 0.0),
+            1 => (x, c, 0.0),
+            2 => (0.0, c, x),
+            3 => (0.0, x, c),
+            4 => (x, 0.0, c),
+            _ => (c, 0.0, x),
+        };
+        Rgb::new(r + m, g + m, b + m)
+    }
+
+    /// 8-bit quantisation (clamping first).
+    pub fn to_u8(self) -> (u8, u8, u8) {
+        let c = self.clamped();
+        (
+            (c.r * 255.0 + 0.5) as u8,
+            (c.g * 255.0 + 0.5) as u8,
+            (c.b * 255.0 + 0.5) as u8,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsv_round_trip() {
+        for &(r, g, b) in &[(0.8, 0.2, 0.1), (0.1, 0.9, 0.5), (0.3, 0.3, 0.3), (1.0, 1.0, 0.0)] {
+            let c = Rgb::new(r, g, b);
+            let (h, s, v) = c.to_hsv();
+            let back = Rgb::from_hsv(h, s, v);
+            assert!((back.r - r).abs() < 1e-4, "{c:?} -> {back:?}");
+            assert!((back.g - g).abs() < 1e-4);
+            assert!((back.b - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn primary_hues() {
+        assert_eq!(Rgb::new(1.0, 0.0, 0.0).to_hsv().0, 0.0);
+        assert_eq!(Rgb::new(0.0, 1.0, 0.0).to_hsv().0, 120.0);
+        assert_eq!(Rgb::new(0.0, 0.0, 1.0).to_hsv().0, 240.0);
+    }
+
+    #[test]
+    fn grey_has_zero_saturation() {
+        let (_, s, v) = Rgb::new(0.5, 0.5, 0.5).to_hsv();
+        assert_eq!(s, 0.0);
+        assert!((v - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Rgb::BLACK;
+        let b = Rgb::WHITE;
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Rgb::new(0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn u8_round_trip() {
+        let c = Rgb::from_u8(200, 100, 50);
+        let (r, g, b) = c.to_u8();
+        assert_eq!((r, g, b), (200, 100, 50));
+    }
+
+    #[test]
+    fn clamping() {
+        let c = Rgb::new(1.5, -0.5, 0.5).clamped();
+        assert_eq!(c, Rgb::new(1.0, 0.0, 0.5));
+    }
+}

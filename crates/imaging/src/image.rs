@@ -1,0 +1,325 @@
+//! The RGB image type used throughout synthesis, augmentation and training.
+//!
+//! Pixels are stored interleaved (HWC) in `[0,1]` floats — convenient for
+//! rendering; [`Image::to_chw`] produces the planar layout the tensor stack
+//! consumes.
+
+use crate::color::Rgb;
+
+/// An interleaved-RGB float image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Solid-color image.
+    pub fn new(width: usize, height: usize, fill: Rgb) -> Image {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let mut data = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            data.extend_from_slice(&[fill.r, fill.g, fill.b]);
+        }
+        Image { width, height, data }
+    }
+
+    /// Build from a raw interleaved buffer (`len == w·h·3`).
+    pub fn from_raw(width: usize, height: usize, data: Vec<f32>) -> Image {
+        assert_eq!(data.len(), width * height * 3, "raw buffer size mismatch");
+        Image { width, height, data }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw interleaved buffer.
+    pub fn raw(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Pixel accessor (debug-checked bounds).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        debug_assert!(x < self.width && y < self.height);
+        let i = (y * self.width + x) * 3;
+        Rgb::new(self.data[i], self.data[i + 1], self.data[i + 2])
+    }
+
+    /// Pixel setter (debug-checked bounds).
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: Rgb) {
+        debug_assert!(x < self.width && y < self.height);
+        let i = (y * self.width + x) * 3;
+        self.data[i] = c.r;
+        self.data[i + 1] = c.g;
+        self.data[i + 2] = c.b;
+    }
+
+    /// Alpha-blend `c` over the pixel at `(x, y)`; out-of-bounds is a no-op,
+    /// which lets shapes spill off the canvas safely.
+    #[inline]
+    pub fn blend(&mut self, x: isize, y: isize, c: Rgb, alpha: f32) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let a = alpha.clamp(0.0, 1.0);
+        if a <= 0.0 {
+            return;
+        }
+        let cur = self.get(x as usize, y as usize);
+        self.set(x as usize, y as usize, cur.lerp(c, a).clamped());
+    }
+
+    /// Bilinear sample at continuous coordinates (clamped to the border).
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> Rgb {
+        let x = x.clamp(0.0, (self.width - 1) as f32);
+        let y = y.clamp(0.0, (self.height - 1) as f32);
+        let x0 = x.floor() as usize;
+        let y0 = y.floor() as usize;
+        let x1 = (x0 + 1).min(self.width - 1);
+        let y1 = (y0 + 1).min(self.height - 1);
+        let fx = x - x0 as f32;
+        let fy = y - y0 as f32;
+        let top = self.get(x0, y0).lerp(self.get(x1, y0), fx);
+        let bottom = self.get(x0, y1).lerp(self.get(x1, y1), fx);
+        top.lerp(bottom, fy)
+    }
+
+    /// Bilinear resize to `(w, h)`.
+    pub fn resize(&self, w: usize, h: usize) -> Image {
+        assert!(w > 0 && h > 0);
+        let mut out = Image::new(w, h, Rgb::BLACK);
+        let sx = self.width as f32 / w as f32;
+        let sy = self.height as f32 / h as f32;
+        for y in 0..h {
+            for x in 0..w {
+                // Sample at the source-space centre of the target pixel.
+                let c = self.sample_bilinear((x as f32 + 0.5) * sx - 0.5, (y as f32 + 0.5) * sy - 0.5);
+                out.set(x, y, c);
+            }
+        }
+        out
+    }
+
+    /// Horizontal mirror.
+    pub fn flip_horizontal(&self) -> Image {
+        let mut out = self.clone();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.set(self.width - 1 - x, y, self.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Copy a sub-rectangle; the rectangle must lie within the image.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Image {
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let mut out = Image::new(w, h, Rgb::BLACK);
+        for y in 0..h {
+            for x in 0..w {
+                out.set(x, y, self.get(x0 + x, y0 + y));
+            }
+        }
+        out
+    }
+
+    /// Paste `src` with its top-left corner at `(x0, y0)` (clipped).
+    pub fn paste(&mut self, src: &Image, x0: isize, y0: isize) {
+        for y in 0..src.height {
+            let ty = y0 + y as isize;
+            if ty < 0 || ty as usize >= self.height {
+                continue;
+            }
+            for x in 0..src.width {
+                let tx = x0 + x as isize;
+                if tx < 0 || tx as usize >= self.width {
+                    continue;
+                }
+                self.set(tx as usize, ty as usize, src.get(x, y));
+            }
+        }
+    }
+
+    /// Apply an HSV shift to every pixel: hue offset in degrees,
+    /// multiplicative saturation and value gains.
+    pub fn hsv_shift(&self, dh: f32, s_gain: f32, v_gain: f32) -> Image {
+        let mut out = self.clone();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let (h, s, v) = out.get(x, y).to_hsv();
+                out.set(x, y, Rgb::from_hsv(h + dh, s * s_gain, v * v_gain));
+            }
+        }
+        out
+    }
+
+    /// Planar CHW copy (for `[3,h,w]` tensors).
+    pub fn to_chw(&self) -> Vec<f32> {
+        let n = self.width * self.height;
+        let mut out = vec![0.0f32; n * 3];
+        for i in 0..n {
+            out[i] = self.data[i * 3];
+            out[n + i] = self.data[i * 3 + 1];
+            out[2 * n + i] = self.data[i * 3 + 2];
+        }
+        out
+    }
+
+    /// Rebuild from a planar CHW buffer.
+    pub fn from_chw(width: usize, height: usize, chw: &[f32]) -> Image {
+        let n = width * height;
+        assert_eq!(chw.len(), n * 3, "chw buffer size mismatch");
+        let mut data = vec![0.0f32; n * 3];
+        for i in 0..n {
+            data[i * 3] = chw[i];
+            data[i * 3 + 1] = chw[n + i];
+            data[i * 3 + 2] = chw[2 * n + i];
+        }
+        Image { width, height, data }
+    }
+
+    /// Mean pixel value per channel (diagnostics / tests).
+    pub fn channel_means(&self) -> [f32; 3] {
+        let mut acc = [0.0f64; 3];
+        for px in self.data.chunks_exact(3) {
+            acc[0] += px[0] as f64;
+            acc[1] += px[1] as f64;
+            acc[2] += px[2] as f64;
+        }
+        let n = (self.width * self.height) as f64;
+        [(acc[0] / n) as f32, (acc[1] / n) as f32, (acc[2] / n) as f32]
+    }
+}
+
+/// Result of letterboxing: the resized-and-padded image plus the transform
+/// needed to map box coordinates.
+#[derive(Clone, Debug)]
+pub struct Letterbox {
+    /// The padded square image.
+    pub image: Image,
+    /// Scale applied to the source before padding.
+    pub scale: f32,
+    /// Horizontal padding (pixels) added on the left.
+    pub pad_x: usize,
+    /// Vertical padding (pixels) added on the top.
+    pub pad_y: usize,
+}
+
+impl Image {
+    /// Resize preserving aspect ratio onto a `size`×`size` canvas, padding
+    /// the borders with grey — darknet's `letterbox` input transform.
+    pub fn letterbox(&self, size: usize) -> Letterbox {
+        let scale = (size as f32 / self.width as f32).min(size as f32 / self.height as f32);
+        let nw = ((self.width as f32 * scale).round() as usize).max(1).min(size);
+        let nh = ((self.height as f32 * scale).round() as usize).max(1).min(size);
+        let resized = self.resize(nw, nh);
+        let mut canvas = Image::new(size, size, Rgb::new(0.5, 0.5, 0.5));
+        let pad_x = (size - nw) / 2;
+        let pad_y = (size - nh) / 2;
+        canvas.paste(&resized, pad_x as isize, pad_y as isize);
+        Letterbox { image: canvas, scale, pad_x, pad_y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_pixels() {
+        let mut img = Image::new(4, 3, Rgb::new(0.2, 0.4, 0.6));
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.get(3, 2), Rgb::new(0.2, 0.4, 0.6));
+        img.set(1, 1, Rgb::WHITE);
+        assert_eq!(img.get(1, 1), Rgb::WHITE);
+    }
+
+    #[test]
+    fn blend_is_clipped_and_alpha_weighted() {
+        let mut img = Image::new(2, 2, Rgb::BLACK);
+        img.blend(-1, 0, Rgb::WHITE, 1.0); // off-canvas: no panic
+        img.blend(5, 5, Rgb::WHITE, 1.0);
+        img.blend(0, 0, Rgb::WHITE, 0.5);
+        assert!((img.get(0, 0).r - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resize_preserves_constant_image() {
+        let img = Image::new(8, 8, Rgb::new(0.3, 0.6, 0.9));
+        let small = img.resize(3, 5);
+        assert_eq!(small.width(), 3);
+        assert_eq!(small.height(), 5);
+        for y in 0..5 {
+            for x in 0..3 {
+                let c = small.get(x, y);
+                assert!((c.r - 0.3).abs() < 1e-5 && (c.g - 0.6).abs() < 1e-5 && (c.b - 0.9).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_mirrors() {
+        let mut img = Image::new(3, 1, Rgb::BLACK);
+        img.set(0, 0, Rgb::WHITE);
+        let f = img.flip_horizontal();
+        assert_eq!(f.get(2, 0), Rgb::WHITE);
+        assert_eq!(f.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    fn crop_extracts_subrect() {
+        let mut img = Image::new(4, 4, Rgb::BLACK);
+        img.set(2, 1, Rgb::WHITE);
+        let c = img.crop(1, 1, 2, 2);
+        assert_eq!(c.get(1, 0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn chw_round_trip() {
+        let mut img = Image::new(3, 2, Rgb::BLACK);
+        img.set(1, 0, Rgb::new(0.1, 0.2, 0.3));
+        let chw = img.to_chw();
+        assert_eq!(chw.len(), 18);
+        // Channel plane 0 (red) holds pixel (1,0) at flat index 1.
+        assert!((chw[1] - 0.1).abs() < 1e-6);
+        assert!((chw[6 + 1] - 0.2).abs() < 1e-6);
+        let back = Image::from_chw(3, 2, &chw);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn letterbox_wide_image_pads_vertically() {
+        let img = Image::new(20, 10, Rgb::WHITE);
+        let lb = img.letterbox(16);
+        assert_eq!(lb.image.width(), 16);
+        assert_eq!(lb.image.height(), 16);
+        assert!((lb.scale - 0.8).abs() < 1e-6);
+        assert_eq!(lb.pad_x, 0);
+        assert_eq!(lb.pad_y, 4);
+        // Top band is grey padding, centre is white content.
+        assert_eq!(lb.image.get(8, 0), Rgb::new(0.5, 0.5, 0.5));
+        assert_eq!(lb.image.get(8, 8), Rgb::WHITE);
+    }
+
+    #[test]
+    fn hsv_shift_changes_value_only_when_asked() {
+        let img = Image::new(2, 2, Rgb::new(0.4, 0.2, 0.2));
+        let dark = img.hsv_shift(0.0, 1.0, 0.5);
+        let (_, _, v0) = img.get(0, 0).to_hsv();
+        let (_, _, v1) = dark.get(0, 0).to_hsv();
+        assert!((v1 - v0 * 0.5).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,223 @@
+//! Image I/O (binary PPM) and detection overlays for the qualitative
+//! figures (Figs. 1, 4, 6 of the paper).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::bbox::NormBox;
+use crate::color::Rgb;
+use crate::image::Image;
+use crate::raster::draw_rect_outline;
+
+/// Write `img` as a binary PPM (P6) file.
+pub fn write_ppm(img: &Image, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(img.width() * img.height() * 3 + 32);
+    write!(buf, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let (r, g, b) = img.get(x, y).to_u8();
+            buf.extend_from_slice(&[r, g, b]);
+        }
+    }
+    fs::write(path, buf)
+}
+
+/// Read a binary PPM (P6) file.
+pub fn read_ppm(path: impl AsRef<Path>) -> io::Result<Image> {
+    let data = fs::read(path)?;
+    parse_ppm(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn parse_ppm(data: &[u8]) -> Result<Image, String> {
+    let mut pos = 0usize;
+    let mut token = || -> Result<String, String> {
+        // Skip whitespace and comments.
+        while pos < data.len() {
+            if data[pos].is_ascii_whitespace() {
+                pos += 1;
+            } else if data[pos] == b'#' {
+                while pos < data.len() && data[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err("unexpected end of header".into());
+        }
+        String::from_utf8(data[start..pos].to_vec()).map_err(|_| "non-ascii header".into())
+    };
+    if token()? != "P6" {
+        return Err("not a P6 ppm".into());
+    }
+    let w: usize = token()?.parse().map_err(|_| "bad width")?;
+    let h: usize = token()?.parse().map_err(|_| "bad height")?;
+    let maxval: usize = token()?.parse().map_err(|_| "bad maxval")?;
+    if maxval != 255 {
+        return Err(format!("unsupported maxval {maxval}"));
+    }
+    pos += 1; // single whitespace after maxval
+    if data.len() < pos + w * h * 3 {
+        return Err("truncated pixel data".into());
+    }
+    let mut img = Image::new(w, h, Rgb::BLACK);
+    for y in 0..h {
+        for x in 0..w {
+            let i = pos + (y * w + x) * 3;
+            img.set(x, y, Rgb::from_u8(data[i], data[i + 1], data[i + 2]));
+        }
+    }
+    Ok(img)
+}
+
+/// A 3×5 bitmap font for digits (class-index tags on overlays).
+const DIGITS: [[u8; 5]; 10] = [
+    [0b111, 0b101, 0b101, 0b101, 0b111], // 0
+    [0b010, 0b110, 0b010, 0b010, 0b111], // 1
+    [0b111, 0b001, 0b111, 0b100, 0b111], // 2
+    [0b111, 0b001, 0b111, 0b001, 0b111], // 3
+    [0b101, 0b101, 0b111, 0b001, 0b001], // 4
+    [0b111, 0b100, 0b111, 0b001, 0b111], // 5
+    [0b111, 0b100, 0b111, 0b101, 0b111], // 6
+    [0b111, 0b001, 0b010, 0b010, 0b010], // 7
+    [0b111, 0b101, 0b111, 0b101, 0b111], // 8
+    [0b111, 0b101, 0b111, 0b001, 0b111], // 9
+];
+
+/// Stamp a decimal number at `(x0, y0)` with the given pixel scale.
+pub fn draw_number(img: &mut Image, mut value: usize, x0: usize, y0: usize, scale: usize, color: Rgb) {
+    let mut digits = Vec::new();
+    loop {
+        digits.push(value % 10);
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    digits.reverse();
+    for (i, &d) in digits.iter().enumerate() {
+        let glyph = &DIGITS[d];
+        let gx = x0 + i * 4 * scale;
+        for (row, bits) in glyph.iter().enumerate() {
+            for col in 0..3 {
+                if bits & (1 << (2 - col)) != 0 {
+                    for sy in 0..scale {
+                        for sx in 0..scale {
+                            let px = gx + col * scale + sx;
+                            let py = y0 + row * scale + sy;
+                            if px < img.width() && py < img.height() {
+                                img.set(px, py, color);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Distinct overlay colors per class index (cycled).
+pub fn class_color(class: usize) -> Rgb {
+    let hue = (class as f32 * 360.0 / 10.0 + 15.0) % 360.0;
+    Rgb::from_hsv(hue, 0.85, 0.95)
+}
+
+/// Draw a labelled detection box: colored outline, filled tag with the class
+/// index, and (scaled by 100) the confidence when provided.
+pub fn draw_detection(img: &mut Image, bbox: &NormBox, class: usize, confidence: Option<f32>) {
+    let (x0, y0, x1, y1) = bbox.pixels(img.width(), img.height());
+    let color = class_color(class);
+    draw_rect_outline(img, x0, y0, x1, y1, 2, color);
+    // Tag background.
+    let tag_x = x0.max(0.0) as usize;
+    let tag_y = (y0.max(0.0) as usize).saturating_sub(0);
+    for dy in 0..8usize {
+        for dx in 0..26usize {
+            let px = tag_x + dx;
+            let py = tag_y + dy;
+            if px < img.width() && py < img.height() {
+                img.set(px, py, color.scaled(0.45));
+            }
+        }
+    }
+    draw_number(img, class, tag_x + 1, tag_y + 1, 1, Rgb::WHITE);
+    if let Some(conf) = confidence {
+        let pct = (conf.clamp(0.0, 1.0) * 100.0).round() as usize;
+        draw_number(img, pct, tag_x + 10, tag_y + 1, 1, Rgb::WHITE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_round_trip() {
+        let dir = std::env::temp_dir().join("platter_imaging_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.ppm");
+        let mut img = Image::new(7, 5, Rgb::new(0.2, 0.4, 0.6));
+        img.set(3, 2, Rgb::WHITE);
+        write_ppm(&img, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!(back.width(), 7);
+        assert_eq!(back.height(), 5);
+        assert_eq!(back.get(3, 2).to_u8(), (255, 255, 255));
+        let (r, g, b) = back.get(0, 0).to_u8();
+        assert_eq!((r, g, b), (51, 102, 153));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_ppm(b"P3\n1 1\n255\n0 0 0").is_err());
+        assert!(parse_ppm(b"P6\n10 10\n255\nxx").is_err());
+    }
+
+    #[test]
+    fn parse_skips_comments() {
+        let data = b"P6\n# a comment\n1 1\n255\n\xff\x00\x00";
+        let img = parse_ppm(data).unwrap();
+        assert_eq!(img.get(0, 0).to_u8(), (255, 0, 0));
+    }
+
+    #[test]
+    fn draw_number_marks_pixels() {
+        let mut img = Image::new(32, 16, Rgb::BLACK);
+        draw_number(&mut img, 42, 2, 2, 2, Rgb::WHITE);
+        let lit = (0..16)
+            .flat_map(|y| (0..32).map(move |x| (x, y)))
+            .filter(|&(x, y)| img.get(x, y).r > 0.5)
+            .count();
+        assert!(lit > 10, "digits painted {lit} pixels");
+    }
+
+    #[test]
+    fn class_colors_are_distinct() {
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let ca = class_color(a);
+                let cb = class_color(b);
+                let d = (ca.r - cb.r).abs() + (ca.g - cb.g).abs() + (ca.b - cb.b).abs();
+                assert!(d > 0.05, "classes {a} and {b} share a color");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_overlay_draws_within_bounds() {
+        let mut img = Image::new(64, 64, Rgb::BLACK);
+        let b = NormBox::new(0.5, 0.5, 0.6, 0.6);
+        draw_detection(&mut img, &b, 3, Some(0.87));
+        // Outline corner pixel painted.
+        let (x0, y0, _, _) = b.pixels(64, 64);
+        let (px, py) = (x0.round() as usize, y0 as usize + 10);
+        assert!(img.get(px, py).r + img.get(px, py).g > 0.1);
+    }
+}

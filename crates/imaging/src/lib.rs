@@ -1,0 +1,40 @@
+//! # platter-imaging
+//!
+//! The image substrate for the IndianFood10/20 reproduction: an RGB float
+//! image type with resize/letterbox/HSV operations, an anti-aliased software
+//! rasteriser, seeded procedural textures, the **synthetic Indian-food
+//! renderer** that stands in for the paper's Instagram corpus (DESIGN.md §2),
+//! the YOLOv4 augmentation pipeline (mosaic, HSV jitter, flips, affine
+//! jitter with box-consistent transforms), and PPM I/O with detection
+//! overlays for the qualitative figures.
+//!
+//! ## Example: render a thali and save it
+//!
+//! ```no_run
+//! use platter_imaging::synth::{render_scene, DishKind, PlatterStyle, SceneSpec};
+//! use platter_imaging::io::write_ppm;
+//!
+//! let spec = SceneSpec {
+//!     size: 256,
+//!     seed: 42,
+//!     dishes: vec![DishKind::Chapati, DishKind::PalakPaneer, DishKind::PlainRice],
+//!     style: PlatterStyle::Thali,
+//! };
+//! let (image, boxes) = render_scene(&spec);
+//! assert_eq!(boxes.len(), 3);
+//! write_ppm(&image, "thali.ppm").unwrap();
+//! ```
+
+pub mod augment;
+pub mod bbox;
+pub mod color;
+pub mod image;
+pub mod io;
+pub mod raster;
+pub mod synth;
+pub mod texture;
+
+pub use bbox::NormBox;
+pub use color::Rgb;
+pub use image::{Image, Letterbox};
+pub use synth::{DishKind, LabeledBox, PlatterStyle, SceneSpec};

@@ -1,0 +1,288 @@
+//! A small software rasteriser: anti-aliased filled primitives used by the
+//! procedural food renderer and the prediction-overlay output.
+//!
+//! Shapes are drawn by evaluating a signed distance per pixel inside the
+//! shape's bounding box and feathering the boundary with a smoothstep, which
+//! keeps dish boundaries soft — one of the paper's stated challenges.
+
+use crate::color::Rgb;
+use crate::image::Image;
+
+/// Smooth 0→1 ramp over `[e0, e1]`.
+#[inline]
+pub fn smoothstep(e0: f32, e1: f32, x: f32) -> f32 {
+    let t = ((x - e0) / (e1 - e0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Edge feather width in pixels for anti-aliasing.
+const FEATHER: f32 = 1.0;
+
+/// Coverage from a signed distance (negative inside).
+#[inline]
+fn coverage(signed_dist: f32) -> f32 {
+    1.0 - smoothstep(-FEATHER * 0.5, FEATHER * 0.5, signed_dist)
+}
+
+/// An axis-aligned ellipse, optionally rotated by `rot` radians, drawn with a
+/// per-pixel color callback (receives normalised shape coordinates u,v in
+/// `[-1, 1]` measured along the rotated axes).
+pub fn fill_ellipse_with(
+    img: &mut Image,
+    cx: f32,
+    cy: f32,
+    rx: f32,
+    ry: f32,
+    rot: f32,
+    alpha: f32,
+    mut color_at: impl FnMut(f32, f32) -> Rgb,
+) {
+    let r = rx.max(ry) + 2.0;
+    let (sin, cos) = rot.sin_cos();
+    let x0 = (cx - r).floor() as isize;
+    let x1 = (cx + r).ceil() as isize;
+    let y0 = (cy - r).floor() as isize;
+    let y1 = (cy + r).ceil() as isize;
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            let dx = px as f32 + 0.5 - cx;
+            let dy = py as f32 + 0.5 - cy;
+            // Rotate into the ellipse frame.
+            let u = (dx * cos + dy * sin) / rx.max(1e-6);
+            let v = (-dx * sin + dy * cos) / ry.max(1e-6);
+            let d = (u * u + v * v).sqrt() - 1.0;
+            // Convert normalised distance to an approximate pixel distance.
+            let scale = rx.min(ry).max(1.0);
+            let cov = coverage(d * scale);
+            if cov > 0.0 {
+                img.blend(px, py, color_at(u, v), alpha * cov);
+            }
+        }
+    }
+}
+
+/// Solid-color ellipse.
+pub fn fill_ellipse(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, rot: f32, color: Rgb, alpha: f32) {
+    fill_ellipse_with(img, cx, cy, rx, ry, rot, alpha, |_, _| color);
+}
+
+/// Solid circle.
+pub fn fill_circle(img: &mut Image, cx: f32, cy: f32, r: f32, color: Rgb, alpha: f32) {
+    fill_ellipse(img, cx, cy, r, r, 0.0, color, alpha);
+}
+
+/// Annulus (ring) between radii `r_in` and `r_out`.
+pub fn fill_ring(img: &mut Image, cx: f32, cy: f32, r_in: f32, r_out: f32, color: Rgb, alpha: f32) {
+    let r = r_out + 2.0;
+    let x0 = (cx - r).floor() as isize;
+    let x1 = (cx + r).ceil() as isize;
+    let y0 = (cy - r).floor() as isize;
+    let y1 = (cy + r).ceil() as isize;
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            let dx = px as f32 + 0.5 - cx;
+            let dy = py as f32 + 0.5 - cy;
+            let dist = (dx * dx + dy * dy).sqrt();
+            let d = (dist - (r_in + r_out) * 0.5).abs() - (r_out - r_in) * 0.5;
+            let cov = coverage(d);
+            if cov > 0.0 {
+                img.blend(px, py, color, alpha * cov);
+            }
+        }
+    }
+}
+
+/// A pie slice / sector of a disc from `a0` to `a1` radians (a1 > a0), used
+/// for folded-chapati silhouettes (half / quarter folds).
+pub fn fill_sector(img: &mut Image, cx: f32, cy: f32, r: f32, a0: f32, a1: f32, color: Rgb, alpha: f32) {
+    let rr = r + 2.0;
+    let x0 = (cx - rr).floor() as isize;
+    let x1 = (cx + rr).ceil() as isize;
+    let y0 = (cy - rr).floor() as isize;
+    let y1 = (cy + rr).ceil() as isize;
+    let span = a1 - a0;
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            let dx = px as f32 + 0.5 - cx;
+            let dy = py as f32 + 0.5 - cy;
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist > rr {
+                continue;
+            }
+            let ang = dy.atan2(dx);
+            // Wrap the angle into [a0, a0 + 2π) and test the span.
+            let rel = (ang - a0).rem_euclid(std::f32::consts::TAU);
+            if rel > span {
+                continue;
+            }
+            // Feather both the arc edge and the radial cuts.
+            let edge = coverage(dist - r);
+            let cut = smoothstep(0.0, 0.06, rel.min(span - rel));
+            let cov = edge * cut.max(if span >= std::f32::consts::TAU - 1e-3 { 1.0 } else { 0.0 });
+            if cov > 0.0 {
+                img.blend(px, py, color, alpha * cov);
+            }
+        }
+    }
+}
+
+/// Rounded rectangle of half-extents `(hx, hy)` and corner radius `rad`,
+/// rotated by `rot` radians around its centre.
+pub fn fill_rounded_rect(
+    img: &mut Image,
+    cx: f32,
+    cy: f32,
+    hx: f32,
+    hy: f32,
+    rad: f32,
+    rot: f32,
+    color: Rgb,
+    alpha: f32,
+) {
+    let r = (hx * hx + hy * hy).sqrt() + 2.0;
+    let (sin, cos) = rot.sin_cos();
+    let x0 = (cx - r).floor() as isize;
+    let x1 = (cx + r).ceil() as isize;
+    let y0 = (cy - r).floor() as isize;
+    let y1 = (cy + r).ceil() as isize;
+    let rad = rad.min(hx).min(hy);
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            let dx = px as f32 + 0.5 - cx;
+            let dy = py as f32 + 0.5 - cy;
+            let u = dx * cos + dy * sin;
+            let v = -dx * sin + dy * cos;
+            // SDF of a rounded box.
+            let qx = u.abs() - (hx - rad);
+            let qy = v.abs() - (hy - rad);
+            let outside = (qx.max(0.0).powi(2) + qy.max(0.0).powi(2)).sqrt();
+            let inside = qx.max(qy).min(0.0);
+            let d = outside + inside - rad;
+            let cov = coverage(d);
+            if cov > 0.0 {
+                img.blend(px, py, color, alpha * cov);
+            }
+        }
+    }
+}
+
+/// A soft elliptical shadow (multiplicative darkening).
+pub fn drop_shadow(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, strength: f32) {
+    let r = rx.max(ry) * 1.3 + 2.0;
+    let x0 = (cx - r).floor() as isize;
+    let x1 = (cx + r).ceil() as isize;
+    let y0 = (cy - r).floor() as isize;
+    let y1 = (cy + r).ceil() as isize;
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            if px < 0 || py < 0 || px as usize >= img.width() || py as usize >= img.height() {
+                continue;
+            }
+            let dx = (px as f32 + 0.5 - cx) / (rx * 1.25);
+            let dy = (py as f32 + 0.5 - cy) / (ry * 1.25);
+            let d = (dx * dx + dy * dy).sqrt();
+            let k = (1.0 - smoothstep(0.6, 1.0, d)) * strength;
+            if k > 0.0 {
+                let c = img.get(px as usize, py as usize);
+                img.set(px as usize, py as usize, c.scaled(1.0 - k).clamped());
+            }
+        }
+    }
+}
+
+/// 1-pixel-thick line from `(x0,y0)` to `(x1,y1)`.
+pub fn draw_line(img: &mut Image, x0: f32, y0: f32, x1: f32, y1: f32, color: Rgb, alpha: f32) {
+    let steps = ((x1 - x0).abs().max((y1 - y0).abs()).ceil() as usize).max(1);
+    for i in 0..=steps {
+        let t = i as f32 / steps as f32;
+        let x = x0 + (x1 - x0) * t;
+        let y = y0 + (y1 - y0) * t;
+        img.blend(x.round() as isize, y.round() as isize, color, alpha);
+    }
+}
+
+/// Axis-aligned box outline of the given `thickness` (for prediction
+/// overlays).
+pub fn draw_rect_outline(img: &mut Image, x0: f32, y0: f32, x1: f32, y1: f32, thickness: usize, color: Rgb) {
+    for t in 0..thickness {
+        let o = t as f32;
+        draw_line(img, x0 + o, y0 + o, x1 - o, y0 + o, color, 1.0);
+        draw_line(img, x0 + o, y1 - o, x1 - o, y1 - o, color, 1.0);
+        draw_line(img, x0 + o, y0 + o, x0 + o, y1 - o, color, 1.0);
+        draw_line(img, x1 - o, y0 + o, x1 - o, y1 - o, color, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_bright(img: &Image) -> usize {
+        (0..img.height())
+            .flat_map(|y| (0..img.width()).map(move |x| (x, y)))
+            .filter(|&(x, y)| img.get(x, y).r > 0.5)
+            .count()
+    }
+
+    #[test]
+    fn circle_area_roughly_pi_r_squared() {
+        let mut img = Image::new(64, 64, Rgb::BLACK);
+        fill_circle(&mut img, 32.0, 32.0, 10.0, Rgb::WHITE, 1.0);
+        let area = count_bright(&img) as f32;
+        let expect = std::f32::consts::PI * 100.0;
+        assert!((area - expect).abs() / expect < 0.1, "area {area} vs {expect}");
+    }
+
+    #[test]
+    fn shapes_clip_safely_at_borders() {
+        let mut img = Image::new(16, 16, Rgb::BLACK);
+        fill_circle(&mut img, 0.0, 0.0, 10.0, Rgb::WHITE, 1.0);
+        fill_rounded_rect(&mut img, 15.0, 15.0, 8.0, 8.0, 2.0, 0.7, Rgb::WHITE, 1.0);
+        fill_ring(&mut img, -5.0, 8.0, 3.0, 6.0, Rgb::WHITE, 1.0);
+        // No panic and the canvas got some ink.
+        assert!(count_bright(&img) > 0);
+    }
+
+    #[test]
+    fn half_sector_covers_half_the_disc() {
+        let mut full = Image::new(64, 64, Rgb::BLACK);
+        fill_circle(&mut full, 32.0, 32.0, 14.0, Rgb::WHITE, 1.0);
+        let mut half = Image::new(64, 64, Rgb::BLACK);
+        fill_sector(&mut half, 32.0, 32.0, 14.0, 0.0, std::f32::consts::PI, Rgb::WHITE, 1.0);
+        let ratio = count_bright(&half) as f32 / count_bright(&full) as f32;
+        assert!((ratio - 0.5).abs() < 0.08, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rotated_ellipse_reaches_rotated_extremes() {
+        let mut img = Image::new(64, 64, Rgb::BLACK);
+        // A long thin ellipse rotated 90° should extend vertically.
+        fill_ellipse(&mut img, 32.0, 32.0, 20.0, 4.0, std::f32::consts::FRAC_PI_2, Rgb::WHITE, 1.0);
+        assert!(img.get(32, 14).r > 0.5, "vertical extreme painted");
+        assert!(img.get(14, 32).r < 0.5, "horizontal extreme empty");
+    }
+
+    #[test]
+    fn ring_leaves_hole() {
+        let mut img = Image::new(64, 64, Rgb::BLACK);
+        fill_ring(&mut img, 32.0, 32.0, 8.0, 14.0, Rgb::WHITE, 1.0);
+        assert!(img.get(32, 32).r < 0.1, "centre stays empty");
+        assert!(img.get(32 + 11, 32).r > 0.5, "annulus painted");
+    }
+
+    #[test]
+    fn shadow_darkens() {
+        let mut img = Image::new(32, 32, Rgb::WHITE);
+        drop_shadow(&mut img, 16.0, 16.0, 8.0, 8.0, 0.5);
+        assert!(img.get(16, 16).r < 0.8);
+        assert!((img.get(0, 0).r - 1.0).abs() < 1e-5, "far corner untouched");
+    }
+
+    #[test]
+    fn rect_outline_is_hollow() {
+        let mut img = Image::new(32, 32, Rgb::BLACK);
+        draw_rect_outline(&mut img, 4.0, 4.0, 27.0, 27.0, 2, Rgb::WHITE);
+        assert!(img.get(4, 4).r > 0.5);
+        assert!(img.get(16, 16).r < 0.1);
+    }
+}

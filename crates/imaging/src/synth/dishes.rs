@@ -1,0 +1,740 @@
+//! Per-class dish painters.
+//!
+//! Each painter draws one dish instance centred at `(cx, cy)` with
+//! characteristic radius `r` (pixels) and returns the tight pixel box of what
+//! it drew. Visual signatures are chosen so that (a) every class is
+//! learnable, and (b) the two bread classes (aloo paratha / chapati) are
+//! deliberately similar — reproducing the paper's hardest pair (their APs,
+//! 78.3% and 79.4%, are the lowest two in Table I).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::color::Rgb;
+use crate::image::Image;
+use crate::raster::{
+    drop_shadow, fill_circle, fill_ellipse_with, fill_ring, fill_rounded_rect, fill_sector,
+};
+use crate::texture::{gloss_highlight, grains_ellipse, speckle_ellipse};
+
+/// Every dish the renderer knows: the union of IndianFood10 (Table I) and
+/// IndianFood20 (Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DishKind {
+    // --- IndianFood10 (Table I order) ---
+    AlooParatha,
+    Biryani,
+    Chapati,
+    ChickenTikka,
+    Khichdi,
+    Omelette,
+    PalakPaneer,
+    PlainRice,
+    Poha,
+    Rasgulla,
+    // --- additional IndianFood20 classes (Table IV) ---
+    IndianBread,
+    Dosa,
+    Rajma,
+    Poori,
+    Uttapam,
+    Chole,
+    Paneer,
+    Dal,
+    Sambhar,
+    Papad,
+    GulabJamun,
+    Idli,
+    DalMakhni,
+    Vada,
+}
+
+impl DishKind {
+    /// All renderable kinds.
+    pub const ALL: [DishKind; 24] = [
+        DishKind::AlooParatha,
+        DishKind::Biryani,
+        DishKind::Chapati,
+        DishKind::ChickenTikka,
+        DishKind::Khichdi,
+        DishKind::Omelette,
+        DishKind::PalakPaneer,
+        DishKind::PlainRice,
+        DishKind::Poha,
+        DishKind::Rasgulla,
+        DishKind::IndianBread,
+        DishKind::Dosa,
+        DishKind::Rajma,
+        DishKind::Poori,
+        DishKind::Uttapam,
+        DishKind::Chole,
+        DishKind::Paneer,
+        DishKind::Dal,
+        DishKind::Sambhar,
+        DishKind::Papad,
+        DishKind::GulabJamun,
+        DishKind::Idli,
+        DishKind::DalMakhni,
+        DishKind::Vada,
+    ];
+
+    /// Human-readable name as the paper spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DishKind::AlooParatha => "Aloo Paratha",
+            DishKind::Biryani => "Biryani",
+            DishKind::Chapati => "Chapati",
+            DishKind::ChickenTikka => "Chicken Tikka",
+            DishKind::Khichdi => "Khichdi",
+            DishKind::Omelette => "Omelette",
+            DishKind::PalakPaneer => "Palak Paneer",
+            DishKind::PlainRice => "Plain rice",
+            DishKind::Poha => "Poha",
+            DishKind::Rasgulla => "Rasgulla",
+            DishKind::IndianBread => "Indian Bread",
+            DishKind::Dosa => "Dosa",
+            DishKind::Rajma => "Rajma",
+            DishKind::Poori => "Poori",
+            DishKind::Uttapam => "Uttapam",
+            DishKind::Chole => "Chole",
+            DishKind::Paneer => "Paneer",
+            DishKind::Dal => "Dal",
+            DishKind::Sambhar => "Sambhar",
+            DishKind::Papad => "Papad",
+            DishKind::GulabJamun => "Gulab Jamun",
+            DishKind::Idli => "Idli",
+            DishKind::DalMakhni => "Dal Makhni",
+            DishKind::Vada => "Vada",
+        }
+    }
+
+    /// Whether the dish is served in a bowl (drawn with its own vessel) as
+    /// opposed to flat on a plate.
+    pub fn is_bowl_dish(&self) -> bool {
+        matches!(
+            self,
+            DishKind::PalakPaneer
+                | DishKind::Khichdi
+                | DishKind::Rasgulla
+                | DishKind::Rajma
+                | DishKind::Chole
+                | DishKind::Paneer
+                | DishKind::Dal
+                | DishKind::Sambhar
+                | DishKind::GulabJamun
+                | DishKind::DalMakhni
+        )
+    }
+}
+
+/// Tight pixel-space box accumulated while painting.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PixBox {
+    pub x0: f32,
+    pub y0: f32,
+    pub x1: f32,
+    pub y1: f32,
+}
+
+impl PixBox {
+    pub fn around(cx: f32, cy: f32, rx: f32, ry: f32) -> PixBox {
+        PixBox { x0: cx - rx, y0: cy - ry, x1: cx + rx, y1: cy + ry }
+    }
+
+    pub fn union(self, other: PixBox) -> PixBox {
+        PixBox {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+}
+
+fn jitter(rng: &mut StdRng, c: Rgb, amount: f32) -> Rgb {
+    Rgb::new(
+        c.r + rng.random_range(-amount..amount),
+        c.g + rng.random_range(-amount..amount),
+        c.b + rng.random_range(-amount..amount),
+    )
+    .clamped()
+}
+
+// --- shared dish idioms ----------------------------------------------------
+
+/// Flat bread disc with char spots; `fold` ∈ {1.0 full, 0.5 half, 0.25
+/// quarter} controls the sector drawn (the chapati orientations of Fig. 4).
+#[allow(clippy::too_many_arguments)]
+fn bread(
+    img: &mut Image,
+    rng: &mut StdRng,
+    cx: f32,
+    cy: f32,
+    r: f32,
+    base: Rgb,
+    char_color: Rgb,
+    char_count: usize,
+    gloss: f32,
+    stuffing: bool,
+    fold: f32,
+) -> PixBox {
+    drop_shadow(img, cx + r * 0.06, cy + r * 0.08, r, r, 0.25);
+    let base = jitter(rng, base, 0.04);
+    let rot = rng.random_range(0.0..std::f32::consts::TAU);
+    let bbox;
+    if fold >= 0.99 {
+        // Slightly elliptical, hand-rolled look.
+        let squash = rng.random_range(0.88..1.0);
+        fill_ellipse_with(img, cx, cy, r, r * squash, rot, 1.0, |u, v| {
+            let d = (u * u + v * v).sqrt();
+            base.scaled(1.0 - 0.12 * d)
+        });
+        bbox = PixBox::around(cx, cy, r, r.max(r * squash));
+    } else {
+        let span = std::f32::consts::TAU * fold;
+        fill_sector(img, cx, cy, r, rot, rot + span, base, 1.0);
+        // Folded layers: a second, smaller arc slightly offset reads as the
+        // top fold.
+        fill_sector(img, cx, cy, r * 0.96, rot + span * 0.1, rot + span * 0.9, base.scaled(1.05).clamped(), 0.8);
+        // Conservative box: the sector fits in the disc; tighten by sampling
+        // the sector extremes.
+        let mut px = PixBox::around(cx, cy, r * 0.2, r * 0.2);
+        let steps = 16;
+        for i in 0..=steps {
+            let a = rot + span * i as f32 / steps as f32;
+            px = px.union(PixBox::around(cx + a.cos() * r, cy + a.sin() * r, 1.0, 1.0));
+        }
+        bbox = px;
+    }
+    // Char spots concentrated mid-radius.
+    let region = if fold >= 0.99 { 1.0 } else { fold.max(0.4) };
+    speckle_ellipse(
+        img,
+        rng,
+        cx,
+        cy,
+        r * 0.8 * region.max(0.5),
+        r * 0.8 * region.max(0.5),
+        char_count,
+        r * 0.07,
+        char_color,
+        char_color.scaled(1.4).clamped(),
+    );
+    if stuffing {
+        // Aloo paratha: visible stuffing bumps and a flakier, more golden
+        // surface.
+        speckle_ellipse(img, rng, cx, cy, r * 0.55, r * 0.55, 10, r * 0.10, base.scaled(0.85), base.scaled(0.95));
+    }
+    if gloss > 0.0 {
+        gloss_highlight(img, cx - r * 0.25, cy - r * 0.3, r * 0.6, gloss);
+    }
+    bbox
+}
+
+/// Mounded granular dish (rice family) with optional extra speckles.
+#[allow(clippy::too_many_arguments)]
+fn grain_mound(
+    img: &mut Image,
+    rng: &mut StdRng,
+    cx: f32,
+    cy: f32,
+    r: f32,
+    base: Rgb,
+    grain0: Rgb,
+    grain1: Rgb,
+    grain_density: f32,
+    extras: &[(Rgb, usize, f32)],
+) -> PixBox {
+    drop_shadow(img, cx, cy + r * 0.15, r * 1.05, r * 0.8, 0.3);
+    let ry = r * rng.random_range(0.72..0.88);
+    fill_ellipse_with(img, cx, cy, r, ry, 0.0, 1.0, |u, v| {
+        let d = (u * u + v * v).sqrt();
+        base.scaled(1.05 - 0.25 * d)
+    });
+    let count = (r * r * grain_density) as usize;
+    grains_ellipse(img, rng, cx, cy, r * 0.92, ry * 0.92, count, (r * 0.08).max(1.2), grain0, grain1);
+    for &(color, n, size) in extras {
+        speckle_ellipse(img, rng, cx, cy, r * 0.8, ry * 0.8, n, (r * size).max(1.0), color, color.scaled(1.2).clamped());
+    }
+    PixBox::around(cx, cy, r, ry)
+}
+
+/// A bowl with a liquid/curry surface and optional solids.
+#[allow(clippy::too_many_arguments)]
+fn bowl_curry(
+    img: &mut Image,
+    rng: &mut StdRng,
+    cx: f32,
+    cy: f32,
+    r: f32,
+    curry0: Rgb,
+    curry1: Rgb,
+    cubes: Option<(Rgb, usize)>,
+    beans: Option<(Rgb, usize)>,
+    swirl: Option<Rgb>,
+    gloss: f32,
+) -> PixBox {
+    drop_shadow(img, cx, cy + r * 0.1, r * 1.15, r * 1.0, 0.35);
+    // Vessel: ceramic or steel.
+    let steel = rng.random_bool(0.5);
+    let rim = if steel { Rgb::new(0.62, 0.64, 0.67) } else { jitter(rng, Rgb::new(0.85, 0.82, 0.78), 0.08) };
+    fill_circle(img, cx, cy, r, rim, 1.0);
+    fill_ring(img, cx, cy, r * 0.88, r, rim.scaled(1.15).clamped(), 1.0);
+    // Curry surface with radial tone variation.
+    let inner = r * 0.86;
+    let c0 = jitter(rng, curry0, 0.03);
+    fill_ellipse_with(img, cx, cy, inner, inner, 0.0, 1.0, |u, v| {
+        let d = (u * u + v * v).sqrt();
+        c0.lerp(curry1, d * 0.6)
+    });
+    if let Some((color, n)) = cubes {
+        for _ in 0..n {
+            let a = rng.random_range(0.0..std::f32::consts::TAU);
+            let rad = rng.random_range(0.0f32..0.7).sqrt() * inner * 0.8;
+            let s = r * rng.random_range(0.14..0.2);
+            fill_rounded_rect(
+                img,
+                cx + a.cos() * rad,
+                cy + a.sin() * rad,
+                s,
+                s * rng.random_range(0.8..1.0),
+                s * 0.3,
+                rng.random_range(0.0..std::f32::consts::PI),
+                jitter(rng, color, 0.05),
+                1.0,
+            );
+        }
+    }
+    if let Some((color, n)) = beans {
+        speckle_ellipse(img, rng, cx, cy, inner * 0.8, inner * 0.8, n, r * 0.07, color, color.scaled(1.3).clamped());
+    }
+    if let Some(color) = swirl {
+        // Cream swirl (dal makhni): a few concentric arcs.
+        for k in 0..3 {
+            let rr = inner * (0.25 + 0.18 * k as f32);
+            let a0 = rng.random_range(0.0..std::f32::consts::TAU);
+            for i in 0..24 {
+                let a = a0 + i as f32 * 0.18;
+                fill_circle(img, cx + a.cos() * rr, cy + a.sin() * rr, r * 0.035, color, 0.8);
+            }
+        }
+    }
+    if gloss > 0.0 {
+        gloss_highlight(img, cx - inner * 0.3, cy - inner * 0.35, inner * 0.5, gloss);
+    }
+    PixBox::around(cx, cy, r, r)
+}
+
+/// Spheres floating in a syrup bowl (rasgulla / gulab jamun).
+fn syrup_spheres(img: &mut Image, rng: &mut StdRng, cx: f32, cy: f32, r: f32, sphere: Rgb, syrup: Rgb) -> PixBox {
+    let bbox = bowl_curry(img, rng, cx, cy, r, syrup, syrup.scaled(0.8), None, None, None, 0.25);
+    let n = rng.random_range(2..=4);
+    for i in 0..n {
+        let a = i as f32 / n as f32 * std::f32::consts::TAU + rng.random_range(-0.4..0.4);
+        let rad = r * rng.random_range(0.15..0.42);
+        let sr = r * rng.random_range(0.24..0.32);
+        let (sx, sy) = (cx + a.cos() * rad, cy + a.sin() * rad);
+        fill_ellipse_with(img, sx, sy, sr, sr, 0.0, 1.0, |u, v| {
+            let d = (u * u + v * v).sqrt();
+            sphere.scaled(1.0 - 0.25 * d)
+        });
+        gloss_highlight(img, sx - sr * 0.3, sy - sr * 0.35, sr * 0.45, 0.5);
+    }
+    bbox
+}
+
+// --- the public painter ------------------------------------------------------
+
+/// Paint one `kind` dish instance and return its tight pixel box.
+pub(crate) fn paint_dish(img: &mut Image, rng: &mut StdRng, kind: DishKind, cx: f32, cy: f32, r: f32) -> PixBox {
+    match kind {
+        DishKind::Chapati => {
+            // Full / half / quarter folds — the orientation variance the
+            // paper highlights in Fig. 4.
+            let fold = *[1.0f32, 1.0, 0.5, 0.25].get(rng.random_range(0..4usize)).unwrap();
+            bread(
+                img,
+                rng,
+                cx,
+                cy,
+                r,
+                Rgb::new(0.82, 0.70, 0.52),
+                Rgb::new(0.45, 0.32, 0.20),
+                14,
+                0.0,
+                false,
+                fold,
+            )
+        }
+        DishKind::AlooParatha => bread(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.80, 0.64, 0.42),
+            Rgb::new(0.42, 0.28, 0.15),
+            18,
+            0.25,
+            true,
+            1.0,
+        ),
+        DishKind::IndianBread => {
+            // The IndianFood20 umbrella class: renders as any bread.
+            let pick = rng.random_range(0..3usize);
+            match pick {
+                0 => paint_dish(img, rng, DishKind::Chapati, cx, cy, r),
+                1 => paint_dish(img, rng, DishKind::AlooParatha, cx, cy, r),
+                _ => paint_dish(img, rng, DishKind::Poori, cx, cy, r),
+            }
+        }
+        DishKind::Poori => bread(
+            img,
+            rng,
+            cx,
+            cy,
+            r * 0.85,
+            Rgb::new(0.85, 0.62, 0.30),
+            Rgb::new(0.55, 0.35, 0.15),
+            8,
+            0.5,
+            false,
+            1.0,
+        ),
+        DishKind::Papad => {
+            let fold = if rng.random_bool(0.3) { 0.5 } else { 1.0 };
+            bread(
+                img,
+                rng,
+                cx,
+                cy,
+                r,
+                Rgb::new(0.93, 0.87, 0.72),
+                Rgb::new(0.70, 0.58, 0.40),
+                30,
+                0.0,
+                false,
+                fold,
+            )
+        }
+        DishKind::PlainRice => grain_mound(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.92, 0.91, 0.88),
+            Rgb::new(0.98, 0.98, 0.96),
+            Rgb::new(0.82, 0.80, 0.76),
+            0.55,
+            &[],
+        ),
+        DishKind::Biryani => grain_mound(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.85, 0.58, 0.22),
+            Rgb::new(0.95, 0.80, 0.45),
+            Rgb::new(0.75, 0.45, 0.15),
+            0.55,
+            &[(Rgb::new(0.45, 0.28, 0.15), 8, 0.12), (Rgb::new(0.25, 0.40, 0.15), 4, 0.07)],
+        ),
+        DishKind::Poha => grain_mound(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.93, 0.82, 0.45),
+            Rgb::new(0.97, 0.90, 0.60),
+            Rgb::new(0.85, 0.72, 0.35),
+            0.4,
+            &[(Rgb::new(0.30, 0.55, 0.20), 7, 0.06), (Rgb::new(0.30, 0.18, 0.10), 10, 0.03)],
+        ),
+        DishKind::Khichdi => {
+            if kind.is_bowl_dish() && rng.random_bool(0.5) {
+                bowl_curry(
+                    img,
+                    rng,
+                    cx,
+                    cy,
+                    r,
+                    Rgb::new(0.82, 0.68, 0.32),
+                    Rgb::new(0.70, 0.55, 0.25),
+                    None,
+                    Some((Rgb::new(0.60, 0.48, 0.22), 40)),
+                    None,
+                    0.15,
+                )
+            } else {
+                grain_mound(
+                    img,
+                    rng,
+                    cx,
+                    cy,
+                    r,
+                    Rgb::new(0.80, 0.66, 0.32),
+                    Rgb::new(0.88, 0.76, 0.42),
+                    Rgb::new(0.66, 0.52, 0.24),
+                    0.25,
+                    &[(Rgb::new(0.55, 0.42, 0.18), 14, 0.05)],
+                )
+            }
+        }
+        DishKind::Omelette => {
+            drop_shadow(img, cx, cy + r * 0.1, r * 1.1, r * 0.75, 0.25);
+            let rot = rng.random_range(0.0..std::f32::consts::TAU);
+            let base = jitter(rng, Rgb::new(0.93, 0.78, 0.30), 0.04);
+            // Folded half-moon.
+            fill_sector(img, cx, cy, r, rot, rot + std::f32::consts::PI, base, 1.0);
+            fill_sector(
+                img,
+                cx,
+                cy - 1.0,
+                r * 0.94,
+                rot + 0.15,
+                rot + std::f32::consts::PI - 0.15,
+                base.scaled(1.07).clamped(),
+                0.9,
+            );
+            speckle_ellipse(&mut *img, rng, cx, cy, r * 0.6, r * 0.5, 10, r * 0.06, Rgb::new(0.70, 0.45, 0.15), Rgb::new(0.80, 0.55, 0.20));
+            PixBox::around(cx, cy, r, r)
+        }
+        DishKind::ChickenTikka => {
+            drop_shadow(img, cx, cy + r * 0.1, r * 1.1, r * 0.7, 0.3);
+            let n = rng.random_range(3..=5);
+            let rot = rng.random_range(-0.5..0.5f32);
+            let mut bbox: Option<PixBox> = None;
+            for i in 0..n {
+                let t = (i as f32 / (n - 1).max(1) as f32 - 0.5) * 2.0;
+                let (px, py) = (cx + t * r * 0.8 * rot.cos(), cy + t * r * 0.8 * rot.sin());
+                let s = r * rng.random_range(0.22..0.3);
+                let chunk = jitter(rng, Rgb::new(0.65, 0.22, 0.12), 0.05);
+                fill_rounded_rect(img, px, py, s, s * 0.85, s * 0.4, rng.random_range(0.0..std::f32::consts::PI), chunk, 1.0);
+                fill_rounded_rect(img, px - s * 0.2, py - s * 0.2, s * 0.5, s * 0.4, s * 0.2, 0.3, chunk.scaled(1.3).clamped(), 0.7);
+                let b = PixBox::around(px, py, s * 1.1, s * 1.1);
+                bbox = Some(bbox.map_or(b, |acc| acc.union(b)));
+            }
+            // Charred edges + coriander garnish.
+            speckle_ellipse(&mut *img, rng, cx, cy, r * 0.8, r * 0.35, 12, r * 0.035, Rgb::new(0.15, 0.08, 0.05), Rgb::new(0.3, 0.12, 0.08));
+            speckle_ellipse(&mut *img, rng, cx, cy, r * 0.85, r * 0.4, 6, r * 0.03, Rgb::new(0.25, 0.5, 0.2), Rgb::new(0.3, 0.6, 0.25));
+            bbox.unwrap_or_else(|| PixBox::around(cx, cy, r, r * 0.5))
+        }
+        DishKind::PalakPaneer => bowl_curry(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.18, 0.35, 0.12),
+            Rgb::new(0.12, 0.26, 0.08),
+            Some((Rgb::new(0.95, 0.93, 0.85), 5)),
+            None,
+            None,
+            0.3,
+        ),
+        DishKind::Paneer => bowl_curry(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.80, 0.38, 0.12),
+            Rgb::new(0.65, 0.25, 0.08),
+            Some((Rgb::new(0.96, 0.94, 0.88), 5)),
+            None,
+            None,
+            0.35,
+        ),
+        DishKind::Dal => bowl_curry(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.90, 0.72, 0.25),
+            Rgb::new(0.78, 0.58, 0.18),
+            None,
+            None,
+            None,
+            0.4,
+        ),
+        DishKind::DalMakhni => bowl_curry(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.35, 0.20, 0.12),
+            Rgb::new(0.25, 0.14, 0.08),
+            None,
+            Some((Rgb::new(0.30, 0.16, 0.10), 25)),
+            Some(Rgb::new(0.95, 0.92, 0.85)),
+            0.3,
+        ),
+        DishKind::Rajma => bowl_curry(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.55, 0.22, 0.12),
+            Rgb::new(0.42, 0.16, 0.08),
+            None,
+            Some((Rgb::new(0.48, 0.15, 0.10), 35)),
+            None,
+            0.25,
+        ),
+        DishKind::Chole => bowl_curry(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.60, 0.40, 0.18),
+            Rgb::new(0.48, 0.30, 0.12),
+            None,
+            Some((Rgb::new(0.78, 0.62, 0.35), 30)),
+            None,
+            0.2,
+        ),
+        DishKind::Sambhar => bowl_curry(
+            img,
+            rng,
+            cx,
+            cy,
+            r,
+            Rgb::new(0.78, 0.42, 0.15),
+            Rgb::new(0.62, 0.30, 0.10),
+            Some((Rgb::new(0.85, 0.70, 0.30), 3)),
+            Some((Rgb::new(0.55, 0.25, 0.10), 12)),
+            None,
+            0.35,
+        ),
+        DishKind::Rasgulla => syrup_spheres(img, rng, cx, cy, r, Rgb::new(0.97, 0.96, 0.92), Rgb::new(0.85, 0.80, 0.65)),
+        DishKind::GulabJamun => syrup_spheres(img, rng, cx, cy, r, Rgb::new(0.40, 0.20, 0.10), Rgb::new(0.60, 0.42, 0.22)),
+        DishKind::Dosa => {
+            drop_shadow(img, cx, cy + r * 0.15, r * 1.3, r * 0.6, 0.25);
+            let rot = rng.random_range(-0.4..0.4f32);
+            let base = jitter(rng, Rgb::new(0.85, 0.60, 0.28), 0.04);
+            // Rolled cylinder: long thin rounded rect with longitudinal shading.
+            let hx = r * 1.25;
+            let hy = r * rng.random_range(0.3..0.42);
+            fill_rounded_rect(img, cx, cy, hx, hy, hy * 0.8, rot, base, 1.0);
+            fill_rounded_rect(img, cx, cy - hy * 0.3, hx * 0.96, hy * 0.4, hy * 0.3, rot, base.scaled(1.12).clamped(), 0.8);
+            speckle_ellipse(&mut *img, rng, cx, cy, hx * 0.9, hy * 0.9, 20, r * 0.04, base.scaled(0.75), base.scaled(0.9));
+            let ext = hx * rot.cos().abs() + hy * rot.sin().abs();
+            let exty = hx * rot.sin().abs() + hy * rot.cos().abs();
+            PixBox::around(cx, cy, ext, exty)
+        }
+        DishKind::Uttapam => {
+            drop_shadow(img, cx, cy + r * 0.1, r, r * 0.9, 0.25);
+            let base = jitter(rng, Rgb::new(0.90, 0.78, 0.52), 0.04);
+            fill_ellipse_with(img, cx, cy, r, r * 0.95, 0.0, 1.0, |u, v| {
+                let d = (u * u + v * v).sqrt();
+                base.scaled(1.0 - 0.15 * d)
+            });
+            // Onion/tomato/chilli toppings.
+            speckle_ellipse(&mut *img, rng, cx, cy, r * 0.75, r * 0.7, 12, r * 0.08, Rgb::new(0.80, 0.25, 0.15), Rgb::new(0.9, 0.4, 0.2));
+            speckle_ellipse(&mut *img, rng, cx, cy, r * 0.75, r * 0.7, 8, r * 0.06, Rgb::new(0.85, 0.80, 0.75), Rgb::new(0.95, 0.9, 0.85));
+            speckle_ellipse(&mut *img, rng, cx, cy, r * 0.7, r * 0.65, 6, r * 0.05, Rgb::new(0.25, 0.45, 0.15), Rgb::new(0.35, 0.55, 0.2));
+            PixBox::around(cx, cy, r, r * 0.95)
+        }
+        DishKind::Idli => {
+            drop_shadow(img, cx, cy + r * 0.15, r * 1.1, r * 0.8, 0.25);
+            let n = rng.random_range(2..=3);
+            let mut bbox: Option<PixBox> = None;
+            for i in 0..n {
+                let a = i as f32 / n as f32 * std::f32::consts::TAU + 0.7;
+                let (px, py) = (cx + a.cos() * r * 0.38, cy + a.sin() * r * 0.3);
+                let ir = r * rng.random_range(0.4..0.5);
+                let white = jitter(rng, Rgb::new(0.96, 0.95, 0.90), 0.02);
+                fill_ellipse_with(img, px, py, ir, ir * 0.8, 0.0, 1.0, |u, v| {
+                    let d = (u * u + v * v).sqrt();
+                    white.scaled(1.0 - 0.12 * d)
+                });
+                let b = PixBox::around(px, py, ir, ir * 0.8);
+                bbox = Some(bbox.map_or(b, |acc| acc.union(b)));
+            }
+            bbox.unwrap_or_else(|| PixBox::around(cx, cy, r, r))
+        }
+        DishKind::Vada => {
+            drop_shadow(img, cx, cy + r * 0.1, r, r * 0.9, 0.25);
+            let base = jitter(rng, Rgb::new(0.62, 0.40, 0.18), 0.04);
+            let n = rng.random_range(1..=2);
+            let mut bbox: Option<PixBox> = None;
+            for i in 0..n {
+                let off = if n == 1 { 0.0 } else { (i as f32 - 0.5) * r * 0.9 };
+                let vr = r * if n == 1 { 0.85 } else { 0.55 };
+                fill_ring(img, cx + off, cy, vr * 0.35, vr, base, 1.0);
+                speckle_ellipse(&mut *img, rng, cx + off, cy, vr, vr, 15, vr * 0.08, base.scaled(0.8), base.scaled(1.2).clamped());
+                let b = PixBox::around(cx + off, cy, vr, vr);
+                bbox = Some(bbox.map_or(b, |acc| acc.union(b)));
+            }
+            bbox.unwrap_or_else(|| PixBox::around(cx, cy, r, r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_list_is_exhaustive_and_unique() {
+        let mut names: Vec<&str> = DishKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn painters_return_boxes_containing_ink() {
+        for kind in DishKind::ALL {
+            let mut img = Image::new(96, 96, Rgb::new(0.1, 0.1, 0.1));
+            let mut rng = StdRng::seed_from_u64(kind as u64 * 31 + 1);
+            let b = paint_dish(&mut img, &mut rng, kind, 48.0, 48.0, 22.0);
+            assert!(b.x1 > b.x0 && b.y1 > b.y0, "{kind:?}");
+            // The painted region must differ from the background inside the box.
+            let mut changed = 0;
+            for y in (b.y0.max(0.0) as usize)..(b.y1.min(95.0) as usize) {
+                for x in (b.x0.max(0.0) as usize)..(b.x1.min(95.0) as usize) {
+                    let c = img.get(x, y);
+                    if (c.r - 0.1).abs() + (c.g - 0.1).abs() + (c.b - 0.1).abs() > 0.05 {
+                        changed += 1;
+                    }
+                }
+            }
+            let area = ((b.x1 - b.x0) * (b.y1 - b.y0)) as usize;
+            assert!(changed * 3 > area, "{kind:?}: only {changed} of {area} pixels painted");
+        }
+    }
+
+    #[test]
+    fn bread_pair_is_similar_but_not_identical() {
+        let stats = |kind: DishKind| {
+            let mut img = Image::new(96, 96, Rgb::new(0.1, 0.1, 0.1));
+            let mut rng = StdRng::seed_from_u64(77);
+            paint_dish(&mut img, &mut rng, kind, 48.0, 48.0, 24.0);
+            img.channel_means()
+        };
+        let chapati = stats(DishKind::Chapati);
+        let paratha = stats(DishKind::AlooParatha);
+        let palak = stats(DishKind::PalakPaneer);
+        let d_bread: f32 = chapati.iter().zip(&paratha).map(|(a, b)| (a - b).abs()).sum();
+        let d_cross: f32 = chapati.iter().zip(&palak).map(|(a, b)| (a - b).abs()).sum();
+        assert!(d_bread < d_cross, "breads ({d_bread}) should be closer than chapati/palak ({d_cross})");
+        assert!(d_bread > 1e-4, "breads must still differ");
+    }
+
+    #[test]
+    fn bowl_dishes_flagged_consistently() {
+        assert!(DishKind::PalakPaneer.is_bowl_dish());
+        assert!(DishKind::Dal.is_bowl_dish());
+        assert!(!DishKind::Chapati.is_bowl_dish());
+        assert!(!DishKind::Dosa.is_bowl_dish());
+    }
+}

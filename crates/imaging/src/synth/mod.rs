@@ -1,0 +1,140 @@
+//! Procedural synthesis of Indian-food photographs.
+//!
+//! This module replaces the paper's Instagram-scraped corpus (see DESIGN.md
+//! §2): every dish class gets a deterministic painter with a distinct visual
+//! signature, and scenes compose dishes on plates, shared plates and *thali*
+//! platters — reproducing the paper's three challenges (non-distinct
+//! boundaries, high intra-class variation, multi-dish platters). Ground
+//! truth falls out of the renderer.
+
+mod dishes;
+mod scene;
+
+pub use dishes::DishKind;
+pub use scene::{render_scene, PlatterStyle, SceneSpec};
+
+use crate::bbox::NormBox;
+
+/// A ground-truth annotation: a dish kind plus its normalised box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LabeledBox {
+    /// What the box contains.
+    pub kind: DishKind,
+    /// Where it is.
+    pub bbox: NormBox,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_kind_renders_with_valid_box() {
+        for kind in DishKind::ALL {
+            let spec = SceneSpec {
+                size: 96,
+                seed: 7 + kind as u64,
+                dishes: vec![kind],
+                style: PlatterStyle::SingleDish,
+            };
+            let (img, boxes) = render_scene(&spec);
+            assert_eq!(img.width(), 96);
+            assert_eq!(boxes.len(), 1, "{kind:?}");
+            let b = boxes[0].bbox;
+            assert!(b.is_valid(), "{kind:?} box {b:?}");
+            assert!(b.w > 0.1 && b.h > 0.1, "{kind:?} box too small: {b:?}");
+            let (x0, y0, x1, y1) = b.xyxy();
+            assert!(x0 >= -0.01 && y0 >= -0.01 && x1 <= 1.01 && y1 <= 1.01, "{kind:?} box {b:?}");
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_in_seed() {
+        let spec = SceneSpec {
+            size: 64,
+            seed: 1234,
+            dishes: vec![DishKind::Biryani, DishKind::Chapati],
+            style: PlatterStyle::Thali,
+        };
+        let (a, ba) = render_scene(&spec);
+        let (b, bb) = render_scene(&spec);
+        assert_eq!(a, b);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn different_seeds_give_different_images() {
+        let mut spec = SceneSpec {
+            size: 64,
+            seed: 1,
+            dishes: vec![DishKind::PlainRice],
+            style: PlatterStyle::SingleDish,
+        };
+        let (a, _) = render_scene(&spec);
+        spec.seed = 2;
+        let (b, _) = render_scene(&spec);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn platter_produces_one_box_per_dish() {
+        let spec = SceneSpec {
+            size: 128,
+            seed: 5,
+            dishes: vec![DishKind::Chapati, DishKind::PalakPaneer, DishKind::PlainRice],
+            style: PlatterStyle::Thali,
+        };
+        let (_, boxes) = render_scene(&spec);
+        assert_eq!(boxes.len(), 3);
+        let kinds: Vec<DishKind> = boxes.iter().map(|b| b.kind).collect();
+        assert!(kinds.contains(&DishKind::Chapati));
+        assert!(kinds.contains(&DishKind::PalakPaneer));
+        assert!(kinds.contains(&DishKind::PlainRice));
+    }
+
+    #[test]
+    fn chapati_folds_vary_aspect() {
+        // Across seeds, chapati renders full/half/quarter folds — box aspect
+        // ratios must not all be identical (the paper's Fig. 4 variance).
+        let mut aspects = Vec::new();
+        for seed in 0..12 {
+            let spec = SceneSpec {
+                size: 96,
+                seed,
+                dishes: vec![DishKind::Chapati],
+                style: PlatterStyle::SingleDish,
+            };
+            let (_, boxes) = render_scene(&spec);
+            aspects.push(boxes[0].bbox.w / boxes[0].bbox.h);
+        }
+        let min = aspects.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = aspects.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max / min > 1.15, "aspect spread {min}..{max}");
+    }
+
+    #[test]
+    fn classes_are_chromatically_distinct() {
+        // Palak paneer (green curry) and rasgulla (white spheres) must have
+        // clearly different channel statistics.
+        let render = |kind| {
+            let spec = SceneSpec { size: 64, seed: 33, dishes: vec![kind], style: PlatterStyle::SingleDish };
+            render_scene(&spec).0.channel_means()
+        };
+        let palak = render(DishKind::PalakPaneer);
+        let rasgulla = render(DishKind::Rasgulla);
+        let d: f32 = palak.iter().zip(&rasgulla).map(|(a, b)| (a - b).abs()).sum();
+        assert!(d > 0.05, "palak {palak:?} vs rasgulla {rasgulla:?}");
+    }
+
+    #[test]
+    fn rng_rebuild_is_stable() {
+        // StdRng from the same seed must be identical across calls (sanity
+        // anchor for dataset determinism).
+        use rand::RngExt;
+        let a: u32 = StdRng::seed_from_u64(9).random_range(0..1000);
+        let b: u32 = StdRng::seed_from_u64(9).random_range(0..1000);
+        assert_eq!(a, b);
+    }
+}

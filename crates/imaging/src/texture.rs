@@ -1,0 +1,232 @@
+//! Procedural textures: seeded value noise, speckle fields and grain
+//! strokes. These give each synthetic food class its surface statistics
+//! (rice grains, curry gloss, char spots, flaky poha).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::color::Rgb;
+use crate::image::Image;
+use crate::raster::{fill_ellipse, smoothstep};
+
+/// Deterministic 2-D lattice hash → `[0, 1)`.
+#[inline]
+fn hash2(seed: u64, x: i64, y: i64) -> f32 {
+    // SplitMix64-style scramble of the lattice coordinates.
+    let mut z = seed
+        ^ (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Smooth value noise at `(x, y)` with unit lattice spacing.
+pub fn value_noise(seed: u64, x: f32, y: f32) -> f32 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = x - x0;
+    let fy = y - y0;
+    let (xi, yi) = (x0 as i64, y0 as i64);
+    let sx = smoothstep(0.0, 1.0, fx);
+    let sy = smoothstep(0.0, 1.0, fy);
+    let n00 = hash2(seed, xi, yi);
+    let n10 = hash2(seed, xi + 1, yi);
+    let n01 = hash2(seed, xi, yi + 1);
+    let n11 = hash2(seed, xi + 1, yi + 1);
+    let top = n00 + (n10 - n00) * sx;
+    let bottom = n01 + (n11 - n01) * sx;
+    top + (bottom - top) * sy
+}
+
+/// Fractal (multi-octave) value noise in `[0, 1]`.
+pub fn fbm_noise(seed: u64, x: f32, y: f32, octaves: u32) -> f32 {
+    let mut amp = 0.5;
+    let mut freq = 1.0;
+    let mut acc = 0.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        acc += amp * value_noise(seed.wrapping_add(o as u64 * 7919), x * freq, y * freq);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    acc / norm.max(1e-6)
+}
+
+/// Overlay fbm noise onto a whole image, modulating pixel value.
+pub fn apply_noise_overlay(img: &mut Image, seed: u64, cell: f32, strength: f32) {
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let n = fbm_noise(seed, x as f32 / cell, y as f32 / cell, 3) - 0.5;
+            let c = img.get(x, y);
+            img.set(x, y, c.scaled(1.0 + n * 2.0 * strength).clamped());
+        }
+    }
+}
+
+/// Per-pixel sensor-style noise (uniform, seeded).
+pub fn apply_pixel_noise(img: &mut Image, seed: u64, strength: f32) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let c = img.get(x, y);
+            let d = rng.random_range(-strength..strength);
+            img.set(x, y, Rgb::new(c.r + d, c.g + d, c.b + d).clamped());
+        }
+    }
+}
+
+/// Scatter `count` small dots inside the ellipse `(cx, cy, rx, ry)`,
+/// with colors interpolated between `c0` and `c1`. Returns the RNG so
+/// callers can chain deterministic passes.
+#[allow(clippy::too_many_arguments)]
+pub fn speckle_ellipse(
+    img: &mut Image,
+    rng: &mut StdRng,
+    cx: f32,
+    cy: f32,
+    rx: f32,
+    ry: f32,
+    count: usize,
+    dot_r: f32,
+    c0: Rgb,
+    c1: Rgb,
+) {
+    for _ in 0..count {
+        // Rejection-free: sample polar with sqrt for uniform density.
+        let ang = rng.random_range(0.0..std::f32::consts::TAU);
+        let rad = rng.random_range(0.0f32..1.0).sqrt();
+        let x = cx + ang.cos() * rad * rx;
+        let y = cy + ang.sin() * rad * ry;
+        let t = rng.random_range(0.0..1.0);
+        let r = dot_r * rng.random_range(0.6..1.4);
+        fill_ellipse(img, x, y, r, r * rng.random_range(0.7..1.0), 0.0, c0.lerp(c1, t), 0.9);
+    }
+}
+
+/// Draw `count` short oriented "grains" (thin ellipses) inside an ellipse —
+/// the rice/poha surface texture.
+#[allow(clippy::too_many_arguments)]
+pub fn grains_ellipse(
+    img: &mut Image,
+    rng: &mut StdRng,
+    cx: f32,
+    cy: f32,
+    rx: f32,
+    ry: f32,
+    count: usize,
+    grain_len: f32,
+    c0: Rgb,
+    c1: Rgb,
+) {
+    for _ in 0..count {
+        let ang = rng.random_range(0.0..std::f32::consts::TAU);
+        let rad = rng.random_range(0.0f32..1.0).sqrt();
+        let x = cx + ang.cos() * rad * rx;
+        let y = cy + ang.sin() * rad * ry;
+        let rot = rng.random_range(0.0..std::f32::consts::PI);
+        let t = rng.random_range(0.0..1.0);
+        let len = grain_len * rng.random_range(0.7..1.3);
+        fill_ellipse(img, x, y, len, len * 0.35, rot, c0.lerp(c1, t), 0.85);
+    }
+}
+
+/// A radial highlight (specular sheen) on a curry/syrup surface.
+pub fn gloss_highlight(img: &mut Image, cx: f32, cy: f32, r: f32, strength: f32) {
+    let rr = r + 2.0;
+    let x0 = (cx - rr).floor() as isize;
+    let x1 = (cx + rr).ceil() as isize;
+    let y0 = (cy - rr).floor() as isize;
+    let y1 = (cy + rr).ceil() as isize;
+    for py in y0..=y1 {
+        for px in x0..=x1 {
+            if px < 0 || py < 0 || px as usize >= img.width() || py as usize >= img.height() {
+                continue;
+            }
+            let dx = (px as f32 + 0.5 - cx) / r;
+            let dy = (py as f32 + 0.5 - cy) / r;
+            let d = (dx * dx + dy * dy).sqrt();
+            let k = (1.0 - smoothstep(0.0, 1.0, d)) * strength;
+            if k > 0.0 {
+                let c = img.get(px as usize, py as usize);
+                img.set(px as usize, py as usize, c.lerp(Rgb::WHITE, k).clamped());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_noise_is_deterministic_and_bounded() {
+        for i in 0..100 {
+            let x = i as f32 * 0.37;
+            let a = value_noise(42, x, x * 0.5);
+            let b = value_noise(42, x, x * 0.5);
+            assert_eq!(a, b);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: f32 = (0..50).map(|i| value_noise(1, i as f32 * 0.7, 0.3)).sum();
+        let b: f32 = (0..50).map(|i| value_noise(2, i as f32 * 0.7, 0.3)).sum();
+        assert!((a - b).abs() > 1e-3);
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Small input steps produce small output steps.
+        for i in 0..200 {
+            let x = i as f32 * 0.01;
+            let d = (value_noise(7, x + 0.001, 0.0) - value_noise(7, x, 0.0)).abs();
+            assert!(d < 0.05, "jump {d} at {x}");
+        }
+    }
+
+    #[test]
+    fn fbm_bounded() {
+        for i in 0..100 {
+            let v = fbm_noise(9, i as f32 * 0.13, i as f32 * 0.07, 4);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn speckle_stays_inside_ellipse() {
+        let mut img = Image::new(64, 64, Rgb::BLACK);
+        let mut rng = StdRng::seed_from_u64(5);
+        speckle_ellipse(&mut img, &mut rng, 32.0, 32.0, 12.0, 12.0, 80, 1.0, Rgb::WHITE, Rgb::WHITE);
+        // Everything bright must be within radius ~15 of the centre.
+        for y in 0..64 {
+            for x in 0..64 {
+                if img.get(x, y).r > 0.3 {
+                    let d = (((x as f32 - 32.0).powi(2) + (y as f32 - 32.0).powi(2)) as f32).sqrt();
+                    assert!(d < 16.0, "speck at distance {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_noise_is_seed_deterministic() {
+        let mut a = Image::new(16, 16, Rgb::new(0.5, 0.5, 0.5));
+        let mut b = Image::new(16, 16, Rgb::new(0.5, 0.5, 0.5));
+        apply_pixel_noise(&mut a, 99, 0.05);
+        apply_pixel_noise(&mut b, 99, 0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gloss_brightens_centre() {
+        let mut img = Image::new(32, 32, Rgb::new(0.2, 0.4, 0.1));
+        gloss_highlight(&mut img, 16.0, 16.0, 8.0, 0.6);
+        assert!(img.get(16, 16).r > 0.2);
+        assert!((img.get(0, 0).g - 0.4).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,185 @@
+//! The confusion matrix of the paper's Fig. 5: `num_classes + 1` rows and
+//! columns, the extra *None* class covering missed ground truths (column)
+//! and background false positives (row). The *None* row is semantically
+//! greyed out for single-dish images — a true class can never be None —
+//! and the renderer marks it accordingly.
+
+use platter_dataset::Annotation;
+
+use crate::matching::PredBox;
+
+/// Confusion matrix with an extra *None* class at index `num_classes`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfusionMatrix {
+    /// Object classes (None excluded).
+    pub num_classes: usize,
+    /// `counts[true][pred]`, each dimension `num_classes + 1`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Index of the *None* class.
+    pub fn none_index(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Build the matrix. For each image, every prediction is matched
+    /// class-agnostically to the unmatched ground truth with the highest
+    /// IoU ≥ `iou_thresh`:
+    /// matched pairs increment `(gt.class, pred.class)`; unmatched ground
+    /// truths go to `(gt.class, None)`; unmatched predictions to
+    /// `(None, pred.class)`.
+    pub fn build(
+        ground_truth: &[Vec<Annotation>],
+        predictions: &[Vec<PredBox>],
+        num_classes: usize,
+        iou_thresh: f32,
+    ) -> ConfusionMatrix {
+        assert_eq!(ground_truth.len(), predictions.len());
+        let n = num_classes + 1;
+        let mut counts = vec![vec![0usize; n]; n];
+        for (gts, preds) in ground_truth.iter().zip(predictions) {
+            let mut order: Vec<usize> = (0..preds.len()).collect();
+            order.sort_by(|&a, &b| {
+                preds[b].score.partial_cmp(&preds[a].score).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut gt_used = vec![false; gts.len()];
+            for &pi in &order {
+                let p = &preds[pi];
+                if p.class >= num_classes {
+                    continue;
+                }
+                let mut best: Option<(usize, f32)> = None;
+                for (gi, gt) in gts.iter().enumerate() {
+                    if gt_used[gi] {
+                        continue;
+                    }
+                    let iou = p.bbox.iou(&gt.bbox);
+                    if iou >= iou_thresh && best.map_or(true, |(_, b)| iou > b) {
+                        best = Some((gi, iou));
+                    }
+                }
+                match best {
+                    Some((gi, _)) => {
+                        gt_used[gi] = true;
+                        counts[gts[gi].class.min(num_classes)][p.class] += 1;
+                    }
+                    None => counts[num_classes][p.class] += 1,
+                }
+            }
+            for (gi, gt) in gts.iter().enumerate() {
+                if !gt_used[gi] {
+                    counts[gt.class.min(num_classes)][num_classes] += 1;
+                }
+            }
+        }
+        ConfusionMatrix { num_classes, counts }
+    }
+
+    /// Sum of the diagonal (correct classifications).
+    pub fn diagonal_sum(&self) -> usize {
+        (0..self.num_classes).map(|i| self.counts[i][i]).sum()
+    }
+
+    /// Total ground-truth-bearing entries (everything except the None row).
+    pub fn gt_total(&self) -> usize {
+        self.counts[..self.num_classes].iter().map(|row| row.iter().sum::<usize>()).sum()
+    }
+
+    /// Fraction of ground truths assigned their own class.
+    pub fn diagonal_fraction(&self) -> f64 {
+        let total = self.gt_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.diagonal_sum() as f64 / total as f64
+        }
+    }
+
+    /// The largest off-diagonal cell among true classes:
+    /// `(true_class, predicted_class, count)`.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut worst = None;
+        for t in 0..self.num_classes {
+            for p in 0..self.num_classes {
+                if t != p && self.counts[t][p] > 0 {
+                    if worst.map_or(true, |(_, _, c)| self.counts[t][p] > c) {
+                        worst = Some((t, p, self.counts[t][p]));
+                    }
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platter_imaging::NormBox;
+
+    fn ann(class: usize, cx: f32) -> Annotation {
+        Annotation { class, bbox: NormBox::new(cx, 0.5, 0.2, 0.2) }
+    }
+
+    fn pred(class: usize, score: f32, cx: f32) -> PredBox {
+        PredBox { class, score, bbox: NormBox::new(cx, 0.5, 0.2, 0.2) }
+    }
+
+    #[test]
+    fn correct_predictions_land_on_diagonal() {
+        let gt = vec![vec![ann(0, 0.3), ann(1, 0.7)]];
+        let preds = vec![vec![pred(0, 0.9, 0.3), pred(1, 0.8, 0.7)]];
+        let m = ConfusionMatrix::build(&gt, &preds, 2, 0.5);
+        assert_eq!(m.counts[0][0], 1);
+        assert_eq!(m.counts[1][1], 1);
+        assert_eq!(m.diagonal_sum(), 2);
+        assert!((m.diagonal_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misclassification_fills_off_diagonal() {
+        // Detector localises the dish but calls class 2 instead of 0.
+        let gt = vec![vec![ann(0, 0.5)]];
+        let preds = vec![vec![pred(2, 0.9, 0.5)]];
+        let m = ConfusionMatrix::build(&gt, &preds, 3, 0.5);
+        assert_eq!(m.counts[0][2], 1);
+        assert_eq!(m.worst_confusion(), Some((0, 2, 1)));
+    }
+
+    #[test]
+    fn missed_gt_goes_to_none_column() {
+        let gt = vec![vec![ann(1, 0.5)]];
+        let preds = vec![vec![]];
+        let m = ConfusionMatrix::build(&gt, &preds, 2, 0.5);
+        assert_eq!(m.counts[1][m.none_index()], 1);
+    }
+
+    #[test]
+    fn background_fp_goes_to_none_row() {
+        let gt = vec![vec![]];
+        let preds = vec![vec![pred(1, 0.9, 0.5)]];
+        let m = ConfusionMatrix::build(&gt, &preds, 2, 0.5);
+        assert_eq!(m.counts[m.none_index()][1], 1);
+    }
+
+    #[test]
+    fn matrix_dimensions_include_none() {
+        let m = ConfusionMatrix::build(&[], &[], 10, 0.5);
+        assert_eq!(m.counts.len(), 11);
+        assert_eq!(m.counts[0].len(), 11);
+        assert_eq!(m.none_index(), 10);
+    }
+
+    #[test]
+    fn class_agnostic_matching_still_counts_confusions() {
+        // A wrong-class prediction overlapping the GT is a confusion, not a
+        // None/None pair (that is what distinguishes Fig. 5 from AP).
+        let gt = vec![vec![ann(3, 0.5)]];
+        let preds = vec![vec![pred(4, 0.9, 0.51)]];
+        let m = ConfusionMatrix::build(&gt, &preds, 5, 0.5);
+        assert_eq!(m.counts[3][4], 1);
+        assert_eq!(m.counts[3][m.none_index()], 0);
+        assert_eq!(m.counts[m.none_index()][4], 0);
+    }
+}

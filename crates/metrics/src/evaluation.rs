@@ -1,0 +1,158 @@
+//! Top-level evaluation: per-class AP, mAP, and the micro-averaged
+//! precision/recall/F1 the paper reports alongside mAP in Table II.
+
+use platter_dataset::Annotation;
+
+use crate::matching::{match_detections, MatchResult, PredBox};
+use crate::pr::PrCurve;
+
+/// Per-class evaluation outcome.
+#[derive(Clone, Debug)]
+pub struct ClassEval {
+    /// Class id.
+    pub class: usize,
+    /// All-point interpolated AP.
+    pub ap: f32,
+    /// The PR curve (for Fig. 7).
+    pub curve: PrCurve,
+    /// True positives at the evaluation operating point.
+    pub tp: usize,
+    /// False positives at the operating point.
+    pub fp: usize,
+    /// Ground-truth instances.
+    pub npos: usize,
+}
+
+/// Whole-dataset evaluation outcome.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Per-class results, indexed by class id.
+    pub per_class: Vec<ClassEval>,
+    /// Mean average precision over classes with ground truth.
+    pub map: f32,
+    /// Micro-averaged precision over all detections.
+    pub precision: f32,
+    /// Micro-averaged recall over all ground truths.
+    pub recall: f32,
+    /// F1 = 2PR/(P+R) — the paper's companion metric (0.90 at peak).
+    pub f1: f32,
+    /// The IoU threshold used (0.5 in the paper).
+    pub iou_thresh: f32,
+}
+
+/// Evaluate predictions against ground truth at `iou_thresh`.
+pub fn evaluate(
+    ground_truth: &[Vec<Annotation>],
+    predictions: &[Vec<PredBox>],
+    num_classes: usize,
+    iou_thresh: f32,
+) -> Evaluation {
+    let result = match_detections(ground_truth, predictions, num_classes, iou_thresh);
+    evaluate_matches(&result, num_classes, iou_thresh)
+}
+
+/// Evaluate from an existing match result.
+pub fn evaluate_matches(result: &MatchResult, num_classes: usize, iou_thresh: f32) -> Evaluation {
+    let mut per_class = Vec::with_capacity(num_classes);
+    let mut ap_sum = 0.0f64;
+    let mut ap_count = 0usize;
+    let (mut tp_all, mut fp_all, mut npos_all) = (0usize, 0usize, 0usize);
+    for class in 0..num_classes {
+        let curve = PrCurve::for_class(result, class);
+        let ap = curve.average_precision();
+        let tp = result.detections.iter().filter(|d| d.class == class && d.tp).count();
+        let fp = result.detections.iter().filter(|d| d.class == class && !d.tp).count();
+        let npos = result.npos.get(class).copied().unwrap_or(0);
+        if npos > 0 {
+            ap_sum += ap as f64;
+            ap_count += 1;
+        }
+        tp_all += tp;
+        fp_all += fp;
+        npos_all += npos;
+        per_class.push(ClassEval { class, ap, curve, tp, fp, npos });
+    }
+    let precision = if tp_all + fp_all == 0 { 0.0 } else { tp_all as f32 / (tp_all + fp_all) as f32 };
+    let recall = if npos_all == 0 { 0.0 } else { tp_all as f32 / npos_all as f32 };
+    let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    Evaluation {
+        per_class,
+        map: if ap_count == 0 { 0.0 } else { (ap_sum / ap_count as f64) as f32 },
+        precision,
+        recall,
+        f1,
+        iou_thresh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platter_imaging::NormBox;
+
+    fn ann(class: usize, cx: f32, cy: f32) -> Annotation {
+        Annotation { class, bbox: NormBox::new(cx, cy, 0.2, 0.2) }
+    }
+
+    fn pred(class: usize, score: f32, cx: f32, cy: f32) -> PredBox {
+        PredBox { class, score, bbox: NormBox::new(cx, cy, 0.2, 0.2) }
+    }
+
+    #[test]
+    fn perfect_detector_scores_one() {
+        let gt = vec![vec![ann(0, 0.3, 0.3), ann(1, 0.7, 0.7)], vec![ann(0, 0.5, 0.5)]];
+        let preds = vec![
+            vec![pred(0, 0.9, 0.3, 0.3), pred(1, 0.8, 0.7, 0.7)],
+            vec![pred(0, 0.95, 0.5, 0.5)],
+        ];
+        let e = evaluate(&gt, &preds, 2, 0.5);
+        assert!((e.map - 1.0).abs() < 1e-6);
+        assert!((e.f1 - 1.0).abs() < 1e-6);
+        assert!((e.precision - 1.0).abs() < 1e-6);
+        assert!((e.recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blind_detector_scores_zero() {
+        let gt = vec![vec![ann(0, 0.3, 0.3)]];
+        let preds = vec![vec![]];
+        let e = evaluate(&gt, &preds, 2, 0.5);
+        assert_eq!(e.map, 0.0);
+        assert_eq!(e.f1, 0.0);
+        assert_eq!(e.recall, 0.0);
+    }
+
+    #[test]
+    fn map_averages_only_classes_with_gt() {
+        // Class 1 has no GT: its (zero) AP must not dilute the mean.
+        let gt = vec![vec![ann(0, 0.3, 0.3)]];
+        let preds = vec![vec![pred(0, 0.9, 0.3, 0.3)]];
+        let e = evaluate(&gt, &preds, 3, 0.5);
+        assert!((e.map - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn false_positives_lower_precision_not_recall() {
+        let gt = vec![vec![ann(0, 0.3, 0.3)]];
+        let preds = vec![vec![pred(0, 0.9, 0.3, 0.3), pred(0, 0.8, 0.8, 0.8)]];
+        let e = evaluate(&gt, &preds, 1, 0.5);
+        assert!((e.recall - 1.0).abs() < 1e-6);
+        assert!((e.precision - 0.5).abs() < 1e-6);
+        let f1 = 2.0 * 0.5 * 1.0 / 1.5;
+        assert!((e.f1 - f1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_class_fields_consistent() {
+        let gt = vec![vec![ann(0, 0.3, 0.3), ann(1, 0.7, 0.7)]];
+        let preds = vec![vec![pred(0, 0.9, 0.3, 0.3), pred(1, 0.7, 0.1, 0.1)]];
+        let e = evaluate(&gt, &preds, 2, 0.5);
+        assert_eq!(e.per_class.len(), 2);
+        assert_eq!(e.per_class[0].tp, 1);
+        assert_eq!(e.per_class[0].fp, 0);
+        assert_eq!(e.per_class[1].tp, 0);
+        assert_eq!(e.per_class[1].fp, 1);
+        assert_eq!(e.per_class[1].npos, 1);
+        assert!(e.per_class[1].ap < 1e-6);
+    }
+}

@@ -1,0 +1,33 @@
+//! # platter-metrics
+//!
+//! Object-detection evaluation exactly as the paper scores its model
+//! (Padilla et al.'s definitions): score-ordered greedy IoU matching,
+//! per-class precision–recall curves, all-point/11-point interpolated AP,
+//! mAP over classes with ground truth, micro-averaged P/R/F1, and the
+//! Fig. 5 confusion matrix with the extra *None* class. Plus text-table /
+//! ASCII-plot / CSV renderers used by the experiment binaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use platter_dataset::Annotation;
+//! use platter_imaging::NormBox;
+//! use platter_metrics::{evaluate, PredBox};
+//!
+//! let gt = vec![vec![Annotation { class: 0, bbox: NormBox::new(0.5, 0.5, 0.2, 0.2) }]];
+//! let preds = vec![vec![PredBox { class: 0, score: 0.9, bbox: NormBox::new(0.5, 0.5, 0.2, 0.2) }]];
+//! let eval = evaluate(&gt, &preds, 1, 0.5);
+//! assert!((eval.map - 1.0).abs() < 1e-6);
+//! ```
+
+pub mod confusion;
+pub mod evaluation;
+pub mod matching;
+pub mod pr;
+pub mod report;
+
+pub use confusion::ConfusionMatrix;
+pub use evaluation::{evaluate, evaluate_matches, ClassEval, Evaluation};
+pub use matching::{match_detections, MatchResult, MatchedDet, PredBox};
+pub use pr::PrCurve;
+pub use report::{pr_curve_csv, render_confusion, render_pr_curve, summary_line, table_per_class_ap, two_column_table};

@@ -1,0 +1,168 @@
+//! Detection ↔ ground-truth matching, following Padilla et al. (the code
+//! the paper uses for scoring): detections are taken in descending score
+//! order; each matches the highest-IoU unmatched ground truth of its class;
+//! a match requires IoU ≥ the threshold (0.5 in the paper).
+
+use platter_dataset::Annotation;
+use platter_imaging::NormBox;
+use serde::{Deserialize, Serialize};
+
+/// A predicted box with confidence (detector-agnostic input type).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredBox {
+    /// Predicted class id.
+    pub class: usize,
+    /// Confidence score.
+    pub score: f32,
+    /// Normalised box.
+    pub bbox: NormBox,
+}
+
+/// One scored detection after matching.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchedDet {
+    /// Class id.
+    pub class: usize,
+    /// Confidence score.
+    pub score: f32,
+    /// True positive (matched a ground truth)?
+    pub tp: bool,
+    /// IoU with the matched GT (0 for FPs).
+    pub iou: f32,
+    /// Image the detection came from.
+    pub image: usize,
+}
+
+/// Result of matching a whole validation set.
+#[derive(Clone, Debug, Default)]
+pub struct MatchResult {
+    /// Every detection with its TP/FP verdict.
+    pub detections: Vec<MatchedDet>,
+    /// Ground-truth count per class (`npos` in Padilla's code).
+    pub npos: Vec<usize>,
+}
+
+/// Match predictions to ground truth across a set of images.
+///
+/// `ground_truth[i]` and `predictions[i]` describe image `i`.
+pub fn match_detections(
+    ground_truth: &[Vec<Annotation>],
+    predictions: &[Vec<PredBox>],
+    num_classes: usize,
+    iou_thresh: f32,
+) -> MatchResult {
+    assert_eq!(ground_truth.len(), predictions.len(), "image count mismatch");
+    let mut npos = vec![0usize; num_classes];
+    for gts in ground_truth {
+        for gt in gts {
+            if gt.class < num_classes {
+                npos[gt.class] += 1;
+            }
+        }
+    }
+
+    let mut detections = Vec::new();
+    for (img, (gts, preds)) in ground_truth.iter().zip(predictions).enumerate() {
+        // Per-image, per-class greedy matching in score order.
+        let mut order: Vec<usize> = (0..preds.len()).collect();
+        order.sort_by(|&a, &b| preds[b].score.partial_cmp(&preds[a].score).unwrap_or(std::cmp::Ordering::Equal));
+        let mut gt_used = vec![false; gts.len()];
+        for &pi in &order {
+            let p = &preds[pi];
+            let mut best: Option<(usize, f32)> = None;
+            for (gi, gt) in gts.iter().enumerate() {
+                if gt.class != p.class || gt_used[gi] {
+                    continue;
+                }
+                let iou = p.bbox.iou(&gt.bbox);
+                if iou >= iou_thresh && best.map_or(true, |(_, b)| iou > b) {
+                    best = Some((gi, iou));
+                }
+            }
+            match best {
+                Some((gi, iou)) => {
+                    gt_used[gi] = true;
+                    detections.push(MatchedDet { class: p.class, score: p.score, tp: true, iou, image: img });
+                }
+                None => {
+                    detections.push(MatchedDet { class: p.class, score: p.score, tp: false, iou: 0.0, image: img });
+                }
+            }
+        }
+    }
+    MatchResult { detections, npos }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(class: usize, cx: f32, cy: f32, w: f32, h: f32) -> Annotation {
+        Annotation { class, bbox: NormBox::new(cx, cy, w, h) }
+    }
+
+    fn pred(class: usize, score: f32, cx: f32, cy: f32, w: f32, h: f32) -> PredBox {
+        PredBox { class, score, bbox: NormBox::new(cx, cy, w, h) }
+    }
+
+    #[test]
+    fn perfect_prediction_is_tp() {
+        let gt = vec![vec![ann(1, 0.5, 0.5, 0.3, 0.3)]];
+        let preds = vec![vec![pred(1, 0.9, 0.5, 0.5, 0.3, 0.3)]];
+        let r = match_detections(&gt, &preds, 5, 0.5);
+        assert_eq!(r.npos[1], 1);
+        assert_eq!(r.detections.len(), 1);
+        assert!(r.detections[0].tp);
+        assert!((r.detections[0].iou - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn wrong_class_is_fp_even_with_perfect_iou() {
+        let gt = vec![vec![ann(1, 0.5, 0.5, 0.3, 0.3)]];
+        let preds = vec![vec![pred(2, 0.9, 0.5, 0.5, 0.3, 0.3)]];
+        let r = match_detections(&gt, &preds, 5, 0.5);
+        assert!(!r.detections[0].tp);
+    }
+
+    #[test]
+    fn each_gt_matched_once_highest_score_wins() {
+        let gt = vec![vec![ann(0, 0.5, 0.5, 0.3, 0.3)]];
+        let preds = vec![vec![
+            pred(0, 0.6, 0.51, 0.5, 0.3, 0.3),
+            pred(0, 0.9, 0.5, 0.5, 0.3, 0.3),
+        ]];
+        let r = match_detections(&gt, &preds, 1, 0.5);
+        let tp: Vec<bool> = r.detections.iter().map(|d| d.tp).collect();
+        // Score order: 0.9 first (TP), 0.6 second (duplicate → FP).
+        assert_eq!(r.detections[0].score, 0.9);
+        assert_eq!(tp, vec![true, false]);
+    }
+
+    #[test]
+    fn below_iou_threshold_is_fp() {
+        let gt = vec![vec![ann(0, 0.5, 0.5, 0.2, 0.2)]];
+        let preds = vec![vec![pred(0, 0.9, 0.8, 0.8, 0.2, 0.2)]];
+        let r = match_detections(&gt, &preds, 1, 0.5);
+        assert!(!r.detections[0].tp);
+    }
+
+    #[test]
+    fn matching_is_per_image() {
+        // Same coordinates in different images must not cross-match.
+        let gt = vec![vec![ann(0, 0.5, 0.5, 0.3, 0.3)], vec![]];
+        let preds = vec![vec![], vec![pred(0, 0.9, 0.5, 0.5, 0.3, 0.3)]];
+        let r = match_detections(&gt, &preds, 1, 0.5);
+        assert_eq!(r.detections.len(), 1);
+        assert!(!r.detections[0].tp, "prediction in the wrong image is a FP");
+        assert_eq!(r.npos[0], 1);
+    }
+
+    #[test]
+    fn detection_prefers_highest_iou_gt() {
+        let gt = vec![vec![ann(0, 0.4, 0.5, 0.3, 0.3), ann(0, 0.5, 0.5, 0.3, 0.3)]];
+        let preds = vec![vec![pred(0, 0.9, 0.5, 0.5, 0.3, 0.3)]];
+        let r = match_detections(&gt, &preds, 1, 0.5);
+        assert!(r.detections[0].tp);
+        assert!((r.detections[0].iou - 1.0).abs() < 1e-5, "matched the exact GT");
+    }
+}

@@ -1,0 +1,177 @@
+//! Precision–recall curves and average precision (all-point and 11-point
+//! interpolation), per Padilla et al.'s definitions.
+
+use crate::matching::MatchResult;
+
+/// A precision–recall curve for one class.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PrCurve {
+    /// Recall values, non-decreasing, one per detection.
+    pub recall: Vec<f32>,
+    /// Precision at each recall point.
+    pub precision: Vec<f32>,
+    /// Ground-truth count for the class.
+    pub npos: usize,
+}
+
+impl PrCurve {
+    /// Build the curve for `class` from a match result. Detections are
+    /// ranked by descending score across the whole set (Padilla's
+    /// accumulation).
+    pub fn for_class(result: &MatchResult, class: usize) -> PrCurve {
+        let mut dets: Vec<(f32, bool)> = result
+            .detections
+            .iter()
+            .filter(|d| d.class == class)
+            .map(|d| (d.score, d.tp))
+            .collect();
+        dets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let npos = result.npos.get(class).copied().unwrap_or(0);
+        let mut tp_acc = 0usize;
+        let mut recall = Vec::with_capacity(dets.len());
+        let mut precision = Vec::with_capacity(dets.len());
+        for (i, &(_, tp)) in dets.iter().enumerate() {
+            if tp {
+                tp_acc += 1;
+            }
+            recall.push(if npos == 0 { 0.0 } else { tp_acc as f32 / npos as f32 });
+            precision.push(tp_acc as f32 / (i + 1) as f32);
+        }
+        PrCurve { recall, precision, npos }
+    }
+
+    /// All-point interpolated AP: area under the precision envelope
+    /// (Padilla's "every point interpolation", also VOC2010+/COCO style).
+    pub fn average_precision(&self) -> f32 {
+        if self.npos == 0 {
+            return 0.0;
+        }
+        if self.recall.is_empty() {
+            return 0.0;
+        }
+        // Append boundary points and compute the running max from the right.
+        let mut mrec = Vec::with_capacity(self.recall.len() + 2);
+        mrec.push(0.0f32);
+        mrec.extend_from_slice(&self.recall);
+        mrec.push(1.0);
+        let mut mpre = Vec::with_capacity(self.precision.len() + 2);
+        mpre.push(0.0f32);
+        mpre.extend_from_slice(&self.precision);
+        mpre.push(0.0);
+        for i in (0..mpre.len() - 1).rev() {
+            mpre[i] = mpre[i].max(mpre[i + 1]);
+        }
+        let mut ap = 0.0f32;
+        for i in 1..mrec.len() {
+            if mrec[i] != mrec[i - 1] {
+                ap += (mrec[i] - mrec[i - 1]) * mpre[i];
+            }
+        }
+        ap
+    }
+
+    /// 11-point interpolated AP (VOC2007 style): mean of the interpolated
+    /// precision at recalls {0, 0.1, …, 1.0}.
+    pub fn average_precision_11pt(&self) -> f32 {
+        if self.npos == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        for k in 0..=10 {
+            let r = k as f32 / 10.0;
+            let p = self
+                .recall
+                .iter()
+                .zip(&self.precision)
+                .filter(|(rec, _)| **rec >= r)
+                .map(|(_, p)| *p)
+                .fold(0.0f32, f32::max);
+            total += p;
+        }
+        total / 11.0
+    }
+
+    /// Maximum recall reached (fraction of GT found at any confidence).
+    pub fn max_recall(&self) -> f32 {
+        self.recall.last().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::MatchedDet;
+
+    fn result_from(dets: Vec<(f32, bool)>, npos: usize) -> MatchResult {
+        MatchResult {
+            detections: dets
+                .into_iter()
+                .map(|(score, tp)| MatchedDet { class: 0, score, tp, iou: if tp { 1.0 } else { 0.0 }, image: 0 })
+                .collect(),
+            npos: vec![npos],
+        }
+    }
+
+    #[test]
+    fn perfect_detector_ap_is_one() {
+        let r = result_from(vec![(0.9, true), (0.8, true)], 2);
+        let c = PrCurve::for_class(&r, 0);
+        assert!((c.average_precision() - 1.0).abs() < 1e-6);
+        assert!((c.average_precision_11pt() - 1.0).abs() < 1e-6);
+        assert_eq!(c.max_recall(), 1.0);
+    }
+
+    #[test]
+    fn all_false_positives_ap_is_zero() {
+        let r = result_from(vec![(0.9, false), (0.8, false)], 3);
+        let c = PrCurve::for_class(&r, 0);
+        assert_eq!(c.average_precision(), 0.0);
+    }
+
+    #[test]
+    fn no_ground_truth_ap_is_zero() {
+        let r = result_from(vec![(0.9, true)], 0);
+        assert_eq!(PrCurve::for_class(&r, 0).average_precision(), 0.0);
+    }
+
+    #[test]
+    fn padilla_worked_example() {
+        // The classic 7-detection example: TP at ranks 1, 3, 5 with npos 5…
+        // verify AP against a hand computation.
+        let r = result_from(
+            vec![(0.95, true), (0.91, false), (0.88, true), (0.84, false), (0.80, true), (0.75, false), (0.70, false)],
+            5,
+        );
+        let c = PrCurve::for_class(&r, 0);
+        // Curve: r=[.2,.2,.4,.4,.6,.6,.6], p=[1,.5,.667,.5,.6,.5,.429].
+        // Envelope at r .2→1.0, .4→.667, .6→.6; AP = .2·1 + .2·.667 + .2·.6 = .4533
+        let ap = c.average_precision();
+        assert!((ap - 0.45333).abs() < 1e-3, "ap {ap}");
+    }
+
+    #[test]
+    fn recall_is_monotone_and_bounded() {
+        let r = result_from(
+            vec![(0.9, true), (0.8, false), (0.7, true), (0.6, true), (0.5, false)],
+            4,
+        );
+        let c = PrCurve::for_class(&r, 0);
+        for w in c.recall.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(c.max_recall() <= 1.0);
+        for &p in &c.precision {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn eleven_point_close_to_all_point_on_dense_curves() {
+        let dets: Vec<(f32, bool)> = (0..100).map(|i| (1.0 - i as f32 * 0.01, i % 3 != 0)).collect();
+        let r = result_from(dets, 67);
+        let c = PrCurve::for_class(&r, 0);
+        let a = c.average_precision();
+        let b = c.average_precision_11pt();
+        assert!((a - b).abs() < 0.08, "all-point {a} vs 11-point {b}");
+    }
+}

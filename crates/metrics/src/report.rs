@@ -1,0 +1,184 @@
+//! Text rendering of evaluation results: aligned tables (the paper's
+//! Tables I–III), the Fig. 5 confusion matrix, ASCII PR curves (Fig. 7)
+//! and CSV series for external plotting.
+
+use std::fmt::Write as _;
+
+use crate::confusion::ConfusionMatrix;
+use crate::evaluation::Evaluation;
+use crate::pr::PrCurve;
+
+/// Render a two-column table (`label | value`) with a header, like Table I.
+pub fn two_column_table(title: &str, header: (&str, &str), rows: &[(String, String)]) -> String {
+    let w0 = rows.iter().map(|r| r.0.len()).chain([header.0.len()]).max().unwrap_or(8);
+    let w1 = rows.iter().map(|r| r.1.len()).chain([header.1.len()]).max().unwrap_or(8);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "| {:w0$} | {:w1$} |", header.0, header.1);
+    let _ = writeln!(out, "|{:-<a$}|{:-<b$}|", "", "", a = w0 + 2, b = w1 + 2);
+    for (l, v) in rows {
+        let _ = writeln!(out, "| {l:w0$} | {v:w1$} |");
+    }
+    out
+}
+
+/// Render per-class AP rows in Table I format.
+pub fn table_per_class_ap(eval: &Evaluation, class_names: &[&str]) -> String {
+    let rows: Vec<(String, String)> = eval
+        .per_class
+        .iter()
+        .map(|c| {
+            (
+                class_names.get(c.class).copied().unwrap_or("?").to_string(),
+                format!("{:.1}", c.ap * 100.0),
+            )
+        })
+        .collect();
+    two_column_table(
+        "AVERAGE PRECISION FOR EACH CLASS",
+        ("Class", "Average Precision (AP) in %"),
+        &rows,
+    )
+}
+
+/// Render the Fig. 5 confusion matrix with the *None* class; the None row
+/// is bracketed to mirror the greyed-out row in the paper (a single-dish
+/// true class can never be None).
+pub fn render_confusion(matrix: &ConfusionMatrix, class_names: &[&str]) -> String {
+    let n = matrix.num_classes;
+    let mut names: Vec<String> = (0..n)
+        .map(|i| class_names.get(i).copied().unwrap_or("?").to_string())
+        .collect();
+    names.push("None".to_string());
+    let w = names.iter().map(|s| s.len()).max().unwrap_or(4).max(5);
+    let mut out = String::new();
+    let _ = write!(out, "{:w$} ", "");
+    for name in &names {
+        let _ = write!(out, "{name:>w$} ");
+    }
+    out.push('\n');
+    for (t, row) in matrix.counts.iter().enumerate() {
+        let is_none_row = t == n;
+        let label = if is_none_row { format!("[{}]", names[t]) } else { names[t].clone() };
+        let _ = write!(out, "{label:w$} ");
+        for &v in row {
+            if is_none_row {
+                let _ = write!(out, "{:>w$} ", format!("({v})"));
+            } else {
+                let _ = write!(out, "{v:>w$} ");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// ASCII plot of a PR curve on a `width`×`height` grid.
+pub fn render_pr_curve(curve: &PrCurve, title: &str, width: usize, height: usize) -> String {
+    let mut grid = vec![vec![' '; width]; height];
+    for (r, p) in curve.recall.iter().zip(&curve.precision) {
+        let x = ((r * (width - 1) as f32).round() as usize).min(width - 1);
+        let y = ((p * (height - 1) as f32).round() as usize).min(height - 1);
+        grid[height - 1 - y][x] = '*';
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (x: recall 0→1, y: precision 0→1)");
+    for (i, row) in grid.iter().enumerate() {
+        let p_label = if i == 0 {
+            "1.0"
+        } else if i == height - 1 {
+            "0.0"
+        } else {
+            "   "
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{p_label} |{line}|");
+    }
+    let _ = writeln!(out, "     {:-<width$}", "");
+    out
+}
+
+/// CSV of a PR curve (`recall,precision` rows) for external plotting.
+pub fn pr_curve_csv(curve: &PrCurve) -> String {
+    let mut out = String::from("recall,precision\n");
+    for (r, p) in curve.recall.iter().zip(&curve.precision) {
+        let _ = writeln!(out, "{r:.6},{p:.6}");
+    }
+    out
+}
+
+/// One-line summary like darknet's mAP printout.
+pub fn summary_line(eval: &Evaluation) -> String {
+    format!(
+        "mAP@{:.2} = {:.2}%  precision = {:.3}  recall = {:.3}  F1 = {:.2}",
+        eval.iou_thresh,
+        eval.map * 100.0,
+        eval.precision,
+        eval.recall,
+        eval.f1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::evaluate;
+    use crate::matching::PredBox;
+    use platter_dataset::Annotation;
+    use platter_imaging::NormBox;
+
+    fn sample_eval() -> Evaluation {
+        let gt = vec![vec![
+            Annotation { class: 0, bbox: NormBox::new(0.3, 0.3, 0.2, 0.2) },
+            Annotation { class: 1, bbox: NormBox::new(0.7, 0.7, 0.2, 0.2) },
+        ]];
+        let preds = vec![vec![
+            PredBox { class: 0, score: 0.9, bbox: NormBox::new(0.3, 0.3, 0.2, 0.2) },
+            PredBox { class: 1, score: 0.4, bbox: NormBox::new(0.1, 0.1, 0.2, 0.2) },
+        ]];
+        evaluate(&gt, &preds, 2, 0.5)
+    }
+
+    #[test]
+    fn table_contains_class_names_and_percentages() {
+        let t = table_per_class_ap(&sample_eval(), &["Aloo Paratha", "Biryani"]);
+        assert!(t.contains("Aloo Paratha"));
+        assert!(t.contains("100.0"));
+        assert!(t.contains("0.0"));
+    }
+
+    #[test]
+    fn summary_line_format() {
+        let s = summary_line(&sample_eval());
+        assert!(s.contains("mAP@0.50"));
+        assert!(s.contains("F1"));
+    }
+
+    #[test]
+    fn confusion_rendering_marks_none_row() {
+        let gt = vec![vec![Annotation { class: 0, bbox: NormBox::new(0.5, 0.5, 0.2, 0.2) }]];
+        let preds = vec![vec![PredBox { class: 0, score: 0.9, bbox: NormBox::new(0.5, 0.5, 0.2, 0.2) }]];
+        let m = ConfusionMatrix::build(&gt, &preds, 2, 0.5);
+        let r = render_confusion(&m, &["A", "B"]);
+        assert!(r.contains("[None]"), "greyed row marker:\n{r}");
+        assert!(r.lines().count() == 4);
+    }
+
+    #[test]
+    fn pr_ascii_has_points_and_axes() {
+        let e = sample_eval();
+        let plot = render_pr_curve(&e.per_class[0].curve, "class A", 20, 8);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("recall"));
+        assert_eq!(plot.lines().count(), 10);
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let e = sample_eval();
+        let csv = pr_curve_csv(&e.per_class[0].curve);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("recall,precision"));
+        assert!(lines.next().unwrap().starts_with("1.000000,1.000000"));
+    }
+}

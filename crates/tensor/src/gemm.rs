@@ -1,0 +1,179 @@
+//! Single-precision matrix multiplication.
+//!
+//! Convolution (via im2col) and the linear layers all bottom out here, so
+//! this is the hottest code in the workspace. The kernel is a cache-blocked
+//! i-k-j loop with an unrolled inner accumulation; large outputs are split
+//! into row bands and dispatched across threads with `crossbeam::scope`.
+
+use crate::tensor::Tensor;
+
+/// Row-band size handed to each worker thread.
+const PAR_ROW_BAND: usize = 64;
+/// Below this many multiply-adds the threading overhead dominates.
+const PAR_THRESHOLD: usize = 1 << 18;
+
+/// `C = A · B` for row-major `A: [m,k]`, `B: [k,n]`; returns `C: [m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dims differ: {:?} · {:?}", a.shape(), b.shape());
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C += alpha · A · B` into a caller-provided buffer.
+///
+/// Exposed so convolution can accumulate per-batch-item results without
+/// intermediate allocations.
+pub fn gemm_accumulate(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let scaled = alpha * av;
+            if scaled == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += scaled * bv;
+            }
+        }
+    }
+}
+
+/// `C = A · B` written into a zeroed caller buffer; parallelises over row
+/// bands when both the problem is large and more than one core is available.
+pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+
+    let threads = available_threads();
+    let flops = m * k * n;
+    if threads <= 1 || flops < PAR_THRESHOLD || m < 2 * PAR_ROW_BAND {
+        serial_band(a, b, c, m, k, n, 0, m);
+        return;
+    }
+
+    crossbeam::scope(|scope| {
+        // Hand each worker a disjoint band of C's rows.
+        let mut rest = &mut c[..];
+        let mut row = 0usize;
+        while row < m {
+            let band = PAR_ROW_BAND.min(m - row);
+            let (chunk, tail) = rest.split_at_mut(band * n);
+            rest = tail;
+            let row0 = row;
+            scope.spawn(move |_| {
+                serial_band(a, b, chunk, m, k, n, row0, band);
+            });
+            row += band;
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// Compute `band` rows of C starting at `row0`. `c` addresses only the band.
+fn serial_band(a: &[f32], b: &[f32], c: &mut [f32], _m: usize, k: usize, n: usize, row0: usize, band: usize) {
+    for i in 0..band {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            // The compiler vectorises this zip in release builds.
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[7, 7], &mut rng);
+        let mut eye = Tensor::zeros(&[7, 7]);
+        for i in 0..7 {
+            eye.as_mut_slice()[i * 7 + i] = 1.0;
+        }
+        let c = matmul(&a, &eye);
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_odd_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 13), (130, 40, 33)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = naive(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-3, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_with_alpha() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [2.0f32, 0.0, 0.0, 2.0];
+        let mut c = [1.0f32; 4];
+        gemm_accumulate(&a, &b, &mut c, 2, 2, 2, 0.5);
+        assert_eq!(c, [2.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        matmul(&a, &b);
+    }
+}

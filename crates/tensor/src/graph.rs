@@ -1,0 +1,227 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a tape: every operation appends a node holding its output
+//! value and (when gradients are enabled) a backward closure that maps the
+//! node's output gradient to gradient contributions for its inputs. Because
+//! nodes are appended in execution order, walking the tape in reverse is a
+//! valid topological order for backpropagation.
+//!
+//! Typical training step:
+//!
+//! ```
+//! use platter_tensor::{Graph, Param, Tensor};
+//!
+//! let w = Param::new("w", Tensor::scalar(3.0));
+//! let mut g = Graph::new();
+//! let wv = g.param(&w);
+//! let x = g.leaf(Tensor::scalar(2.0));
+//! let y = g.mul(wv, x);          // y = w · x
+//! let loss = g.sum_all(y);
+//! g.backward(loss);
+//! assert_eq!(w.grad().item(), 2.0); // ∂(w·x)/∂w = x
+//! ```
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Backward closure: given the output gradient, produce `(input_node_id,
+/// gradient_contribution)` pairs.
+pub type BackFn = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+
+struct Node {
+    value: Tensor,
+    backward: Option<BackFn>,
+}
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only meaningful for the
+/// graph that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// An autograd tape.
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+    param_links: Vec<(usize, Param)>,
+    grad_enabled: bool,
+}
+
+impl Graph {
+    /// A graph that records backward closures (training mode).
+    pub fn new() -> Graph {
+        Graph { nodes: Vec::new(), grads: Vec::new(), param_links: Vec::new(), grad_enabled: true }
+    }
+
+    /// A graph that skips all backward bookkeeping (inference mode).
+    pub fn inference() -> Graph {
+        Graph { nodes: Vec::new(), grads: Vec::new(), param_links: Vec::new(), grad_enabled: false }
+    }
+
+    /// Whether this graph records gradients.
+    #[inline]
+    pub fn grad_enabled(&self) -> bool {
+        self.grad_enabled
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Append a node. `backward` is dropped when gradients are disabled.
+    pub(crate) fn push(&mut self, value: Tensor, backward: Option<BackFn>) -> Var {
+        let id = self.nodes.len();
+        self.nodes.push(Node { value, backward: if self.grad_enabled { backward } else { None } });
+        Var(id)
+    }
+
+    /// Insert a leaf tensor. Leaves receive gradients (inspect with
+    /// [`Graph::grad`]) but have no inputs of their own.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, None)
+    }
+
+    /// Insert a constant. Semantically identical to [`Graph::leaf`]; the
+    /// distinct name documents intent at call sites (targets, masks, grids).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, None)
+    }
+
+    /// Bind a [`Param`] into the graph. After [`Graph::backward`], the
+    /// parameter's gradient is accumulated automatically — unless the param
+    /// is frozen or the graph is in inference mode.
+    pub fn param(&mut self, p: &Param) -> Var {
+        let v = self.push(p.value(), None);
+        if self.grad_enabled && !p.is_frozen() {
+            self.param_links.push((v.0, p.clone()));
+        }
+        v
+    }
+
+    /// The value held by `v`.
+    #[inline]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape of the value held by `v`.
+    #[inline]
+    pub fn shape(&self, v: Var) -> &[usize] {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Run backpropagation from scalar node `loss`.
+    ///
+    /// Gradients of all reachable nodes are stored (see [`Graph::grad`]) and
+    /// gradients of bound, unfrozen parameters are accumulated into the
+    /// parameters themselves.
+    pub fn backward(&mut self, loss: Var) {
+        assert!(self.grad_enabled, "backward() on an inference graph");
+        assert_eq!(self.value(loss).numel(), 1, "backward() requires a scalar loss, got shape {:?}", self.shape(loss));
+        self.grads = vec![None; self.nodes.len()];
+        self.grads[loss.0] = Some(Tensor::ones(self.value(loss).shape()));
+
+        for id in (0..=loss.0).rev() {
+            let Some(gout) = self.grads[id].clone() else { continue };
+            let Some(back) = &self.nodes[id].backward else { continue };
+            for (pid, contrib) in back(&gout) {
+                debug_assert!(pid < id, "backward edge must point to an earlier node ({pid} < {id})");
+                debug_assert_eq!(
+                    contrib.shape(),
+                    self.nodes[pid].value.shape(),
+                    "gradient shape mismatch for node {pid}"
+                );
+                match &mut self.grads[pid] {
+                    Some(acc) => acc.add_assign(&contrib),
+                    slot @ None => *slot = Some(contrib),
+                }
+            }
+        }
+
+        for (id, param) in &self.param_links {
+            if let Some(g) = &self.grads[*id] {
+                param.accumulate_grad(g);
+            }
+        }
+    }
+
+    /// Gradient of `v` from the most recent [`Graph::backward`] call, if the
+    /// node was reached.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(g.value(v).as_slice(), &[1.0, 2.0]);
+        assert_eq!(g.shape(v), &[2]);
+    }
+
+    #[test]
+    fn param_binding_accumulates_gradient() {
+        let p = Param::new("w", Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let mut g = Graph::new();
+        let w = g.param(&p);
+        let loss = g.sum_all(w);
+        g.backward(loss);
+        assert_eq!(p.grad().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn frozen_param_gets_no_gradient() {
+        let p = Param::new("w", Tensor::from_vec(vec![2.0], &[1]));
+        p.set_frozen(true);
+        let mut g = Graph::new();
+        let w = g.param(&p);
+        let loss = g.sum_all(w);
+        g.backward(loss);
+        assert_eq!(p.grad().as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn inference_graph_records_no_backward() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let mut g = Graph::inference();
+        let w = g.param(&p);
+        let y = g.mul_scalar(w, 2.0);
+        assert_eq!(g.value(y).item(), 2.0);
+        assert!(!g.grad_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let v = g.leaf(Tensor::zeros(&[2]));
+        g.backward(v);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_fanout() {
+        // y = x + x  ⇒ dy/dx = 2
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(5.0));
+        let y = g.add(x, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().item(), 2.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Activation selection, mirroring darknet's per-layer `activation=` field.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, Var};
+
+/// The activations used across YOLOv4 and the baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (darknet `linear`) — raw head outputs.
+    Linear,
+    /// LeakyReLU(0.1) — neck and head convs.
+    Leaky,
+    /// Mish — CSPDarknet53 backbone convs.
+    Mish,
+    /// Plain ReLU — baseline networks.
+    Relu,
+    /// SiLU/swish.
+    Silu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply this activation to `x` in graph `g`.
+    pub fn apply(self, g: &mut Graph, x: Var) -> Var {
+        match self {
+            Activation::Linear => x,
+            Activation::Leaky => g.leaky_relu(x),
+            Activation::Mish => g.mish(x),
+            Activation::Relu => g.relu(x),
+            Activation::Silu => g.silu(x),
+            Activation::Sigmoid => g.sigmoid(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn linear_is_identity() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y = Activation::Linear.apply(&mut g, x);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn each_variant_produces_expected_sign_behaviour() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![-2.0, 2.0], &[2]));
+        for act in [Activation::Leaky, Activation::Mish, Activation::Relu, Activation::Silu] {
+            let y = act.apply(&mut g, x);
+            let v = g.value(y).as_slice();
+            assert!(v[1] > 0.0, "{act:?} positive branch");
+            assert!(v[0] <= 0.0 || act == Activation::Relu, "{act:?} negative branch");
+        }
+        let s = Activation::Sigmoid.apply(&mut g, x);
+        let v = g.value(s).as_slice();
+        assert!(v[0] > 0.0 && v[0] < 0.5 && v[1] > 0.5 && v[1] < 1.0);
+    }
+}

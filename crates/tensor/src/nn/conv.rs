@@ -1,0 +1,192 @@
+//! Convolution layers: bare `Conv2d` and darknet's conv+BN+activation block.
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::nn::activation::Activation;
+use crate::nn::batchnorm::BatchNorm2d;
+use crate::nn::init::{conv_fan_in, kaiming_normal};
+use crate::ops::Conv2dSpec;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer with optional bias.
+pub struct Conv2d {
+    pub weight: Param,
+    pub bias: Option<Param>,
+    pub spec: Conv2dSpec,
+}
+
+impl Conv2d {
+    /// Create a conv layer. `name` is the serialization prefix.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        with_bias: bool,
+        rng: &mut R,
+    ) -> Conv2d {
+        let shape = [cout, cin, kernel, kernel];
+        let weight = Param::new(format!("{name}.weight"), kaiming_normal(&shape, conv_fan_in(&shape), rng));
+        let bias = with_bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[1, cout, 1, 1])));
+        Conv2d { weight, bias, spec }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.weight);
+        let y = g.conv2d(x, w, self.spec);
+        match &self.bias {
+            Some(b) => {
+                let bv = g.param(b);
+                g.add(y, bv)
+            }
+            None => y,
+        }
+    }
+
+    /// All trainable parameters of this layer.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut out = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            out.push(b.clone());
+        }
+        out
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.borrow().value.shape()[0]
+    }
+}
+
+/// Darknet's `[convolutional]` block: conv (no bias) → batch norm → activation.
+///
+/// When built with `batch_norm: false` (detection heads), the conv gains a
+/// bias and the activation applies directly.
+pub struct ConvBlock {
+    pub conv: Conv2d,
+    pub bn: Option<BatchNorm2d>,
+    pub act: Activation,
+}
+
+impl ConvBlock {
+    /// Standard block with batch norm.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        act: Activation,
+        rng: &mut R,
+    ) -> ConvBlock {
+        ConvBlock {
+            conv: Conv2d::new(&format!("{name}.conv"), cin, cout, kernel, spec, false, rng),
+            bn: Some(BatchNorm2d::new(&format!("{name}.bn"), cout)),
+            act,
+        }
+    }
+
+    /// Head block: biased conv, no batch norm.
+    pub fn without_bn<R: Rng + ?Sized>(
+        name: &str,
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        act: Activation,
+        rng: &mut R,
+    ) -> ConvBlock {
+        ConvBlock {
+            conv: Conv2d::new(&format!("{name}.conv"), cin, cout, kernel, spec, true, rng),
+            bn: None,
+            act,
+        }
+    }
+
+    /// Forward pass; `training` selects batch vs running statistics in BN.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let mut y = self.conv.forward(g, x);
+        if let Some(bn) = &self.bn {
+            y = bn.forward(g, y, training);
+        }
+        self.act.apply(g, y)
+    }
+
+    /// All parameters (conv + BN).
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut out = self.conv.parameters();
+        if let Some(bn) = &self.bn {
+            out.extend(bn.parameters());
+        }
+        out
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.conv.out_channels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Conv2d::new("c", 3, 8, 3, Conv2dSpec::down(3), true, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2, 3, 16, 16]));
+        let y = layer.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[2, 8, 8, 8]);
+        assert_eq!(layer.parameters().len(), 2);
+        assert_eq!(layer.out_channels(), 8);
+    }
+
+    #[test]
+    fn conv_block_param_names_are_prefixed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let block = ConvBlock::new("backbone.stem", 3, 4, 3, Conv2dSpec::same(3), Activation::Mish, &mut rng);
+        let names: Vec<String> = block.parameters().iter().map(|p| p.name()).collect();
+        assert!(names.contains(&"backbone.stem.conv.weight".to_string()));
+        assert!(names.iter().any(|n| n.starts_with("backbone.stem.bn.")));
+    }
+
+    #[test]
+    fn conv_block_trains_toward_target() {
+        // A 1×1 conv block without BN can learn to scale its input.
+        let mut rng = StdRng::seed_from_u64(7);
+        let block = ConvBlock::without_bn("b", 1, 1, 1, Conv2dSpec::same(1), Activation::Linear, &mut rng);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let target = Tensor::full(&[1, 1, 2, 2], 3.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let y = block.forward(&mut g, xv, true);
+            let tv = g.constant(target.clone());
+            let d = g.sub(y, tv);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            last = g.value(loss).item();
+            for p in block.parameters() {
+                let grad = p.grad();
+                let mut inner = p.borrow_mut();
+                let vals = inner.value.as_mut_slice();
+                for (v, gr) in vals.iter_mut().zip(grad.as_slice()) {
+                    *v -= 0.2 * gr;
+                }
+                drop(inner);
+                p.zero_grad();
+            }
+        }
+        assert!(last < 1e-3, "conv block failed to fit: loss {last}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming (He) normal initialisation: N(0, √(2 / fan_in)).
+///
+/// The default for conv/linear weights feeding ReLU-family activations.
+pub fn kaiming_normal<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, rng).map(|v| v * std)
+}
+
+/// Xavier/Glorot uniform initialisation: U(−a, a) with a = √(6/(fan_in+fan_out)).
+pub fn xavier_uniform<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// Fan-in of a conv weight `[cout, cin, kh, kw]`.
+pub fn conv_fan_in(shape: &[usize]) -> usize {
+    debug_assert_eq!(shape.len(), 4);
+    shape[1] * shape[2] * shape[3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = kaiming_normal(&[64, 64, 3, 3], 64 * 9, &mut rng);
+        let n = t.numel() as f32;
+        let var = t.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+        let expect = 2.0 / (64.0 * 9.0);
+        assert!((var - expect).abs() / expect < 0.15, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let t = xavier_uniform(&[10, 10], 10, 10, &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+
+    #[test]
+    fn conv_fan_in_formula() {
+        assert_eq!(conv_fan_in(&[32, 16, 3, 3]), 144);
+    }
+}

@@ -1,0 +1,92 @@
+//! Fully-connected layer (classifier heads).
+
+use rand::Rng;
+
+use crate::graph::{Graph, Var};
+use crate::nn::init::kaiming_normal;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Affine layer `y = x·Wᵀ + b` for `x: [n, d_in]`.
+pub struct Linear {
+    pub weight: Param,
+    pub bias: Param,
+}
+
+impl Linear {
+    /// Create a linear layer. `name` is the serialization prefix.
+    pub fn new<R: Rng + ?Sized>(name: &str, d_in: usize, d_out: usize, rng: &mut R) -> Linear {
+        Linear {
+            weight: Param::new(format!("{name}.weight"), kaiming_normal(&[d_out, d_in], d_in, rng)),
+            bias: Param::new(format!("{name}.bias"), Tensor::zeros(&[d_out])),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.weight);
+        let b = g.param(&self.bias);
+        g.linear(x, w, Some(b))
+    }
+
+    /// Trainable parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let l = Linear::new("fc", 8, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[5, 8]));
+        let y = l.forward(&mut g, x);
+        assert_eq!(g.shape(y), &[5, 3]);
+    }
+
+    #[test]
+    fn fits_a_linear_map() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let l = Linear::new("fc", 2, 1, &mut rng);
+        // Target function: y = 2x₀ − x₁ + 0.5
+        let xs = Tensor::randn(&[64, 2], &mut rng);
+        let mut ys = Tensor::zeros(&[64, 1]);
+        for i in 0..64 {
+            let (a, b) = (xs.as_slice()[i * 2], xs.as_slice()[i * 2 + 1]);
+            ys.as_mut_slice()[i] = 2.0 * a - b + 0.5;
+        }
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let x = g.leaf(xs.clone());
+            let t = g.constant(ys.clone());
+            let p = l.forward(&mut g, x);
+            let d = g.sub(p, t);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            last = g.value(loss).item();
+            for param in l.parameters() {
+                let grad = param.grad();
+                let mut inner = param.borrow_mut();
+                for (v, gr) in inner.value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                    *v -= 0.1 * gr;
+                }
+                drop(inner);
+                param.zero_grad();
+            }
+        }
+        assert!(last < 1e-3, "linear failed to fit: {last}");
+        let w = l.weight.value();
+        assert!((w.as_slice()[0] - 2.0).abs() < 0.05);
+        assert!((w.as_slice()[1] + 1.0).abs() < 0.05);
+        assert!((l.bias.value().as_slice()[0] - 0.5).abs() < 0.05);
+    }
+}

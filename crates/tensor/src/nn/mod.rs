@@ -1,0 +1,13 @@
+//! Neural-network building blocks on top of the autograd graph: layers with
+//! owned parameters, weight initialisation, and activation selection.
+
+mod activation;
+mod batchnorm;
+mod conv;
+pub mod init;
+mod linear;
+
+pub use activation::Activation;
+pub use batchnorm::BatchNorm2d;
+pub use conv::{Conv2d, ConvBlock};
+pub use linear::Linear;

@@ -1,0 +1,403 @@
+//! Elementwise binary ops (with broadcasting), scalar ops, unary maps and
+//! the activation functions YOLOv4 uses (LeakyReLU, Mish).
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Numerically stable softplus: ln(1 + eˣ).
+#[inline]
+pub(crate) fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[inline]
+pub(crate) fn sigmoid_f(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Slope of the negative branch of LeakyReLU, matching darknet's 0.1.
+pub const LEAKY_SLOPE: f32 = 0.1;
+
+impl Graph {
+    // ---- binary ops -------------------------------------------------------
+
+    /// `a + b` with broadcasting.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let out = av.broadcast_zip(&bv, |x, y| x + y);
+        let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(a.0, g.reduce_to_shape(&sa)), (b.0, g.reduce_to_shape(&sb))]
+            })),
+        )
+    }
+
+    /// `a - b` with broadcasting.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let out = av.broadcast_zip(&bv, |x, y| x - y);
+        let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let gb = g.map(|v| -v).reduce_to_shape(&sb);
+                vec![(a.0, g.reduce_to_shape(&sa)), (b.0, gb)]
+            })),
+        )
+    }
+
+    /// `a * b` (Hadamard) with broadcasting.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let out = av.broadcast_zip(&bv, |x, y| x * y);
+        let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let ga = g.broadcast_zip(&bv, |gv, y| gv * y).reduce_to_shape(&sa);
+                let gb = g.broadcast_zip(&av, |gv, x| gv * x).reduce_to_shape(&sb);
+                vec![(a.0, ga), (b.0, gb)]
+            })),
+        )
+    }
+
+    /// `a / b` with broadcasting. The caller is responsible for keeping `b`
+    /// away from zero (e.g. via [`Graph::add_scalar`] with an epsilon).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let out = av.broadcast_zip(&bv, |x, y| x / y);
+        let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let ga = g.broadcast_zip(&bv, |gv, y| gv / y).reduce_to_shape(&sa);
+                let gb = g
+                    .broadcast_zip(&av, |gv, x| gv * x)
+                    .broadcast_zip(&bv, |t, y| -t / (y * y))
+                    .reduce_to_shape(&sb);
+                vec![(a.0, ga), (b.0, gb)]
+            })),
+        )
+    }
+
+    /// Elementwise maximum with broadcasting. Subgradient goes to `a` on ties.
+    pub fn max_elt(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let out = av.broadcast_zip(&bv, f32::max);
+        let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let mask_a = av.broadcast_zip(&bv, |x, y| if x >= y { 1.0 } else { 0.0 });
+                let ga = g.zip_map(&mask_a, |gv, m| gv * m).reduce_to_shape(&sa);
+                let gb = g.zip_map(&mask_a, |gv, m| gv * (1.0 - m)).reduce_to_shape(&sb);
+                vec![(a.0, ga), (b.0, gb)]
+            })),
+        )
+    }
+
+    /// Elementwise minimum with broadcasting. Subgradient goes to `a` on ties.
+    pub fn min_elt(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let out = av.broadcast_zip(&bv, f32::min);
+        let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let mask_a = av.broadcast_zip(&bv, |x, y| if x <= y { 1.0 } else { 0.0 });
+                let ga = g.zip_map(&mask_a, |gv, m| gv * m).reduce_to_shape(&sa);
+                let gb = g.zip_map(&mask_a, |gv, m| gv * (1.0 - m)).reduce_to_shape(&sb);
+                vec![(a.0, ga), (b.0, gb)]
+            })),
+        )
+    }
+
+    // ---- scalar ops -------------------------------------------------------
+
+    /// `a + k`.
+    pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
+        let out = self.value(a).map(|x| x + k);
+        self.push(out, Some(Box::new(move |g| vec![(a.0, g.clone())])))
+    }
+
+    /// `a * k`.
+    pub fn mul_scalar(&mut self, a: Var, k: f32) -> Var {
+        let out = self.value(a).map(|x| x * k);
+        self.push(out, Some(Box::new(move |g| vec![(a.0, g.map(|v| v * k))])))
+    }
+
+    /// Clamp every element into `[lo, hi]`; gradient passes only inside the
+    /// open interval.
+    pub fn clamp(&mut self, a: Var, lo: f32, hi: f32) -> Var {
+        let av = self.value(a).clone();
+        let out = av.map(|x| x.clamp(lo, hi));
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let ga = g.zip_map(&av, |gv, x| if x > lo && x < hi { gv } else { 0.0 });
+                vec![(a.0, ga)]
+            })),
+        )
+    }
+
+    // ---- unary maps -------------------------------------------------------
+
+    fn unary(&mut self, a: Var, f: impl Fn(f32) -> f32, df: impl Fn(f32) -> f32 + 'static) -> Var {
+        let av = self.value(a).clone();
+        let out = av.map(f);
+        self.push(
+            out,
+            Some(Box::new(move |g| vec![(a.0, g.zip_map(&av, |gv, x| gv * df(x)))])),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.unary(a, |x| -x, |_| -1.0)
+    }
+
+    /// eˣ.
+    pub fn exp(&mut self, a: Var) -> Var {
+        self.unary(a, f32::exp, f32::exp)
+    }
+
+    /// ln(x), with input clamped to ≥ 1e-12 for stability.
+    pub fn ln(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x.max(1e-12).ln(), |x| 1.0 / x.max(1e-12))
+    }
+
+    /// √x, with input clamped to ≥ 0.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0).sqrt(), |x| 0.5 / x.max(1e-12).sqrt())
+    }
+
+    /// x².
+    pub fn square(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x * x, |x| 2.0 * x)
+    }
+
+    /// |x|; subgradient 0 at the kink.
+    pub fn abs(&mut self, a: Var) -> Var {
+        self.unary(a, f32::abs, |x| {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// arctan(x) — used by the aspect-ratio term of the CIoU loss.
+    pub fn atan(&mut self, a: Var) -> Var {
+        self.unary(a, f32::atan, |x| 1.0 / (1.0 + x * x))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        self.unary(a, sigmoid_f, |x| {
+            let s = sigmoid_f(x);
+            s * (1.0 - s)
+        })
+    }
+
+    /// tanh(x).
+    pub fn tanh(&mut self, a: Var) -> Var {
+        self.unary(a, f32::tanh, |x| 1.0 - x.tanh() * x.tanh())
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        self.unary(a, |x| x.max(0.0), |x| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// LeakyReLU with darknet's 0.1 negative slope.
+    pub fn leaky_relu(&mut self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| if x > 0.0 { x } else { LEAKY_SLOPE * x },
+            |x| if x > 0.0 { 1.0 } else { LEAKY_SLOPE },
+        )
+    }
+
+    /// Mish: x · tanh(softplus(x)) — YOLOv4's backbone activation.
+    pub fn mish(&mut self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| x * softplus(x).tanh(),
+            |x| {
+                let sp = softplus(x);
+                let tsp = sp.tanh();
+                tsp + x * sigmoid_f(x) * (1.0 - tsp * tsp)
+            },
+        )
+    }
+
+    /// SiLU / swish: x · sigmoid(x).
+    pub fn silu(&mut self, a: Var) -> Var {
+        self.unary(
+            a,
+            |x| x * sigmoid_f(x),
+            |x| {
+                let s = sigmoid_f(x);
+                s + x * s * (1.0 - s)
+            },
+        )
+    }
+}
+
+/// Non-autograd helpers for inference-time post-processing.
+pub(crate) fn tensor_sigmoid(t: &Tensor) -> Tensor {
+    t.map(sigmoid_f)
+}
+
+impl Tensor {
+    /// Elementwise sigmoid (no autograd; decode-time helper).
+    pub fn sigmoid(&self) -> Tensor {
+        tensor_sigmoid(self)
+    }
+
+    /// Elementwise exp (no autograd; decode-time helper).
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_grads;
+
+    #[test]
+    fn add_forward_and_grad() {
+        check_grads(&[2, 3], |g, x| {
+            let c = g.leaf(Tensor::full(&[2, 3], 0.5));
+            let y = g.add(x, c);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn broadcast_add_grad_folds() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 3]));
+        let b = g.leaf(Tensor::ones(&[1, 3]));
+        let y = g.add(x, b);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        // b participates in both rows → gradient 2 per element.
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_grad() {
+        check_grads(&[4], |g, x| {
+            let c = g.leaf(Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]));
+            let y = g.mul(x, c);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn div_grad() {
+        check_grads(&[3], |g, x| {
+            let c = g.leaf(Tensor::from_vec(vec![2.0, 4.0, 8.0], &[3]));
+            let y = g.div(c, x); // test gradient through denominator too
+            let z = g.div(x, c);
+            let s = g.add(y, z);
+            g.sum_all(s)
+        });
+    }
+
+    #[test]
+    fn unary_grads_match_finite_difference() {
+        check_grads(&[5], |g, x| {
+            let y = g.exp(x);
+            g.sum_all(y)
+        });
+        check_grads(&[5], |g, x| {
+            let y = g.sigmoid(x);
+            g.sum_all(y)
+        });
+        check_grads(&[5], |g, x| {
+            let y = g.tanh(x);
+            g.sum_all(y)
+        });
+        check_grads(&[5], |g, x| {
+            let y = g.mish(x);
+            g.sum_all(y)
+        });
+        check_grads(&[5], |g, x| {
+            let y = g.silu(x);
+            g.sum_all(y)
+        });
+        check_grads(&[5], |g, x| {
+            let y = g.atan(x);
+            g.sum_all(y)
+        });
+        check_grads(&[5], |g, x| {
+            let y = g.square(x);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y = g.leaky_relu(x);
+        assert_eq!(g.value(y).as_slice(), &[-0.1, 2.0]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn mish_matches_reference_values() {
+        // Reference values computed from the definition x·tanh(ln(1+eˣ)).
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]));
+        let y = g.mish(x);
+        let out = g.value(y).as_slice().to_vec();
+        assert!((out[0] - 0.0).abs() < 1e-6);
+        assert!((out[1] - 0.865098).abs() < 1e-4);
+        assert!((out[2] - (-0.303401)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clamp_blocks_gradient_outside_range() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![-2.0, 0.5, 2.0], &[3]));
+        let y = g.clamp(x, -1.0, 1.0);
+        assert_eq!(g.value(y).as_slice(), &[-1.0, 0.5, 1.0]);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn max_min_elt_select_correct_branch() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 5.0], &[2]));
+        let b = g.leaf(Tensor::from_vec(vec![3.0, 2.0], &[2]));
+        let hi = g.max_elt(a, b);
+        let lo = g.min_elt(a, b);
+        assert_eq!(g.value(hi).as_slice(), &[3.0, 5.0]);
+        assert_eq!(g.value(lo).as_slice(), &[1.0, 2.0]);
+        let s = g.add(hi, lo);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        // Each element is selected exactly once by max and once by min.
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1.0, 1.0]);
+    }
+}

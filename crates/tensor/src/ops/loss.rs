@@ -1,0 +1,216 @@
+//! Loss primitives with analytic gradients: BCE-with-logits (YOLO
+//! objectness/class terms), softmax cross-entropy (classifier pretraining,
+//! SSD class head) and smooth-L1 (SSD box regression).
+
+use crate::graph::{Graph, Var};
+use crate::ops::elementwise::sigmoid_f;
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Elementwise binary cross-entropy on logits against a constant target
+    /// tensor (`target` values in `[0,1]`, broadcastable is *not* supported —
+    /// shapes must match). Returns per-element losses; combine with a mask
+    /// and [`Graph::sum_all`] as needed.
+    ///
+    /// Uses the numerically stable form
+    /// `max(x,0) − x·t + ln(1 + e^{−|x|})`, with gradient `σ(x) − t`.
+    pub fn bce_with_logits(&mut self, x: Var, target: &Tensor) -> Var {
+        let xv = self.value(x).clone();
+        assert_eq!(xv.shape(), target.shape(), "bce_with_logits shape mismatch");
+        let out = xv.zip_map(target, |xi, ti| xi.max(0.0) - xi * ti + (-xi.abs()).exp().ln_1p());
+        let t = target.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let gx = xv
+                    .zip_map(&t, |xi, ti| sigmoid_f(xi) - ti)
+                    .zip_map(g, |d, gv| d * gv);
+                vec![(x.0, gx)]
+            })),
+        )
+    }
+
+    /// Mean softmax cross-entropy of `logits: [n, k]` against integer class
+    /// `targets` (length `n`). Gradient is `(softmax − onehot) / n`.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.value(logits).clone();
+        assert_eq!(lv.ndim(), 2, "softmax_cross_entropy expects [n,k] logits");
+        let (n, k) = (lv.shape()[0], lv.shape()[1]);
+        assert_eq!(targets.len(), n, "targets length {} != batch {}", targets.len(), n);
+        for &t in targets {
+            assert!(t < k, "target class {t} out of range (k={k})");
+        }
+        let ls = lv.as_slice();
+        let mut probs = vec![0.0f32; n * k];
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            let row = &ls[i * k..(i + 1) * k];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - m).exp();
+                probs[i * k + j] = e;
+                z += e;
+            }
+            for p in &mut probs[i * k..(i + 1) * k] {
+                *p /= z;
+            }
+            loss -= (probs[i * k + targets[i]].max(1e-12) as f64).ln();
+        }
+        let mean_loss = (loss / n as f64) as f32;
+        let targets = targets.to_vec();
+        self.push(
+            Tensor::scalar(mean_loss),
+            Some(Box::new(move |g| {
+                let scale = g.item() / n as f32;
+                let mut gx = probs.clone();
+                for (i, &t) in targets.iter().enumerate() {
+                    gx[i * k + t] -= 1.0;
+                }
+                for v in &mut gx {
+                    *v *= scale;
+                }
+                vec![(logits.0, Tensor::from_vec(gx, &[n, k]))]
+            })),
+        )
+    }
+
+    /// Elementwise smooth-L1 (Huber, β = 1) against a constant target.
+    /// Returns per-element losses.
+    pub fn smooth_l1(&mut self, x: Var, target: &Tensor) -> Var {
+        let xv = self.value(x).clone();
+        assert_eq!(xv.shape(), target.shape(), "smooth_l1 shape mismatch");
+        let out = xv.zip_map(target, |xi, ti| {
+            let d = xi - ti;
+            if d.abs() < 1.0 {
+                0.5 * d * d
+            } else {
+                d.abs() - 0.5
+            }
+        });
+        let t = target.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                let gx = xv.zip_map(&t, |xi, ti| (xi - ti).clamp(-1.0, 1.0)).zip_map(g, |d, gv| d * gv);
+                vec![(x.0, gx)]
+            })),
+        )
+    }
+}
+
+/// Plain softmax over the last axis of a 2-D tensor (no autograd; inference).
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2);
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let ls = logits.as_slice();
+    let mut out = vec![0.0f32; n * k];
+    for i in 0..n {
+        let row = &ls[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - m).exp();
+            out[i * k + j] = e;
+            z += e;
+        }
+        for v in &mut out[i * k..(i + 1) * k] {
+            *v /= z;
+        }
+    }
+    Tensor::from_vec(out, &[n, k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{check_grads, check_grads_at};
+
+    #[test]
+    fn bce_known_values() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.0, 100.0, -100.0], &[3]));
+        let t = Tensor::from_vec(vec![0.5, 1.0, 0.0], &[3]);
+        let l = g.bce_with_logits(x, &t);
+        let v = g.value(l).as_slice().to_vec();
+        assert!((v[0] - std::f32::consts::LN_2).abs() < 1e-5, "BCE at logit 0, t=0.5 is ln 2");
+        assert!(v[1] < 1e-4, "confident correct positive ≈ 0");
+        assert!(v[2] < 1e-4, "confident correct negative ≈ 0");
+    }
+
+    #[test]
+    fn bce_grad_matches_fd() {
+        let base = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]);
+        check_grads_at(&base, |g, x| {
+            let t = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.0, 1.0], &[5]);
+            let l = g.bce_with_logits(x, &t);
+            g.sum_all(l)
+        });
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[2, 4]));
+        let l = g.softmax_cross_entropy(x, &[0, 3]);
+        assert!((g.value(l).item() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_ce_grad_matches_fd() {
+        check_grads(&[3, 4], |g, x| g.softmax_cross_entropy(x, &[1, 0, 3]));
+    }
+
+    #[test]
+    fn softmax_ce_decreases_with_training_signal() {
+        // One gradient step on the logits must reduce the loss.
+        let mut t = Tensor::zeros(&[1, 3]);
+        for _ in 0..5 {
+            let mut g = Graph::new();
+            let x = g.leaf(t.clone());
+            let l = g.softmax_cross_entropy(x, &[2]);
+            g.backward(l);
+            let grad = g.grad(x).unwrap().clone();
+            let before = g.value(l).item();
+            for (v, gr) in t.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *v -= 1.0 * gr;
+            }
+            let mut g2 = Graph::new();
+            let x2 = g2.leaf(t.clone());
+            let l2 = g2.softmax_cross_entropy(x2, &[2]);
+            assert!(g2.value(l2).item() < before);
+        }
+    }
+
+    #[test]
+    fn smooth_l1_quadratic_and_linear_regions() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.5, 3.0], &[2]));
+        let t = Tensor::zeros(&[2]);
+        let l = g.smooth_l1(x, &t);
+        let v = g.value(l).as_slice().to_vec();
+        assert!((v[0] - 0.125).abs() < 1e-6);
+        assert!((v[1] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smooth_l1_grad_matches_fd() {
+        let base = Tensor::from_vec(vec![-3.0, -0.5, 0.25, 2.0], &[4]);
+        check_grads_at(&base, |g, x| {
+            let t = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[4]);
+            let l = g.smooth_l1(x, &t);
+            g.sum_all(l)
+        });
+    }
+
+    #[test]
+    fn softmax_rows_normalises() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let p = softmax_rows(&t);
+        for i in 0..2 {
+            let s: f32 = p.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!((p.as_slice()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+}

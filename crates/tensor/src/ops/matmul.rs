@@ -1,0 +1,93 @@
+//! Matrix multiplication and 2-D transpose as graph ops.
+
+use crate::gemm;
+use crate::graph::{Graph, Var};
+
+impl Graph {
+    /// `a · b` for `a: [m,k]`, `b: [k,n]` → `[m,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a).clone(), self.value(b).clone());
+        let out = gemm::matmul(&av, &bv);
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                // dL/dA = G · Bᵀ,  dL/dB = Aᵀ · G
+                let ga = gemm::matmul(g, &bv.transpose2d());
+                let gb = gemm::matmul(&av.transpose2d(), g);
+                vec![(a.0, ga), (b.0, gb)]
+            })),
+        )
+    }
+
+    /// 2-D transpose (copying).
+    pub fn transpose2d(&mut self, a: Var) -> Var {
+        let out = self.value(a).transpose2d();
+        self.push(out, Some(Box::new(move |g| vec![(a.0, g.transpose2d())])))
+    }
+
+    /// Affine layer: `x · wᵀ + bias` for `x: [n,d_in]`, `w: [d_out,d_in]`,
+    /// `bias: [d_out]` (broadcast over rows). Pass `None` to skip the bias.
+    pub fn linear(&mut self, x: Var, w: Var, bias: Option<Var>) -> Var {
+        let wt = self.transpose2d(w);
+        let y = self.matmul(x, wt);
+        match bias {
+            Some(b) => self.add(y, b),
+            None => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+    use crate::testutil::check_grads;
+
+    #[test]
+    fn matmul_forward() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_grads_match_fd() {
+        check_grads(&[3, 4], |g, x| {
+            let w = g.leaf(Tensor::from_vec((0..8).map(|i| 0.1 * i as f32).collect(), &[4, 2]));
+            let y = g.matmul(x, w);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn matmul_grad_through_rhs() {
+        check_grads(&[4, 2], |g, x| {
+            let a = g.leaf(Tensor::from_vec((0..12).map(|i| 0.05 * i as f32).collect(), &[3, 4]));
+            let y = g.matmul(a, x);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn linear_with_bias() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let w = g.leaf(Tensor::from_vec(vec![1.0, 1.0, 2.0, 0.0], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![10.0, 20.0], &[2]));
+        let y = g.linear(x, w, Some(b));
+        // row 0 of w = [1,1] → 3; row 1 = [2,0] → 2; plus bias.
+        assert_eq!(g.value(y).as_slice(), &[13.0, 22.0]);
+    }
+
+    #[test]
+    fn transpose_grad_round_trips() {
+        check_grads(&[2, 3], |g, x| {
+            let t = g.transpose2d(x);
+            let sq = g.square(t);
+            g.sum_all(sq)
+        });
+    }
+}

@@ -1,0 +1,18 @@
+//! Differentiable operations, implemented as methods on [`crate::Graph`].
+//!
+//! Each op computes its forward value eagerly and, when the graph records
+//! gradients, registers a backward closure mapping the output gradient to
+//! contributions for each input node. Broadcasting binary ops fold their
+//! gradients back to operand shape with [`crate::Tensor::reduce_to_shape`].
+
+mod conv;
+mod elementwise;
+mod loss;
+mod matmul;
+mod pool;
+mod reduce;
+mod resample;
+mod shape_ops;
+
+pub use conv::Conv2dSpec;
+pub use loss::softmax_rows;

@@ -1,0 +1,153 @@
+//! Pooling: max pooling (used by SPP with stride 1) and global average
+//! pooling (classifier head).
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Max pooling over `k`×`k` windows with the given stride and zero
+    /// padding. Padded cells act as −∞ (they never win), matching darknet.
+    pub fn maxpool2d(&mut self, x: Var, k: usize, stride: usize, pad: usize) -> Var {
+        let xv = self.value(x).clone();
+        assert_eq!(xv.ndim(), 4, "maxpool2d expects NCHW, got {:?}", xv.shape());
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        let hout = (h + 2 * pad).saturating_sub(k) / stride + 1;
+        let wout = (w + 2 * pad).saturating_sub(k) / stride + 1;
+        assert!(hout > 0 && wout > 0, "maxpool2d output collapsed: {h}x{w} k={k} s={stride} p={pad}");
+
+        let xs = xv.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; n * c * hout * wout];
+        // Flat input index of each output's winning element, for backward.
+        let mut argmax = vec![0u32; n * c * hout * wout];
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = (b * c + ch) * h * w;
+                let oplane = (b * c + ch) * hout * wout;
+                for oy in 0..hout {
+                    for ox in 0..wout {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let idx = plane + iy as usize * w + ix as usize;
+                                if xs[idx] > best {
+                                    best = xs[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        // A window fully outside the input cannot happen for
+                        // pad < k, which out_dim arithmetic guarantees.
+                        out[oplane + oy * wout + ox] = best;
+                        argmax[oplane + oy * wout + ox] = best_idx as u32;
+                    }
+                }
+            }
+        }
+        let numel_in = xv.numel();
+        let shape_in = xv.shape().to_vec();
+        self.push(
+            Tensor::from_vec(out, &[n, c, hout, wout]),
+            Some(Box::new(move |g| {
+                let mut gx = vec![0.0f32; numel_in];
+                for (gi, &src) in g.as_slice().iter().zip(argmax.iter()) {
+                    gx[src as usize] += gi;
+                }
+                vec![(x.0, Tensor::from_vec(gx, &shape_in))]
+            })),
+        )
+    }
+
+    /// Global average pooling: `[n,c,h,w]` → `[n,c]`.
+    pub fn global_avg_pool(&mut self, x: Var) -> Var {
+        let shape = self.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 4, "global_avg_pool expects NCHW");
+        let (n, c) = (shape[0], shape[1]);
+        let m = self.mean_axes(x, &[2, 3]);
+        self.reshape(m, &[n, c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_grads;
+
+    #[test]
+    fn maxpool_2x2_stride2() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 1.0, 1.0, 1.0, //
+                1.0, 1.0, 1.0, 2.0,
+            ],
+            &[1, 1, 4, 4],
+        ));
+        let y = g.maxpool2d(x, 2, 2, 0);
+        assert_eq!(g.shape(y), &[1, 1, 2, 2]);
+        assert_eq!(g.value(y).as_slice(), &[4.0, 8.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]));
+        let y = g.maxpool2d(x, 2, 2, 0);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn spp_style_stride1_same_size() {
+        // SPP uses k ∈ {5,9,13}, stride 1, pad k/2 — output matches input.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[1, 2, 8, 8]));
+        for &k in &[5usize, 9, 13] {
+            let y = g.maxpool2d(x, k, 1, k / 2);
+            assert_eq!(g.shape(y), &[1, 2, 8, 8], "k={k}");
+        }
+    }
+
+    #[test]
+    fn maxpool_grad_matches_fd() {
+        check_grads(&[1, 1, 4, 4], |g, x| {
+            let y = g.maxpool2d(x, 2, 2, 0);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn global_avg_pool_shape_and_value() {
+        let mut g = Graph::new();
+        let mut t = Tensor::zeros(&[2, 3, 2, 2]);
+        for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let x = g.leaf(t);
+        let y = g.global_avg_pool(x);
+        assert_eq!(g.shape(y), &[2, 3]);
+        // Channel 0 of batch 0 holds 0,1,2,3 → mean 1.5.
+        assert_eq!(g.value(y).as_slice()[0], 1.5);
+    }
+
+    #[test]
+    fn global_avg_pool_grad_matches_fd() {
+        check_grads(&[2, 2, 3, 3], |g, x| {
+            let y = g.global_avg_pool(x);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+}

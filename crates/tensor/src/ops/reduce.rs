@@ -1,0 +1,113 @@
+//! Reductions: full and per-axis sums/means.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Sum all elements into a `[1]` scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let av = self.value(a).clone();
+        let out = Tensor::scalar(av.sum());
+        let shape = av.shape().to_vec();
+        self.push(
+            out,
+            Some(Box::new(move |g| {
+                vec![(a.0, Tensor::full(&shape, g.item()))]
+            })),
+        )
+    }
+
+    /// Mean of all elements into a `[1]` scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).numel().max(1) as f32;
+        let s = self.sum_all(a);
+        self.mul_scalar(s, 1.0 / n)
+    }
+
+    /// Sum over `axes`, keeping the reduced dimensions as size 1.
+    pub fn sum_axes(&mut self, a: Var, axes: &[usize]) -> Var {
+        let av = self.value(a).clone();
+        let mut out_shape = av.shape().to_vec();
+        for &ax in axes {
+            assert!(ax < out_shape.len(), "sum_axes axis {ax} out of range for {:?}", av.shape());
+            out_shape[ax] = 1;
+        }
+        let out = av.reduce_to_shape(&out_shape);
+        let in_shape = av.shape().to_vec();
+        self.push(
+            out,
+            Some(Box::new(move |g| vec![(a.0, g.broadcast_to(&in_shape))])),
+        )
+    }
+
+    /// Mean over `axes`, keeping the reduced dimensions as size 1.
+    pub fn mean_axes(&mut self, a: Var, axes: &[usize]) -> Var {
+        let shape = self.value(a).shape().to_vec();
+        let count: usize = axes.iter().map(|&ax| shape[ax]).product();
+        let s = self.sum_axes(a, axes);
+        self.mul_scalar(s, 1.0 / count.max(1) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_grads;
+
+    #[test]
+    fn sum_all_value_and_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let s = g.sum_all(x);
+        assert_eq!(g.value(s).item(), 6.0);
+        g.backward(s);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_all_scales_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![2.0, 4.0], &[2]));
+        let m = g.mean_all(x);
+        assert_eq!(g.value(m).item(), 3.0);
+        g.backward(m);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn sum_axes_keeps_dims() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec((1..=6).map(|v| v as f32).collect(), &[2, 3]));
+        let s = g.sum_axes(x, &[1]);
+        assert_eq!(g.shape(s), &[2, 1]);
+        assert_eq!(g.value(s).as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn sum_axes_batchnorm_style() {
+        // The (0,2,3) reduction used by batch norm.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[2, 3, 4, 4]));
+        let s = g.sum_axes(x, &[0, 2, 3]);
+        assert_eq!(g.shape(s), &[1, 3, 1, 1]);
+        assert_eq!(g.value(s).as_slice(), &[32.0, 32.0, 32.0]);
+    }
+
+    #[test]
+    fn mean_axes_grad_matches_fd() {
+        check_grads(&[2, 3, 2, 2], |g, x| {
+            let m = g.mean_axes(x, &[0, 2, 3]);
+            let sq = g.square(m);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn sum_axes_grad_matches_fd() {
+        check_grads(&[3, 4], |g, x| {
+            let s = g.sum_axes(x, &[0]);
+            let e = g.exp(s);
+            g.sum_all(e)
+        });
+    }
+}

@@ -1,0 +1,92 @@
+//! Spatial resampling: nearest-neighbour 2× upsampling (PANet top-down path).
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Nearest-neighbour upsample by an integer `factor` over H and W.
+    pub fn upsample_nearest(&mut self, x: Var, factor: usize) -> Var {
+        assert!(factor >= 1, "upsample factor must be >= 1");
+        let xv = self.value(x).clone();
+        assert_eq!(xv.ndim(), 4, "upsample_nearest expects NCHW, got {:?}", xv.shape());
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        let (ho, wo) = (h * factor, w * factor);
+        let xs = xv.as_slice();
+        let mut out = vec![0.0f32; n * c * ho * wo];
+        for plane in 0..n * c {
+            let src = &xs[plane * h * w..(plane + 1) * h * w];
+            let dst = &mut out[plane * ho * wo..(plane + 1) * ho * wo];
+            for oy in 0..ho {
+                let iy = oy / factor;
+                for ox in 0..wo {
+                    dst[oy * wo + ox] = src[iy * w + ox / factor];
+                }
+            }
+        }
+        self.push(
+            Tensor::from_vec(out, &[n, c, ho, wo]),
+            Some(Box::new(move |g| {
+                // Adjoint: each input cell collects the sum of its factor²
+                // replicas.
+                let gs = g.as_slice();
+                let mut gx = vec![0.0f32; n * c * h * w];
+                for plane in 0..n * c {
+                    let src = &gs[plane * ho * wo..(plane + 1) * ho * wo];
+                    let dst = &mut gx[plane * h * w..(plane + 1) * h * w];
+                    for oy in 0..ho {
+                        let iy = oy / factor;
+                        for ox in 0..wo {
+                            dst[iy * w + ox / factor] += src[oy * wo + ox];
+                        }
+                    }
+                }
+                vec![(x.0, Tensor::from_vec(gx, &[n, c, h, w]))]
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_grads;
+
+    #[test]
+    fn upsample_2x_replicates() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]));
+        let y = g.upsample_nearest(x, 2);
+        assert_eq!(g.shape(y), &[1, 1, 4, 4]);
+        assert_eq!(
+            g.value(y).as_slice(),
+            &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 3.0, 3.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn upsample_factor_1_is_identity() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]));
+        let y = g.upsample_nearest(x, 1);
+        assert_eq!(g.value(y).as_slice(), g.value(x).as_slice());
+    }
+
+    #[test]
+    fn upsample_backward_sums_replicas() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 2]));
+        let y = g.upsample_nearest(x, 3);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn upsample_grad_matches_fd() {
+        check_grads(&[1, 2, 2, 3], |g, x| {
+            let y = g.upsample_nearest(x, 2);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+}

@@ -1,0 +1,208 @@
+//! Shape manipulation: reshape (free), narrow (axis slicing) and concat —
+//! the plumbing of CSP splits, SPP stacking and YOLO head decoding.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Factor `shape` around `axis` into (outer, dim, inner) extents so that any
+/// axis operation becomes a flat 3-level loop.
+fn factor(shape: &[usize], axis: usize) -> (usize, usize, usize) {
+    let outer: usize = shape[..axis].iter().product();
+    let dim = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    (outer, dim, inner)
+}
+
+impl Graph {
+    /// Reinterpret `a` with a new shape of equal element count (no copy).
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let out = self.value(a).reshape(shape);
+        let orig = self.value(a).shape().to_vec();
+        self.push(out, Some(Box::new(move |g| vec![(a.0, g.reshape(&orig))])))
+    }
+
+    /// Slice `len` entries starting at `start` along `axis` (copying).
+    pub fn narrow(&mut self, a: Var, axis: usize, start: usize, len: usize) -> Var {
+        let av = self.value(a).clone();
+        assert!(axis < av.ndim(), "narrow axis {axis} out of range for {:?}", av.shape());
+        let (outer, dim, inner) = factor(av.shape(), axis);
+        assert!(
+            start + len <= dim,
+            "narrow [{start}, {start}+{len}) out of range for axis {axis} of {:?}",
+            av.shape()
+        );
+        let mut out_shape = av.shape().to_vec();
+        out_shape[axis] = len;
+        let xs = av.as_slice();
+        let mut out = vec![0.0f32; outer * len * inner];
+        for o in 0..outer {
+            let src = &xs[(o * dim + start) * inner..(o * dim + start + len) * inner];
+            out[o * len * inner..(o + 1) * len * inner].copy_from_slice(src);
+        }
+        let in_shape = av.shape().to_vec();
+        self.push(
+            Tensor::from_vec(out, &out_shape),
+            Some(Box::new(move |g| {
+                let mut gx = vec![0.0f32; outer * dim * inner];
+                let gs = g.as_slice();
+                for o in 0..outer {
+                    gx[(o * dim + start) * inner..(o * dim + start + len) * inner]
+                        .copy_from_slice(&gs[o * len * inner..(o + 1) * len * inner]);
+                }
+                vec![(a.0, Tensor::from_vec(gx, &in_shape))]
+            })),
+        )
+    }
+
+    /// Concatenate along `axis`. All inputs must agree on every other axis.
+    pub fn concat(&mut self, inputs: &[Var], axis: usize) -> Var {
+        assert!(!inputs.is_empty(), "concat of zero tensors");
+        if inputs.len() == 1 {
+            return inputs[0];
+        }
+        let values: Vec<Tensor> = inputs.iter().map(|&v| self.value(v).clone()).collect();
+        let ndim = values[0].ndim();
+        assert!(axis < ndim, "concat axis {axis} out of range");
+        for v in &values[1..] {
+            assert_eq!(v.ndim(), ndim, "concat rank mismatch");
+            for d in 0..ndim {
+                if d != axis {
+                    assert_eq!(v.shape()[d], values[0].shape()[d], "concat shape mismatch on axis {d}");
+                }
+            }
+        }
+        let dims: Vec<usize> = values.iter().map(|v| v.shape()[axis]).collect();
+        let total: usize = dims.iter().sum();
+        let mut out_shape = values[0].shape().to_vec();
+        out_shape[axis] = total;
+        let (outer, _, inner) = factor(&out_shape, axis);
+
+        let mut out = vec![0.0f32; outer * total * inner];
+        for o in 0..outer {
+            let mut offset = 0usize;
+            for (v, &d) in values.iter().zip(&dims) {
+                let src = &v.as_slice()[o * d * inner..(o + 1) * d * inner];
+                out[(o * total + offset) * inner..(o * total + offset + d) * inner].copy_from_slice(src);
+                offset += d;
+            }
+        }
+        let ids: Vec<usize> = inputs.iter().map(|v| v.0).collect();
+        let shapes: Vec<Vec<usize>> = values.iter().map(|v| v.shape().to_vec()).collect();
+        self.push(
+            Tensor::from_vec(out, &out_shape),
+            Some(Box::new(move |g| {
+                let gs = g.as_slice();
+                let mut grads: Vec<Vec<f32>> = dims.iter().map(|&d| vec![0.0f32; outer * d * inner]).collect();
+                for o in 0..outer {
+                    let mut offset = 0usize;
+                    for (gi, &d) in grads.iter_mut().zip(&dims) {
+                        gi[o * d * inner..(o + 1) * d * inner]
+                            .copy_from_slice(&gs[(o * total + offset) * inner..(o * total + offset + d) * inner]);
+                        offset += d;
+                    }
+                }
+                ids.iter()
+                    .zip(grads)
+                    .zip(&shapes)
+                    .map(|((&id, gd), shape)| (id, Tensor::from_vec(gd, shape)))
+                    .collect()
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_grads;
+
+    #[test]
+    fn narrow_middle_axis() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]));
+        let y = g.narrow(x, 1, 1, 2);
+        assert_eq!(g.shape(y), &[2, 2, 4]);
+        // Batch 0 keeps rows 1..3 of the middle axis: values 4..12.
+        assert_eq!(&g.value(y).as_slice()[..8], &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn narrow_backward_scatters() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]));
+        let y = g.narrow(x, 0, 1, 2);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_channel_axis() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::full(&[1, 2, 2, 2], 1.0));
+        let b = g.leaf(Tensor::full(&[1, 1, 2, 2], 2.0));
+        let y = g.concat(&[a, b], 1);
+        assert_eq!(g.shape(y), &[1, 3, 2, 2]);
+        assert_eq!(&g.value(y).as_slice()[8..], &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_then_narrow_recovers_input() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![3.0], &[1, 1]));
+        let c = g.concat(&[a, b], 1);
+        let back = g.narrow(c, 1, 0, 2);
+        assert_eq!(g.value(back).as_slice(), g.value(a).as_slice());
+    }
+
+    #[test]
+    fn concat_backward_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::zeros(&[2, 1]));
+        let b = g.leaf(Tensor::zeros(&[2, 2]));
+        let y = g.concat(&[a, b], 1);
+        let w = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let p = g.mul(y, w);
+        let loss = g.sum_all(p);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 4.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[2.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_grad_round_trips() {
+        check_grads(&[2, 6], |g, x| {
+            let y = g.reshape(x, &[3, 4]);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn narrow_grad_matches_fd() {
+        check_grads(&[2, 5], |g, x| {
+            let y = g.narrow(x, 1, 1, 3);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn concat_grad_matches_fd() {
+        check_grads(&[2, 3], |g, x| {
+            let c = g.leaf(Tensor::full(&[2, 2], 0.5));
+            let y = g.concat(&[x, c], 1);
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn narrow_checks_bounds() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(&[3]));
+        g.narrow(x, 0, 2, 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! [`Sgd`] with momentum and weight decay reproduces darknet's training
+//! setup; [`LrSchedule`] implements the burn-in + step-decay policy of the
+//! YOLOv4 config (`burn_in=1000`, `policy=steps`, `scales=.1,.1`).
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled L2
+/// weight decay, as used by darknet (`momentum=0.949`, `decay=0.0005`).
+pub struct Sgd {
+    params: Vec<Param>,
+    velocity: Vec<Tensor>,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (applied to the gradient).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Wrap `params` (frozen ones are skipped at step time, not here, so a
+    /// later unfreeze picks them straight up — the transfer-learning flow).
+    pub fn new(params: Vec<Param>, momentum: f32, weight_decay: f32) -> Sgd {
+        let velocity = params.iter().map(|p| Tensor::zeros(p.borrow().value.shape())).collect();
+        Sgd { params, velocity, momentum, weight_decay }
+    }
+
+    /// One update with learning rate `lr`:
+    /// `v ← m·v − lr·(g + wd·w)`, `w ← w + v`.
+    pub fn step(&mut self, lr: f32) {
+        for (p, vel) in self.params.iter().zip(self.velocity.iter_mut()) {
+            if p.is_frozen() {
+                continue;
+            }
+            let mut inner = p.borrow_mut();
+            let wd = self.weight_decay;
+            let m = self.momentum;
+            // Split borrows: copy grad out first (cheap COW clone).
+            let grad = inner.grad.clone();
+            let vals = inner.value.as_mut_slice();
+            let vels = vel.as_mut_slice();
+            for ((w, v), g) in vals.iter_mut().zip(vels.iter_mut()).zip(grad.as_slice()) {
+                *v = m * *v - lr * (g + wd * *w);
+                *w += *v;
+            }
+        }
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// The managed parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Adam optimizer (used for the baseline classifiers where SGD's schedule is
+/// overkill).
+pub struct Adam {
+    params: Vec<Param>,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: usize,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+}
+
+impl Adam {
+    /// Standard Adam with β₁=0.9, β₂=0.999.
+    pub fn new(params: Vec<Param>, weight_decay: f32) -> Adam {
+        let m = params.iter().map(|p| Tensor::zeros(p.borrow().value.shape())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(p.borrow().value.shape())).collect();
+        Adam { params, m, v, t: 0, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay }
+    }
+
+    /// One Adam update.
+    pub fn step(&mut self, lr: f32) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            if p.is_frozen() {
+                continue;
+            }
+            let mut inner = p.borrow_mut();
+            let grad = inner.grad.clone();
+            let wd = self.weight_decay;
+            let vals = inner.value.as_mut_slice();
+            for (((w, mi), vi), g0) in vals.iter_mut().zip(m.as_mut_slice()).zip(v.as_mut_slice()).zip(grad.as_slice()) {
+                let g = g0 + wd * *w;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Darknet's learning-rate policy: polynomial burn-in followed by step decay.
+#[derive(Clone, Debug)]
+pub struct LrSchedule {
+    /// Peak learning rate after burn-in.
+    pub base_lr: f32,
+    /// Iterations of warm-up; darknet uses `(i / burn_in)^4`.
+    pub burn_in: usize,
+    /// Warm-up exponent.
+    pub power: f32,
+    /// `(iteration, scale)` milestones; scales compound.
+    pub steps: Vec<(usize, f32)>,
+}
+
+impl LrSchedule {
+    /// The darknet YOLOv4 default shape, scaled to `max_iters`: burn-in over
+    /// the first 5% (min 20 iters), ×0.1 at 80% and again at 90%.
+    pub fn darknet(base_lr: f32, max_iters: usize) -> LrSchedule {
+        let burn_in = (max_iters / 20).max(20).min(1000);
+        LrSchedule {
+            base_lr,
+            burn_in,
+            power: 4.0,
+            steps: vec![(max_iters * 8 / 10, 0.1), (max_iters * 9 / 10, 0.1)],
+        }
+    }
+
+    /// Constant learning rate (no burn-in, no steps).
+    pub fn constant(lr: f32) -> LrSchedule {
+        LrSchedule { base_lr: lr, burn_in: 0, power: 1.0, steps: vec![] }
+    }
+
+    /// Learning rate at iteration `iter` (0-based).
+    pub fn lr_at(&self, iter: usize) -> f32 {
+        if self.burn_in > 0 && iter < self.burn_in {
+            return self.base_lr * ((iter + 1) as f32 / self.burn_in as f32).powf(self.power);
+        }
+        let mut lr = self.base_lr;
+        for &(at, scale) in &self.steps {
+            if iter >= at {
+                lr *= scale;
+            }
+        }
+        lr
+    }
+}
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(params: &[Param], max_norm: f32) -> f32 {
+    let mut total = 0.0f64;
+    for p in params {
+        let inner = p.borrow();
+        total += inner.grad.as_slice().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+    }
+    let norm = (total.sqrt()) as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            p.borrow_mut().grad.scale_assign(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+
+    fn quad_loss_step(p: &Param) {
+        // loss = (w − 3)², minimised at w = 3.
+        let mut g = Graph::new();
+        let w = g.param(p);
+        let d = g.add_scalar(w, -3.0);
+        let sq = g.square(d);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.9, 0.0);
+        for _ in 0..100 {
+            opt.zero_grad();
+            quad_loss_step(&p);
+            opt.step(0.05);
+        }
+        assert!((p.value().item() - 3.0).abs() < 0.05, "got {}", p.value().item());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.0);
+        for _ in 0..500 {
+            opt.zero_grad();
+            quad_loss_step(&p);
+            opt.step(0.05);
+        }
+        assert!((p.value().item() - 3.0).abs() < 0.05, "got {}", p.value().item());
+    }
+
+    #[test]
+    fn sgd_skips_frozen_params() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.0, 0.0);
+        p.set_frozen(true);
+        p.accumulate_grad(&Tensor::scalar(10.0));
+        opt.step(1.0);
+        assert_eq!(p.value().item(), 1.0);
+        // Unfreeze → the same optimizer now updates it.
+        p.set_frozen(false);
+        opt.step(0.1);
+        assert!((p.value().item() - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.0, 0.5);
+        // No task gradient: decay alone pulls toward zero.
+        opt.step(0.1);
+        assert!(p.value().item() < 1.0);
+    }
+
+    #[test]
+    fn schedule_burn_in_rises_then_steps_fall() {
+        let s = LrSchedule::darknet(0.01, 1000);
+        assert!(s.lr_at(0) < s.lr_at(s.burn_in / 2));
+        assert!(s.lr_at(s.burn_in / 2) < s.lr_at(s.burn_in));
+        assert!((s.lr_at(s.burn_in) - 0.01).abs() < 1e-6);
+        assert!((s.lr_at(850) - 0.001).abs() < 1e-7);
+        assert!((s.lr_at(950) - 0.0001).abs() < 1e-8);
+    }
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let s = LrSchedule::constant(0.02);
+        assert_eq!(s.lr_at(0), 0.02);
+        assert_eq!(s.lr_at(10_000), 0.02);
+    }
+
+    #[test]
+    fn clip_global_norm_rescales() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let pre = clip_global_norm(&[p.clone()], 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let g = p.grad();
+        let post = (g.as_slice()[0].powi(2) + g.as_slice()[1].powi(2)).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+}

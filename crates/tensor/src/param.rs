@@ -1,0 +1,160 @@
+//! Trainable parameters.
+//!
+//! A [`Param`] is a shared handle to a value/gradient pair. Layers hold
+//! params, the [`crate::graph::Graph`] accumulates gradients into them during
+//! the backward pass, and optimizers update the values in place.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+/// Interior state of a parameter.
+pub struct ParamInner {
+    /// Current value; updated by the optimizer.
+    pub value: Tensor,
+    /// Accumulated gradient; zeroed by `Optimizer::zero_grad`.
+    pub grad: Tensor,
+    /// Dotted path used for serialization (e.g. `backbone.stem.conv.weight`).
+    pub name: String,
+    /// Frozen params are bound into graphs as constants: no gradient is
+    /// accumulated and the optimizer skips them. This implements the
+    /// backbone-freezing stage of transfer learning.
+    pub frozen: bool,
+}
+
+/// Shared handle to a trainable tensor. Cloning shares the underlying state.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+impl Param {
+    /// Create a named parameter initialised to `value`.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            inner: Rc::new(RefCell::new(ParamInner {
+                value,
+                grad,
+                name: name.into(),
+                frozen: false,
+            })),
+        }
+    }
+
+    /// Immutable borrow of the interior state.
+    pub fn borrow(&self) -> Ref<'_, ParamInner> {
+        self.inner.borrow()
+    }
+
+    /// Mutable borrow of the interior state.
+    pub fn borrow_mut(&self) -> RefMut<'_, ParamInner> {
+        self.inner.borrow_mut()
+    }
+
+    /// Copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Overwrite the value (e.g. when loading weights).
+    pub fn set_value(&self, t: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            t.shape(),
+            "set_value shape mismatch for {}: {:?} vs {:?}",
+            inner.name,
+            inner.value.shape(),
+            t.shape()
+        );
+        inner.value = t;
+    }
+
+    /// Copy of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Zero the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad.zero_();
+    }
+
+    /// Add `g` into the accumulated gradient.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        self.inner.borrow_mut().grad.add_assign(g);
+    }
+
+    /// The parameter's name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+
+    /// Mark as frozen (excluded from gradient accumulation and updates).
+    pub fn set_frozen(&self, frozen: bool) {
+        self.inner.borrow_mut().frozen = frozen;
+    }
+
+    /// Whether the parameter is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.inner.borrow().frozen
+    }
+
+    /// Two handles are the same parameter iff they share storage.
+    pub fn ptr_eq(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        write!(f, "Param({} {:?}{})", inner.name, inner.value.shape(), if inner.frozen { " frozen" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_state_through_clones() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        let q = p.clone();
+        p.set_value(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(q.value().as_slice(), &[1.0, 2.0]);
+        assert!(p.ptr_eq(&q));
+    }
+
+    #[test]
+    fn grad_accumulates_and_resets() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        p.accumulate_grad(&Tensor::ones(&[3]));
+        p.accumulate_grad(&Tensor::ones(&[3]));
+        assert_eq!(p.grad().as_slice(), &[2.0, 2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_value_rejects_shape_change() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        p.set_value(Tensor::zeros(&[4]));
+    }
+
+    #[test]
+    fn freeze_flag() {
+        let p = Param::new("w", Tensor::zeros(&[1]));
+        assert!(!p.is_frozen());
+        p.set_frozen(true);
+        assert!(p.is_frozen());
+    }
+}

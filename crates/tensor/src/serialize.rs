@@ -1,0 +1,263 @@
+//! Weight serialization.
+//!
+//! A flat, versioned binary format (`PLTW`) mapping parameter names to f32
+//! tensors — the role darknet's `.weights` files play in the paper. Partial
+//! loading (`LoadMode::Partial`) is the transfer-learning entry point: the
+//! detector loads the backbone subset of a classifier checkpoint and leaves
+//! everything else at its initialisation.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+pub use bytes::Bytes;
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"PLTW";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint encode/decode.
+#[derive(Debug)]
+pub enum WeightError {
+    /// Not a PLTW buffer or truncated.
+    Malformed(String),
+    /// Version not understood.
+    Version(u32),
+    /// Strict loading failed: missing or shape-mismatched entries.
+    Incompatible(String),
+    /// Underlying I/O error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::Malformed(m) => write!(f, "malformed weight buffer: {m}"),
+            WeightError::Version(v) => write!(f, "unsupported weight format version {v}"),
+            WeightError::Incompatible(m) => write!(f, "incompatible checkpoint: {m}"),
+            WeightError::Io(e) => write!(f, "weight i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+impl From<io::Error> for WeightError {
+    fn from(e: io::Error) -> Self {
+        WeightError::Io(e)
+    }
+}
+
+/// How to reconcile a checkpoint with a model's parameter set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Every model parameter must be present with a matching shape.
+    Strict,
+    /// Load the intersection; report what was loaded/skipped.
+    Partial,
+}
+
+/// Outcome of a (partial) load.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Parameter names restored from the checkpoint.
+    pub loaded: Vec<String>,
+    /// Model parameters absent from the checkpoint.
+    pub missing: Vec<String>,
+    /// Parameters present in both but with different shapes (skipped).
+    pub shape_mismatch: Vec<String>,
+    /// Checkpoint entries with no corresponding model parameter.
+    pub unused: Vec<String>,
+}
+
+/// Encode `params` into a checkpoint buffer.
+pub fn save_params(params: &[Param]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let inner = p.borrow();
+        let name = inner.name.as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        buf.put_u8(inner.value.ndim() as u8);
+        for &d in inner.value.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in inner.value.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a checkpoint buffer into `(name, tensor)` pairs.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<(String, Tensor)>, WeightError> {
+    if buf.remaining() < 12 {
+        return Err(WeightError::Malformed("shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(WeightError::Malformed("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(WeightError::Version(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(WeightError::Malformed("truncated name length".into()));
+        }
+        let nlen = buf.get_u16_le() as usize;
+        if buf.remaining() < nlen + 1 {
+            return Err(WeightError::Malformed("truncated name".into()));
+        }
+        let mut name = vec![0u8; nlen];
+        buf.copy_to_slice(&mut name);
+        let name = String::from_utf8(name).map_err(|_| WeightError::Malformed("non-utf8 name".into()))?;
+        let ndim = buf.get_u8() as usize;
+        if buf.remaining() < ndim * 4 {
+            return Err(WeightError::Malformed("truncated shape".into()));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(buf.get_u32_le() as usize);
+        }
+        let numel: usize = shape.iter().product();
+        if buf.remaining() < numel * 4 {
+            return Err(WeightError::Malformed(format!("truncated data for {name}")));
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        out.push((name, Tensor::from_vec(data, &shape)));
+    }
+    Ok(out)
+}
+
+/// Restore `params` from a checkpoint buffer according to `mode`.
+pub fn load_params(params: &[Param], buf: &[u8], mode: LoadMode) -> Result<LoadReport, WeightError> {
+    let entries = decode(buf)?;
+    let mut by_name: std::collections::HashMap<String, Tensor> = entries.into_iter().collect();
+    let mut report = LoadReport::default();
+    for p in params {
+        let name = p.name();
+        match by_name.remove(&name) {
+            Some(t) if t.shape() == p.borrow().value.shape() => {
+                p.set_value(t);
+                report.loaded.push(name);
+            }
+            Some(_) => report.shape_mismatch.push(name),
+            None => report.missing.push(name),
+        }
+    }
+    report.unused = by_name.into_keys().collect();
+    report.unused.sort();
+    if mode == LoadMode::Strict && (!report.missing.is_empty() || !report.shape_mismatch.is_empty()) {
+        return Err(WeightError::Incompatible(format!(
+            "missing: {:?}, shape-mismatched: {:?}",
+            report.missing, report.shape_mismatch
+        )));
+    }
+    Ok(report)
+}
+
+/// Save a checkpoint to disk.
+pub fn save_to_file(params: &[Param], path: impl AsRef<Path>) -> Result<(), WeightError> {
+    fs::write(path, save_params(params)).map_err(WeightError::from)
+}
+
+/// Load a checkpoint from disk.
+pub fn load_from_file(params: &[Param], path: impl AsRef<Path>, mode: LoadMode) -> Result<LoadReport, WeightError> {
+    let buf = fs::read(path)?;
+    load_params(params, &buf, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> Vec<Param> {
+        vec![
+            Param::new("a.weight", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])),
+            Param::new("a.bias", Tensor::from_vec(vec![-1.0], &[1])),
+            Param::new("b.weight", Tensor::zeros(&[1, 2, 1, 1])),
+        ]
+    }
+
+    #[test]
+    fn round_trip_strict() {
+        let src = sample_params();
+        let buf = save_params(&src);
+        let dst = vec![
+            Param::new("a.weight", Tensor::zeros(&[2, 2])),
+            Param::new("a.bias", Tensor::zeros(&[1])),
+            Param::new("b.weight", Tensor::ones(&[1, 2, 1, 1])),
+        ];
+        let report = load_params(&dst, &buf, LoadMode::Strict).unwrap();
+        assert_eq!(report.loaded.len(), 3);
+        assert_eq!(dst[0].value().as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(dst[1].value().as_slice(), &[-1.0]);
+        assert_eq!(dst[2].value().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_load_reports_intersection() {
+        let src = sample_params();
+        let buf = save_params(&src);
+        let dst = vec![
+            Param::new("a.weight", Tensor::zeros(&[2, 2])),
+            Param::new("new.layer", Tensor::zeros(&[3])),
+        ];
+        let report = load_params(&dst, &buf, LoadMode::Partial).unwrap();
+        assert_eq!(report.loaded, vec!["a.weight"]);
+        assert_eq!(report.missing, vec!["new.layer"]);
+        assert_eq!(report.unused, vec!["a.bias", "b.weight"]);
+    }
+
+    #[test]
+    fn strict_rejects_missing() {
+        let buf = save_params(&sample_params());
+        let dst = vec![Param::new("unrelated", Tensor::zeros(&[1]))];
+        assert!(matches!(load_params(&dst, &buf, LoadMode::Strict), Err(WeightError::Incompatible(_))));
+    }
+
+    #[test]
+    fn shape_mismatch_is_skipped_in_partial() {
+        let buf = save_params(&sample_params());
+        let dst = vec![Param::new("a.weight", Tensor::zeros(&[4]))];
+        let report = load_params(&dst, &buf, LoadMode::Partial).unwrap();
+        assert!(report.loaded.is_empty());
+        assert_eq!(report.shape_mismatch, vec!["a.weight"]);
+        assert_eq!(dst[0].value().as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(decode(b"nope"), Err(WeightError::Malformed(_))));
+        assert!(matches!(decode(b"PLTW\x63\x00\x00\x00\x00\x00\x00\x00"), Err(WeightError::Version(0x63))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("platter_tensor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.pltw");
+        let src = sample_params();
+        save_to_file(&src, &path).unwrap();
+        let dst = sample_params();
+        dst[0].set_value(Tensor::zeros(&[2, 2]));
+        let report = load_from_file(&dst, &path, LoadMode::Strict).unwrap();
+        assert_eq!(report.loaded.len(), 3);
+        assert_eq!(dst[0].value().as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,166 @@
+//! Shape algebra: dimension bookkeeping, stride computation and NumPy-style
+//! broadcasting rules shared by every elementwise operation.
+
+/// Compute row-major (C-order) strides for `shape`.
+///
+/// The stride of axis `i` is the number of elements separating two entries
+/// whose indices differ by one along axis `i`.
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Total number of elements in `shape` (product of dimensions; 1 for scalars).
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Broadcast two shapes following NumPy rules.
+///
+/// Shapes are right-aligned; each pair of dimensions must be equal or one of
+/// them must be 1. Returns the broadcast result shape, or `None` if the
+/// shapes are incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Strides for reading a tensor of shape `shape` as if it had been broadcast
+/// to `target`: broadcast axes get stride 0 so the same element is re-read.
+///
+/// `shape` must be broadcast-compatible with `target`.
+pub fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
+    debug_assert!(shape.len() <= target.len());
+    let base = strides_for(shape);
+    let offset = target.len() - shape.len();
+    let mut out = vec![0; target.len()];
+    for i in 0..shape.len() {
+        out[offset + i] = if shape[i] == 1 && target[offset + i] != 1 { 0 } else { base[i] };
+    }
+    out
+}
+
+/// Iterate all multi-indices of `shape` in row-major order, yielding the flat
+/// offsets produced by `strides` (which may contain broadcast zeros).
+pub struct StridedIter {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    index: Vec<usize>,
+    offset: usize,
+    remaining: usize,
+}
+
+impl StridedIter {
+    pub fn new(shape: &[usize], strides: &[usize]) -> Self {
+        let remaining = numel(shape);
+        StridedIter {
+            shape: shape.to_vec(),
+            strides: strides.to_vec(),
+            index: vec![0; shape.len()],
+            offset: 0,
+            remaining,
+        }
+    }
+}
+
+impl Iterator for StridedIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let current = self.offset;
+        self.remaining -= 1;
+        // Advance the multi-index (row-major, last axis fastest).
+        for axis in (0..self.shape.len()).rev() {
+            self.index[axis] += 1;
+            self.offset += self.strides[axis];
+            if self.index[axis] < self.shape[axis] {
+                break;
+            }
+            self.offset -= self.strides[axis] * self.shape[axis];
+            self.index[axis] = 0;
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for StridedIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 3]), 0);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[1, 4, 1, 1], &[2, 4, 8, 8]), Some(vec![2, 4, 8, 8]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 4]), None);
+    }
+
+    #[test]
+    fn broadcast_stride_zeroing() {
+        // [1, 3] broadcast to [2, 3]: row axis repeats.
+        assert_eq!(broadcast_strides(&[1, 3], &[2, 3]), vec![0, 1]);
+        // [3] broadcast to [2, 3]: prepended axis repeats.
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        // Size-1 target axis keeps its natural stride.
+        assert_eq!(broadcast_strides(&[1, 3], &[1, 3]), vec![3, 1]);
+    }
+
+    #[test]
+    fn strided_iter_dense() {
+        let shape = [2, 3];
+        let strides = strides_for(&shape);
+        let offsets: Vec<usize> = StridedIter::new(&shape, &strides).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn strided_iter_broadcast() {
+        // [1,3] read as [2,3]: the row is visited twice.
+        let strides = broadcast_strides(&[1, 3], &[2, 3]);
+        let offsets: Vec<usize> = StridedIter::new(&[2, 3], &strides).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 0, 1, 2]);
+    }
+}

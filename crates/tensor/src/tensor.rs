@@ -1,0 +1,402 @@
+//! The dense `f32` tensor underlying everything in this workspace.
+//!
+//! Tensors are always contiguous in row-major (C) order and share their
+//! backing buffer through an [`Arc`], so cloning a tensor is O(1); mutation
+//! goes through [`Tensor::as_mut_slice`], which copies only when the buffer
+//! is shared (copy-on-write).
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::distr::{Distribution, Uniform};
+use rand::{Rng, RngExt};
+
+use crate::shape::{broadcast_shapes, broadcast_strides, numel, StridedIter};
+
+/// A dense, contiguous, row-major `f32` tensor.
+#[derive(Clone)]
+pub struct Tensor {
+    data: Arc<Vec<f32>>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Build a tensor from a flat buffer; `data.len()` must equal the product
+    /// of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { data: Arc::new(data), shape: shape.to_vec() }
+    }
+
+    /// A scalar tensor of shape `[1]`.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor::from_vec(vec![v], &[1])
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        Tensor { data: Arc::new(vec![0.0; numel(shape)]), shape: shape.to_vec() }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Tensor filled with `v`.
+    pub fn full(shape: &[usize], v: f32) -> Tensor {
+        Tensor { data: Arc::new(vec![v; numel(shape)]), shape: shape.to_vec() }
+    }
+
+    /// Standard-normal samples (Box–Muller, driven by `rng`).
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
+        let n = numel(shape);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            // Box–Muller transform produces two independent normals per draw.
+            let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.random_range(0.0..1.0);
+            let r = (-2.0f32 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+        let dist = Uniform::new(lo, hi).expect("invalid uniform range");
+        let data = (0..numel(shape)).map(|_| dist.sample(rng)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer; copies if the buffer is shared.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// The single value of a one-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterpret with a new shape of identical element count (no copy).
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            numel(shape),
+            self.numel(),
+            "cannot reshape {:?} ({} elems) to {:?}",
+            self.shape,
+            self.numel(),
+            shape
+        );
+        Tensor { data: Arc::clone(&self.data), shape: shape.to_vec() }
+    }
+
+    /// Flat index of NCHW coordinates; debug-checked.
+    #[inline]
+    pub fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.ndim(), 4);
+        let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
+        debug_assert!(n < self.shape[0] && c < cc && h < hh && w < ww);
+        ((n * cc + c) * hh + h) * ww + w
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Elementwise combine with a same-shape tensor.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// Elementwise binary op with full NumPy broadcasting.
+    pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            return self.zip_map(other, f);
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!("cannot broadcast {:?} with {:?}", self.shape, other.shape)
+        });
+        let sa = broadcast_strides(&self.shape, &out_shape);
+        let sb = broadcast_strides(&other.shape, &out_shape);
+        let ia = StridedIter::new(&out_shape, &sa);
+        let ib = StridedIter::new(&out_shape, &sb);
+        let data: Vec<f32> = ia.zip(ib).map(|(oa, ob)| f(self.data[oa], other.data[ob])).collect();
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Sum-reduce this tensor down to `target` shape (the adjoint of
+    /// broadcasting `target` up to `self.shape`). Used by autograd to fold
+    /// gradients of broadcast operands back to their own shape.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        debug_assert_eq!(
+            broadcast_shapes(target, &self.shape).as_deref(),
+            Some(&self.shape[..]),
+            "reduce_to_shape: {:?} is not broadcastable to {:?}",
+            target,
+            self.shape
+        );
+        let mut out = vec![0.0f32; numel(target)];
+        let strides = broadcast_strides(target, &self.shape);
+        for (src, dst) in StridedIter::new(&self.shape, &strides).enumerate() {
+            out[dst] += self.data[src];
+        }
+        Tensor::from_vec(out, target)
+    }
+
+    /// Materialise this tensor broadcast up to `target` shape (copying).
+    pub fn broadcast_to(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        debug_assert_eq!(
+            broadcast_shapes(&self.shape, target).as_deref(),
+            Some(target),
+            "cannot broadcast {:?} to {:?}",
+            self.shape,
+            target
+        );
+        let strides = broadcast_strides(&self.shape, target);
+        let data: Vec<f32> = StridedIter::new(target, &strides).map(|o| self.data[o]).collect();
+        Tensor::from_vec(data, target)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element (first on ties); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.data.iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Accumulate `other` into `self` elementwise (same shape).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        let dst = self.as_mut_slice();
+        for (d, s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += s;
+        }
+    }
+
+    /// Scale every element in place.
+    pub fn scale_assign(&mut self, k: f32) {
+        for v in self.as_mut_slice() {
+            *v *= k;
+        }
+    }
+
+    /// Set every element to zero in place.
+    pub fn zero_(&mut self) {
+        for v in self.as_mut_slice() {
+            *v = 0.0;
+        }
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// 2-D transpose (copy).
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose2d on shape {:?}", self.shape);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", &self.data[..])
+        } else {
+            write!(f, " [{:.4}, {:.4}, …, {:.4}]", self.data[0], self.data[1], self.data[self.numel() - 1])
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.as_slice()[4], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn construction_checks_len() {
+        Tensor::from_vec(vec![1.0], &[2, 3]);
+    }
+
+    #[test]
+    fn clone_is_cow() {
+        let mut a = Tensor::zeros(&[4]);
+        let b = a.clone();
+        a.as_mut_slice()[0] = 9.0;
+        assert_eq!(b.as_slice()[0], 0.0, "clone must not observe later mutation");
+        assert_eq!(a.as_slice()[0], 9.0);
+    }
+
+    #[test]
+    fn reshape_shares_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = a.reshape(&[4]);
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn broadcast_zip_channel_bias() {
+        // [N=1,C=2,H=2,W=2] + [1,2,1,1] adds a per-channel bias.
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        let bias = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]);
+        let y = x.broadcast_zip(&bias, |a, b| a + b);
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert_eq!(&y.as_slice()[0..4], &[1.0; 4]);
+        assert_eq!(&y.as_slice()[4..8], &[2.0; 4]);
+    }
+
+    #[test]
+    fn reduce_to_shape_is_broadcast_adjoint() {
+        // Broadcasting [1,2,1,1]→[1,2,2,2] repeats each channel value 4×;
+        // the adjoint must therefore sum groups of 4.
+        let g = Tensor::ones(&[1, 2, 2, 2]);
+        let r = g.reduce_to_shape(&[1, 2, 1, 1]);
+        assert_eq!(r.as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn reduce_to_scalar() {
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let r = g.reduce_to_shape(&[1]);
+        assert_eq!(r.as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let t = a.transpose2d();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.as_slice(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        assert_eq!(t.transpose2d(), a);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10_000], &mut rng);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.as_slice().iter().map(|v| v * v).sum::<f32>() / 10_000.0;
+        assert!((var - 1.0).abs() < 0.1, "var {}", var);
+    }
+
+    #[test]
+    fn argmax_and_extrema() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, -2.0, 5.0], &[4]);
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(t.max(), 5.0);
+        assert_eq!(t.min(), -2.0);
+    }
+
+    #[test]
+    fn idx4_layout_is_nchw() {
+        let t = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(t.idx4(0, 0, 0, 0), 0);
+        assert_eq!(t.idx4(0, 0, 0, 1), 1);
+        assert_eq!(t.idx4(0, 0, 1, 0), 5);
+        assert_eq!(t.idx4(0, 1, 0, 0), 20);
+        assert_eq!(t.idx4(1, 0, 0, 0), 60);
+    }
+}

@@ -1,0 +1,50 @@
+//! Finite-difference gradient checking shared by the op unit tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Verify the analytic gradient of `f` (a scalar-valued graph function of a
+/// single leaf tensor) against central finite differences at a random point.
+///
+/// `f` must be deterministic in its input. Inputs are drawn from a seeded
+/// normal, shifted away from 0 to avoid kinks in piecewise ops.
+pub fn check_grads(shape: &[usize], f: impl Fn(&mut Graph, Var) -> Var) {
+    let mut rng = StdRng::seed_from_u64(0xFD);
+    let base = Tensor::randn(shape, &mut rng).map(|v| v * 0.5 + 0.37);
+    check_grads_at(&base, f);
+}
+
+/// As [`check_grads`] but at a caller-chosen point.
+pub fn check_grads_at(base: &Tensor, f: impl Fn(&mut Graph, Var) -> Var) {
+    let eval = |t: &Tensor| -> f32 {
+        let mut g = Graph::new();
+        let x = g.leaf(t.clone());
+        let loss = f(&mut g, x);
+        g.value(loss).item()
+    };
+
+    let mut g = Graph::new();
+    let x = g.leaf(base.clone());
+    let loss = f(&mut g, x);
+    g.backward(loss);
+    let analytic = g.grad(x).expect("input unreachable from loss").clone();
+
+    let eps = 1e-3f32;
+    for i in 0..base.numel() {
+        let mut plus = base.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = base.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let fd = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+        let an = analytic.as_slice()[i];
+        let tol = 1e-2 * (1.0 + fd.abs().max(an.abs()));
+        assert!(
+            (fd - an).abs() <= tol,
+            "grad mismatch at element {i}: finite-diff {fd}, analytic {an} (shape {:?})",
+            base.shape()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Anchor estimation by k-means clustering under the IoU distance
+//! (`d = 1 − IoU(box, anchor)`), as darknet's `-calc_anchors` does.
+
+use platter_imaging::NormBox;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::ANCHORS_PER_SCALE;
+
+/// IoU of two boxes compared purely by width/height (both anchored at the
+/// origin) — the metric darknet clusters with.
+pub fn wh_iou(a: (f32, f32), b: (f32, f32)) -> f32 {
+    let inter = a.0.min(b.0) * a.1.min(b.1);
+    let union = a.0 * a.1 + b.0 * b.1 - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Cluster ground-truth box sizes into `k` anchors (sorted by area).
+///
+/// Standard k-means with the 1−IoU distance and mean-updates; empty clusters
+/// are reseeded from the largest cluster.
+pub fn kmeans_anchors(boxes: &[NormBox], k: usize, seed: u64) -> Vec<(f32, f32)> {
+    assert!(k > 0, "k must be positive");
+    let sizes: Vec<(f32, f32)> = boxes
+        .iter()
+        .filter(|b| b.w > 1e-4 && b.h > 1e-4)
+        .map(|b| (b.w, b.h))
+        .collect();
+    assert!(sizes.len() >= k, "need at least k={k} boxes, got {}", sizes.len());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Init: k distinct random boxes.
+    let mut centroids: Vec<(f32, f32)> = Vec::with_capacity(k);
+    while centroids.len() < k {
+        let cand = sizes[rng.random_range(0..sizes.len())];
+        if !centroids.iter().any(|c| (c.0 - cand.0).abs() < 1e-6 && (c.1 - cand.1).abs() < 1e-6) {
+            centroids.push(cand);
+        }
+    }
+
+    let mut assignment = vec![0usize; sizes.len()];
+    for _ in 0..100 {
+        let mut changed = false;
+        for (i, &s) in sizes.iter().enumerate() {
+            let best = (0..k)
+                .max_by(|&a, &b| {
+                    wh_iou(s, centroids[a])
+                        .partial_cmp(&wh_iou(s, centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step: per-cluster means.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (i, &s) in sizes.iter().enumerate() {
+            let slot = &mut sums[assignment[i]];
+            slot.0 += s.0 as f64;
+            slot.1 += s.1 as f64;
+            slot.2 += 1;
+        }
+        for (c, &(sw, sh, n)) in centroids.iter_mut().zip(&sums) {
+            if n > 0 {
+                *c = ((sw / n as f64) as f32, (sh / n as f64) as f32);
+            } else {
+                // Reseed an empty cluster from a random member.
+                *c = sizes[rng.random_range(0..sizes.len())];
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    centroids.sort_by(|a, b| (a.0 * a.1).partial_cmp(&(b.0 * b.1)).unwrap());
+    centroids
+}
+
+/// Arrange 9 clustered anchors into the 3×3 per-scale layout (small anchors
+/// to the stride-8 head, large to stride-32).
+pub fn anchors_to_scales(anchors: &[(f32, f32)]) -> [[(f32, f32); ANCHORS_PER_SCALE]; 3] {
+    assert_eq!(anchors.len(), 9, "expected 9 anchors");
+    let mut out = [[(0.0, 0.0); ANCHORS_PER_SCALE]; 3];
+    for s in 0..3 {
+        for a in 0..ANCHORS_PER_SCALE {
+            out[s][a] = anchors[s * ANCHORS_PER_SCALE + a];
+        }
+    }
+    out
+}
+
+/// Mean best-IoU of the boxes against the anchor set — darknet reports this
+/// as the clustering quality figure.
+pub fn mean_best_iou(boxes: &[NormBox], anchors: &[(f32, f32)]) -> f32 {
+    if boxes.is_empty() {
+        return 0.0;
+    }
+    let total: f32 = boxes
+        .iter()
+        .map(|b| {
+            anchors
+                .iter()
+                .map(|&a| wh_iou((b.w, b.h), a))
+                .fold(0.0f32, f32::max)
+        })
+        .sum();
+    total / boxes.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes_from(sizes: &[(f32, f32)]) -> Vec<NormBox> {
+        sizes.iter().map(|&(w, h)| NormBox::new(0.5, 0.5, w, h)).collect()
+    }
+
+    #[test]
+    fn wh_iou_basics() {
+        assert!((wh_iou((0.2, 0.2), (0.2, 0.2)) - 1.0).abs() < 1e-6);
+        assert!((wh_iou((0.2, 0.2), (0.1, 0.1)) - 0.25).abs() < 1e-6);
+        assert_eq!(wh_iou((0.0, 0.0), (0.1, 0.1)), 0.0);
+    }
+
+    #[test]
+    fn kmeans_recovers_clear_clusters() {
+        // Three tight size clusters.
+        let mut sizes = Vec::new();
+        for i in 0..30 {
+            let e = (i % 5) as f32 * 0.002;
+            sizes.push((0.1 + e, 0.1 + e));
+            sizes.push((0.4 + e, 0.35 + e));
+            sizes.push((0.8 + e, 0.75 + e));
+        }
+        let anchors = kmeans_anchors(&boxes_from(&sizes), 3, 1);
+        assert!((anchors[0].0 - 0.104).abs() < 0.02, "{anchors:?}");
+        assert!((anchors[1].0 - 0.404).abs() < 0.02, "{anchors:?}");
+        assert!((anchors[2].0 - 0.804).abs() < 0.02, "{anchors:?}");
+    }
+
+    #[test]
+    fn anchors_sorted_by_area() {
+        let sizes: Vec<(f32, f32)> = (1..=40).map(|i| (i as f32 * 0.02, i as f32 * 0.015)).collect();
+        let anchors = kmeans_anchors(&boxes_from(&sizes), 9, 3);
+        for w in anchors.windows(2) {
+            assert!(w[0].0 * w[0].1 <= w[1].0 * w[1].1 + 1e-6);
+        }
+        let scales = anchors_to_scales(&anchors);
+        assert!(scales[0][0].0 * scales[0][0].1 <= scales[2][2].0 * scales[2][2].1);
+    }
+
+    #[test]
+    fn mean_best_iou_improves_with_k() {
+        let sizes: Vec<(f32, f32)> = (1..=50).map(|i| (0.05 + i as f32 * 0.015, 0.05 + (i % 7) as f32 * 0.05)).collect();
+        let boxes = boxes_from(&sizes);
+        let a3 = kmeans_anchors(&boxes, 3, 7);
+        let a9 = kmeans_anchors(&boxes, 9, 7);
+        assert!(mean_best_iou(&boxes, &a9) >= mean_best_iou(&boxes, &a3) - 1e-3);
+        assert!(mean_best_iou(&boxes, &a9) > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn kmeans_requires_enough_boxes() {
+        kmeans_anchors(&boxes_from(&[(0.1, 0.1)]), 3, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Ground-truth → grid/anchor target assignment.
+//!
+//! Every annotation is routed to the detection scale and anchor whose shape
+//! best matches it (by width/height IoU, darknet style); anchors above a
+//! secondary IoU threshold are also positive. Negatives overlapping a GT's
+//! cell with a reasonably matching anchor are *ignored* (excluded from the
+//! no-object loss), mirroring darknet's `ignore_thresh`.
+
+use platter_dataset::Annotation;
+use platter_tensor::Tensor;
+
+use crate::anchors::wh_iou;
+use crate::config::{YoloConfig, ANCHORS_PER_SCALE};
+
+/// Secondary positive threshold: anchors this close to a GT shape are also
+/// trained as positives (multi-anchor assignment).
+pub const MULTI_ANCHOR_IOU: f32 = 0.35;
+/// Anchors this close to a GT that were not selected are excluded from the
+/// no-object term.
+pub const IGNORE_IOU: f32 = 0.5;
+
+/// Dense targets for one detection scale.
+///
+/// All tensors are `[n, a, k, g, g]` with `k` as annotated.
+pub struct ScaleTargets {
+    /// Positive mask (k = 1).
+    pub obj: Tensor,
+    /// Negative mask (k = 1): 1 where the no-object loss applies.
+    pub noobj: Tensor,
+    /// Ground-truth boxes, normalised cx/cy/w/h (k = 4); zero off-mask.
+    pub tbox: Tensor,
+    /// One-hot class targets (k = num_classes); zero off-mask.
+    pub tcls: Tensor,
+    /// Number of positive cells in this scale.
+    pub num_pos: usize,
+}
+
+/// Build per-scale targets for a batch of annotations.
+pub fn build_targets(cfg: &YoloConfig, batch: &[Vec<Annotation>]) -> [ScaleTargets; 3] {
+    let n = batch.len();
+    let a = ANCHORS_PER_SCALE;
+    let c = cfg.num_classes;
+
+    // Allocate dense buffers per scale.
+    let mut obj: Vec<Vec<f32>> = Vec::with_capacity(3);
+    let mut noobj: Vec<Vec<f32>> = Vec::with_capacity(3);
+    let mut tbox: Vec<Vec<f32>> = Vec::with_capacity(3);
+    let mut tcls: Vec<Vec<f32>> = Vec::with_capacity(3);
+    let mut num_pos = [0usize; 3];
+    for s in 0..3 {
+        let g = cfg.grid_size(s);
+        obj.push(vec![0.0; n * a * g * g]);
+        noobj.push(vec![1.0; n * a * g * g]);
+        tbox.push(vec![0.0; n * a * 4 * g * g]);
+        tcls.push(vec![0.0; n * a * c * g * g]);
+    }
+
+    // Flat index helpers for [n, a, k, g, g].
+    let idx = |s: usize, b: usize, anc: usize, k: usize, kdim: usize, row: usize, col: usize| {
+        let g = cfg.grid_size(s);
+        (((b * a + anc) * kdim + k) * g + row) * g + col
+    };
+
+    for (b, annotations) in batch.iter().enumerate() {
+        for ann in annotations {
+            debug_assert!(ann.class < c, "class {} out of range", ann.class);
+            let gt = (ann.bbox.w, ann.bbox.h);
+            // Rank all 9 anchors by shape match.
+            let mut best: (usize, usize, f32) = (0, 0, -1.0);
+            let mut positives: Vec<(usize, usize)> = Vec::new();
+            for s in 0..3 {
+                for anc in 0..a {
+                    let iou = wh_iou(gt, cfg.anchors[s][anc]);
+                    if iou > best.2 {
+                        best = (s, anc, iou);
+                    }
+                    if iou > MULTI_ANCHOR_IOU {
+                        positives.push((s, anc));
+                    }
+                }
+            }
+            if !positives.contains(&(best.0, best.1)) {
+                positives.push((best.0, best.1));
+            }
+
+            for (s, anc) in positives {
+                let g = cfg.grid_size(s);
+                let col = ((ann.bbox.cx * g as f32) as usize).min(g - 1);
+                let row = ((ann.bbox.cy * g as f32) as usize).min(g - 1);
+                let o = idx(s, b, anc, 0, 1, row, col);
+                if obj[s][o] == 1.0 {
+                    continue; // cell/anchor already claimed by another GT
+                }
+                obj[s][o] = 1.0;
+                noobj[s][o] = 0.0;
+                num_pos[s] += 1;
+                for (k, v) in [ann.bbox.cx, ann.bbox.cy, ann.bbox.w, ann.bbox.h].into_iter().enumerate() {
+                    tbox[s][idx(s, b, anc, k, 4, row, col)] = v;
+                }
+                tcls[s][idx(s, b, anc, ann.class, c, row, col)] = 1.0;
+            }
+
+            // Ignore near-matching anchors at the GT's cell on every scale.
+            for s in 0..3 {
+                let g = cfg.grid_size(s);
+                let col = ((ann.bbox.cx * g as f32) as usize).min(g - 1);
+                let row = ((ann.bbox.cy * g as f32) as usize).min(g - 1);
+                for anc in 0..a {
+                    if wh_iou(gt, cfg.anchors[s][anc]) > IGNORE_IOU {
+                        let o = idx(s, b, anc, 0, 1, row, col);
+                        if obj[s][o] == 0.0 {
+                            noobj[s][o] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(3);
+    for s in 0..3 {
+        let g = cfg.grid_size(s);
+        out.push(ScaleTargets {
+            obj: Tensor::from_vec(std::mem::take(&mut obj[s]), &[n, a, 1, g, g]),
+            noobj: Tensor::from_vec(std::mem::take(&mut noobj[s]), &[n, a, 1, g, g]),
+            tbox: Tensor::from_vec(std::mem::take(&mut tbox[s]), &[n, a, 4, g, g]),
+            tcls: Tensor::from_vec(std::mem::take(&mut tcls[s]), &[n, a, c, g, g]),
+            num_pos: num_pos[s],
+        });
+    }
+    out.try_into().map_err(|_| ()).expect("three scales")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platter_imaging::NormBox;
+
+    fn cfg() -> YoloConfig {
+        YoloConfig::micro(10)
+    }
+
+    #[test]
+    fn single_box_gets_at_least_one_positive() {
+        let ann = vec![vec![Annotation { class: 2, bbox: NormBox::new(0.5, 0.5, 0.3, 0.3) }]];
+        let targets = build_targets(&cfg(), &ann);
+        let total: usize = targets.iter().map(|t| t.num_pos).sum();
+        assert!(total >= 1);
+        // Positive cells carry the box and the one-hot class.
+        for t in &targets {
+            if t.num_pos > 0 {
+                assert!((t.obj.sum() - t.num_pos as f32).abs() < 1e-6);
+                assert!(t.tbox.sum() > 0.0);
+                assert!((t.tcls.sum() - t.num_pos as f32).abs() < 1e-6, "one-hot rows");
+            }
+        }
+    }
+
+    #[test]
+    fn box_size_routes_to_matching_scale() {
+        // A small box must have its best positive on the stride-8 scale, a
+        // huge one on stride-32 (anchors ascend across scales).
+        let small = vec![vec![Annotation { class: 0, bbox: NormBox::new(0.5, 0.5, 0.15, 0.15) }]];
+        let t = build_targets(&cfg(), &small);
+        assert!(t[0].num_pos >= 1, "small box missing from stride 8");
+        assert_eq!(t[2].num_pos, 0, "small box must not hit stride 32");
+
+        let big = vec![vec![Annotation { class: 0, bbox: NormBox::new(0.5, 0.5, 0.8, 0.75) }]];
+        let t = build_targets(&cfg(), &big);
+        assert!(t[2].num_pos >= 1, "big box missing from stride 32");
+        assert_eq!(t[0].num_pos, 0, "big box must not hit stride 8");
+    }
+
+    #[test]
+    fn cell_indexing_follows_box_centre() {
+        let ann = vec![vec![Annotation { class: 1, bbox: NormBox::new(0.9, 0.1, 0.3, 0.3) }]];
+        let targets = build_targets(&cfg(), &ann);
+        // Find the positive cell and check its location.
+        for (s, t) in targets.iter().enumerate() {
+            if t.num_pos == 0 {
+                continue;
+            }
+            let g = cfg().grid_size(s);
+            let data = t.obj.as_slice();
+            let hit = data.iter().position(|&v| v == 1.0).unwrap();
+            let col = hit % g;
+            let row = (hit / g) % g;
+            assert_eq!(col, ((0.9 * g as f32) as usize).min(g - 1));
+            assert_eq!(row, ((0.1 * g as f32) as usize).min(g - 1));
+        }
+    }
+
+    #[test]
+    fn positive_cells_removed_from_noobj() {
+        let ann = vec![vec![Annotation { class: 3, bbox: NormBox::new(0.5, 0.5, 0.4, 0.4) }]];
+        let targets = build_targets(&cfg(), &ann);
+        for t in &targets {
+            let obj = t.obj.as_slice();
+            let noobj = t.noobj.as_slice();
+            for (o, n) in obj.iter().zip(noobj) {
+                assert!(o + n <= 1.0 + 1e-6, "masks must not overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn two_images_assign_independently() {
+        let ann = vec![
+            vec![Annotation { class: 0, bbox: NormBox::new(0.3, 0.3, 0.3, 0.3) }],
+            vec![Annotation { class: 5, bbox: NormBox::new(0.7, 0.7, 0.3, 0.3) }],
+        ];
+        let targets = build_targets(&cfg(), &ann);
+        let total: usize = targets.iter().map(|t| t.num_pos).sum();
+        assert!(total >= 2);
+        // Class planes: class 0 only in image 0, class 5 only in image 1.
+        for t in &targets {
+            let g = (t.tcls.numel() / (2 * 3 * 10)) as usize;
+            let per_img = 3 * 10 * g;
+            let (img0, img1) = t.tcls.as_slice().split_at(per_img);
+            let cls_plane = |data: &[f32], cls: usize| -> f32 {
+                let mut sum = 0.0;
+                for anc in 0..3 {
+                    let start = (anc * 10 + cls) * g;
+                    sum += data[start..start + g].iter().sum::<f32>();
+                }
+                sum
+            };
+            assert_eq!(cls_plane(img0, 5), 0.0);
+            assert_eq!(cls_plane(img1, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_annotations_are_all_negative() {
+        let targets = build_targets(&cfg(), &[vec![], vec![]]);
+        for t in &targets {
+            assert_eq!(t.num_pos, 0);
+            assert_eq!(t.obj.sum(), 0.0);
+            assert_eq!(t.noobj.sum(), t.noobj.numel() as f32);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Model configuration: the full-scale YOLOv4 profile and CPU-scale
+//! variants with identical topology (DESIGN.md §5).
+
+use serde::{Deserialize, Serialize};
+
+/// Channel widths of darknet's CSPDarknet53 at width multiplier 1.0.
+pub const BASE_CHANNELS: [usize; 6] = [32, 64, 128, 256, 512, 1024];
+/// CSP residual-block repeats per stage at depth multiplier 1.0.
+pub const BASE_REPEATS: [usize; 5] = [1, 2, 8, 8, 4];
+
+/// Detection strides of the three YOLO heads.
+pub const STRIDES: [usize; 3] = [8, 16, 32];
+/// Anchors per scale.
+pub const ANCHORS_PER_SCALE: usize = 3;
+
+/// A complete model configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct YoloConfig {
+    /// Number of object classes (10 for IndianFood10).
+    pub num_classes: usize,
+    /// Square input edge; must be divisible by 32.
+    pub input_size: usize,
+    /// Channel width multiplier (1.0 = paper-scale CSPDarknet53).
+    pub width: f32,
+    /// Depth multiplier on CSP repeats (1.0 = paper-scale).
+    pub depth: f32,
+    /// Normalised `(w, h)` anchors, 3 per scale, small→large, matching
+    /// [`STRIDES`] order.
+    pub anchors: [[(f32, f32); ANCHORS_PER_SCALE]; 3],
+}
+
+/// Darknet's published YOLOv4 anchors (pixels at 416 input), normalised.
+pub fn darknet_anchors() -> [[(f32, f32); 3]; 3] {
+    let px = [
+        [(12.0, 16.0), (19.0, 36.0), (40.0, 28.0)],
+        [(36.0, 75.0), (76.0, 55.0), (72.0, 146.0)],
+        [(142.0, 110.0), (192.0, 243.0), (459.0, 401.0)],
+    ];
+    px.map(|scale| scale.map(|(w, h): (f32, f32)| (w / 416.0, h / 416.0)))
+}
+
+/// Anchors tuned for the synthetic food scenes (dishes span roughly 15–70%
+/// of the canvas). Used by the micro profile; experiments may re-estimate
+/// them with k-means ([`crate::anchors::kmeans_anchors`]).
+pub fn synthetic_anchors() -> [[(f32, f32); 3]; 3] {
+    [
+        [(0.16, 0.14), (0.22, 0.20), (0.28, 0.24)],
+        [(0.33, 0.30), (0.42, 0.38), (0.52, 0.44)],
+        [(0.58, 0.55), (0.68, 0.64), (0.82, 0.78)],
+    ]
+}
+
+impl YoloConfig {
+    /// Paper-scale YOLOv4: 416 px input, full width and depth.
+    pub fn full(num_classes: usize) -> YoloConfig {
+        YoloConfig { num_classes, input_size: 416, width: 1.0, depth: 1.0, anchors: darknet_anchors() }
+    }
+
+    /// The micro experiment profile: identical topology at width 0.25,
+    /// single-repeat stages, 64 px input.
+    pub fn micro(num_classes: usize) -> YoloConfig {
+        YoloConfig { num_classes, input_size: 64, width: 0.25, depth: 0.0, anchors: synthetic_anchors() }
+    }
+
+    /// A middle profile for heavier CPU runs.
+    pub fn small(num_classes: usize) -> YoloConfig {
+        YoloConfig { num_classes, input_size: 96, width: 0.375, depth: 0.25, anchors: synthetic_anchors() }
+    }
+
+    /// Channel count of backbone level `i` (0 = stem … 5 = deepest), scaled
+    /// by the width multiplier; always even and at least 4.
+    pub fn channels(&self, i: usize) -> usize {
+        let c = (BASE_CHANNELS[i] as f32 * self.width).round() as usize;
+        (c.max(4) + 1) & !1
+    }
+
+    /// CSP repeats of stage `i` (0‥5), scaled by the depth multiplier;
+    /// at least 1.
+    pub fn repeats(&self, i: usize) -> usize {
+        ((BASE_REPEATS[i] as f32 * self.depth).round() as usize).max(1)
+    }
+
+    /// Per-head output channels: `anchors · (5 + classes)`.
+    pub fn head_channels(&self) -> usize {
+        ANCHORS_PER_SCALE * (5 + self.num_classes)
+    }
+
+    /// Grid edge for scale `s` (0 = stride 8, 1 = 16, 2 = 32).
+    pub fn grid_size(&self, s: usize) -> usize {
+        self.input_size / STRIDES[s]
+    }
+
+    /// Validate invariants (input divisibility, anchor sanity).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.input_size % 32 != 0 {
+            return Err(format!("input_size {} not divisible by 32", self.input_size));
+        }
+        if self.num_classes == 0 {
+            return Err("num_classes must be positive".into());
+        }
+        for scale in &self.anchors {
+            for &(w, h) in scale {
+                if !(0.0..=2.0).contains(&w) || !(0.0..=2.0).contains(&h) || w <= 0.0 || h <= 0.0 {
+                    return Err(format!("anchor ({w}, {h}) out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_profile_matches_darknet_dimensions() {
+        let cfg = YoloConfig::full(10);
+        assert_eq!(cfg.channels(0), 32);
+        assert_eq!(cfg.channels(5), 1024);
+        assert_eq!(cfg.repeats(2), 8);
+        assert_eq!(cfg.head_channels(), 45);
+        assert_eq!(cfg.grid_size(0), 52);
+        assert_eq!(cfg.grid_size(2), 13);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn micro_profile_is_small_but_valid() {
+        let cfg = YoloConfig::micro(10);
+        assert_eq!(cfg.channels(0), 8);
+        assert_eq!(cfg.channels(5), 256);
+        assert_eq!(cfg.repeats(2), 1);
+        assert_eq!(cfg.grid_size(0), 8);
+        assert_eq!(cfg.grid_size(2), 2);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn channels_stay_even_and_floored() {
+        let cfg = YoloConfig { width: 0.01, ..YoloConfig::micro(10) };
+        for i in 0..6 {
+            let c = cfg.channels(i);
+            assert!(c >= 4 && c % 2 == 0, "level {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_input() {
+        let mut cfg = YoloConfig::micro(10);
+        cfg.input_size = 100;
+        assert!(cfg.validate().is_err());
+        let mut cfg = YoloConfig::micro(10);
+        cfg.num_classes = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = YoloConfig::micro(10);
+        cfg.anchors[0][0] = (-0.1, 0.2);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn darknet_anchors_are_normalised_ascending() {
+        let a = darknet_anchors();
+        let mut last_area = 0.0;
+        for scale in &a {
+            for &(w, h) in scale {
+                assert!(w > 0.0 && w <= 1.2 && h > 0.0 && h <= 1.0);
+                let area = w * h;
+                assert!(area >= last_area * 0.8, "anchors roughly ascending");
+                last_area = area;
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! YOLOv3-style detection heads (unchanged in YOLOv4, §III-B): per scale a
+//! 3×3 conv followed by a linear 1×1 conv emitting
+//! `anchors · (tx, ty, tw, th, obj, classes…)` channels.
+
+use platter_tensor::nn::{Activation, ConvBlock};
+use platter_tensor::ops::Conv2dSpec;
+use platter_tensor::{Graph, Param, Var};
+use rand::Rng;
+
+use crate::config::YoloConfig;
+use crate::neck::NeckFeatures;
+
+/// One detection head.
+pub struct DetectionHead {
+    expand: ConvBlock,
+    project: ConvBlock,
+}
+
+impl DetectionHead {
+    fn new<R: Rng + ?Sized>(name: &str, cin: usize, cfg: &YoloConfig, rng: &mut R) -> DetectionHead {
+        DetectionHead {
+            expand: ConvBlock::new(&format!("{name}.expand"), cin, cin * 2, 3, Conv2dSpec::same(3), Activation::Leaky, rng),
+            // Raw logits: biased conv, no BN, linear activation.
+            project: ConvBlock::without_bn(
+                &format!("{name}.project"),
+                cin * 2,
+                cfg.head_channels(),
+                1,
+                Conv2dSpec::same(1),
+                Activation::Linear,
+                rng,
+            ),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let h = self.expand.forward(g, x, training);
+        self.project.forward(g, h, training)
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        let mut p = self.expand.parameters();
+        p.extend(self.project.parameters());
+        p
+    }
+}
+
+/// The three heads (strides 8, 16, 32).
+pub struct YoloHeads {
+    h3: DetectionHead,
+    h4: DetectionHead,
+    h5: DetectionHead,
+}
+
+impl YoloHeads {
+    /// Build heads for `cfg` under serialization prefix `name`.
+    pub fn new<R: Rng + ?Sized>(name: &str, cfg: &YoloConfig, rng: &mut R) -> YoloHeads {
+        YoloHeads {
+            h3: DetectionHead::new(&format!("{name}.s8"), cfg.channels(3) / 2, cfg, rng),
+            h4: DetectionHead::new(&format!("{name}.s16"), cfg.channels(4) / 2, cfg, rng),
+            h5: DetectionHead::new(&format!("{name}.s32"), cfg.channels(5) / 2, cfg, rng),
+        }
+    }
+
+    /// Raw logits per scale, ordered `[stride8, stride16, stride32]`.
+    pub fn forward(&self, g: &mut Graph, f: &NeckFeatures, training: bool) -> [Var; 3] {
+        [
+            self.h3.forward(g, f.p3, training),
+            self.h4.forward(g, f.p4, training),
+            self.h5.forward(g, f.p5, training),
+        ]
+    }
+
+    /// All head parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p = self.h3.parameters();
+        p.extend(self.h4.parameters());
+        p.extend(self.h5.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::CspDarknet;
+    use crate::neck::PanNeck;
+    use platter_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_shapes_match_grid_and_channels() {
+        let cfg = YoloConfig::micro(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let bb = CspDarknet::new("backbone", &cfg, &mut rng);
+        let neck = PanNeck::new("neck", &cfg, &mut rng);
+        let heads = YoloHeads::new("head", &cfg, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::zeros(&[2, 3, 64, 64]));
+        let f = bb.forward(&mut g, x, false);
+        let n = neck.forward(&mut g, &f, false);
+        let out = heads.forward(&mut g, &n, false);
+        assert_eq!(g.shape(out[0]), &[2, 45, 8, 8]);
+        assert_eq!(g.shape(out[1]), &[2, 45, 4, 4]);
+        assert_eq!(g.shape(out[2]), &[2, 45, 2, 2]);
+    }
+
+    #[test]
+    fn projection_is_biased_and_linear() {
+        let cfg = YoloConfig::micro(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let heads = YoloHeads::new("head", &cfg, &mut rng);
+        let names: Vec<String> = heads.parameters().iter().map(|p| p.name()).collect();
+        assert!(names.contains(&"head.s8.project.conv.bias".to_string()));
+        assert!(!names.iter().any(|n| n.contains("project.bn")));
+    }
+}

@@ -1,0 +1,56 @@
+//! # platter-yolo
+//!
+//! A from-scratch YOLOv4 in pure Rust — the paper's primary method:
+//! CSPDarknet53 backbone (Mish), SPP + PANet neck, the three YOLOv3-style
+//! anchor heads, CIoU/DIoU/GIoU box losses with darknet-style target
+//! assignment, greedy and DIoU NMS, k-means anchor estimation, a darknet
+//! burn-in/step training loop with checkpoint hooks, and the
+//! transfer-learning flow (pretext backbone pretraining → partial weight
+//! load → freeze/fine-tune).
+//!
+//! The full-scale profile ([`YoloConfig::full`]) matches the paper's
+//! architecture dimensions; experiments run the structurally identical
+//! micro profile ([`YoloConfig::micro`]) that trains on CPU (DESIGN.md §5).
+//!
+//! ## Example: build, train one step, detect
+//!
+//! ```
+//! use platter_dataset::{ClassSet, DatasetSpec, Split, SyntheticDataset};
+//! use platter_yolo::{train, Detector, TrainConfig, YoloConfig, Yolov4};
+//!
+//! let dataset = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 8, 64, 1));
+//! let split = Split::eighty_twenty(dataset.len(), 1);
+//! let model = Yolov4::new(YoloConfig::micro(10), 42);
+//! let mut cfg = TrainConfig::micro(2);
+//! cfg.batch_size = 1;
+//! cfg.mosaic_prob = 0.0;
+//! train(&model, &dataset, &split.train, &cfg, 0, |_, _| {}, |_| {});
+//! let detector = Detector::new(model);
+//! let (image, _) = dataset.render(split.val[0]);
+//! let _detections = detector.detect(&image);
+//! ```
+
+pub mod anchors;
+pub mod assign;
+pub mod backbone;
+pub mod config;
+pub mod head;
+pub mod loss;
+pub mod model;
+pub mod neck;
+pub mod nms;
+pub mod predict;
+pub mod summary;
+pub mod train;
+pub mod transfer;
+
+pub use anchors::{anchors_to_scales, kmeans_anchors, mean_best_iou};
+pub use assign::{build_targets, ScaleTargets};
+pub use config::{darknet_anchors, synthetic_anchors, YoloConfig, ANCHORS_PER_SCALE, STRIDES};
+pub use loss::{yolo_loss, BoxLoss, LossParts, LossWeights};
+pub use model::Yolov4;
+pub use nms::{decode_detections, nms, Detection, NmsKind};
+pub use predict::Detector;
+pub use summary::{render_summary, summarize, SummaryRow};
+pub use train::{train, TrainConfig, TrainRecord};
+pub use transfer::{pretrain_backbone, transfer_backbone, PretextClassifier, PretrainOutcome, PRETEXT_CLASSES};

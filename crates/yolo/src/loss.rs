@@ -1,0 +1,448 @@
+//! The YOLOv4 training loss: CIoU box regression (with GIoU/DIoU/IoU
+//! variants for the ablation), BCE objectness with an ignore mask, and
+//! per-class BCE — all expressed in autograd ops so gradients flow from the
+//! scalar loss to every parameter.
+
+use platter_tensor::{Graph, Tensor, Var};
+
+use crate::assign::ScaleTargets;
+use crate::config::{YoloConfig, ANCHORS_PER_SCALE};
+
+/// Box-regression variant (ablation axis; the paper's YOLOv4 uses CIoU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoxLoss {
+    /// Plain 1 − IoU.
+    Iou,
+    /// Generalised IoU.
+    Giou,
+    /// Distance IoU.
+    Diou,
+    /// Complete IoU (darknet's `iou_loss=ciou`).
+    Ciou,
+}
+
+/// Loss term weights.
+#[derive(Clone, Copy, Debug)]
+pub struct LossWeights {
+    /// Box regression weight.
+    pub box_w: f32,
+    /// Positive objectness weight (normalised by positives).
+    pub obj_w: f32,
+    /// Negative objectness weight (the negative BCE sum is normalised by
+    /// the cell count). Calibrated on the micro profile: stronger values
+    /// suppress positive confidence and collapse recall at conf 0.25.
+    pub noobj_w: f32,
+    /// Classification weight (normalised by positives).
+    pub cls_w: f32,
+}
+
+impl Default for LossWeights {
+    fn default() -> Self {
+        LossWeights { box_w: 5.0, obj_w: 1.0, noobj_w: 2.0, cls_w: 1.0 }
+    }
+}
+
+/// Scalar component values for logging.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LossParts {
+    pub total: f32,
+    pub box_loss: f32,
+    pub obj_loss: f32,
+    pub cls_loss: f32,
+    /// Mean IoU of predictions at positive cells (training diagnostic).
+    pub mean_iou: f32,
+}
+
+/// Pre-built constant tensors for decoding one scale's raw output.
+struct DecodeConsts {
+    /// `[1,1,2,g,g]`: channel 0 = column index, channel 1 = row index.
+    grid: Tensor,
+    /// `[1,a,2,1,1]`: anchor (w, h) per anchor slot.
+    anchors: Tensor,
+}
+
+fn decode_consts(cfg: &YoloConfig, scale: usize) -> DecodeConsts {
+    let g = cfg.grid_size(scale);
+    let mut grid = vec![0.0f32; 2 * g * g];
+    for row in 0..g {
+        for col in 0..g {
+            grid[row * g + col] = col as f32;
+            grid[g * g + row * g + col] = row as f32;
+        }
+    }
+    let a = ANCHORS_PER_SCALE;
+    let mut anchors = vec![0.0f32; a * 2];
+    for (i, &(w, h)) in cfg.anchors[scale].iter().enumerate() {
+        anchors[i * 2] = w;
+        anchors[i * 2 + 1] = h;
+    }
+    DecodeConsts {
+        grid: Tensor::from_vec(grid, &[1, 1, 2, g, g]),
+        anchors: Tensor::from_vec(anchors, &[1, a, 2, 1, 1]),
+    }
+}
+
+/// Decoded predicted box components, each `[n,a,1,g,g]`, normalised.
+pub(crate) struct DecodedBoxes {
+    pub px: Var,
+    pub py: Var,
+    pub pw: Var,
+    pub ph: Var,
+}
+
+/// Decode raw (reshaped) logits into normalised box coordinates:
+/// `b_xy = (σ(t_xy) + grid) / g`, `b_wh = anchor · e^{t_wh}`.
+pub(crate) fn decode_boxes(g: &mut Graph, raw: Var, cfg: &YoloConfig, scale: usize) -> DecodedBoxes {
+    let consts = decode_consts(cfg, scale);
+    let gsize = cfg.grid_size(scale) as f32;
+    let txy = g.narrow(raw, 2, 0, 2);
+    let twh = g.narrow(raw, 2, 2, 2);
+    let sxy = g.sigmoid(txy);
+    let grid = g.constant(consts.grid);
+    let cell_xy = g.add(sxy, grid);
+    let bxy = g.mul_scalar(cell_xy, 1.0 / gsize);
+    let twh_c = g.clamp(twh, -9.0, 9.0);
+    let ewh = g.exp(twh_c);
+    let anchors = g.constant(consts.anchors);
+    let bwh = g.mul(ewh, anchors);
+    DecodedBoxes {
+        px: g.narrow(bxy, 2, 0, 1),
+        py: g.narrow(bxy, 2, 1, 1),
+        pw: g.narrow(bwh, 2, 0, 1),
+        ph: g.narrow(bwh, 2, 1, 1),
+    }
+}
+
+/// Elementwise IoU-family score between predicted and target boxes
+/// (centre/size form), returning the per-cell score tensor in the graph.
+fn iou_family(g: &mut Graph, p: &DecodedBoxes, t: &DecodedBoxes, variant: BoxLoss) -> (Var, Var) {
+    let half = 0.5f32;
+    let scale_half = |g: &mut Graph, v: Var| g.mul_scalar(v, half);
+    // Corners.
+    let phw = scale_half(g, p.pw);
+    let phh = scale_half(g, p.ph);
+    let thw = scale_half(g, t.pw);
+    let thh = scale_half(g, t.ph);
+    let px0 = g.sub(p.px, phw);
+    let px1 = g.add(p.px, phw);
+    let py0 = g.sub(p.py, phh);
+    let py1 = g.add(p.py, phh);
+    let tx0 = g.sub(t.px, thw);
+    let tx1 = g.add(t.px, thw);
+    let ty0 = g.sub(t.py, thh);
+    let ty1 = g.add(t.py, thh);
+
+    // Intersection.
+    let ix0 = g.max_elt(px0, tx0);
+    let ix1 = g.min_elt(px1, tx1);
+    let iy0 = g.max_elt(py0, ty0);
+    let iy1 = g.min_elt(py1, ty1);
+    let iw = g.sub(ix1, ix0);
+    let iw = g.clamp(iw, 0.0, 4.0);
+    let ih = g.sub(iy1, iy0);
+    let ih = g.clamp(ih, 0.0, 4.0);
+    let inter = g.mul(iw, ih);
+
+    // Union.
+    let pa = g.mul(p.pw, p.ph);
+    let ta = g.mul(t.pw, t.ph);
+    let sum_a = g.add(pa, ta);
+    let union0 = g.sub(sum_a, inter);
+    let union = g.add_scalar(union0, 1e-9);
+    let iou = g.div(inter, union);
+
+    let score = match variant {
+        BoxLoss::Iou => iou,
+        BoxLoss::Giou => {
+            // Smallest enclosing box.
+            let cx0 = g.min_elt(px0, tx0);
+            let cx1 = g.max_elt(px1, tx1);
+            let cy0 = g.min_elt(py0, ty0);
+            let cy1 = g.max_elt(py1, ty1);
+            let cw = g.sub(cx1, cx0);
+            let ch = g.sub(cy1, cy0);
+            let area_c0 = g.mul(cw, ch);
+            let area_c = g.add_scalar(area_c0, 1e-9);
+            let gap = g.sub(area_c, union);
+            let frac = g.div(gap, area_c);
+            g.sub(iou, frac)
+        }
+        BoxLoss::Diou | BoxLoss::Ciou => {
+            // Centre distance over enclosing diagonal.
+            let cx0 = g.min_elt(px0, tx0);
+            let cx1 = g.max_elt(px1, tx1);
+            let cy0 = g.min_elt(py0, ty0);
+            let cy1 = g.max_elt(py1, ty1);
+            let cw = g.sub(cx1, cx0);
+            let ch = g.sub(cy1, cy0);
+            let cw2 = g.square(cw);
+            let ch2 = g.square(ch);
+            let diag0 = g.add(cw2, ch2);
+            let diag = g.add_scalar(diag0, 1e-9);
+            let dx = g.sub(p.px, t.px);
+            let dy = g.sub(p.py, t.py);
+            let dx2 = g.square(dx);
+            let dy2 = g.square(dy);
+            let d2 = g.add(dx2, dy2);
+            let penalty = g.div(d2, diag);
+            let diou = g.sub(iou, penalty);
+            if variant == BoxLoss::Diou {
+                diou
+            } else {
+                // Aspect-ratio term v with detached α = v / (1 − IoU + v).
+                let teps = g.add_scalar(t.ph, 1e-9);
+                let peps = g.add_scalar(p.ph, 1e-9);
+                let tr = g.div(t.pw, teps);
+                let pr = g.div(p.pw, peps);
+                let at = g.atan(tr);
+                let ap = g.atan(pr);
+                let dv = g.sub(at, ap);
+                let dv2 = g.square(dv);
+                let v = g.mul_scalar(dv2, 4.0 / (std::f32::consts::PI * std::f32::consts::PI));
+                // α computed from current values, then treated as constant.
+                let v_val = g.value(v).clone();
+                let iou_val = g.value(iou).clone();
+                let alpha_val = v_val.zip_map(&iou_val, |vv, ii| vv / (1.0 - ii + vv + 1e-9));
+                let alpha = g.constant(alpha_val);
+                let av = g.mul(alpha, v);
+                g.sub(diou, av)
+            }
+        }
+    };
+    (score, iou)
+}
+
+/// Compute the full YOLO loss over the three scales.
+///
+/// Returns the scalar loss var plus logged component values.
+pub fn yolo_loss(
+    g: &mut Graph,
+    heads: &[Var; 3],
+    targets: &[ScaleTargets; 3],
+    cfg: &YoloConfig,
+    variant: BoxLoss,
+    weights: LossWeights,
+) -> (Var, LossParts) {
+    let a = ANCHORS_PER_SCALE;
+    let c = cfg.num_classes;
+    let mut total: Option<Var> = None;
+    let mut parts = LossParts::default();
+    let mut iou_sum = 0.0f32;
+    let mut iou_count = 0usize;
+
+    for s in 0..3 {
+        let gsize = cfg.grid_size(s);
+        let n = g.shape(heads[s])[0];
+        let raw = g.reshape(heads[s], &[n, a, 5 + c, gsize, gsize]);
+        let t = &targets[s];
+        let num_pos = t.num_pos.max(1) as f32;
+        let cells = (n * a * gsize * gsize) as f32;
+
+        // --- box regression on positive cells ---
+        let pred = decode_boxes(g, raw, cfg, s);
+        let tbox = g.constant(t.tbox.clone());
+        let tgt = DecodedBoxes {
+            px: g.narrow(tbox, 2, 0, 1),
+            py: g.narrow(tbox, 2, 1, 1),
+            pw: g.narrow(tbox, 2, 2, 1),
+            ph: g.narrow(tbox, 2, 3, 1),
+        };
+        let (score, iou) = iou_family(g, &pred, &tgt, variant);
+        let one_minus = g.neg(score);
+        let one_minus = g.add_scalar(one_minus, 1.0);
+        let obj_mask = g.constant(t.obj.clone());
+        let masked = g.mul(one_minus, obj_mask);
+        let box_sum = g.sum_all(masked);
+        let box_term = g.mul_scalar(box_sum, weights.box_w / num_pos);
+
+        // IoU diagnostic at positives (values only).
+        if t.num_pos > 0 {
+            let iou_vals = g.value(iou).clone();
+            let mask_vals = &t.obj;
+            iou_sum += iou_vals
+                .as_slice()
+                .iter()
+                .zip(mask_vals.as_slice())
+                .map(|(i, m)| i * m)
+                .sum::<f32>();
+            iou_count += t.num_pos;
+        }
+
+        // --- objectness ---
+        let tobj_logits = g.narrow(raw, 2, 4, 1);
+        let obj_bce = g.bce_with_logits(tobj_logits, &t.obj);
+        let obj_pos = g.mul(obj_bce, obj_mask);
+        let obj_pos_sum = g.sum_all(obj_pos);
+        let obj_pos_term = g.mul_scalar(obj_pos_sum, weights.obj_w / num_pos);
+        let noobj_mask = g.constant(t.noobj.clone());
+        let obj_neg = g.mul(obj_bce, noobj_mask);
+        let obj_neg_sum = g.sum_all(obj_neg);
+        let obj_neg_term = g.mul_scalar(obj_neg_sum, weights.noobj_w / cells);
+        let obj_term = g.add(obj_pos_term, obj_neg_term);
+
+        // --- classification (independent logistic per class, as YOLOv3+) ---
+        let cls_logits = g.narrow(raw, 2, 5, c);
+        let cls_bce = g.bce_with_logits(cls_logits, &t.tcls);
+        let cls_masked = g.mul(cls_bce, obj_mask); // broadcast over k
+        let cls_sum = g.sum_all(cls_masked);
+        let cls_term = g.mul_scalar(cls_sum, weights.cls_w / num_pos);
+
+        parts.box_loss += g.value(box_term).item();
+        parts.obj_loss += g.value(obj_term).item();
+        parts.cls_loss += g.value(cls_term).item();
+
+        let scale_loss0 = g.add(box_term, obj_term);
+        let scale_loss = g.add(scale_loss0, cls_term);
+        total = Some(match total {
+            Some(acc) => g.add(acc, scale_loss),
+            None => scale_loss,
+        });
+    }
+
+    let total = total.expect("three scales");
+    parts.total = g.value(total).item();
+    parts.mean_iou = if iou_count > 0 { iou_sum / iou_count as f32 } else { 0.0 };
+    (total, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::build_targets;
+    use crate::model::Yolov4;
+    use platter_dataset::Annotation;
+    use platter_imaging::NormBox;
+    use platter_tensor::{Sgd, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_batch() -> (Tensor, Vec<Vec<Annotation>>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[2, 3, 64, 64], &mut rng).map(|v| v * 0.1 + 0.5);
+        let anns = vec![
+            vec![Annotation { class: 2, bbox: NormBox::new(0.4, 0.5, 0.3, 0.35) }],
+            vec![
+                Annotation { class: 0, bbox: NormBox::new(0.3, 0.3, 0.25, 0.2) },
+                Annotation { class: 7, bbox: NormBox::new(0.7, 0.7, 0.4, 0.4) },
+            ],
+        ];
+        (x, anns)
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let cfg = YoloConfig::micro(10);
+        let model = Yolov4::new(cfg.clone(), 2);
+        let (x, anns) = sample_batch();
+        let targets = build_targets(&cfg, &anns);
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let heads = model.forward(&mut g, xv, true);
+        let (loss, parts) = yolo_loss(&mut g, &heads, &targets, &cfg, BoxLoss::Ciou, LossWeights::default());
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v > 0.0, "loss {v}");
+        assert!(parts.box_loss >= 0.0 && parts.obj_loss > 0.0 && parts.cls_loss >= 0.0);
+        assert!((parts.total - v).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_variants_backprop() {
+        let cfg = YoloConfig::micro(4);
+        let (x, mut anns) = sample_batch();
+        for a in &mut anns {
+            for ann in a.iter_mut() {
+                ann.class %= 4;
+            }
+        }
+        let targets = build_targets(&cfg, &anns);
+        for variant in [BoxLoss::Iou, BoxLoss::Giou, BoxLoss::Diou, BoxLoss::Ciou] {
+            let model = Yolov4::new(cfg.clone(), 3);
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let heads = model.forward(&mut g, xv, true);
+            let (loss, _) = yolo_loss(&mut g, &heads, &targets, &cfg, variant, LossWeights::default());
+            g.backward(loss);
+            let grads_nonzero = model
+                .parameters()
+                .iter()
+                .filter(|p| p.grad().as_slice().iter().any(|&v| v != 0.0))
+                .count();
+            assert!(grads_nonzero > 10, "{variant:?}: only {grads_nonzero} params got gradient");
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_box_loss() {
+        // Plant raw logits that decode exactly to the GT box at *every*
+        // positive cell (multi-anchor assignment creates several), then
+        // check 1 − CIoU ≈ 0 and mean IoU ≈ 1.
+        let cfg = YoloConfig::micro(2);
+        let gt = NormBox::new(0.5, 0.5, 0.42, 0.38);
+        let anns = vec![vec![Annotation { class: 1, bbox: gt }]];
+        let targets = build_targets(&cfg, &anns);
+
+        let mut raws: Vec<Tensor> = (0..3)
+            .map(|s| Tensor::full(&[1, 3 * 7, cfg.grid_size(s), cfg.grid_size(s)], -12.0))
+            .collect();
+        for s in 0..3 {
+            let gsz = cfg.grid_size(s);
+            let obj = targets[s].obj.clone();
+            for anc in 0..3 {
+                for row in 0..gsz {
+                    for col in 0..gsz {
+                        let oi = ((anc * gsz) + row) * gsz + col;
+                        if obj.as_slice()[oi] != 1.0 {
+                            continue;
+                        }
+                        let d = raws[s].as_mut_slice();
+                        let idx = |k: usize| ((anc * 7 + k) * gsz + row) * gsz + col;
+                        // GT centre 0.5 lands exactly on a cell boundary for
+                        // every even grid → fractional offset 0 → σ(t)=0,
+                        // approximated by a very negative logit.
+                        d[idx(0)] = -12.0;
+                        d[idx(1)] = -12.0;
+                        d[idx(2)] = (gt.w / cfg.anchors[s][anc].0).ln();
+                        d[idx(3)] = (gt.h / cfg.anchors[s][anc].1).ln();
+                        d[idx(4)] = 10.0;
+                    }
+                }
+            }
+        }
+        let mut g = Graph::new();
+        let h0 = g.leaf(raws[0].clone());
+        let h1 = g.leaf(raws[1].clone());
+        let h2 = g.leaf(raws[2].clone());
+        let (_, parts) = yolo_loss(&mut g, &[h0, h1, h2], &targets, &cfg, BoxLoss::Ciou, LossWeights::default());
+        assert!(parts.mean_iou > 0.95, "mean IoU {}", parts.mean_iou);
+        assert!(parts.box_loss < 0.2, "box loss {}", parts.box_loss);
+    }
+
+    #[test]
+    fn loss_decreases_when_overfitting_one_batch() {
+        let cfg = YoloConfig::micro(4);
+        let model = Yolov4::new(cfg.clone(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn(&[1, 3, 64, 64], &mut rng).map(|v| v * 0.2 + 0.5);
+        let anns = vec![vec![Annotation { class: 1, bbox: NormBox::new(0.5, 0.5, 0.4, 0.4) }]];
+        let targets = build_targets(&cfg, &anns);
+        let mut opt = Sgd::new(model.parameters(), 0.9, 0.0);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..80 {
+            let mut g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let heads = model.forward(&mut g, xv, true);
+            let (loss, parts) = yolo_loss(&mut g, &heads, &targets, &cfg, BoxLoss::Ciou, LossWeights::default());
+            g.backward(loss);
+            platter_tensor::clip_global_norm(&model.parameters(), 10.0);
+            opt.step(0.01);
+            opt.zero_grad();
+            if i == 0 {
+                first = parts.total;
+            }
+            last = parts.total;
+            assert!(parts.total.is_finite(), "loss diverged at step {i}");
+        }
+        assert!(last < first * 0.7, "loss did not drop: {first} → {last}");
+    }
+}

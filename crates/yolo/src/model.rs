@@ -1,0 +1,168 @@
+//! The assembled YOLOv4 model: CSPDarknet53 + SPP/PANet + three heads, with
+//! checkpointing and the backbone freeze/unfreeze switch that implements the
+//! paper's transfer-learning stage.
+
+use platter_tensor::serialize::{load_params, save_params, LoadMode, LoadReport, WeightError};
+use platter_tensor::{Graph, Param, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backbone::CspDarknet;
+use crate::config::YoloConfig;
+use crate::head::YoloHeads;
+use crate::neck::PanNeck;
+
+/// The full detector.
+pub struct Yolov4 {
+    /// Model configuration.
+    pub config: YoloConfig,
+    backbone: CspDarknet,
+    neck: PanNeck,
+    heads: YoloHeads,
+}
+
+impl Yolov4 {
+    /// Build a freshly initialised model (Kaiming init, seeded).
+    pub fn new(config: YoloConfig, seed: u64) -> Yolov4 {
+        config.validate().expect("invalid config");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Yolov4 {
+            backbone: CspDarknet::new("backbone", &config, &mut rng),
+            neck: PanNeck::new("neck", &config, &mut rng),
+            heads: YoloHeads::new("head", &config, &mut rng),
+            config,
+        }
+    }
+
+    /// Forward to raw head logits `[stride8, stride16, stride32]`.
+    ///
+    /// `x` must be `[n, 3, s, s]` with `s == config.input_size`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> [Var; 3] {
+        let shape = g.shape(x).to_vec();
+        assert_eq!(shape[1], 3, "expected RGB input, got {shape:?}");
+        assert_eq!(
+            shape[2],
+            self.config.input_size,
+            "input size {shape:?} does not match config {}",
+            self.config.input_size
+        );
+        let f = self.backbone.forward(g, x, training);
+        let n = self.neck.forward(g, &f, training);
+        self.heads.forward(g, &n, training)
+    }
+
+    /// Convenience: run inference on a CHW image tensor batch, returning the
+    /// three raw head tensors.
+    pub fn infer(&self, x: &Tensor) -> [Tensor; 3] {
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let out = self.forward(&mut g, xv, false);
+        [g.value(out[0]).clone(), g.value(out[1]).clone(), g.value(out[2]).clone()]
+    }
+
+    /// All parameters (backbone + neck + heads).
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p = self.backbone.parameters();
+        p.extend(self.neck.parameters());
+        p.extend(self.heads.parameters());
+        p
+    }
+
+    /// Backbone parameters only (the transfer-learning subset).
+    pub fn backbone_parameters(&self) -> Vec<Param> {
+        self.backbone.parameters()
+    }
+
+    /// Freeze or unfreeze the backbone. Frozen parameters receive no
+    /// gradients and are skipped by optimizers — darknet's
+    /// `stopbackward`-style fine-tuning of only the neck/heads.
+    pub fn set_backbone_frozen(&self, frozen: bool) {
+        for p in self.backbone_parameters() {
+            // Keep BN running stats permanently frozen-flagged.
+            if !p.name().contains("running_") {
+                p.set_frozen(frozen);
+            }
+        }
+    }
+
+    /// Serialise every parameter to a checkpoint buffer.
+    pub fn save(&self) -> platter_tensor::serialize::Bytes {
+        save_params(&self.parameters())
+    }
+
+    /// Restore parameters from a checkpoint buffer.
+    pub fn load(&self, buf: &[u8], mode: LoadMode) -> Result<LoadReport, WeightError> {
+        load_params(&self.parameters(), buf, mode)
+    }
+
+    /// Total parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_for_micro() {
+        let model = Yolov4::new(YoloConfig::micro(10), 7);
+        let out = model.infer(&Tensor::zeros(&[1, 3, 64, 64]));
+        assert_eq!(out[0].shape(), &[1, 45, 8, 8]);
+        assert_eq!(out[1].shape(), &[1, 45, 4, 4]);
+        assert_eq!(out[2].shape(), &[1, 45, 2, 2]);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_reproduces_outputs() {
+        let a = Yolov4::new(YoloConfig::micro(5), 1);
+        let b = Yolov4::new(YoloConfig::micro(5), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&[1, 3, 64, 64], &mut rng);
+        let before = a.infer(&x);
+        let buf = a.save();
+        b.load(&buf, LoadMode::Strict).unwrap();
+        let after = b.infer(&x);
+        for (ta, tb) in before.iter().zip(&after) {
+            for (va, vb) in ta.as_slice().iter().zip(tb.as_slice()) {
+                assert!((va - vb).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_unfreeze_toggles_all_backbone_weights() {
+        let model = Yolov4::new(YoloConfig::micro(3), 4);
+        model.set_backbone_frozen(true);
+        for p in model.backbone_parameters() {
+            assert!(p.is_frozen(), "{}", p.name());
+        }
+        // Heads stay trainable.
+        assert!(model.parameters().iter().any(|p| !p.is_frozen()));
+        model.set_backbone_frozen(false);
+        for p in model.backbone_parameters() {
+            if p.name().contains("running_") {
+                assert!(p.is_frozen(), "BN stats must stay frozen: {}", p.name());
+            } else {
+                assert!(!p.is_frozen(), "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Yolov4::new(YoloConfig::micro(3), 1);
+        let b = Yolov4::new(YoloConfig::micro(3), 2);
+        let wa = a.parameters()[0].value();
+        let wb = b.parameters()[0].value();
+        assert_ne!(wa.as_slice(), wb.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match config")]
+    fn rejects_wrong_input_size() {
+        let model = Yolov4::new(YoloConfig::micro(3), 1);
+        model.infer(&Tensor::zeros(&[1, 3, 32, 32]));
+    }
+}

@@ -1,0 +1,260 @@
+//! YOLOv4's neck: SPP (spatial pyramid pooling) on the deepest features and
+//! PANet (path-aggregation: top-down + bottom-up) feature fusion, with
+//! LeakyReLU activations as in darknet's head-side convs.
+
+use platter_tensor::nn::{Activation, ConvBlock};
+use platter_tensor::ops::Conv2dSpec;
+use platter_tensor::{Graph, Param, Var};
+use rand::Rng;
+
+use crate::backbone::BackboneFeatures;
+use crate::config::YoloConfig;
+
+/// SPP block: 1×1/3×3/1×1 bottleneck, then parallel max-pools of kernel
+/// {5, 9, 13} (stride 1) concatenated with the identity, then 1×1/3×3/1×1.
+pub struct Spp {
+    pre: Vec<ConvBlock>,
+    post: Vec<ConvBlock>,
+}
+
+impl Spp {
+    fn new<R: Rng + ?Sized>(name: &str, cin: usize, rng: &mut R) -> Spp {
+        let half = (cin / 2).max(2);
+        let leaky = Activation::Leaky;
+        Spp {
+            pre: vec![
+                ConvBlock::new(&format!("{name}.pre0"), cin, half, 1, Conv2dSpec::same(1), leaky, rng),
+                ConvBlock::new(&format!("{name}.pre1"), half, cin, 3, Conv2dSpec::same(3), leaky, rng),
+                ConvBlock::new(&format!("{name}.pre2"), cin, half, 1, Conv2dSpec::same(1), leaky, rng),
+            ],
+            post: vec![
+                ConvBlock::new(&format!("{name}.post0"), half * 4, half, 1, Conv2dSpec::same(1), leaky, rng),
+                ConvBlock::new(&format!("{name}.post1"), half, cin, 3, Conv2dSpec::same(3), leaky, rng),
+                ConvBlock::new(&format!("{name}.post2"), cin, half, 1, Conv2dSpec::same(1), leaky, rng),
+            ],
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let mut h = x;
+        for c in &self.pre {
+            h = c.forward(g, h, training);
+        }
+        // Clamp pool kernels to the feature size so the micro profile's 2×2
+        // deepest grid still pools meaningfully.
+        let dim = g.shape(h)[2].min(g.shape(h)[3]);
+        let kernels = [5usize, 9, 13].map(|k| k.min(if dim % 2 == 0 { dim + 1 } else { dim }));
+        let pools: Vec<Var> = kernels
+            .iter()
+            .map(|&k| g.maxpool2d(h, k, 1, k / 2))
+            .collect();
+        let cat = g.concat(&[pools[2], pools[1], pools[0], h], 1);
+        let mut out = cat;
+        for c in &self.post {
+            out = c.forward(g, out, training);
+        }
+        out
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        self.pre.iter().chain(&self.post).flat_map(|c| c.parameters()).collect()
+    }
+}
+
+/// Five-conv fusion stack used at every PANet merge point.
+struct ConvStack {
+    convs: Vec<ConvBlock>,
+}
+
+impl ConvStack {
+    fn new<R: Rng + ?Sized>(name: &str, cin: usize, cout: usize, rng: &mut R) -> ConvStack {
+        let leaky = Activation::Leaky;
+        ConvStack {
+            convs: vec![
+                ConvBlock::new(&format!("{name}.c0"), cin, cout, 1, Conv2dSpec::same(1), leaky, rng),
+                ConvBlock::new(&format!("{name}.c1"), cout, cout * 2, 3, Conv2dSpec::same(3), leaky, rng),
+                ConvBlock::new(&format!("{name}.c2"), cout * 2, cout, 1, Conv2dSpec::same(1), leaky, rng),
+                ConvBlock::new(&format!("{name}.c3"), cout, cout * 2, 3, Conv2dSpec::same(3), leaky, rng),
+                ConvBlock::new(&format!("{name}.c4"), cout * 2, cout, 1, Conv2dSpec::same(1), leaky, rng),
+            ],
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let mut h = x;
+        for c in &self.convs {
+            h = c.forward(g, h, training);
+        }
+        h
+    }
+
+    fn parameters(&self) -> Vec<Param> {
+        self.convs.iter().flat_map(|c| c.parameters()).collect()
+    }
+}
+
+/// Fused neck outputs, one per detection scale.
+pub struct NeckFeatures {
+    /// Stride-8 fused features.
+    pub p3: Var,
+    /// Stride-16 fused features.
+    pub p4: Var,
+    /// Stride-32 fused features.
+    pub p5: Var,
+}
+
+/// SPP + PANet.
+pub struct PanNeck {
+    spp: Spp,
+    lat4: ConvBlock,
+    lat3: ConvBlock,
+    up5: ConvBlock,
+    up4: ConvBlock,
+    td4: ConvStack,
+    td3: ConvStack,
+    down3: ConvBlock,
+    bu4: ConvStack,
+    down4: ConvBlock,
+    bu5: ConvStack,
+}
+
+impl PanNeck {
+    /// Build the neck for `cfg` under serialization prefix `name`.
+    pub fn new<R: Rng + ?Sized>(name: &str, cfg: &YoloConfig, rng: &mut R) -> PanNeck {
+        let leaky = Activation::Leaky;
+        let (c3, c4, c5) = (cfg.channels(3), cfg.channels(4), cfg.channels(5));
+        let (h3, h4, h5) = (c3 / 2, c4 / 2, c5 / 2);
+        PanNeck {
+            spp: Spp::new(&format!("{name}.spp"), c5, rng),
+            // Top-down: upsampled deep features meet 1×1-lateralled shallow ones.
+            up5: ConvBlock::new(&format!("{name}.up5"), h5, h4, 1, Conv2dSpec::same(1), leaky, rng),
+            lat4: ConvBlock::new(&format!("{name}.lat4"), c4, h4, 1, Conv2dSpec::same(1), leaky, rng),
+            td4: ConvStack::new(&format!("{name}.td4"), h4 * 2, h4, rng),
+            up4: ConvBlock::new(&format!("{name}.up4"), h4, h3, 1, Conv2dSpec::same(1), leaky, rng),
+            lat3: ConvBlock::new(&format!("{name}.lat3"), c3, h3, 1, Conv2dSpec::same(1), leaky, rng),
+            td3: ConvStack::new(&format!("{name}.td3"), h3 * 2, h3, rng),
+            // Bottom-up path aggregation.
+            down3: ConvBlock::new(&format!("{name}.down3"), h3, h4, 3, Conv2dSpec::down(3), leaky, rng),
+            bu4: ConvStack::new(&format!("{name}.bu4"), h4 * 2, h4, rng),
+            down4: ConvBlock::new(&format!("{name}.down4"), h4, h5, 3, Conv2dSpec::down(3), leaky, rng),
+            bu5: ConvStack::new(&format!("{name}.bu5"), h5 * 2, h5, rng),
+        }
+    }
+
+    /// Forward pass over backbone features.
+    pub fn forward(&self, g: &mut Graph, f: &BackboneFeatures, training: bool) -> NeckFeatures {
+        // SPP leaves c5 at half width (post2 outputs h5).
+        let s5 = self.spp.forward(g, f.c5, training);
+
+        // Top-down to stride 16.
+        let u5 = self.up5.forward(g, s5, training);
+        let u5 = g.upsample_nearest(u5, 2);
+        let l4 = self.lat4.forward(g, f.c4, training);
+        let cat4 = g.concat(&[l4, u5], 1);
+        let t4 = self.td4.forward(g, cat4, training);
+
+        // Top-down to stride 8.
+        let u4 = self.up4.forward(g, t4, training);
+        let u4 = g.upsample_nearest(u4, 2);
+        let l3 = self.lat3.forward(g, f.c3, training);
+        let cat3 = g.concat(&[l3, u4], 1);
+        let p3 = self.td3.forward(g, cat3, training);
+
+        // Bottom-up aggregation.
+        let d3 = self.down3.forward(g, p3, training);
+        let cat4b = g.concat(&[d3, t4], 1);
+        let p4 = self.bu4.forward(g, cat4b, training);
+
+        let d4 = self.down4.forward(g, p4, training);
+        let cat5 = g.concat(&[d4, s5], 1);
+        let p5 = self.bu5.forward(g, cat5, training);
+
+        NeckFeatures { p3, p4, p5 }
+    }
+
+    /// All neck parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p = self.spp.parameters();
+        for stack in [&self.td4, &self.td3, &self.bu4, &self.bu5] {
+            p.extend(stack.parameters());
+        }
+        for conv in [&self.up5, &self.lat4, &self.up4, &self.lat3, &self.down3, &self.down4] {
+            p.extend(conv.parameters());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::CspDarknet;
+    use platter_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(cfg: &YoloConfig, seed: u64) -> (CspDarknet, PanNeck) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bb = CspDarknet::new("backbone", cfg, &mut rng);
+        let neck = PanNeck::new("neck", cfg, &mut rng);
+        (bb, neck)
+    }
+
+    #[test]
+    fn neck_output_shapes() {
+        let cfg = YoloConfig::micro(10);
+        let (bb, neck) = build(&cfg, 1);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::zeros(&[1, 3, 64, 64]));
+        let f = bb.forward(&mut g, x, false);
+        let n = neck.forward(&mut g, &f, false);
+        assert_eq!(g.shape(n.p3), &[1, cfg.channels(3) / 2, 8, 8]);
+        assert_eq!(g.shape(n.p4), &[1, cfg.channels(4) / 2, 4, 4]);
+        assert_eq!(g.shape(n.p5), &[1, cfg.channels(5) / 2, 2, 2]);
+    }
+
+    #[test]
+    fn spp_preserves_spatial_size() {
+        let cfg = YoloConfig::micro(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let spp = Spp::new("spp", cfg.channels(5), &mut rng);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::randn(&[1, cfg.channels(5), 4, 4], &mut rng));
+        let y = spp.forward(&mut g, x, false);
+        assert_eq!(&g.shape(y)[2..], &[4, 4]);
+    }
+
+    #[test]
+    fn neck_params_named_and_unique() {
+        let cfg = YoloConfig::micro(10);
+        let (_, neck) = build(&cfg, 3);
+        let mut names: Vec<String> = neck.parameters().iter().map(|p| p.name()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total);
+        assert!(names.iter().all(|n| n.starts_with("neck.")));
+    }
+
+    #[test]
+    fn gradients_flow_through_both_paths() {
+        let cfg = YoloConfig::micro(4);
+        let (bb, neck) = build(&cfg, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::randn(&[1, 3, 64, 64], &mut rng));
+        let f = bb.forward(&mut g, x, true);
+        let n = neck.forward(&mut g, &f, true);
+        // Sum all three outputs so every branch participates.
+        let s3 = g.mean_all(n.p3);
+        let s4 = g.mean_all(n.p4);
+        let s5 = g.mean_all(n.p5);
+        let a = g.add(s3, s4);
+        let loss = g.add(a, s5);
+        g.backward(loss);
+        for p in neck.parameters().iter().take(8) {
+            let _ = p.grad(); // must not panic; some may be zero
+        }
+        assert!(bb.parameters()[0].grad().as_slice().iter().any(|&v| v != 0.0));
+    }
+}

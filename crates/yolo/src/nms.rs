@@ -1,0 +1,219 @@
+//! Prediction decoding and non-maximum suppression (greedy and DIoU-NMS,
+//! the latter being YOLOv4's "bag of specials" choice).
+
+use platter_imaging::NormBox;
+use platter_tensor::Tensor;
+
+use crate::config::{YoloConfig, ANCHORS_PER_SCALE};
+
+/// One decoded detection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// Predicted class id.
+    pub class: usize,
+    /// Confidence: objectness × best class probability.
+    pub score: f32,
+    /// Normalised box.
+    pub bbox: NormBox,
+}
+
+/// Suppression criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NmsKind {
+    /// Classic greedy IoU NMS.
+    Greedy,
+    /// DIoU-NMS: IoU penalised by normalised centre distance.
+    Diou,
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Decode raw head tensors into per-image candidate detections (before NMS).
+///
+/// `heads` are the three raw `[n, a·(5+c), g, g]` tensors in stride order.
+pub fn decode_detections(heads: &[Tensor; 3], cfg: &YoloConfig, conf_thresh: f32) -> Vec<Vec<Detection>> {
+    let n = heads[0].shape()[0];
+    let a = ANCHORS_PER_SCALE;
+    let c = cfg.num_classes;
+    let mut out = vec![Vec::new(); n];
+    for (s, head) in heads.iter().enumerate() {
+        let gsz = cfg.grid_size(s);
+        debug_assert_eq!(head.shape(), &[n, a * (5 + c), gsz, gsz]);
+        let data = head.as_slice();
+        let plane = gsz * gsz;
+        for b in 0..n {
+            for anc in 0..a {
+                let base = (b * a * (5 + c) + anc * (5 + c)) * plane;
+                for row in 0..gsz {
+                    for col in 0..gsz {
+                        let at = |k: usize| data[base + k * plane + row * gsz + col];
+                        let obj = sigmoid(at(4));
+                        if obj < conf_thresh {
+                            continue; // cheap early-out
+                        }
+                        let (mut best_c, mut best_p) = (0usize, 0.0f32);
+                        for k in 0..c {
+                            let p = sigmoid(at(5 + k));
+                            if p > best_p {
+                                best_p = p;
+                                best_c = k;
+                            }
+                        }
+                        let score = obj * best_p;
+                        if score < conf_thresh {
+                            continue;
+                        }
+                        let bx = (sigmoid(at(0)) + col as f32) / gsz as f32;
+                        let by = (sigmoid(at(1)) + row as f32) / gsz as f32;
+                        let bw = cfg.anchors[s][anc].0 * at(2).clamp(-9.0, 9.0).exp();
+                        let bh = cfg.anchors[s][anc].1 * at(3).clamp(-9.0, 9.0).exp();
+                        out[b].push(Detection { class: best_c, score, bbox: NormBox::new(bx, by, bw, bh) });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn suppression_score(a: &NormBox, b: &NormBox, kind: NmsKind) -> f32 {
+    let iou = a.iou(b);
+    match kind {
+        NmsKind::Greedy => iou,
+        NmsKind::Diou => {
+            let (ax0, ay0, ax1, ay1) = a.xyxy();
+            let (bx0, by0, bx1, by1) = b.xyxy();
+            let cw = ax1.max(bx1) - ax0.min(bx0);
+            let ch = ay1.max(by1) - ay0.min(by0);
+            let c2 = cw * cw + ch * ch + 1e-9;
+            let d2 = (a.cx - b.cx).powi(2) + (a.cy - b.cy).powi(2);
+            iou - d2 / c2
+        }
+    }
+}
+
+/// Class-aware NMS: within each class, keep the highest-scored boxes and
+/// drop later ones whose suppression score against a kept box exceeds
+/// `iou_thresh`. The result stays sorted by descending score.
+pub fn nms(mut detections: Vec<Detection>, iou_thresh: f32, kind: NmsKind) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
+    for det in detections {
+        let suppressed = keep
+            .iter()
+            .any(|k| k.class == det.class && suppression_score(&k.bbox, &det.bbox, kind) > iou_thresh);
+        if !suppressed {
+            keep.push(det);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: usize, score: f32, cx: f32, cy: f32, w: f32, h: f32) -> Detection {
+        Detection { class, score, bbox: NormBox::new(cx, cy, w, h) }
+    }
+
+    #[test]
+    fn nms_suppresses_duplicates_keeps_best() {
+        let dets = vec![
+            det(0, 0.9, 0.5, 0.5, 0.3, 0.3),
+            det(0, 0.8, 0.51, 0.5, 0.3, 0.3),
+            det(0, 0.7, 0.9, 0.9, 0.1, 0.1),
+        ];
+        let kept = nms(dets, 0.5, NmsKind::Greedy);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].score, 0.9);
+        assert_eq!(kept[1].score, 0.7);
+    }
+
+    #[test]
+    fn nms_is_class_aware() {
+        let dets = vec![det(0, 0.9, 0.5, 0.5, 0.3, 0.3), det(1, 0.8, 0.5, 0.5, 0.3, 0.3)];
+        let kept = nms(dets, 0.5, NmsKind::Greedy);
+        assert_eq!(kept.len(), 2, "same box, different classes: both survive");
+    }
+
+    #[test]
+    fn nms_output_is_sorted_and_disjoint_per_class() {
+        let mut dets = Vec::new();
+        for i in 0..20 {
+            let f = i as f32;
+            dets.push(det(i % 3, 0.3 + 0.03 * f, 0.2 + 0.03 * f, 0.5, 0.25, 0.25));
+        }
+        let kept = nms(dets, 0.45, NmsKind::Greedy);
+        for w in kept.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                if kept[i].class == kept[j].class {
+                    assert!(kept[i].bbox.iou(&kept[j].bbox) <= 0.45 + 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diou_nms_is_stricter_for_distant_centres() {
+        // Same IoU, but displaced centres lower the DIoU criterion, so a
+        // borderline pair survives DIoU-NMS while greedy suppresses it.
+        let a = det(0, 0.9, 0.45, 0.5, 0.4, 0.4);
+        let b = det(0, 0.8, 0.62, 0.5, 0.4, 0.4);
+        let iou = a.bbox.iou(&b.bbox);
+        let thresh = iou - 0.02; // greedy: b suppressed
+        let greedy = nms(vec![a, b], thresh, NmsKind::Greedy);
+        let diou = nms(vec![a, b], thresh, NmsKind::Diou);
+        assert_eq!(greedy.len(), 1);
+        assert_eq!(diou.len(), 2, "distance penalty saves the displaced box");
+    }
+
+    #[test]
+    fn decode_finds_a_planted_detection() {
+        let cfg = YoloConfig::micro(10);
+        let gsz = cfg.grid_size(2); // stride 32 grid (2×2)
+        let mut h2 = Tensor::full(&[1, 45, gsz, gsz], -12.0);
+        {
+            // Plant one confident detection: anchor 1, cell (1, 0).
+            let d = h2.as_mut_slice();
+            let plane = gsz * gsz;
+            let idx = |anc: usize, k: usize, row: usize, col: usize| (anc * 15 + k) * plane + row * gsz + col;
+            d[idx(1, 0, 1, 0)] = 0.0; // σ(0)=0.5 → centre of the cell
+            d[idx(1, 1, 1, 0)] = 0.0;
+            d[idx(1, 2, 1, 0)] = 0.0; // w = anchor w
+            d[idx(1, 3, 1, 0)] = 0.0;
+            d[idx(1, 4, 1, 0)] = 8.0; // objectness
+            d[idx(1, 5 + 7, 1, 0)] = 8.0; // class 7
+        }
+        let h0 = Tensor::full(&[1, 45, 8, 8], -12.0);
+        let h1 = Tensor::full(&[1, 45, 4, 4], -12.0);
+        let dets = decode_detections(&[h0, h1, h2], &cfg, 0.25);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].len(), 1);
+        let d = dets[0][0];
+        assert_eq!(d.class, 7);
+        assert!(d.score > 0.9);
+        // Cell (row 1, col 0) of a 2-grid → centre ≈ (0.25, 0.75).
+        assert!((d.bbox.cx - 0.25).abs() < 0.01, "{:?}", d.bbox);
+        assert!((d.bbox.cy - 0.75).abs() < 0.01);
+        assert!((d.bbox.w - cfg.anchors[2][1].0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn decode_respects_confidence_threshold() {
+        let cfg = YoloConfig::micro(10);
+        let h0 = Tensor::full(&[1, 45, 8, 8], 0.0); // σ(0)=0.5 ⇒ score 0.25
+        let h1 = Tensor::full(&[1, 45, 4, 4], -12.0);
+        let h2 = Tensor::full(&[1, 45, 2, 2], -12.0);
+        let low = decode_detections(&[h0.clone(), h1.clone(), h2.clone()], &cfg, 0.3);
+        assert!(low[0].is_empty());
+        let high = decode_detections(&[h0, h1, h2], &cfg, 0.2);
+        assert!(!high[0].is_empty());
+    }
+}

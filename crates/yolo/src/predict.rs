@@ -1,0 +1,93 @@
+//! End-to-end inference: letterbox → forward → decode → NMS → map back to
+//! image coordinates (the pipeline of the paper's Fig. 3).
+
+use platter_imaging::augment::unletterbox_box;
+use platter_imaging::Image;
+use platter_tensor::Tensor;
+
+use crate::model::Yolov4;
+use crate::nms::{decode_detections, nms, Detection, NmsKind};
+
+/// A configured detector ready to run on images.
+pub struct Detector {
+    /// The trained model.
+    pub model: Yolov4,
+    /// Minimum confidence for a candidate box.
+    pub conf_thresh: f32,
+    /// NMS suppression threshold.
+    pub nms_iou: f32,
+    /// NMS flavour.
+    pub nms_kind: NmsKind,
+}
+
+impl Detector {
+    /// Wrap a model with the standard inference settings (conf 0.25,
+    /// DIoU-NMS at 0.45 — darknet's defaults).
+    pub fn new(model: Yolov4) -> Detector {
+        Detector { model, conf_thresh: 0.25, nms_iou: 0.45, nms_kind: NmsKind::Diou }
+    }
+
+    /// Detect dishes in an arbitrary-size image. Boxes come back in the
+    /// original image's normalised coordinates.
+    pub fn detect(&self, image: &Image) -> Vec<Detection> {
+        let size = self.model.config.input_size;
+        let lb = image.letterbox(size);
+        let chw = lb.image.to_chw();
+        let x = Tensor::from_vec(chw, &[1, 3, size, size]);
+        let heads = self.model.infer(&x);
+        let mut candidates = decode_detections(&heads, &self.model.config, self.conf_thresh);
+        let kept = nms(std::mem::take(&mut candidates[0]), self.nms_iou, self.nms_kind);
+        kept.into_iter()
+            .filter_map(|d| {
+                let mapped = unletterbox_box(&d.bbox, size, lb.scale, lb.pad_x, lb.pad_y, image.width(), image.height());
+                mapped.clipped().map(|bbox| Detection { bbox, ..d })
+            })
+            .collect()
+    }
+
+    /// Detect over an already-batched CHW tensor (the validation loader's
+    /// output — images are already square at input size, so no letterboxing).
+    pub fn detect_batch(&self, batch: &Tensor) -> Vec<Vec<Detection>> {
+        let heads = self.model.infer(batch);
+        let candidates = decode_detections(&heads, &self.model.config, self.conf_thresh);
+        candidates
+            .into_iter()
+            .map(|c| {
+                nms(c, self.nms_iou, self.nms_kind)
+                    .into_iter()
+                    .filter_map(|d| d.bbox.clipped().map(|bbox| Detection { bbox, ..d }))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::YoloConfig;
+    use platter_imaging::Rgb;
+
+    #[test]
+    fn detect_runs_on_non_square_images() {
+        let model = Yolov4::new(YoloConfig::micro(10), 1);
+        let det = Detector::new(model);
+        let img = Image::new(100, 60, Rgb::new(0.4, 0.3, 0.2));
+        let out = det.detect(&img);
+        // Untrained model: just verify the pipeline produces valid boxes.
+        for d in &out {
+            assert!(d.bbox.is_valid());
+            assert!(d.score >= det.conf_thresh * 0.5);
+            assert!(d.class < 10);
+        }
+    }
+
+    #[test]
+    fn detect_batch_shape_contract() {
+        let model = Yolov4::new(YoloConfig::micro(10), 2);
+        let det = Detector::new(model);
+        let batch = Tensor::zeros(&[3, 3, 64, 64]);
+        let out = det.detect_batch(&batch);
+        assert_eq!(out.len(), 3);
+    }
+}

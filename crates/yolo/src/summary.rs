@@ -1,0 +1,87 @@
+//! Model introspection: a darknet-style layer/parameter summary for any
+//! parameter collection, grouped by module path.
+
+use platter_tensor::Param;
+use std::fmt::Write as _;
+
+/// One row of the summary: a module prefix and its parameter total.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Module path (first two segments of the parameter names).
+    pub module: String,
+    /// Number of tensors under the prefix.
+    pub tensors: usize,
+    /// Total scalar parameters under the prefix.
+    pub params: usize,
+}
+
+/// Group parameters by their first two name segments
+/// (`backbone.stage3`, `neck.spp`, `head.s8`, …), preserving first-seen
+/// order so the table reads top-down through the network.
+pub fn summarize(params: &[Param]) -> Vec<SummaryRow> {
+    let mut rows: Vec<SummaryRow> = Vec::new();
+    for p in params {
+        let name = p.name();
+        let module: String = name.split('.').take(2).collect::<Vec<_>>().join(".");
+        match rows.iter_mut().find(|r| r.module == module) {
+            Some(row) => {
+                row.tensors += 1;
+                row.params += p.numel();
+            }
+            None => rows.push(SummaryRow { module, tensors: 1, params: p.numel() }),
+        }
+    }
+    rows
+}
+
+/// Render the summary as an aligned text table with a grand total.
+pub fn render_summary(params: &[Param]) -> String {
+    let rows = summarize(params);
+    let w = rows.iter().map(|r| r.module.len()).max().unwrap_or(6).max(6);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:w$}  {:>8}  {:>12}", "module", "tensors", "parameters");
+    let mut total_t = 0usize;
+    let mut total_p = 0usize;
+    for r in &rows {
+        let _ = writeln!(out, "{:w$}  {:>8}  {:>12}", r.module, r.tensors, r.params);
+        total_t += r.tensors;
+        total_p += r.params;
+    }
+    let _ = writeln!(out, "{:w$}  {:>8}  {:>12}", "TOTAL", total_t, total_p);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::YoloConfig;
+    use crate::model::Yolov4;
+
+    #[test]
+    fn summary_covers_all_parameters() {
+        let model = Yolov4::new(YoloConfig::micro(10), 1);
+        let params = model.parameters();
+        let rows = summarize(&params);
+        let total: usize = rows.iter().map(|r| r.params).sum();
+        assert_eq!(total, model.num_parameters());
+        let tensors: usize = rows.iter().map(|r| r.tensors).sum();
+        assert_eq!(tensors, params.len());
+    }
+
+    #[test]
+    fn summary_orders_backbone_first() {
+        let model = Yolov4::new(YoloConfig::micro(10), 2);
+        let rows = summarize(&model.parameters());
+        assert!(rows[0].module.starts_with("backbone."));
+        assert!(rows.iter().any(|r| r.module.starts_with("neck.")));
+        assert!(rows.iter().any(|r| r.module.starts_with("head.")));
+    }
+
+    #[test]
+    fn rendered_table_has_total_line() {
+        let model = Yolov4::new(YoloConfig::micro(3), 3);
+        let table = render_summary(&model.parameters());
+        assert!(table.contains("TOTAL"));
+        assert!(table.contains(&model.num_parameters().to_string()));
+    }
+}

@@ -1,0 +1,227 @@
+//! Transfer learning (the paper's central method).
+//!
+//! The paper initialises CSPDarknet53 from ImageNet-pretrained weights
+//! (`yolov4.conv.137`) before fine-tuning on IndianFood10. We reproduce the
+//! mechanism with a *pretext* task: the identical backbone is pretrained as
+//! a classifier on a synthetic textured-shapes dataset (disjoint from the
+//! food classes), and its weights are partially loaded into the detector —
+//! the same subset-by-name flow darknet's partial weight files use.
+
+use platter_imaging::raster::{fill_circle, fill_ring, fill_rounded_rect};
+use platter_imaging::texture::{apply_noise_overlay, apply_pixel_noise, grains_ellipse, speckle_ellipse};
+use platter_imaging::{Image, Rgb};
+use platter_tensor::nn::Linear;
+use platter_tensor::serialize::{load_params, save_params, LoadMode, LoadReport, WeightError};
+use platter_tensor::{Adam, Graph, Param, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::backbone::CspDarknet;
+use crate::config::YoloConfig;
+use crate::model::Yolov4;
+
+/// Number of pretext shape classes.
+pub const PRETEXT_CLASSES: usize = 8;
+
+/// Render one pretext sample: a textured shape of `class` on a noisy
+/// background. The classes exercise the same low-level features (edges,
+/// blobs, textures, gloss) that food photos do.
+pub fn pretext_sample(class: usize, seed: u64, size: usize) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    let bg = Rgb::new(
+        rng.random_range(0.1..0.9),
+        rng.random_range(0.1..0.9),
+        rng.random_range(0.1..0.9),
+    );
+    let mut img = Image::new(size, size, bg);
+    apply_noise_overlay(&mut img, rng.random_range(0..u64::MAX / 2), size as f32 / 6.0, 0.2);
+    let fg = Rgb::new(
+        rng.random_range(0.0..1.0),
+        rng.random_range(0.0..1.0),
+        rng.random_range(0.0..1.0),
+    );
+    let s = size as f32;
+    let cx = s * rng.random_range(0.35..0.65);
+    let cy = s * rng.random_range(0.35..0.65);
+    let r = s * rng.random_range(0.18..0.32);
+    match class % PRETEXT_CLASSES {
+        0 => fill_circle(&mut img, cx, cy, r, fg, 1.0),
+        1 => fill_ring(&mut img, cx, cy, r * 0.5, r, fg, 1.0),
+        2 => fill_rounded_rect(&mut img, cx, cy, r, r, r * 0.2, rng.random_range(0.0..1.5), fg, 1.0),
+        3 => fill_rounded_rect(&mut img, cx, cy, r * 1.4, r * 0.45, r * 0.2, rng.random_range(0.0..3.0), fg, 1.0),
+        4 => {
+            // Two discs.
+            fill_circle(&mut img, cx - r * 0.6, cy, r * 0.6, fg, 1.0);
+            fill_circle(&mut img, cx + r * 0.6, cy, r * 0.6, fg, 1.0);
+        }
+        5 => speckle_ellipse(&mut img, &mut rng, cx, cy, r, r, 60, r * 0.08, fg, fg.scaled(0.6)),
+        6 => grains_ellipse(&mut img, &mut rng, cx, cy, r, r, 50, r * 0.15, fg, fg.scaled(1.3).clamped()),
+        _ => {
+            // Concentric rings.
+            for k in 1..=3 {
+                fill_ring(&mut img, cx, cy, r * (k as f32 / 3.0) - r * 0.12, r * (k as f32 / 3.0), fg.scaled(1.0 / k as f32).clamped(), 1.0);
+            }
+        }
+    }
+    apply_pixel_noise(&mut img, rng.random_range(0..u64::MAX / 2), 0.02);
+    img
+}
+
+/// The pretext classifier: the detector's backbone + GAP + linear head.
+pub struct PretextClassifier {
+    /// Same construction (and parameter names) as the detector's backbone.
+    pub backbone: CspDarknet,
+    head: Linear,
+}
+
+impl PretextClassifier {
+    /// Build for the same `cfg` the detector will use — shapes must match
+    /// for the weights to transfer.
+    pub fn new(cfg: &YoloConfig, seed: u64) -> PretextClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PretextClassifier {
+            backbone: CspDarknet::new("backbone", cfg, &mut rng),
+            head: Linear::new("pretext_head", cfg.channels(5), PRETEXT_CLASSES, &mut rng),
+        }
+    }
+
+    /// Forward to class logits `[n, PRETEXT_CLASSES]`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let f = self.backbone.forward(g, x, training);
+        let pooled = g.global_avg_pool(f.c5);
+        self.head.forward(g, pooled)
+    }
+
+    /// All parameters.
+    pub fn parameters(&self) -> Vec<Param> {
+        let mut p = self.backbone.parameters();
+        p.extend(self.head.parameters());
+        p
+    }
+
+    /// Classify a batch, returning predicted class per row.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let logits = self.forward(&mut g, xv, false);
+        let lv = g.value(logits);
+        let k = PRETEXT_CLASSES;
+        (0..lv.shape()[0])
+            .map(|i| {
+                let row = &lv.as_slice()[i * k..(i + 1) * k];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Result of a pretext pretraining run.
+pub struct PretrainOutcome {
+    /// The trained classifier (holding the backbone weights to transfer).
+    pub classifier: PretextClassifier,
+    /// Final training accuracy on fresh samples.
+    pub accuracy: f32,
+}
+
+/// Pretrain a backbone on the pretext task.
+pub fn pretrain_backbone(cfg: &YoloConfig, iterations: usize, batch_size: usize, seed: u64) -> PretrainOutcome {
+    let classifier = PretextClassifier::new(cfg, seed);
+    let mut opt = Adam::new(classifier.parameters(), 1e-4);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+    let size = cfg.input_size;
+
+    let make_batch = |rng: &mut StdRng| {
+        let mut data = Vec::with_capacity(batch_size * 3 * size * size);
+        let mut labels = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let class = rng.random_range(0..PRETEXT_CLASSES);
+            let img = pretext_sample(class, rng.random_range(0..u64::MAX / 2), size);
+            data.extend_from_slice(&img.to_chw());
+            labels.push(class);
+        }
+        (Tensor::from_vec(data, &[batch_size, 3, size, size]), labels)
+    };
+
+    for _ in 0..iterations {
+        let (x, labels) = make_batch(&mut rng);
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let logits = classifier.forward(&mut g, xv, true);
+        let loss = g.softmax_cross_entropy(logits, &labels);
+        g.backward(loss);
+        opt.step(2e-3);
+        opt.zero_grad();
+    }
+
+    // Accuracy on a held-out batch.
+    let (x, labels) = make_batch(&mut rng);
+    let preds = classifier.predict(&x);
+    let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+    PretrainOutcome { classifier, accuracy: correct as f32 / labels.len() as f32 }
+}
+
+/// Copy the classifier's backbone weights into a detector (partial load by
+/// name — the `yolov4.conv.137` flow).
+pub fn transfer_backbone(from: &PretextClassifier, to: &Yolov4) -> Result<LoadReport, WeightError> {
+    let buf = save_params(&from.backbone.parameters());
+    load_params(&to.backbone_parameters(), &buf, LoadMode::Partial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretext_samples_are_deterministic_and_distinct() {
+        let a = pretext_sample(0, 5, 48);
+        let b = pretext_sample(0, 5, 48);
+        assert_eq!(a, b);
+        let c = pretext_sample(3, 5, 48);
+        assert_ne!(a, c, "different classes must render differently");
+    }
+
+    #[test]
+    fn classifier_shapes() {
+        let cfg = YoloConfig::micro(10);
+        let clf = PretextClassifier::new(&cfg, 1);
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::zeros(&[2, 3, 64, 64]));
+        let logits = clf.forward(&mut g, x, false);
+        assert_eq!(g.shape(logits), &[2, PRETEXT_CLASSES]);
+    }
+
+    #[test]
+    fn transfer_moves_every_backbone_weight() {
+        let cfg = YoloConfig::micro(10);
+        let clf = PretextClassifier::new(&cfg, 3);
+        let det = Yolov4::new(cfg, 4);
+        let stem_before = det.backbone_parameters()[0].value();
+        let report = transfer_backbone(&clf, &det).unwrap();
+        assert!(report.loaded.len() == det.backbone_parameters().len(), "all backbone params load");
+        assert!(report.shape_mismatch.is_empty());
+        let stem_after = det.backbone_parameters()[0].value();
+        assert_ne!(stem_before.as_slice(), stem_after.as_slice());
+        // And now equals the classifier's stem.
+        assert_eq!(stem_after.as_slice(), clf.backbone.parameters()[0].value().as_slice());
+    }
+
+    #[test]
+    fn transfer_rejects_mismatched_widths() {
+        let clf = PretextClassifier::new(&YoloConfig::micro(10), 1);
+        let det = Yolov4::new(YoloConfig { width: 0.5, ..YoloConfig::micro(10) }, 2);
+        let report = transfer_backbone(&clf, &det).unwrap();
+        assert!(!report.shape_mismatch.is_empty(), "width change must be flagged");
+    }
+
+    #[test]
+    #[ignore = "slow: a real (short) pretraining run; exercised by the ablation binary"]
+    fn pretraining_beats_chance() {
+        let cfg = YoloConfig::micro(10);
+        let out = pretrain_backbone(&cfg, 60, 8, 5);
+        assert!(out.accuracy > 0.3, "pretext accuracy {} ≤ chance", out.accuracy);
+    }
+}

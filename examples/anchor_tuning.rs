@@ -1,0 +1,41 @@
+//! Re-estimate anchors for the synthetic food data with k-means under the
+//! IoU distance (darknet's `-calc_anchors`), compare coverage against the
+//! built-in anchor sets, and print the per-scale layout.
+//!
+//! ```text
+//! cargo run --release --example anchor_tuning
+//! ```
+
+use platter::dataset::{ClassSet, DatasetSpec, SyntheticDataset};
+use platter::imaging::NormBox;
+use platter::yolo::{anchors_to_scales, darknet_anchors, kmeans_anchors, mean_best_iou, synthetic_anchors};
+
+fn main() {
+    // Harvest GT box shapes from a few hundred rendered scenes.
+    let dataset = SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 250, 64, 3));
+    let mut boxes: Vec<NormBox> = Vec::new();
+    for i in 0..dataset.len() {
+        let (_, anns) = dataset.render(i);
+        boxes.extend(anns.iter().map(|a| a.bbox));
+    }
+    println!("harvested {} ground-truth boxes", boxes.len());
+
+    let estimated = kmeans_anchors(&boxes, 9, 7);
+    println!("\nk-means anchors (w, h), ascending area:");
+    for (i, &(w, h)) in estimated.iter().enumerate() {
+        println!("  #{i}: ({w:.3}, {h:.3})");
+    }
+
+    let flat = |scales: [[(f32, f32); 3]; 3]| -> Vec<(f32, f32)> { scales.into_iter().flatten().collect() };
+    println!("\nmean best-IoU coverage of the GT boxes:");
+    println!("  k-means (this data):   {:.3}", mean_best_iou(&boxes, &estimated));
+    println!("  built-in synthetic:    {:.3}", mean_best_iou(&boxes, &flat(synthetic_anchors())));
+    println!("  darknet COCO anchors:  {:.3}", mean_best_iou(&boxes, &flat(darknet_anchors())));
+
+    let scales = anchors_to_scales(&estimated);
+    println!("\nper-scale layout (copy into YoloConfig.anchors):");
+    for (s, stride) in [(0usize, 8usize), (1, 16), (2, 32)] {
+        let row: Vec<String> = scales[s].iter().map(|&(w, h)| format!("({w:.3}, {h:.3})")).collect();
+        println!("  stride {stride:2}: {}", row.join("  "));
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper plus the ablations.
+# Usage: scripts/run_all_experiments.sh [--smoke|--extended]
+# The first run trains and caches the shared YOLOv4 checkpoint under
+# results/cache/; pass --retrain to refresh it.
+set -euo pipefail
+SCALE="${1:-}"
+run() { cargo run -p platter-bench --release --bin "$1" -- ${SCALE} "${@:2}"; }
+
+run table4_indianfood20          # dataset stats (fast, no training)
+run table1_per_class_ap          # trains + caches the shared model
+run fig5_confusion_matrix
+run fig7_pr_curves
+run fig4_fig6_predictions
+run table3_model_comparison      # + SSD & legacy training
+run table2_map_vs_iterations     # the long sweep
+run ablation_transfer
+run ablation_mosaic
+run ablation_loss
+echo "all artifacts in results/"

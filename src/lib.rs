@@ -1,0 +1,23 @@
+//! # platter
+//!
+//! Umbrella crate for the reproduction of *"Object Detection in Indian Food
+//! Platters using Transfer Learning with YOLOv4"* (ICDE 2022). It re-exports
+//! every subsystem so examples and downstream users need a single
+//! dependency:
+//!
+//! - [`tensor`] — from-scratch autograd/conv-net substrate
+//! - [`imaging`] — synthetic Indian-food renderer + augmentations
+//! - [`dataset`] — IndianFood10/IndianFood20 datasets and loaders
+//! - [`yolo`] — the YOLOv4 detector, training and transfer learning
+//! - [`baselines`] — SSD/legacy/classifier comparators
+//! - [`metrics`] — Padilla-style AP/mAP/F1/confusion evaluation
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the substitution
+//! table mapping each paper component to a module here.
+
+pub use platter_baselines as baselines;
+pub use platter_dataset as dataset;
+pub use platter_imaging as imaging;
+pub use platter_metrics as metrics;
+pub use platter_tensor as tensor;
+pub use platter_yolo as yolo;

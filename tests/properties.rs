@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) on the workspace's core invariants,
+//! exercised through the public API.
+
+use platter::dataset::{from_yolo_txt, to_yolo_txt, Annotation};
+use platter::imaging::NormBox;
+use platter::metrics::{evaluate, match_detections, PredBox};
+use platter::tensor::{broadcast_shapes, Graph, Tensor};
+use platter::yolo::{nms, Detection, NmsKind};
+use proptest::prelude::*;
+
+fn norm_box() -> impl Strategy<Value = NormBox> {
+    (0.05f32..0.95, 0.05f32..0.95, 0.02f32..0.5, 0.02f32..0.5)
+        .prop_map(|(cx, cy, w, h)| NormBox::new(cx, cy, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- geometry ---------------------------------------------------------
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in norm_box(), b in norm_box()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn flip_is_involutive(b in norm_box()) {
+        let back = b.flipped_horizontal().flipped_horizontal();
+        prop_assert!((back.cx - b.cx).abs() < 1e-6);
+        prop_assert!((back.w - b.w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_never_grows_area(b in norm_box(), sx in 0.5f32..2.0, tx in -0.5f32..0.5) {
+        let moved = b.affine(sx, sx, tx, tx);
+        if let Some(c) = moved.clipped() {
+            prop_assert!(c.area() <= moved.area() + 1e-6);
+            let (x0, y0, x1, y1) = c.xyxy();
+            prop_assert!(x0 >= -1e-6 && y0 >= -1e-6 && x1 <= 1.0 + 1e-6 && y1 <= 1.0 + 1e-6);
+        }
+    }
+
+    // --- annotation format -------------------------------------------------
+
+    #[test]
+    fn yolo_txt_round_trips(boxes in proptest::collection::vec((0usize..20, norm_box()), 0..8)) {
+        let anns: Vec<Annotation> = boxes
+            .iter()
+            .filter_map(|(c, b)| b.clipped().map(|bb| Annotation { class: *c, bbox: bb }))
+            .collect();
+        let txt = to_yolo_txt(&anns);
+        let back = from_yolo_txt(&txt).unwrap();
+        prop_assert_eq!(anns.len(), back.len());
+        for (a, b) in anns.iter().zip(&back) {
+            prop_assert_eq!(a.class, b.class);
+            prop_assert!((a.bbox.cx - b.bbox.cx).abs() < 1e-4);
+            prop_assert!((a.bbox.h - b.bbox.h).abs() < 1e-4);
+        }
+    }
+
+    // --- NMS ---------------------------------------------------------------
+
+    #[test]
+    fn nms_output_sorted_subset_disjoint(
+        raw in proptest::collection::vec((0usize..3, 0.01f32..1.0, norm_box()), 0..40),
+        thresh in 0.3f32..0.7,
+    ) {
+        let dets: Vec<Detection> = raw.iter().map(|&(class, score, bbox)| Detection { class, score, bbox }).collect();
+        let kept = nms(dets.clone(), thresh, NmsKind::Greedy);
+        prop_assert!(kept.len() <= dets.len());
+        for w in kept.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                if kept[i].class == kept[j].class {
+                    prop_assert!(kept[i].bbox.iou(&kept[j].bbox) <= thresh + 1e-5);
+                }
+            }
+        }
+        // Every kept detection is one of the inputs.
+        for k in &kept {
+            prop_assert!(dets.iter().any(|d| d == k));
+        }
+    }
+
+    // --- evaluation ---------------------------------------------------------
+
+    #[test]
+    fn evaluation_metrics_bounded_and_tp_capped(
+        gt_boxes in proptest::collection::vec((0usize..5, norm_box()), 0..6),
+        pred_boxes in proptest::collection::vec((0usize..5, 0.01f32..1.0, norm_box()), 0..12),
+    ) {
+        let gt = vec![gt_boxes.iter().map(|&(class, bbox)| Annotation { class, bbox }).collect::<Vec<_>>()];
+        let preds = vec![pred_boxes.iter().map(|&(class, score, bbox)| PredBox { class, score, bbox }).collect::<Vec<_>>()];
+        let e = evaluate(&gt, &preds, 5, 0.5);
+        prop_assert!((0.0..=1.0).contains(&e.map));
+        prop_assert!((0.0..=1.0).contains(&e.precision));
+        prop_assert!((0.0..=1.0).contains(&e.recall));
+        prop_assert!((0.0..=1.0).contains(&e.f1));
+        // Matching invariant: TPs per class never exceed ground truths.
+        let m = match_detections(&gt, &preds, 5, 0.5);
+        for class in 0..5 {
+            let tp = m.detections.iter().filter(|d| d.class == class && d.tp).count();
+            prop_assert!(tp <= m.npos[class]);
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_always_score_one(gt_boxes in proptest::collection::vec((0usize..5, norm_box()), 1..6)) {
+        // Spread the boxes along a diagonal so no two coincide (two
+        // identical GTs cannot both be matched by identical predictions).
+        let gt_vec: Vec<Annotation> = gt_boxes
+            .iter()
+            .enumerate()
+            .map(|(i, &(class, b))| {
+                let t = i as f32 / gt_boxes.len().max(1) as f32;
+                Annotation {
+                    class,
+                    bbox: NormBox::new(0.1 + 0.8 * t, b.cy, b.w.min(0.08), b.h.min(0.08)),
+                }
+            })
+            .collect();
+        let preds: Vec<PredBox> = gt_vec.iter().map(|a| PredBox { class: a.class, score: 0.9, bbox: a.bbox }).collect();
+        let e = evaluate(&[gt_vec], &[preds], 5, 0.5);
+        prop_assert!((e.recall - 1.0).abs() < 1e-5);
+        prop_assert!((e.precision - 1.0).abs() < 1e-5);
+    }
+
+    // --- tensor algebra ------------------------------------------------------
+
+    #[test]
+    fn broadcast_shapes_commutative(a in proptest::collection::vec(1usize..5, 1..4), b in proptest::collection::vec(1usize..5, 1..4)) {
+        prop_assert_eq!(broadcast_shapes(&a, &b), broadcast_shapes(&b, &a));
+    }
+
+    #[test]
+    fn add_commutes_and_mul_distributes(vals in proptest::collection::vec(-10.0f32..10.0, 4)) {
+        let a = Tensor::from_vec(vals.clone(), &[4]);
+        let b = Tensor::from_vec(vals.iter().map(|v| v * 0.5 + 1.0).collect(), &[4]);
+        let mut g = Graph::new();
+        let av = g.leaf(a);
+        let bv = g.leaf(b);
+        let ab = g.add(av, bv);
+        let ba = g.add(bv, av);
+        prop_assert_eq!(g.value(ab).as_slice(), g.value(ba).as_slice());
+        // (a+b)*a == a*a + b*a elementwise.
+        let lhs = g.mul(ab, av);
+        let aa = g.mul(av, av);
+        let bb = g.mul(bv, av);
+        let rhs = g.add(aa, bb);
+        for (l, r) in g.value(lhs).as_slice().iter().zip(g.value(rhs).as_slice()) {
+            prop_assert!((l - r).abs() <= 1e-4 * (1.0 + l.abs()));
+        }
+    }
+
+    #[test]
+    fn reduce_is_adjoint_of_broadcast(rows in 1usize..4, cols in 1usize..4, vals in proptest::collection::vec(-5.0f32..5.0, 1..4)) {
+        // sum(broadcast(x)) == numel_ratio * sum(x)
+        let n = vals.len().min(cols);
+        let x = Tensor::from_vec(vals[..n].to_vec(), &[1, n]);
+        let big = x.broadcast_to(&[rows, n]);
+        prop_assert!((big.sum() - x.sum() * rows as f32).abs() < 1e-3);
+        let folded = big.reduce_to_shape(&[1, n]);
+        for (f, v) in folded.as_slice().iter().zip(x.as_slice()) {
+            prop_assert!((f - v * rows as f32).abs() < 1e-3);
+        }
+    }
+}

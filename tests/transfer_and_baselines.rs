@@ -1,0 +1,67 @@
+//! Integration tests for the transfer-learning flow and the baseline
+//! detectors sharing one dataset.
+
+use platter::baselines::{train_legacy, train_ssd, LegacyConfig, LegacyDetector, SsdConfig, SsdDetector};
+use platter::dataset::{ClassSet, DatasetSpec, Split, SyntheticDataset};
+use platter::tensor::Tensor;
+use platter::yolo::{pretrain_backbone, transfer_backbone, YoloConfig, Yolov4};
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 16, 64, 9))
+}
+
+#[test]
+fn pretext_to_detector_transfer_end_to_end() {
+    let cfg = YoloConfig::micro(10);
+    let outcome = pretrain_backbone(&cfg, 3, 4, 5);
+    let detector = Yolov4::new(cfg, 77);
+    let before: Vec<f32> = detector.backbone_parameters()[0].value().as_slice().to_vec();
+    let report = transfer_backbone(&outcome.classifier, &detector).unwrap();
+    assert_eq!(report.loaded.len(), detector.backbone_parameters().len());
+    assert!(report.shape_mismatch.is_empty());
+    let after: Vec<f32> = detector.backbone_parameters()[0].value().as_slice().to_vec();
+    assert_ne!(before, after, "transfer must replace the backbone init");
+    // The detector still runs after the partial load.
+    let out = detector.infer(&Tensor::zeros(&[1, 3, 64, 64]));
+    assert!(out.iter().all(|t| !t.has_non_finite()));
+}
+
+#[test]
+fn ssd_trains_and_detects_on_shared_data() {
+    let ds = dataset();
+    let split = Split::eighty_twenty(ds.len(), 1);
+    let ssd = SsdDetector::new(SsdConfig::micro(10), 11);
+    let history = train_ssd(&ssd, &ds, &split.train, 4, 2, 2e-3, 3);
+    assert_eq!(history.len(), 4);
+    assert!(history.iter().all(|r| r.loss.is_finite()));
+    let dets = ssd.detect_batch(&Tensor::zeros(&[2, 3, 64, 64]), 0.2, 0.45);
+    assert_eq!(dets.len(), 2);
+}
+
+#[test]
+fn legacy_trains_and_detects_on_shared_data() {
+    let ds = dataset();
+    let split = Split::eighty_twenty(ds.len(), 1);
+    let legacy = LegacyDetector::new(LegacyConfig::micro(10), 12);
+    let history = train_legacy(&legacy, &ds, &split.train, 4, 2, 2e-3, 3);
+    assert!(history.iter().all(|l| l.is_finite()));
+    let dets = legacy.detect_batch(&Tensor::zeros(&[1, 3, 64, 64]), 0.2, 0.45);
+    assert_eq!(dets.len(), 1);
+}
+
+#[test]
+fn all_three_detectors_consume_identical_batches() {
+    // Table III's premise: one data pipeline feeds all contenders.
+    let ds = dataset();
+    let (img, anns) = ds.render(0);
+    assert_eq!(img.width(), 64);
+    assert!(!anns.is_empty());
+    let x = Tensor::from_vec(img.to_chw(), &[1, 3, 64, 64]);
+
+    let yolo = Yolov4::new(YoloConfig::micro(10), 1);
+    let ssd = SsdDetector::new(SsdConfig::micro(10), 2);
+    let legacy = LegacyDetector::new(LegacyConfig::micro(10), 3);
+    let _ = yolo.infer(&x);
+    let _ = ssd.detect_batch(&x, 0.3, 0.45);
+    let _ = legacy.detect_batch(&x, 0.3, 0.45);
+}
