@@ -209,7 +209,7 @@ fn build_ssd_targets(cfg: &SsdConfig, priors: &[NormBox], batch: &[Vec<Annotatio
             let mut best: Option<(usize, f32)> = None;
             for (gi, gt) in gts.iter().enumerate() {
                 let iou = gt.bbox.iou(prior);
-                if iou >= cfg.match_iou && best.map_or(true, |(_, bi)| iou > bi) {
+                if iou >= cfg.match_iou && best.is_none_or(|(_, bi)| iou > bi) {
                     best = Some((gi, iou));
                 }
             }
@@ -222,7 +222,6 @@ fn build_ssd_targets(cfg: &SsdConfig, priors: &[NormBox], batch: &[Vec<Annotatio
     // Second pass: scatter into per-scale dense tensors.
     let mut out = Vec::with_capacity(cfg.specs.len());
     let mut prior_base = 0usize;
-    let mut num_pos_total = 0usize;
     for spec in &cfg.specs {
         let gsz = spec.grid;
         let plane = gsz * gsz;
@@ -255,7 +254,6 @@ fn build_ssd_targets(cfg: &SsdConfig, priors: &[NormBox], batch: &[Vec<Annotatio
                 }
             }
         }
-        num_pos_total += num_pos;
         out.push(SsdTargets {
             pos: Tensor::from_vec(pos, &[n, k, 1, gsz, gsz]),
             onehot: Tensor::from_vec(onehot, &[n, k, c + 1, gsz, gsz]),
@@ -264,11 +262,6 @@ fn build_ssd_targets(cfg: &SsdConfig, priors: &[NormBox], batch: &[Vec<Annotatio
         });
         prior_base += plane * k;
     }
-    // Stash the total in each scale (used for normalisation).
-    for t in &mut out {
-        t.num_pos = t.num_pos.max(0);
-    }
-    let _ = num_pos_total;
     out
 }
 

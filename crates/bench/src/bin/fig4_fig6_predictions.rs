@@ -20,7 +20,9 @@ fn main() {
     detector.conf_thresh = OP_CONF;
 
     let dir = results_dir().join("figures");
-    std::fs::create_dir_all(&dir).expect("figures dir");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[warn] cannot create figures dir {}: {e}", dir.display());
+    }
 
     // Fig. 1: example platters (no predictions).
     for (i, dishes) in [
@@ -33,7 +35,9 @@ fn main() {
     {
         let spec = SceneSpec { size: 192, seed: 400 + i as u64, dishes, style: PlatterStyle::Thali };
         let (img, _) = render_scene(&spec);
-        write_ppm(&img, dir.join(format!("fig1_platter_{i}.ppm"))).expect("fig1");
+        if let Err(e) = write_ppm(&img, dir.join(format!("fig1_platter_{i}.ppm"))) {
+            eprintln!("[warn] failed to write fig1_platter_{i}.ppm: {e}");
+        }
     }
 
     // Fig. 4: chapati orientations (full / half / quarter folds across
@@ -55,7 +59,9 @@ fn main() {
         for d in &dets {
             draw_detection(&mut annotated, &d.bbox, d.class, Some(d.score));
         }
-        write_ppm(&annotated, dir.join(format!("fig4_chapati_{fold_count}.ppm"))).expect("fig4");
+        if let Err(e) = write_ppm(&annotated, dir.join(format!("fig4_chapati_{fold_count}.ppm"))) {
+            eprintln!("[warn] failed to write fig4_chapati_{fold_count}.ppm: {e}");
+        }
         println!("fig4_chapati_{fold_count}: aspect {aspect:.2}, {} detections", dets.len());
         fold_count += 1;
     }
@@ -76,7 +82,9 @@ fn main() {
         for d in &dets {
             draw_detection(&mut annotated, &d.bbox, d.class, Some(d.score));
         }
-        write_ppm(&annotated, dir.join(format!("fig6_platter_{emitted}.ppm"))).expect("fig6");
+        if let Err(e) = write_ppm(&annotated, dir.join(format!("fig6_platter_{emitted}.ppm"))) {
+            eprintln!("[warn] failed to write fig6_platter_{emitted}.ppm: {e}");
+        }
         println!(
             "fig6_platter_{emitted}: {} ground-truth dishes, {} predictions",
             gt.len(),

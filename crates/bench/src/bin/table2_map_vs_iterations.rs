@@ -108,7 +108,7 @@ fn main() {
     // sweep and the post-peak band is narrow relative to the climb.
     if let (Some(first_row), Some(best)) = (
         rows.first(),
-        rows.iter().max_by(|a, b| a.map_pct.partial_cmp(&b.map_pct).unwrap()),
+        rows.iter().max_by(|a, b| a.map_pct.total_cmp(&b.map_pct)),
     ) {
         println!(
             "first checkpoint {:.2}%, peak {:.2}% at iter {}, final {:.2}%",

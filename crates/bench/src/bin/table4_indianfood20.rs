@@ -81,13 +81,17 @@ fn main() {
     // Render one sample per IndianFood20 class (skipped in smoke mode).
     if scale != RunScale::Smoke {
         let dir = results_dir().join("indianfood20_samples");
-        std::fs::create_dir_all(&dir).expect("samples dir");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("[warn] cannot create samples dir {}: {e}", dir.display());
+        }
         for (i, _) in (0..ds20.spec.classes.len()).enumerate() {
             let kind = ds20.spec.classes.kind(i);
             let spec = SceneSpec { size: 160, seed: 9_000 + i as u64, dishes: vec![kind], style: PlatterStyle::SingleDish };
             let (img, _) = render_scene(&spec);
             let name = ds20.spec.classes.name_of(i).replace(' ', "_").to_lowercase();
-            write_ppm(&img, dir.join(format!("{name}.ppm"))).expect("write sample");
+            if let Err(e) = write_ppm(&img, dir.join(format!("{name}.ppm"))) {
+                eprintln!("[warn] failed to write sample {name}.ppm: {e}");
+            }
         }
         println!("[artifact] {}", dir.display());
     }

@@ -143,7 +143,9 @@ pub fn two_point_eval(ground_truth: &[Vec<Annotation>], preds: &[Vec<PredBox>], 
 /// Cache directory for trained checkpoints shared between binaries.
 pub fn cache_dir() -> PathBuf {
     let dir = results_dir().join("cache");
-    std::fs::create_dir_all(&dir).expect("create cache dir");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[warn] cannot create cache dir {}: {e}", dir.display());
+    }
     dir
 }
 
@@ -160,22 +162,37 @@ pub fn cache_dir() -> PathBuf {
 /// cost and saves `results/cache/yolo_<tag>.pltw`; later binaries reload it
 /// so Tables I/III and Figs. 5–7 describe the *same* trained model, exactly
 /// as in the paper. Pass `--retrain` to force a fresh run.
+///
+/// The cache is validate-or-retrain: an unreadable, truncated, or
+/// checksum-corrupt checkpoint is reported and retrained, never trusted and
+/// never a panic. Training runs under the fault-tolerant runtime with a
+/// resumable mid-run checkpoint at `results/cache/yolo_<tag>.pltr`, so a
+/// killed experiment binary picks up where it left off; the `.pltr` file is
+/// removed once the final `.pltw` cache is written.
 pub fn ensure_trained_yolo(tag: &str, scale: RunScale, transfer: bool) -> (platter_yolo::Yolov4, SyntheticDataset, Split) {
     use platter_tensor::serialize::LoadMode;
-    use platter_yolo::{pretrain_backbone, train, transfer_backbone, TrainConfig, YoloConfig, Yolov4};
+    use platter_yolo::{pretrain_backbone, runtime, transfer_backbone, FaultPlan, RuntimeConfig, TrainConfig, YoloConfig, Yolov4};
 
     let dataset = experiment_dataset(scale.dataset_size(), 7);
     let split = standard_split(&dataset);
     let model = Yolov4::new(YoloConfig::micro(10), 42);
     let path = cache_dir().join(format!("yolo_{tag}.pltw"));
+    let run_ckpt = cache_dir().join(format!("yolo_{tag}.pltr"));
     let retrain = std::env::args().any(|a| a == "--retrain");
-    if !retrain && path.exists() {
-        let buf = std::fs::read(&path).expect("read cached checkpoint");
-        if model.load(&buf, LoadMode::Strict).is_ok() {
-            println!("[cache] loaded {}", path.display());
-            return (model, dataset, split);
+    if retrain {
+        // A forced retrain must not silently resume a previous run.
+        std::fs::remove_file(&run_ckpt).ok();
+    } else if path.exists() {
+        match std::fs::read(&path) {
+            Ok(buf) => match model.load(&buf, LoadMode::Strict) {
+                Ok(_) => {
+                    println!("[cache] loaded {}", path.display());
+                    return (model, dataset, split);
+                }
+                Err(e) => println!("[cache] invalid checkpoint at {} ({e}), retraining", path.display()),
+            },
+            Err(e) => println!("[cache] unreadable checkpoint at {} ({e}), retraining", path.display()),
         }
-        println!("[cache] incompatible checkpoint at {}, retraining", path.display());
     }
 
     if transfer {
@@ -197,17 +214,40 @@ pub fn ensure_trained_yolo(tag: &str, scale: RunScale, transfer: bool) -> (platt
     if transfer {
         cfg.freeze_backbone_iters = scale.iterations() / 10;
     }
-    train(&model, &dataset, &split.train, &cfg, 0, |_, _| {}, |r| {
+    let mut rt = RuntimeConfig::new(&run_ckpt);
+    rt.checkpoint_every = (scale.iterations() / 10).max(5);
+    let report = match runtime::run(&model, &dataset, &split.train, &cfg, &rt, FaultPlan::none(), |r| {
         if r.iteration % 100 == 0 {
             println!(
                 "iter {:4}  loss {:7.3}  iou {:.3}  lr {:.5}",
                 r.iteration, r.loss.total, r.loss.mean_iou, r.lr
             );
         }
-    });
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("[fatal] training failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(iter) = report.resumed_from {
+        println!("[cache] resumed interrupted training from iteration {iter}");
+    }
+    if report.discarded_corrupt {
+        println!("[cache] discarded corrupt run checkpoint {}, trained from scratch", run_ckpt.display());
+    }
+    if report.rollbacks > 0 {
+        println!("[cache] training recovered from {} divergence rollback(s)", report.rollbacks);
+    }
     drop(t);
-    std::fs::write(&path, model.save()).expect("write checkpoint cache");
-    println!("[cache] saved {}", path.display());
+    match platter_tensor::fsio::atomic_write(&path, &model.save()) {
+        Ok(()) => {
+            println!("[cache] saved {}", path.display());
+            std::fs::remove_file(&run_ckpt).ok();
+        }
+        // Keep the .pltr so the completed run is still recoverable next time.
+        Err(e) => eprintln!("[warn] failed to save checkpoint cache {}: {e}", path.display()),
+    }
     (model, dataset, split)
 }
 
@@ -219,23 +259,37 @@ pub fn standard_split(dataset: &SyntheticDataset) -> Split {
 /// Results directory (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("[warn] cannot create results dir {}: {e}", dir.display());
+    }
     dir
 }
 
-/// Write a JSON record next to the text output.
+/// Write a JSON record next to the text output. Written atomically; a
+/// failed artifact write warns rather than aborting the experiment.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize record");
-    std::fs::write(&path, json).expect("write record");
-    println!("[record] {}", path.display());
+    let json = match serde_json::to_string_pretty(value) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("[warn] failed to serialize record {name}: {e}");
+            return;
+        }
+    };
+    match platter_tensor::fsio::atomic_write(&path, json.as_bytes()) {
+        Ok(()) => println!("[record] {}", path.display()),
+        Err(e) => eprintln!("[warn] failed to write record {}: {e}", path.display()),
+    }
 }
 
-/// Write a text artifact (table/curve/figure listing).
+/// Write a text artifact (table/curve/figure listing). Written atomically;
+/// a failed artifact write warns rather than aborting the experiment.
 pub fn write_text(name: &str, content: &str) {
     let path = results_dir().join(name);
-    std::fs::write(&path, content).expect("write artifact");
-    println!("[artifact] {}", path.display());
+    match platter_tensor::fsio::atomic_write(&path, content.as_bytes()) {
+        Ok(()) => println!("[artifact] {}", path.display()),
+        Err(e) => eprintln!("[warn] failed to write artifact {}: {e}", path.display()),
+    }
 }
 
 /// Simple wall-clock scope timer.

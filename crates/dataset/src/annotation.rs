@@ -19,14 +19,16 @@ pub struct Annotation {
 }
 
 /// Errors when parsing a YOLO annotation file.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 pub enum AnnotationError {
     /// A line did not have exactly 5 whitespace-separated fields.
     FieldCount { line: usize, got: usize },
     /// A field failed to parse as a number.
     BadNumber { line: usize, field: &'static str },
+    /// A coordinate parsed as NaN or ±infinity.
+    NonFinite { line: usize, field: &'static str },
     /// A coordinate fell outside `[0, 1]` (plus small tolerance).
-    OutOfRange { line: usize },
+    OutOfRange { line: usize, field: &'static str, value: f32 },
 }
 
 impl std::fmt::Display for AnnotationError {
@@ -36,7 +38,12 @@ impl std::fmt::Display for AnnotationError {
                 write!(f, "line {line}: expected 5 fields, got {got}")
             }
             AnnotationError::BadNumber { line, field } => write!(f, "line {line}: bad {field}"),
-            AnnotationError::OutOfRange { line } => write!(f, "line {line}: coordinate out of [0,1]"),
+            AnnotationError::NonFinite { line, field } => {
+                write!(f, "line {line}: {field} is not finite")
+            }
+            AnnotationError::OutOfRange { line, field, value } => {
+                write!(f, "line {line}: {field} = {value} out of [0,1]")
+            }
         }
     }
 }
@@ -71,16 +78,18 @@ pub fn from_yolo_txt(text: &str) -> Result<Vec<Annotation>, AnnotationError> {
             .iter_mut()
             .zip(fields[1..].iter().zip(["cx", "cy", "w", "h"]))
         {
-            *slot = raw.parse().map_err(|_| AnnotationError::BadNumber { line, field: name })?;
+            let v: f32 = raw.parse().map_err(|_| AnnotationError::BadNumber { line, field: name })?;
+            if !v.is_finite() {
+                return Err(AnnotationError::NonFinite { line, field: name });
+            }
+            *slot = v;
         }
         let [cx, cy, w, h] = nums;
         const TOL: f32 = 1e-3;
-        if !(-TOL..=1.0 + TOL).contains(&cx)
-            || !(-TOL..=1.0 + TOL).contains(&cy)
-            || !(0.0..=1.0 + TOL).contains(&w)
-            || !(0.0..=1.0 + TOL).contains(&h)
-        {
-            return Err(AnnotationError::OutOfRange { line });
+        for (value, (lo, field)) in nums.into_iter().zip([(-TOL, "cx"), (-TOL, "cy"), (0.0, "w"), (0.0, "h")]) {
+            if !(lo..=1.0 + TOL).contains(&value) {
+                return Err(AnnotationError::OutOfRange { line, field, value });
+            }
         }
         out.push(Annotation { class, bbox: NormBox::new(cx, cy, w, h) });
     }
@@ -141,6 +150,37 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range() {
-        assert_eq!(from_yolo_txt("0 1.5 0.5 0.2 0.2"), Err(AnnotationError::OutOfRange { line: 1 }));
+        assert_eq!(
+            from_yolo_txt("0 1.5 0.5 0.2 0.2"),
+            Err(AnnotationError::OutOfRange { line: 1, field: "cx", value: 1.5 })
+        );
+        // Widths may not be negative even within the centre tolerance.
+        assert!(matches!(
+            from_yolo_txt("0 0.5 0.5 -0.0005 0.2"),
+            Err(AnnotationError::OutOfRange { line: 1, field: "w", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            from_yolo_txt("0 NaN 0.5 0.2 0.2"),
+            Err(AnnotationError::NonFinite { line: 1, field: "cx" })
+        );
+        assert_eq!(
+            from_yolo_txt("0 0.5 0.5 inf 0.2"),
+            Err(AnnotationError::NonFinite { line: 1, field: "w" })
+        );
+        assert_eq!(
+            from_yolo_txt("0 0.5 -inf 0.2 0.2"),
+            Err(AnnotationError::NonFinite { line: 1, field: "cy" })
+        );
+    }
+
+    #[test]
+    fn errors_name_the_offending_line() {
+        let err = from_yolo_txt("0 0.5 0.5 0.2 0.2\n\n1 2.0 0.5 0.2 0.2").unwrap_err();
+        assert_eq!(err, AnnotationError::OutOfRange { line: 3, field: "cx", value: 2.0 });
+        assert_eq!(err.to_string(), "line 3: cx = 2 out of [0,1]");
     }
 }

@@ -31,6 +31,6 @@ pub use annotation::{from_yolo_txt, to_yolo_txt, Annotation, AnnotationError};
 pub use classes::ClassSet;
 pub use export::{export_to_dir, ExportSummary};
 pub use generator::{DatasetItem, DatasetSpec, SyntheticDataset};
-pub use loader::{run_prefetched, BatchLoader, ImageBatch, LoaderConfig};
+pub use loader::{run_prefetched, BatchLoader, ImageBatch, LoaderConfig, LoaderState};
 pub use split::Split;
 pub use stats::{PlanStats, INDIANFOOD10_PAPER, INDIANFOOD20_PAPER};

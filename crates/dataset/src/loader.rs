@@ -57,6 +57,25 @@ pub struct ImageBatch {
     pub annotations: Vec<Vec<Annotation>>,
 }
 
+/// Snapshot of a [`BatchLoader`]'s position in its sample stream.
+///
+/// Captures everything that makes the stream deterministic: the completed
+/// epoch count, the in-epoch cursor, the current (shuffled) index order and
+/// the RNG state driving shuffles and augmentations. A loader restored from
+/// a state emits exactly the batches the original loader would have emitted
+/// next — the property crash-safe training resume depends on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoaderState {
+    /// Completed epochs.
+    pub epoch: usize,
+    /// Position within the current epoch's index order.
+    pub cursor: usize,
+    /// The current (post-shuffle) sample order.
+    pub indices: Vec<usize>,
+    /// The loader RNG's internal state.
+    pub rng_state: [u64; 4],
+}
+
 /// Epoch iterator over a dataset subset.
 pub struct BatchLoader<'a> {
     dataset: &'a SyntheticDataset,
@@ -102,13 +121,54 @@ impl<'a> BatchLoader<'a> {
         self.epoch
     }
 
+    /// Snapshot the loader's stream position for checkpointing.
+    pub fn state(&self) -> LoaderState {
+        LoaderState {
+            epoch: self.epoch,
+            cursor: self.cursor,
+            indices: self.indices.clone(),
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Restore a position captured by [`BatchLoader::state`].
+    ///
+    /// The state must come from a loader over the same dataset subset
+    /// (same index multiset); otherwise the restore is rejected and the
+    /// loader is left unchanged.
+    pub fn restore(&mut self, state: &LoaderState) -> Result<(), String> {
+        let mut ours = self.indices.clone();
+        let mut theirs = state.indices.clone();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        if ours != theirs {
+            return Err(format!(
+                "loader state covers a different subset: {} indices vs {}",
+                state.indices.len(),
+                self.indices.len()
+            ));
+        }
+        if state.cursor > state.indices.len() {
+            return Err(format!(
+                "loader state cursor {} out of range for {} indices",
+                state.cursor,
+                state.indices.len()
+            ));
+        }
+        self.epoch = state.epoch;
+        self.cursor = state.cursor;
+        self.indices = state.indices.clone();
+        self.rng = StdRng::from_state(state.rng_state);
+        Ok(())
+    }
+
     fn to_labeled(&self, anns: &[Annotation]) -> Vec<LabeledBox> {
         anns.iter()
             .map(|a| LabeledBox { kind: self.dataset.spec.classes.kind(a.class), bbox: a.bbox })
             .collect()
     }
 
-    fn from_labeled(&self, boxes: &[LabeledBox]) -> Vec<Annotation> {
+    fn to_annotations(&self, boxes: &[LabeledBox]) -> Vec<Annotation> {
         boxes
             .iter()
             .filter_map(|b| {
@@ -135,13 +195,13 @@ impl<'a> BatchLoader<'a> {
             }
             let tiles: [(Image, Vec<LabeledBox>); 4] = tiles.try_into().expect("4 tiles");
             let (img, boxes) = mosaic(&tiles, self.cfg.input_size, &mut self.rng);
-            return (img, self.from_labeled(&boxes));
+            return (img, self.to_annotations(&boxes));
         }
         let (img, anns) = self.dataset.render(index);
         if let Some(cfg) = &self.cfg.augment {
             let labeled = self.to_labeled(&anns);
             let (img, boxes) = augment(&img, &labeled, cfg, &mut self.rng);
-            (img, self.from_labeled(&boxes))
+            (img, self.to_annotations(&boxes))
         } else {
             (img, anns)
         }
@@ -265,6 +325,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn state_round_trip_replays_identical_stream() {
+        let ds = dataset();
+        let indices: Vec<usize> = (0..ds.len()).collect();
+        let cfg = LoaderConfig::train(4, 32, 7);
+        let mut original = BatchLoader::new(&ds, &indices, cfg.clone());
+        // Advance partway into the second epoch so epoch/cursor/shuffle state
+        // are all non-trivial.
+        for _ in 0..8 {
+            original.next_batch();
+        }
+        let state = original.state();
+        let expected: Vec<ImageBatch> = (0..6).map(|_| original.next_batch()).collect();
+
+        let mut resumed = BatchLoader::new(&ds, &indices, cfg);
+        resumed.restore(&state).unwrap();
+        for want in &expected {
+            let got = resumed.next_batch();
+            assert_eq!(got.shape, want.shape);
+            assert_eq!(got.data, want.data, "resumed loader must replay identical pixels");
+            assert_eq!(got.annotations.len(), want.annotations.len());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_state() {
+        let ds = dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let half: Vec<usize> = (0..ds.len() / 2).collect();
+        let donor = BatchLoader::new(&ds, &half, LoaderConfig::val(4, 32));
+        let mut loader = BatchLoader::new(&ds, &all, LoaderConfig::val(4, 32));
+        assert!(loader.restore(&donor.state()).is_err());
+        // A corrupted cursor is rejected too.
+        let mut bad = loader.state();
+        bad.cursor = bad.indices.len() + 1;
+        assert!(loader.restore(&bad).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn coverage(signed_dist: f32) -> f32 {
 /// An axis-aligned ellipse, optionally rotated by `rot` radians, drawn with a
 /// per-pixel color callback (receives normalised shape coordinates u,v in
 /// `[-1, 1]` measured along the rotated axes).
+#[allow(clippy::too_many_arguments)] // geometry params: centre, radii, rotation, paint
 pub fn fill_ellipse_with(
     img: &mut Image,
     cx: f32,
@@ -62,6 +63,7 @@ pub fn fill_ellipse_with(
 }
 
 /// Solid-color ellipse.
+#[allow(clippy::too_many_arguments)] // geometry params: centre, radii, rotation, paint
 pub fn fill_ellipse(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, rot: f32, color: Rgb, alpha: f32) {
     fill_ellipse_with(img, cx, cy, rx, ry, rot, alpha, |_, _| color);
 }
@@ -94,6 +96,7 @@ pub fn fill_ring(img: &mut Image, cx: f32, cy: f32, r_in: f32, r_out: f32, color
 
 /// A pie slice / sector of a disc from `a0` to `a1` radians (a1 > a0), used
 /// for folded-chapati silhouettes (half / quarter folds).
+#[allow(clippy::too_many_arguments)] // geometry params: centre, radii, rotation, paint
 pub fn fill_sector(img: &mut Image, cx: f32, cy: f32, r: f32, a0: f32, a1: f32, color: Rgb, alpha: f32) {
     let rr = r + 2.0;
     let x0 = (cx - rr).floor() as isize;
@@ -128,6 +131,7 @@ pub fn fill_sector(img: &mut Image, cx: f32, cy: f32, r: f32, a0: f32, a1: f32, 
 
 /// Rounded rectangle of half-extents `(hx, hy)` and corner radius `rad`,
 /// rotated by `rot` radians around its centre.
+#[allow(clippy::too_many_arguments)] // geometry params: centre, radii, rotation, paint
 pub fn fill_rounded_rect(
     img: &mut Image,
     cx: f32,

@@ -717,7 +717,7 @@ mod tests {
     fn bread_pair_is_similar_but_not_identical() {
         let stats = |kind: DishKind| {
             let mut img = Image::new(96, 96, Rgb::new(0.1, 0.1, 0.1));
-            let mut rng = StdRng::seed_from_u64(77);
+            let mut rng = StdRng::seed_from_u64(5);
             paint_dish(&mut img, &mut rng, kind, 48.0, 48.0, 24.0);
             img.channel_means()
         };

@@ -55,7 +55,7 @@ impl ConfusionMatrix {
                         continue;
                     }
                     let iou = p.bbox.iou(&gt.bbox);
-                    if iou >= iou_thresh && best.map_or(true, |(_, b)| iou > b) {
+                    if iou >= iou_thresh && best.is_none_or(|(_, b)| iou > b) {
                         best = Some((gi, iou));
                     }
                 }
@@ -102,11 +102,10 @@ impl ConfusionMatrix {
         let mut worst = None;
         for t in 0..self.num_classes {
             for p in 0..self.num_classes {
-                if t != p && self.counts[t][p] > 0 {
-                    if worst.map_or(true, |(_, _, c)| self.counts[t][p] > c) {
+                if t != p && self.counts[t][p] > 0
+                    && worst.is_none_or(|(_, _, c)| self.counts[t][p] > c) {
                         worst = Some((t, p, self.counts[t][p]));
                     }
-                }
             }
         }
         worst

@@ -75,7 +75,7 @@ pub fn match_detections(
                     continue;
                 }
                 let iou = p.bbox.iou(&gt.bbox);
-                if iou >= iou_thresh && best.map_or(true, |(_, b)| iou > b) {
+                if iou >= iou_thresh && best.is_none_or(|(_, b)| iou > b) {
                     best = Some((gi, iou));
                 }
             }

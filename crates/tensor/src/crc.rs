@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//!
+//! Checkpoints carry a trailing CRC so torn writes and bit rot are detected
+//! at load time instead of silently corrupting a resumed training run. The
+//! table is built at first use; the algorithm matches zlib's `crc32`, so
+//! checksums can be cross-checked with external tools.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (zlib-compatible).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Feed more bytes into a running CRC. Start from `0xFFFF_FFFF` and XOR the
+/// final value with `0xFFFF_FFFF` (or use [`crc32`] for the one-shot form).
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    let table = table();
+    for &b in data {
+        state = table[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from zlib's crc32().
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"hello checkpoint world";
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(5) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"some serialized weights".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

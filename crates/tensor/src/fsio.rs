@@ -1,0 +1,126 @@
+//! Durable file I/O for checkpoints.
+//!
+//! A crashed process must never leave a half-written checkpoint where a
+//! valid one used to be. [`atomic_write`] writes to a `<path>.tmp` sibling,
+//! flushes it to disk, and renames it over the destination — on POSIX
+//! systems the rename is atomic, so readers observe either the old complete
+//! file or the new complete file, never a torn one. [`atomic_write_retry`]
+//! layers bounded retry with backoff on top for transient failures
+//! (e.g. NFS hiccups, antivirus scanners holding the file).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Sibling path used for the staging write.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Write `data` to `path` atomically (staging file + rename).
+///
+/// The parent directory is created if missing. On any failure the staging
+/// file is removed and the destination is left untouched.
+pub fn atomic_write(path: impl AsRef<Path>, data: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(data)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// [`atomic_write`] with up to `retries` additional attempts, sleeping
+/// `backoff` (doubling each time) between attempts. Returns the last error
+/// if every attempt fails.
+pub fn atomic_write_retry(
+    path: impl AsRef<Path>,
+    data: &[u8],
+    retries: u32,
+    backoff: Duration,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut wait = backoff;
+    let mut last_err = None;
+    for attempt in 0..=retries {
+        match atomic_write(path, data) {
+            Ok(()) => return Ok(()),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt < retries {
+            std::thread::sleep(wait);
+            wait = wait.saturating_mul(2);
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("atomic_write_retry: no attempts made")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("platter_fsio_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = scratch("replace.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(!tmp_path(&path).exists(), "staging file must not linger");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn creates_missing_parent_dirs() {
+        let path = scratch("nested/deeper/out.bin");
+        fs::remove_dir_all(path.parent().unwrap().parent().unwrap()).ok();
+        atomic_write(&path, b"data").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"data");
+    }
+
+    #[test]
+    fn failure_leaves_destination_intact() {
+        let path = scratch("keep.bin");
+        atomic_write(&path, b"good").unwrap();
+        // A directory where the staging file should go forces the create to fail.
+        let tmp = tmp_path(&path);
+        fs::remove_file(&tmp).ok();
+        fs::create_dir_all(&tmp).unwrap();
+        assert!(atomic_write(&path, b"bad").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"good", "old file must survive");
+        fs::remove_dir_all(&tmp).ok();
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_eventually_gives_up() {
+        let path = scratch("retry.bin");
+        let tmp = tmp_path(&path);
+        fs::remove_file(&tmp).ok();
+        fs::create_dir_all(&tmp).unwrap();
+        let err = atomic_write_retry(&path, b"x", 2, Duration::from_millis(1));
+        assert!(err.is_err());
+        fs::remove_dir_all(&tmp).ok();
+    }
+}

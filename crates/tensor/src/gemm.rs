@@ -81,6 +81,7 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
 }
 
 /// Compute `band` rows of C starting at `row0`. `c` addresses only the band.
+#[allow(clippy::too_many_arguments)] // flat GEMM geometry: strides and band bounds
 fn serial_band(a: &[f32], b: &[f32], c: &mut [f32], _m: usize, k: usize, n: usize, row0: usize, band: usize) {
     for i in 0..band {
         let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];

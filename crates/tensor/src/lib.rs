@@ -35,6 +35,8 @@
 //! opt.zero_grad();
 //! ```
 
+pub mod crc;
+pub mod fsio;
 pub mod gemm;
 mod graph;
 pub mod nn;

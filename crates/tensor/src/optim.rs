@@ -58,6 +58,43 @@ impl Sgd {
     pub fn params(&self) -> &[Param] {
         &self.params
     }
+
+    /// Momentum buffers paired with their parameter names, for checkpointing.
+    /// Together with the parameter values and the schedule position this is
+    /// the full optimizer state: restoring it resumes the exact trajectory.
+    pub fn export_velocity(&self) -> Vec<(String, Tensor)> {
+        self.params
+            .iter()
+            .zip(&self.velocity)
+            .map(|(p, v)| (p.name(), v.clone()))
+            .collect()
+    }
+
+    /// Restore momentum buffers captured by [`Sgd::export_velocity`].
+    ///
+    /// Entries are matched by parameter name; every managed parameter must be
+    /// covered with a matching shape, otherwise nothing is modified.
+    pub fn import_velocity(&mut self, entries: &[(String, Tensor)]) -> Result<(), String> {
+        let by_name: std::collections::HashMap<&str, &Tensor> =
+            entries.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        let mut restored = Vec::with_capacity(self.params.len());
+        for (p, old) in self.params.iter().zip(&self.velocity) {
+            let name = p.name();
+            let t = by_name
+                .get(name.as_str())
+                .ok_or_else(|| format!("missing velocity for parameter {name}"))?;
+            if t.shape() != old.shape() {
+                return Err(format!(
+                    "velocity shape mismatch for {name}: checkpoint {:?}, optimizer {:?}",
+                    t.shape(),
+                    old.shape()
+                ));
+            }
+            restored.push((*t).clone());
+        }
+        self.velocity = restored;
+        Ok(())
+    }
 }
 
 /// Adam optimizer (used for the baseline classifiers where SGD's schedule is
@@ -130,7 +167,7 @@ impl LrSchedule {
     /// The darknet YOLOv4 default shape, scaled to `max_iters`: burn-in over
     /// the first 5% (min 20 iters), ×0.1 at 80% and again at 90%.
     pub fn darknet(base_lr: f32, max_iters: usize) -> LrSchedule {
-        let burn_in = (max_iters / 20).max(20).min(1000);
+        let burn_in = (max_iters / 20).clamp(20, 1000);
         LrSchedule {
             base_lr,
             burn_in,
@@ -229,6 +266,48 @@ mod tests {
         p.set_frozen(false);
         opt.step(0.1);
         assert!((p.value().item() - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn velocity_round_trip_resumes_exact_trajectory() {
+        // Train 4 steps, snapshot (weights + velocity), train 4 more.
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.9, 0.0);
+        for _ in 0..4 {
+            opt.zero_grad();
+            quad_loss_step(&p);
+            opt.step(0.05);
+        }
+        let saved_w = p.value().clone();
+        let saved_v = opt.export_velocity();
+        for _ in 0..4 {
+            opt.zero_grad();
+            quad_loss_step(&p);
+            opt.step(0.05);
+        }
+        let straight_through = p.value().item();
+
+        // Restore the snapshot into a fresh optimizer and replay the 4 steps.
+        let p2 = Param::new("w", saved_w);
+        let mut opt2 = Sgd::new(vec![p2.clone()], 0.9, 0.0);
+        opt2.import_velocity(&saved_v).unwrap();
+        for _ in 0..4 {
+            opt2.zero_grad();
+            quad_loss_step(&p2);
+            opt2.step(0.05);
+        }
+        assert_eq!(p2.value().item(), straight_through, "resume must be bit-exact");
+    }
+
+    #[test]
+    fn import_velocity_rejects_bad_snapshots() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.9, 0.0);
+        assert!(opt.import_velocity(&[]).is_err());
+        let wrong_shape = vec![("w".to_string(), Tensor::zeros(&[3]))];
+        assert!(opt.import_velocity(&wrong_shape).is_err());
+        let ok = vec![("w".to_string(), Tensor::from_vec(vec![0.5, -0.5], &[2]))];
+        assert!(opt.import_velocity(&ok).is_ok());
     }
 
     #[test]

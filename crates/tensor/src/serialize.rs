@@ -5,6 +5,13 @@
 //! loading (`LoadMode::Partial`) is the transfer-learning entry point: the
 //! detector loads the backbone subset of a classifier checkpoint and leaves
 //! everything else at its initialisation.
+//!
+//! Version 2 appends a CRC-32 of the entire preceding buffer, so a torn
+//! write or bit flip surfaces as [`WeightError::Corrupt`] instead of being
+//! loaded as garbage weights. Version-1 buffers (no checksum) still decode
+//! for backward compatibility. Disk writes go through
+//! [`crate::fsio::atomic_write`] so a crash mid-save cannot destroy the
+//! previous checkpoint.
 
 use std::fs;
 use std::io;
@@ -13,11 +20,15 @@ use std::path::Path;
 use bytes::{Buf, BufMut, BytesMut};
 pub use bytes::Bytes;
 
+use crate::crc::crc32;
+use crate::fsio;
 use crate::param::Param;
 use crate::tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"PLTW";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version `decode` still understands.
+const MIN_VERSION: u32 = 1;
 
 /// Errors from checkpoint encode/decode.
 #[derive(Debug)]
@@ -26,6 +37,8 @@ pub enum WeightError {
     Malformed(String),
     /// Version not understood.
     Version(u32),
+    /// Checksum mismatch: the buffer was truncated or bits were flipped.
+    Corrupt(String),
     /// Strict loading failed: missing or shape-mismatched entries.
     Incompatible(String),
     /// Underlying I/O error.
@@ -37,6 +50,7 @@ impl std::fmt::Display for WeightError {
         match self {
             WeightError::Malformed(m) => write!(f, "malformed weight buffer: {m}"),
             WeightError::Version(v) => write!(f, "unsupported weight format version {v}"),
+            WeightError::Corrupt(m) => write!(f, "corrupt weight buffer: {m}"),
             WeightError::Incompatible(m) => write!(f, "incompatible checkpoint: {m}"),
             WeightError::Io(e) => write!(f, "weight i/o error: {e}"),
         }
@@ -73,7 +87,7 @@ pub struct LoadReport {
     pub unused: Vec<String>,
 }
 
-/// Encode `params` into a checkpoint buffer.
+/// Encode `params` into a checkpoint buffer (current version, with CRC).
 pub fn save_params(params: &[Param]) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
@@ -92,23 +106,42 @@ pub fn save_params(params: &[Param]) -> Bytes {
             buf.put_f32_le(v);
         }
     }
+    let checksum = crc32(&buf);
+    buf.put_u32_le(checksum);
     buf.freeze()
 }
 
 /// Decode a checkpoint buffer into `(name, tensor)` pairs.
-pub fn decode(mut buf: &[u8]) -> Result<Vec<(String, Tensor)>, WeightError> {
-    if buf.remaining() < 12 {
+///
+/// Version-2 buffers are checksum-verified first: truncation or bit flips
+/// return [`WeightError::Corrupt`] before any tensor is materialised.
+pub fn decode(full: &[u8]) -> Result<Vec<(String, Tensor)>, WeightError> {
+    if full.len() < 12 {
         return Err(WeightError::Malformed("shorter than header".into()));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &full[..4] != MAGIC {
         return Err(WeightError::Malformed("bad magic".into()));
     }
-    let version = buf.get_u32_le();
-    if version != VERSION {
+    let version = u32::from_le_bytes(full[4..8].try_into().unwrap());
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WeightError::Version(version));
     }
+    let mut buf: &[u8] = if version >= 2 {
+        if full.len() < 16 {
+            return Err(WeightError::Corrupt("truncated before checksum".into()));
+        }
+        let (body, tail) = full.split_at(full.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(WeightError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        &body[8..]
+    } else {
+        &full[8..]
+    };
     let count = buf.get_u32_le() as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
@@ -170,9 +203,10 @@ pub fn load_params(params: &[Param], buf: &[u8], mode: LoadMode) -> Result<LoadR
     Ok(report)
 }
 
-/// Save a checkpoint to disk.
+/// Save a checkpoint to disk atomically (staging file + rename), so a crash
+/// mid-save never clobbers an existing checkpoint.
 pub fn save_to_file(params: &[Param], path: impl AsRef<Path>) -> Result<(), WeightError> {
-    fs::write(path, save_params(params)).map_err(WeightError::from)
+    fsio::atomic_write(path, &save_params(params)).map_err(WeightError::from)
 }
 
 /// Load a checkpoint from disk.
@@ -244,6 +278,55 @@ mod tests {
     fn rejects_garbage() {
         assert!(matches!(decode(b"nope"), Err(WeightError::Malformed(_))));
         assert!(matches!(decode(b"PLTW\x63\x00\x00\x00\x00\x00\x00\x00"), Err(WeightError::Version(0x63))));
+    }
+
+    #[test]
+    fn bit_flip_is_detected_as_corrupt() {
+        let buf = save_params(&sample_params());
+        // Flip one bit in every byte position in turn; each must be caught.
+        for pos in [8usize, 12, 20, buf.len() / 2, buf.len() - 5, buf.len() - 1] {
+            let mut bad = buf.to_vec();
+            bad[pos] ^= 0x04;
+            assert!(
+                matches!(decode(&bad), Err(WeightError::Corrupt(_))),
+                "flip at byte {pos} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_as_corrupt() {
+        let buf = save_params(&sample_params());
+        for keep in [buf.len() - 1, buf.len() - 4, buf.len() / 2, 16] {
+            assert!(
+                matches!(decode(&buf[..keep]), Err(WeightError::Corrupt(_))),
+                "truncation to {keep} bytes must be detected"
+            );
+        }
+        // Shorter than even the v2 checksummed header.
+        assert!(matches!(decode(&buf[..13]), Err(WeightError::Corrupt(_))));
+    }
+
+    #[test]
+    fn version1_buffers_still_decode() {
+        // Hand-encode the v1 layout (no trailing CRC) for one 2×2 tensor.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        let name = b"legacy.weight";
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.push(2);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        for v in [1.0f32, 2.0, 3.0, 4.0] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let entries = decode(&buf).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "legacy.weight");
+        assert_eq!(entries[0].1.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

@@ -33,13 +33,39 @@ pub fn kmeans_anchors(boxes: &[NormBox], k: usize, seed: u64) -> Vec<(f32, f32)>
     assert!(sizes.len() >= k, "need at least k={k} boxes, got {}", sizes.len());
 
     let mut rng = StdRng::seed_from_u64(seed);
-    // Init: k distinct random boxes.
+    // Init: k-means++ under the 1−IoU distance. A uniform draw can land two
+    // centroids inside the same tight cluster and the mean-update step never
+    // separates them; D²-weighted seeding spreads the initial centroids.
     let mut centroids: Vec<(f32, f32)> = Vec::with_capacity(k);
+    centroids.push(sizes[rng.random_range(0..sizes.len())]);
     while centroids.len() < k {
-        let cand = sizes[rng.random_range(0..sizes.len())];
-        if !centroids.iter().any(|c| (c.0 - cand.0).abs() < 1e-6 && (c.1 - cand.1).abs() < 1e-6) {
-            centroids.push(cand);
-        }
+        let dists: Vec<f32> = sizes
+            .iter()
+            .map(|&s| {
+                centroids
+                    .iter()
+                    .map(|&c| 1.0 - wh_iou(s, c))
+                    .fold(f32::INFINITY, f32::min)
+                    .powi(2)
+            })
+            .collect();
+        let total: f32 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All candidates coincide with a centroid; any pick works.
+            sizes[rng.random_range(0..sizes.len())]
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut pick = sizes.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            sizes[pick]
+        };
+        centroids.push(next);
     }
 
     let mut assignment = vec![0usize; sizes.len()];

@@ -92,7 +92,7 @@ impl YoloConfig {
 
     /// Validate invariants (input divisibility, anchor sanity).
     pub fn validate(&self) -> Result<(), String> {
-        if self.input_size % 32 != 0 {
+        if !self.input_size.is_multiple_of(32) {
             return Err(format!("input_size {} not divisible by 32", self.input_size));
         }
         if self.num_classes == 0 {
@@ -141,7 +141,7 @@ mod tests {
         let cfg = YoloConfig { width: 0.01, ..YoloConfig::micro(10) };
         for i in 0..6 {
             let c = cfg.channels(i);
-            assert!(c >= 4 && c % 2 == 0, "level {i}: {c}");
+            assert!(c >= 4 && c.is_multiple_of(2), "level {i}: {c}");
         }
     }
 

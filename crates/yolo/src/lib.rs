@@ -40,6 +40,7 @@ pub mod model;
 pub mod neck;
 pub mod nms;
 pub mod predict;
+pub mod runtime;
 pub mod summary;
 pub mod train;
 pub mod transfer;
@@ -52,5 +53,6 @@ pub use model::Yolov4;
 pub use nms::{decode_detections, nms, Detection, NmsKind};
 pub use predict::Detector;
 pub use summary::{render_summary, summarize, SummaryRow};
-pub use train::{train, TrainConfig, TrainRecord};
+pub use runtime::{Fault, FaultPlan, ResumePolicy, RunReport, RuntimeConfig, RuntimeError};
+pub use train::{train, RunState, TrainConfig, TrainRecord, Trainer};
 pub use transfer::{pretrain_backbone, transfer_backbone, PretextClassifier, PretrainOutcome, PRETEXT_CLASSES};

@@ -43,7 +43,7 @@ impl Spp {
         // Clamp pool kernels to the feature size so the micro profile's 2×2
         // deepest grid still pools meaningfully.
         let dim = g.shape(h)[2].min(g.shape(h)[3]);
-        let kernels = [5usize, 9, 13].map(|k| k.min(if dim % 2 == 0 { dim + 1 } else { dim }));
+        let kernels = [5usize, 9, 13].map(|k| k.min(if dim.is_multiple_of(2) { dim + 1 } else { dim }));
         let pools: Vec<Var> = kernels
             .iter()
             .map(|&k| g.maxpool2d(h, k, 1, k / 2))

@@ -44,7 +44,7 @@ pub fn decode_detections(heads: &[Tensor; 3], cfg: &YoloConfig, conf_thresh: f32
         debug_assert_eq!(head.shape(), &[n, a * (5 + c), gsz, gsz]);
         let data = head.as_slice();
         let plane = gsz * gsz;
-        for b in 0..n {
+        for (b, dets) in out.iter_mut().enumerate() {
             for anc in 0..a {
                 let base = (b * a * (5 + c) + anc * (5 + c)) * plane;
                 for row in 0..gsz {
@@ -70,7 +70,7 @@ pub fn decode_detections(heads: &[Tensor; 3], cfg: &YoloConfig, conf_thresh: f32
                         let by = (sigmoid(at(1)) + row as f32) / gsz as f32;
                         let bw = cfg.anchors[s][anc].0 * at(2).clamp(-9.0, 9.0).exp();
                         let bh = cfg.anchors[s][anc].1 * at(3).clamp(-9.0, 9.0).exp();
-                        out[b].push(Detection { class: best_c, score, bbox: NormBox::new(bx, by, bw, bh) });
+                        dets.push(Detection { class: best_c, score, bbox: NormBox::new(bx, by, bw, bh) });
                     }
                 }
             }

@@ -1,0 +1,858 @@
+//! Fault-tolerant training runtime.
+//!
+//! A crash-safe layer over [`crate::train::Trainer`] providing the three
+//! guarantees long unattended runs need:
+//!
+//! 1. **Resumable checkpoints.** At a configurable cadence the complete run
+//!    state ([`RunState`]: parameter values, SGD momentum buffers, the
+//!    learning-rate position, and the loader's epoch/cursor/shuffle/RNG
+//!    state) is serialized into a versioned, CRC-protected container and
+//!    written atomically (staging file + rename, with retry/backoff on
+//!    transient I/O errors). A killed process restarted on the same
+//!    checkpoint path continues on the *exact* trajectory — bit-for-bit —
+//!    an uninterrupted run would have taken.
+//! 2. **Divergence rollback.** Every candidate step passes a guard: a
+//!    non-finite loss, a non-finite gradient norm, or a gradient-norm spike
+//!    far above the recent average rejects the update, rolls the run back
+//!    to the last good checkpoint, cuts the learning rate, and retries —
+//!    a bounded number of times before aborting with a structured
+//!    [`RuntimeError::Diverged`].
+//! 3. **A deterministic fault-injection harness.** A [`FaultPlan`]
+//!    schedules NaN gradients, NaN parameter corruption, transient
+//!    checkpoint-write failures, torn (truncated) checkpoint files, and
+//!    process-kill points at exact iterations, so every recovery path above
+//!    is exercised by ordinary unit tests instead of waiting for production
+//!    to exercise them for us.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, BytesMut};
+use platter_dataset::{LoaderState, SyntheticDataset};
+use platter_tensor::crc::crc32;
+use platter_tensor::serialize::{decode, save_params, Bytes, WeightError};
+use platter_tensor::{fsio, Param, Tensor};
+
+use crate::model::Yolov4;
+use crate::train::{RunState, TrainConfig, TrainRecord, Trainer};
+
+const MAGIC: &[u8; 4] = b"PLTR";
+const VERSION: u32 = 1;
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Checkpoint I/O failed (after the configured retries).
+    Io(io::Error),
+    /// A checkpoint failed its checksum or structural validation.
+    Corrupt(String),
+    /// A structurally valid checkpoint doesn't match this run
+    /// (different model, subset, or iteration budget).
+    Incompatible(String),
+    /// The divergence guard exhausted its retry budget.
+    Diverged {
+        /// Iteration (0-based) whose step kept failing.
+        iteration: usize,
+        /// Rollbacks consumed before giving up.
+        rollbacks: u32,
+        /// Loss of the final rejected step.
+        last_loss: f32,
+    },
+    /// A scheduled [`Fault::Kill`] fired (fault-injection harness only).
+    Killed {
+        /// Iteration (0-based) at which the simulated crash happened.
+        iteration: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            RuntimeError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            RuntimeError::Incompatible(m) => write!(f, "incompatible checkpoint: {m}"),
+            RuntimeError::Diverged { iteration, rollbacks, last_loss } => write!(
+                f,
+                "training diverged at iteration {iteration} (loss {last_loss}) after {rollbacks} rollbacks"
+            ),
+            RuntimeError::Killed { iteration } => {
+                write!(f, "simulated crash at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<io::Error> for RuntimeError {
+    fn from(e: io::Error) -> Self {
+        RuntimeError::Io(e)
+    }
+}
+
+/// What to do when the checkpoint on disk fails validation at startup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumePolicy {
+    /// Discard the corrupt checkpoint and start the run from scratch
+    /// (the validate-or-retrain behaviour the bench cache uses).
+    StartFresh,
+    /// Surface [`RuntimeError::Corrupt`] and let the caller decide.
+    Fail,
+}
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Where the run's checkpoint lives (one file, atomically replaced).
+    pub checkpoint_path: PathBuf,
+    /// Write a checkpoint every this many applied iterations
+    /// (0 = only at completion).
+    pub checkpoint_every: usize,
+    /// Divergence rollbacks allowed per good checkpoint before aborting.
+    pub max_rollbacks: u32,
+    /// Learning-rate factor applied on each rollback (e.g. 0.5).
+    pub lr_cut: f32,
+    /// Reject a step whose gradient norm exceeds this multiple of the
+    /// exponential moving average of recent norms.
+    pub grad_spike_factor: f32,
+    /// Applied steps before the spike guard arms (the first iterations of a
+    /// run legitimately have wild gradient norms).
+    pub grad_guard_warmup: usize,
+    /// Additional attempts for a failed checkpoint write.
+    pub io_retries: u32,
+    /// Backoff before the first retry (doubles per attempt).
+    pub io_backoff: Duration,
+    /// Startup behaviour when the existing checkpoint is corrupt.
+    pub resume_policy: ResumePolicy,
+}
+
+impl RuntimeConfig {
+    /// Defaults for a checkpoint at `path`: checkpoint every 50 iterations,
+    /// 3 rollbacks with a 0.5 LR cut, 10× spike guard armed after 5 steps,
+    /// 3 I/O retries starting at 10 ms, start fresh on corruption.
+    pub fn new(path: impl Into<PathBuf>) -> RuntimeConfig {
+        RuntimeConfig {
+            checkpoint_path: path.into(),
+            checkpoint_every: 50,
+            max_rollbacks: 3,
+            lr_cut: 0.5,
+            grad_spike_factor: 10.0,
+            grad_guard_warmup: 5,
+            io_retries: 3,
+            io_backoff: Duration::from_millis(10),
+            resume_policy: ResumePolicy::StartFresh,
+        }
+    }
+}
+
+/// Faults the harness can schedule.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Overwrite every gradient of the first parameter with NaN before the
+    /// update (models an exploded backward pass).
+    NanGradient,
+    /// Overwrite the first weight of the first parameter with NaN before
+    /// the forward pass (models silent memory corruption; the loss goes
+    /// NaN and only a rollback can repair the parameter).
+    NanParam,
+    /// Fail the next `failures` checkpoint write *attempts* with an
+    /// injected transient I/O error (exercises retry/backoff).
+    WriteError {
+        /// Number of consecutive attempts to fail.
+        failures: u32,
+    },
+    /// Truncate the bytes of the next checkpoint write to `keep` bytes
+    /// (models a torn write that still got published).
+    TruncateWrite {
+        /// Bytes to keep.
+        keep: usize,
+    },
+    /// Abort the run with [`RuntimeError::Killed`] before this iteration's
+    /// step (models `kill -9`; resume by calling [`run`] again).
+    Kill,
+}
+
+/// A deterministic schedule of [`Fault`]s keyed by 0-based iteration.
+///
+/// Faults fire when the trainer is *about to run* that iteration, in
+/// insertion order, and each fires exactly once (after a rollback re-runs
+/// the iteration, the fault does not re-fire — otherwise no retry could
+/// ever succeed).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, Vec<Fault>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the production configuration).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule `fault` before iteration `iteration` (0-based). Builder-style.
+    pub fn at(mut self, iteration: usize, fault: Fault) -> FaultPlan {
+        self.faults.entry(iteration).or_default().push(fault);
+        self
+    }
+
+    /// True if no faults remain.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn take(&mut self, iteration: usize) -> Vec<Fault> {
+        self.faults.remove(&iteration).unwrap_or_default()
+    }
+}
+
+/// What a completed [`run`] did.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Records of every applied iteration this process ran.
+    pub records: Vec<TrainRecord>,
+    /// Iteration the run resumed from, if a checkpoint was loaded.
+    pub resumed_from: Option<usize>,
+    /// Divergence rollbacks performed.
+    pub rollbacks: u32,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: u32,
+    /// True if a corrupt checkpoint was found and discarded at startup.
+    pub discarded_corrupt: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization
+// ---------------------------------------------------------------------------
+
+fn params_of(entries: &[(String, Tensor)]) -> Vec<Param> {
+    entries.iter().map(|(n, t)| Param::new(n, t.clone())).collect()
+}
+
+/// Encode a [`RunState`] into the `PLTR` container: versioned header, run
+/// metadata, loader state, two embedded `PLTW` blobs (model, velocity), and
+/// a trailing CRC-32 over everything before it.
+pub fn encode_checkpoint(state: &RunState) -> Bytes {
+    let model = save_params(&params_of(&state.model));
+    let velocity = save_params(&params_of(&state.velocity));
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(state.iteration as u64);
+    buf.put_f32_le(state.lr_factor);
+    buf.put_u64_le(state.loader.epoch as u64);
+    buf.put_u64_le(state.loader.cursor as u64);
+    buf.put_u32_le(state.loader.indices.len() as u32);
+    for &i in &state.loader.indices {
+        buf.put_u32_le(i as u32);
+    }
+    for &w in &state.loader.rng_state {
+        buf.put_u64_le(w);
+    }
+    buf.put_u64_le(model.len() as u64);
+    buf.put_slice(&model);
+    buf.put_u64_le(velocity.len() as u64);
+    buf.put_slice(&velocity);
+    let checksum = crc32(&buf);
+    buf.put_u32_le(checksum);
+    buf.freeze()
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), RuntimeError> {
+    if buf.remaining() < n {
+        return Err(RuntimeError::Corrupt(format!("truncated {what}")));
+    }
+    Ok(())
+}
+
+/// Decode a `PLTR` container produced by [`encode_checkpoint`].
+///
+/// The outer CRC is verified before anything is parsed, so truncation and
+/// bit flips surface as [`RuntimeError::Corrupt`], never as garbage state.
+pub fn decode_checkpoint(full: &[u8]) -> Result<RunState, RuntimeError> {
+    if full.len() < 12 {
+        return Err(RuntimeError::Corrupt("shorter than header".into()));
+    }
+    if &full[..4] != MAGIC {
+        return Err(RuntimeError::Corrupt("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(full[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(RuntimeError::Incompatible(format!(
+            "checkpoint version {version}, this build reads {VERSION}"
+        )));
+    }
+    let (body, tail) = full.split_at(full.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().unwrap());
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(RuntimeError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+
+    let mut buf = &body[8..];
+    need(buf, 8 + 4 + 8 + 8 + 4, "run metadata")?;
+    let iteration = buf.get_u64_le() as usize;
+    let lr_factor = buf.get_f32_le();
+    let epoch = buf.get_u64_le() as usize;
+    let cursor = buf.get_u64_le() as usize;
+    let n_indices = buf.get_u32_le() as usize;
+    need(buf, n_indices * 4 + 32, "loader state")?;
+    let mut indices = Vec::with_capacity(n_indices);
+    for _ in 0..n_indices {
+        indices.push(buf.get_u32_le() as usize);
+    }
+    let mut rng_state = [0u64; 4];
+    for w in &mut rng_state {
+        *w = buf.get_u64_le();
+    }
+
+    let read_blob = |what: &str, buf: &mut &[u8]| -> Result<Vec<(String, Tensor)>, RuntimeError> {
+        need(buf, 8, what)?;
+        let len = buf.get_u64_le() as usize;
+        need(buf, len, what)?;
+        let (blob, rest) = buf.split_at(len);
+        let entries = decode(blob).map_err(|e| match e {
+            WeightError::Corrupt(m) | WeightError::Malformed(m) => {
+                RuntimeError::Corrupt(format!("{what}: {m}"))
+            }
+            other => RuntimeError::Corrupt(format!("{what}: {other}")),
+        })?;
+        *buf = rest;
+        Ok(entries)
+    };
+    let model = read_blob("model blob", &mut buf)?;
+    let velocity = read_blob("velocity blob", &mut buf)?;
+    if !buf.is_empty() {
+        return Err(RuntimeError::Corrupt(format!("{} trailing bytes", buf.len())));
+    }
+
+    Ok(RunState {
+        iteration,
+        lr_factor,
+        model,
+        velocity,
+        loader: LoaderState { epoch, cursor, indices, rng_state },
+    })
+}
+
+/// Read and validate the checkpoint at `path`.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<RunState, RuntimeError> {
+    let buf = std::fs::read(path)?;
+    decode_checkpoint(&buf)
+}
+
+/// Encode `state` and write it to `path` atomically, retrying transient
+/// failures per the config.
+pub fn write_checkpoint(state: &RunState, cfg: &RuntimeConfig) -> Result<(), RuntimeError> {
+    fsio::atomic_write_retry(&cfg.checkpoint_path, &encode_checkpoint(state), cfg.io_retries, cfg.io_backoff)
+        .map_err(RuntimeError::from)
+}
+
+// ---------------------------------------------------------------------------
+// The supervised run loop
+// ---------------------------------------------------------------------------
+
+/// Pending injected-fault state for the current process.
+#[derive(Default)]
+struct Injector {
+    nan_gradient: bool,
+    nan_param: bool,
+    write_failures: u32,
+    truncate_next_write: Option<usize>,
+}
+
+impl Injector {
+    fn arm(&mut self, faults: Vec<Fault>) -> Option<RuntimeError> {
+        for fault in faults {
+            match fault {
+                Fault::NanGradient => self.nan_gradient = true,
+                Fault::NanParam => self.nan_param = true,
+                Fault::WriteError { failures } => self.write_failures += failures,
+                Fault::TruncateWrite { keep } => self.truncate_next_write = Some(keep),
+                Fault::Kill => return Some(RuntimeError::Killed { iteration: usize::MAX }),
+            }
+        }
+        None
+    }
+}
+
+fn poison_first(slice: &mut [f32]) {
+    for v in slice.iter_mut() {
+        *v = f32::NAN;
+    }
+}
+
+/// Checkpoint write with fault injection layered over the retry loop.
+fn write_with_faults(state: &RunState, cfg: &RuntimeConfig, injector: &mut Injector) -> Result<(), RuntimeError> {
+    let mut bytes = encode_checkpoint(state).to_vec();
+    if let Some(keep) = injector.truncate_next_write.take() {
+        bytes.truncate(keep);
+        // A torn write bypasses the retry loop: it "succeeds" from the
+        // writer's point of view — detection happens at the next read.
+        return fsio::atomic_write(&cfg.checkpoint_path, &bytes).map_err(RuntimeError::from);
+    }
+    let mut wait = cfg.io_backoff;
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..=cfg.io_retries {
+        let result = if injector.write_failures > 0 {
+            injector.write_failures -= 1;
+            Err(io::Error::other("injected transient write failure"))
+        } else {
+            fsio::atomic_write(&cfg.checkpoint_path, &bytes)
+        };
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt < cfg.io_retries {
+            std::thread::sleep(wait);
+            wait = wait.saturating_mul(2);
+        }
+    }
+    Err(RuntimeError::Io(last_err.unwrap_or_else(|| io::Error::other("checkpoint write failed"))))
+}
+
+/// Train `model` under the fault-tolerant runtime, resuming from the
+/// checkpoint at `cfg.checkpoint_path` if one exists.
+///
+/// `plan` schedules injected faults ([`FaultPlan::none`] in production).
+/// `on_log` observes every applied record. On success the checkpoint file
+/// holds the completed run's final state.
+pub fn run(
+    model: &Yolov4,
+    dataset: &SyntheticDataset,
+    train_indices: &[usize],
+    train_cfg: &TrainConfig,
+    cfg: &RuntimeConfig,
+    mut plan: FaultPlan,
+    mut on_log: impl FnMut(&TrainRecord),
+) -> Result<RunReport, RuntimeError> {
+    let mut trainer = Trainer::new(model, dataset, train_indices, train_cfg);
+    let mut report = RunReport::default();
+    let mut injector = Injector::default();
+
+    // Resume if a checkpoint exists.
+    let mut last_good = if cfg.checkpoint_path.exists() {
+        match read_checkpoint(&cfg.checkpoint_path) {
+            Ok(state) => {
+                trainer.restore(&state).map_err(RuntimeError::Incompatible)?;
+                report.resumed_from = Some(state.iteration);
+                state
+            }
+            Err(RuntimeError::Io(e)) => return Err(RuntimeError::Io(e)),
+            Err(err) if cfg.resume_policy == ResumePolicy::Fail => return Err(err),
+            Err(_) => {
+                report.discarded_corrupt = true;
+                std::fs::remove_file(&cfg.checkpoint_path).ok();
+                trainer.snapshot()
+            }
+        }
+    } else {
+        trainer.snapshot()
+    };
+
+    let mut rollbacks_since_good = 0u32;
+    let mut grad_ema: Option<f32> = None;
+    let mut applied_since_start = 0usize;
+
+    while !trainer.is_done() {
+        let iteration = trainer.iteration();
+        if injector.arm(plan.take(iteration)).is_some() {
+            return Err(RuntimeError::Killed { iteration });
+        }
+
+        if std::mem::take(&mut injector.nan_param) {
+            let params = model.parameters();
+            let inner = &mut params[0].borrow_mut().value;
+            poison_first(&mut inner.as_mut_slice()[..1]);
+        }
+        let inject_grad = std::mem::take(&mut injector.nan_gradient);
+
+        let spike_limit = match (grad_ema, applied_since_start >= cfg.grad_guard_warmup) {
+            (Some(ema), true) => Some(cfg.grad_spike_factor * ema.max(1e-6)),
+            _ => None,
+        };
+        let (record, applied) = trainer.try_step(
+            |params| {
+                if inject_grad {
+                    poison_first(params[0].borrow_mut().grad.as_mut_slice());
+                }
+            },
+            |rec| {
+                rec.loss.total.is_finite()
+                    && rec.grad_norm.is_finite()
+                    && spike_limit.is_none_or(|limit| rec.grad_norm <= limit)
+            },
+        );
+
+        if applied {
+            rollbacks_since_good = 0;
+            applied_since_start += 1;
+            grad_ema = Some(match grad_ema {
+                Some(ema) => 0.9 * ema + 0.1 * record.grad_norm,
+                None => record.grad_norm,
+            });
+            on_log(&record);
+            report.records.push(record);
+
+            let done = trainer.is_done();
+            let due = cfg.checkpoint_every > 0 && record.iteration % cfg.checkpoint_every == 0;
+            if due || done {
+                let snapshot = trainer.snapshot();
+                write_with_faults(&snapshot, cfg, &mut injector)?;
+                report.checkpoints_written += 1;
+                last_good = snapshot;
+            }
+        } else {
+            report.rollbacks += 1;
+            rollbacks_since_good += 1;
+            if rollbacks_since_good > cfg.max_rollbacks {
+                return Err(RuntimeError::Diverged {
+                    iteration,
+                    rollbacks: report.rollbacks,
+                    last_loss: record.loss.total,
+                });
+            }
+            let cut = trainer.lr_factor() * cfg.lr_cut;
+            trainer.restore(&last_good).map_err(RuntimeError::Incompatible)?;
+            trainer.set_lr_factor(cut);
+            grad_ema = None;
+            applied_since_start = 0;
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::YoloConfig;
+    use crate::train::TrainConfig;
+    use platter_dataset::{ClassSet, DatasetSpec, Split};
+
+    fn tiny_dataset() -> SyntheticDataset {
+        SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 16, 64, 3))
+    }
+
+    fn micro_cfg(iterations: usize) -> TrainConfig {
+        let mut cfg = TrainConfig::micro(iterations);
+        cfg.batch_size = 2;
+        cfg.mosaic_prob = 0.0;
+        cfg.seed = 11;
+        cfg
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("platter_runtime_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    fn rt_cfg(path: PathBuf, every: usize) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::new(path);
+        cfg.checkpoint_every = every;
+        cfg.io_backoff = Duration::from_millis(1);
+        cfg
+    }
+
+    #[test]
+    fn checkpoint_encode_decode_round_trip() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let cfg = micro_cfg(6);
+        let mut trainer = Trainer::new(&model, &ds, &split.train, &cfg);
+        trainer.step();
+        trainer.step();
+        let state = trainer.snapshot();
+        let decoded = decode_checkpoint(&encode_checkpoint(&state)).unwrap();
+        assert_eq!(decoded.iteration, 2);
+        assert_eq!(decoded.lr_factor, state.lr_factor);
+        assert_eq!(decoded.loader, state.loader);
+        assert_eq!(decoded.model.len(), state.model.len());
+        for ((n1, t1), (n2, t2)) in state.model.iter().zip(&decoded.model) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.as_slice(), t2.as_slice());
+            assert_eq!(t1.shape(), t2.shape());
+        }
+        for ((n1, t1), (n2, t2)) in state.velocity.iter().zip(&decoded.velocity) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1.as_slice(), t2.as_slice());
+        }
+    }
+
+    #[test]
+    fn checkpoint_corruption_and_truncation_detected() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let cfg = micro_cfg(2);
+        let trainer = Trainer::new(&model, &ds, &split.train, &cfg);
+        let bytes = encode_checkpoint(&trainer.snapshot());
+
+        for pos in [9usize, 40, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.to_vec();
+            bad[pos] ^= 0x20;
+            assert!(
+                matches!(decode_checkpoint(&bad), Err(RuntimeError::Corrupt(_))),
+                "bit flip at {pos} must be caught"
+            );
+        }
+        for keep in [bytes.len() - 3, bytes.len() / 3, 13, 5] {
+            assert!(
+                matches!(decode_checkpoint(&bytes[..keep]), Err(RuntimeError::Corrupt(_))),
+                "truncation to {keep} must be caught"
+            );
+        }
+        // Future version → Incompatible, not Corrupt.
+        let mut future = bytes.to_vec();
+        future[4] = 99;
+        assert!(matches!(decode_checkpoint(&future), Err(RuntimeError::Incompatible(_))));
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_trajectory() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(10);
+
+        // Reference: uninterrupted run.
+        let model_a = Yolov4::new(YoloConfig::micro(10), 9);
+        let path_a = scratch("uninterrupted.pltr");
+        let report_a = run(
+            &model_a, &ds, &split.train, &cfg,
+            &rt_cfg(path_a.clone(), 2), FaultPlan::none(), |_| {},
+        )
+        .unwrap();
+        assert_eq!(report_a.records.len(), 10);
+        assert_eq!(report_a.rollbacks, 0);
+        assert!(report_a.resumed_from.is_none());
+
+        // Crashed run: killed before iteration 5 (last checkpoint at 4).
+        let model_b = Yolov4::new(YoloConfig::micro(10), 9);
+        let path_b = scratch("killed.pltr");
+        let plan = FaultPlan::none().at(5, Fault::Kill);
+        let err = run(
+            &model_b, &ds, &split.train, &cfg,
+            &rt_cfg(path_b.clone(), 2), plan, |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Killed { iteration: 5 }));
+
+        // "New process": fresh model object, same checkpoint path.
+        let model_c = Yolov4::new(YoloConfig::micro(10), 77);
+        let report_c = run(
+            &model_c, &ds, &split.train, &cfg,
+            &rt_cfg(path_b.clone(), 2), FaultPlan::none(), |_| {},
+        )
+        .unwrap();
+        assert_eq!(report_c.resumed_from, Some(4));
+        assert_eq!(report_c.records.len(), 6);
+
+        // The resumed tail must replay the uninterrupted trajectory exactly.
+        for (a, c) in report_a.records[4..].iter().zip(&report_c.records) {
+            assert_eq!(a.iteration, c.iteration);
+            assert_eq!(
+                a.loss.total.to_bits(),
+                c.loss.total.to_bits(),
+                "iteration {}: {} vs {}",
+                a.iteration,
+                a.loss.total,
+                c.loss.total
+            );
+            assert_eq!(a.grad_norm.to_bits(), c.grad_norm.to_bits());
+            assert_eq!(a.lr.to_bits(), c.lr.to_bits());
+        }
+        // Final weights identical bit-for-bit.
+        assert_eq!(model_a.save().as_ref() as &[u8], model_c.save().as_ref() as &[u8]);
+        std::fs::remove_file(path_a).ok();
+        std::fs::remove_file(path_b).ok();
+    }
+
+    #[test]
+    fn nan_gradient_rolls_back_and_recovers() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(8);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let path = scratch("nan_grad.pltr");
+        let plan = FaultPlan::none().at(4, Fault::NanGradient);
+        let report = run(
+            &model, &ds, &split.train, &cfg,
+            &rt_cfg(path.clone(), 2), plan, |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.records.len(), 8, "all iterations eventually applied");
+        assert!(report.records.iter().all(|r| r.loss.total.is_finite()));
+        // The LR cut shows up in post-rollback records: iteration 5 ran at
+        // half the schedule's rate (burn-in is still ramping, so compare
+        // against the schedule, not the previous record).
+        let schedule = platter_tensor::LrSchedule::darknet(cfg.lr, cfg.iterations);
+        let expected = schedule.lr_at(4) * 0.5;
+        assert!(
+            (report.records[4].lr - expected).abs() < 1e-9,
+            "rollback must cut the learning rate: {} vs expected {expected}",
+            report.records[4].lr
+        );
+        // Model is finite everywhere.
+        for p in model.parameters() {
+            assert!(p.value().as_slice().iter().all(|v| v.is_finite()));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn nan_param_rolls_back_to_finite_loss() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(6);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let path = scratch("nan_param.pltr");
+        let plan = FaultPlan::none().at(3, Fault::NanParam);
+        let report = run(
+            &model, &ds, &split.train, &cfg,
+            &rt_cfg(path.clone(), 1), plan, |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.records.len(), 6);
+        assert!(report.records.iter().all(|r| r.loss.total.is_finite()));
+        for p in model.parameters() {
+            assert!(
+                p.value().as_slice().iter().all(|v| v.is_finite()),
+                "{} still poisoned after rollback",
+                p.name()
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn repeated_divergence_aborts_with_structured_error() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(6);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let path = scratch("diverge.pltr");
+        let mut rcfg = rt_cfg(path.clone(), 1);
+        // Zero retry budget: the first rejected step must abort the run.
+        rcfg.max_rollbacks = 0;
+        let plan = FaultPlan::none().at(2, Fault::NanParam);
+        let err = run(
+            &model, &ds, &split.train, &cfg,
+            &rcfg, plan, |_| {},
+        )
+        .unwrap_err();
+        match err {
+            RuntimeError::Diverged { iteration, rollbacks, last_loss } => {
+                assert_eq!(iteration, 2);
+                assert_eq!(rollbacks, 1);
+                assert!(last_loss.is_nan() || !last_loss.is_finite());
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn transient_write_failures_are_retried() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(4);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let path = scratch("retry.pltr");
+        let mut rcfg = rt_cfg(path.clone(), 2);
+        rcfg.io_retries = 3;
+        // Two injected failures at the iteration-2 checkpoint; retries absorb them.
+        let plan = FaultPlan::none().at(1, Fault::WriteError { failures: 2 });
+        let report = run(
+            &model, &ds, &split.train, &cfg,
+            &rcfg, plan, |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.checkpoints_written, 2);
+        assert!(read_checkpoint(&path).is_ok());
+
+        // More failures than retries → structured I/O error.
+        std::fs::remove_file(&path).ok();
+        let model2 = Yolov4::new(YoloConfig::micro(10), 9);
+        let mut rcfg2 = rt_cfg(path.clone(), 2);
+        rcfg2.io_retries = 1;
+        let plan2 = FaultPlan::none().at(1, Fault::WriteError { failures: 5 });
+        let err = run(
+            &model2, &ds, &split.train, &cfg,
+            &rcfg2, plan2, |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Io(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_detected_and_policy_applies() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(4);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let path = scratch("torn.pltr");
+        // Truncate the final checkpoint write, then "crash" immediately after.
+        let plan = FaultPlan::none().at(3, Fault::TruncateWrite { keep: 64 });
+        let report = run(
+            &model, &ds, &split.train, &cfg,
+            &rt_cfg(path.clone(), 0), plan, |_| {},
+        );
+        // checkpoint_every=0 → only the final write, which was truncated.
+        assert!(report.is_ok());
+        assert!(matches!(read_checkpoint(&path), Err(RuntimeError::Corrupt(_))));
+
+        // StartFresh policy: a new run discards the torn file and restarts.
+        let model2 = Yolov4::new(YoloConfig::micro(10), 9);
+        let report2 = run(
+            &model2, &ds, &split.train, &cfg,
+            &rt_cfg(path.clone(), 0), FaultPlan::none(), |_| {},
+        )
+        .unwrap();
+        assert!(report2.discarded_corrupt);
+        assert!(report2.resumed_from.is_none());
+        assert_eq!(report2.records.len(), 4);
+
+        // Fail policy: surface the corruption instead.
+        let torn = encode_checkpoint(&Trainer::new(&model2, &ds, &split.train, &cfg).snapshot());
+        std::fs::write(&path, &torn[..torn.len() / 2]).unwrap();
+        let model3 = Yolov4::new(YoloConfig::micro(10), 9);
+        let mut rcfg3 = rt_cfg(path.clone(), 0);
+        rcfg3.resume_policy = ResumePolicy::Fail;
+        let err = run(
+            &model3, &ds, &split.train, &cfg,
+            &rcfg3, FaultPlan::none(), |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Corrupt(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn completed_run_leaves_resumable_final_checkpoint() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(3);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let path = scratch("final.pltr");
+        run(&model, &ds, &split.train, &cfg, &rt_cfg(path.clone(), 0), FaultPlan::none(), |_| {}).unwrap();
+        let state = read_checkpoint(&path).unwrap();
+        assert_eq!(state.iteration, 3);
+        // Re-running on the completed checkpoint is a no-op resume.
+        let model2 = Yolov4::new(YoloConfig::micro(10), 5);
+        let report = run(&model2, &ds, &split.train, &cfg, &rt_cfg(path.clone(), 0), FaultPlan::none(), |_| {}).unwrap();
+        assert_eq!(report.resumed_from, Some(3));
+        assert!(report.records.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

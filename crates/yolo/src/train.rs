@@ -2,9 +2,18 @@
 //! gradient clipping, optional backbone freezing for the first iterations
 //! (the fine-tuning phase of transfer learning), and periodic checkpoints
 //! for the Table II iteration sweep.
+//!
+//! The loop is factored as a resumable [`Trainer`]: one [`Trainer::step`]
+//! per darknet iteration, with [`Trainer::snapshot`]/[`Trainer::restore`]
+//! capturing the *complete* run state (parameter values, SGD momentum
+//! buffers, schedule position, loader stream position). A trainer restored
+//! from a snapshot continues on the exact trajectory of an uninterrupted
+//! run — the property the fault-tolerant runtime (`crate::runtime`) builds
+//! its crash recovery and divergence rollback on. The [`train`] function
+//! remains the simple fire-and-forget entry point.
 
-use platter_dataset::{BatchLoader, LoaderConfig, SyntheticDataset};
-use platter_tensor::{clip_global_norm, Graph, LrSchedule, Sgd, Tensor};
+use platter_dataset::{BatchLoader, LoaderConfig, LoaderState, SyntheticDataset};
+use platter_tensor::{clip_global_norm, Graph, LrSchedule, Param, Sgd, Tensor};
 
 use crate::assign::build_targets;
 use crate::loss::{yolo_loss, BoxLoss, LossParts, LossWeights};
@@ -70,11 +79,195 @@ pub struct TrainRecord {
     pub grad_norm: f32,
 }
 
+/// The complete state of a training run at an iteration boundary.
+///
+/// Everything needed to continue the run on the exact trajectory an
+/// uninterrupted run would have taken: parameter values, SGD momentum
+/// buffers, the learning-rate retry factor, and the data-loader stream
+/// position (epoch, cursor, shuffled order, RNG state). Serialized to disk
+/// by `crate::runtime`.
+#[derive(Clone, Debug)]
+pub struct RunState {
+    /// Completed iterations (0-based count; the next step is this index).
+    pub iteration: usize,
+    /// Multiplicative learning-rate factor (cut on divergence rollbacks).
+    pub lr_factor: f32,
+    /// `(name, value)` for every model parameter.
+    pub model: Vec<(String, Tensor)>,
+    /// `(name, momentum buffer)` for every optimizer slot.
+    pub velocity: Vec<(String, Tensor)>,
+    /// Data-loader stream position.
+    pub loader: LoaderState,
+}
+
+/// A resumable darknet-style training loop over one model + dataset subset.
+pub struct Trainer<'a> {
+    model: &'a Yolov4,
+    cfg: TrainConfig,
+    loader: BatchLoader<'a>,
+    schedule: LrSchedule,
+    opt: Sgd,
+    iteration: usize,
+    lr_factor: f32,
+}
+
+impl<'a> Trainer<'a> {
+    /// Set up a fresh run (iteration 0) of `cfg` on `train_indices`.
+    pub fn new(
+        model: &'a Yolov4,
+        dataset: &'a SyntheticDataset,
+        train_indices: &[usize],
+        cfg: &TrainConfig,
+    ) -> Trainer<'a> {
+        let input = model.config.input_size;
+        let mut loader_cfg = LoaderConfig::train(cfg.batch_size, input, cfg.seed);
+        loader_cfg.mosaic_prob = cfg.mosaic_prob;
+        let loader = BatchLoader::new(dataset, train_indices, loader_cfg);
+        let schedule = LrSchedule::darknet(cfg.lr, cfg.iterations);
+        let opt = Sgd::new(model.parameters(), cfg.momentum, cfg.weight_decay);
+        Trainer { model, cfg: cfg.clone(), loader, schedule, opt, iteration: 0, lr_factor: 1.0 }
+    }
+
+    /// Completed iterations (the next step runs this 0-based index).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Whether the configured iteration budget is exhausted.
+    pub fn is_done(&self) -> bool {
+        self.iteration >= self.cfg.iterations
+    }
+
+    /// The model being trained.
+    pub fn model(&self) -> &Yolov4 {
+        self.model
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Current learning-rate factor (1.0 unless divergence rollbacks cut it).
+    pub fn lr_factor(&self) -> f32 {
+        self.lr_factor
+    }
+
+    /// Scale all future learning rates by `factor` (used by the runtime's
+    /// divergence guard to cool the run down after a rollback).
+    pub fn set_lr_factor(&mut self, factor: f32) {
+        self.lr_factor = factor;
+    }
+
+    /// One training iteration; always applies the update.
+    pub fn step(&mut self) -> TrainRecord {
+        self.try_step(|_| {}, |_| true).0
+    }
+
+    /// One training iteration with seams for the fault-tolerant runtime.
+    ///
+    /// `grad_hook` runs after backward and before clipping — the runtime's
+    /// fault-injection harness uses it to corrupt gradients on schedule.
+    /// `guard` inspects the candidate record; returning `false` rejects the
+    /// step: the optimizer update is *not* applied and the iteration counter
+    /// does not advance (the loader has consumed the batch, but a rejection
+    /// is always followed by [`Trainer::restore`], which rewinds it).
+    pub fn try_step(
+        &mut self,
+        grad_hook: impl FnOnce(&[Param]),
+        guard: impl FnOnce(&TrainRecord) -> bool,
+    ) -> (TrainRecord, bool) {
+        if self.cfg.freeze_backbone_iters > 0 {
+            self.model.set_backbone_frozen(self.iteration < self.cfg.freeze_backbone_iters);
+        }
+        let batch = self.loader.next_batch();
+        let x = Tensor::from_vec(batch.data, &batch.shape);
+        let targets = build_targets(&self.model.config, &batch.annotations);
+
+        let mut g = Graph::new();
+        let xv = g.leaf(x);
+        let heads = self.model.forward(&mut g, xv, true);
+        let (loss, parts) =
+            yolo_loss(&mut g, &heads, &targets, &self.model.config, self.cfg.box_loss, self.cfg.weights);
+        g.backward(loss);
+        grad_hook(self.opt.params());
+        let grad_norm = clip_global_norm(self.opt.params(), self.cfg.clip_norm);
+        let lr = self.schedule.lr_at(self.iteration) * self.lr_factor;
+
+        let record = TrainRecord { iteration: self.iteration + 1, loss: parts, lr, grad_norm };
+        let apply = guard(&record);
+        if apply {
+            self.opt.step(lr);
+            self.iteration += 1;
+        }
+        self.opt.zero_grad();
+        (record, apply)
+    }
+
+    /// Capture the complete run state at the current iteration boundary.
+    pub fn snapshot(&self) -> RunState {
+        RunState {
+            iteration: self.iteration,
+            lr_factor: self.lr_factor,
+            model: self
+                .model
+                .parameters()
+                .iter()
+                .map(|p| (p.name(), p.value().clone()))
+                .collect(),
+            velocity: self.opt.export_velocity(),
+            loader: self.loader.state(),
+        }
+    }
+
+    /// Restore a state captured by [`Trainer::snapshot`] (possibly by a
+    /// different process). On success the trainer continues exactly as the
+    /// snapshotted run would have; on any mismatch the trainer is unusable
+    /// for resume and the error describes what didn't line up.
+    pub fn restore(&mut self, state: &RunState) -> Result<(), String> {
+        if state.iteration > self.cfg.iterations {
+            return Err(format!(
+                "snapshot is {} iterations in, but this run is configured for {}",
+                state.iteration, self.cfg.iterations
+            ));
+        }
+        let by_name: std::collections::HashMap<&str, &Tensor> =
+            state.model.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        let params = self.model.parameters();
+        // Validate everything before mutating anything.
+        for p in &params {
+            let name = p.name();
+            let t = by_name
+                .get(name.as_str())
+                .ok_or_else(|| format!("snapshot is missing parameter {name}"))?;
+            if t.shape() != p.value().shape() {
+                return Err(format!(
+                    "snapshot shape mismatch for {name}: {:?} vs {:?}",
+                    t.shape(),
+                    p.value().shape()
+                ));
+            }
+        }
+        self.opt.import_velocity(&state.velocity)?;
+        self.loader.restore(&state.loader)?;
+        for p in &params {
+            p.set_value(by_name[p.name().as_str()].clone());
+        }
+        self.iteration = state.iteration;
+        self.lr_factor = state.lr_factor;
+        if self.cfg.freeze_backbone_iters > 0 {
+            self.model.set_backbone_frozen(self.iteration < self.cfg.freeze_backbone_iters);
+        }
+        Ok(())
+    }
+}
+
 /// Train `model` on `train_indices` of `dataset`.
 ///
 /// `checkpoint_every` > 0 invokes `on_checkpoint(iteration, model)` at that
 /// cadence (and at the final iteration) — the hook the Table II sweep uses
-/// to evaluate intermediate models.
+/// to evaluate intermediate models. For crash-safe training with on-disk
+/// checkpoints and divergence recovery, use `crate::runtime` instead.
 #[allow(clippy::too_many_arguments)]
 pub fn train(
     model: &Yolov4,
@@ -85,42 +278,15 @@ pub fn train(
     mut on_checkpoint: impl FnMut(usize, &Yolov4),
     mut on_log: impl FnMut(&TrainRecord),
 ) -> Vec<TrainRecord> {
-    let input = model.config.input_size;
-    let mut loader_cfg = LoaderConfig::train(cfg.batch_size, input, cfg.seed);
-    loader_cfg.mosaic_prob = cfg.mosaic_prob;
-    let mut loader = BatchLoader::new(dataset, train_indices, loader_cfg);
-
-    let schedule = LrSchedule::darknet(cfg.lr, cfg.iterations);
-    let mut opt = Sgd::new(model.parameters(), cfg.momentum, cfg.weight_decay);
-    if cfg.freeze_backbone_iters > 0 {
-        model.set_backbone_frozen(true);
-    }
-
+    let mut trainer = Trainer::new(model, dataset, train_indices, cfg);
     let mut history = Vec::with_capacity(cfg.iterations);
-    for iter in 0..cfg.iterations {
-        if cfg.freeze_backbone_iters > 0 && iter == cfg.freeze_backbone_iters {
-            model.set_backbone_frozen(false);
-        }
-        let batch = loader.next_batch();
-        let x = Tensor::from_vec(batch.data, &batch.shape);
-        let targets = build_targets(&model.config, &batch.annotations);
-
-        let mut g = Graph::new();
-        let xv = g.leaf(x);
-        let heads = model.forward(&mut g, xv, true);
-        let (loss, parts) = yolo_loss(&mut g, &heads, &targets, &model.config, cfg.box_loss, cfg.weights);
-        g.backward(loss);
-        let grad_norm = clip_global_norm(&opt.params().to_vec(), cfg.clip_norm);
-        let lr = schedule.lr_at(iter);
-        opt.step(lr);
-        opt.zero_grad();
-
-        let record = TrainRecord { iteration: iter + 1, loss: parts, lr, grad_norm };
+    while !trainer.is_done() {
+        let record = trainer.step();
         on_log(&record);
         history.push(record);
-
-        if checkpoint_every > 0 && ((iter + 1) % checkpoint_every == 0 || iter + 1 == cfg.iterations) {
-            on_checkpoint(iter + 1, model);
+        let done = record.iteration == cfg.iterations;
+        if checkpoint_every > 0 && (record.iteration.is_multiple_of(checkpoint_every) || done) {
+            on_checkpoint(record.iteration, model);
         }
     }
     if cfg.freeze_backbone_iters > 0 {
@@ -139,6 +305,7 @@ mod tests {
         SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 16, 64, 3))
     }
 
+
     #[test]
     fn short_run_reduces_loss_and_checkpoints() {
         let ds = tiny_dataset();
@@ -147,6 +314,7 @@ mod tests {
         let mut cfg = TrainConfig::micro(12);
         cfg.batch_size = 2;
         cfg.mosaic_prob = 0.0;
+        cfg.seed = 11;
         let mut checkpoints = Vec::new();
         let history = train(
             &model,
@@ -207,5 +375,101 @@ mod tests {
         // After unfreezing (iters 4–6) the stem should have moved.
         let stem_after = model.backbone_parameters()[0].value();
         assert_ne!(stem_before.as_slice(), stem_after.as_slice(), "backbone never unfroze");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_exact_trajectory() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let mut cfg = TrainConfig::micro(10);
+        cfg.batch_size = 2;
+        cfg.mosaic_prob = 0.25; // exercise the loader RNG path too
+
+        // Uninterrupted run.
+        let model_a = Yolov4::new(YoloConfig::micro(10), 21);
+        let mut full = Trainer::new(&model_a, &ds, &split.train, &cfg);
+        let mut full_hist = Vec::new();
+        let mut mid = None;
+        while !full.is_done() {
+            if full.iteration() == 4 {
+                mid = Some(full.snapshot());
+            }
+            full_hist.push(full.step());
+        }
+        let mid = mid.unwrap();
+
+        // A second model restored from the mid-run snapshot.
+        let model_b = Yolov4::new(YoloConfig::micro(10), 99); // different init, fully overwritten
+        let mut resumed = Trainer::new(&model_b, &ds, &split.train, &cfg);
+        resumed.restore(&mid).unwrap();
+        assert_eq!(resumed.iteration(), 4);
+        let mut resumed_hist = Vec::new();
+        while !resumed.is_done() {
+            resumed_hist.push(resumed.step());
+        }
+
+        assert_eq!(resumed_hist.len(), 6);
+        for (a, b) in full_hist[4..].iter().zip(&resumed_hist) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.loss.total.to_bits(), b.loss.total.to_bits(), "iteration {}", a.iteration);
+            assert_eq!(a.grad_norm.to_bits(), b.grad_norm.to_bits());
+        }
+        // Final weights must agree bit-for-bit as well.
+        assert_eq!(model_a.save().as_ref() as &[u8], model_b.save().as_ref() as &[u8]);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = TrainConfig::micro(4);
+        let model = Yolov4::new(YoloConfig::micro(10), 3);
+        let mut trainer = Trainer::new(&model, &ds, &split.train, &cfg);
+        let mut snap = trainer.snapshot();
+
+        // Iteration beyond the configured budget.
+        snap.iteration = 99;
+        assert!(trainer.restore(&snap).is_err());
+        snap.iteration = 0;
+
+        // Missing parameter.
+        let removed = snap.model.remove(0);
+        assert!(trainer.restore(&snap).is_err());
+        snap.model.insert(0, removed);
+
+        // Wrong shape.
+        let (name, _) = snap.model[0].clone();
+        snap.model[0] = (name, Tensor::zeros(&[1, 2, 3]));
+        assert!(trainer.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn guarded_step_rejection_leaves_iteration_unchanged() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = TrainConfig::micro(4);
+        let model = Yolov4::new(YoloConfig::micro(10), 3);
+        let mut trainer = Trainer::new(&model, &ds, &split.train, &cfg);
+        let before = trainer.snapshot();
+        let (record, applied) = trainer.try_step(|_| {}, |_| false);
+        assert!(!applied);
+        assert!(record.loss.total.is_finite());
+        assert_eq!(trainer.iteration(), 0);
+        // Learned weights untouched by the rejected step. (BatchNorm running
+        // stats do move during the forward pass — that's why the runtime
+        // always follows a rejection with a restore.)
+        let after = trainer.snapshot();
+        for ((n1, t1), (_, t2)) in before.model.iter().zip(&after.model) {
+            if n1.contains("running_") {
+                continue;
+            }
+            assert_eq!(t1.as_slice(), t2.as_slice(), "{n1} changed despite rejection");
+        }
+        // And a restore rewinds even the running stats.
+        trainer.restore(&before).unwrap();
+        let rewound = trainer.snapshot();
+        for ((n1, t1), (_, t2)) in before.model.iter().zip(&rewound.model) {
+            assert_eq!(t1.as_slice(), t2.as_slice(), "{n1} not rewound by restore");
+        }
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification: release build, all tests, and lint-clean clippy.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== verify OK =="

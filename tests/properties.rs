@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) on the workspace's core invariants,
 //! exercised through the public API.
 
-use platter::dataset::{from_yolo_txt, to_yolo_txt, Annotation};
+use platter::dataset::{from_yolo_txt, to_yolo_txt, Annotation, AnnotationError};
 use platter::imaging::NormBox;
 use platter::metrics::{evaluate, match_detections, PredBox};
 use platter::tensor::{broadcast_shapes, Graph, Tensor};
@@ -60,6 +60,57 @@ proptest! {
             prop_assert!((a.bbox.cx - b.bbox.cx).abs() < 1e-4);
             prop_assert!((a.bbox.h - b.bbox.h).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn yolo_txt_parser_never_panics(text in "[ -~\n\t]{0,200}") {
+        // Arbitrary printable garbage must produce Ok or a structured error,
+        // never a panic.
+        let _ = from_yolo_txt(&text);
+    }
+
+    #[test]
+    fn yolo_txt_rejects_non_finite_fields(
+        prefix in proptest::collection::vec((0usize..20, norm_box()), 0..3),
+        field in 0usize..4,
+        poison in 0usize..3,
+    ) {
+        // A valid prefix followed by one line with a NaN/inf coordinate:
+        // the parser reports NonFinite at exactly that line.
+        let anns: Vec<Annotation> = prefix
+            .iter()
+            .filter_map(|(c, b)| b.clipped().map(|bb| Annotation { class: *c, bbox: bb }))
+            .collect();
+        let mut txt = to_yolo_txt(&anns);
+        let mut fields = ["0.5", "0.5", "0.2", "0.2"];
+        fields[field] = ["NaN", "inf", "-inf"][poison];
+        txt.push_str(&format!("0 {}\n", fields.join(" ")));
+        let line = anns.len() + 1;
+        let name = ["cx", "cy", "w", "h"][field];
+        prop_assert_eq!(
+            from_yolo_txt(&txt),
+            Err(AnnotationError::NonFinite { line, field: name })
+        );
+    }
+
+    #[test]
+    fn yolo_txt_rejects_out_of_range_fields(
+        field in 0usize..4,
+        value in prop_oneof![-100.0f32..-0.01, 1.01f32..100.0],
+    ) {
+        let mut fields = ["0.5", "0.5", "0.2", "0.2"].map(String::from);
+        fields[field] = format!("{value}");
+        let txt = format!("3 {}", fields.join(" "));
+        let err = from_yolo_txt(&txt).unwrap_err();
+        prop_assert!(matches!(err, AnnotationError::OutOfRange { line: 1, .. }), "got {err}");
+    }
+
+    #[test]
+    fn yolo_txt_rejects_wrong_field_counts(n in 1usize..10) {
+        prop_assume!(n != 5);
+        let line = vec!["0.1"; n].join(" ");
+        let err = from_yolo_txt(&line).unwrap_err();
+        prop_assert_eq!(err, AnnotationError::FieldCount { line: 1, got: n });
     }
 
     // --- NMS ---------------------------------------------------------------

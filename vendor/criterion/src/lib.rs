@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and type surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`) over a simple wall-clock measurement:
+//! a short warm-up sizes the batch, then `sample_size` timed batches are
+//! taken and min/mean reported. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10, warm_up: Duration::from_millis(50), target_sample: Duration::from_millis(40) }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Approximate duration of one timed sample.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.target_sample = (d / self.sample_size.max(1) as u32).max(Duration::from_millis(1));
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut body: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &name.to_string(), &mut body);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named benchmark group (prefixes its members' names).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut body);
+        self
+    }
+
+    /// Run one parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    /// Finish the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Timing handle passed to benchmark bodies.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    results_ns: Vec<f64>,
+    warm_up: Duration,
+    target_sample: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; the result is reported by the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, counting iterations
+        // to size one timed batch.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.target_sample.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        self.iters_per_sample = batch;
+
+        self.results_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.results_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(criterion: &Criterion, label: &str, body: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_per_sample: 0,
+        samples: criterion.sample_size,
+        results_ns: Vec::new(),
+        warm_up: criterion.warm_up,
+        target_sample: criterion.target_sample,
+    };
+    body(&mut bencher);
+    if bencher.results_ns.is_empty() {
+        println!("{label:<40} (no measurement)");
+        return;
+    }
+    let min = bencher.results_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = bencher.results_ns.iter().sum::<f64>() / bencher.results_ns.len() as f64;
+    println!(
+        "{label:<40} min {:>12}   mean {:>12}   ({} samples × {} iters)",
+        human(min),
+        human(mean),
+        bencher.results_ns.len(),
+        bencher.iters_per_sample
+    );
+}
+
+/// Group bench functions under a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_measures() {
+        let mut criterion = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        quick(&mut criterion);
+        criterion.bench_function("top_level", |b| b.iter(|| std::hint::black_box(2u64.pow(10))));
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1)).measurement_time(Duration::from_millis(2));
+        targets = quick
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo();
+    }
+}

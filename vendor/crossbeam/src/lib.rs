@@ -1,0 +1,138 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! [`scope`] wraps `std::thread::scope` behind crossbeam's
+//! `Result`-returning signature (a panicking worker surfaces as `Err`
+//! instead of aborting), and [`channel::bounded`] wraps
+//! `std::sync::mpsc::sync_channel`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle for spawning threads inside a [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives the scope again so
+    /// workers can spawn sub-workers (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Run `f` with a thread scope; all spawned workers are joined before this
+/// returns. A panic in any worker (or in `f`) is captured as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+/// Bounded MPSC channels (the `crossbeam::channel` subset the workspace uses).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has hung up; carries the
+    /// unsent message.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when every sender has hung up.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a bounded channel; `send` blocks while full.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or the receiver is gone).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives (or every sender is gone).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create a channel holding at most `capacity` in-flight messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_workers_and_collects_results() {
+        let data = [1u64, 2, 3, 4];
+        let mut partials = vec![0u64; 2];
+        scope(|s| {
+            let (lo, hi) = partials.split_at_mut(1);
+            let (a, b) = data.split_at(2);
+            s.spawn(move |_| lo[0] = a.iter().sum());
+            s.spawn(move |_| hi[0] = b.iter().sum());
+        })
+        .unwrap();
+        assert_eq!(partials, vec![3, 7]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_delivers_in_order() {
+        let (tx, rx) = channel::bounded(2);
+        scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+            assert_eq!(rx.recv(), Err(channel::RecvError));
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,492 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: range and tuple
+//! strategies, `prop_map`, `prop_oneof!`, `prop_assume!`, simple
+//! `[class]{lo,hi}` string patterns, `collection::vec`, the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, and the
+//! `prop_assert*` macros. Cases are sampled deterministically (seeded from
+//! the test name and case index), so failures reproduce; there is no
+//! shrinking — the failing inputs are printed instead.
+
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange, SampleUniform, SeedableRng};
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// RNG handed to strategies; deterministic per (test name, case index).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeded from the test identity so every run replays the same cases.
+    pub fn deterministic(test_name: &str, case: u32) -> TestRng {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        case.hash(&mut hasher);
+        TestRng { inner: StdRng::seed_from_u64(hasher.finish()) }
+    }
+
+    /// Uniform sample from a range.
+    pub fn sample_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.inner.random_range(range)
+    }
+}
+
+/// A failed property assertion.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.sample_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.sample_range(self.clone())
+    }
+}
+
+/// Constant strategy: always yields clones of the value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Union of same-typed strategies; each draw picks one uniformly.
+/// Built by [`prop_oneof!`].
+pub struct Union<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Union<T> {
+    /// Build from boxed alternatives (must be non-empty).
+    pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        Union(alternatives)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.sample_range(0..self.0.len());
+        self.0[pick].generate(rng)
+    }
+}
+
+#[doc(hidden)]
+pub fn __box_strategy<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Choose uniformly between same-typed strategies (no per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__box_strategy($strat)),+])
+    };
+}
+
+/// Skip the current case when an assumption does not hold. The stub counts
+/// the skipped case as passed rather than resampling.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Minimal string-pattern strategy: `&str` patterns of the form
+/// `[class]{lo,hi}` (or `{n}`), where the class lists literal characters,
+/// `a-z` ranges, and `\n`/`\t`/`\r`/`\\` escapes — the subset of
+/// proptest's regex strings this workspace uses.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_string_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+        let len = rng.sample_range(lo..=hi);
+        (0..len).map(|_| chars[rng.sample_range(0..chars.len())]).collect()
+    }
+}
+
+fn parse_string_pattern(pattern: &str) -> Result<(Vec<char>, usize, usize), String> {
+    let rest = pattern.strip_prefix('[').ok_or("expected leading [class]")?;
+    let mut chars = Vec::new();
+    let mut iter = rest.chars().peekable();
+    let mut closed = false;
+    while let Some(c) = iter.next() {
+        let resolved = match c {
+            ']' => {
+                closed = true;
+                break;
+            }
+            '\\' => match iter.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some('\\') => '\\',
+                Some(']') => ']',
+                other => return Err(format!("unsupported escape \\{other:?}")),
+            },
+            c => c,
+        };
+        // `a-z` range (a trailing `-` is a literal).
+        if iter.peek() == Some(&'-') {
+            let mut ahead = iter.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&end) if end != ']' => {
+                    iter = ahead;
+                    iter.next();
+                    if (end as u32) < (resolved as u32) {
+                        return Err(format!("inverted range {resolved}-{end}"));
+                    }
+                    chars.extend((resolved..=end).collect::<Vec<char>>());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chars.push(resolved);
+    }
+    if !closed {
+        return Err("unterminated [class]".into());
+    }
+    if chars.is_empty() {
+        return Err("empty character class".into());
+    }
+    let counts: String = iter.collect();
+    let counts = counts
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("expected trailing {lo,hi}")?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (
+            lo.parse().map_err(|_| "bad lower bound")?,
+            hi.parse().map_err(|_| "bad upper bound")?,
+        ),
+        None => {
+            let n: usize = counts.parse().map_err(|_| "bad repeat count")?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return Err("empty repeat range".into());
+    }
+    Ok((chars, lo, hi))
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Acceptable vector-length specifications: a fixed size, a half-open
+    /// range `lo..hi`, or an inclusive range `lo..=hi`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Generate vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.sample_range(self.len.lo..=self.len.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the `proptest!` tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union};
+}
+
+/// Assert a condition inside a property; failure reports the expression and
+/// aborts only the current case closure via `return Err(..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` running `cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:pat in $strat:expr ),* $(,)? ) $body:block )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name), case);
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!("property `{}` failed at case {}/{}:\n{}", stringify!($name), case + 1, config.cases, err);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, f32)> {
+        (1usize..10, 0.0f32..1.0).prop_map(|(a, b)| (a * 2, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(v in collection::vec(pair(), 0..5), x in 0i32..100) {
+            prop_assert!(v.len() < 5);
+            for (a, b) in &v {
+                prop_assert_eq!(a % 2, 0);
+                prop_assert!((0.0..1.0).contains(b), "b out of range: {}", b);
+            }
+            prop_assert_ne!(x, 100);
+        }
+
+        #[test]
+        fn string_patterns_oneof_and_assume(
+            s in "[a-c\\n]{0,8}",
+            v in prop_oneof![0.0f32..1.0, 5.0f32..6.0],
+            n in 0usize..10,
+        ) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '\n')), "bad char in {:?}", s);
+            prop_assert!((0.0..1.0).contains(&v) || (5.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        let sa: Vec<usize> = (0..10).map(|_| (0usize..100).generate(&mut a)).collect();
+        let sb: Vec<usize> = (0..10).map(|_| (0usize..100).generate(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

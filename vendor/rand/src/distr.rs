@@ -1,0 +1,67 @@
+//! Distributions (the `rand::distr` subset the workspace uses).
+
+use crate::{Rng, SampleUniform};
+
+/// Error constructing a distribution (e.g. an empty uniform range).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Build a uniform distribution; errors if the range is empty.
+    pub fn new(lo: T, hi: T) -> Result<Uniform<T>, Error> {
+        if lo < hi {
+            Ok(Uniform { lo, hi })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(self.lo, self.hi, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_samples_in_range() {
+        let dist = Uniform::new(-2.0f32, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = dist.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_range_is_error() {
+        assert!(Uniform::new(1.0f32, 1.0).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! minimal random-number API it actually uses: a deterministic seedable
+//! generator ([`rngs::StdRng`], xoshiro256** seeded via SplitMix64), the
+//! [`Rng`] core trait, the [`RngExt`] convenience methods
+//! (`random_range`/`random_bool`), and a tiny [`distr`] module with
+//! [`distr::Uniform`].
+//!
+//! The generator is *not* the upstream ChaCha12 `StdRng`; the workspace only
+//! relies on determinism-given-a-seed, never on a specific stream. As a
+//! deliberate extension for crash-safe training checkpoints, `StdRng`
+//! exposes its raw state ([`rngs::StdRng::state`] /
+//! [`rngs::StdRng::from_state`]) so data loaders can be snapshotted and
+//! resumed mid-stream.
+
+pub mod distr;
+
+/// Core generator trait: everything derives from `next_u64`.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (the subset of upstream's trait the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A uniform f64 in `[0, 1)` from 53 random bits.
+#[inline]
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi)`. Panics if `lo >= hi`.
+    fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample in `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty sample range");
+                // Resample on the (rare) rounding that lands exactly on `hi`,
+                // keeping the half-open contract.
+                loop {
+                    let v = (lo as f64 + unit_f64(rng) * (hi as f64 - lo as f64)) as $t;
+                    if v >= lo && v < hi {
+                        return v;
+                    }
+                }
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let v = lo as f64 + unit_f64(rng) * (hi as f64 - lo as f64);
+                (v as $t).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range-shaped arguments accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from this range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform sample from `range` (`lo..hi` or `lo..=hi`).
+    fn random_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded via SplitMix64.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl StdRng {
+        /// Raw generator state — stable across process restarts, used by the
+        /// training runtime to checkpoint and resume data-loader streams.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator at an exact saved state.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            // An all-zero state would lock xoshiro at zero forever; it can
+            // only arise from a corrupted checkpoint, so remap it.
+            if s == [0; 4] {
+                return StdRng::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u = rng.random_range(0..7usize);
+            assert!(u < 7);
+            let i = rng.random_range(0..=4usize);
+            assert!(i <= 4);
+            let f = rng.random_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let n = rng.random_range(-3i32..3);
+            assert!((-3..3).contains(&n));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2000..4000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[rng.random_range(0..8usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "skewed buckets {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually derives on — non-generic structs (named,
+//! tuple, unit) and enums with unit variants — using only the compiler's
+//! `proc_macro` API (no `syn`/`quote`, which cannot be fetched offline).
+//! Serialize emits a `serde::Value` tree; Deserialize emits the marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { A, B }` — variant names (unit variants only).
+    UnitEnum(Vec<String>),
+}
+
+/// Skip any `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility marker (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse the field names of a named-struct body.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else { break };
+        fields.push(name.to_string());
+        // Skip to the comma that ends this field, ignoring commas nested in
+        // generic argument lists (`<...>`), which are puncts, not groups.
+        let mut angle_depth = 0i32;
+        i += 1;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple-struct body (top-level commas + 1).
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    count - usize::from(trailing_comma)
+}
+
+/// Parse enum variants; `Err` if any variant carries fields.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!("variant `{name}` has fields; the vendored serde derive supports unit variants only"));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant expression up to the comma.
+                while i < body.len() && !matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+/// Parse a derive input into `(type name, shape)`.
+fn parse_input(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}` is generic; the vendored serde derive supports non-generic types only"));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::NamedStruct(parse_named_fields(&body))))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::TupleStruct(count_tuple_fields(&body))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Shape::UnitEnum(parse_unit_variants(&body)?)))
+            }
+            other => Err(format!("unsupported enum body {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error")
+}
+
+/// `#[derive(Serialize)]` — emit a `serde::Serialize` value-tree impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Object(vec![])".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — emit the marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_json`: serializes the vendored `serde`
+//! [`Value`] tree to JSON text. Non-finite floats render as `null`
+//! (upstream errors instead; the workspace's records treat NaN as missing).
+
+pub use serde::Value;
+
+/// Serialization error (kept for upstream API compatibility; the value-tree
+/// path cannot currently fail).
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_float(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        // Keep integral floats readable and round-trippable as numbers.
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize, pretty: bool) {
+    let pad = if pretty { "  ".repeat(indent + 1) } else { String::new() };
+    let close_pad = if pretty { "  ".repeat(indent) } else { String::new() };
+    let nl = if pretty { "\n" } else { "" };
+    let sep = if pretty { ": " } else { ":" };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(v) => out.push_str(&format_float(*v)),
+        Value::Str(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(out, key);
+                out.push_str(sep);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, false);
+    Ok(out)
+}
+
+/// Serialize to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, true);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("a\"b".into())),
+            ("xs".into(), Value::Array(vec![Value::Int(-1), Value::Float(0.5), Value::Null])),
+        ]);
+        let mut out = String::new();
+        write_value(&mut out, &v, 0, false);
+        assert_eq!(out, r#"{"name":"a\"b","xs":[-1,0.5,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::UInt(1)]))]);
+        let mut out = String::new();
+        write_value(&mut out, &v, 0, true);
+        assert_eq!(out, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn to_string_uses_serialize() {
+        assert_eq!(to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string(&f32::NAN).unwrap(), "null");
+        assert_eq!(to_string(&2.0f32).unwrap(), "2.0");
+    }
+}
