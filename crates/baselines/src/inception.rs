@@ -4,7 +4,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Var};
+use platter_tensor::{Graph, Param, Planner, ValueId, Var};
 use rand::Rng;
 
 /// One inception block: four parallel branches concatenated on channels.
@@ -46,6 +46,19 @@ impl InceptionBlock {
         let yp = g.maxpool2d(x, 3, 1, 1);
         let yp = self.pool_proj.forward(g, yp, training);
         g.concat(&[y1, y3, y5, yp], 1)
+    }
+
+    /// Record the block into an inference plan.
+    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let y1 = self.b1.compile(p, x);
+        let y3 = self.b3_reduce.compile(p, x);
+        let y3 = self.b3.compile(p, y3);
+        let y5 = self.b5_reduce.compile(p, x);
+        let y5 = self.b5a.compile(p, y5);
+        let y5 = self.b5b.compile(p, y5);
+        let yp = p.maxpool2d(x, 3, 1, 1);
+        let yp = self.pool_proj.compile(p, yp);
+        p.concat_channels(&[y1, y3, y5, yp])
     }
 
     /// Trainable parameters.
@@ -100,6 +113,19 @@ impl InceptionBackbone {
         let f16 = self.inc2.forward(g, h, training);
         let h = self.down3.forward(g, f16, training);
         let f32_ = self.inc3.forward(g, h, training);
+        [f8, f16, f32_]
+    }
+
+    /// Record the backbone into an inference plan, mirroring `forward`.
+    pub fn compile(&self, p: &mut Planner, x: ValueId) -> [ValueId; 3] {
+        let h = self.stem1.compile(p, x);
+        let h = self.stem2.compile(p, h);
+        let h = self.down1.compile(p, h);
+        let f8 = self.inc1.compile(p, h);
+        let h = self.down2.compile(p, f8);
+        let f16 = self.inc2.compile(p, h);
+        let h = self.down3.compile(p, f16);
+        let f32_ = self.inc3.compile(p, h);
         [f8, f16, f32_]
     }
 

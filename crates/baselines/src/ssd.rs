@@ -3,11 +3,13 @@
 //! softmax classification with hard negative mining, smooth-L1 offset
 //! regression, trained on the same data as YOLOv4.
 
+use std::cell::RefCell;
+
 use platter_dataset::{Annotation, BatchLoader, LoaderConfig, SyntheticDataset};
 use platter_imaging::NormBox;
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{clip_global_norm, Graph, LrSchedule, Param, Sgd, Tensor, Var};
+use platter_tensor::{clip_global_norm, Executor, Graph, LrSchedule, Param, Planner, Sgd, Tensor, ValueId, Var};
 use platter_yolo::{nms, Detection, NmsKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,6 +65,9 @@ pub struct SsdDetector {
     heads: Vec<ConvBlock>,
     /// All priors in cell-major order matching the flattened heads.
     pub priors: Vec<NormBox>,
+    /// Planned inference engine, compiled lazily on the first
+    /// `detect_batch` after training (see [`SsdDetector::recompile`]).
+    engine: RefCell<Option<Executor>>,
 }
 
 impl SsdDetector {
@@ -87,7 +92,7 @@ impl SsdDetector {
             })
             .collect();
         let priors = generate_priors(&config.specs);
-        SsdDetector { config, backbone, heads, priors }
+        SsdDetector { config, backbone, heads, priors, engine: RefCell::new(None) }
     }
 
     /// Forward to raw per-scale logits `[n, k·(4+c+1), g, g]`.
@@ -114,18 +119,35 @@ impl SsdDetector {
         self.parameters().iter().map(|p| p.numel()).sum()
     }
 
+    /// Compile backbone + heads into a tape-free plan over the current
+    /// weights.
+    fn compile_inference(&self) -> Executor {
+        let mut p = Planner::new();
+        let s = self.config.input_size;
+        let x = p.input(&[3, s, s]);
+        let feats = self.backbone.compile(&mut p, x);
+        let outs: Vec<ValueId> =
+            feats.iter().zip(&self.heads).map(|(&f, head)| head.compile(&mut p, f)).collect();
+        Executor::new(p.finish(&outs))
+    }
+
+    /// Rebuild the planned engine from current weights; only needed when
+    /// the model was trained again after a `detect_batch` call.
+    pub fn recompile(&self) {
+        *self.engine.borrow_mut() = Some(self.compile_inference());
+    }
+
     /// Detect over a CHW batch tensor; returns per-image detections.
     pub fn detect_batch(&self, x: &Tensor, conf_thresh: f32, nms_iou: f32) -> Vec<Vec<Detection>> {
         let n = x.shape()[0];
-        let mut g = Graph::inference();
-        let xv = g.leaf(x.clone());
-        let heads = self.forward(&mut g, xv, false);
+        let mut slot = self.engine.borrow_mut();
+        let exec = slot.get_or_insert_with(|| self.compile_inference());
+        let heads = exec.run(&[x]);
         let c = self.config.num_classes;
         let depth = self.config.depth();
         let mut out = vec![Vec::new(); n];
         let mut prior_base = 0usize;
-        for (si, &hv) in heads.iter().enumerate() {
-            let t = g.value(hv);
+        for (si, t) in heads.iter().enumerate() {
             let gsz = self.config.specs[si].grid;
             let plane = gsz * gsz;
             let data = t.as_slice();

@@ -18,6 +18,15 @@ fn bench_forward(c: &mut Criterion) {
     });
 }
 
+fn bench_compiled_forward(c: &mut Criterion) {
+    let model = Yolov4::new(YoloConfig::micro(10), 1);
+    let mut engine = model.compile_inference();
+    let x = Tensor::zeros(&[1, 3, 64, 64]);
+    c.bench_function("yolov4_micro_forward_compiled", |b| {
+        b.iter(|| black_box(engine.run(&x).len()));
+    });
+}
+
 fn bench_decode(c: &mut Criterion) {
     let model = Yolov4::new(YoloConfig::micro(10), 2);
     let heads = model.infer(&Tensor::zeros(&[1, 3, 64, 64]));
@@ -58,6 +67,6 @@ fn bench_nms(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_forward, bench_decode, bench_nms
+    targets = bench_forward, bench_compiled_forward, bench_decode, bench_nms
 }
 criterion_main!(benches);

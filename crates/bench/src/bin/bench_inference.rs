@@ -1,0 +1,107 @@
+//! Eager tape vs planned engine: wall-clock inference comparison.
+//!
+//! Runs the micro-profile YOLOv4 forward pass through both paths —
+//! `Yolov4::infer` (fresh `Graph` per call) and the compiled engine from
+//! `Yolov4::compile_inference` (BN folded, static arena) — at batch 1 and
+//! batch 8, and writes medians plus plan statistics to
+//! `results/BENCH_inference.json`.
+//!
+//! Scale flags: `--smoke` (few reps, CI-sized) / `--extended`; default is
+//! the standard rep count.
+
+use std::time::Instant;
+
+use platter_bench::{write_json, RunScale};
+use platter_tensor::Tensor;
+use platter_yolo::{YoloConfig, Yolov4};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BatchResult {
+    batch: usize,
+    eager_ms: f64,
+    compiled_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    config: &'static str,
+    input_size: usize,
+    reps: usize,
+    plan_values: usize,
+    plan_slots: usize,
+    peak_arena_bytes: usize,
+    results: Vec<BatchResult>,
+}
+
+/// Median of `reps` timed runs of `f`, in milliseconds.
+fn median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let reps = match scale {
+        RunScale::Smoke => 5,
+        RunScale::Standard => 30,
+        RunScale::Extended => 60,
+    };
+
+    let config = YoloConfig::micro(10);
+    let size = config.input_size;
+    let model = Yolov4::new(config, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut engine = model.compile_inference();
+    let mut results = Vec::new();
+    let mut peak_arena = 0usize;
+
+    for batch in [1usize, 8] {
+        let x = Tensor::rand_uniform(&[batch, 3, size, size], 0.0, 1.0, &mut rng);
+        // Warm-up: first compiled call at a batch size grows the arena.
+        let _ = model.infer(&x);
+        let _ = engine.run(&x);
+
+        let eager_ms = median_ms(reps, || {
+            let _ = model.infer(&x);
+        });
+        let compiled_ms = median_ms(reps, || {
+            let _ = engine.run(&x);
+        });
+        peak_arena = peak_arena.max(engine.arena_bytes());
+
+        let speedup = eager_ms / compiled_ms;
+        println!(
+            "batch {batch}: eager {eager_ms:8.2} ms   compiled {compiled_ms:8.2} ms   speedup {speedup:.2}x"
+        );
+        results.push(BatchResult { batch, eager_ms, compiled_ms, speedup });
+    }
+
+    let report = BenchReport {
+        config: "micro",
+        input_size: size,
+        reps,
+        plan_values: engine.plan().num_values(),
+        plan_slots: engine.plan().num_slots(),
+        peak_arena_bytes: peak_arena,
+        results,
+    };
+    println!(
+        "plan: {} values in {} slots, peak arena {:.1} KiB",
+        report.plan_values,
+        report.plan_slots,
+        report.peak_arena_bytes as f64 / 1024.0
+    );
+    write_json("BENCH_inference", &report);
+}

@@ -1,9 +1,11 @@
 //! Single-precision matrix multiplication.
 //!
 //! Convolution (via im2col) and the linear layers all bottom out here, so
-//! this is the hottest code in the workspace. The kernel is a cache-blocked
-//! i-k-j loop with an unrolled inner accumulation; large outputs are split
-//! into row bands and dispatched across threads with `crossbeam::scope`.
+//! this is the hottest code in the workspace. The kernel accumulates
+//! `I_TILE`×`J_TILE` register tiles of C over the shared dimension; large
+//! outputs are split into row bands and dispatched across threads with
+//! `crossbeam::scope`. [`gemm_bias_act`] is the planned executor's variant
+//! with the conv bias + activation fused into the tile writeback.
 
 use crate::tensor::Tensor;
 
@@ -80,21 +82,162 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     .expect("gemm worker panicked");
 }
 
+/// Column-tile width of the register microkernel (4 SSE vectors).
+const J_TILE: usize = 16;
+/// Row-tile height of the register microkernel.
+const I_TILE: usize = 4;
+
+/// `C = act(bias[i] + A · B)` written into `c` (previous contents ignored):
+/// the fused conv epilogue of the planned executor. Row `i` of C takes bias
+/// `bias[i]`; `act` is applied to every finished element while the tile is
+/// still cache-hot. Compared to prefill + `gemm_into` + a separate activation
+/// pass this touches C once instead of five times.
+#[allow(clippy::too_many_arguments)] // flat GEMM geometry plus the epilogue
+pub fn gemm_bias_act<F: Fn(f32) -> f32 + Copy>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bias: &[f32],
+    act: F,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(bias.len(), m);
+    let mut i = 0;
+    while i < m {
+        let ib = I_TILE.min(m - i);
+        let mut j = 0;
+        while j + J_TILE <= n {
+            match ib {
+                4 => fused_tile::<4, F>(a, b, c, k, n, i, j, bias, act),
+                3 => fused_tile::<3, F>(a, b, c, k, n, i, j, bias, act),
+                2 => fused_tile::<2, F>(a, b, c, k, n, i, j, bias, act),
+                _ => fused_tile::<1, F>(a, b, c, k, n, i, j, bias, act),
+            }
+            j += J_TILE;
+        }
+        // Scalar tail for the last n % J_TILE columns.
+        for ii in 0..ib {
+            let arow = &a[(i + ii) * k..(i + ii + 1) * k];
+            for jj in j..n {
+                let mut acc = bias[i + ii];
+                for (p, &av) in arow.iter().enumerate() {
+                    acc += av * b[p * n + jj];
+                }
+                c[(i + ii) * n + jj] = act(acc);
+            }
+        }
+        i += ib;
+    }
+}
+
+/// Fused-epilogue variant of [`tile_kernel`]: accumulators start at the row
+/// bias and the activation is applied at writeback.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // flat GEMM geometry plus the epilogue
+#[allow(clippy::needless_range_loop)] // p walks A rows and B rows in lockstep
+fn fused_tile<const IB: usize, F: Fn(f32) -> f32 + Copy>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    i0: usize,
+    j: usize,
+    bias: &[f32],
+    act: F,
+) {
+    let arows: [&[f32]; IB] = std::array::from_fn(|ii| &a[(i0 + ii) * k..(i0 + ii) * k + k]);
+    let mut acc = [[0.0f32; J_TILE]; IB];
+    for (ii, accr) in acc.iter_mut().enumerate() {
+        accr.fill(bias[i0 + ii]);
+    }
+    for p in 0..k {
+        let off = p * n + j;
+        let bt: &[f32; J_TILE] = b[off..off + J_TILE].try_into().unwrap();
+        for ii in 0..IB {
+            let av = arows[ii][p];
+            for t in 0..J_TILE {
+                acc[ii][t] += av * bt[t];
+            }
+        }
+    }
+    for (ii, accr) in acc.iter().enumerate() {
+        let base = (i0 + ii) * n + j;
+        for (cv, &av) in c[base..base + J_TILE].iter_mut().zip(accr) {
+            *cv = act(av);
+        }
+    }
+}
+
 /// Compute `band` rows of C starting at `row0`. `c` addresses only the band.
+///
+/// Tiles the output into `I_TILE`×`J_TILE` register blocks so each B row is
+/// streamed once per `I_TILE` output rows and each C element is touched once
+/// per tile, instead of the naive i-k-j order that re-reads and re-writes the
+/// whole C row on every k step.
 #[allow(clippy::too_many_arguments)] // flat GEMM geometry: strides and band bounds
 fn serial_band(a: &[f32], b: &[f32], c: &mut [f32], _m: usize, k: usize, n: usize, row0: usize, band: usize) {
-    for i in 0..band {
-        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let mut i = 0;
+    while i < band {
+        let ib = I_TILE.min(band - i);
+        let mut j = 0;
+        while j + J_TILE <= n {
+            match ib {
+                4 => tile_kernel::<4>(a, b, c, k, n, row0 + i, i, j),
+                3 => tile_kernel::<3>(a, b, c, k, n, row0 + i, i, j),
+                2 => tile_kernel::<2>(a, b, c, k, n, row0 + i, i, j),
+                _ => tile_kernel::<1>(a, b, c, k, n, row0 + i, i, j),
             }
-            let brow = &b[p * n..(p + 1) * n];
-            // The compiler vectorises this zip in release builds.
-            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *cv += av * bv;
+            j += J_TILE;
+        }
+        // Scalar tail for the last n % J_TILE columns.
+        if j < n {
+            for ii in 0..ib {
+                let arow = &a[(row0 + i + ii) * k..(row0 + i + ii + 1) * k];
+                let crow = &mut c[(i + ii) * n..(i + ii + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for jj in j..n {
+                        crow[jj] += av * brow[jj];
+                    }
+                }
             }
+        }
+        i += ib;
+    }
+}
+
+/// Accumulate an `IB`×`J_TILE` block of C in registers: C[i0.., j..j+16] +=
+/// A[i0.., :] · B[:, j..j+16]. `ai0` is the absolute A row, `ci0` the
+/// band-local C row.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // flat GEMM geometry: strides and tile origin
+#[allow(clippy::needless_range_loop)] // p walks A rows and B rows in lockstep
+fn tile_kernel<const IB: usize>(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize, ai0: usize, ci0: usize, j: usize) {
+    let arows: [&[f32]; IB] = std::array::from_fn(|ii| &a[(ai0 + ii) * k..(ai0 + ii) * k + k]);
+    let mut acc = [[0.0f32; J_TILE]; IB];
+    for p in 0..k {
+        let off = p * n + j;
+        let bt: &[f32; J_TILE] = b[off..off + J_TILE].try_into().unwrap();
+        for ii in 0..IB {
+            let av = arows[ii][p];
+            for t in 0..J_TILE {
+                acc[ii][t] += av * bt[t];
+            }
+        }
+    }
+    for (ii, accr) in acc.iter().enumerate() {
+        let base = (ci0 + ii) * n + j;
+        for (cv, &av) in c[base..base + J_TILE].iter_mut().zip(accr) {
+            *cv += av;
         }
     }
 }

@@ -127,16 +127,24 @@ impl Graph {
         self.grads[loss.0] = Some(Tensor::ones(self.value(loss).shape()));
 
         for id in (0..=loss.0).rev() {
-            let Some(gout) = self.grads[id].clone() else { continue };
+            if self.grads[id].is_none() {
+                continue;
+            }
             let Some(back) = &self.nodes[id].backward else { continue };
-            for (pid, contrib) in back(&gout) {
+            // Split the gradient store at `id`: closures only ever emit
+            // contributions for earlier nodes, so the output gradient can be
+            // borrowed in place while predecessors accumulate — no O(numel)
+            // clone per node.
+            let (earlier, rest) = self.grads.split_at_mut(id);
+            let gout = rest[0].as_ref().expect("checked above");
+            for (pid, contrib) in back(gout) {
                 debug_assert!(pid < id, "backward edge must point to an earlier node ({pid} < {id})");
                 debug_assert_eq!(
                     contrib.shape(),
                     self.nodes[pid].value.shape(),
                     "gradient shape mismatch for node {pid}"
                 );
-                match &mut self.grads[pid] {
+                match &mut earlier[pid] {
                     Some(acc) => acc.add_assign(&contrib),
                     slot @ None => *slot = Some(contrib),
                 }

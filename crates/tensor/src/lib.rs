@@ -42,6 +42,7 @@ mod graph;
 pub mod nn;
 pub mod ops;
 mod param;
+pub mod plan;
 pub mod optim;
 pub mod serialize;
 mod shape;
@@ -57,5 +58,6 @@ pub use shape::{broadcast_shapes, numel, strides_for};
 pub use tensor::Tensor;
 
 pub use ops::Conv2dSpec;
+pub use plan::{Executor, Plan, Planner, ValueId};
 
 pub use crate::ops::softmax_rows;

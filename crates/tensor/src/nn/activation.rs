@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{Graph, Var};
+use crate::ops::elementwise::{mish_f, sigmoid_f, LEAKY_SLOPE};
 
 /// The activations used across YOLOv4 and the baselines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,6 +34,26 @@ impl Activation {
             Activation::Sigmoid => g.sigmoid(x),
         }
     }
+
+    /// Scalar evaluation, used by the planned executor's fused output
+    /// loops. Must stay numerically identical to the graph ops above.
+    #[inline]
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Leaky => {
+                if x > 0.0 {
+                    x
+                } else {
+                    LEAKY_SLOPE * x
+                }
+            }
+            Activation::Mish => mish_f(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Silu => x * sigmoid_f(x),
+            Activation::Sigmoid => sigmoid_f(x),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -61,5 +82,25 @@ mod tests {
         let s = Activation::Sigmoid.apply(&mut g, x);
         let v = g.value(s).as_slice();
         assert!(v[0] > 0.0 && v[0] < 0.5 && v[1] > 0.5 && v[1] < 1.0);
+    }
+
+    #[test]
+    fn eval_matches_graph_apply() {
+        let xs = [-25.0f32, -3.0, -0.5, 0.0, 0.7, 4.0, 25.0];
+        for act in [
+            Activation::Linear,
+            Activation::Leaky,
+            Activation::Mish,
+            Activation::Relu,
+            Activation::Silu,
+            Activation::Sigmoid,
+        ] {
+            let mut g = Graph::new();
+            let x = g.leaf(Tensor::from_vec(xs.to_vec(), &[xs.len()]));
+            let y = act.apply(&mut g, x);
+            for (&xi, &yi) in xs.iter().zip(g.value(y).as_slice()) {
+                assert_eq!(act.eval(xi), yi, "{act:?}({xi})");
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::graph::{Graph, Var};
 use crate::param::Param;
+use crate::plan::{Planner, ValueId};
 use crate::tensor::Tensor;
 
 /// Batch norm over the channel axis of NCHW tensors.
@@ -78,6 +79,38 @@ impl BatchNorm2d {
         let xhat = g.div(centered, denom);
         let scaled = g.mul(xhat, gamma);
         g.add(scaled, beta)
+    }
+
+    /// The per-channel affine equivalent to inference-mode batch norm:
+    /// `scale[c] = γ[c]/√(var[c]+ε)`, `shift[c] = β[c] − mean[c]·scale[c]`,
+    /// so `bn(x) = x·scale + shift` exactly (same ε placement as `forward`).
+    pub fn folded_scale_shift(&self) -> (Vec<f32>, Vec<f32>) {
+        let gamma = self.gamma.value();
+        let beta = self.beta.value();
+        let mean = self.running_mean.value();
+        let var = self.running_var.value();
+        let scale: Vec<f32> = gamma
+            .as_slice()
+            .iter()
+            .zip(var.as_slice())
+            .map(|(&g, &v)| g / (v + self.eps).sqrt())
+            .collect();
+        let shift: Vec<f32> = beta
+            .as_slice()
+            .iter()
+            .zip(mean.as_slice())
+            .zip(&scale)
+            .map(|((&b, &m), &s)| b - m * s)
+            .collect();
+        (scale, shift)
+    }
+
+    /// Record inference-mode batch norm into a plan. When the input was
+    /// produced by an exclusive, activation-free conv the planner folds the
+    /// affine into its weights and this op vanishes.
+    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let (scale, shift) = self.folded_scale_shift();
+        p.scale_bias(x, &scale, &shift)
     }
 
     /// Trainable + stored parameters (γ, β, running mean/var).

@@ -8,6 +8,7 @@ use crate::nn::batchnorm::BatchNorm2d;
 use crate::nn::init::{conv_fan_in, kaiming_normal};
 use crate::ops::Conv2dSpec;
 use crate::param::Param;
+use crate::plan::{Planner, ValueId};
 use crate::tensor::Tensor;
 
 /// A 2-D convolution layer with optional bias.
@@ -45,6 +46,13 @@ impl Conv2d {
             }
             None => y,
         }
+    }
+
+    /// Record this layer into an inference plan (current weights are baked
+    /// into the plan; recompile after updating parameters).
+    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let bias = self.bias.as_ref().map(|b| b.value());
+        p.conv2d(x, &self.weight.value(), bias.as_ref(), self.spec)
     }
 
     /// All trainable parameters of this layer.
@@ -114,6 +122,17 @@ impl ConvBlock {
             y = bn.forward(g, y, training);
         }
         self.act.apply(g, y)
+    }
+
+    /// Record conv → BN → activation into an inference plan. The planner
+    /// folds the BN into the conv weights and fuses the activation, so a
+    /// standard block compiles to a single `PlanOp`.
+    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let mut y = self.conv.compile(p, x);
+        if let Some(bn) = &self.bn {
+            y = bn.compile(p, y);
+        }
+        p.activation(y, self.act)
     }
 
     /// All parameters (conv + BN).

@@ -5,6 +5,7 @@ use rand::Rng;
 use crate::graph::{Graph, Var};
 use crate::nn::init::kaiming_normal;
 use crate::param::Param;
+use crate::plan::{Planner, ValueId};
 use crate::tensor::Tensor;
 
 /// Affine layer `y = x·Wᵀ + b` for `x: [n, d_in]`.
@@ -27,6 +28,11 @@ impl Linear {
         let w = g.param(&self.weight);
         let b = g.param(&self.bias);
         g.linear(x, w, Some(b))
+    }
+
+    /// Record this layer into an inference plan.
+    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        p.linear(x, &self.weight.value(), Some(&self.bias.value()))
     }
 
     /// Trainable parameters.

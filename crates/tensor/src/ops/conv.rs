@@ -29,8 +29,16 @@ impl Conv2dSpec {
     }
 }
 
+/// True when the conv is a pointwise (1×1, stride 1, no padding) product:
+/// the im2col matrix would equal the input plane, so both the eager and the
+/// planned paths go straight to GEMM.
+#[inline]
+pub(crate) fn is_pointwise(kh: usize, kw: usize, spec: Conv2dSpec) -> bool {
+    kh == 1 && kw == 1 && spec.stride == 1 && spec.pad == 0
+}
+
 /// Unfold `x[n]` into a `[cin*kh*kw, hout*wout]` column matrix.
-fn im2col(
+pub(crate) fn im2col(
     x: &[f32],
     (cin, h, w): (usize, usize, usize),
     (kh, kw): (usize, usize),
@@ -110,13 +118,20 @@ fn conv_forward(x: &Tensor, w: &Tensor, spec: Conv2dSpec) -> Tensor {
     assert!(hout > 0 && wout > 0, "conv2d output collapsed to zero: input {h}x{wdim}, kernel {kh}x{kw}, {spec:?}");
 
     let mut out = vec![0.0f32; n * cout * hout * wout];
-    let mut col = vec![0.0f32; cin * kh * kw * hout * wout];
+    let pointwise = is_pointwise(kh, kw, spec);
+    let mut col = if pointwise { Vec::new() } else { vec![0.0f32; cin * kh * kw * hout * wout] };
     let xs = x.as_slice();
     let ws = w.as_slice();
     for b in 0..n {
-        im2col(&xs[b * cin * h * wdim..(b + 1) * cin * h * wdim], (cin, h, wdim), (kh, kw), spec, (hout, wout), &mut col);
+        let src = &xs[b * cin * h * wdim..(b + 1) * cin * h * wdim];
         let dst = &mut out[b * cout * hout * wout..(b + 1) * cout * hout * wout];
-        gemm_into(ws, &col, dst, cout, cin * kh * kw, hout * wout);
+        if pointwise {
+            // 1×1 / stride 1 / pad 0: the column matrix is the input itself.
+            gemm_into(ws, src, dst, cout, cin, hout * wout);
+        } else {
+            im2col(src, (cin, h, wdim), (kh, kw), spec, (hout, wout), &mut col);
+            gemm_into(ws, &col, dst, cout, cin * kh * kw, hout * wout);
+        }
     }
     Tensor::from_vec(out, &[n, cout, hout, wout])
 }
@@ -139,15 +154,35 @@ impl Graph {
 
                 let mut gw = vec![0.0f32; cout * kdim];
                 let mut gx = vec![0.0f32; xv.numel()];
-                let mut col = vec![0.0f32; kdim * hout * wout];
-                let mut colgrad = vec![0.0f32; kdim * hout * wout];
+                let pointwise = is_pointwise(kh, kw, spec);
+                let (mut col, mut colgrad) = if pointwise {
+                    (Vec::new(), Vec::new())
+                } else {
+                    (vec![0.0f32; kdim * hout * wout], vec![0.0f32; kdim * hout * wout])
+                };
                 let wt = wv.reshape(&[cout, kdim]).transpose2d();
 
                 for b in 0..n {
                     let gout_b = &gs[b * cout * hout * wout..(b + 1) * cout * hout * wout];
+                    let x_b = &xs[b * cin * h * wdim..(b + 1) * cin * h * wdim];
+                    if pointwise {
+                        // Columns == input plane: both gradients are plain
+                        // GEMMs with no im2col/col2im round trip.
+                        let xt = Tensor::from_vec(x_b.to_vec(), &[cin, hout * wout]).transpose2d();
+                        gemm_accumulate(gout_b, xt.as_slice(), &mut gw, cout, hout * wout, cin, 1.0);
+                        gemm_into(
+                            wt.as_slice(),
+                            gout_b,
+                            &mut gx[b * cin * h * wdim..(b + 1) * cin * h * wdim],
+                            cin,
+                            cout,
+                            hout * wout,
+                        );
+                        continue;
+                    }
                     // dL/dW += G_b · col_bᵀ  (recompute col_b instead of
                     // storing one per batch item in the tape).
-                    im2col(&xs[b * cin * h * wdim..(b + 1) * cin * h * wdim], (cin, h, wdim), (kh, kw), spec, (hout, wout), &mut col);
+                    im2col(x_b, (cin, h, wdim), (kh, kw), spec, (hout, wout), &mut col);
                     // gw[cout, kdim] += gout_b[cout, hw] · colᵀ[hw, kdim]
                     let colt = Tensor::from_vec(col.clone(), &[kdim, hout * wout]).transpose2d();
                     gemm_accumulate(gout_b, colt.as_slice(), &mut gw, cout, hout * wout, kdim, 1.0);
@@ -267,6 +302,24 @@ mod tests {
         check_grads(&[2, 2, 3, 3], |g, w| {
             let x = g.leaf(Tensor::from_vec((0..50).map(|i| 0.02 * (i as f32 - 25.0)).collect(), &[1, 2, 5, 5]));
             let y = g.conv2d(x, w, Conv2dSpec::down(3));
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn pointwise_grads_match_fd() {
+        // The 1×1 fast path has its own backward branch; check both the
+        // input and the weight gradients against finite differences.
+        check_grads(&[1, 3, 4, 4], |g, x| {
+            let w = g.leaf(Tensor::from_vec((0..6).map(|i| 0.3 * (i as f32 - 2.5)).collect(), &[2, 3, 1, 1]));
+            let y = g.conv2d(x, w, Conv2dSpec::same(1));
+            let sq = g.square(y);
+            g.sum_all(sq)
+        });
+        check_grads(&[2, 3, 1, 1], |g, w| {
+            let x = g.leaf(Tensor::from_vec((0..48).map(|i| 0.04 * (i as f32 - 24.0)).collect(), &[1, 3, 4, 4]));
+            let y = g.conv2d(x, w, Conv2dSpec::same(1));
             let sq = g.square(y);
             g.sum_all(sq)
         });

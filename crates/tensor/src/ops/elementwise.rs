@@ -21,6 +21,25 @@ pub(crate) fn sigmoid_f(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Mish forward: x · tanh(softplus(x)), computed with a single `exp` via the
+/// identity tanh(ln(1+u)) = (u² + 2u)/(u² + 2u + 2) for u = eˣ. This is the
+/// hottest scalar function in inference (every backbone activation), so the
+/// three-transcendental textbook form matters; the clamps match `softplus`'s
+/// (beyond ±20 the exact branch over- or underflows long before f32 cares
+/// about the difference).
+#[inline]
+pub(crate) fn mish_f(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x * x.exp()
+    } else {
+        let u = x.exp();
+        let v = u * u + 2.0 * u;
+        x * v / (v + 2.0)
+    }
+}
+
 /// Slope of the negative branch of LeakyReLU, matching darknet's 0.1.
 pub const LEAKY_SLOPE: f32 = 0.1;
 
@@ -233,7 +252,7 @@ impl Graph {
     pub fn mish(&mut self, a: Var) -> Var {
         self.unary(
             a,
-            |x| x * softplus(x).tanh(),
+            mish_f,
             |x| {
                 let sp = softplus(x);
                 let tsp = sp.tanh();

@@ -5,8 +5,8 @@
 //! contributions for each input node. Broadcasting binary ops fold their
 //! gradients back to operand shape with [`crate::Tensor::reduce_to_shape`].
 
-mod conv;
-mod elementwise;
+pub(crate) mod conv;
+pub(crate) mod elementwise;
 mod loss;
 mod matmul;
 mod pool;

@@ -1,0 +1,954 @@
+//! Planned inference execution: an op-IR with static memory planning.
+//!
+//! The autograd [`crate::Graph`] is a tape: every forward op allocates its
+//! output (and, for convolution, an im2col scratch buffer) and clones input
+//! tensors into backward closures. That is the right shape for training and
+//! the wrong shape for serving — inference pays autograd bookkeeping and a
+//! heap allocation per layer per image.
+//!
+//! This module splits inference off the tape. A [`Planner`] records the
+//! network once as a small op-IR ([`PlanOp`]) with eager shape inference,
+//! folding each batch-norm into the preceding convolution's weights and
+//! fusing trailing activations into the producing op as it builds. The
+//! finished [`Plan`] assigns every intermediate to a slot in a reusable
+//! arena via liveness analysis — a buffer is recycled at its last use, so
+//! peak memory is roughly the widest pair of live activations instead of
+//! the sum of all layers. An [`Executor`] then runs the plan into those
+//! pre-allocated buffers with a bias+activation-fused GEMM epilogue
+//! ([`crate::gemm::gemm_bias_act`]) and a persistent im2col scratch: after
+//! the first call at a given batch size, the steady-state hot path performs
+//! no heap allocation at all.
+//!
+//! ```
+//! use platter_tensor::nn::{Activation, ConvBlock};
+//! use platter_tensor::ops::Conv2dSpec;
+//! use platter_tensor::plan::{Executor, Planner};
+//! use platter_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let block = ConvBlock::new("stem", 3, 8, 3, Conv2dSpec::same(3), Activation::Mish, &mut rng);
+//! let mut p = Planner::new();
+//! let x = p.input(&[3, 16, 16]);
+//! let y = block.compile(&mut p, x); // conv+BN+Mish fused into one PlanOp
+//! let mut exec = Executor::new(p.finish(&[y]));
+//! let out = exec.run(&[&Tensor::zeros(&[2, 3, 16, 16])]);
+//! assert_eq!(out[0].shape(), &[2, 8, 16, 16]);
+//! ```
+
+use crate::gemm::{gemm_bias_act, gemm_into};
+use crate::nn::Activation;
+use crate::ops::conv::{im2col, is_pointwise};
+use crate::ops::elementwise::{mish_f, LEAKY_SLOPE};
+use crate::ops::Conv2dSpec;
+use crate::tensor::Tensor;
+
+/// Handle to a planned value. Cheap to copy; only meaningful for the
+/// [`Planner`] (and resulting [`Plan`]) that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValueId(pub(crate) usize);
+
+/// One node of the inference IR. Each op produces exactly one value, so a
+/// value id doubles as the index of its producing op.
+enum PlanOp {
+    /// External input `index` of the executed plan.
+    Input { index: usize },
+    /// Convolution with optional folded scale/bias and fused activation.
+    /// `weight` is `[cout, cin·kh·kw]` row-major; `bias` always has `cout`
+    /// entries (zeros when the layer is unbiased).
+    Conv2d {
+        x: ValueId,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+        cout: usize,
+        cin: usize,
+        kh: usize,
+        kw: usize,
+        spec: Conv2dSpec,
+        act: Activation,
+    },
+    /// Per-channel affine `y = x·scale[c] + shift[c]` — inference batch norm
+    /// that could not be folded into a preceding conv.
+    ScaleBias { x: ValueId, scale: Vec<f32>, shift: Vec<f32>, act: Activation },
+    /// Standalone activation (when fusion into the producer wasn't legal).
+    Activation { x: ValueId, act: Activation },
+    /// Max pooling over `k`×`k` windows.
+    MaxPool { x: ValueId, k: usize, stride: usize, pad: usize },
+    /// Nearest-neighbour upsampling by an integer factor.
+    Upsample { x: ValueId, factor: usize },
+    /// Channel concatenation (axis 1 of the NCHW batch).
+    Concat { xs: Vec<ValueId> },
+    /// Elementwise sum of two same-shape values (residual connections).
+    Add { a: ValueId, b: ValueId },
+    /// Affine `y = x·wᵀ + b` with fused activation. `wt` is the transposed
+    /// weight `[d_in, d_out]` so execution is a single GEMM.
+    Linear { x: ValueId, wt: Vec<f32>, bias: Vec<f32>, d_in: usize, d_out: usize, act: Activation },
+}
+
+impl PlanOp {
+    /// Input values of this op, for liveness analysis.
+    fn inputs(&self) -> Vec<ValueId> {
+        match self {
+            PlanOp::Input { .. } => Vec::new(),
+            PlanOp::Conv2d { x, .. }
+            | PlanOp::ScaleBias { x, .. }
+            | PlanOp::Activation { x, .. }
+            | PlanOp::MaxPool { x, .. }
+            | PlanOp::Upsample { x, .. }
+            | PlanOp::Linear { x, .. } => vec![*x],
+            PlanOp::Concat { xs } => xs.clone(),
+            PlanOp::Add { a, b } => vec![*a, *b],
+        }
+    }
+}
+
+/// Builds a [`Plan`] op by op, with eager shape inference and two build-time
+/// peephole fusions:
+///
+/// - [`Planner::scale_bias`] after a linear-activation conv with no other
+///   consumer folds into the conv's weights and bias (BN folding);
+/// - [`Planner::activation`] after a linear-activation conv / scale-bias /
+///   linear with no other consumer becomes that op's fused activation.
+///
+/// Shapes are tracked **per batch item** (without the leading `n`): every op
+/// in the IR is batch-separable, so one plan serves any batch size.
+pub struct Planner {
+    ops: Vec<PlanOp>,
+    /// Per-item output shape of each value.
+    shapes: Vec<Vec<usize>>,
+    /// How many ops consume each value so far (fusion legality).
+    consumers: Vec<usize>,
+    num_inputs: usize,
+}
+
+impl Planner {
+    /// An empty planner.
+    pub fn new() -> Planner {
+        Planner { ops: Vec::new(), shapes: Vec::new(), consumers: Vec::new(), num_inputs: 0 }
+    }
+
+    /// Per-item shape of `v`.
+    pub fn shape(&self, v: ValueId) -> &[usize] {
+        &self.shapes[v.0]
+    }
+
+    fn push(&mut self, op: PlanOp, shape: Vec<usize>) -> ValueId {
+        for v in op.inputs() {
+            self.consumers[v.0] += 1;
+        }
+        let id = ValueId(self.ops.len());
+        self.ops.push(op);
+        self.shapes.push(shape);
+        self.consumers.push(0);
+        id
+    }
+
+    /// Declare an external input with per-item shape `item_shape` (e.g.
+    /// `[3, 64, 64]` for an NCHW image batch).
+    pub fn input(&mut self, item_shape: &[usize]) -> ValueId {
+        let index = self.num_inputs;
+        self.num_inputs += 1;
+        self.push(PlanOp::Input { index }, item_shape.to_vec())
+    }
+
+    /// Convolution of a `[c,h,w]`-shaped value by `weight: [cout,cin,kh,kw]`
+    /// with an optional bias of `cout` elements (any shape).
+    pub fn conv2d(&mut self, x: ValueId, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> ValueId {
+        let xs = self.shape(x);
+        assert_eq!(xs.len(), 3, "conv2d input must be [c,h,w] per item, got {xs:?}");
+        let (cin, h, w) = (xs[0], xs[1], xs[2]);
+        let ws = weight.shape();
+        assert_eq!(ws.len(), 4, "conv2d weight must be [cout,cin,kh,kw], got {ws:?}");
+        let (cout, cin_w, kh, kw) = (ws[0], ws[1], ws[2], ws[3]);
+        assert_eq!(cin, cin_w, "conv2d channel mismatch: input {cin} vs weight {cin_w}");
+        let hout = spec.out_dim(h, kh);
+        let wout = spec.out_dim(w, kw);
+        assert!(hout > 0 && wout > 0, "conv2d output collapsed: {h}x{w} k={kh}x{kw} {spec:?}");
+        let bias = match bias {
+            Some(b) => {
+                assert_eq!(b.numel(), cout, "conv2d bias must have {cout} elements, got {:?}", b.shape());
+                b.as_slice().to_vec()
+            }
+            None => vec![0.0; cout],
+        };
+        self.push(
+            PlanOp::Conv2d {
+                x,
+                weight: weight.as_slice().to_vec(),
+                bias,
+                cout,
+                cin,
+                kh,
+                kw,
+                spec,
+                act: Activation::Linear,
+            },
+            vec![cout, hout, wout],
+        )
+    }
+
+    /// Per-channel affine (inference batch norm): `scale` and `shift` must
+    /// each have as many elements as `x` has channels. Folds into the
+    /// producing conv when it has no other consumer and no activation yet.
+    pub fn scale_bias(&mut self, x: ValueId, scale: &[f32], shift: &[f32]) -> ValueId {
+        let c = self.shape(x)[0];
+        assert_eq!(scale.len(), c, "scale_bias expects {c} scales, got {}", scale.len());
+        assert_eq!(shift.len(), c, "scale_bias expects {c} shifts, got {}", shift.len());
+        if self.consumers[x.0] == 0 {
+            if let PlanOp::Conv2d { weight, bias, cout, act: Activation::Linear, .. } = &mut self.ops[x.0] {
+                // Fold: w'[o,·] = w[o,·]·s[o], b'[o] = b[o]·s[o] + t[o].
+                let row = weight.len() / *cout;
+                for o in 0..*cout {
+                    for v in &mut weight[o * row..(o + 1) * row] {
+                        *v *= scale[o];
+                    }
+                    bias[o] = bias[o] * scale[o] + shift[o];
+                }
+                return x;
+            }
+        }
+        self.push(
+            PlanOp::ScaleBias { x, scale: scale.to_vec(), shift: shift.to_vec(), act: Activation::Linear },
+            self.shape(x).to_vec(),
+        )
+    }
+
+    /// Apply `act` to `x`. Fuses into the producing conv / scale-bias /
+    /// linear when that op has no other consumer and no activation yet.
+    pub fn activation(&mut self, x: ValueId, act: Activation) -> ValueId {
+        if act == Activation::Linear {
+            return x;
+        }
+        if self.consumers[x.0] == 0 {
+            match &mut self.ops[x.0] {
+                PlanOp::Conv2d { act: slot @ Activation::Linear, .. }
+                | PlanOp::ScaleBias { act: slot @ Activation::Linear, .. }
+                | PlanOp::Linear { act: slot @ Activation::Linear, .. } => {
+                    *slot = act;
+                    return x;
+                }
+                _ => {}
+            }
+        }
+        self.push(PlanOp::Activation { x, act }, self.shape(x).to_vec())
+    }
+
+    /// Max pooling over `k`×`k` windows (padded cells never win, matching
+    /// [`crate::Graph::maxpool2d`]).
+    pub fn maxpool2d(&mut self, x: ValueId, k: usize, stride: usize, pad: usize) -> ValueId {
+        let xs = self.shape(x);
+        assert_eq!(xs.len(), 3, "maxpool2d input must be [c,h,w], got {xs:?}");
+        let (c, h, w) = (xs[0], xs[1], xs[2]);
+        let hout = (h + 2 * pad).saturating_sub(k) / stride + 1;
+        let wout = (w + 2 * pad).saturating_sub(k) / stride + 1;
+        assert!(hout > 0 && wout > 0, "maxpool2d output collapsed: {h}x{w} k={k} s={stride} p={pad}");
+        self.push(PlanOp::MaxPool { x, k, stride, pad }, vec![c, hout, wout])
+    }
+
+    /// Nearest-neighbour upsampling by `factor`.
+    pub fn upsample_nearest(&mut self, x: ValueId, factor: usize) -> ValueId {
+        assert!(factor >= 1, "upsample factor must be >= 1");
+        let xs = self.shape(x);
+        assert_eq!(xs.len(), 3, "upsample input must be [c,h,w], got {xs:?}");
+        self.push(PlanOp::Upsample { x, factor }, vec![xs[0], xs[1] * factor, xs[2] * factor])
+    }
+
+    /// Channel concatenation; all inputs must agree on H and W.
+    pub fn concat_channels(&mut self, xs: &[ValueId]) -> ValueId {
+        assert!(!xs.is_empty(), "concat of zero values");
+        if xs.len() == 1 {
+            return xs[0];
+        }
+        let first = self.shape(xs[0]).to_vec();
+        let mut c = 0usize;
+        for &v in xs {
+            let s = self.shape(v);
+            assert_eq!(s.len(), 3, "concat input must be [c,h,w], got {s:?}");
+            assert_eq!(&s[1..], &first[1..], "concat spatial mismatch: {s:?} vs {first:?}");
+            c += s[0];
+        }
+        self.push(PlanOp::Concat { xs: xs.to_vec() }, vec![c, first[1], first[2]])
+    }
+
+    /// Elementwise sum of two same-shape values.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
+        let shape = self.shape(a).to_vec();
+        self.push(PlanOp::Add { a, b }, shape)
+    }
+
+    /// Affine layer over a `[d_in]`-per-item value: `w: [d_out, d_in]`,
+    /// optional bias of `d_out` elements.
+    pub fn linear(&mut self, x: ValueId, weight: &Tensor, bias: Option<&Tensor>) -> ValueId {
+        let xs = self.shape(x);
+        assert_eq!(xs.len(), 1, "linear input must be [d] per item, got {xs:?}");
+        let d_in = xs[0];
+        let ws = weight.shape();
+        assert_eq!(ws.len(), 2, "linear weight must be [d_out, d_in], got {ws:?}");
+        assert_eq!(ws[1], d_in, "linear dim mismatch: input {d_in} vs weight {ws:?}");
+        let d_out = ws[0];
+        let bias = match bias {
+            Some(b) => {
+                assert_eq!(b.numel(), d_out, "linear bias must have {d_out} elements");
+                b.as_slice().to_vec()
+            }
+            None => vec![0.0; d_out],
+        };
+        self.push(
+            PlanOp::Linear {
+                x,
+                wt: weight.transpose2d().as_slice().to_vec(),
+                bias,
+                d_in,
+                d_out,
+                act: Activation::Linear,
+            },
+            vec![d_out],
+        )
+    }
+
+    /// Finalise: liveness analysis + static slot assignment.
+    ///
+    /// Walks the ops in execution order keeping a free-list of retired
+    /// slots. Each op's output takes the best-fitting free slot (smallest
+    /// capacity that holds it, else the largest, grown to fit) *before* the
+    /// op's inputs are retired, so an output buffer can never alias a
+    /// same-op input. Values listed in `outputs` are live forever and are
+    /// never recycled.
+    pub fn finish(self, outputs: &[ValueId]) -> Plan {
+        let n = self.ops.len();
+        let mut last_use: Vec<usize> = (0..n).collect();
+        for (i, op) in self.ops.iter().enumerate() {
+            for v in op.inputs() {
+                last_use[v.0] = i;
+            }
+        }
+        for &v in outputs {
+            last_use[v.0] = usize::MAX;
+        }
+        // dying[i] = values whose final consumer is op i.
+        let mut dying: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (v, &lu) in last_use.iter().enumerate() {
+            if lu != usize::MAX {
+                dying[lu].push(v);
+            }
+        }
+
+        let item_numel: Vec<usize> = self.shapes.iter().map(|s| s.iter().product()).collect();
+        let mut slot_of = vec![usize::MAX; n];
+        let mut slot_caps: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let need = item_numel[i];
+            // Best fit: tightest free slot that holds the value; otherwise
+            // the largest free slot, grown; otherwise a fresh slot.
+            let pick = free
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| slot_caps[s] >= need)
+                .min_by_key(|(_, &s)| slot_caps[s])
+                .map(|(j, _)| j)
+                .or_else(|| free.iter().enumerate().max_by_key(|(_, &s)| slot_caps[s]).map(|(j, _)| j));
+            let slot = match pick {
+                Some(j) => free.swap_remove(j),
+                None => {
+                    slot_caps.push(0);
+                    slot_caps.len() - 1
+                }
+            };
+            slot_caps[slot] = slot_caps[slot].max(need);
+            slot_of[i] = slot;
+            for &v in &dying[i] {
+                free.push(slot_of[v]);
+            }
+        }
+
+        // Persistent im2col scratch: the widest column matrix of any conv
+        // that cannot take the pointwise fast path.
+        let mut col_len = 0usize;
+        for (i, op) in self.ops.iter().enumerate() {
+            if let PlanOp::Conv2d { cin, kh, kw, spec, .. } = op {
+                if !is_pointwise(*kh, *kw, *spec) {
+                    let s = &self.shapes[i];
+                    col_len = col_len.max(cin * kh * kw * s[1] * s[2]);
+                }
+            }
+        }
+
+        Plan {
+            ops: self.ops,
+            shapes: self.shapes,
+            item_numel,
+            slot_of,
+            slot_caps,
+            last_use,
+            outputs: outputs.to_vec(),
+            col_len,
+            num_inputs: self.num_inputs,
+        }
+    }
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new()
+    }
+}
+
+/// Liveness record of one planned value, for planner verification.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotInfo {
+    /// The value (also the index of its producing op).
+    pub value: usize,
+    /// The arena slot it was assigned.
+    pub slot: usize,
+    /// Op index at which the value is defined.
+    pub def: usize,
+    /// Op index of the value's final consumer (`usize::MAX` for outputs).
+    pub last_use: usize,
+}
+
+/// A finalised inference program: ops, per-item shapes and the static arena
+/// layout. Build with [`Planner::finish`]; run with an [`Executor`].
+pub struct Plan {
+    ops: Vec<PlanOp>,
+    shapes: Vec<Vec<usize>>,
+    item_numel: Vec<usize>,
+    slot_of: Vec<usize>,
+    slot_caps: Vec<usize>,
+    last_use: Vec<usize>,
+    outputs: Vec<ValueId>,
+    col_len: usize,
+    num_inputs: usize,
+}
+
+impl Plan {
+    /// Number of ops (= values) in the plan.
+    pub fn num_values(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of arena slots after liveness-based recycling.
+    pub fn num_slots(&self) -> usize {
+        self.slot_caps.len()
+    }
+
+    /// Arena elements per batch item (activation slots + im2col scratch).
+    pub fn per_item_arena_elems(&self) -> usize {
+        self.slot_caps.iter().sum::<usize>() + self.col_len
+    }
+
+    /// Liveness + slot assignment of every value, for verification.
+    pub fn slot_map(&self) -> Vec<SlotInfo> {
+        (0..self.ops.len())
+            .map(|v| SlotInfo { value: v, slot: self.slot_of[v], def: v, last_use: self.last_use[v] })
+            .collect()
+    }
+
+    /// Per-item shapes of the declared outputs.
+    pub fn output_shapes(&self) -> Vec<&[usize]> {
+        self.outputs.iter().map(|&v| self.shapes[v.0].as_slice()).collect()
+    }
+}
+
+/// Runs a [`Plan`] with a persistent arena. Buffers are sized on the first
+/// call (and again whenever the batch size changes); thereafter `run` is
+/// allocation-free.
+pub struct Executor {
+    plan: Plan,
+    slots: Vec<Vec<f32>>,
+    col: Vec<f32>,
+    outs: Vec<Tensor>,
+    batch: usize,
+}
+
+impl Executor {
+    /// Wrap a plan with an (initially empty) arena.
+    pub fn new(plan: Plan) -> Executor {
+        let slots = vec![Vec::new(); plan.num_slots()];
+        Executor { plan, slots, col: Vec::new(), outs: Vec::new(), batch: 0 }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Bytes currently held by the arena (slots + im2col scratch).
+    pub fn arena_bytes(&self) -> usize {
+        (self.slots.iter().map(|s| s.len()).sum::<usize>() + self.col.len()) * std::mem::size_of::<f32>()
+    }
+
+    fn ensure_batch(&mut self, n: usize) {
+        if self.batch == n {
+            return;
+        }
+        for (slot, &cap) in self.slots.iter_mut().zip(&self.plan.slot_caps) {
+            slot.clear();
+            slot.resize(cap * n, 0.0);
+        }
+        self.col.clear();
+        self.col.resize(self.plan.col_len, 0.0);
+        self.outs = self
+            .plan
+            .outputs
+            .iter()
+            .map(|&v| {
+                let mut shape = vec![n];
+                shape.extend_from_slice(&self.plan.shapes[v.0]);
+                Tensor::zeros(&shape)
+            })
+            .collect();
+        self.batch = n;
+    }
+
+    /// Execute the plan over `inputs` (one NCHW/`[n,d]` tensor per declared
+    /// [`Planner::input`], all with the same leading batch dimension).
+    /// Returns the output tensors in declaration order; the returned slice
+    /// is owned by the executor and overwritten by the next call.
+    pub fn run(&mut self, inputs: &[&Tensor]) -> &[Tensor] {
+        assert_eq!(inputs.len(), self.plan.num_inputs, "plan expects {} inputs", self.plan.num_inputs);
+        assert!(!inputs.is_empty(), "plan has no inputs");
+        let n = inputs[0].shape()[0];
+        for t in inputs {
+            assert_eq!(t.shape()[0], n, "inputs disagree on batch size");
+        }
+        self.ensure_batch(n);
+
+        for i in 0..self.plan.ops.len() {
+            let dst_slot = self.plan.slot_of[i];
+            let out_len = self.plan.item_numel[i] * n;
+            // The allocator retires input slots only after the output slot
+            // is taken, so an op never reads and writes the same buffer.
+            debug_assert!(self.plan.ops[i]
+                .inputs()
+                .iter()
+                .all(|v| self.plan.slot_of[v.0] != dst_slot));
+            let mut dst = std::mem::take(&mut self.slots[dst_slot]);
+            self.exec_op(i, n, inputs, &mut dst[..out_len]);
+            self.slots[dst_slot] = dst;
+        }
+
+        for (j, &v) in self.plan.outputs.iter().enumerate() {
+            let len = self.plan.item_numel[v.0] * n;
+            self.outs[j]
+                .as_mut_slice()
+                .copy_from_slice(&self.slots[self.plan.slot_of[v.0]][..len]);
+        }
+        &self.outs
+    }
+
+    /// Slice of value `v` within its slot (first `numel·n` elements).
+    fn val<'a>(slots: &'a [Vec<f32>], plan: &Plan, v: ValueId, n: usize) -> &'a [f32] {
+        &slots[plan.slot_of[v.0]][..plan.item_numel[v.0] * n]
+    }
+
+    fn exec_op(&mut self, i: usize, n: usize, inputs: &[&Tensor], dst: &mut [f32]) {
+        let plan = &self.plan;
+        let slots = &self.slots;
+        match &plan.ops[i] {
+            PlanOp::Input { index } => {
+                let t = inputs[*index];
+                let expect = &plan.shapes[i];
+                assert_eq!(
+                    &t.shape()[1..],
+                    expect.as_slice(),
+                    "input {index} per-item shape mismatch (plan compiled for {expect:?})"
+                );
+                dst.copy_from_slice(t.as_slice());
+            }
+            PlanOp::Conv2d { x, weight, bias, cout, cin, kh, kw, spec, act } => {
+                let xs = Self::val(slots, plan, *x, n);
+                let (h, w) = (plan.shapes[x.0][1], plan.shapes[x.0][2]);
+                let (hout, wout) = (plan.shapes[i][1], plan.shapes[i][2]);
+                let hw = hout * wout;
+                let in_len = cin * h * w;
+                let out_len = cout * hw;
+                let kdim = cin * kh * kw;
+                let pointwise = is_pointwise(*kh, *kw, *spec);
+                for b in 0..n {
+                    let src = &xs[b * in_len..(b + 1) * in_len];
+                    let out = &mut dst[b * out_len..(b + 1) * out_len];
+                    if pointwise {
+                        // k=1, pad=0, stride=1: the column matrix *is* the
+                        // input plane — plain GEMM, no im2col.
+                        conv_gemm(weight, src, out, *cout, kdim, hw, bias, *act);
+                    } else {
+                        let col = &mut self.col[..kdim * hw];
+                        im2col(src, (*cin, h, w), (*kh, *kw), *spec, (hout, wout), col);
+                        conv_gemm(weight, col, out, *cout, kdim, hw, bias, *act);
+                    }
+                }
+            }
+            PlanOp::ScaleBias { x, scale, shift, act } => {
+                let xs = Self::val(slots, plan, *x, n);
+                let c = plan.shapes[i][0];
+                let hw = plan.item_numel[i] / c;
+                for b in 0..n {
+                    for ch in 0..c {
+                        let base = (b * c + ch) * hw;
+                        let (s, t) = (scale[ch], shift[ch]);
+                        for (d, &v) in dst[base..base + hw].iter_mut().zip(&xs[base..base + hw]) {
+                            *d = v * s + t;
+                        }
+                    }
+                }
+                apply_act(*act, dst);
+            }
+            PlanOp::Activation { x, act } => {
+                let xs = Self::val(slots, plan, *x, n);
+                for (d, &v) in dst.iter_mut().zip(xs) {
+                    *d = act.eval(v);
+                }
+            }
+            PlanOp::MaxPool { x, k, stride, pad } => {
+                let xs = Self::val(slots, plan, *x, n);
+                let (c, h, w) = (plan.shapes[x.0][0], plan.shapes[x.0][1], plan.shapes[x.0][2]);
+                let (hout, wout) = (plan.shapes[i][1], plan.shapes[i][2]);
+                maxpool_into(xs, (n * c, h, w), (*k, *stride, *pad), (hout, wout), dst);
+            }
+            PlanOp::Upsample { x, factor } => {
+                let xs = Self::val(slots, plan, *x, n);
+                let (c, h, w) = (plan.shapes[x.0][0], plan.shapes[x.0][1], plan.shapes[x.0][2]);
+                let f = *factor;
+                let (ho, wo) = (h * f, w * f);
+                for plane in 0..n * c {
+                    let src = &xs[plane * h * w..(plane + 1) * h * w];
+                    let out = &mut dst[plane * ho * wo..(plane + 1) * ho * wo];
+                    for oy in 0..ho {
+                        let srow = &src[(oy / f) * w..(oy / f + 1) * w];
+                        let orow = &mut out[oy * wo..(oy + 1) * wo];
+                        for (ox, d) in orow.iter_mut().enumerate() {
+                            *d = srow[ox / f];
+                        }
+                    }
+                }
+            }
+            PlanOp::Concat { xs } => {
+                let out_len = plan.item_numel[i];
+                let mut offset = 0usize;
+                for &v in xs {
+                    let src = Self::val(slots, plan, v, n);
+                    let len = plan.item_numel[v.0];
+                    for b in 0..n {
+                        dst[b * out_len + offset..b * out_len + offset + len]
+                            .copy_from_slice(&src[b * len..(b + 1) * len]);
+                    }
+                    offset += len;
+                }
+            }
+            PlanOp::Add { a, b } => {
+                let av = Self::val(slots, plan, *a, n);
+                let bv = Self::val(slots, plan, *b, n);
+                for ((d, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                    *d = x + y;
+                }
+            }
+            PlanOp::Linear { x, wt, bias, d_in, d_out, act } => {
+                let xs = Self::val(slots, plan, *x, n);
+                for row in dst.chunks_mut(*d_out) {
+                    row.copy_from_slice(bias);
+                }
+                gemm_into(xs, wt, dst, n, *d_in, *d_out);
+                apply_act(*act, dst);
+            }
+        }
+    }
+}
+
+/// Conv output GEMM with the bias + activation epilogue fused into the tile
+/// writeback. The match monomorphises the hot activations so the epilogue is
+/// a direct call instead of a per-element dispatch; the closures must stay
+/// numerically identical to [`Activation::eval`].
+#[allow(clippy::too_many_arguments)] // flat GEMM geometry plus the epilogue
+fn conv_gemm(w: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, bias: &[f32], act: Activation) {
+    match act {
+        Activation::Linear => gemm_bias_act(w, b, out, m, k, n, bias, |v| v),
+        Activation::Mish => gemm_bias_act(w, b, out, m, k, n, bias, mish_f),
+        Activation::Leaky => {
+            gemm_bias_act(w, b, out, m, k, n, bias, |v| if v > 0.0 { v } else { LEAKY_SLOPE * v })
+        }
+        other => gemm_bias_act(w, b, out, m, k, n, bias, move |v| other.eval(v)),
+    }
+}
+
+/// Apply an activation in place.
+fn apply_act(act: Activation, buf: &mut [f32]) {
+    if act == Activation::Linear {
+        return;
+    }
+    for v in buf {
+        *v = act.eval(*v);
+    }
+}
+
+/// Forward-only max pooling over `planes` independent `h`×`w` planes.
+fn maxpool_into(
+    xs: &[f32],
+    (planes, h, w): (usize, usize, usize),
+    (k, stride, pad): (usize, usize, usize),
+    (hout, wout): (usize, usize),
+    dst: &mut [f32],
+) {
+    for p in 0..planes {
+        let src = &xs[p * h * w..(p + 1) * h * w];
+        let out = &mut dst[p * hout * wout..(p + 1) * hout * wout];
+        for oy in 0..hout {
+            for ox in 0..wout {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let row = &src[iy as usize * w..(iy as usize + 1) * w];
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix >= 0 && (ix as usize) < w && row[ix as usize] > best {
+                            best = row[ix as usize];
+                        }
+                    }
+                }
+                out[oy * wout + ox] = best;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::nn::{BatchNorm2d, ConvBlock, Linear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn conv_matches_eager_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(k, spec) in &[(3usize, Conv2dSpec::same(3)), (3, Conv2dSpec::down(3)), (1, Conv2dSpec::same(1))] {
+            let w = Tensor::randn(&[4, 3, k, k], &mut rng);
+            let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+            let mut g = Graph::inference();
+            let xv = g.leaf(x.clone());
+            let wv = g.leaf(w.clone());
+            let y = g.conv2d(xv, wv, spec);
+
+            let mut p = Planner::new();
+            let xi = p.input(&[3, 6, 6]);
+            let yi = p.conv2d(xi, &w, None, spec);
+            let mut exec = Executor::new(p.finish(&[yi]));
+            let out = exec.run(&[&x]);
+            assert_eq!(out[0].shape(), g.shape(y));
+            assert_close(out[0].as_slice(), g.value(y).as_slice(), 1e-5, "conv");
+        }
+    }
+
+    #[test]
+    fn conv_block_fuses_to_single_op_and_matches_eager() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let block = ConvBlock::new("b", 3, 6, 3, Conv2dSpec::same(3), Activation::Mish, &mut rng);
+        // Non-trivial BN statistics so folding is actually exercised.
+        let bn = block.bn.as_ref().unwrap();
+        bn.running_mean.set_value(Tensor::randn(&[1, 6, 1, 1], &mut rng));
+        bn.running_var.set_value(Tensor::rand_uniform(&[1, 6, 1, 1], 0.3, 2.0, &mut rng));
+        bn.gamma.set_value(Tensor::rand_uniform(&[1, 6, 1, 1], 0.5, 1.5, &mut rng));
+        bn.beta.set_value(Tensor::randn(&[1, 6, 1, 1], &mut rng));
+
+        let x = Tensor::randn(&[2, 3, 5, 5], &mut rng);
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let y = block.forward(&mut g, xv, false);
+
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 5, 5]);
+        let yi = p.compile_probe(&block, xi);
+        let plan = p.finish(&[yi]);
+        // input + one fused conv: BN and Mish disappeared into the conv.
+        assert_eq!(plan.num_values(), 2, "conv+BN+act must fuse to one op");
+        let mut exec = Executor::new(plan);
+        let out = exec.run(&[&x]);
+        assert_close(out[0].as_slice(), g.value(y).as_slice(), 1e-5, "fused conv block");
+    }
+
+    impl Planner {
+        /// Test helper so the fusion test reads naturally.
+        fn compile_probe(&mut self, block: &ConvBlock, x: ValueId) -> ValueId {
+            block.compile(self, x)
+        }
+    }
+
+    #[test]
+    fn standalone_batchnorm_matches_eager() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bn = BatchNorm2d::new("bn", 4);
+        bn.running_mean.set_value(Tensor::randn(&[1, 4, 1, 1], &mut rng));
+        bn.running_var.set_value(Tensor::rand_uniform(&[1, 4, 1, 1], 0.2, 3.0, &mut rng));
+        bn.gamma.set_value(Tensor::randn(&[1, 4, 1, 1], &mut rng));
+        bn.beta.set_value(Tensor::randn(&[1, 4, 1, 1], &mut rng));
+        let x = Tensor::randn(&[2, 4, 3, 3], &mut rng);
+
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let y = bn.forward(&mut g, xv, false);
+
+        let mut p = Planner::new();
+        let xi = p.input(&[4, 3, 3]);
+        let yi = bn.compile(&mut p, xi); // input producer: no conv to fold into
+        let mut exec = Executor::new(p.finish(&[yi]));
+        let out = exec.run(&[&x]);
+        assert_close(out[0].as_slice(), g.value(y).as_slice(), 1e-5, "scale-bias");
+    }
+
+    #[test]
+    fn pool_upsample_concat_add_match_eager() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let pooled = g.maxpool2d(xv, 3, 1, 1);
+        let up = g.upsample_nearest(xv, 2);
+        let down = g.maxpool2d(up, 2, 2, 0);
+        let cat = g.concat(&[pooled, down], 1);
+        let sum = g.add(xv, pooled);
+
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 4, 4]);
+        let pi = p.maxpool2d(xi, 3, 1, 1);
+        let ui = p.upsample_nearest(xi, 2);
+        let di = p.maxpool2d(ui, 2, 2, 0);
+        let ci = p.concat_channels(&[pi, di]);
+        let si = p.add(xi, pi);
+        let mut exec = Executor::new(p.finish(&[ci, si]));
+        let out = exec.run(&[&x]);
+        assert_close(out[0].as_slice(), g.value(cat).as_slice(), 0.0, "concat(pool, pool(up))");
+        assert_close(out[1].as_slice(), g.value(sum).as_slice(), 0.0, "add");
+    }
+
+    #[test]
+    fn linear_layer_matches_eager() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new("fc", 6, 3, &mut rng);
+        let x = Tensor::randn(&[4, 6], &mut rng);
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let y = layer.forward(&mut g, xv);
+
+        let mut p = Planner::new();
+        let xi = p.input(&[6]);
+        let yi = layer.compile(&mut p, xi);
+        let mut exec = Executor::new(p.finish(&[yi]));
+        let out = exec.run(&[&x]);
+        assert_eq!(out[0].shape(), &[4, 3]);
+        assert_close(out[0].as_slice(), g.value(y).as_slice(), 1e-5, "linear");
+    }
+
+    #[test]
+    fn activation_does_not_fuse_past_a_second_consumer() {
+        // x -> conv -> (act, add) : the conv output feeds two ops, so the
+        // activation must NOT rewrite the conv in place.
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = Tensor::randn(&[3, 3, 1, 1], &mut rng);
+        let x = Tensor::randn(&[1, 3, 4, 4], &mut rng);
+
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let wv = g.leaf(w.clone());
+        let c = g.conv2d(xv, wv, Conv2dSpec::same(1));
+        let a = g.relu(c);
+        let s = g.add(c, a);
+
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 4, 4]);
+        let ci = p.conv2d(xi, &w, None, Conv2dSpec::same(1));
+        let raw = p.add(ci, ci); // consume conv output before activating
+        let ai = p.activation(ci, Activation::Relu);
+        assert_ne!(ai, ci, "activation must not fuse into a multiply-consumed conv");
+        let si = p.add(ci, ai);
+        let _ = raw;
+        let mut exec = Executor::new(p.finish(&[si]));
+        let out = exec.run(&[&x]);
+        assert_close(out[0].as_slice(), g.value(s).as_slice(), 1e-5, "unfused act");
+    }
+
+    #[test]
+    fn planner_recycles_slots_in_a_chain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = Planner::new();
+        let mut v = p.input(&[4, 8, 8]);
+        for _ in 0..6 {
+            let w = Tensor::randn(&[4, 4, 3, 3], &mut rng);
+            v = p.conv2d(v, &w, None, Conv2dSpec::same(3));
+        }
+        let plan = p.finish(&[v]);
+        assert_eq!(plan.num_values(), 7);
+        // A pure chain ping-pongs between two working buffers (+1 pinned
+        // output).
+        assert!(plan.num_slots() <= 3, "chain should recycle: {} slots", plan.num_slots());
+    }
+
+    #[test]
+    fn planner_never_aliases_simultaneously_live_values() {
+        // A branchy plan (diamond + concat) stresses the allocator; verify
+        // from the liveness table that no two values sharing a slot have
+        // overlapping live ranges [def, last_use].
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut p = Planner::new();
+        let x = p.input(&[4, 8, 8]);
+        let w1 = Tensor::randn(&[4, 4, 3, 3], &mut rng);
+        let w2 = Tensor::randn(&[4, 4, 1, 1], &mut rng);
+        let a = p.conv2d(x, &w1, None, Conv2dSpec::same(3));
+        let b = p.conv2d(x, &w2, None, Conv2dSpec::same(1));
+        let c = p.add(a, b);
+        let d = p.maxpool2d(c, 2, 2, 0);
+        let u = p.upsample_nearest(d, 2);
+        let cat = p.concat_channels(&[c, u]);
+        let w3 = Tensor::randn(&[2, 8, 1, 1], &mut rng);
+        let out = p.conv2d(cat, &w3, None, Conv2dSpec::same(1));
+        let plan = p.finish(&[out]);
+
+        let infos = plan.slot_map();
+        for i in &infos {
+            for j in &infos {
+                if i.value >= j.value || i.slot != j.slot {
+                    continue;
+                }
+                let disjoint = i.last_use < j.def || j.last_use < i.def;
+                assert!(
+                    disjoint,
+                    "values {} [{}, {}] and {} [{}, {}] alias slot {}",
+                    i.value, i.def, i.last_use, j.value, j.def, j.last_use, i.slot
+                );
+            }
+        }
+        assert!(plan.num_slots() < plan.num_values(), "expected some recycling");
+    }
+
+    #[test]
+    fn executor_handles_batch_size_changes_and_reuse() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = Tensor::randn(&[5, 3, 3, 3], &mut rng);
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 6, 6]);
+        let yi = p.conv2d(xi, &w, None, Conv2dSpec::same(3));
+        let zi = p.activation(yi, Activation::Leaky);
+        let mut exec = Executor::new(p.finish(&[zi]));
+
+        let x1 = Tensor::randn(&[1, 3, 6, 6], &mut rng);
+        let x3 = Tensor::randn(&[3, 3, 6, 6], &mut rng);
+        let first = exec.run(&[&x1])[0].clone();
+        let grown = exec.run(&[&x3])[0].clone();
+        assert_eq!(grown.shape(), &[3, 5, 6, 6]);
+        let again = exec.run(&[&x1])[0].clone();
+        assert_eq!(first.as_slice(), again.as_slice(), "executor reuse must be deterministic");
+        assert!(exec.arena_bytes() > 0);
+    }
+}

@@ -7,7 +7,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Var};
+use platter_tensor::{Graph, Param, Planner, ValueId, Var};
 use rand::Rng;
 
 use crate::config::YoloConfig;
@@ -30,6 +30,12 @@ impl ResidualBlock {
         let y = self.conv1.forward(g, x, training);
         let y = self.conv2.forward(g, y, training);
         g.add(x, y)
+    }
+
+    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let y = self.conv1.compile(p, x);
+        let y = self.conv2.compile(p, y);
+        p.add(x, y)
     }
 
     fn parameters(&self) -> Vec<Param> {
@@ -74,6 +80,18 @@ impl CspStage {
         self.merge.forward(g, cat, training)
     }
 
+    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let x = self.down.compile(p, x);
+        let bypass = self.split_bypass.compile(p, x);
+        let mut main = self.split_main.compile(p, x);
+        for block in &self.blocks {
+            main = block.compile(p, main);
+        }
+        let main = self.post.compile(p, main);
+        let cat = p.concat_channels(&[main, bypass]);
+        self.merge.compile(p, cat)
+    }
+
     fn parameters(&self) -> Vec<Param> {
         let mut p = self.down.parameters();
         p.extend(self.split_bypass.parameters());
@@ -87,14 +105,16 @@ impl CspStage {
     }
 }
 
-/// Multi-scale backbone features: strides 8, 16 and 32.
-pub struct BackboneFeatures {
+/// Multi-scale backbone features: strides 8, 16 and 32. Generic over the
+/// handle type so the same struct carries eager [`Var`]s and planned
+/// [`ValueId`]s.
+pub struct BackboneFeatures<H = Var> {
     /// Stride-8 feature map (the paper's route to the small-object head).
-    pub c3: Var,
+    pub c3: H,
     /// Stride-16 feature map.
-    pub c4: Var,
+    pub c4: H,
     /// Stride-32 feature map.
-    pub c5: Var,
+    pub c5: H,
 }
 
 /// The full CSPDarknet53.
@@ -138,6 +158,19 @@ impl CspDarknet {
             h = stage.forward(g, h, training);
             if i >= 2 {
                 taps.push(h); // stages 3, 4, 5 → strides 8, 16, 32
+            }
+        }
+        BackboneFeatures { c3: taps[0], c4: taps[1], c5: taps[2] }
+    }
+
+    /// Record the backbone into an inference plan.
+    pub fn compile(&self, p: &mut Planner, x: ValueId) -> BackboneFeatures<ValueId> {
+        let mut h = self.stem.compile(p, x);
+        let mut taps = Vec::with_capacity(3);
+        for (i, stage) in self.stages.iter().enumerate() {
+            h = stage.compile(p, h);
+            if i >= 2 {
+                taps.push(h);
             }
         }
         BackboneFeatures { c3: taps[0], c4: taps[1], c5: taps[2] }

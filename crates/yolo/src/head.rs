@@ -4,7 +4,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Var};
+use platter_tensor::{Graph, Param, Planner, ValueId, Var};
 use rand::Rng;
 
 use crate::config::YoloConfig;
@@ -38,6 +38,11 @@ impl DetectionHead {
         self.project.forward(g, h, training)
     }
 
+    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let h = self.expand.compile(p, x);
+        self.project.compile(p, h)
+    }
+
     fn parameters(&self) -> Vec<Param> {
         let mut p = self.expand.parameters();
         p.extend(self.project.parameters());
@@ -68,6 +73,15 @@ impl YoloHeads {
             self.h3.forward(g, f.p3, training),
             self.h4.forward(g, f.p4, training),
             self.h5.forward(g, f.p5, training),
+        ]
+    }
+
+    /// Record all three heads into an inference plan.
+    pub fn compile(&self, p: &mut Planner, f: &NeckFeatures<ValueId>) -> [ValueId; 3] {
+        [
+            self.h3.compile(p, f.p3),
+            self.h4.compile(p, f.p4),
+            self.h5.compile(p, f.p5),
         ]
     }
 

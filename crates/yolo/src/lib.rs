@@ -49,7 +49,7 @@ pub use anchors::{anchors_to_scales, kmeans_anchors, mean_best_iou};
 pub use assign::{build_targets, ScaleTargets};
 pub use config::{darknet_anchors, synthetic_anchors, YoloConfig, ANCHORS_PER_SCALE, STRIDES};
 pub use loss::{yolo_loss, BoxLoss, LossParts, LossWeights};
-pub use model::Yolov4;
+pub use model::{CompiledModel, Yolov4};
 pub use nms::{decode_detections, nms, Detection, NmsKind};
 pub use predict::Detector;
 pub use summary::{render_summary, summarize, SummaryRow};

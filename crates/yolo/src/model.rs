@@ -3,7 +3,7 @@
 //! paper's transfer-learning stage.
 
 use platter_tensor::serialize::{load_params, save_params, LoadMode, LoadReport, WeightError};
-use platter_tensor::{Graph, Param, Tensor, Var};
+use platter_tensor::{Executor, Graph, Param, Plan, Planner, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,11 +53,30 @@ impl Yolov4 {
 
     /// Convenience: run inference on a CHW image tensor batch, returning the
     /// three raw head tensors.
+    ///
+    /// This is the *eager* path — it builds a fresh tape every call and is
+    /// kept as the reference implementation. Hot loops should use
+    /// [`Yolov4::compile_inference`] instead.
     pub fn infer(&self, x: &Tensor) -> [Tensor; 3] {
         let mut g = Graph::inference();
         let xv = g.leaf(x.clone());
         let out = self.forward(&mut g, xv, false);
         [g.value(out[0]).clone(), g.value(out[1]).clone(), g.value(out[2]).clone()]
+    }
+
+    /// Compile the network into a tape-free [`CompiledModel`]: batch norms
+    /// fold into conv weights, activations fuse into conv output loops, and
+    /// all intermediates run in a statically planned arena reused across
+    /// calls. Weights are snapshotted at compile time — recompile after
+    /// training steps or checkpoint loads.
+    pub fn compile_inference(&self) -> CompiledModel {
+        let mut p = Planner::new();
+        let s = self.config.input_size;
+        let x = p.input(&[3, s, s]);
+        let f = self.backbone.compile(&mut p, x);
+        let n = self.neck.compile(&mut p, &f);
+        let heads = self.heads.compile(&mut p, &n);
+        CompiledModel { exec: Executor::new(p.finish(&heads)), input_size: s }
     }
 
     /// All parameters (backbone + neck + heads).
@@ -98,6 +117,43 @@ impl Yolov4 {
     /// Total parameter count.
     pub fn num_parameters(&self) -> usize {
         self.parameters().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// A planned, tape-free YOLOv4 inference engine (see
+/// [`Yolov4::compile_inference`]). Holds the op plan plus a persistent
+/// arena; after the first call at a given batch size, [`CompiledModel::run`]
+/// allocates nothing.
+pub struct CompiledModel {
+    exec: Executor,
+    input_size: usize,
+}
+
+impl CompiledModel {
+    /// Raw head logits `[stride8, stride16, stride32]` for an
+    /// `[n, 3, s, s]` input batch. The returned slice (always length 3)
+    /// aliases executor-owned tensors and is overwritten by the next call.
+    pub fn run(&mut self, x: &Tensor) -> &[Tensor] {
+        assert_eq!(x.shape().len(), 4, "expected [n,3,s,s] input, got {:?}", x.shape());
+        assert_eq!(x.shape()[1], 3, "expected RGB input, got {:?}", x.shape());
+        assert_eq!(
+            x.shape()[2],
+            self.input_size,
+            "input size {:?} does not match compiled size {}",
+            x.shape(),
+            self.input_size
+        );
+        self.exec.run(&[x])
+    }
+
+    /// The underlying plan (op/slot introspection).
+    pub fn plan(&self) -> &Plan {
+        self.exec.plan()
+    }
+
+    /// Bytes currently held by the activation arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.exec.arena_bytes()
     }
 }
 

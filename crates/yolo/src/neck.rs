@@ -4,7 +4,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Var};
+use platter_tensor::{Graph, Param, Planner, ValueId, Var};
 use rand::Rng;
 
 use crate::backbone::BackboneFeatures;
@@ -56,6 +56,23 @@ impl Spp {
         out
     }
 
+    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let mut h = x;
+        for c in &self.pre {
+            h = c.compile(p, h);
+        }
+        // Same kernel clamp as `forward` (per-item shape is [c,h,w]).
+        let dim = p.shape(h)[1].min(p.shape(h)[2]);
+        let kernels = [5usize, 9, 13].map(|k| k.min(if dim.is_multiple_of(2) { dim + 1 } else { dim }));
+        let pools: Vec<ValueId> = kernels.iter().map(|&k| p.maxpool2d(h, k, 1, k / 2)).collect();
+        let cat = p.concat_channels(&[pools[2], pools[1], pools[0], h]);
+        let mut out = cat;
+        for c in &self.post {
+            out = c.compile(p, out);
+        }
+        out
+    }
+
     fn parameters(&self) -> Vec<Param> {
         self.pre.iter().chain(&self.post).flat_map(|c| c.parameters()).collect()
     }
@@ -88,19 +105,28 @@ impl ConvStack {
         h
     }
 
+    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
+        let mut h = x;
+        for c in &self.convs {
+            h = c.compile(p, h);
+        }
+        h
+    }
+
     fn parameters(&self) -> Vec<Param> {
         self.convs.iter().flat_map(|c| c.parameters()).collect()
     }
 }
 
-/// Fused neck outputs, one per detection scale.
-pub struct NeckFeatures {
+/// Fused neck outputs, one per detection scale. Generic over the handle
+/// type, like [`BackboneFeatures`].
+pub struct NeckFeatures<H = Var> {
     /// Stride-8 fused features.
-    pub p3: Var,
+    pub p3: H,
     /// Stride-16 fused features.
-    pub p4: Var,
+    pub p4: H,
     /// Stride-32 fused features.
-    pub p5: Var,
+    pub p5: H,
 }
 
 /// SPP + PANet.
@@ -168,6 +194,33 @@ impl PanNeck {
         let d4 = self.down4.forward(g, p4, training);
         let cat5 = g.concat(&[d4, s5], 1);
         let p5 = self.bu5.forward(g, cat5, training);
+
+        NeckFeatures { p3, p4, p5 }
+    }
+
+    /// Record the neck into an inference plan, mirroring `forward`.
+    pub fn compile(&self, p: &mut Planner, f: &BackboneFeatures<ValueId>) -> NeckFeatures<ValueId> {
+        let s5 = self.spp.compile(p, f.c5);
+
+        let u5 = self.up5.compile(p, s5);
+        let u5 = p.upsample_nearest(u5, 2);
+        let l4 = self.lat4.compile(p, f.c4);
+        let cat4 = p.concat_channels(&[l4, u5]);
+        let t4 = self.td4.compile(p, cat4);
+
+        let u4 = self.up4.compile(p, t4);
+        let u4 = p.upsample_nearest(u4, 2);
+        let l3 = self.lat3.compile(p, f.c3);
+        let cat3 = p.concat_channels(&[l3, u4]);
+        let p3 = self.td3.compile(p, cat3);
+
+        let d3 = self.down3.compile(p, p3);
+        let cat4b = p.concat_channels(&[d3, t4]);
+        let p4 = self.bu4.compile(p, cat4b);
+
+        let d4 = self.down4.compile(p, p4);
+        let cat5 = p.concat_channels(&[d4, s5]);
+        let p5 = self.bu5.compile(p, cat5);
 
         NeckFeatures { p3, p4, p5 }
     }

@@ -33,8 +33,11 @@ fn sigmoid(x: f32) -> f32 {
 
 /// Decode raw head tensors into per-image candidate detections (before NMS).
 ///
-/// `heads` are the three raw `[n, a·(5+c), g, g]` tensors in stride order.
-pub fn decode_detections(heads: &[Tensor; 3], cfg: &YoloConfig, conf_thresh: f32) -> Vec<Vec<Detection>> {
+/// `heads` are the three raw `[n, a·(5+c), g, g]` tensors in stride order
+/// (a slice so both owned `[Tensor; 3]` arrays and the compiled executor's
+/// borrowed outputs decode without copies).
+pub fn decode_detections(heads: &[Tensor], cfg: &YoloConfig, conf_thresh: f32) -> Vec<Vec<Detection>> {
+    assert_eq!(heads.len(), 3, "expected three head tensors, got {}", heads.len());
     let n = heads[0].shape()[0];
     let a = ANCHORS_PER_SCALE;
     let c = cfg.num_classes;

@@ -1,14 +1,23 @@
 //! End-to-end inference: letterbox → forward → decode → NMS → map back to
 //! image coordinates (the pipeline of the paper's Fig. 3).
 
+use std::cell::RefCell;
+
 use platter_imaging::augment::unletterbox_box;
 use platter_imaging::Image;
 use platter_tensor::Tensor;
 
-use crate::model::Yolov4;
+use crate::model::{CompiledModel, Yolov4};
 use crate::nms::{decode_detections, nms, Detection, NmsKind};
 
 /// A configured detector ready to run on images.
+///
+/// Inference runs on the planned engine ([`Yolov4::compile_inference`]):
+/// the first `detect`/`detect_batch` call compiles the model (folding batch
+/// norms into conv weights) and later calls reuse the cached plan and
+/// arena, so the steady state builds no tape and allocates nothing per
+/// layer. The engine snapshots the weights at compile time — if the wrapped
+/// model is trained or reloaded afterwards, call [`Detector::recompile`].
 pub struct Detector {
     /// The trained model.
     pub model: Yolov4,
@@ -18,13 +27,34 @@ pub struct Detector {
     pub nms_iou: f32,
     /// NMS flavour.
     pub nms_kind: NmsKind,
+    engine: RefCell<Option<CompiledModel>>,
 }
 
 impl Detector {
     /// Wrap a model with the standard inference settings (conf 0.25,
     /// DIoU-NMS at 0.45 — darknet's defaults).
     pub fn new(model: Yolov4) -> Detector {
-        Detector { model, conf_thresh: 0.25, nms_iou: 0.45, nms_kind: NmsKind::Diou }
+        Detector {
+            model,
+            conf_thresh: 0.25,
+            nms_iou: 0.45,
+            nms_kind: NmsKind::Diou,
+            engine: RefCell::new(None),
+        }
+    }
+
+    /// Rebuild the compiled engine from the model's current weights. Only
+    /// needed when the weights changed after the first detection call.
+    pub fn recompile(&self) {
+        *self.engine.borrow_mut() = Some(self.model.compile_inference());
+    }
+
+    /// Decode + NMS over the compiled engine's head outputs for `x`.
+    fn detect_candidates(&self, x: &Tensor) -> Vec<Vec<Detection>> {
+        let mut slot = self.engine.borrow_mut();
+        let engine = slot.get_or_insert_with(|| self.model.compile_inference());
+        let heads = engine.run(x);
+        decode_detections(heads, &self.model.config, self.conf_thresh)
     }
 
     /// Detect dishes in an arbitrary-size image. Boxes come back in the
@@ -34,8 +64,7 @@ impl Detector {
         let lb = image.letterbox(size);
         let chw = lb.image.to_chw();
         let x = Tensor::from_vec(chw, &[1, 3, size, size]);
-        let heads = self.model.infer(&x);
-        let mut candidates = decode_detections(&heads, &self.model.config, self.conf_thresh);
+        let mut candidates = self.detect_candidates(&x);
         let kept = nms(std::mem::take(&mut candidates[0]), self.nms_iou, self.nms_kind);
         kept.into_iter()
             .filter_map(|d| {
@@ -48,8 +77,7 @@ impl Detector {
     /// Detect over an already-batched CHW tensor (the validation loader's
     /// output — images are already square at input size, so no letterboxing).
     pub fn detect_batch(&self, batch: &Tensor) -> Vec<Vec<Detection>> {
-        let heads = self.model.infer(batch);
-        let candidates = decode_detections(&heads, &self.model.config, self.conf_thresh);
+        let candidates = self.detect_candidates(batch);
         candidates
             .into_iter()
             .map(|c| {

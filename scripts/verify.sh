@@ -14,4 +14,10 @@ cargo test -q --workspace
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== eager vs compiled parity =="
+cargo test -q --release -p platter-yolo --test parity
+
+echo "== compiled inference smoke (writes results/BENCH_inference.json) =="
+cargo run -q --release -p platter-bench --bin bench_inference
+
 echo "== verify OK =="
