@@ -1,0 +1,266 @@
+//! Serving-runtime benchmark: dynamic batching vs per-request dispatch.
+//!
+//! Drives a [`ServePool`] over a tiny ("nano") profile so per-dispatch
+//! overhead — queue handoff, batch assembly, plan dispatch, decode — is
+//! visible next to the forward pass, then measures for each `max_batch`:
+//!
+//! * **burst throughput**: N requests enqueued at once, wall-clock until
+//!   all are answered;
+//! * **open-loop load**: requests arriving on a fixed interval chosen to
+//!   overload single-request dispatch; reports p50/p99 latency and the
+//!   shed rate from admission control (bounded queue of 32).
+//!
+//! Results go to `results/BENCH_serve.json`. Scale flags: `--smoke` /
+//! `--extended` (default standard).
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use platter_bench::{write_json, RunScale};
+use platter_serve::{Pending, ServeConfig, ServeError, ServePool};
+use platter_tensor::Tensor;
+use platter_yolo::{YoloConfig, Yolov4};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct OpenLoopResult {
+    offered_rps: f64,
+    submitted: usize,
+    completed: usize,
+    shed: usize,
+    shed_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ModeResult {
+    max_batch: usize,
+    burst_requests: usize,
+    burst_secs: f64,
+    burst_throughput_rps: f64,
+    open_loop: OpenLoopResult,
+}
+
+#[derive(Serialize)]
+struct ServeBenchReport {
+    config: &'static str,
+    input_size: usize,
+    workers: usize,
+    /// Hardware threads visible to the process. With one core the batching
+    /// gain is pure dispatch-overhead amortization (the forward pass itself
+    /// is serial either way), so expect modest margins there.
+    host_cpus: usize,
+    per_request_rps: f64,
+    batching_gain_at_4: f64,
+    batching_gain_at_8: f64,
+    results: Vec<ModeResult>,
+}
+
+fn nano_model() -> Yolov4 {
+    let cfg = YoloConfig { input_size: 32, width: 0.05, ..YoloConfig::micro(10) };
+    Yolov4::new(cfg, 42)
+}
+
+fn pool_config(max_batch: usize, queue_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        queue_capacity,
+        max_batch,
+        max_wait: Duration::from_millis(2),
+        ..ServeConfig::new(1)
+    }
+}
+
+/// Enqueue `n` requests at once and wait for all: wall-clock throughput of
+/// the dispatch path itself. Best of `reps` runs — the minimum is far more
+/// stable under scheduler noise than a single sample.
+fn burst_throughput(pool: &ServePool, x: &Tensor, n: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let pending: Vec<Pending> =
+            (0..n).map(|_| pool.submit_tensor(x).expect("burst fits queue")).collect();
+        for p in pending {
+            p.wait().expect("healthy pool");
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The no-batching baseline: dispatch each request individually and wait
+/// for its answer before sending the next — what an application calling
+/// `detect()` synchronously does. Pays a worker wake-up and a reply
+/// wake-up per request, with the worker idle during both.
+fn per_request_throughput(pool: &ServePool, x: &Tensor, n: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..n {
+            pool.submit_tensor(x).expect("queue empty").wait().expect("healthy pool");
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Warm a pool past one-time costs (plan compile, arena growth to the
+/// batch capacity, allocator steady state) so timed runs measure dispatch,
+/// not setup.
+fn warm(pool: &ServePool, x: &Tensor, n: usize) {
+    let pending: Vec<Pending> =
+        (0..n).map(|_| pool.submit_tensor(x).expect("warmup fits queue")).collect();
+    for p in pending {
+        p.wait().expect("healthy pool");
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Open-loop arrivals every `interval`; latencies are collected off-thread
+/// so submission timing never blocks on a slow answer.
+fn open_loop(pool: &ServePool, x: &Tensor, n: usize, interval: Duration) -> OpenLoopResult {
+    let (tx, rx) = mpsc::channel::<(Instant, Pending)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+    let collectors: Vec<_> = (0..4)
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let latencies = Arc::clone(&latencies);
+            std::thread::spawn(move || loop {
+                let item = rx.lock().unwrap().recv();
+                match item {
+                    Ok((t0, pending)) => {
+                        if pending.wait().is_ok() {
+                            latencies.lock().unwrap().push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    Err(_) => return,
+                }
+            })
+        })
+        .collect();
+
+    let mut shed = 0usize;
+    let start = Instant::now();
+    for i in 0..n {
+        let due = start + interval * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match pool.submit_tensor(x) {
+            Ok(pending) => tx.send((Instant::now(), pending)).expect("collector alive"),
+            Err(ServeError::Rejected { .. }) => shed += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    drop(tx);
+    for c in collectors {
+        c.join().expect("collector");
+    }
+
+    let mut lat = Arc::try_unwrap(latencies).expect("collectors joined").into_inner().unwrap();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    OpenLoopResult {
+        offered_rps: 1.0 / interval.as_secs_f64(),
+        submitted: n,
+        completed: lat.len(),
+        shed,
+        shed_rate: shed as f64 / n as f64,
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let (n_burst, reps) = match scale {
+        RunScale::Smoke => (64, 3),
+        RunScale::Standard => (512, 5),
+        RunScale::Extended => (2048, 7),
+    };
+
+    let model = nano_model();
+    let size = model.config.input_size;
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = Tensor::rand_uniform(&[3, size, size], 0.0, 1.0, &mut rng);
+
+    // Calibrate the open-loop arrival rate against single-request dispatch
+    // so the same offered load overloads it but not the batcher.
+    let calib_pool = ServePool::new(&model, pool_config(1, n_burst));
+    warm(&calib_pool, &x, 32);
+    let calib_secs = burst_throughput(&calib_pool, &x, n_burst.min(128), 2);
+    calib_pool.shutdown();
+    let single_rps = n_burst.min(128) as f64 / calib_secs;
+    let offered_rps = single_rps * 1.5;
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+
+    // Baseline: per-request dispatch (no batching, no pipelining).
+    let base_pool = ServePool::new(&model, pool_config(1, n_burst));
+    warm(&base_pool, &x, 32);
+    let per_request_secs = per_request_throughput(&base_pool, &x, n_burst, reps);
+    let per_request_rps = n_burst as f64 / per_request_secs;
+    base_pool.shutdown();
+    println!("per-request dispatch: {per_request_rps:7.1} req/s");
+
+    let mut results = Vec::new();
+    for max_batch in [1usize, 4, 8] {
+        let pool = ServePool::new(&model, pool_config(max_batch, n_burst));
+        // Warm until the arena has grown to `max_batch` capacity: the first
+        // full batch pays plan + allocation, every later one is steady-state.
+        warm(&pool, &x, 4 * max_batch.max(8));
+
+        let burst_secs = burst_throughput(&pool, &x, n_burst, reps);
+        let burst_rps = n_burst as f64 / burst_secs;
+        pool.shutdown();
+
+        // Fresh pool with a small queue so overload sheds instead of
+        // building a deep backlog.
+        let pool = ServePool::new(&model, pool_config(max_batch, 32));
+        warm(&pool, &x, 4 * max_batch.max(8));
+        let open = open_loop(&pool, &x, n_burst, interval);
+        let stats = pool.stats();
+        assert_eq!(stats.worker_panics, 0, "bench must run clean");
+        pool.shutdown();
+
+        println!(
+            "max_batch {max_batch}: burst {burst_rps:7.1} req/s   open-loop p50 {:7.2} ms  p99 {:7.2} ms  shed {:4.1}%",
+            open.p50_ms,
+            open.p99_ms,
+            open.shed_rate * 100.0
+        );
+        results.push(ModeResult {
+            max_batch,
+            burst_requests: n_burst,
+            burst_secs,
+            burst_throughput_rps: burst_rps,
+            open_loop: open,
+        });
+    }
+
+    for r in &results {
+        let gain = r.burst_throughput_rps / per_request_rps;
+        println!("batcher (max_batch {}) vs per-request dispatch: {gain:.2}x throughput", r.max_batch);
+    }
+
+    let report = ServeBenchReport {
+        config: "nano",
+        input_size: size,
+        workers: 1,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        per_request_rps,
+        batching_gain_at_4: results[1].burst_throughput_rps / per_request_rps,
+        batching_gain_at_8: results[2].burst_throughput_rps / per_request_rps,
+        results,
+    };
+    write_json("BENCH_serve", &report);
+}

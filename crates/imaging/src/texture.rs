@@ -206,7 +206,7 @@ mod tests {
         for y in 0..64 {
             for x in 0..64 {
                 if img.get(x, y).r > 0.3 {
-                    let d = (((x as f32 - 32.0).powi(2) + (y as f32 - 32.0).powi(2))).sqrt();
+                    let d = ((x as f32 - 32.0).powi(2) + (y as f32 - 32.0).powi(2)).sqrt();
                     assert!(d < 16.0, "speck at distance {d}");
                 }
             }

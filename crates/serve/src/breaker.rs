@@ -1,0 +1,218 @@
+//! The graceful-degradation state machine.
+//!
+//! The compiled engine is the fast path, but it is also the risky one: a
+//! poisoned arena after a panic, folded weights gone bad after a corrupt
+//! reload, a miscompiled plan. The breaker watches consecutive
+//! compiled-path failures and, past a threshold, *trips*: every batch runs
+//! on the slow-but-simple eager tape instead. After a configurable number
+//! of degraded batches one worker is elected to *probe* — it rebuilds the
+//! compiled engine from the model's current weights and runs the next
+//! batch on it. A successful probe closes the breaker; a failed probe
+//! returns to degraded serving and the cycle repeats.
+//!
+//! The state machine is deliberately synchronous and free of clocks: it
+//! counts batches, not seconds, so every transition is reproducible under
+//! the fault-injection harness.
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive compiled-path failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Degraded (eager) batches between a trip and the next recompile
+    /// probe.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 3, probe_after: 8 }
+    }
+}
+
+/// Which execution path a batch should take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Normal operation: run the compiled engine.
+    Compiled,
+    /// Degraded: run the eager reference path.
+    Eager,
+    /// Degraded, and this batch is the recompile probe: rebuild the
+    /// compiled engine and try it.
+    Probe,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { degraded: u32 },
+    /// A probe is in flight on some worker; everyone else stays eager.
+    Probing,
+}
+
+/// Counts compiled-path failures and decides when to degrade and recover.
+/// Callers serialize access (the pool holds it behind a mutex).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: State,
+    consecutive_failures: u32,
+    trips: u64,
+    recoveries: u64,
+    probes: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: State::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+            recoveries: 0,
+            probes: 0,
+        }
+    }
+
+    /// Decide the path for the next batch.
+    pub fn plan_path(&mut self) -> ExecPath {
+        match &mut self.state {
+            State::Closed => ExecPath::Compiled,
+            State::Probing => ExecPath::Eager,
+            State::Open { degraded } => {
+                *degraded += 1;
+                if *degraded >= self.cfg.probe_after {
+                    self.state = State::Probing;
+                    self.probes += 1;
+                    ExecPath::Probe
+                } else {
+                    ExecPath::Eager
+                }
+            }
+        }
+    }
+
+    /// The batch on `path` completed with trustworthy outputs.
+    pub fn record_success(&mut self, path: ExecPath) {
+        match path {
+            ExecPath::Compiled => self.consecutive_failures = 0,
+            ExecPath::Probe => {
+                self.state = State::Closed;
+                self.consecutive_failures = 0;
+                self.recoveries += 1;
+            }
+            ExecPath::Eager => {}
+        }
+    }
+
+    /// The compiled engine failed (panic or non-finite outputs) on `path`.
+    pub fn record_failure(&mut self, path: ExecPath) {
+        match path {
+            ExecPath::Compiled => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.state = State::Open { degraded: 0 };
+                    self.consecutive_failures = 0;
+                    self.trips += 1;
+                }
+            }
+            ExecPath::Probe => {
+                // Failed probe: back to degraded serving, restart the wait.
+                self.state = State::Open { degraded: 0 };
+            }
+            ExecPath::Eager => {}
+        }
+    }
+
+    /// True while degraded (eager serving, probe pending or in flight).
+    pub fn is_open(&self) -> bool {
+        self.state != State::Closed
+    }
+
+    /// Times the breaker tripped into degraded serving.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Successful recompile probes (degraded → healthy transitions).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Recompile probes attempted.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, probe_after: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig { failure_threshold: threshold, probe_after })
+    }
+
+    #[test]
+    fn stays_closed_under_intermittent_failures() {
+        let mut b = breaker(3, 4);
+        for _ in 0..10 {
+            assert_eq!(b.plan_path(), ExecPath::Compiled);
+            b.record_failure(ExecPath::Compiled);
+            assert_eq!(b.plan_path(), ExecPath::Compiled);
+            b.record_success(ExecPath::Compiled); // success resets the streak
+        }
+        assert!(!b.is_open());
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn trips_after_threshold_then_probes_and_recovers() {
+        let mut b = breaker(2, 3);
+        for _ in 0..2 {
+            assert_eq!(b.plan_path(), ExecPath::Compiled);
+            b.record_failure(ExecPath::Compiled);
+        }
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        // Two degraded batches, then the third is the probe.
+        assert_eq!(b.plan_path(), ExecPath::Eager);
+        assert_eq!(b.plan_path(), ExecPath::Eager);
+        assert_eq!(b.plan_path(), ExecPath::Probe);
+        assert_eq!(b.probes(), 1);
+        b.record_success(ExecPath::Probe);
+        assert!(!b.is_open());
+        assert_eq!(b.recoveries(), 1);
+        assert_eq!(b.plan_path(), ExecPath::Compiled);
+    }
+
+    #[test]
+    fn failed_probe_returns_to_degraded_serving() {
+        let mut b = breaker(1, 2);
+        b.plan_path();
+        b.record_failure(ExecPath::Compiled);
+        assert_eq!(b.plan_path(), ExecPath::Eager);
+        assert_eq!(b.plan_path(), ExecPath::Probe);
+        b.record_failure(ExecPath::Probe);
+        assert!(b.is_open());
+        assert_eq!(b.recoveries(), 0);
+        // The degraded counter restarted: another full wait before reprobe.
+        assert_eq!(b.plan_path(), ExecPath::Eager);
+        assert_eq!(b.plan_path(), ExecPath::Probe);
+        b.record_success(ExecPath::Probe);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn only_one_probe_in_flight() {
+        let mut b = breaker(1, 1);
+        b.plan_path();
+        b.record_failure(ExecPath::Compiled);
+        assert_eq!(b.plan_path(), ExecPath::Probe);
+        // A second worker asking while the probe runs stays eager.
+        assert_eq!(b.plan_path(), ExecPath::Eager);
+        assert_eq!(b.plan_path(), ExecPath::Eager);
+        assert_eq!(b.probes(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! The typed error surface every request sees.
+//!
+//! A hardened serving runtime never answers with a panic or an unbounded
+//! wait: every way a request can fail maps onto exactly one [`ServeError`]
+//! variant, and each variant corresponds to one degradation mechanism of
+//! the pool (admission control, sanitization, the deadline batcher, panic
+//! isolation, or the output guard).
+
+use crate::sanitize::InputError;
+use platter_yolo::DetectError;
+
+/// Why a request was not answered with detections.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Admission control shed the request: the bounded queue was full.
+    /// Shedding at the door keeps memory flat under overload instead of
+    /// letting the backlog grow without bound.
+    Rejected {
+        /// Queue depth observed at rejection time (= the configured cap).
+        queue_depth: usize,
+    },
+    /// The input failed sanitization and was recorded in the quarantine.
+    BadInput(InputError),
+    /// The request's deadline passed before a worker could run it; the
+    /// batcher dropped it without spending a forward pass.
+    DeadlineExceeded,
+    /// The worker executing the request panicked. The panic was contained
+    /// to this batch — the pool keeps serving.
+    WorkerPanic {
+        /// The captured panic payload, when it was a string.
+        message: String,
+    },
+    /// Both the compiled and the eager path produced non-finite outputs
+    /// for this batch, so no trustworthy detections exist.
+    CorruptOutput,
+    /// The pool is shutting down (or was dropped with the request queued).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { queue_depth } => {
+                write!(f, "request shed: queue full at depth {queue_depth}")
+            }
+            ServeError::BadInput(e) => write!(f, "bad input: {e}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline passed before execution"),
+            ServeError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
+            ServeError::CorruptOutput => write!(f, "model produced non-finite outputs"),
+            ServeError::ShuttingDown => write!(f, "serving pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<InputError> for ServeError {
+    fn from(e: InputError) -> ServeError {
+        ServeError::BadInput(e)
+    }
+}
+
+/// A [`DetectError`] from the underlying detector is always an input
+/// problem from the pool's point of view.
+impl From<DetectError> for ServeError {
+    fn from(e: DetectError) -> ServeError {
+        match e {
+            DetectError::BadShape { got, want } => {
+                ServeError::BadInput(InputError::BadShape { got, want })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_errors_propagate_as_bad_input() {
+        let e = DetectError::BadShape { got: vec![1, 4, 64, 64], want: [3, 64, 64] };
+        match ServeError::from(e) {
+            ServeError::BadInput(InputError::BadShape { got, want }) => {
+                assert_eq!(got, vec![1, 4, 64, 64]);
+                assert_eq!(want, [3, 64, 64]);
+            }
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_render_without_panicking() {
+        for e in [
+            ServeError::Rejected { queue_depth: 64 },
+            ServeError::DeadlineExceeded,
+            ServeError::WorkerPanic { message: "boom".into() },
+            ServeError::CorruptOutput,
+            ServeError::ShuttingDown,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic fault injection for the serving pool.
+//!
+//! Mirrors the training runtime's `FaultPlan` (see `platter-yolo`'s
+//! `runtime` module): faults are keyed to the global *batch sequence
+//! number* the pool assigns as workers pick up work, not to wall-clock
+//! time, so a seeded plan reproduces the exact same trip/recover trace on
+//! every run. Each fault fires exactly once.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A failure injected into the execution of one batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeFault {
+    /// Panic inside the worker's forward pass (tests `catch_unwind`
+    /// containment and the engine-rebuild path).
+    WorkerPanic,
+    /// Stall the executor for `delay` before the forward pass (tests
+    /// deadline-aware dropping: requests whose deadline passes during the
+    /// stall are answered with `DeadlineExceeded`, not served stale).
+    SlowExec {
+        /// How long the executor appears to hang.
+        delay: Duration,
+    },
+    /// Overwrite the compiled head outputs with NaNs (tests the output
+    /// guard and the breaker's eager fallback).
+    CorruptOutput,
+}
+
+/// A schedule of injected faults keyed by batch sequence number.
+#[derive(Clone, Debug, Default)]
+pub struct ServeFaultPlan {
+    faults: BTreeMap<u64, Vec<ServeFault>>,
+}
+
+impl ServeFaultPlan {
+    /// An empty plan (no faults fire).
+    pub fn new() -> ServeFaultPlan {
+        ServeFaultPlan::default()
+    }
+
+    /// Schedule `fault` to fire when batch `batch` executes.
+    pub fn at(mut self, batch: u64, fault: ServeFault) -> ServeFaultPlan {
+        self.faults.entry(batch).or_default().push(fault);
+        self
+    }
+
+    /// Remove and return the faults scheduled for `batch` (each fires
+    /// once).
+    pub fn take(&mut self, batch: u64) -> Vec<ServeFault> {
+        self.faults.remove(&batch).unwrap_or_default()
+    }
+
+    /// True when no faults remain.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_in_batch_order() {
+        let mut plan = ServeFaultPlan::new()
+            .at(2, ServeFault::WorkerPanic)
+            .at(0, ServeFault::CorruptOutput)
+            .at(0, ServeFault::SlowExec { delay: Duration::from_millis(5) });
+        assert_eq!(
+            plan.take(0),
+            vec![
+                ServeFault::CorruptOutput,
+                ServeFault::SlowExec { delay: Duration::from_millis(5) }
+            ]
+        );
+        assert!(plan.take(0).is_empty(), "batch-0 faults fire exactly once");
+        assert!(plan.take(1).is_empty());
+        assert_eq!(plan.take(2), vec![ServeFault::WorkerPanic]);
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! # platter-serve
+//!
+//! A hardened serving runtime for the compiled detector (DESIGN.md §10).
+//! The training side of this repo already survives crashes and divergence
+//! (the fault-tolerant runtime of `platter-yolo`); this crate gives the
+//! *inference* side the same treatment. A [`ServePool`] wraps a trained
+//! `Yolov4` in a synchronous multi-worker service with:
+//!
+//! * admission control — a bounded queue that sheds load at the door
+//!   ([`ServeError::Rejected`]) instead of building an unbounded backlog;
+//! * input sanitization — NaN/inf pixels, degenerate dimensions, and
+//!   wrong-shape tensors are refused before they cost a forward pass, with
+//!   a bounded [`Quarantine`] ring retaining samples for postmortems;
+//! * deadline-aware batching — requests coalesce into batches bounded by
+//!   size and wait time, and work whose deadline already passed is dropped
+//!   before execution;
+//! * panic isolation — every forward pass runs under `catch_unwind`; a
+//!   panicking batch answers its requests with a typed error and the pool
+//!   keeps serving;
+//! * graceful degradation — a [`CircuitBreaker`] trips after repeated
+//!   compiled-engine failures, serving falls back to the eager reference
+//!   path, and periodic recompile probes restore the fast path when it
+//!   heals.
+//!
+//! Everything is deterministic under test: the fault-injection schedule
+//! ([`ServeFaultPlan`]) is keyed to batch sequence numbers, and the
+//! breaker counts batches rather than seconds.
+//!
+//! ## Example
+//!
+//! ```
+//! use platter_imaging::{Image, Rgb};
+//! use platter_serve::{ServeConfig, ServePool};
+//! use platter_yolo::{YoloConfig, Yolov4};
+//!
+//! let model = Yolov4::new(YoloConfig::micro(10), 42);
+//! let pool = ServePool::new(&model, ServeConfig::new(1));
+//! let image = Image::new(100, 60, Rgb::new(0.4, 0.3, 0.2));
+//! let detections = pool.detect(&image).unwrap();
+//! for d in &detections {
+//!     assert!(d.bbox.is_valid());
+//! }
+//! pool.shutdown();
+//! ```
+
+pub mod breaker;
+pub mod error;
+pub mod fault;
+pub mod pool;
+pub mod sanitize;
+
+pub use breaker::{BreakerConfig, CircuitBreaker, ExecPath};
+pub use error::ServeError;
+pub use fault::{ServeFault, ServeFaultPlan};
+pub use pool::{Pending, ServeConfig, ServePool, ServeStats};
+pub use sanitize::{sanitize_image, sanitize_tensor, InputError, Quarantine, QuarantineRecord};

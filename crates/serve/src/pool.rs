@@ -1,0 +1,606 @@
+//! The hardened serving pool.
+//!
+//! [`ServePool`] turns a trained [`Yolov4`] into a multi-worker detection
+//! service with the failure behaviour a deployment needs and a bare
+//! `Detector` does not have:
+//!
+//! * **Admission control** — a bounded queue; when it is full new requests
+//!   are shed immediately with [`ServeError::Rejected`] instead of growing
+//!   the backlog (memory stays flat under overload).
+//! * **Sanitization at the door** — malformed shapes, degenerate
+//!   dimensions, and non-finite pixels are refused before they cost queue
+//!   space, and a compact sample is kept in the [`Quarantine`] ring.
+//! * **Deadline-aware batching** — workers coalesce queued requests into
+//!   batches (up to `max_batch`, waiting at most `max_wait`), and work
+//!   whose deadline already passed is dropped *before* the forward pass.
+//! * **Panic isolation** — every forward pass runs under `catch_unwind`;
+//!   a panicking batch answers its requests with
+//!   [`ServeError::WorkerPanic`] and the pool keeps serving. The worker's
+//!   compiled engine is discarded after a panic (a mid-run unwind leaves
+//!   its arena inconsistent) and rebuilt lazily.
+//! * **Graceful degradation** — compiled-path failures feed a
+//!   [`CircuitBreaker`]; past a threshold the pool serves on the eager
+//!   reference path and periodically probes a recompile until the fast
+//!   path proves healthy again.
+//!
+//! `Yolov4` holds its parameters behind `Rc` and is not `Send`, so each
+//! worker thread reconstructs a private replica from the source model's
+//! config and a weight snapshot taken at pool construction.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use platter_imaging::augment::unletterbox_box;
+use platter_imaging::Image;
+use platter_tensor::serialize::{Bytes, LoadMode};
+use platter_tensor::Tensor;
+use platter_yolo::{decode_detections, nms, CompiledModel, Detection, NmsKind, YoloConfig, Yolov4};
+use serde::Serialize;
+
+use crate::breaker::{BreakerConfig, CircuitBreaker, ExecPath};
+use crate::error::ServeError;
+use crate::fault::{ServeFault, ServeFaultPlan};
+use crate::sanitize::{sanitize_image, sanitize_tensor, Quarantine, QuarantineRecord};
+
+/// Lock a mutex, recovering the data if a previous holder panicked — a
+/// hardened runtime treats a poisoned lock as survivable, not fatal.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pool tuning. `ServeConfig::new(workers)` gives sensible defaults.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads. Zero is allowed (submissions queue but never run —
+    /// useful for testing admission control in isolation).
+    pub workers: usize,
+    /// Bound on queued requests; submissions past it are shed.
+    pub queue_capacity: usize,
+    /// Largest batch a worker coalesces.
+    pub max_batch: usize,
+    /// Longest a worker waits for more work before running a partial batch.
+    pub max_wait: Duration,
+    /// Deadline applied to submissions that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Per-edge limit on submitted image dimensions.
+    pub max_image_dim: usize,
+    /// Retained quarantine records.
+    pub quarantine_capacity: usize,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Minimum confidence for a detection.
+    pub conf_thresh: f32,
+    /// NMS suppression threshold.
+    pub nms_iou: f32,
+    /// NMS flavour.
+    pub nms_kind: NmsKind,
+}
+
+impl ServeConfig {
+    /// Defaults matching the `Detector` inference settings.
+    pub fn new(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            default_deadline: None,
+            max_image_dim: 4096,
+            quarantine_capacity: 32,
+            breaker: BreakerConfig::default(),
+            conf_thresh: 0.25,
+            nms_iou: 0.45,
+            nms_kind: NmsKind::Diou,
+        }
+    }
+}
+
+/// Letterbox geometry needed to map detections back to the source image.
+#[derive(Clone, Copy, Debug)]
+struct BoxMap {
+    scale: f32,
+    pad_x: usize,
+    pad_y: usize,
+    orig_w: usize,
+    orig_h: usize,
+}
+
+/// One admitted request.
+struct Job {
+    x: Tensor,
+    map: Option<BoxMap>,
+    deadline: Option<Instant>,
+    reply: SyncSender<Result<Vec<Detection>, ServeError>>,
+}
+
+/// Handle to an admitted request's eventual answer.
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<Result<Vec<Detection>, ServeError>>,
+}
+
+impl Pending {
+    /// Block until the request is answered. A pool torn down with the
+    /// request still queued answers [`ServeError::ShuttingDown`].
+    pub fn wait(self) -> Result<Vec<Detection>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// Monotonic counters describing everything the pool has done.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests shed because the queue was full.
+    pub rejected_full: u64,
+    /// Requests refused by sanitization.
+    pub rejected_bad_input: u64,
+    /// Requests answered with detections.
+    pub completed: u64,
+    /// Requests dropped because their deadline passed before execution.
+    pub deadline_dropped: u64,
+    /// Forward passes that panicked (contained by `catch_unwind`).
+    pub worker_panics: u64,
+    /// Forward passes that produced non-finite outputs.
+    pub corrupt_outputs: u64,
+    /// Batches served by the compiled engine (probes included).
+    pub compiled_batches: u64,
+    /// Batches served by the eager fallback.
+    pub eager_batches: u64,
+    /// Times the breaker tripped into degraded serving.
+    pub breaker_trips: u64,
+    /// Successful recompile probes.
+    pub breaker_recoveries: u64,
+    /// Recompile probes attempted.
+    pub breaker_probes: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_bad_input: AtomicU64,
+    completed: AtomicU64,
+    deadline_dropped: AtomicU64,
+    worker_panics: AtomicU64,
+    corrupt_outputs: AtomicU64,
+    compiled_batches: AtomicU64,
+    eager_batches: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    model_cfg: YoloConfig,
+    weights: Bytes,
+    queue: Mutex<Queue>,
+    job_ready: Condvar,
+    breaker: Mutex<CircuitBreaker>,
+    quarantine: Mutex<Quarantine>,
+    faults: Mutex<ServeFaultPlan>,
+    batch_seq: AtomicU64,
+    submit_seq: AtomicU64,
+    stats: Counters,
+}
+
+/// The serving pool. See the module docs for the failure model.
+pub struct ServePool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServePool {
+    /// Spin up a pool serving `model`'s current weights.
+    pub fn new(model: &Yolov4, cfg: ServeConfig) -> ServePool {
+        ServePool::with_faults(model, cfg, ServeFaultPlan::new())
+    }
+
+    /// Like [`ServePool::new`], with a deterministic fault schedule (see
+    /// [`ServeFaultPlan`]). Production pools pass an empty plan.
+    pub fn with_faults(model: &Yolov4, cfg: ServeConfig, faults: ServeFaultPlan) -> ServePool {
+        let shared = Arc::new(Shared {
+            model_cfg: model.config.clone(),
+            weights: model.save(),
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), open: true }),
+            job_ready: Condvar::new(),
+            breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
+            quarantine: Mutex::new(Quarantine::new(cfg.quarantine_capacity)),
+            faults: Mutex::new(faults),
+            batch_seq: AtomicU64::new(0),
+            submit_seq: AtomicU64::new(0),
+            stats: Counters::default(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServePool { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Submit an image with the configured default deadline.
+    pub fn submit_image(&self, image: &Image) -> Result<Pending, ServeError> {
+        self.submit_image_with_deadline(image, self.default_deadline())
+    }
+
+    /// Submit an image that must start executing before `deadline`.
+    pub fn submit_image_with_deadline(
+        &self,
+        image: &Image,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
+        let seq = self.shared.submit_seq.fetch_add(1, Ordering::SeqCst);
+        if let Err(e) = sanitize_image(image, self.shared.cfg.max_image_dim) {
+            self.refuse(seq, e.clone(), vec![image.width(), image.height()], image.raw());
+            return Err(ServeError::BadInput(e));
+        }
+        let size = self.shared.model_cfg.input_size;
+        let lb = image.letterbox(size);
+        let x = Tensor::from_vec(lb.image.to_chw(), &[3, size, size]);
+        let map = BoxMap {
+            scale: lb.scale,
+            pad_x: lb.pad_x,
+            pad_y: lb.pad_y,
+            orig_w: image.width(),
+            orig_h: image.height(),
+        };
+        self.enqueue(x, Some(map), deadline)
+    }
+
+    /// Submit an already-preprocessed `[3, s, s]` tensor with the default
+    /// deadline. Detections come back in letterboxed coordinates (no
+    /// un-mapping is possible without the source geometry).
+    pub fn submit_tensor(&self, x: &Tensor) -> Result<Pending, ServeError> {
+        self.submit_tensor_with_deadline(x, self.default_deadline())
+    }
+
+    /// Submit a tensor that must start executing before `deadline`.
+    pub fn submit_tensor_with_deadline(
+        &self,
+        x: &Tensor,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
+        let seq = self.shared.submit_seq.fetch_add(1, Ordering::SeqCst);
+        if let Err(e) = sanitize_tensor(x, self.shared.model_cfg.input_size) {
+            self.refuse(seq, e.clone(), x.shape().to_vec(), x.as_slice());
+            return Err(ServeError::BadInput(e));
+        }
+        self.enqueue(x.clone(), None, deadline)
+    }
+
+    /// Convenience: submit an image and block for the answer.
+    pub fn detect(&self, image: &Image) -> Result<Vec<Detection>, ServeError> {
+        self.submit_image(image)?.wait()
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        let b = lock(&self.shared.breaker);
+        ServeStats {
+            accepted: s.accepted.load(Ordering::SeqCst),
+            rejected_full: s.rejected_full.load(Ordering::SeqCst),
+            rejected_bad_input: s.rejected_bad_input.load(Ordering::SeqCst),
+            completed: s.completed.load(Ordering::SeqCst),
+            deadline_dropped: s.deadline_dropped.load(Ordering::SeqCst),
+            worker_panics: s.worker_panics.load(Ordering::SeqCst),
+            corrupt_outputs: s.corrupt_outputs.load(Ordering::SeqCst),
+            compiled_batches: s.compiled_batches.load(Ordering::SeqCst),
+            eager_batches: s.eager_batches.load(Ordering::SeqCst),
+            breaker_trips: b.trips(),
+            breaker_recoveries: b.recoveries(),
+            breaker_probes: b.probes(),
+        }
+    }
+
+    /// Snapshot of the quarantined inputs, oldest first.
+    pub fn quarantine(&self) -> Vec<QuarantineRecord> {
+        lock(&self.shared.quarantine).snapshot()
+    }
+
+    /// True while degraded (serving on the eager fallback).
+    pub fn is_degraded(&self) -> bool {
+        lock(&self.shared.breaker).is_open()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).jobs.len()
+    }
+
+    /// Stop admitting work, let workers drain the queue, and join them.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        lock(&self.shared.queue).open = false;
+        self.shared.job_ready.notify_all();
+        let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn default_deadline(&self) -> Option<Instant> {
+        self.shared.cfg.default_deadline.map(|d| Instant::now() + d)
+    }
+
+    fn refuse(&self, seq: u64, error: crate::sanitize::InputError, shape: Vec<usize>, data: &[f32]) {
+        self.shared.stats.rejected_bad_input.fetch_add(1, Ordering::SeqCst);
+        lock(&self.shared.quarantine).record(seq, error, shape, data);
+    }
+
+    fn enqueue(
+        &self,
+        x: Tensor,
+        map: Option<BoxMap>,
+        deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = lock(&self.shared.queue);
+            if !q.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.jobs.len() >= self.shared.cfg.queue_capacity {
+                self.shared.stats.rejected_full.fetch_add(1, Ordering::SeqCst);
+                return Err(ServeError::Rejected { queue_depth: q.jobs.len() });
+            }
+            q.jobs.push_back(Job { x, map, deadline, reply: tx });
+        }
+        self.shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+        self.shared.job_ready.notify_one();
+        Ok(Pending { rx })
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How one execution attempt failed.
+enum ExecFailure {
+    Panic(String),
+    NonFinite,
+}
+
+impl ExecFailure {
+    fn to_error(&self) -> ServeError {
+        match self {
+            ExecFailure::Panic(message) => ServeError::WorkerPanic { message: message.clone() },
+            ExecFailure::NonFinite => ServeError::CorruptOutput,
+        }
+    }
+}
+
+/// Faults consumed by the *first* execution attempt of a batch; the eager
+/// retry after a compiled-path failure always runs clean.
+#[derive(Default)]
+struct Injected {
+    panic: bool,
+    corrupt: bool,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one batch on `path`: forward, output guard, decode, NMS. Panics are
+/// contained here; the caller decides fallback and breaker bookkeeping.
+fn run_attempt(
+    model: &Yolov4,
+    engine: &mut Option<CompiledModel>,
+    path: ExecPath,
+    x: &Tensor,
+    inject: &Injected,
+    cfg: &ServeConfig,
+) -> Result<Vec<Vec<Detection>>, ExecFailure> {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        if inject.panic {
+            panic!("injected worker panic");
+        }
+        let mut heads: Vec<Tensor> = match path {
+            ExecPath::Compiled | ExecPath::Probe => {
+                if path == ExecPath::Probe || engine.is_none() {
+                    *engine = Some(model.compile_inference());
+                }
+                let e = engine.as_mut().expect("engine just installed");
+                // Shapes were validated at admission; a residual executor
+                // error means the engine itself is unhealthy.
+                match e.try_run(x) {
+                    Ok(heads) => heads.to_vec(),
+                    Err(err) => return Err(ExecFailure::Panic(err.to_string())),
+                }
+            }
+            ExecPath::Eager => model.infer(x).to_vec(),
+        };
+        if inject.corrupt {
+            let first = &heads[0];
+            heads[0] = Tensor::from_vec(vec![f32::NAN; first.numel()], first.shape());
+        }
+        if heads.iter().any(|h| h.as_slice().iter().any(|v| !v.is_finite())) {
+            return Err(ExecFailure::NonFinite);
+        }
+        let candidates = decode_detections(&heads, &model.config, cfg.conf_thresh);
+        Ok(candidates.into_iter().map(|c| nms(c, cfg.nms_iou, cfg.nms_kind)).collect())
+    }));
+    match outcome {
+        Ok(inner) => inner,
+        Err(payload) => Err(ExecFailure::Panic(panic_message(payload))),
+    }
+}
+
+/// Answer every job in `jobs` with its mapped detections.
+fn reply_ok(shared: &Shared, jobs: Vec<Job>, detections: Vec<Vec<Detection>>) {
+    let size = shared.model_cfg.input_size;
+    for (job, dets) in jobs.into_iter().zip(detections) {
+        let out: Vec<Detection> = match &job.map {
+            Some(m) => dets
+                .into_iter()
+                .filter_map(|d| {
+                    let mapped =
+                        unletterbox_box(&d.bbox, size, m.scale, m.pad_x, m.pad_y, m.orig_w, m.orig_h);
+                    mapped.clipped().map(|bbox| Detection { bbox, ..d })
+                })
+                .collect(),
+            None => dets
+                .into_iter()
+                .filter_map(|d| d.bbox.clipped().map(|bbox| Detection { bbox, ..d }))
+                .collect(),
+        };
+        shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+        let _ = job.reply.send(Ok(out));
+    }
+}
+
+fn reply_err(jobs: Vec<Job>, err: &ServeError) {
+    for job in jobs {
+        let _ = job.reply.send(Err(err.clone()));
+    }
+}
+
+/// Pull the next batch: block for the first job, then coalesce more until
+/// `max_batch` or `max_wait`. Returns `None` when the pool is closed and
+/// the queue is drained — workers finish everything that was admitted.
+fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut q = lock(&shared.queue);
+    loop {
+        if !q.jobs.is_empty() {
+            break;
+        }
+        if !q.open {
+            return None;
+        }
+        q = shared.job_ready.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    let mut batch = vec![q.jobs.pop_front().expect("checked non-empty")];
+    let wait_until = Instant::now() + shared.cfg.max_wait;
+    while batch.len() < shared.cfg.max_batch {
+        if let Some(job) = q.jobs.pop_front() {
+            batch.push(job);
+            continue;
+        }
+        if !q.open {
+            break;
+        }
+        let now = Instant::now();
+        if now >= wait_until {
+            break;
+        }
+        let (guard, timeout) = shared
+            .job_ready
+            .wait_timeout(q, wait_until - now)
+            .unwrap_or_else(|e| e.into_inner());
+        q = guard;
+        if timeout.timed_out() && q.jobs.is_empty() {
+            break;
+        }
+    }
+    Some(batch)
+}
+
+fn worker_main(shared: &Shared) {
+    // Private replica: `Yolov4` is not `Send`, so rebuild from the weight
+    // snapshot. Strict mode — the snapshot comes from an identical config.
+    let model = Yolov4::new(shared.model_cfg.clone(), 0);
+    model.load(&shared.weights, LoadMode::Strict).expect("weight snapshot matches config");
+    let mut engine: Option<CompiledModel> = None;
+
+    while let Some(jobs) = next_batch(shared) {
+        let batch_idx = shared.batch_seq.fetch_add(1, Ordering::SeqCst);
+        let mut inject = Injected::default();
+        for fault in lock(&shared.faults).take(batch_idx) {
+            match fault {
+                ServeFault::WorkerPanic => inject.panic = true,
+                ServeFault::CorruptOutput => inject.corrupt = true,
+                ServeFault::SlowExec { delay } => std::thread::sleep(delay),
+            }
+        }
+
+        // Deadline cull *after* any injected stall, *before* the forward:
+        // expired work is answered, not served stale.
+        let now = Instant::now();
+        let (live, dead): (Vec<Job>, Vec<Job>) =
+            jobs.into_iter().partition(|j| j.deadline.is_none_or(|d| now <= d));
+        if !dead.is_empty() {
+            shared.stats.deadline_dropped.fetch_add(dead.len() as u64, Ordering::SeqCst);
+            reply_err(dead, &ServeError::DeadlineExceeded);
+        }
+        if live.is_empty() {
+            continue;
+        }
+
+        let size = shared.model_cfg.input_size;
+        let mut data = Vec::with_capacity(live.len() * 3 * size * size);
+        for job in &live {
+            data.extend_from_slice(job.x.as_slice());
+        }
+        let x = Tensor::from_vec(data, &[live.len(), 3, size, size]);
+
+        let path = lock(&shared.breaker).plan_path();
+        match run_attempt(&model, &mut engine, path, &x, &inject, &shared.cfg) {
+            Ok(dets) => {
+                lock(&shared.breaker).record_success(path);
+                let counter = match path {
+                    ExecPath::Eager => &shared.stats.eager_batches,
+                    _ => &shared.stats.compiled_batches,
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                reply_ok(shared, live, dets);
+            }
+            Err(failure) => {
+                let counter = match &failure {
+                    ExecFailure::Panic(_) => &shared.stats.worker_panics,
+                    ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                lock(&shared.breaker).record_failure(path);
+                if path == ExecPath::Eager {
+                    reply_err(live, &failure.to_error());
+                    continue;
+                }
+                // The compiled attempt may have unwound mid-run, leaving
+                // the arena inconsistent: discard and rebuild lazily.
+                engine = None;
+                // Same batch, eager retry — the request still succeeds
+                // unless the reference path fails too.
+                let clean = Injected::default();
+                match run_attempt(&model, &mut engine, ExecPath::Eager, &x, &clean, &shared.cfg) {
+                    Ok(dets) => {
+                        shared.stats.eager_batches.fetch_add(1, Ordering::SeqCst);
+                        reply_ok(shared, live, dets);
+                    }
+                    Err(second) => {
+                        let counter = match &second {
+                            ExecFailure::Panic(_) => &shared.stats.worker_panics,
+                            ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
+                        };
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        reply_err(live, &second.to_error());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -58,6 +58,6 @@ pub use shape::{broadcast_shapes, numel, strides_for};
 pub use tensor::Tensor;
 
 pub use ops::Conv2dSpec;
-pub use plan::{Executor, Plan, Planner, ValueId};
+pub use plan::{ExecError, Executor, Plan, Planner, ValueId};
 
 pub use crate::ops::softmax_rows;

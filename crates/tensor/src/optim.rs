@@ -340,7 +340,7 @@ mod tests {
     fn clip_global_norm_rescales() {
         let p = Param::new("w", Tensor::zeros(&[2]));
         p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]));
-        let pre = clip_global_norm(&[p.clone()], 1.0);
+        let pre = clip_global_norm(std::slice::from_ref(&p), 1.0);
         assert!((pre - 5.0).abs() < 1e-5);
         let g = p.grad();
         let post = (g.as_slice()[0].powi(2) + g.as_slice()[1].powi(2)).sqrt();

@@ -452,22 +452,70 @@ impl Plan {
     }
 }
 
-/// Runs a [`Plan`] with a persistent arena. Buffers are sized on the first
-/// call (and again whenever the batch size changes); thereafter `run` is
-/// allocation-free.
+/// A malformed input batch, reported by [`Executor::try_run`] before any op
+/// executes (the arena is never left half-written).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The number of input tensors does not match the plan.
+    WrongInputCount {
+        /// Tensors passed to `try_run`.
+        got: usize,
+        /// Inputs the plan was compiled with.
+        want: usize,
+    },
+    /// Inputs disagree on the leading batch dimension.
+    BatchMismatch {
+        /// The batch size of each input, in order.
+        got: Vec<usize>,
+    },
+    /// An input's per-item shape does not match the compiled plan.
+    ShapeMismatch {
+        /// Which declared input is wrong.
+        index: usize,
+        /// Full shape of the offending tensor (batch dim included).
+        got: Vec<usize>,
+        /// Per-item shape the plan was compiled for.
+        want: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::WrongInputCount { got, want } => {
+                write!(f, "plan expects {want} inputs, got {got}")
+            }
+            ExecError::BatchMismatch { got } => {
+                write!(f, "inputs disagree on batch size: {got:?}")
+            }
+            ExecError::ShapeMismatch { index, got, want } => write!(
+                f,
+                "input {index} shape {got:?} does not match compiled per-item shape {want:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Runs a [`Plan`] with a persistent arena. Buffers grow to the largest
+/// batch size seen and are then reused for any batch up to that size, so a
+/// serving loop dispatching variable-size batches reallocates nothing once
+/// warm.
 pub struct Executor {
     plan: Plan,
     slots: Vec<Vec<f32>>,
     col: Vec<f32>,
     outs: Vec<Tensor>,
     batch: usize,
+    batch_cap: usize,
 }
 
 impl Executor {
     /// Wrap a plan with an (initially empty) arena.
     pub fn new(plan: Plan) -> Executor {
         let slots = vec![Vec::new(); plan.num_slots()];
-        Executor { plan, slots, col: Vec::new(), outs: Vec::new(), batch: 0 }
+        Executor { plan, slots, col: Vec::new(), outs: Vec::new(), batch: 0, batch_cap: 0 }
     }
 
     /// The plan being executed.
@@ -481,39 +529,79 @@ impl Executor {
     }
 
     fn ensure_batch(&mut self, n: usize) {
-        if self.batch == n {
-            return;
+        if n > self.batch_cap {
+            // Grow-only: every slot holds `cap` elements per item, so a
+            // buffer sized for the largest batch serves any smaller one.
+            for (slot, &cap) in self.slots.iter_mut().zip(&self.plan.slot_caps) {
+                slot.resize(cap * n, 0.0);
+            }
+            self.col.resize(self.plan.col_len, 0.0);
+            self.batch_cap = n;
         }
-        for (slot, &cap) in self.slots.iter_mut().zip(&self.plan.slot_caps) {
-            slot.clear();
-            slot.resize(cap * n, 0.0);
+        if self.batch != n {
+            self.outs = self
+                .plan
+                .outputs
+                .iter()
+                .map(|&v| {
+                    let mut shape = vec![n];
+                    shape.extend_from_slice(&self.plan.shapes[v.0]);
+                    Tensor::zeros(&shape)
+                })
+                .collect();
+            self.batch = n;
         }
-        self.col.clear();
-        self.col.resize(self.plan.col_len, 0.0);
-        self.outs = self
-            .plan
-            .outputs
-            .iter()
-            .map(|&v| {
-                let mut shape = vec![n];
-                shape.extend_from_slice(&self.plan.shapes[v.0]);
-                Tensor::zeros(&shape)
-            })
-            .collect();
-        self.batch = n;
+    }
+
+    /// Check `inputs` against the plan without executing; returns the batch
+    /// size.
+    fn validate(&self, inputs: &[&Tensor]) -> Result<usize, ExecError> {
+        if inputs.len() != self.plan.num_inputs || inputs.is_empty() {
+            return Err(ExecError::WrongInputCount { got: inputs.len(), want: self.plan.num_inputs });
+        }
+        let n = inputs[0].shape()[0];
+        if inputs.iter().any(|t| t.shape()[0] != n) {
+            return Err(ExecError::BatchMismatch { got: inputs.iter().map(|t| t.shape()[0]).collect() });
+        }
+        for (i, op) in self.plan.ops.iter().enumerate() {
+            if let PlanOp::Input { index } = op {
+                let want = &self.plan.shapes[i];
+                let got = inputs[*index].shape();
+                if got.len() != want.len() + 1 || &got[1..] != want.as_slice() {
+                    return Err(ExecError::ShapeMismatch {
+                        index: *index,
+                        got: got.to_vec(),
+                        want: want.clone(),
+                    });
+                }
+            }
+        }
+        Ok(n)
     }
 
     /// Execute the plan over `inputs` (one NCHW/`[n,d]` tensor per declared
     /// [`Planner::input`], all with the same leading batch dimension).
     /// Returns the output tensors in declaration order; the returned slice
     /// is owned by the executor and overwritten by the next call.
+    ///
+    /// Panics on malformed inputs; serving paths should prefer
+    /// [`Executor::try_run`], which reports them as [`ExecError`]s.
     pub fn run(&mut self, inputs: &[&Tensor]) -> &[Tensor] {
-        assert_eq!(inputs.len(), self.plan.num_inputs, "plan expects {} inputs", self.plan.num_inputs);
-        assert!(!inputs.is_empty(), "plan has no inputs");
-        let n = inputs[0].shape()[0];
-        for t in inputs {
-            assert_eq!(t.shape()[0], n, "inputs disagree on batch size");
+        match self.validate(inputs) {
+            Ok(n) => self.execute(n, inputs),
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Like [`Executor::run`], but malformed inputs surface as a typed
+    /// [`ExecError`] instead of a panic. Validation happens before the
+    /// first op runs, so a rejected call leaves the arena untouched.
+    pub fn try_run(&mut self, inputs: &[&Tensor]) -> Result<&[Tensor], ExecError> {
+        let n = self.validate(inputs)?;
+        Ok(self.execute(n, inputs))
+    }
+
+    fn execute(&mut self, n: usize, inputs: &[&Tensor]) -> &[Tensor] {
         self.ensure_batch(n);
 
         for i in 0..self.plan.ops.len() {
@@ -950,5 +1038,85 @@ mod tests {
         let again = exec.run(&[&x1])[0].clone();
         assert_eq!(first.as_slice(), again.as_slice(), "executor reuse must be deterministic");
         assert!(exec.arena_bytes() > 0);
+    }
+
+    #[test]
+    fn arena_grows_once_and_serves_smaller_batches_without_realloc() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 6, 6]);
+        let yi = p.conv2d(xi, &w, None, Conv2dSpec::same(3));
+        let mut exec = Executor::new(p.finish(&[yi]));
+
+        let x4 = Tensor::randn(&[4, 3, 6, 6], &mut rng);
+        exec.run(&[&x4]);
+        let sized_for_four = exec.arena_bytes();
+        // Variable serving batches (3, 1, 2) reuse the batch-4 arena.
+        for n in [3usize, 1, 2] {
+            let x = Tensor::randn(&[n, 3, 6, 6], &mut rng);
+            let out = exec.run(&[&x]);
+            assert_eq!(out[0].shape(), &[n, 4, 6, 6]);
+            assert_eq!(exec.arena_bytes(), sized_for_four, "batch {n} must not resize the arena");
+        }
+        // Output values at a smaller batch match a fresh executor (the
+        // oversized slots never leak stale tail elements into results).
+        let x2 = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let reused = exec.run(&[&x2])[0].clone();
+        let mut p2 = Planner::new();
+        let xi2 = p2.input(&[3, 6, 6]);
+        let yi2 = p2.conv2d(xi2, &w, None, Conv2dSpec::same(3));
+        let fresh = Executor::new(p2.finish(&[yi2])).run(&[&x2])[0].clone();
+        assert_eq!(reused.as_slice(), fresh.as_slice());
+    }
+
+    #[test]
+    fn try_run_reports_malformed_inputs_as_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = Tensor::randn(&[2, 3, 1, 1], &mut rng);
+        let mut p = Planner::new();
+        let ai = p.input(&[3, 4, 4]);
+        let bi = p.input(&[2, 4, 4]);
+        let ci = p.conv2d(ai, &w, None, Conv2dSpec::same(1));
+        let di = p.add(ci, bi);
+        let mut exec = Executor::new(p.finish(&[di]));
+
+        let a = Tensor::zeros(&[2, 3, 4, 4]);
+        let b = Tensor::zeros(&[2, 2, 4, 4]);
+        assert!(exec.try_run(&[&a, &b]).is_ok());
+
+        assert_eq!(
+            exec.try_run(&[&a]).unwrap_err(),
+            ExecError::WrongInputCount { got: 1, want: 2 }
+        );
+        let b3 = Tensor::zeros(&[3, 2, 4, 4]);
+        assert_eq!(
+            exec.try_run(&[&a, &b3]).unwrap_err(),
+            ExecError::BatchMismatch { got: vec![2, 3] }
+        );
+        let bad = Tensor::zeros(&[2, 5, 4, 4]);
+        assert_eq!(
+            exec.try_run(&[&a, &bad]).unwrap_err(),
+            ExecError::ShapeMismatch { index: 1, got: vec![2, 5, 4, 4], want: vec![2, 4, 4] }
+        );
+        let flat = Tensor::zeros(&[2, 48]);
+        assert!(matches!(
+            exec.try_run(&[&flat, &b]).unwrap_err(),
+            ExecError::ShapeMismatch { index: 0, .. }
+        ));
+        // A rejected call leaves the executor fully usable.
+        assert!(exec.try_run(&[&a, &b]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match compiled per-item shape")]
+    fn run_still_panics_on_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = Tensor::randn(&[2, 3, 1, 1], &mut rng);
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 4, 4]);
+        let yi = p.conv2d(xi, &w, None, Conv2dSpec::same(1));
+        let mut exec = Executor::new(p.finish(&[yi]));
+        exec.run(&[&Tensor::zeros(&[1, 3, 5, 5])]);
     }
 }

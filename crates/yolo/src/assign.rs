@@ -214,7 +214,7 @@ mod tests {
         assert!(total >= 2);
         // Class planes: class 0 only in image 0, class 5 only in image 1.
         for t in &targets {
-            let g = (t.tcls.numel() / (2 * 3 * 10));
+            let g = t.tcls.numel() / (2 * 3 * 10);
             let per_img = 3 * 10 * g;
             let (img0, img1) = t.tcls.as_slice().split_at(per_img);
             let cls_plane = |data: &[f32], cls: usize| -> f32 {

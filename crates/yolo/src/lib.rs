@@ -51,7 +51,7 @@ pub use config::{darknet_anchors, synthetic_anchors, YoloConfig, ANCHORS_PER_SCA
 pub use loss::{yolo_loss, BoxLoss, LossParts, LossWeights};
 pub use model::{CompiledModel, Yolov4};
 pub use nms::{decode_detections, nms, Detection, NmsKind};
-pub use predict::Detector;
+pub use predict::{DetectError, Detector};
 pub use summary::{render_summary, summarize, SummaryRow};
 pub use runtime::{Fault, FaultPlan, ResumePolicy, RunReport, RuntimeConfig, RuntimeError};
 pub use train::{train, RunState, TrainConfig, TrainRecord, Trainer};

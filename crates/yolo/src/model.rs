@@ -3,7 +3,7 @@
 //! paper's transfer-learning stage.
 
 use platter_tensor::serialize::{load_params, save_params, LoadMode, LoadReport, WeightError};
-use platter_tensor::{Executor, Graph, Param, Plan, Planner, Tensor, Var};
+use platter_tensor::{ExecError, Executor, Graph, Param, Plan, Planner, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -144,6 +144,13 @@ impl CompiledModel {
             self.input_size
         );
         self.exec.run(&[x])
+    }
+
+    /// Like [`CompiledModel::run`], but a malformed batch (wrong rank,
+    /// channels, or spatial size) surfaces as a typed [`ExecError`] instead
+    /// of a panic — the entry point serving paths should use.
+    pub fn try_run(&mut self, x: &Tensor) -> Result<&[Tensor], ExecError> {
+        self.exec.try_run(&[x])
     }
 
     /// The underlying plan (op/slot introspection).

@@ -31,6 +31,22 @@ fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// A detection worth keeping: finite score, finite box, positive area.
+///
+/// Degenerate candidates (NaN/inf scores from corrupted activations,
+/// zero-area or non-finite boxes) would otherwise poison the NMS ordering
+/// and IoU math, so both [`decode_detections`] and [`nms`] filter on this.
+#[inline]
+fn is_sane(score: f32, bbox: &NormBox) -> bool {
+    score.is_finite()
+        && bbox.cx.is_finite()
+        && bbox.cy.is_finite()
+        && bbox.w.is_finite()
+        && bbox.h.is_finite()
+        && bbox.w > 0.0
+        && bbox.h > 0.0
+}
+
 /// Decode raw head tensors into per-image candidate detections (before NMS).
 ///
 /// `heads` are the three raw `[n, a·(5+c), g, g]` tensors in stride order
@@ -66,14 +82,20 @@ pub fn decode_detections(heads: &[Tensor], cfg: &YoloConfig, conf_thresh: f32) -
                             }
                         }
                         let score = obj * best_p;
-                        if score < conf_thresh {
+                        // `<` is false for NaN, so an explicit finite check
+                        // is needed to keep corrupt activations out.
+                        if !score.is_finite() || score < conf_thresh {
                             continue;
                         }
                         let bx = (sigmoid(at(0)) + col as f32) / gsz as f32;
                         let by = (sigmoid(at(1)) + row as f32) / gsz as f32;
                         let bw = cfg.anchors[s][anc].0 * at(2).clamp(-9.0, 9.0).exp();
                         let bh = cfg.anchors[s][anc].1 * at(3).clamp(-9.0, 9.0).exp();
-                        dets.push(Detection { class: best_c, score, bbox: NormBox::new(bx, by, bw, bh) });
+                        let bbox = NormBox::new(bx, by, bw, bh);
+                        if !is_sane(score, &bbox) {
+                            continue;
+                        }
+                        dets.push(Detection { class: best_c, score, bbox });
                     }
                 }
             }
@@ -101,8 +123,13 @@ fn suppression_score(a: &NormBox, b: &NormBox, kind: NmsKind) -> f32 {
 /// Class-aware NMS: within each class, keep the highest-scored boxes and
 /// drop later ones whose suppression score against a kept box exceeds
 /// `iou_thresh`. The result stays sorted by descending score.
+///
+/// Degenerate detections (non-finite scores or boxes, zero-area boxes) are
+/// dropped up front and the sort is total, so adversarial inputs cannot
+/// panic the suppression loop or scramble its ordering.
 pub fn nms(mut detections: Vec<Detection>, iou_thresh: f32, kind: NmsKind) -> Vec<Detection> {
-    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    detections.retain(|d| is_sane(d.score, &d.bbox));
+    detections.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
     for det in detections {
         let suppressed = keep
@@ -206,6 +233,96 @@ mod tests {
         assert!((d.bbox.cx - 0.25).abs() < 0.01, "{:?}", d.bbox);
         assert!((d.bbox.cy - 0.75).abs() < 0.01);
         assert!((d.bbox.w - cfg.anchors[2][1].0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nms_drops_nan_scores() {
+        let dets = vec![det(0, f32::NAN, 0.5, 0.5, 0.3, 0.3), det(0, 0.8, 0.2, 0.2, 0.1, 0.1)];
+        let kept = nms(dets, 0.5, NmsKind::Greedy);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.8);
+    }
+
+    #[test]
+    fn nms_drops_infinite_scores() {
+        let dets = vec![
+            det(0, f32::INFINITY, 0.5, 0.5, 0.3, 0.3),
+            det(0, f32::NEG_INFINITY, 0.2, 0.2, 0.1, 0.1),
+            det(0, 0.6, 0.8, 0.8, 0.1, 0.1),
+        ];
+        let kept = nms(dets, 0.5, NmsKind::Greedy);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.6);
+    }
+
+    #[test]
+    fn nms_drops_zero_area_boxes() {
+        let dets = vec![
+            det(0, 0.9, 0.5, 0.5, 0.0, 0.3),
+            det(0, 0.85, 0.5, 0.5, 0.3, 0.0),
+            det(0, 0.6, 0.8, 0.8, 0.1, 0.1),
+        ];
+        let kept = nms(dets, 0.5, NmsKind::Greedy);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].score, 0.6);
+    }
+
+    #[test]
+    fn nms_drops_negative_size_boxes() {
+        let dets = vec![det(0, 0.9, 0.5, 0.5, -0.3, 0.3), det(1, 0.7, 0.5, 0.5, 0.3, -0.3)];
+        assert!(nms(dets, 0.5, NmsKind::Greedy).is_empty());
+    }
+
+    #[test]
+    fn nms_drops_non_finite_boxes() {
+        let dets = vec![
+            det(0, 0.9, f32::NAN, 0.5, 0.3, 0.3),
+            det(0, 0.8, 0.5, f32::INFINITY, 0.3, 0.3),
+            det(0, 0.7, 0.5, 0.5, f32::NAN, 0.3),
+            det(0, 0.6, 0.5, 0.5, 0.3, f32::NAN),
+        ];
+        assert!(nms(dets, 0.5, NmsKind::Diou).is_empty());
+    }
+
+    #[test]
+    fn nms_sort_is_total_under_nan_floods() {
+        // A mix of NaN and real scores in every order: the sort must never
+        // panic, NaNs must vanish, and the survivors stay ordered.
+        let mut dets = Vec::new();
+        for i in 0..30 {
+            let score = if i % 3 == 0 { f32::NAN } else { 0.3 + 0.02 * i as f32 };
+            dets.push(det(i % 2, score, 0.03 * i as f32, 0.5, 0.02, 0.02));
+        }
+        let kept = nms(dets, 0.5, NmsKind::Greedy);
+        assert_eq!(kept.len(), 20);
+        for w in kept.windows(2) {
+            assert!(w[0].score >= w[1].score);
+            assert!(w[0].score.is_finite() && w[1].score.is_finite());
+        }
+    }
+
+    #[test]
+    fn decode_skips_cells_with_nan_logits() {
+        let cfg = YoloConfig::micro(10);
+        let gsz = cfg.grid_size(2);
+        let mut h2 = Tensor::full(&[1, 45, gsz, gsz], -12.0);
+        {
+            let d = h2.as_mut_slice();
+            let plane = gsz * gsz;
+            let idx = |anc: usize, k: usize, row: usize, col: usize| (anc * 15 + k) * plane + row * gsz + col;
+            // Cell A: NaN objectness (NaN < thresh is false, so only the
+            // finite-score guard keeps it out).
+            d[idx(0, 4, 0, 0)] = f32::NAN;
+            d[idx(0, 5, 0, 0)] = 8.0;
+            // Cell B: confident but with a NaN box regressor.
+            d[idx(1, 0, 1, 1)] = f32::NAN;
+            d[idx(1, 4, 1, 1)] = 8.0;
+            d[idx(1, 5, 1, 1)] = 8.0;
+        }
+        let h0 = Tensor::full(&[1, 45, 8, 8], -12.0);
+        let h1 = Tensor::full(&[1, 45, 4, 4], -12.0);
+        let dets = decode_detections(&[h0, h1, h2], &cfg, 0.25);
+        assert!(dets[0].is_empty(), "corrupt cells must not decode: {:?}", dets[0]);
     }
 
     #[test]

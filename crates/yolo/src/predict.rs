@@ -10,6 +10,30 @@ use platter_tensor::Tensor;
 use crate::model::{CompiledModel, Yolov4};
 use crate::nms::{decode_detections, nms, Detection, NmsKind};
 
+/// A request the detector cannot serve, reported before the executor runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetectError {
+    /// The batch tensor is not `[n, 3, s, s]` at the model's input size.
+    BadShape {
+        /// Shape of the offending tensor.
+        got: Vec<usize>,
+        /// Expected per-item shape `[3, s, s]`.
+        want: [usize; 3],
+    },
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::BadShape { got, want } => {
+                write!(f, "batch shape {got:?} is not [n, {}, {}, {}]", want[0], want[1], want[2])
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
 /// A configured detector ready to run on images.
 ///
 /// Inference runs on the planned engine ([`Yolov4::compile_inference`]):
@@ -49,12 +73,28 @@ impl Detector {
         *self.engine.borrow_mut() = Some(self.model.compile_inference());
     }
 
+    /// The expected per-item input shape `[3, s, s]`.
+    fn want_shape(&self) -> [usize; 3] {
+        let s = self.model.config.input_size;
+        [3, s, s]
+    }
+
     /// Decode + NMS over the compiled engine's head outputs for `x`.
+    /// `x` must already have passed [`Detector::check_batch`].
     fn detect_candidates(&self, x: &Tensor) -> Vec<Vec<Detection>> {
         let mut slot = self.engine.borrow_mut();
         let engine = slot.get_or_insert_with(|| self.model.compile_inference());
         let heads = engine.run(x);
         decode_detections(heads, &self.model.config, self.conf_thresh)
+    }
+
+    /// Validate a batch tensor against the model's input contract.
+    fn check_batch(&self, batch: &Tensor) -> Result<(), DetectError> {
+        let want = self.want_shape();
+        if batch.ndim() != 4 || batch.shape()[1..] != want {
+            return Err(DetectError::BadShape { got: batch.shape().to_vec(), want });
+        }
+        Ok(())
     }
 
     /// Detect dishes in an arbitrary-size image. Boxes come back in the
@@ -76,9 +116,22 @@ impl Detector {
 
     /// Detect over an already-batched CHW tensor (the validation loader's
     /// output — images are already square at input size, so no letterboxing).
+    ///
+    /// Panics on a malformed batch; serving paths should use
+    /// [`Detector::try_detect_batch`], which reports the mismatch as a
+    /// typed [`DetectError`] instead.
     pub fn detect_batch(&self, batch: &Tensor) -> Vec<Vec<Detection>> {
+        self.try_detect_batch(batch).unwrap_or_else(|e| panic!("detect_batch: {e}"))
+    }
+
+    /// Like [`Detector::detect_batch`], but a tensor with the wrong rank,
+    /// channel count, or spatial size is rejected up front as
+    /// [`DetectError::BadShape`] rather than panicking deep inside the
+    /// executor.
+    pub fn try_detect_batch(&self, batch: &Tensor) -> Result<Vec<Vec<Detection>>, DetectError> {
+        self.check_batch(batch)?;
         let candidates = self.detect_candidates(batch);
-        candidates
+        Ok(candidates
             .into_iter()
             .map(|c| {
                 nms(c, self.nms_iou, self.nms_kind)
@@ -86,7 +139,7 @@ impl Detector {
                     .filter_map(|d| d.bbox.clipped().map(|bbox| Detection { bbox, ..d }))
                     .collect()
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -117,5 +170,36 @@ mod tests {
         let batch = Tensor::zeros(&[3, 3, 64, 64]);
         let out = det.detect_batch(&batch);
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn try_detect_batch_rejects_malformed_tensors_with_typed_errors() {
+        let model = Yolov4::new(YoloConfig::micro(10), 3);
+        let det = Detector::new(model);
+        let cases: [(&[usize], &str); 4] = [
+            (&[1, 1, 64, 64], "wrong channel count"),
+            (&[1, 3, 32, 32], "wrong spatial size"),
+            (&[1, 3, 64, 32], "non-square input"),
+            (&[3, 64, 64], "missing batch dim"),
+        ];
+        for (shape, what) in cases {
+            let err = det.try_detect_batch(&Tensor::zeros(shape)).unwrap_err();
+            match err {
+                DetectError::BadShape { got, want } => {
+                    assert_eq!(got, shape.to_vec(), "{what}");
+                    assert_eq!(want, [3, 64, 64]);
+                }
+            }
+        }
+        // A well-formed batch on the same detector still works afterwards.
+        assert_eq!(det.try_detect_batch(&Tensor::zeros(&[2, 3, 64, 64])).unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "detect_batch: batch shape")]
+    fn detect_batch_panics_at_the_boundary_not_in_the_executor() {
+        let model = Yolov4::new(YoloConfig::micro(10), 4);
+        let det = Detector::new(model);
+        det.detect_batch(&Tensor::zeros(&[1, 4, 64, 64]));
     }
 }

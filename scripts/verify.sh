@@ -12,12 +12,19 @@ echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
 echo "== cargo clippy (deny warnings) =="
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== eager vs compiled parity =="
 cargo test -q --release -p platter-yolo --test parity
 
+echo "== serving fault-injection + input-fuzz suites =="
+cargo test -q --release -p platter-serve --test fault_injection
+cargo test -q --release -p platter-serve --test prop_validation
+
 echo "== compiled inference smoke (writes results/BENCH_inference.json) =="
 cargo run -q --release -p platter-bench --bin bench_inference
+
+echo "== serving smoke (writes results/BENCH_serve.json) =="
+cargo run -q --release -p platter-bench --bin bench_serve -- --smoke
 
 echo "== verify OK =="

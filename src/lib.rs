@@ -11,6 +11,7 @@
 //! - [`yolo`] — the YOLOv4 detector, training and transfer learning
 //! - [`baselines`] — SSD/legacy/classifier comparators
 //! - [`metrics`] — Padilla-style AP/mAP/F1/confusion evaluation
+//! - [`serve`] — hardened serving runtime around the compiled detector
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the substitution
 //! table mapping each paper component to a module here.
@@ -19,5 +20,6 @@ pub use platter_baselines as baselines;
 pub use platter_dataset as dataset;
 pub use platter_imaging as imaging;
 pub use platter_metrics as metrics;
+pub use platter_serve as serve;
 pub use platter_tensor as tensor;
 pub use platter_yolo as yolo;
