@@ -6,7 +6,7 @@
 use platter_dataset::{BatchLoader, LoaderConfig, SyntheticDataset};
 use platter_tensor::nn::{Activation, ConvBlock, Linear};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Adam, Graph, Param, Tensor, Var};
+use platter_tensor::{Adam, Graph, Mode, Param, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,14 +36,16 @@ impl SingleLabelClassifier {
         SingleLabelClassifier { convs, head, num_classes, input_size }
     }
 
-    /// Forward to `[n, classes]` logits.
+    /// Forward to `[n, classes]` logits. Eager-only: global average pooling
+    /// is a training-path op the inference IR has no use for.
     pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let mode = Mode::from_training(training);
         let mut h = x;
         for c in &self.convs {
-            h = c.forward(g, h, training);
+            h = c.trace(g, h, mode);
         }
         let pooled = g.global_avg_pool(h);
-        self.head.forward(g, pooled)
+        self.head.trace(g, pooled)
     }
 
     /// Trainable parameters.

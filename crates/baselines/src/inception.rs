@@ -4,7 +4,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Planner, ValueId, Var};
+use platter_tensor::{Mode, Param, Trace};
 use rand::Rng;
 
 /// One inception block: four parallel branches concatenated on channels.
@@ -35,30 +35,17 @@ impl InceptionBlock {
         }
     }
 
-    /// Forward pass.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
-        let y1 = self.b1.forward(g, x, training);
-        let y3 = self.b3_reduce.forward(g, x, training);
-        let y3 = self.b3.forward(g, y3, training);
-        let y5 = self.b5_reduce.forward(g, x, training);
-        let y5 = self.b5a.forward(g, y5, training);
-        let y5 = self.b5b.forward(g, y5, training);
-        let yp = g.maxpool2d(x, 3, 1, 1);
-        let yp = self.pool_proj.forward(g, yp, training);
-        g.concat(&[y1, y3, y5, yp], 1)
-    }
-
-    /// Record the block into an inference plan.
-    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let y1 = self.b1.compile(p, x);
-        let y3 = self.b3_reduce.compile(p, x);
-        let y3 = self.b3.compile(p, y3);
-        let y5 = self.b5_reduce.compile(p, x);
-        let y5 = self.b5a.compile(p, y5);
-        let y5 = self.b5b.compile(p, y5);
-        let yp = p.maxpool2d(x, 3, 1, 1);
-        let yp = self.pool_proj.compile(p, yp);
-        p.concat_channels(&[y1, y3, y5, yp])
+    /// Trace the block onto a backend (eager tape or inference planner).
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
+        let y1 = self.b1.trace(b, x, mode);
+        let y3 = self.b3_reduce.trace(b, x, mode);
+        let y3 = self.b3.trace(b, y3, mode);
+        let y5 = self.b5_reduce.trace(b, x, mode);
+        let y5 = self.b5a.trace(b, y5, mode);
+        let y5 = self.b5b.trace(b, y5, mode);
+        let yp = b.maxpool2d(x, 3, 1, 1);
+        let yp = self.pool_proj.trace(b, yp, mode);
+        b.concat_channels(&[y1, y3, y5, yp])
     }
 
     /// Trainable parameters.
@@ -103,29 +90,16 @@ impl InceptionBackbone {
         }
     }
 
-    /// Forward to `[stride8, stride16, stride32]` features.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> [Var; 3] {
-        let h = self.stem1.forward(g, x, training);
-        let h = self.stem2.forward(g, h, training);
-        let h = self.down1.forward(g, h, training);
-        let f8 = self.inc1.forward(g, h, training);
-        let h = self.down2.forward(g, f8, training);
-        let f16 = self.inc2.forward(g, h, training);
-        let h = self.down3.forward(g, f16, training);
-        let f32_ = self.inc3.forward(g, h, training);
-        [f8, f16, f32_]
-    }
-
-    /// Record the backbone into an inference plan, mirroring `forward`.
-    pub fn compile(&self, p: &mut Planner, x: ValueId) -> [ValueId; 3] {
-        let h = self.stem1.compile(p, x);
-        let h = self.stem2.compile(p, h);
-        let h = self.down1.compile(p, h);
-        let f8 = self.inc1.compile(p, h);
-        let h = self.down2.compile(p, f8);
-        let f16 = self.inc2.compile(p, h);
-        let h = self.down3.compile(p, f16);
-        let f32_ = self.inc3.compile(p, h);
+    /// Trace to `[stride8, stride16, stride32]` features on either backend.
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> [B::Value; 3] {
+        let h = self.stem1.trace(b, x, mode);
+        let h = self.stem2.trace(b, h, mode);
+        let h = self.down1.trace(b, h, mode);
+        let f8 = self.inc1.trace(b, h, mode);
+        let h = self.down2.trace(b, f8, mode);
+        let f16 = self.inc2.trace(b, h, mode);
+        let h = self.down3.trace(b, f16, mode);
+        let f32_ = self.inc3.trace(b, h, mode);
         [f8, f16, f32_]
     }
 
@@ -146,7 +120,7 @@ impl InceptionBackbone {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use platter_tensor::Tensor;
+    use platter_tensor::{Graph, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -156,7 +130,7 @@ mod tests {
         let block = InceptionBlock::new("i", 8, 16, &mut rng);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::zeros(&[1, 8, 6, 6]));
-        let y = block.forward(&mut g, x, false);
+        let y = block.trace(&mut g, x, Mode::Infer);
         assert_eq!(g.shape(y), &[1, 16, 6, 6]);
     }
 
@@ -166,7 +140,7 @@ mod tests {
         let bb = InceptionBackbone::new("ssd.bb", 8, &mut rng);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::zeros(&[1, 3, 64, 64]));
-        let [f8, f16, f32_] = bb.forward(&mut g, x, false);
+        let [f8, f16, f32_] = bb.trace(&mut g, x, Mode::Infer);
         assert_eq!(g.shape(f8), &[1, 16, 8, 8]);
         assert_eq!(g.shape(f16), &[1, 32, 4, 4]);
         assert_eq!(g.shape(f32_), &[1, 64, 2, 2]);

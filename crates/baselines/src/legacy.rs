@@ -7,7 +7,7 @@
 use platter_dataset::{Annotation, BatchLoader, LoaderConfig, SyntheticDataset};
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{clip_global_norm, Graph, Param, Sgd, Tensor, Var};
+use platter_tensor::{clip_global_norm, Graph, Mode, Param, Sgd, Tensor, Var};
 use platter_yolo::{nms, Detection, NmsKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,11 +62,12 @@ impl LegacyDetector {
 
     /// Forward to `[n, 5+c, grid, grid]` raw outputs.
     pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+        let mode = Mode::from_training(training);
         let mut h = x;
         for c in &self.convs {
-            h = c.forward(g, h, training);
+            h = c.trace(g, h, mode);
         }
-        self.head.forward(g, h, training)
+        self.head.trace(g, h, mode)
     }
 
     /// Trainable parameters.

@@ -9,7 +9,10 @@ use platter_dataset::{Annotation, BatchLoader, LoaderConfig, SyntheticDataset};
 use platter_imaging::NormBox;
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{clip_global_norm, Executor, Graph, LrSchedule, Param, Planner, Sgd, Tensor, ValueId, Var};
+use platter_tensor::{
+    clip_global_norm, ExecError, Executor, Graph, LrSchedule, Mode, Param, Planner, Sgd, Tensor,
+    Trace, Var,
+};
 use platter_yolo::{nms, Detection, NmsKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,14 +98,22 @@ impl SsdDetector {
         SsdDetector { config, backbone, heads, priors, engine: RefCell::new(None) }
     }
 
-    /// Forward to raw per-scale logits `[n, k·(4+c+1), g, g]`.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Vec<Var> {
-        let feats = self.backbone.forward(g, x, training);
+    /// Trace to raw per-scale logits `[n, k·(4+c+1), g, g]` on either
+    /// backend — the single definition both [`SsdDetector::forward`] and
+    /// [`SsdDetector::compile_inference`] replay.
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> Vec<B::Value> {
+        let feats = self.backbone.trace(b, x, mode);
         feats
             .iter()
             .zip(&self.heads)
-            .map(|(&f, head)| head.forward(g, f, training))
+            .map(|(&f, head)| head.trace(b, f, mode))
             .collect()
+    }
+
+    /// Eager forward (thin wrapper over [`SsdDetector::trace`] for the
+    /// training loop).
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Vec<Var> {
+        self.trace(g, x, Mode::from_training(training))
     }
 
     /// All trainable parameters.
@@ -120,14 +131,12 @@ impl SsdDetector {
     }
 
     /// Compile backbone + heads into a tape-free plan over the current
-    /// weights.
-    fn compile_inference(&self) -> Executor {
+    /// weights (batch norms fold into convs, activations fuse).
+    pub fn compile_inference(&self) -> Executor {
         let mut p = Planner::new();
         let s = self.config.input_size;
         let x = p.input(&[3, s, s]);
-        let feats = self.backbone.compile(&mut p, x);
-        let outs: Vec<ValueId> =
-            feats.iter().zip(&self.heads).map(|(&f, head)| head.compile(&mut p, f)).collect();
+        let outs = self.trace(&mut p, x, Mode::Infer);
         Executor::new(p.finish(&outs))
     }
 
@@ -138,11 +147,28 @@ impl SsdDetector {
     }
 
     /// Detect over a CHW batch tensor; returns per-image detections.
+    ///
+    /// Panics on a malformed batch; library callers should prefer
+    /// [`SsdDetector::try_detect_batch`], which reports the mismatch as a
+    /// typed [`ExecError`] instead.
     pub fn detect_batch(&self, x: &Tensor, conf_thresh: f32, nms_iou: f32) -> Vec<Vec<Detection>> {
+        self.try_detect_batch(x, conf_thresh, nms_iou)
+            .unwrap_or_else(|e| panic!("detect_batch: {e}"))
+    }
+
+    /// Like [`SsdDetector::detect_batch`], but a batch the compiled plan
+    /// rejects (wrong rank, channels, or spatial size) surfaces as a typed
+    /// [`ExecError`] rather than a panic.
+    pub fn try_detect_batch(
+        &self,
+        x: &Tensor,
+        conf_thresh: f32,
+        nms_iou: f32,
+    ) -> Result<Vec<Vec<Detection>>, ExecError> {
         let n = x.shape()[0];
         let mut slot = self.engine.borrow_mut();
         let exec = slot.get_or_insert_with(|| self.compile_inference());
-        let heads = exec.run(&[x]);
+        let heads = exec.try_run(&[x])?;
         let c = self.config.num_classes;
         let depth = self.config.depth();
         let mut out = vec![Vec::new(); n];
@@ -188,7 +214,7 @@ impl SsdDetector {
             }
             prior_base += plane * PRIORS_PER_CELL;
         }
-        out.into_iter().map(|dets| nms(dets, nms_iou, NmsKind::Greedy)).collect()
+        Ok(out.into_iter().map(|dets| nms(dets, nms_iou, NmsKind::Greedy)).collect())
     }
 }
 

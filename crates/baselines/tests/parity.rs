@@ -1,0 +1,54 @@
+//! Parity between the eager tape and the planned engine for the baseline
+//! models, on the same shared helpers (`platter_tensor::parity`) and bounds
+//! as the YOLOv4 parity suite. Both models batch-normalise heavily, so the
+//! randomised BN statistics exercise the planner's conv+BN folding with
+//! non-trivial scales and shifts.
+
+use platter_baselines::{InceptionBackbone, SsdConfig, SsdDetector};
+use platter_tensor::parity::{assert_outputs_match, randomize_bn_stats};
+use platter_tensor::{Executor, Graph, Mode, Planner, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn ssd_heads_match_eager() {
+    let config = SsdConfig::micro(10);
+    let size = config.input_size;
+    let model = SsdDetector::new(config, 41);
+    randomize_bn_stats(&model.parameters(), 42);
+    let mut rng = StdRng::seed_from_u64(43);
+    let x = Tensor::rand_uniform(&[2, 3, size, size], 0.0, 1.0, &mut rng);
+
+    let mut g = Graph::inference();
+    let xv = g.leaf(x.clone());
+    let heads = model.trace(&mut g, xv, Mode::Infer);
+    let eager: Vec<Tensor> = heads.iter().map(|&h| g.value(h).clone()).collect();
+
+    let mut exec = model.compile_inference();
+    let compiled = exec.run(&[&x]);
+
+    assert_eq!(compiled.len(), 3);
+    assert_outputs_match(&eager, compiled, 2e-3, 5e-5);
+}
+
+#[test]
+fn inception_backbone_features_match_eager() {
+    let mut rng = StdRng::seed_from_u64(51);
+    let bb = InceptionBackbone::new("bb", 8, &mut rng);
+    randomize_bn_stats(&bb.parameters(), 52);
+    let x = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, &mut rng);
+
+    let mut g = Graph::inference();
+    let xv = g.leaf(x.clone());
+    let feats = bb.trace(&mut g, xv, Mode::Infer);
+    let eager: Vec<Tensor> = feats.iter().map(|&f| g.value(f).clone()).collect();
+
+    let mut p = Planner::new();
+    let xi = p.input(&[3, 64, 64]);
+    let outs = bb.trace(&mut p, xi, Mode::Infer);
+    let mut exec = Executor::new(p.finish(&outs));
+    let compiled = exec.run(&[&x]);
+
+    assert_eq!(compiled.len(), 3);
+    assert_outputs_match(&eager, compiled, 2e-3, 5e-5);
+}

@@ -7,6 +7,7 @@
 //! isolation, or the output guard).
 
 use crate::sanitize::InputError;
+use platter_tensor::ExecError;
 use platter_yolo::DetectError;
 
 /// Why a request was not answered with detections.
@@ -67,6 +68,16 @@ impl From<DetectError> for ServeError {
         match e {
             DetectError::BadShape { got, want } => {
                 ServeError::BadInput(InputError::BadShape { got, want })
+            }
+            // The executor's own validation fired. A per-item shape mismatch
+            // is still an input problem; the remaining variants (input count,
+            // ragged batch) cannot arise through the single-input detector
+            // plan and are reported as contained execution failures.
+            DetectError::Exec(ExecError::ShapeMismatch { got, want, .. }) if want.len() == 3 => {
+                ServeError::BadInput(InputError::BadShape { got, want: [want[0], want[1], want[2]] })
+            }
+            DetectError::Exec(other) => {
+                ServeError::WorkerPanic { message: format!("planned execution rejected batch: {other}") }
             }
         }
     }

@@ -103,7 +103,7 @@ pub struct QuarantineRecord {
     /// Shape of the submission (`[w, h]` for images, the tensor shape
     /// otherwise).
     pub shape: Vec<usize>,
-    /// Up to [`SAMPLE_LEN`] raw values starting at the first offence
+    /// Up to `SAMPLE_LEN` (8) raw values starting at the first offence
     /// (empty for shape/dimension rejections).
     pub sample: Vec<f32>,
 }

@@ -17,7 +17,7 @@
 //! ```
 //! use platter_tensor::nn::{Activation, ConvBlock};
 //! use platter_tensor::ops::Conv2dSpec;
-//! use platter_tensor::{Graph, Sgd, Tensor};
+//! use platter_tensor::{Graph, Mode, Sgd, Tensor};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
@@ -27,7 +27,7 @@
 //!
 //! let mut g = Graph::new();
 //! let x = g.leaf(Tensor::randn(&[2, 3, 16, 16], &mut rng));
-//! let y = block.forward(&mut g, x, true);
+//! let y = block.trace(&mut g, x, Mode::Train);
 //! let sq = g.square(y);
 //! let loss = g.mean_all(sq);
 //! g.backward(loss);
@@ -42,16 +42,19 @@ mod graph;
 pub mod nn;
 pub mod ops;
 mod param;
+pub mod parity;
 pub mod plan;
 pub mod optim;
 pub mod serialize;
 mod shape;
 mod tensor;
+mod trace;
 
 #[cfg(test)]
 pub(crate) mod testutil;
 
 pub use graph::{Graph, Var};
+pub use trace::{Mode, Trace};
 pub use optim::{clip_global_norm, Adam, LrSchedule, Sgd};
 pub use param::Param;
 pub use shape::{broadcast_shapes, numel, strides_for};

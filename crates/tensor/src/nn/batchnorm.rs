@@ -7,8 +7,8 @@
 
 use crate::graph::{Graph, Var};
 use crate::param::Param;
-use crate::plan::{Planner, ValueId};
 use crate::tensor::Tensor;
+use crate::trace::{Mode, Trace};
 
 /// Batch norm over the channel axis of NCHW tensors.
 pub struct BatchNorm2d {
@@ -46,9 +46,17 @@ impl BatchNorm2d {
         }
     }
 
-    /// Forward pass. `training` selects batch statistics (and updates the
+    /// Trace this layer onto a backend. The eager backend runs the full
+    /// normalisation (`forward_eager`); the planning backend lowers to the
+    /// folded per-channel affine.
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
+        b.batchnorm(x, self, mode)
+    }
+
+    /// Eager batch-norm math, used by the [`Graph`] backend of
+    /// [`Trace`]. `training` selects batch statistics (and updates the
     /// running estimates) vs the stored running statistics.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+    pub(crate) fn forward_eager(&self, g: &mut Graph, x: Var, training: bool) -> Var {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
         let (mean, var) = if training {
@@ -105,14 +113,6 @@ impl BatchNorm2d {
         (scale, shift)
     }
 
-    /// Record inference-mode batch norm into a plan. When the input was
-    /// produced by an exclusive, activation-free conv the planner folds the
-    /// affine into its weights and this op vanishes.
-    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let (scale, shift) = self.folded_scale_shift();
-        p.scale_bias(x, &scale, &shift)
-    }
-
     /// Trainable + stored parameters (γ, β, running mean/var).
     pub fn parameters(&self) -> Vec<Param> {
         vec![
@@ -137,7 +137,7 @@ mod tests {
         let x = Tensor::randn(&[4, 3, 5, 5], &mut rng).map(|v| v * 3.0 + 7.0);
         let mut g = Graph::new();
         let xv = g.leaf(x);
-        let y = bn.forward(&mut g, xv, true);
+        let y = bn.trace(&mut g, xv, Mode::Train);
         let yv = g.value(y);
         // Per-channel mean ≈ 0, variance ≈ 1.
         let m = yv.reduce_to_shape(&[1, 3, 1, 1]).map(|v| v / (4.0 * 25.0));
@@ -171,7 +171,7 @@ mod tests {
             }
             let mut g = Graph::new();
             let xv = g.leaf(x);
-            bn.forward(&mut g, xv, true);
+            bn.trace(&mut g, xv, Mode::Train);
         }
         let rm = bn.running_mean.value();
         assert!((rm.as_slice()[0] - 5.0).abs() < 0.5, "running mean ch0 {}", rm.as_slice()[0]);
@@ -185,7 +185,7 @@ mod tests {
         bn.running_var.borrow_mut().value = Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::full(&[1, 1, 2, 2], 6.0));
-        let y = bn.forward(&mut g, x, false);
+        let y = bn.trace(&mut g, x, Mode::Infer);
         // (6-2)/√4 = 2.
         for &v in g.value(y).as_slice() {
             assert!((v - 2.0).abs() < 1e-4);
@@ -199,7 +199,7 @@ mod tests {
         let x = Tensor::randn(&[2, 2, 3, 3], &mut rng);
         let mut g = Graph::new();
         let xv = g.leaf(x);
-        let y = bn.forward(&mut g, xv, true);
+        let y = bn.trace(&mut g, xv, Mode::Train);
         let sq = g.square(y);
         let loss = g.sum_all(sq);
         g.backward(loss);

@@ -2,14 +2,13 @@
 
 use rand::Rng;
 
-use crate::graph::{Graph, Var};
 use crate::nn::activation::Activation;
 use crate::nn::batchnorm::BatchNorm2d;
 use crate::nn::init::{conv_fan_in, kaiming_normal};
 use crate::ops::Conv2dSpec;
 use crate::param::Param;
-use crate::plan::{Planner, ValueId};
 use crate::tensor::Tensor;
+use crate::trace::{Mode, Trace};
 
 /// A 2-D convolution layer with optional bias.
 pub struct Conv2d {
@@ -35,24 +34,11 @@ impl Conv2d {
         Conv2d { weight, bias, spec }
     }
 
-    /// Forward pass.
-    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
-        let w = g.param(&self.weight);
-        let y = g.conv2d(x, w, self.spec);
-        match &self.bias {
-            Some(b) => {
-                let bv = g.param(b);
-                g.add(y, bv)
-            }
-            None => y,
-        }
-    }
-
-    /// Record this layer into an inference plan (current weights are baked
-    /// into the plan; recompile after updating parameters).
-    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let bias = self.bias.as_ref().map(|b| b.value());
-        p.conv2d(x, &self.weight.value(), bias.as_ref(), self.spec)
+    /// Trace this layer onto a backend: eager forward on [`Graph`](crate::Graph),
+    /// plan recording on [`Planner`](crate::Planner) (where current weights
+    /// are baked into the plan; recompile after updating parameters).
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value) -> B::Value {
+        b.conv2d(x, &self.weight, self.bias.as_ref(), self.spec)
     }
 
     /// All trainable parameters of this layer.
@@ -115,24 +101,16 @@ impl ConvBlock {
         }
     }
 
-    /// Forward pass; `training` selects batch vs running statistics in BN.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
-        let mut y = self.conv.forward(g, x);
-        if let Some(bn) = &self.bn {
-            y = bn.forward(g, y, training);
-        }
-        self.act.apply(g, y)
-    }
-
-    /// Record conv → BN → activation into an inference plan. The planner
+    /// Trace conv → BN → activation onto a backend. `mode` selects batch vs
+    /// running statistics in BN on the eager backend; the planning backend
     /// folds the BN into the conv weights and fuses the activation, so a
-    /// standard block compiles to a single `PlanOp`.
-    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let mut y = self.conv.compile(p, x);
+    /// standard block compiles to a single planned op.
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
+        let mut y = self.conv.trace(b, x);
         if let Some(bn) = &self.bn {
-            y = bn.compile(p, y);
+            y = b.batchnorm(y, bn, mode);
         }
-        p.activation(y, self.act)
+        b.activation(y, self.act)
     }
 
     /// All parameters (conv + BN).
@@ -153,6 +131,7 @@ impl ConvBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -162,7 +141,7 @@ mod tests {
         let layer = Conv2d::new("c", 3, 8, 3, Conv2dSpec::down(3), true, &mut rng);
         let mut g = Graph::new();
         let x = g.leaf(Tensor::zeros(&[2, 3, 16, 16]));
-        let y = layer.forward(&mut g, x);
+        let y = layer.trace(&mut g, x);
         assert_eq!(g.shape(y), &[2, 8, 8, 8]);
         assert_eq!(layer.parameters().len(), 2);
         assert_eq!(layer.out_channels(), 8);
@@ -188,7 +167,7 @@ mod tests {
         for _ in 0..60 {
             let mut g = Graph::new();
             let xv = g.leaf(x.clone());
-            let y = block.forward(&mut g, xv, true);
+            let y = block.trace(&mut g, xv, Mode::Train);
             let tv = g.constant(target.clone());
             let d = g.sub(y, tv);
             let sq = g.square(d);

@@ -2,11 +2,10 @@
 
 use rand::Rng;
 
-use crate::graph::{Graph, Var};
 use crate::nn::init::kaiming_normal;
 use crate::param::Param;
-use crate::plan::{Planner, ValueId};
 use crate::tensor::Tensor;
+use crate::trace::Trace;
 
 /// Affine layer `y = x·Wᵀ + b` for `x: [n, d_in]`.
 pub struct Linear {
@@ -23,16 +22,10 @@ impl Linear {
         }
     }
 
-    /// Forward pass.
-    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
-        let w = g.param(&self.weight);
-        let b = g.param(&self.bias);
-        g.linear(x, w, Some(b))
-    }
-
-    /// Record this layer into an inference plan.
-    pub fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        p.linear(x, &self.weight.value(), Some(&self.bias.value()))
+    /// Trace this layer onto a backend: eager forward on [`Graph`](crate::Graph),
+    /// plan recording on [`Planner`](crate::Planner).
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value) -> B::Value {
+        b.linear(x, &self.weight, Some(&self.bias))
     }
 
     /// Trainable parameters.
@@ -44,6 +37,7 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -53,7 +47,7 @@ mod tests {
         let l = Linear::new("fc", 8, 3, &mut rng);
         let mut g = Graph::new();
         let x = g.leaf(Tensor::zeros(&[5, 8]));
-        let y = l.forward(&mut g, x);
+        let y = l.trace(&mut g, x);
         assert_eq!(g.shape(y), &[5, 3]);
     }
 
@@ -73,7 +67,7 @@ mod tests {
             let mut g = Graph::new();
             let x = g.leaf(xs.clone());
             let t = g.constant(ys.clone());
-            let p = l.forward(&mut g, x);
+            let p = l.trace(&mut g, x);
             let d = g.sub(p, t);
             let sq = g.square(d);
             let loss = g.mean_all(sq);

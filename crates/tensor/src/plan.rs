@@ -7,7 +7,7 @@
 //! heap allocation per layer per image.
 //!
 //! This module splits inference off the tape. A [`Planner`] records the
-//! network once as a small op-IR ([`PlanOp`]) with eager shape inference,
+//! network once as a small op-IR (`PlanOp`) with eager shape inference,
 //! folding each batch-norm into the preceding convolution's weights and
 //! fusing trailing activations into the producing op as it builds. The
 //! finished [`Plan`] assigns every intermediate to a slot in a reusable
@@ -19,11 +19,16 @@
 //! the first call at a given batch size, the steady-state hot path performs
 //! no heap allocation at all.
 //!
+//! Layers do not target the planner directly: they describe their topology
+//! once via [`crate::Trace`], and `Planner` is simply the backend that
+//! records the trace into the IR (the other backend, [`crate::Graph`], runs
+//! it eagerly on the tape).
+//!
 //! ```
 //! use platter_tensor::nn::{Activation, ConvBlock};
 //! use platter_tensor::ops::Conv2dSpec;
 //! use platter_tensor::plan::{Executor, Planner};
-//! use platter_tensor::Tensor;
+//! use platter_tensor::{Mode, Tensor};
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
@@ -31,7 +36,7 @@
 //! let block = ConvBlock::new("stem", 3, 8, 3, Conv2dSpec::same(3), Activation::Mish, &mut rng);
 //! let mut p = Planner::new();
 //! let x = p.input(&[3, 16, 16]);
-//! let y = block.compile(&mut p, x); // conv+BN+Mish fused into one PlanOp
+//! let y = block.trace(&mut p, x, Mode::Infer); // conv+BN+Mish fused into one PlanOp
 //! let mut exec = Executor::new(p.finish(&[y]));
 //! let out = exec.run(&[&Tensor::zeros(&[2, 3, 16, 16])]);
 //! assert_eq!(out[0].shape(), &[2, 8, 16, 16]);
@@ -450,6 +455,28 @@ impl Plan {
     pub fn output_shapes(&self) -> Vec<&[usize]> {
         self.outputs.iter().map(|&v| self.shapes[v.0].as_slice()).collect()
     }
+
+    /// Structural signature of every op, in execution order, for golden-plan
+    /// tests: the op kind plus the fusion state that matters (fused
+    /// activation, pool geometry, concat arity). A lost conv+BN fold shows up
+    /// as an extra `scale_bias`, a lost activation fusion as `Linear` turning
+    /// into an explicit `act[..]` op.
+    pub fn op_kinds(&self) -> Vec<String> {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                PlanOp::Input { .. } => "input".to_string(),
+                PlanOp::Conv2d { act, .. } => format!("conv2d[{act:?}]"),
+                PlanOp::ScaleBias { act, .. } => format!("scale_bias[{act:?}]"),
+                PlanOp::Activation { act, .. } => format!("act[{act:?}]"),
+                PlanOp::MaxPool { k, stride, .. } => format!("maxpool{k}s{stride}"),
+                PlanOp::Upsample { factor, .. } => format!("upsample{factor}"),
+                PlanOp::Concat { xs } => format!("concat{}", xs.len()),
+                PlanOp::Add { .. } => "add".to_string(),
+                PlanOp::Linear { act, .. } => format!("linear[{act:?}]"),
+            })
+            .collect()
+    }
 }
 
 /// A malformed input batch, reported by [`Executor::try_run`] before any op
@@ -809,6 +836,7 @@ mod tests {
     use super::*;
     use crate::graph::Graph;
     use crate::nn::{BatchNorm2d, ConvBlock, Linear};
+    use crate::trace::Mode;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -854,24 +882,17 @@ mod tests {
         let x = Tensor::randn(&[2, 3, 5, 5], &mut rng);
         let mut g = Graph::inference();
         let xv = g.leaf(x.clone());
-        let y = block.forward(&mut g, xv, false);
+        let y = block.trace(&mut g, xv, Mode::Infer);
 
         let mut p = Planner::new();
         let xi = p.input(&[3, 5, 5]);
-        let yi = p.compile_probe(&block, xi);
+        let yi = block.trace(&mut p, xi, Mode::Infer);
         let plan = p.finish(&[yi]);
         // input + one fused conv: BN and Mish disappeared into the conv.
         assert_eq!(plan.num_values(), 2, "conv+BN+act must fuse to one op");
         let mut exec = Executor::new(plan);
         let out = exec.run(&[&x]);
         assert_close(out[0].as_slice(), g.value(y).as_slice(), 1e-5, "fused conv block");
-    }
-
-    impl Planner {
-        /// Test helper so the fusion test reads naturally.
-        fn compile_probe(&mut self, block: &ConvBlock, x: ValueId) -> ValueId {
-            block.compile(self, x)
-        }
     }
 
     #[test]
@@ -886,11 +907,11 @@ mod tests {
 
         let mut g = Graph::inference();
         let xv = g.leaf(x.clone());
-        let y = bn.forward(&mut g, xv, false);
+        let y = bn.trace(&mut g, xv, Mode::Infer);
 
         let mut p = Planner::new();
         let xi = p.input(&[4, 3, 3]);
-        let yi = bn.compile(&mut p, xi); // input producer: no conv to fold into
+        let yi = bn.trace(&mut p, xi, Mode::Infer); // input producer: no conv to fold into
         let mut exec = Executor::new(p.finish(&[yi]));
         let out = exec.run(&[&x]);
         assert_close(out[0].as_slice(), g.value(y).as_slice(), 1e-5, "scale-bias");
@@ -928,11 +949,11 @@ mod tests {
         let x = Tensor::randn(&[4, 6], &mut rng);
         let mut g = Graph::inference();
         let xv = g.leaf(x.clone());
-        let y = layer.forward(&mut g, xv);
+        let y = layer.trace(&mut g, xv);
 
         let mut p = Planner::new();
         let xi = p.input(&[6]);
-        let yi = layer.compile(&mut p, xi);
+        let yi = layer.trace(&mut p, xi);
         let mut exec = Executor::new(p.finish(&[yi]));
         let out = exec.run(&[&x]);
         assert_eq!(out[0].shape(), &[4, 3]);

@@ -1,0 +1,312 @@
+//! Single-definition network graphs: one topology trace, two backends.
+//!
+//! Before this module existed, every layer defined its network twice — an
+//! eager `forward(&mut Graph, …)` for training and a `compile(&mut Planner,
+//! …)` for the planned executor — and the two copies were kept in sync only
+//! by the numeric parity suite. [`Trace`] removes the duplication: a layer
+//! describes its topology **once** as a generic
+//! `fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value`,
+//! and the choice of backend decides what that description *means*:
+//!
+//! - [`Graph`] records the ops onto the autograd tape (eagerly evaluating
+//!   them, binding [`Param`]s so gradients flow, and honouring
+//!   [`Mode::Train`] for batch-norm statistics);
+//! - [`Planner`] records the same ops into the inference IR with shape
+//!   inference, conv+BN folding and activation fusion, exactly as the
+//!   hand-written `compile` methods used to.
+//!
+//! Because both executions are derived from the same trace, eager/planned
+//! parity is structural: the two paths cannot drift apart layer by layer.
+//! The numeric parity suite still guards genuine kernel-level differences
+//! (folded weights reorder f32 rounding; fused epilogues evaluate
+//! activations in registers).
+//!
+//! ```
+//! use platter_tensor::nn::{Activation, ConvBlock};
+//! use platter_tensor::ops::Conv2dSpec;
+//! use platter_tensor::plan::{Executor, Planner};
+//! use platter_tensor::{Graph, Mode, Tensor};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let block = ConvBlock::new("stem", 3, 8, 3, Conv2dSpec::same(3), Activation::Mish, &mut rng);
+//! let x = Tensor::zeros(&[2, 3, 16, 16]);
+//!
+//! // Same trace, eager backend: ops run on the autograd tape.
+//! let mut g = Graph::inference();
+//! let xv = g.leaf(x.clone());
+//! let yv = block.trace(&mut g, xv, Mode::Infer);
+//!
+//! // Same trace, planning backend: conv+BN+Mish fuse into one planned op.
+//! let mut p = Planner::new();
+//! let xi = p.input(&[3, 16, 16]);
+//! let yi = block.trace(&mut p, xi, Mode::Infer);
+//! let mut exec = Executor::new(p.finish(&[yi]));
+//! assert_eq!(exec.run(&[&x])[0].shape(), g.shape(yv));
+//! ```
+
+use crate::graph::{Graph, Var};
+use crate::nn::{Activation, BatchNorm2d};
+use crate::ops::Conv2dSpec;
+use crate::param::Param;
+use crate::plan::{Planner, ValueId};
+
+/// Whether a trace is recorded with training or inference semantics.
+///
+/// Only batch normalisation currently distinguishes the two: training mode
+/// normalises with batch statistics (and updates the running estimates as a
+/// side effect), inference mode uses the frozen running statistics. The
+/// [`Planner`] backend is inference-only and rejects [`Mode::Train`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Batch statistics; running estimates are updated as a side effect.
+    Train,
+    /// Frozen running statistics.
+    Infer,
+}
+
+impl Mode {
+    /// Convert the conventional `training: bool` flag.
+    pub fn from_training(training: bool) -> Mode {
+        if training {
+            Mode::Train
+        } else {
+            Mode::Infer
+        }
+    }
+
+    /// True for [`Mode::Train`].
+    pub fn training(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A backend that a network topology can be traced onto.
+///
+/// The op set is exactly what a YOLOv4-class detector needs: convolution,
+/// batch norm, activation, max pooling, nearest upsampling, channel concat,
+/// residual add and the linear classifier head. Parameters are passed as
+/// [`Param`] handles so each backend chooses its own binding: the eager
+/// backend binds them into the tape for gradient accumulation, the planning
+/// backend snapshots their current values into the plan.
+pub trait Trace {
+    /// Backend-specific handle to a traced value ([`Var`] or [`ValueId`]).
+    type Value: Copy;
+
+    /// 2-D convolution by `weight: [cout,cin,kh,kw]` with an optional bias
+    /// of `cout` elements.
+    fn conv2d(
+        &mut self,
+        x: Self::Value,
+        weight: &Param,
+        bias: Option<&Param>,
+        spec: Conv2dSpec,
+    ) -> Self::Value;
+
+    /// Batch normalisation over the channel axis. `mode` selects batch vs
+    /// running statistics on the eager backend; the planning backend is
+    /// inference-only.
+    fn batchnorm(&mut self, x: Self::Value, bn: &BatchNorm2d, mode: Mode) -> Self::Value;
+
+    /// Elementwise activation. [`Activation::Linear`] is the identity.
+    fn activation(&mut self, x: Self::Value, act: Activation) -> Self::Value;
+
+    /// Max pooling over `k`×`k` windows (padded cells never win).
+    fn maxpool2d(&mut self, x: Self::Value, k: usize, stride: usize, pad: usize) -> Self::Value;
+
+    /// Nearest-neighbour upsampling by an integer factor.
+    fn upsample_nearest(&mut self, x: Self::Value, factor: usize) -> Self::Value;
+
+    /// Channel concatenation (axis 1 of the NCHW batch).
+    fn concat_channels(&mut self, xs: &[Self::Value]) -> Self::Value;
+
+    /// Elementwise sum of two same-shape values (residual connections).
+    fn add(&mut self, a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// Affine layer `y = x·Wᵀ + b` over `[d_in]`-per-item values.
+    fn linear(&mut self, x: Self::Value, weight: &Param, bias: Option<&Param>) -> Self::Value;
+
+    /// Per-item shape of `v` (without the leading batch dimension) — e.g.
+    /// `[c, h, w]` for a feature map. Lets traces make shape-dependent
+    /// decisions (SPP clamps its pool kernels to the feature size).
+    fn item_shape(&self, v: Self::Value) -> Vec<usize>;
+}
+
+/// Eager backend: ops evaluate immediately on the autograd tape, parameters
+/// are bound for gradient accumulation, and `Mode::Train` selects batch
+/// statistics in batch norm.
+impl Trace for Graph {
+    type Value = Var;
+
+    fn conv2d(&mut self, x: Var, weight: &Param, bias: Option<&Param>, spec: Conv2dSpec) -> Var {
+        let w = self.param(weight);
+        let y = Graph::conv2d(self, x, w, spec);
+        match bias {
+            Some(b) => {
+                let bv = self.param(b);
+                Graph::add(self, y, bv)
+            }
+            None => y,
+        }
+    }
+
+    fn batchnorm(&mut self, x: Var, bn: &BatchNorm2d, mode: Mode) -> Var {
+        bn.forward_eager(self, x, mode.training())
+    }
+
+    fn activation(&mut self, x: Var, act: Activation) -> Var {
+        act.apply(self, x)
+    }
+
+    fn maxpool2d(&mut self, x: Var, k: usize, stride: usize, pad: usize) -> Var {
+        Graph::maxpool2d(self, x, k, stride, pad)
+    }
+
+    fn upsample_nearest(&mut self, x: Var, factor: usize) -> Var {
+        Graph::upsample_nearest(self, x, factor)
+    }
+
+    fn concat_channels(&mut self, xs: &[Var]) -> Var {
+        Graph::concat(self, xs, 1)
+    }
+
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        Graph::add(self, a, b)
+    }
+
+    fn linear(&mut self, x: Var, weight: &Param, bias: Option<&Param>) -> Var {
+        let w = self.param(weight);
+        let b = bias.map(|p| self.param(p));
+        Graph::linear(self, x, w, b)
+    }
+
+    fn item_shape(&self, v: Var) -> Vec<usize> {
+        self.shape(v)[1..].to_vec()
+    }
+}
+
+/// Planning backend: ops record into the inference IR with eager shape
+/// inference; batch norm lowers to its folded per-channel affine (which the
+/// planner folds into a preceding exclusive conv), and activations fuse into
+/// their producer where legal. Parameter values are snapshotted at trace
+/// time — recompile after updating weights.
+impl Trace for Planner {
+    type Value = ValueId;
+
+    fn conv2d(&mut self, x: ValueId, weight: &Param, bias: Option<&Param>, spec: Conv2dSpec) -> ValueId {
+        let b = bias.map(|p| p.value());
+        Planner::conv2d(self, x, &weight.value(), b.as_ref(), spec)
+    }
+
+    fn batchnorm(&mut self, x: ValueId, bn: &BatchNorm2d, mode: Mode) -> ValueId {
+        assert!(
+            !mode.training(),
+            "planned execution is inference-only: traced with Mode::Train"
+        );
+        let (scale, shift) = bn.folded_scale_shift();
+        self.scale_bias(x, &scale, &shift)
+    }
+
+    fn activation(&mut self, x: ValueId, act: Activation) -> ValueId {
+        Planner::activation(self, x, act)
+    }
+
+    fn maxpool2d(&mut self, x: ValueId, k: usize, stride: usize, pad: usize) -> ValueId {
+        Planner::maxpool2d(self, x, k, stride, pad)
+    }
+
+    fn upsample_nearest(&mut self, x: ValueId, factor: usize) -> ValueId {
+        Planner::upsample_nearest(self, x, factor)
+    }
+
+    fn concat_channels(&mut self, xs: &[ValueId]) -> ValueId {
+        Planner::concat_channels(self, xs)
+    }
+
+    fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        Planner::add(self, a, b)
+    }
+
+    fn linear(&mut self, x: ValueId, weight: &Param, bias: Option<&Param>) -> ValueId {
+        let b = bias.map(|p| p.value());
+        Planner::linear(self, x, &weight.value(), b.as_ref())
+    }
+
+    fn item_shape(&self, v: ValueId) -> Vec<usize> {
+        self.shape(v).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::ConvBlock;
+    use crate::plan::Executor;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mode_round_trips_the_training_flag() {
+        assert_eq!(Mode::from_training(true), Mode::Train);
+        assert_eq!(Mode::from_training(false), Mode::Infer);
+        assert!(Mode::Train.training());
+        assert!(!Mode::Infer.training());
+    }
+
+    #[test]
+    fn item_shape_agrees_across_backends() {
+        let mut g = Graph::inference();
+        let xv = g.leaf(Tensor::zeros(&[2, 3, 8, 8]));
+        assert_eq!(g.item_shape(xv), vec![3, 8, 8]);
+
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 8, 8]);
+        assert_eq!(Trace::item_shape(&p, xi), vec![3, 8, 8]);
+    }
+
+    /// A generic helper exercising the whole trait surface — compiles once,
+    /// runs on both backends.
+    fn diamond<B: Trace>(b: &mut B, block: &ConvBlock, x: B::Value) -> B::Value {
+        let y = block.trace(b, x, Mode::Infer);
+        let pooled = b.maxpool2d(y, 2, 2, 0);
+        let up = b.upsample_nearest(pooled, 2);
+        let cat = b.concat_channels(&[y, up]);
+        b.add(cat, cat)
+    }
+
+    #[test]
+    fn generic_trace_matches_across_backends() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let block = ConvBlock::new("b", 3, 4, 3, Conv2dSpec::same(3), Activation::Mish, &mut rng);
+        let bn = block.bn.as_ref().unwrap();
+        bn.running_mean.set_value(Tensor::randn(&[1, 4, 1, 1], &mut rng));
+        bn.running_var.set_value(Tensor::rand_uniform(&[1, 4, 1, 1], 0.3, 2.0, &mut rng));
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+
+        let mut g = Graph::inference();
+        let xv = g.leaf(x.clone());
+        let yv = diamond(&mut g, &block, xv);
+
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 8, 8]);
+        let yi = diamond(&mut p, &block, xi);
+        let mut exec = Executor::new(p.finish(&[yi]));
+        let out = exec.run(&[&x]);
+
+        assert_eq!(out[0].shape(), g.shape(yv));
+        for (a, b) in g.value(yv).as_slice().iter().zip(out[0].as_slice()) {
+            assert!((a - b).abs() <= 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn planner_rejects_training_mode_batchnorm() {
+        let bn = BatchNorm2d::new("bn", 2);
+        let mut p = Planner::new();
+        let x = p.input(&[2, 4, 4]);
+        Trace::batchnorm(&mut p, x, &bn, Mode::Train);
+    }
+}

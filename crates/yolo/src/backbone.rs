@@ -7,7 +7,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Planner, ValueId, Var};
+use platter_tensor::{Mode, Param, Trace, Var};
 use rand::Rng;
 
 use crate::config::YoloConfig;
@@ -26,16 +26,10 @@ impl ResidualBlock {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
-        let y = self.conv1.forward(g, x, training);
-        let y = self.conv2.forward(g, y, training);
-        g.add(x, y)
-    }
-
-    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let y = self.conv1.compile(p, x);
-        let y = self.conv2.compile(p, y);
-        p.add(x, y)
+    fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
+        let y = self.conv1.trace(b, x, mode);
+        let y = self.conv2.trace(b, y, mode);
+        b.add(x, y)
     }
 
     fn parameters(&self) -> Vec<Param> {
@@ -68,28 +62,16 @@ impl CspStage {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
-        let x = self.down.forward(g, x, training);
-        let bypass = self.split_bypass.forward(g, x, training);
-        let mut main = self.split_main.forward(g, x, training);
+    fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
+        let x = self.down.trace(b, x, mode);
+        let bypass = self.split_bypass.trace(b, x, mode);
+        let mut main = self.split_main.trace(b, x, mode);
         for block in &self.blocks {
-            main = block.forward(g, main, training);
+            main = block.trace(b, main, mode);
         }
-        let main = self.post.forward(g, main, training);
-        let cat = g.concat(&[main, bypass], 1);
-        self.merge.forward(g, cat, training)
-    }
-
-    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let x = self.down.compile(p, x);
-        let bypass = self.split_bypass.compile(p, x);
-        let mut main = self.split_main.compile(p, x);
-        for block in &self.blocks {
-            main = block.compile(p, main);
-        }
-        let main = self.post.compile(p, main);
-        let cat = p.concat_channels(&[main, bypass]);
-        self.merge.compile(p, cat)
+        let main = self.post.trace(b, main, mode);
+        let cat = b.concat_channels(&[main, bypass]);
+        self.merge.trace(b, cat, mode)
     }
 
     fn parameters(&self) -> Vec<Param> {
@@ -107,7 +89,7 @@ impl CspStage {
 
 /// Multi-scale backbone features: strides 8, 16 and 32. Generic over the
 /// handle type so the same struct carries eager [`Var`]s and planned
-/// [`ValueId`]s.
+/// `ValueId`s.
 pub struct BackboneFeatures<H = Var> {
     /// Stride-8 feature map (the paper's route to the small-object head).
     pub c3: H,
@@ -150,27 +132,16 @@ impl CspDarknet {
         CspDarknet { stem, stages }
     }
 
-    /// Forward pass producing the three feature levels.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> BackboneFeatures {
-        let mut h = self.stem.forward(g, x, training);
+    /// Trace the backbone onto a backend, producing the three feature
+    /// levels (eager forward on [`platter_tensor::Graph`], plan recording on
+    /// [`platter_tensor::Planner`]).
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> BackboneFeatures<B::Value> {
+        let mut h = self.stem.trace(b, x, mode);
         let mut taps = Vec::with_capacity(3);
         for (i, stage) in self.stages.iter().enumerate() {
-            h = stage.forward(g, h, training);
+            h = stage.trace(b, h, mode);
             if i >= 2 {
                 taps.push(h); // stages 3, 4, 5 → strides 8, 16, 32
-            }
-        }
-        BackboneFeatures { c3: taps[0], c4: taps[1], c5: taps[2] }
-    }
-
-    /// Record the backbone into an inference plan.
-    pub fn compile(&self, p: &mut Planner, x: ValueId) -> BackboneFeatures<ValueId> {
-        let mut h = self.stem.compile(p, x);
-        let mut taps = Vec::with_capacity(3);
-        for (i, stage) in self.stages.iter().enumerate() {
-            h = stage.compile(p, h);
-            if i >= 2 {
-                taps.push(h);
             }
         }
         BackboneFeatures { c3: taps[0], c4: taps[1], c5: taps[2] }
@@ -190,7 +161,7 @@ impl CspDarknet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use platter_tensor::Tensor;
+    use platter_tensor::{Graph, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -201,7 +172,7 @@ mod tests {
         let bb = CspDarknet::new("backbone", &cfg, &mut rng);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::zeros(&[2, 3, 64, 64]));
-        let f = bb.forward(&mut g, x, false);
+        let f = bb.trace(&mut g, x, Mode::Infer);
         assert_eq!(g.shape(f.c3), &[2, cfg.channels(3), 8, 8]);
         assert_eq!(g.shape(f.c4), &[2, cfg.channels(4), 4, 4]);
         assert_eq!(g.shape(f.c5), &[2, cfg.channels(5), 2, 2]);
@@ -218,7 +189,7 @@ mod tests {
         let bb = CspDarknet::new("backbone", &cfg, &mut rng);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::zeros(&[1, 3, 64, 64]));
-        let f = bb.forward(&mut g, x, false);
+        let f = bb.trace(&mut g, x, Mode::Infer);
         assert_eq!(g.shape(f.c5), &[1, 1024, 2, 2]);
         // Paper-scale parameter count is in the tens of millions.
         let n: usize = bb.parameters().iter().map(|p| p.numel()).sum();
@@ -245,7 +216,7 @@ mod tests {
         let bb = CspDarknet::new("backbone", &cfg, &mut rng);
         let mut g = Graph::new();
         let x = g.leaf(Tensor::randn(&[1, 3, 64, 64], &mut rng));
-        let f = bb.forward(&mut g, x, true);
+        let f = bb.trace(&mut g, x, Mode::Train);
         let sq = g.square(f.c5);
         let loss = g.mean_all(sq);
         g.backward(loss);

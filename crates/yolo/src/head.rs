@@ -4,7 +4,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Planner, ValueId, Var};
+use platter_tensor::{Mode, Param, Trace};
 use rand::Rng;
 
 use crate::config::YoloConfig;
@@ -33,14 +33,9 @@ impl DetectionHead {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
-        let h = self.expand.forward(g, x, training);
-        self.project.forward(g, h, training)
-    }
-
-    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let h = self.expand.compile(p, x);
-        self.project.compile(p, h)
+    fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
+        let h = self.expand.trace(b, x, mode);
+        self.project.trace(b, h, mode)
     }
 
     fn parameters(&self) -> Vec<Param> {
@@ -68,20 +63,11 @@ impl YoloHeads {
     }
 
     /// Raw logits per scale, ordered `[stride8, stride16, stride32]`.
-    pub fn forward(&self, g: &mut Graph, f: &NeckFeatures, training: bool) -> [Var; 3] {
+    pub fn trace<B: Trace>(&self, b: &mut B, f: &NeckFeatures<B::Value>, mode: Mode) -> [B::Value; 3] {
         [
-            self.h3.forward(g, f.p3, training),
-            self.h4.forward(g, f.p4, training),
-            self.h5.forward(g, f.p5, training),
-        ]
-    }
-
-    /// Record all three heads into an inference plan.
-    pub fn compile(&self, p: &mut Planner, f: &NeckFeatures<ValueId>) -> [ValueId; 3] {
-        [
-            self.h3.compile(p, f.p3),
-            self.h4.compile(p, f.p4),
-            self.h5.compile(p, f.p5),
+            self.h3.trace(b, f.p3, mode),
+            self.h4.trace(b, f.p4, mode),
+            self.h5.trace(b, f.p5, mode),
         ]
     }
 
@@ -99,7 +85,7 @@ mod tests {
     use super::*;
     use crate::backbone::CspDarknet;
     use crate::neck::PanNeck;
-    use platter_tensor::Tensor;
+    use platter_tensor::{Graph, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -112,9 +98,9 @@ mod tests {
         let heads = YoloHeads::new("head", &cfg, &mut rng);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::zeros(&[2, 3, 64, 64]));
-        let f = bb.forward(&mut g, x, false);
-        let n = neck.forward(&mut g, &f, false);
-        let out = heads.forward(&mut g, &n, false);
+        let f = bb.trace(&mut g, x, Mode::Infer);
+        let n = neck.trace(&mut g, &f, Mode::Infer);
+        let out = heads.trace(&mut g, &n, Mode::Infer);
         assert_eq!(g.shape(out[0]), &[2, 45, 8, 8]);
         assert_eq!(g.shape(out[1]), &[2, 45, 4, 4]);
         assert_eq!(g.shape(out[2]), &[2, 45, 2, 2]);

@@ -3,7 +3,7 @@
 //! paper's transfer-learning stage.
 
 use platter_tensor::serialize::{load_params, save_params, LoadMode, LoadReport, WeightError};
-use platter_tensor::{ExecError, Executor, Graph, Param, Plan, Planner, Tensor, Var};
+use platter_tensor::{ExecError, Executor, Graph, Mode, Param, Plan, Planner, Tensor, Trace, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,21 +34,33 @@ impl Yolov4 {
         }
     }
 
-    /// Forward to raw head logits `[stride8, stride16, stride32]`.
+    /// Trace the whole network onto a backend, producing raw head logits
+    /// `[stride8, stride16, stride32]`. This is the **single definition** of
+    /// the YOLOv4 topology: the eager tape ([`Graph`]) and the inference
+    /// planner ([`Planner`]) both replay it.
     ///
-    /// `x` must be `[n, 3, s, s]` with `s == config.input_size`.
-    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> [Var; 3] {
-        let shape = g.shape(x).to_vec();
-        assert_eq!(shape[1], 3, "expected RGB input, got {shape:?}");
+    /// The traced input must be `[3, s, s]` per item with
+    /// `s == config.input_size`.
+    pub fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> [B::Value; 3] {
+        let shape = b.item_shape(x);
+        assert_eq!(shape[0], 3, "expected RGB input, got {shape:?}");
         assert_eq!(
-            shape[2],
+            shape[1],
             self.config.input_size,
             "input size {shape:?} does not match config {}",
             self.config.input_size
         );
-        let f = self.backbone.forward(g, x, training);
-        let n = self.neck.forward(g, &f, training);
-        self.heads.forward(g, &n, training)
+        let f = self.backbone.trace(b, x, mode);
+        let n = self.neck.trace(b, &f, mode);
+        self.heads.trace(b, &n, mode)
+    }
+
+    /// Eager forward to raw head logits (thin wrapper over
+    /// [`Yolov4::trace`] for the training loop).
+    ///
+    /// `x` must be `[n, 3, s, s]` with `s == config.input_size`.
+    pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> [Var; 3] {
+        self.trace(g, x, Mode::from_training(training))
     }
 
     /// Convenience: run inference on a CHW image tensor batch, returning the
@@ -73,9 +85,7 @@ impl Yolov4 {
         let mut p = Planner::new();
         let s = self.config.input_size;
         let x = p.input(&[3, s, s]);
-        let f = self.backbone.compile(&mut p, x);
-        let n = self.neck.compile(&mut p, &f);
-        let heads = self.heads.compile(&mut p, &n);
+        let heads = self.trace(&mut p, x, Mode::Infer);
         CompiledModel { exec: Executor::new(p.finish(&heads)), input_size: s }
     }
 

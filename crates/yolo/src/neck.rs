@@ -4,7 +4,7 @@
 
 use platter_tensor::nn::{Activation, ConvBlock};
 use platter_tensor::ops::Conv2dSpec;
-use platter_tensor::{Graph, Param, Planner, ValueId, Var};
+use platter_tensor::{Mode, Param, Trace, Var};
 use rand::Rng;
 
 use crate::backbone::BackboneFeatures;
@@ -35,40 +35,25 @@ impl Spp {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+    fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
         let mut h = x;
         for c in &self.pre {
-            h = c.forward(g, h, training);
+            h = c.trace(b, h, mode);
         }
         // Clamp pool kernels to the feature size so the micro profile's 2×2
-        // deepest grid still pools meaningfully.
-        let dim = g.shape(h)[2].min(g.shape(h)[3]);
+        // deepest grid still pools meaningfully. `item_shape` is [c,h,w] on
+        // both backends.
+        let shape = b.item_shape(h);
+        let dim = shape[1].min(shape[2]);
         let kernels = [5usize, 9, 13].map(|k| k.min(if dim.is_multiple_of(2) { dim + 1 } else { dim }));
-        let pools: Vec<Var> = kernels
+        let pools: Vec<B::Value> = kernels
             .iter()
-            .map(|&k| g.maxpool2d(h, k, 1, k / 2))
+            .map(|&k| b.maxpool2d(h, k, 1, k / 2))
             .collect();
-        let cat = g.concat(&[pools[2], pools[1], pools[0], h], 1);
+        let cat = b.concat_channels(&[pools[2], pools[1], pools[0], h]);
         let mut out = cat;
         for c in &self.post {
-            out = c.forward(g, out, training);
-        }
-        out
-    }
-
-    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let mut h = x;
-        for c in &self.pre {
-            h = c.compile(p, h);
-        }
-        // Same kernel clamp as `forward` (per-item shape is [c,h,w]).
-        let dim = p.shape(h)[1].min(p.shape(h)[2]);
-        let kernels = [5usize, 9, 13].map(|k| k.min(if dim.is_multiple_of(2) { dim + 1 } else { dim }));
-        let pools: Vec<ValueId> = kernels.iter().map(|&k| p.maxpool2d(h, k, 1, k / 2)).collect();
-        let cat = p.concat_channels(&[pools[2], pools[1], pools[0], h]);
-        let mut out = cat;
-        for c in &self.post {
-            out = c.compile(p, out);
+            out = c.trace(b, out, mode);
         }
         out
     }
@@ -97,18 +82,10 @@ impl ConvStack {
         }
     }
 
-    fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
+    fn trace<B: Trace>(&self, b: &mut B, x: B::Value, mode: Mode) -> B::Value {
         let mut h = x;
         for c in &self.convs {
-            h = c.forward(g, h, training);
-        }
-        h
-    }
-
-    fn compile(&self, p: &mut Planner, x: ValueId) -> ValueId {
-        let mut h = x;
-        for c in &self.convs {
-            h = c.compile(p, h);
+            h = c.trace(b, h, mode);
         }
         h
     }
@@ -167,60 +144,39 @@ impl PanNeck {
         }
     }
 
-    /// Forward pass over backbone features.
-    pub fn forward(&self, g: &mut Graph, f: &BackboneFeatures, training: bool) -> NeckFeatures {
+    /// Trace the neck onto a backend, fusing backbone features across
+    /// scales.
+    pub fn trace<B: Trace>(
+        &self,
+        b: &mut B,
+        f: &BackboneFeatures<B::Value>,
+        mode: Mode,
+    ) -> NeckFeatures<B::Value> {
         // SPP leaves c5 at half width (post2 outputs h5).
-        let s5 = self.spp.forward(g, f.c5, training);
+        let s5 = self.spp.trace(b, f.c5, mode);
 
         // Top-down to stride 16.
-        let u5 = self.up5.forward(g, s5, training);
-        let u5 = g.upsample_nearest(u5, 2);
-        let l4 = self.lat4.forward(g, f.c4, training);
-        let cat4 = g.concat(&[l4, u5], 1);
-        let t4 = self.td4.forward(g, cat4, training);
+        let u5 = self.up5.trace(b, s5, mode);
+        let u5 = b.upsample_nearest(u5, 2);
+        let l4 = self.lat4.trace(b, f.c4, mode);
+        let cat4 = b.concat_channels(&[l4, u5]);
+        let t4 = self.td4.trace(b, cat4, mode);
 
         // Top-down to stride 8.
-        let u4 = self.up4.forward(g, t4, training);
-        let u4 = g.upsample_nearest(u4, 2);
-        let l3 = self.lat3.forward(g, f.c3, training);
-        let cat3 = g.concat(&[l3, u4], 1);
-        let p3 = self.td3.forward(g, cat3, training);
+        let u4 = self.up4.trace(b, t4, mode);
+        let u4 = b.upsample_nearest(u4, 2);
+        let l3 = self.lat3.trace(b, f.c3, mode);
+        let cat3 = b.concat_channels(&[l3, u4]);
+        let p3 = self.td3.trace(b, cat3, mode);
 
         // Bottom-up aggregation.
-        let d3 = self.down3.forward(g, p3, training);
-        let cat4b = g.concat(&[d3, t4], 1);
-        let p4 = self.bu4.forward(g, cat4b, training);
+        let d3 = self.down3.trace(b, p3, mode);
+        let cat4b = b.concat_channels(&[d3, t4]);
+        let p4 = self.bu4.trace(b, cat4b, mode);
 
-        let d4 = self.down4.forward(g, p4, training);
-        let cat5 = g.concat(&[d4, s5], 1);
-        let p5 = self.bu5.forward(g, cat5, training);
-
-        NeckFeatures { p3, p4, p5 }
-    }
-
-    /// Record the neck into an inference plan, mirroring `forward`.
-    pub fn compile(&self, p: &mut Planner, f: &BackboneFeatures<ValueId>) -> NeckFeatures<ValueId> {
-        let s5 = self.spp.compile(p, f.c5);
-
-        let u5 = self.up5.compile(p, s5);
-        let u5 = p.upsample_nearest(u5, 2);
-        let l4 = self.lat4.compile(p, f.c4);
-        let cat4 = p.concat_channels(&[l4, u5]);
-        let t4 = self.td4.compile(p, cat4);
-
-        let u4 = self.up4.compile(p, t4);
-        let u4 = p.upsample_nearest(u4, 2);
-        let l3 = self.lat3.compile(p, f.c3);
-        let cat3 = p.concat_channels(&[l3, u4]);
-        let p3 = self.td3.compile(p, cat3);
-
-        let d3 = self.down3.compile(p, p3);
-        let cat4b = p.concat_channels(&[d3, t4]);
-        let p4 = self.bu4.compile(p, cat4b);
-
-        let d4 = self.down4.compile(p, p4);
-        let cat5 = p.concat_channels(&[d4, s5]);
-        let p5 = self.bu5.compile(p, cat5);
+        let d4 = self.down4.trace(b, p4, mode);
+        let cat5 = b.concat_channels(&[d4, s5]);
+        let p5 = self.bu5.trace(b, cat5, mode);
 
         NeckFeatures { p3, p4, p5 }
     }
@@ -242,7 +198,7 @@ impl PanNeck {
 mod tests {
     use super::*;
     use crate::backbone::CspDarknet;
-    use platter_tensor::Tensor;
+    use platter_tensor::{Graph, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -259,8 +215,8 @@ mod tests {
         let (bb, neck) = build(&cfg, 1);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::zeros(&[1, 3, 64, 64]));
-        let f = bb.forward(&mut g, x, false);
-        let n = neck.forward(&mut g, &f, false);
+        let f = bb.trace(&mut g, x, Mode::Infer);
+        let n = neck.trace(&mut g, &f, Mode::Infer);
         assert_eq!(g.shape(n.p3), &[1, cfg.channels(3) / 2, 8, 8]);
         assert_eq!(g.shape(n.p4), &[1, cfg.channels(4) / 2, 4, 4]);
         assert_eq!(g.shape(n.p5), &[1, cfg.channels(5) / 2, 2, 2]);
@@ -273,7 +229,7 @@ mod tests {
         let spp = Spp::new("spp", cfg.channels(5), &mut rng);
         let mut g = Graph::inference();
         let x = g.leaf(Tensor::randn(&[1, cfg.channels(5), 4, 4], &mut rng));
-        let y = spp.forward(&mut g, x, false);
+        let y = spp.trace(&mut g, x, Mode::Infer);
         assert_eq!(&g.shape(y)[2..], &[4, 4]);
     }
 
@@ -296,8 +252,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut g = Graph::new();
         let x = g.leaf(Tensor::randn(&[1, 3, 64, 64], &mut rng));
-        let f = bb.forward(&mut g, x, true);
-        let n = neck.forward(&mut g, &f, true);
+        let f = bb.trace(&mut g, x, Mode::Train);
+        let n = neck.trace(&mut g, &f, Mode::Train);
         // Sum all three outputs so every branch participates.
         let s3 = g.mean_all(n.p3);
         let s4 = g.mean_all(n.p4);

@@ -5,7 +5,7 @@ use std::cell::RefCell;
 
 use platter_imaging::augment::unletterbox_box;
 use platter_imaging::Image;
-use platter_tensor::Tensor;
+use platter_tensor::{ExecError, Tensor};
 
 use crate::model::{CompiledModel, Yolov4};
 use crate::nms::{decode_detections, nms, Detection, NmsKind};
@@ -20,6 +20,11 @@ pub enum DetectError {
         /// Expected per-item shape `[3, s, s]`.
         want: [usize; 3],
     },
+    /// The compiled engine rejected the batch. [`Detector::try_detect_batch`]
+    /// screens the common mismatches up front as [`DetectError::BadShape`],
+    /// so this is the typed backstop for anything that still reaches the
+    /// executor's own validation.
+    Exec(ExecError),
 }
 
 impl std::fmt::Display for DetectError {
@@ -28,6 +33,7 @@ impl std::fmt::Display for DetectError {
             DetectError::BadShape { got, want } => {
                 write!(f, "batch shape {got:?} is not [n, {}, {}, {}]", want[0], want[1], want[2])
             }
+            DetectError::Exec(e) => write!(f, "planned execution rejected the batch: {e}"),
         }
     }
 }
@@ -79,13 +85,14 @@ impl Detector {
         [3, s, s]
     }
 
-    /// Decode + NMS over the compiled engine's head outputs for `x`.
-    /// `x` must already have passed [`Detector::check_batch`].
-    fn detect_candidates(&self, x: &Tensor) -> Vec<Vec<Detection>> {
+    /// Decode + NMS over the compiled engine's head outputs for `x`,
+    /// through the typed [`CompiledModel::try_run`] surface — the library
+    /// path never funnels a bad batch into a panicking `run`.
+    fn detect_candidates(&self, x: &Tensor) -> Result<Vec<Vec<Detection>>, ExecError> {
         let mut slot = self.engine.borrow_mut();
         let engine = slot.get_or_insert_with(|| self.model.compile_inference());
-        let heads = engine.run(x);
-        decode_detections(heads, &self.model.config, self.conf_thresh)
+        let heads = engine.try_run(x)?;
+        Ok(decode_detections(heads, &self.model.config, self.conf_thresh))
     }
 
     /// Validate a batch tensor against the model's input contract.
@@ -104,7 +111,9 @@ impl Detector {
         let lb = image.letterbox(size);
         let chw = lb.image.to_chw();
         let x = Tensor::from_vec(chw, &[1, 3, size, size]);
-        let mut candidates = self.detect_candidates(&x);
+        let mut candidates = self
+            .detect_candidates(&x)
+            .expect("letterboxed input matches the compiled plan by construction");
         let kept = nms(std::mem::take(&mut candidates[0]), self.nms_iou, self.nms_kind);
         kept.into_iter()
             .filter_map(|d| {
@@ -130,7 +139,7 @@ impl Detector {
     /// executor.
     pub fn try_detect_batch(&self, batch: &Tensor) -> Result<Vec<Vec<Detection>>, DetectError> {
         self.check_batch(batch)?;
-        let candidates = self.detect_candidates(batch);
+        let candidates = self.detect_candidates(batch).map_err(DetectError::Exec)?;
         Ok(candidates
             .into_iter()
             .map(|c| {
@@ -189,6 +198,7 @@ mod tests {
                     assert_eq!(got, shape.to_vec(), "{what}");
                     assert_eq!(want, [3, 64, 64]);
                 }
+                other => panic!("{what}: expected BadShape, got {other:?}"),
             }
         }
         // A well-formed batch on the same detector still works afterwards.

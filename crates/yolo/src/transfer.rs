@@ -12,7 +12,7 @@ use platter_imaging::texture::{apply_noise_overlay, apply_pixel_noise, grains_el
 use platter_imaging::{Image, Rgb};
 use platter_tensor::nn::Linear;
 use platter_tensor::serialize::{load_params, save_params, LoadMode, LoadReport, WeightError};
-use platter_tensor::{Adam, Graph, Param, Tensor, Var};
+use platter_tensor::{Adam, Graph, Mode, Param, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -85,11 +85,13 @@ impl PretextClassifier {
         }
     }
 
-    /// Forward to class logits `[n, PRETEXT_CLASSES]`.
+    /// Forward to class logits `[n, PRETEXT_CLASSES]`. Eager-only: global
+    /// average pooling is a training-path op the inference IR has no use
+    /// for, so this head is not traced onto the planner.
     pub fn forward(&self, g: &mut Graph, x: Var, training: bool) -> Var {
-        let f = self.backbone.forward(g, x, training);
+        let f = self.backbone.trace(g, x, Mode::from_training(training));
         let pooled = g.global_avg_pool(f.c5);
-        self.head.forward(g, pooled)
+        self.head.trace(g, pooled)
     }
 
     /// All parameters.

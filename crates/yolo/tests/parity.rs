@@ -5,35 +5,19 @@
 //! A freshly initialised model has trivial batch-norm statistics
 //! (mean 0, var 1, gamma 1, beta 0), which would make the conv+BN folding
 //! a near no-op. Every parity test therefore randomises the BN statistics
-//! and affine parameters first, so folding is exercised with non-trivial
+//! and affine parameters first (via `platter_tensor::parity`, shared with
+//! the baselines' parity suite), so folding is exercised with non-trivial
 //! scales and shifts.
 
+use platter_tensor::parity::{assert_outputs_match, randomize_bn_stats};
 use platter_tensor::Tensor;
 use platter_yolo::{YoloConfig, Yolov4};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Give every batch norm non-trivial running statistics and affine params.
-fn randomize_bn_stats(model: &Yolov4, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    for p in model.parameters() {
-        let name = p.name();
-        let shape = p.value().shape().to_vec();
-        if name.ends_with(".running_mean") {
-            p.set_value(Tensor::rand_uniform(&shape, -0.5, 0.5, &mut rng));
-        } else if name.ends_with(".running_var") {
-            p.set_value(Tensor::rand_uniform(&shape, 0.3, 2.0, &mut rng));
-        } else if name.ends_with(".gamma") {
-            p.set_value(Tensor::rand_uniform(&shape, 0.5, 1.5, &mut rng));
-        } else if name.ends_with(".beta") {
-            p.set_value(Tensor::rand_uniform(&shape, -0.3, 0.3, &mut rng));
-        }
-    }
-}
-
 /// Assert the compiled engine reproduces the eager head outputs for `batch`
-/// images. Errors are measured as `|a − b| / (1 + |a|)`; the worst element
-/// must stay under `tol_worst` and the mean under `tol_mean`.
+/// images, under the shared relative-error bounds of
+/// [`platter_tensor::parity::assert_outputs_match`].
 ///
 /// The bounds are loose in absolute terms because BN folding reorders f32
 /// rounding: the eager path divides the conv output by `√(var+ε)` after the
@@ -46,7 +30,7 @@ fn randomize_bn_stats(model: &Yolov4, seed: u64) {
 fn assert_parity(config: YoloConfig, seed: u64, batch: usize, tol_worst: f32, tol_mean: f64) {
     let size = config.input_size;
     let model = Yolov4::new(config, seed);
-    randomize_bn_stats(&model, seed ^ 0xbeef);
+    randomize_bn_stats(&model.parameters(), seed ^ 0xbeef);
     let mut rng = StdRng::seed_from_u64(seed + 100);
     let x = Tensor::rand_uniform(&[batch, 3, size, size], 0.0, 1.0, &mut rng);
 
@@ -55,19 +39,7 @@ fn assert_parity(config: YoloConfig, seed: u64, batch: usize, tol_worst: f32, to
     let compiled = engine.run(&x);
 
     assert_eq!(compiled.len(), 3);
-    for (s, (e, c)) in eager.iter().zip(compiled).enumerate() {
-        assert_eq!(e.shape(), c.shape(), "scale {s} shape mismatch");
-        let mut worst = 0f32;
-        let mut sum = 0f64;
-        for (a, b) in e.as_slice().iter().zip(c.as_slice()) {
-            let d = (a - b).abs() / (1.0 + a.abs());
-            worst = worst.max(d);
-            sum += d as f64;
-        }
-        let mean = sum / e.as_slice().len() as f64;
-        assert!(worst <= tol_worst, "scale {s}: worst error {worst} > {tol_worst}");
-        assert!(mean <= tol_mean, "scale {s}: mean error {mean} > {tol_mean}");
-    }
+    assert_outputs_match(&eager, compiled, tol_worst, tol_mean);
 }
 
 #[test]
@@ -93,7 +65,7 @@ fn small_heads_match_eager_batch_3() {
 #[test]
 fn compiled_runs_are_deterministic_across_calls_and_batches() {
     let model = Yolov4::new(YoloConfig::micro(6), 21);
-    randomize_bn_stats(&model, 22);
+    randomize_bn_stats(&model.parameters(), 22);
     let mut rng = StdRng::seed_from_u64(23);
     let x1 = Tensor::rand_uniform(&[1, 3, 64, 64], 0.0, 1.0, &mut rng);
     let x3 = Tensor::rand_uniform(&[3, 3, 64, 64], 0.0, 1.0, &mut rng);

@@ -14,8 +14,36 @@ cargo test -q --workspace
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== eager vs compiled parity =="
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== single-definition graph gate (no hand-written forward/compile pairs) =="
+# Topology lives in one generic `trace` per layer (DESIGN.md §11). The only
+# legal Graph-forward / Planner-compile implementations are the two Trace
+# backends inside crates/tensor. Anything else is a reintroduced duplicate.
+violations=$(git ls-files 'crates/*/src/**/*.rs' 'crates/*/src/*.rs' \
+  | grep -v '^crates/tensor/' \
+  | xargs -r grep -l -F 'fn compile(&self, p: &mut Planner' || true)
+if [ -n "$violations" ]; then
+  echo "hand-written Planner compile methods outside crates/tensor:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+pairs=$(git ls-files 'crates/tensor/src/**/*.rs' 'crates/tensor/src/*.rs' \
+  | grep -v '^crates/tensor/src/trace.rs$' \
+  | xargs -r grep -l -F 'fn forward(&self, g: &mut Graph' || true)
+if [ -n "$pairs" ]; then
+  echo "Graph-forward methods outside the Trace backend in crates/tensor:" >&2
+  echo "$pairs" >&2
+  exit 1
+fi
+
+echo "== eager vs compiled parity (YOLOv4 + baselines) =="
 cargo test -q --release -p platter-yolo --test parity
+cargo test -q --release -p platter-baselines --test parity
+
+echo "== golden plan structure (fusion decisions) =="
+cargo test -q --release -p platter-baselines --test golden_plan
 
 echo "== serving fault-injection + input-fuzz suites =="
 cargo test -q --release -p platter-serve --test fault_injection
