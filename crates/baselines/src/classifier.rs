@@ -67,7 +67,7 @@ impl SingleLabelClassifier {
                 lv.as_slice()[i * k..(i + 1) * k]
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(j, _)| j)
                     .unwrap_or(0)
             })

@@ -390,7 +390,7 @@ fn ssd_loss(g: &mut Graph, heads: &[Var], targets: &[SsdTargets], cfg: &SsdConfi
                     .filter(|&i| posm[i] == 0.0)
                     .map(|i| (i, cev[i]))
                     .collect();
-                negs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                negs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 for &(i, _) in negs.iter().take(quota) {
                     w[i] = 1.0;
                 }

@@ -6,12 +6,20 @@
 //! batch 8, and writes medians plus plan statistics to
 //! `results/BENCH_inference.json`.
 //!
+//! After the timed comparison (so profiling overhead cannot contaminate
+//! the speedup numbers) the compiled engine is re-run under the
+//! [`platter_obs`] per-op profiler at batch 1; the top ops are printed and
+//! the full per-kind/per-step breakdown goes to
+//! `results/PROFILE_inference.json`.
+//!
 //! Scale flags: `--smoke` (few reps, CI-sized) / `--extended`; default is
 //! the standard rep count.
 
 use std::time::Instant;
 
-use platter_bench::{write_json, RunScale};
+use platter_bench::{write_json, write_text, RunScale};
+use platter_obs::ProfileReport;
+use platter_tensor::gemm::effective_threads;
 use platter_tensor::Tensor;
 use platter_yolo::{YoloConfig, Yolov4};
 use rand::rngs::StdRng;
@@ -31,6 +39,8 @@ struct BenchReport {
     config: &'static str,
     input_size: usize,
     reps: usize,
+    /// GEMM worker threads (`PLATTER_THREADS` override, else host cores).
+    threads: usize,
     plan_values: usize,
     plan_slots: usize,
     peak_arena_bytes: usize,
@@ -92,6 +102,7 @@ fn main() {
         config: "micro",
         input_size: size,
         reps,
+        threads: effective_threads(),
         plan_values: engine.plan().num_values(),
         plan_slots: engine.plan().num_slots(),
         peak_arena_bytes: peak_arena,
@@ -104,4 +115,21 @@ fn main() {
         report.peak_arena_bytes as f64 / 1024.0
     );
     write_json("BENCH_inference", &report);
+
+    // Profiled pass last: the timed comparison above ran with profiling
+    // disabled, so these per-op timings are diagnostic, not part of the
+    // speedup measurement.
+    let x = Tensor::rand_uniform(&[1, 3, size, size], 0.0, 1.0, &mut rng);
+    let _ = engine.run(&x); // re-warm the arena at batch 1
+    let mut profile = ProfileReport::new();
+    for _ in 0..reps {
+        let _ = engine.run_profiled(&x, &mut profile);
+    }
+    println!(
+        "\nper-op profile (batch 1, {} runs, op coverage {:.1}% of wall):",
+        profile.runs(),
+        profile.op_time_share() * 100.0
+    );
+    print!("{}", profile.render_table(10));
+    write_text("PROFILE_inference.json", &profile.to_json());
 }

@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use platter_bench::{write_json, RunScale};
+use platter_obs::{HistogramSnapshot, MetricsSnapshot};
 use platter_serve::{Pending, ServeConfig, ServeError, ServePool};
 use platter_tensor::Tensor;
 use platter_yolo::{YoloConfig, Yolov4};
@@ -37,12 +38,77 @@ struct OpenLoopResult {
 }
 
 #[derive(Serialize)]
+struct BucketRecord {
+    le: f64,
+    count: u64,
+}
+
+/// Serde mirror of [`HistogramSnapshot`] (the obs crate is
+/// dependency-free, so it cannot derive `Serialize` itself).
+#[derive(Serialize)]
+struct HistogramRecord {
+    count: u64,
+    mean: f64,
+    min: f64,
+    max: f64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    buckets: Vec<BucketRecord>,
+}
+
+impl HistogramRecord {
+    fn from_snapshot(h: &HistogramSnapshot) -> HistogramRecord {
+        HistogramRecord {
+            count: h.count,
+            mean: h.mean,
+            min: h.min,
+            max: h.max,
+            p50: h.p50,
+            p90: h.p90,
+            p99: h.p99,
+            buckets: h.buckets.iter().map(|b| BucketRecord { le: b.le, count: b.count }).collect(),
+        }
+    }
+}
+
+/// The pool's observability registry for one open-loop run: distribution
+/// data the monotonic `ServeStats` counters cannot express.
+#[derive(Serialize)]
+struct MetricsRecord {
+    queue_depth: HistogramRecord,
+    batch_size: HistogramRecord,
+    latency_ms: HistogramRecord,
+    sheds: u64,
+    deadline_misses: u64,
+    breaker_transitions: u64,
+}
+
+impl MetricsRecord {
+    fn from_snapshot(m: &MetricsSnapshot) -> MetricsRecord {
+        let hist = |name: &str| {
+            HistogramRecord::from_snapshot(m.histogram(name).expect("pool registers its histograms"))
+        };
+        MetricsRecord {
+            queue_depth: hist("serve.queue_depth"),
+            batch_size: hist("serve.batch_size"),
+            latency_ms: hist("serve.latency_ms"),
+            sheds: m.counter("serve.sheds").unwrap_or(0),
+            deadline_misses: m.counter("serve.deadline_misses").unwrap_or(0),
+            breaker_transitions: m.counter("serve.breaker_transitions").unwrap_or(0),
+        }
+    }
+}
+
+#[derive(Serialize)]
 struct ModeResult {
     max_batch: usize,
     burst_requests: usize,
     burst_secs: f64,
     burst_throughput_rps: f64,
     open_loop: OpenLoopResult,
+    /// Registry snapshot from the open-loop pool (includes its warm-up).
+    metrics: MetricsRecord,
 }
 
 #[derive(Serialize)]
@@ -230,6 +296,7 @@ fn main() {
         let open = open_loop(&pool, &x, n_burst, interval);
         let stats = pool.stats();
         assert_eq!(stats.worker_panics, 0, "bench must run clean");
+        let metrics = MetricsRecord::from_snapshot(&pool.metrics());
         pool.shutdown();
 
         println!(
@@ -238,12 +305,17 @@ fn main() {
             open.p99_ms,
             open.shed_rate * 100.0
         );
+        println!(
+            "              queue depth p99 {:5.1}   batch size mean {:4.2}   latency p99 {:7.2} ms",
+            metrics.queue_depth.p99, metrics.batch_size.mean, metrics.latency_ms.p99
+        );
         results.push(ModeResult {
             max_batch,
             burst_requests: n_burst,
             burst_secs,
             burst_throughput_rps: burst_rps,
             open_loop: open,
+            metrics,
         });
     }
 

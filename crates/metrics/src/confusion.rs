@@ -39,10 +39,13 @@ impl ConfusionMatrix {
         let n = num_classes + 1;
         let mut counts = vec![vec![0usize; n]; n];
         for (gts, preds) in ground_truth.iter().zip(predictions) {
-            let mut order: Vec<usize> = (0..preds.len()).collect();
-            order.sort_by(|&a, &b| {
-                preds[b].score.partial_cmp(&preds[a].score).unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // Same sanitization and ordering rules as `matching`: NaN and
+            // negative scores are rejected (unrankable), and equal scores
+            // tie-break on the original index so the greedy pass is
+            // deterministic for any sort algorithm.
+            let mut order: Vec<usize> =
+                (0..preds.len()).filter(|&i| preds[i].score.is_finite() && preds[i].score >= 0.0).collect();
+            order.sort_by(|&a, &b| preds[b].score.total_cmp(&preds[a].score).then(a.cmp(&b)));
             let mut gt_used = vec![false; gts.len()];
             for &pi in &order {
                 let p = &preds[pi];

@@ -63,9 +63,17 @@ pub fn match_detections(
 
     let mut detections = Vec::new();
     for (img, (gts, preds)) in ground_truth.iter().zip(predictions).enumerate() {
-        // Per-image, per-class greedy matching in score order.
-        let mut order: Vec<usize> = (0..preds.len()).collect();
-        order.sort_by(|&a, &b| preds[b].score.partial_cmp(&preds[a].score).unwrap_or(std::cmp::Ordering::Equal));
+        // Per-image, per-class greedy matching in score order. Detections
+        // with NaN or negative scores are rejected up front (mirroring
+        // `yolo::nms` sanitization): a NaN score has no rank, and letting it
+        // through with `partial_cmp(..).unwrap_or(Equal)` made the sort
+        // non-transitive — one adversarial detection could scramble the
+        // greedy order every AP number is computed from. `total_cmp` plus an
+        // explicit original-index tie-break keeps equal-score detections in
+        // a deterministic order regardless of the sort algorithm.
+        let mut order: Vec<usize> =
+            (0..preds.len()).filter(|&i| preds[i].score.is_finite() && preds[i].score >= 0.0).collect();
+        order.sort_by(|&a, &b| preds[b].score.total_cmp(&preds[a].score).then(a.cmp(&b)));
         let mut gt_used = vec![false; gts.len()];
         for &pi in &order {
             let p = &preds[pi];

@@ -18,14 +18,20 @@ impl PrCurve {
     /// Build the curve for `class` from a match result. Detections are
     /// ranked by descending score across the whole set (Padilla's
     /// accumulation).
+    ///
+    /// Non-finite scores are unrankable and are discarded (a sanitising
+    /// matcher never produces them; this guards hand-built results). Equal
+    /// scores tie-break FP-before-TP: a canonical, conservative order, so
+    /// the curve — and AP — depends only on the *multiset* of detections,
+    /// never on the order the detector emitted them in.
     pub fn for_class(result: &MatchResult, class: usize) -> PrCurve {
         let mut dets: Vec<(f32, bool)> = result
             .detections
             .iter()
-            .filter(|d| d.class == class)
+            .filter(|d| d.class == class && d.score.is_finite())
             .map(|d| (d.score, d.tp))
             .collect();
-        dets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        dets.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let npos = result.npos.get(class).copied().unwrap_or(0);
         let mut tp_acc = 0usize;
         let mut recall = Vec::with_capacity(dets.len());

@@ -1,0 +1,183 @@
+//! Property suite for score-path hardening: whatever scores a buggy or
+//! adversarial detector emits — NaN, ±∞, negatives, heavy duplicates —
+//! the evaluation pipeline stays finite, bounded, and independent of the
+//! order detections arrived in. These are the invariants the
+//! `total_cmp` + explicit-tie-break sorts were introduced to guarantee;
+//! the old `partial_cmp(..).unwrap_or(Equal)` sorts violated every one of
+//! them under a single NaN.
+
+use platter_dataset::Annotation;
+use platter_imaging::NormBox;
+use platter_metrics::{
+    evaluate, match_detections, ConfusionMatrix, MatchResult, MatchedDet, PrCurve, PredBox,
+};
+use proptest::prelude::*;
+
+const CLASSES: usize = 3;
+
+/// Any score a detector could emit, biased toward exact duplicates so the
+/// tie-break paths are exercised constantly.
+fn any_score() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        0.0f32..=1.0,
+        (0usize..4).prop_map(|i| i as f32 * 0.25),
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(-0.5f32),
+    ]
+}
+
+fn any_box() -> impl Strategy<Value = NormBox> {
+    (0.2f32..=0.8, 0.2f32..=0.8, 0.05f32..=0.4, 0.05f32..=0.4)
+        .prop_map(|(cx, cy, w, h)| NormBox::new(cx, cy, w, h))
+}
+
+fn any_pred() -> impl Strategy<Value = PredBox> {
+    (0usize..CLASSES, any_score(), any_box())
+        .prop_map(|(class, score, bbox)| PredBox { class, score, bbox })
+}
+
+fn any_ann() -> impl Strategy<Value = Annotation> {
+    (0usize..CLASSES, any_box()).prop_map(|(class, bbox)| Annotation { class, bbox })
+}
+
+/// Hand-built match result: `(score, tp)` pairs for class 0.
+fn result_from(dets: &[(f32, bool)], npos: usize) -> MatchResult {
+    MatchResult {
+        detections: dets
+            .iter()
+            .map(|&(score, tp)| MatchedDet {
+                class: 0,
+                score,
+                tp,
+                iou: if tp { 1.0 } else { 0.0 },
+                image: 0,
+            })
+            .collect(),
+        npos: vec![npos],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pr_and_ap_stay_finite_and_bounded(
+        dets in collection::vec((any_score(), 0usize..2), 0..=24),
+        extra_gt in 0usize..=8,
+    ) {
+        let dets: Vec<(f32, bool)> = dets.into_iter().map(|(s, t)| (s, t == 1)).collect();
+        // A real matcher never produces more TPs than ground truths; keep
+        // the hand-built result consistent with that.
+        let npos = dets.iter().filter(|d| d.1).count() + extra_gt;
+        let curve = PrCurve::for_class(&result_from(&dets, npos), 0);
+        for w in curve.recall.windows(2) {
+            prop_assert!(w[0] <= w[1], "recall must be non-decreasing");
+        }
+        for (&r, &p) in curve.recall.iter().zip(&curve.precision) {
+            prop_assert!(r.is_finite() && (0.0..=1.0).contains(&r));
+            prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        }
+        for ap in [curve.average_precision(), curve.average_precision_11pt()] {
+            prop_assert!(ap.is_finite() && (0.0..=1.0).contains(&ap), "ap {ap}");
+        }
+    }
+
+    #[test]
+    fn ap_is_order_invariant(
+        dets in collection::vec((any_score(), 0usize..2), 1..=24),
+        extra_gt in 0usize..=8,
+        rot in 0usize..=23,
+    ) {
+        let dets: Vec<(f32, bool)> = dets.into_iter().map(|(s, t)| (s, t == 1)).collect();
+        let npos = dets.iter().filter(|d| d.1).count() + extra_gt;
+        let base = PrCurve::for_class(&result_from(&dets, npos), 0).average_precision();
+        let mut reversed = dets.clone();
+        reversed.reverse();
+        let mut rotated = dets.clone();
+        let n = rotated.len();
+        rotated.rotate_left(rot % n);
+        for permuted in [reversed, rotated] {
+            let ap = PrCurve::for_class(&result_from(&permuted, npos), 0).average_precision();
+            // Bit-exact: the canonical sort makes AP a function of the
+            // detection multiset alone.
+            prop_assert_eq!(ap.to_bits(), base.to_bits());
+        }
+    }
+
+    #[test]
+    fn matching_rejects_unrankable_scores(
+        gts in collection::vec(any_ann(), 0..=5),
+        preds in collection::vec(any_pred(), 0..=10),
+    ) {
+        let sane = preds.iter().filter(|p| p.score.is_finite() && p.score >= 0.0).count();
+        let r = match_detections(&[gts], &[preds], CLASSES, 0.5);
+        prop_assert_eq!(r.detections.len(), sane);
+        for d in &r.detections {
+            prop_assert!(d.score.is_finite() && d.score >= 0.0);
+        }
+        for class in 0..CLASSES {
+            let tp = r.detections.iter().filter(|d| d.class == class && d.tp).count();
+            prop_assert!(tp <= r.npos[class], "TPs cannot exceed ground truths");
+        }
+    }
+
+    #[test]
+    fn matching_is_order_invariant_with_distinct_scores(
+        items in collection::vec((0usize..CLASSES, any_box()), 1..=12),
+        gts in collection::vec(any_ann(), 0..=6),
+        rot in 0usize..=11,
+    ) {
+        let n = items.len();
+        let preds: Vec<PredBox> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &(class, bbox))| {
+                PredBox { class, score: 0.95 - 0.9 * i as f32 / n as f32, bbox }
+            })
+            .collect();
+        let mut shuffled = preds.clone();
+        shuffled.rotate_left(rot % n);
+        let a = match_detections(std::slice::from_ref(&gts), &[preds], CLASSES, 0.5);
+        let b = match_detections(&[gts], &[shuffled], CLASSES, 0.5);
+        let key = |d: &MatchedDet| (d.score.to_bits(), d.class, d.tp);
+        let mut ka: Vec<_> = a.detections.iter().map(key).collect();
+        let mut kb: Vec<_> = b.detections.iter().map(key).collect();
+        ka.sort();
+        kb.sort();
+        prop_assert_eq!(ka, kb);
+        prop_assert_eq!(a.npos, b.npos);
+    }
+
+    #[test]
+    fn confusion_rows_account_every_ground_truth(
+        gt in collection::vec(collection::vec(any_ann(), 0..=5), 1..=4),
+        preds in collection::vec(collection::vec(any_pred(), 0..=6), 1..=4),
+    ) {
+        let n = gt.len().min(preds.len());
+        let m = ConfusionMatrix::build(&gt[..n], &preds[..n], CLASSES, 0.5);
+        for class in 0..CLASSES {
+            let expected = gt[..n].iter().flatten().filter(|a| a.class == class).count();
+            let row: usize = m.counts[class].iter().sum();
+            prop_assert_eq!(row, expected);
+        }
+        prop_assert_eq!(m.gt_total(), gt[..n].iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn full_evaluation_is_finite_under_garbage(
+        gt in collection::vec(collection::vec(any_ann(), 0..=4), 1..=3),
+        preds in collection::vec(collection::vec(any_pred(), 0..=5), 1..=3),
+    ) {
+        let n = gt.len().min(preds.len());
+        let e = evaluate(&gt[..n], &preds[..n], CLASSES, 0.5);
+        prop_assert!(e.map.is_finite() && (0.0..=1.0).contains(&e.map));
+        prop_assert!(e.precision.is_finite() && (0.0..=1.0).contains(&e.precision));
+        prop_assert!(e.recall.is_finite() && (0.0..=1.0).contains(&e.recall));
+        prop_assert!(e.f1.is_finite() && (0.0..=1.0).contains(&e.f1));
+        for c in &e.per_class {
+            prop_assert!(c.ap.is_finite() && (0.0..=1.0).contains(&c.ap));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Minimal JSON emission helpers. This crate is dependency-free by design,
+//! so snapshots serialise themselves with these two primitives instead of
+//! pulling in serde.
+
+use std::fmt::Write;
+
+/// Append `s` as a quoted, escaped JSON string.
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_control_chars() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\n\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut s = String::new();
+            push_f64(&mut s, v);
+            assert_eq!(s, "null");
+        }
+        let mut s = String::new();
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+    }
+}

@@ -1,0 +1,477 @@
+//! Lock-free counters and fixed-bucket histograms behind a named registry.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are registered once — registration
+//! takes a short `RwLock` — and from then on every update is a relaxed
+//! atomic RMW, so training steps, the serving hot loop, and worker threads
+//! can all record into the same [`MetricsRegistry`] without contention.
+//! [`MetricsRegistry::snapshot`] samples everything on demand into plain
+//! data with derived stats (mean, estimated p50/p90/p99) and a JSON export.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::json;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A free-standing counter (not registry-owned).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free add of `v` into an `AtomicU64` holding `f64` bits.
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Lock-free `min`/`max` fold of `v` into an `AtomicU64` holding `f64` bits.
+fn atomic_f64_fold(cell: &AtomicU64, v: f64, keep_new: fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while keep_new(f64::from_bits(cur), v) {
+        match cell.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A histogram over fixed bucket upper bounds chosen at registration time,
+/// plus an implicit overflow bucket. Records are relaxed atomics; quantiles
+/// are estimated at snapshot time by linear interpolation within buckets
+/// (exact min/max are tracked separately, so single-bucket distributions
+/// still report sane p50/p99).
+///
+/// Non-finite samples cannot be binned or summed; they are counted in
+/// `dropped` and otherwise ignored.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    dropped: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Build a histogram over strictly increasing finite `bounds` (upper
+    /// bounds; an overflow bucket is added automatically).
+    ///
+    /// Panics if `bounds` is empty, non-increasing, or non-finite.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Record one sample. Non-finite samples only bump `dropped`.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_fold(&self.min_bits, v, |cur, new| new < cur);
+        atomic_f64_fold(&self.max_bits, v, |cur, new| new > cur);
+    }
+
+    /// Total recorded (finite) samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sample the histogram into plain data. Concurrent recorders may land
+    /// between field reads; the snapshot is a statistical sample, not a
+    /// linearisable cut.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let (min, max) = if count == 0 { (0.0, 0.0) } else { (min, max) };
+        let quantile = |q: f64| self.estimate_quantile(&counts, count, min, max, q);
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            dropped: self.dropped.load(Ordering::Relaxed),
+            sum,
+            min,
+            max,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets: self
+                .bounds
+                .iter()
+                .copied()
+                .chain(std::iter::once(f64::INFINITY))
+                .zip(counts)
+                .map(|(le, count)| BucketCount { le, count })
+                .collect(),
+        }
+    }
+
+    fn estimate_quantile(&self, counts: &[u64], total: u64, min: f64, max: f64, q: f64) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        // 0-based rank of the q-th order statistic.
+        let rank = (q * (total as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if seen + c > rank {
+                // Interpolate within the bucket; clamp edges to observed
+                // min/max so sparse histograms don't report bound values
+                // nothing ever hit.
+                let lo = if i == 0 { min } else { self.bounds[i - 1].max(min) };
+                let hi = if i < self.bounds.len() { self.bounds[i].min(max) } else { max };
+                let frac = if c <= 1 { 0.5 } else { (rank - seen) as f64 / (c - 1) as f64 };
+                return lo + (hi - lo).max(0.0) * frac;
+            }
+            seen += c;
+        }
+        max
+    }
+}
+
+/// `count` exponentially spaced bucket bounds starting at `start`
+/// (`start * factor^i`). The usual latency ladder:
+/// `exp_bounds(0.25, 2.0, 12)` covers 0.25 ms … 512 ms.
+pub fn exp_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count > 0, "bad exp_bounds({start}, {factor}, {count})");
+    (0..count).map(|i| start * factor.powi(i as i32)).collect()
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Arc<Counter>)>,
+    histograms: Vec<(String, Arc<Histogram>)>,
+}
+
+/// Named metrics, registered once and sampled on demand.
+///
+/// `counter`/`histogram` are get-or-register: callers hold the returned
+/// `Arc` and update it lock-free; the registry's own lock is touched only
+/// at registration and snapshot time.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+/// Recover from a poisoned registry lock: metrics state is monotonic
+/// counters, always safe to read after a panicking writer.
+macro_rules! lock {
+    ($guard:expr) => {
+        $guard.unwrap_or_else(|poisoned| poisoned.into_inner())
+    };
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or register the counter called `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = lock!(self.inner.read()).counters.iter().find(|(n, _)| n == name) {
+            return c.1.clone();
+        }
+        let mut inner = lock!(self.inner.write());
+        if let Some(c) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.1.clone();
+        }
+        let c = Arc::new(Counter::new());
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Get or register the histogram called `name` with the given bucket
+    /// bounds. If `name` already exists the existing handle is returned and
+    /// `bounds` is ignored — bucket layout is fixed at first registration.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = lock!(self.inner.read()).histograms.iter().find(|(n, _)| n == name) {
+            return h.1.clone();
+        }
+        let mut inner = lock!(self.inner.write());
+        if let Some(h) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.1.clone();
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Sample every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = lock!(self.inner.read());
+        let mut counters: Vec<CounterSnapshot> = inner
+            .counters
+            .iter()
+            .map(|(name, c)| CounterSnapshot { name: name.clone(), value: c.get() })
+            .collect();
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut histograms: Vec<HistogramSnapshot> =
+            inner.histograms.iter().map(|(name, h)| h.snapshot(name)).collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+/// A sampled counter.
+#[derive(Clone, Debug)]
+pub struct CounterSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Value at sample time.
+    pub value: u64,
+}
+
+/// One histogram bucket: samples with `value <= le` (cumulative-exclusive of
+/// earlier buckets). The overflow bucket has `le == f64::INFINITY`.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketCount {
+    /// Upper bound (inclusive) of the bucket.
+    pub le: f64,
+    /// Samples that landed in this bucket.
+    pub count: u64,
+}
+
+/// A sampled histogram with derived stats.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Finite samples recorded.
+    pub count: u64,
+    /// Non-finite samples rejected by [`Histogram::record`].
+    pub dropped: u64,
+    /// Sum of all finite samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// `sum / count` (0 when empty).
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Per-bucket counts in bound order, overflow last.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Every registered metric at one sample point.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl HistogramSnapshot {
+    fn push_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "{{\"count\": {}, \"dropped\": {}, ", self.count, self.dropped);
+        for (key, v) in [
+            ("sum", self.sum),
+            ("min", self.min),
+            ("max", self.max),
+            ("mean", self.mean),
+            ("p50", self.p50),
+            ("p90", self.p90),
+            ("p99", self.p99),
+        ] {
+            let _ = write!(out, "\"{key}\": ");
+            json::push_f64(out, v);
+            out.push_str(", ");
+        }
+        out.push_str("\"buckets\": [");
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"le\": ");
+            json::push_f64(out, b.le);
+            let _ = write!(out, ", \"count\": {}}}", b.count);
+        }
+        out.push_str("]}");
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter, if it was registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// The named histogram snapshot, if it was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serialise as a JSON object:
+    /// `{"counters": {name: value, ...}, "histograms": {name: {...}, ...}}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::push_str(&mut out, &c.name);
+            let _ = write!(out, ": {}", c.value);
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::push_str(&mut out, &h.name);
+            out.push_str(": ");
+            h.push_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("events");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(reg.snapshot().counters[0].value, 40_000);
+    }
+
+    #[test]
+    fn registry_dedups_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        assert!(Arc::ptr_eq(&a, &b));
+        let h1 = reg.histogram("h", &[1.0, 2.0]);
+        let h2 = reg.histogram("h", &[99.0]);
+        assert!(Arc::ptr_eq(&h1, &h2));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_reasonable() {
+        let h = Histogram::new(&exp_bounds(1.0, 2.0, 12));
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        // Bucketed estimates: generous tolerances, but must be ordered and
+        // in the right region.
+        assert!(s.p50 > 250.0 && s.p50 < 750.0, "p50 = {}", s.p50);
+        assert!(s.p99 > 900.0 && s.p99 <= 1000.0, "p99 = {}", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn histogram_single_value_reports_exact_quantiles() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..5 {
+            h.record(42.0);
+        }
+        let s = h.snapshot("t");
+        // min == max == 42 clamps the interpolation edges.
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p99, 42.0);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite() {
+        let h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(0.5);
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.dropped, 2);
+        assert!(s.sum.is_finite() && s.p99.is_finite());
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").add(3);
+        reg.histogram("lat", &[0.5, 1.0]).record(0.7);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"a.b\": 3"));
+        assert!(json.contains("\"lat\""));
+        assert!(json.contains("\"le\": null")); // overflow bucket
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

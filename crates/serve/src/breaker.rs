@@ -50,6 +50,20 @@ enum State {
     Probing,
 }
 
+/// A state change reported back by [`CircuitBreaker::record_success`] /
+/// [`CircuitBreaker::record_failure`], so callers can count transitions
+/// without diffing the cumulative counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// The breaker state did not change.
+    None,
+    /// Healthy → degraded (the failure threshold was crossed), or a failed
+    /// probe fell back to degraded serving.
+    Degraded,
+    /// Degraded → healthy (a probe succeeded).
+    Recovered,
+}
+
 /// Counts compiled-path failures and decides when to degrade and recover.
 /// Callers serialize access (the pool holds it behind a mutex).
 #[derive(Debug)]
@@ -94,20 +108,24 @@ impl CircuitBreaker {
     }
 
     /// The batch on `path` completed with trustworthy outputs.
-    pub fn record_success(&mut self, path: ExecPath) {
+    pub fn record_success(&mut self, path: ExecPath) -> Transition {
         match path {
-            ExecPath::Compiled => self.consecutive_failures = 0,
+            ExecPath::Compiled => {
+                self.consecutive_failures = 0;
+                Transition::None
+            }
             ExecPath::Probe => {
                 self.state = State::Closed;
                 self.consecutive_failures = 0;
                 self.recoveries += 1;
+                Transition::Recovered
             }
-            ExecPath::Eager => {}
+            ExecPath::Eager => Transition::None,
         }
     }
 
     /// The compiled engine failed (panic or non-finite outputs) on `path`.
-    pub fn record_failure(&mut self, path: ExecPath) {
+    pub fn record_failure(&mut self, path: ExecPath) -> Transition {
         match path {
             ExecPath::Compiled => {
                 self.consecutive_failures += 1;
@@ -115,13 +133,17 @@ impl CircuitBreaker {
                     self.state = State::Open { degraded: 0 };
                     self.consecutive_failures = 0;
                     self.trips += 1;
+                    Transition::Degraded
+                } else {
+                    Transition::None
                 }
             }
             ExecPath::Probe => {
                 // Failed probe: back to degraded serving, restart the wait.
                 self.state = State::Open { degraded: 0 };
+                Transition::Degraded
             }
-            ExecPath::Eager => {}
+            ExecPath::Eager => Transition::None,
         }
     }
 

@@ -37,12 +37,13 @@ use std::time::{Duration, Instant};
 
 use platter_imaging::augment::unletterbox_box;
 use platter_imaging::Image;
+use platter_obs::{exp_bounds, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use platter_tensor::serialize::{Bytes, LoadMode};
 use platter_tensor::Tensor;
 use platter_yolo::{decode_detections, nms, CompiledModel, Detection, NmsKind, YoloConfig, Yolov4};
 use serde::Serialize;
 
-use crate::breaker::{BreakerConfig, CircuitBreaker, ExecPath};
+use crate::breaker::{BreakerConfig, CircuitBreaker, ExecPath, Transition};
 use crate::error::ServeError;
 use crate::fault::{ServeFault, ServeFaultPlan};
 use crate::sanitize::{sanitize_image, sanitize_tensor, Quarantine, QuarantineRecord};
@@ -115,6 +116,9 @@ struct Job {
     x: Tensor,
     map: Option<BoxMap>,
     deadline: Option<Instant>,
+    /// When the request was admitted — anchors the end-to-end latency
+    /// histogram.
+    submitted: Instant,
     reply: SyncSender<Result<Vec<Detection>, ServeError>>,
 }
 
@@ -179,6 +183,50 @@ struct Counters {
     eager_batches: AtomicU64,
 }
 
+/// Observability handles registered in the pool-owned [`MetricsRegistry`].
+/// The histograms answer the questions the monotonic [`ServeStats`]
+/// counters cannot: how deep does the queue actually get, how well do
+/// batches coalesce, and what latency do requests see end to end.
+struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Queue depth sampled after every admission.
+    queue_depth: Arc<Histogram>,
+    /// Jobs per executed batch (after the deadline cull).
+    batch_size: Arc<Histogram>,
+    /// Admission-to-answer latency of completed requests, milliseconds.
+    latency_ms: Arc<Histogram>,
+    /// Requests shed at admission (queue full).
+    sheds: Arc<Counter>,
+    /// Requests dropped because their deadline passed before execution.
+    deadline_misses: Arc<Counter>,
+    /// Breaker state transitions (healthy → degraded and back).
+    breaker_transitions: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(queue_capacity: usize) -> ServeMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        // Power-of-two buckets cover 1..=capacity (depth), 1..=64 (batch),
+        // and 0.25 ms..~8 s (latency) with a handful of buckets each.
+        let depth_buckets = (usize::BITS - queue_capacity.max(1).leading_zeros()).max(1) as usize;
+        ServeMetrics {
+            queue_depth: registry.histogram("serve.queue_depth", &exp_bounds(1.0, 2.0, depth_buckets)),
+            batch_size: registry.histogram("serve.batch_size", &exp_bounds(1.0, 2.0, 7)),
+            latency_ms: registry.histogram("serve.latency_ms", &exp_bounds(0.25, 2.0, 16)),
+            sheds: registry.counter("serve.sheds"),
+            deadline_misses: registry.counter("serve.deadline_misses"),
+            breaker_transitions: registry.counter("serve.breaker_transitions"),
+            registry,
+        }
+    }
+
+    fn on_breaker(&self, t: Transition) {
+        if t != Transition::None {
+            self.breaker_transitions.inc();
+        }
+    }
+}
+
 struct Shared {
     cfg: ServeConfig,
     model_cfg: YoloConfig,
@@ -191,6 +239,7 @@ struct Shared {
     batch_seq: AtomicU64,
     submit_seq: AtomicU64,
     stats: Counters,
+    metrics: ServeMetrics,
 }
 
 /// The serving pool. See the module docs for the failure model.
@@ -219,6 +268,7 @@ impl ServePool {
             batch_seq: AtomicU64::new(0),
             submit_seq: AtomicU64::new(0),
             stats: Counters::default(),
+            metrics: ServeMetrics::new(cfg.queue_capacity),
             cfg,
         });
         let workers = (0..shared.cfg.workers)
@@ -308,6 +358,15 @@ impl ServePool {
         }
     }
 
+    /// Snapshot of the observability registry: `serve.queue_depth`,
+    /// `serve.batch_size`, and `serve.latency_ms` histograms (count, mean,
+    /// p50/p90/p99, buckets) plus shed / deadline-miss / breaker-transition
+    /// counters. Complements [`ServePool::stats`], which is monotonic
+    /// counters only.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.registry.snapshot()
+    }
+
     /// Snapshot of the quarantined inputs, oldest first.
     pub fn quarantine(&self) -> Vec<QuarantineRecord> {
         lock(&self.shared.quarantine).snapshot()
@@ -357,9 +416,11 @@ impl ServePool {
             }
             if q.jobs.len() >= self.shared.cfg.queue_capacity {
                 self.shared.stats.rejected_full.fetch_add(1, Ordering::SeqCst);
+                self.shared.metrics.sheds.inc();
                 return Err(ServeError::Rejected { queue_depth: q.jobs.len() });
             }
-            q.jobs.push_back(Job { x, map, deadline, reply: tx });
+            q.jobs.push_back(Job { x, map, deadline, submitted: Instant::now(), reply: tx });
+            self.shared.metrics.queue_depth.record(q.jobs.len() as f64);
         }
         self.shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
         self.shared.job_ready.notify_one();
@@ -470,6 +531,7 @@ fn reply_ok(shared: &Shared, jobs: Vec<Job>, detections: Vec<Vec<Detection>>) {
                 .collect(),
         };
         shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+        shared.metrics.latency_ms.record(job.submitted.elapsed().as_secs_f64() * 1e3);
         let _ = job.reply.send(Ok(out));
     }
 }
@@ -545,11 +607,13 @@ fn worker_main(shared: &Shared) {
             jobs.into_iter().partition(|j| j.deadline.is_none_or(|d| now <= d));
         if !dead.is_empty() {
             shared.stats.deadline_dropped.fetch_add(dead.len() as u64, Ordering::SeqCst);
+            shared.metrics.deadline_misses.add(dead.len() as u64);
             reply_err(dead, &ServeError::DeadlineExceeded);
         }
         if live.is_empty() {
             continue;
         }
+        shared.metrics.batch_size.record(live.len() as f64);
 
         let size = shared.model_cfg.input_size;
         let mut data = Vec::with_capacity(live.len() * 3 * size * size);
@@ -561,7 +625,7 @@ fn worker_main(shared: &Shared) {
         let path = lock(&shared.breaker).plan_path();
         match run_attempt(&model, &mut engine, path, &x, &inject, &shared.cfg) {
             Ok(dets) => {
-                lock(&shared.breaker).record_success(path);
+                shared.metrics.on_breaker(lock(&shared.breaker).record_success(path));
                 let counter = match path {
                     ExecPath::Eager => &shared.stats.eager_batches,
                     _ => &shared.stats.compiled_batches,
@@ -575,7 +639,7 @@ fn worker_main(shared: &Shared) {
                     ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
                 };
                 counter.fetch_add(1, Ordering::SeqCst);
-                lock(&shared.breaker).record_failure(path);
+                shared.metrics.on_breaker(lock(&shared.breaker).record_failure(path));
                 if path == ExecPath::Eager {
                     reply_err(live, &failure.to_error());
                     continue;

@@ -252,6 +252,47 @@ fn bad_inputs_are_quarantined_not_served() {
 }
 
 #[test]
+fn metrics_registry_tracks_queue_batches_latency_and_breaker() {
+    let model = nano_model(37);
+    let cfg = ServeConfig {
+        breaker: BreakerConfig { failure_threshold: 1, probe_after: 1 },
+        ..serve_cfg(1)
+    };
+    // Batch 0 corrupts the compiled path: trip → eager retry → probe →
+    // recover, so the breaker-transition counter sees both directions.
+    let plan = ServeFaultPlan::new().at(0, ServeFault::CorruptOutput);
+    let pool = ServePool::with_faults(&model, cfg, plan);
+    for i in 0..4 {
+        pool.detect(&test_image(i)).expect("every request is answered");
+    }
+    let m = pool.metrics();
+    let stats = pool.stats();
+
+    let depth = m.histogram("serve.queue_depth").expect("registered");
+    assert_eq!(depth.count, stats.accepted, "depth sampled once per admission");
+    assert!(depth.min >= 1.0, "depth is sampled after the push");
+
+    let batch = m.histogram("serve.batch_size").expect("registered");
+    // Closed-loop submission with every request answered Ok: each dispatched
+    // batch lands in exactly one of the two success counters.
+    assert_eq!(batch.count, stats.compiled_batches + stats.eager_batches);
+    assert!(batch.min >= 1.0);
+
+    let lat = m.histogram("serve.latency_ms").expect("registered");
+    assert_eq!(lat.count, stats.completed, "latency recorded per completed request");
+    assert!(lat.min >= 0.0 && lat.p50 <= lat.p99);
+
+    assert_eq!(
+        m.counter("serve.breaker_transitions"),
+        Some(stats.breaker_trips + stats.breaker_recoveries),
+        "one transition per trip and per recovery"
+    );
+    assert_eq!(m.counter("serve.sheds"), Some(stats.rejected_full));
+    assert_eq!(m.counter("serve.deadline_misses"), Some(stats.deadline_dropped));
+    pool.shutdown();
+}
+
+#[test]
 fn shutdown_drains_queued_work() {
     let model = nano_model(31);
     let plan =

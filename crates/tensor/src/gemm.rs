@@ -57,7 +57,7 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
 
-    let threads = available_threads();
+    let threads = effective_threads();
     let flops = m * k * n;
     if threads <= 1 || flops < PAR_THRESHOLD || m < 2 * PAR_ROW_BAND {
         serial_band(a, b, c, m, k, n, 0, m);
@@ -242,8 +242,19 @@ fn tile_kernel<const IB: usize>(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n
     }
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+/// Worker threads GEMM fans out across, resolved **once per process**: a
+/// `PLATTER_THREADS` env override (any integer ≥ 1) wins, otherwise
+/// `std::thread::available_parallelism()`. Cached in a `OnceLock` — the
+/// previous per-call syscall showed up in profiles, and a pinned value lets
+/// benches and the profiler record the thread count they actually ran with.
+pub fn effective_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        match std::env::var("PLATTER_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -42,6 +42,8 @@
 //! assert_eq!(out[0].shape(), &[2, 8, 16, 16]);
 //! ```
 
+use platter_obs::Profiler;
+
 use crate::gemm::{gemm_bias_act, gemm_into};
 use crate::nn::Activation;
 use crate::ops::conv::{im2col, is_pointwise};
@@ -477,6 +479,25 @@ impl Plan {
             })
             .collect()
     }
+
+    /// Bytes op `i` touches at batch size `n`: its output, every input
+    /// value, and any baked-in parameters (weights, biases, scale/shift).
+    /// This is the profiler's "bytes" column — a traffic estimate assuming
+    /// each buffer is read or written once, not a cache-level measurement.
+    fn op_io_bytes(&self, i: usize, n: usize) -> u64 {
+        let op = &self.ops[i];
+        let mut elems = self.item_numel[i] * n;
+        for v in op.inputs() {
+            elems += self.item_numel[v.0] * n;
+        }
+        elems += match op {
+            PlanOp::Conv2d { weight, bias, .. } => weight.len() + bias.len(),
+            PlanOp::Linear { wt, bias, .. } => wt.len() + bias.len(),
+            PlanOp::ScaleBias { scale, shift, .. } => scale.len() + shift.len(),
+            _ => 0,
+        };
+        (elems * std::mem::size_of::<f32>()) as u64
+    }
 }
 
 /// A malformed input batch, reported by [`Executor::try_run`] before any op
@@ -615,7 +636,7 @@ impl Executor {
     /// [`Executor::try_run`], which reports them as [`ExecError`]s.
     pub fn run(&mut self, inputs: &[&Tensor]) -> &[Tensor] {
         match self.validate(inputs) {
-            Ok(n) => self.execute(n, inputs),
+            Ok(n) => self.execute(n, inputs, None),
             Err(e) => panic!("{e}"),
         }
     }
@@ -625,10 +646,28 @@ impl Executor {
     /// first op runs, so a rejected call leaves the arena untouched.
     pub fn try_run(&mut self, inputs: &[&Tensor]) -> Result<&[Tensor], ExecError> {
         let n = self.validate(inputs)?;
-        Ok(self.execute(n, inputs))
+        Ok(self.execute(n, inputs, None))
     }
 
-    fn execute(&mut self, n: usize, inputs: &[&Tensor]) -> &[Tensor] {
+    /// Like [`Executor::run`], but reports every op to `profiler`
+    /// ([`platter_obs::ProfileReport`] is the standard sink): plan step
+    /// index, structural kind, wall nanoseconds, and bytes touched, plus one
+    /// whole-pass wall time per call. Results are bit-identical to `run` —
+    /// profiling wraps the same op loop in timer reads; it never changes the
+    /// plan.
+    pub fn run_profiled(&mut self, inputs: &[&Tensor], profiler: &mut dyn Profiler) -> &[Tensor] {
+        match self.validate(inputs) {
+            Ok(n) => self.execute(n, inputs, Some(profiler)),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn execute(&mut self, n: usize, inputs: &[&Tensor], mut profiler: Option<&mut dyn Profiler>) -> &[Tensor] {
+        // The profiled and plain paths share this one body: when `profiler`
+        // is `None` (every `run`/`try_run` call) the instrumentation is a
+        // dead branch per op — no timer reads, no label formatting.
+        let run_start = profiler.as_ref().map(|_| std::time::Instant::now());
+        let kinds = profiler.as_ref().map(|_| self.plan.op_kinds());
         self.ensure_batch(n);
 
         for i in 0..self.plan.ops.len() {
@@ -640,9 +679,14 @@ impl Executor {
                 .inputs()
                 .iter()
                 .all(|v| self.plan.slot_of[v.0] != dst_slot));
+            let op_start = profiler.as_ref().map(|_| std::time::Instant::now());
             let mut dst = std::mem::take(&mut self.slots[dst_slot]);
             self.exec_op(i, n, inputs, &mut dst[..out_len]);
             self.slots[dst_slot] = dst;
+            if let (Some(p), Some(t0)) = (profiler.as_deref_mut(), op_start) {
+                let kinds = kinds.as_ref().expect("kinds computed when profiling");
+                p.record_op(i, &kinds[i], t0.elapsed().as_nanos() as u64, self.plan.op_io_bytes(i, n));
+            }
         }
 
         for (j, &v) in self.plan.outputs.iter().enumerate() {
@@ -650,6 +694,9 @@ impl Executor {
             self.outs[j]
                 .as_mut_slice()
                 .copy_from_slice(&self.slots[self.plan.slot_of[v.0]][..len]);
+        }
+        if let (Some(p), Some(t0)) = (profiler, run_start) {
+            p.record_run(t0.elapsed().as_nanos() as u64);
         }
         &self.outs
     }

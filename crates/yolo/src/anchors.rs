@@ -74,9 +74,7 @@ pub fn kmeans_anchors(boxes: &[NormBox], k: usize, seed: u64) -> Vec<(f32, f32)>
         for (i, &s) in sizes.iter().enumerate() {
             let best = (0..k)
                 .max_by(|&a, &b| {
-                    wh_iou(s, centroids[a])
-                        .partial_cmp(&wh_iou(s, centroids[b]))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    wh_iou(s, centroids[a]).total_cmp(&wh_iou(s, centroids[b]))
                 })
                 .unwrap();
             if assignment[i] != best {
@@ -104,7 +102,7 @@ pub fn kmeans_anchors(boxes: &[NormBox], k: usize, seed: u64) -> Vec<(f32, f32)>
             break;
         }
     }
-    centroids.sort_by(|a, b| (a.0 * a.1).partial_cmp(&(b.0 * b.1)).unwrap());
+    centroids.sort_by(|a, b| (a.0 * a.1).total_cmp(&(b.0 * b.1)));
     centroids
 }
 

@@ -163,6 +163,14 @@ impl CompiledModel {
         self.exec.try_run(&[x])
     }
 
+    /// Like [`CompiledModel::run`], but reports per-op wall time, call
+    /// count, and bytes touched to `profiler`
+    /// ([`platter_obs::ProfileReport`] is the standard sink). Outputs are
+    /// bit-identical to `run`.
+    pub fn run_profiled(&mut self, x: &Tensor, profiler: &mut dyn platter_obs::Profiler) -> &[Tensor] {
+        self.exec.run_profiled(&[x], profiler)
+    }
+
     /// The underlying plan (op/slot introspection).
     pub fn plan(&self) -> &Plan {
         self.exec.plan()

@@ -126,12 +126,19 @@ fn suppression_score(a: &NormBox, b: &NormBox, kind: NmsKind) -> f32 {
 ///
 /// Degenerate detections (non-finite scores or boxes, zero-area boxes) are
 /// dropped up front and the sort is total, so adversarial inputs cannot
-/// panic the suppression loop or scramble its ordering.
-pub fn nms(mut detections: Vec<Detection>, iou_thresh: f32, kind: NmsKind) -> Vec<Detection> {
-    detections.retain(|d| is_sane(d.score, &d.bbox));
-    detections.sort_by(|a, b| b.score.total_cmp(&a.score));
+/// panic the suppression loop or scramble its ordering. Equal scores
+/// tie-break on the original (post-filter) index — an explicit guarantee,
+/// not an accident of the sort algorithm — so repeated runs over the same
+/// candidate list suppress identically.
+pub fn nms(detections: Vec<Detection>, iou_thresh: f32, kind: NmsKind) -> Vec<Detection> {
+    let mut detections: Vec<(usize, Detection)> = detections
+        .into_iter()
+        .filter(|d| is_sane(d.score, &d.bbox))
+        .enumerate()
+        .collect();
+    detections.sort_by(|(ia, a), (ib, b)| b.score.total_cmp(&a.score).then(ia.cmp(ib)));
     let mut keep: Vec<Detection> = Vec::with_capacity(detections.len());
-    for det in detections {
+    for (_, det) in detections {
         let suppressed = keep
             .iter()
             .any(|k| k.class == det.class && suppression_score(&k.bbox, &det.bbox, kind) > iou_thresh);

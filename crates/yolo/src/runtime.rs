@@ -31,12 +31,13 @@ use std::time::Duration;
 
 use bytes::{Buf, BufMut, BytesMut};
 use platter_dataset::{LoaderState, SyntheticDataset};
+use platter_obs::{exp_bounds, MetricsRegistry};
 use platter_tensor::crc::crc32;
 use platter_tensor::serialize::{decode, save_params, Bytes, WeightError};
 use platter_tensor::{fsio, Param, Tensor};
 
 use crate::model::Yolov4;
-use crate::train::{RunState, TrainConfig, TrainRecord, Trainer};
+use crate::train::{RunState, TrainConfig, TrainMetrics, TrainRecord, Trainer};
 
 const MAGIC: &[u8; 4] = b"PLTR";
 const VERSION: u32 = 1;
@@ -415,6 +416,27 @@ fn write_with_faults(state: &RunState, cfg: &RuntimeConfig, injector: &mut Injec
     Err(RuntimeError::Io(last_err.unwrap_or_else(|| io::Error::other("checkpoint write failed"))))
 }
 
+/// Runtime-level handles into a shared registry (`runtime.*` metrics);
+/// per-step `train.*` metrics are attached to the trainer separately.
+struct RuntimeMetrics {
+    checkpoint_write_ms: std::sync::Arc<platter_obs::Histogram>,
+    checkpoints_written: std::sync::Arc<platter_obs::Counter>,
+    guard_trips: std::sync::Arc<platter_obs::Counter>,
+    resumes: std::sync::Arc<platter_obs::Counter>,
+}
+
+impl RuntimeMetrics {
+    fn register(registry: &MetricsRegistry) -> RuntimeMetrics {
+        RuntimeMetrics {
+            // 0.25 ms … ~4 s: micro checkpoints are sub-ms, full models not.
+            checkpoint_write_ms: registry.histogram("runtime.checkpoint_write_ms", &exp_bounds(0.25, 2.0, 14)),
+            checkpoints_written: registry.counter("runtime.checkpoints_written"),
+            guard_trips: registry.counter("runtime.guard_trips"),
+            resumes: registry.counter("runtime.resumes"),
+        }
+    }
+}
+
 /// Train `model` under the fault-tolerant runtime, resuming from the
 /// checkpoint at `cfg.checkpoint_path` if one exists.
 ///
@@ -427,10 +449,47 @@ pub fn run(
     train_indices: &[usize],
     train_cfg: &TrainConfig,
     cfg: &RuntimeConfig,
+    plan: FaultPlan,
+    on_log: impl FnMut(&TrainRecord),
+) -> Result<RunReport, RuntimeError> {
+    run_inner(model, dataset, train_indices, train_cfg, cfg, plan, None, on_log)
+}
+
+/// [`run`] with observability: registers `train.*` metrics (step time, loss,
+/// data/forward/backward split) and `runtime.*` metrics (checkpoint write
+/// time, divergence-guard trips, resumes) in `registry` and emits into them
+/// as the run progresses. Sample `registry.snapshot()` at any time — from a
+/// monitoring thread or after the run — without pausing training.
+#[allow(clippy::too_many_arguments)] // `run`'s signature plus the registry
+pub fn run_observed(
+    model: &Yolov4,
+    dataset: &SyntheticDataset,
+    train_indices: &[usize],
+    train_cfg: &TrainConfig,
+    cfg: &RuntimeConfig,
+    plan: FaultPlan,
+    registry: &MetricsRegistry,
+    on_log: impl FnMut(&TrainRecord),
+) -> Result<RunReport, RuntimeError> {
+    run_inner(model, dataset, train_indices, train_cfg, cfg, plan, Some(registry), on_log)
+}
+
+#[allow(clippy::too_many_arguments)] // internal: the union of run/run_observed
+fn run_inner(
+    model: &Yolov4,
+    dataset: &SyntheticDataset,
+    train_indices: &[usize],
+    train_cfg: &TrainConfig,
+    cfg: &RuntimeConfig,
     mut plan: FaultPlan,
+    registry: Option<&MetricsRegistry>,
     mut on_log: impl FnMut(&TrainRecord),
 ) -> Result<RunReport, RuntimeError> {
     let mut trainer = Trainer::new(model, dataset, train_indices, train_cfg);
+    let metrics = registry.map(|reg| {
+        trainer.attach_metrics(TrainMetrics::register(reg));
+        RuntimeMetrics::register(reg)
+    });
     let mut report = RunReport::default();
     let mut injector = Injector::default();
 
@@ -440,6 +499,9 @@ pub fn run(
             Ok(state) => {
                 trainer.restore(&state).map_err(RuntimeError::Incompatible)?;
                 report.resumed_from = Some(state.iteration);
+                if let Some(m) = &metrics {
+                    m.resumes.inc();
+                }
                 state
             }
             Err(RuntimeError::Io(e)) => return Err(RuntimeError::Io(e)),
@@ -502,11 +564,19 @@ pub fn run(
             let due = cfg.checkpoint_every > 0 && record.iteration % cfg.checkpoint_every == 0;
             if due || done {
                 let snapshot = trainer.snapshot();
+                let write_start = std::time::Instant::now();
                 write_with_faults(&snapshot, cfg, &mut injector)?;
+                if let Some(m) = &metrics {
+                    m.checkpoint_write_ms.record(write_start.elapsed().as_secs_f64() * 1e3);
+                    m.checkpoints_written.inc();
+                }
                 report.checkpoints_written += 1;
                 last_good = snapshot;
             }
         } else {
+            if let Some(m) = &metrics {
+                m.guard_trips.inc();
+            }
             report.rollbacks += 1;
             rollbacks_since_good += 1;
             if rollbacks_since_good > cfg.max_rollbacks {
@@ -705,6 +775,40 @@ mod tests {
         for p in model.parameters() {
             assert!(p.value().as_slice().iter().all(|v| v.is_finite()));
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn observed_run_populates_registry() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let cfg = micro_cfg(4);
+        let model = Yolov4::new(YoloConfig::micro(10), 9);
+        let path = scratch("observed.pltr");
+        let plan = FaultPlan::none().at(2, Fault::NanGradient);
+        let registry = MetricsRegistry::new();
+        let report = run_observed(
+            &model, &ds, &split.train, &cfg,
+            &rt_cfg(path.clone(), 2), plan, &registry, |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.rollbacks, 1);
+
+        let snap = registry.snapshot();
+        let counter = |n: &str| snap.counters.iter().find(|c| c.name == n).unwrap().value;
+        let hist = |n: &str| snap.histograms.iter().find(|h| h.name == n).unwrap();
+        assert_eq!(counter("runtime.guard_trips"), u64::from(report.rollbacks));
+        assert_eq!(counter("runtime.checkpoints_written"), u64::from(report.checkpoints_written));
+        assert_eq!(counter("runtime.resumes"), 0);
+        assert_eq!(counter("train.steps"), report.records.len() as u64);
+        assert_eq!(counter("train.steps_rejected"), u64::from(report.rollbacks));
+        assert_eq!(hist("runtime.checkpoint_write_ms").count, u64::from(report.checkpoints_written));
+        // Steps + rejected attempts all record a step time and a loss; the
+        // injected NaN gradient still yields a finite loss (the gradient is
+        // poisoned after the loss is computed), so nothing is dropped here.
+        let attempts = report.records.len() as u64 + u64::from(report.rollbacks);
+        assert_eq!(hist("train.step_ms").count, attempts);
+        assert_eq!(hist("train.loss").count + hist("train.loss").dropped, attempts);
         std::fs::remove_file(path).ok();
     }
 

@@ -12,7 +12,11 @@
 //! its crash recovery and divergence rollback on. The [`train`] function
 //! remains the simple fire-and-forget entry point.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use platter_dataset::{BatchLoader, LoaderConfig, LoaderState, SyntheticDataset};
+use platter_obs::{exp_bounds, Counter, Histogram, MetricsRegistry};
 use platter_tensor::{clip_global_norm, Graph, LrSchedule, Param, Sgd, Tensor};
 
 use crate::assign::build_targets;
@@ -66,6 +70,47 @@ impl TrainConfig {
     }
 }
 
+/// Training-loop handles into a shared [`MetricsRegistry`], registered once
+/// via [`TrainMetrics::register`] and updated lock-free from inside
+/// [`Trainer::try_step`]. Time histograms are in milliseconds; the loss
+/// histogram records the total loss (non-finite losses land in its
+/// `dropped` count rather than poisoning the sum).
+#[derive(Clone)]
+pub struct TrainMetrics {
+    /// Wall time of a whole step.
+    pub step_ms: Arc<Histogram>,
+    /// Data loading + target building portion.
+    pub data_ms: Arc<Histogram>,
+    /// Forward + loss portion.
+    pub forward_ms: Arc<Histogram>,
+    /// Backward (gradient) portion.
+    pub backward_ms: Arc<Histogram>,
+    /// Total loss per step.
+    pub loss: Arc<Histogram>,
+    /// Applied steps.
+    pub steps: Arc<Counter>,
+    /// Steps rejected by the guard (divergence-guard trips).
+    pub steps_rejected: Arc<Counter>,
+}
+
+impl TrainMetrics {
+    /// Register (or re-acquire) the `train.*` metrics in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> TrainMetrics {
+        // 0.5 ms … ~16 s covers micro-profile CI steps and real training.
+        let time = exp_bounds(0.5, 2.0, 15);
+        let loss = exp_bounds(0.0625, 2.0, 16);
+        TrainMetrics {
+            step_ms: registry.histogram("train.step_ms", &time),
+            data_ms: registry.histogram("train.data_ms", &time),
+            forward_ms: registry.histogram("train.forward_ms", &time),
+            backward_ms: registry.histogram("train.backward_ms", &time),
+            loss: registry.histogram("train.loss", &loss),
+            steps: registry.counter("train.steps"),
+            steps_rejected: registry.counter("train.steps_rejected"),
+        }
+    }
+}
+
 /// One logged training step.
 #[derive(Clone, Copy, Debug)]
 pub struct TrainRecord {
@@ -109,6 +154,7 @@ pub struct Trainer<'a> {
     opt: Sgd,
     iteration: usize,
     lr_factor: f32,
+    metrics: Option<TrainMetrics>,
 }
 
 impl<'a> Trainer<'a> {
@@ -125,7 +171,14 @@ impl<'a> Trainer<'a> {
         let loader = BatchLoader::new(dataset, train_indices, loader_cfg);
         let schedule = LrSchedule::darknet(cfg.lr, cfg.iterations);
         let opt = Sgd::new(model.parameters(), cfg.momentum, cfg.weight_decay);
-        Trainer { model, cfg: cfg.clone(), loader, schedule, opt, iteration: 0, lr_factor: 1.0 }
+        Trainer { model, cfg: cfg.clone(), loader, schedule, opt, iteration: 0, lr_factor: 1.0, metrics: None }
+    }
+
+    /// Emit per-step metrics (timings, loss, guard trips) through `metrics`.
+    /// Without this the trainer records nothing — the metrics path costs a
+    /// handful of `Instant` reads and relaxed atomics per step when on.
+    pub fn attach_metrics(&mut self, metrics: TrainMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Completed iterations (the next step runs this 0-based index).
@@ -180,16 +233,20 @@ impl<'a> Trainer<'a> {
         if self.cfg.freeze_backbone_iters > 0 {
             self.model.set_backbone_frozen(self.iteration < self.cfg.freeze_backbone_iters);
         }
+        let step_start = Instant::now();
         let batch = self.loader.next_batch();
         let x = Tensor::from_vec(batch.data, &batch.shape);
         let targets = build_targets(&self.model.config, &batch.annotations);
+        let data_done = Instant::now();
 
         let mut g = Graph::new();
         let xv = g.leaf(x);
         let heads = self.model.forward(&mut g, xv, true);
         let (loss, parts) =
             yolo_loss(&mut g, &heads, &targets, &self.model.config, self.cfg.box_loss, self.cfg.weights);
+        let forward_done = Instant::now();
         g.backward(loss);
+        let backward_done = Instant::now();
         grad_hook(self.opt.params());
         let grad_norm = clip_global_norm(self.opt.params(), self.cfg.clip_norm);
         let lr = self.schedule.lr_at(self.iteration) * self.lr_factor;
@@ -201,6 +258,15 @@ impl<'a> Trainer<'a> {
             self.iteration += 1;
         }
         self.opt.zero_grad();
+        if let Some(m) = &self.metrics {
+            let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+            m.data_ms.record(ms(data_done - step_start));
+            m.forward_ms.record(ms(forward_done - data_done));
+            m.backward_ms.record(ms(backward_done - forward_done));
+            m.step_ms.record(ms(step_start.elapsed()));
+            m.loss.record(f64::from(record.loss.total));
+            if apply { m.steps.inc() } else { m.steps_rejected.inc() }
+        }
         (record, apply)
     }
 
@@ -441,6 +507,35 @@ mod tests {
         let (name, _) = snap.model[0].clone();
         snap.model[0] = (name, Tensor::zeros(&[1, 2, 3]));
         assert!(trainer.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn metrics_record_phase_split_and_guard_trips() {
+        let ds = tiny_dataset();
+        let split = Split::eighty_twenty(ds.len(), 1);
+        let mut cfg = TrainConfig::micro(3);
+        cfg.batch_size = 1;
+        cfg.mosaic_prob = 0.0;
+        let model = Yolov4::new(YoloConfig::micro(10), 5);
+        let mut trainer = Trainer::new(&model, &ds, &split.train, &cfg);
+        let registry = MetricsRegistry::new();
+        trainer.attach_metrics(TrainMetrics::register(&registry));
+
+        trainer.step();
+        trainer.step();
+        trainer.try_step(|_| {}, |_| false); // guard rejection
+
+        let snap = registry.snapshot();
+        let counter = |n: &str| snap.counters.iter().find(|c| c.name == n).unwrap().value;
+        assert_eq!(counter("train.steps"), 2);
+        assert_eq!(counter("train.steps_rejected"), 1);
+        let hist = |n: &str| snap.histograms.iter().find(|h| h.name == n).unwrap();
+        assert_eq!(hist("train.step_ms").count, 3);
+        assert_eq!(hist("train.loss").count, 3);
+        // Phases are timed inside the step, so their sum cannot exceed it.
+        let parts = hist("train.data_ms").sum + hist("train.forward_ms").sum + hist("train.backward_ms").sum;
+        assert!(parts <= hist("train.step_ms").sum + 1e-6, "{parts} vs {}", hist("train.step_ms").sum);
+        assert!(hist("train.step_ms").sum > 0.0);
     }
 
     #[test]

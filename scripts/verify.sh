@@ -38,6 +38,19 @@ if [ -n "$pairs" ]; then
   exit 1
 fi
 
+echo "== NaN-safe score ordering gate (no partial_cmp on score paths) =="
+# Every score sort was converted to f32::total_cmp with explicit tie-breaks
+# (DESIGN.md §12): partial_cmp(..).unwrap_or(Equal) is non-transitive under
+# NaN and silently scrambles greedy matching. Match the call syntax, not the
+# bare word — doc comments may (and do) mention partial_cmp by name.
+score_sorts=$(git ls-files 'crates/*/src/**/*.rs' 'crates/*/src/*.rs' \
+  | xargs -r grep -l -F '.partial_cmp(' || true)
+if [ -n "$score_sorts" ]; then
+  echo "partial_cmp call sites survive in crate sources (use total_cmp):" >&2
+  echo "$score_sorts" >&2
+  exit 1
+fi
+
 echo "== eager vs compiled parity (YOLOv4 + baselines) =="
 cargo test -q --release -p platter-yolo --test parity
 cargo test -q --release -p platter-baselines --test parity
@@ -49,10 +62,36 @@ echo "== serving fault-injection + input-fuzz suites =="
 cargo test -q --release -p platter-serve --test fault_injection
 cargo test -q --release -p platter-serve --test prop_validation
 
-echo "== compiled inference smoke (writes results/BENCH_inference.json) =="
+echo "== compiled inference smoke (writes results/BENCH_inference.json + PROFILE_inference.json) =="
 cargo run -q --release -p platter-bench --bin bench_inference
+
+echo "== compiled-path speedup gate (>= 2.0x at batch 1, profiling disabled) =="
+# The timed comparison runs before the profiled pass, so this is the
+# unobserved fast path. First "speedup" entry in the report is batch 1.
+speedup=$(grep -o '"speedup": *[0-9.]*' results/BENCH_inference.json | head -1 | grep -o '[0-9.]*$')
+if [ -z "$speedup" ] || ! awk -v s="$speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+  echo "compiled speedup at batch 1 is ${speedup:-missing}, need >= 2.0" >&2
+  exit 1
+fi
+echo "batch-1 speedup: ${speedup}x"
+
+echo "== profiler coverage gate (per-op times >= 90% of forward wall time) =="
+share=$(grep -o '"op_time_share": *[0-9.]*' results/PROFILE_inference.json | head -1 | grep -o '[0-9.]*$')
+if [ -z "$share" ] || ! awk -v s="$share" 'BEGIN { exit !(s >= 0.90) }'; then
+  echo "profiler op_time_share is ${share:-missing}, need >= 0.90" >&2
+  exit 1
+fi
+echo "op time coverage: ${share}"
 
 echo "== serving smoke (writes results/BENCH_serve.json) =="
 cargo run -q --release -p platter-bench --bin bench_serve -- --smoke
+
+echo "== serving metrics artifact gate (histograms present in BENCH_serve.json) =="
+for field in '"queue_depth"' '"batch_size"' '"latency_ms"'; do
+  if ! grep -q "$field" results/BENCH_serve.json; then
+    echo "BENCH_serve.json is missing the $field histogram" >&2
+    exit 1
+  fi
+done
 
 echo "== verify OK =="
