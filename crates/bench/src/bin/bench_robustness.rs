@@ -1,0 +1,171 @@
+//! **Robustness table** — mAP under adverse imaging conditions, with and
+//! without test-time augmentation.
+//!
+//! Evaluates the shared trained YOLOv4-micro (the same checkpoint behind
+//! Table I) on the validation split pushed through every degradation in the
+//! adverse-conditions suite at severities 1/3/5, anchored to a clean
+//! baseline computed on the identical render path. Heavy-occlusion and
+//! extreme-scale cells — the conditions TTA is built for — get companion
+//! TTA rows, as does the clean baseline, so the augmentation's cost/benefit
+//! is measured rather than assumed. All randomness derives from recorded
+//! seeds and no timestamps are written, so `TABLE_robustness.json` is
+//! bit-identical across runs.
+//!
+//! ```text
+//! cargo run -p platter-bench --release --bin bench_robustness [-- --smoke|--extended] [--quick] [--retrain]
+//! ```
+//!
+//! `--quick` evaluates a reduced grid and writes `TABLE_robustness_quick.*`
+//! instead, leaving the committed full artifact untouched (this is the mode
+//! `scripts/verify.sh` runs).
+
+use platter_bench::{
+    ensure_trained_yolo, evaluate_detector, render_degraded_val_set, write_json, write_text,
+    RunScale, Timer,
+};
+use platter_dataset::{ClassSet, DegradedDataset, SyntheticDataset};
+use platter_imaging::{Degradation, DegradationKind};
+use platter_metrics::{Evaluation, RobustnessGrid};
+use platter_yolo::{Detector, TtaConfig};
+use serde::Serialize;
+
+/// Master seed for every per-image degradation stream. Recorded in the
+/// artifact next to the dataset and split seeds.
+const DEGRADATION_SEED: u64 = 0xAD5E_C0DE;
+
+/// One evaluated grid cell as it lands in the JSON artifact.
+#[derive(Serialize)]
+struct CellRecord {
+    condition: String,
+    severity: u8,
+    tta: bool,
+    map: f32,
+    f1: f32,
+    per_class_ap: Vec<(String, f32)>,
+}
+
+#[derive(Serialize)]
+struct Record {
+    scale: String,
+    quick: bool,
+    dataset_seed: u64,
+    split_seed: u64,
+    degradation_seed: u64,
+    conf_thresh: f32,
+    clean: CellRecord,
+    cells: Vec<CellRecord>,
+}
+
+fn cell_record(condition: &str, severity: u8, tta: bool, eval: &Evaluation, classes: &ClassSet) -> CellRecord {
+    CellRecord {
+        condition: condition.to_string(),
+        severity,
+        tta,
+        map: eval.map,
+        f1: eval.f1,
+        per_class_ap: eval
+            .per_class
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (classes.name_of(i).to_string(), c.ap))
+            .collect(),
+    }
+}
+
+/// Evaluate one degradation stack (empty = clean) over the val split,
+/// optionally through the TTA view loop.
+#[allow(clippy::too_many_arguments)]
+fn eval_cell(
+    detector: &Detector,
+    dataset: &SyntheticDataset,
+    val: &[usize],
+    ops: Vec<Degradation>,
+    tta: Option<&TtaConfig>,
+    input: usize,
+    num_classes: usize,
+) -> Evaluation {
+    let view = DegradedDataset::new(dataset, ops, DEGRADATION_SEED);
+    let (tensors, gt) = render_degraded_val_set(&view, val, input);
+    match tta {
+        Some(cfg) => evaluate_detector(|b| detector.detect_batch_tta(b, cfg), &tensors, &gt, num_classes),
+        None => evaluate_detector(|b| detector.detect_batch(b), &tensors, &gt, num_classes),
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("== Robustness: mAP across adverse conditions (scale {scale:?}, quick {quick}) ==");
+    let (model, dataset, split) = ensure_trained_yolo("standard", scale, false);
+    let classes = ClassSet::indianfood10();
+    let input = model.config.input_size;
+    let mut detector = Detector::new(model);
+    detector.conf_thresh = 0.01;
+    let tta_cfg = TtaConfig::standard();
+
+    // The grid: every condition × severities 1/3/5 in the full run; a
+    // two-condition spot check in --quick. TTA companion rows cover the
+    // clean baseline plus the occlusion and extreme-scale columns.
+    let severities: &[u8] = if quick { &[3] } else { &[1, 3, 5] };
+    let kinds: &[DegradationKind] =
+        if quick { &[DegradationKind::MotionBlur, DegradationKind::LowLight, DegradationKind::Occlusion] } else { &DegradationKind::ALL };
+    let tta_kinds = [DegradationKind::Occlusion, DegradationKind::ExtremeScale];
+
+    let t = Timer::start("robustness grid");
+    let clean = eval_cell(&detector, &dataset, &split.val, vec![], None, input, classes.len());
+    println!("clean baseline: mAP {:.2}%", clean.map * 100.0);
+    let mut grid = RobustnessGrid::new(clean.clone());
+    let mut records = Vec::new();
+
+    let clean_tta = eval_cell(&detector, &dataset, &split.val, vec![], Some(&tta_cfg), input, classes.len());
+    grid.push("clean", 0, true, clean_tta.clone());
+    records.push(cell_record("clean", 0, true, &clean_tta, &classes));
+
+    for &kind in kinds {
+        for &sev in severities {
+            let ops = vec![Degradation::new(kind, sev).expect("valid severity")];
+            let eval = eval_cell(&detector, &dataset, &split.val, ops.clone(), None, input, classes.len());
+            println!("{:<16} sev {sev}: mAP {:.2}%", kind.name(), eval.map * 100.0);
+            grid.push(kind.name(), sev, false, eval.clone());
+            records.push(cell_record(kind.name(), sev, false, &eval, &classes));
+
+            if tta_kinds.contains(&kind) {
+                let eval_tta =
+                    eval_cell(&detector, &dataset, &split.val, ops, Some(&tta_cfg), input, classes.len());
+                println!("{:<16} sev {sev} +tta: mAP {:.2}%", kind.name(), eval_tta.map * 100.0);
+                grid.push(kind.name(), sev, true, eval_tta.clone());
+                records.push(cell_record(kind.name(), sev, true, &eval_tta, &classes));
+            }
+        }
+    }
+    drop(t);
+
+    let table = grid.render_table();
+    println!("\n{table}");
+    if let Some(worst) = grid.worst_cell() {
+        println!(
+            "worst cell: {} sev {} (tta {}) at mAP {:.2}%, drop {:.2} points",
+            worst.condition,
+            worst.severity,
+            worst.tta,
+            worst.eval.map * 100.0,
+            grid.map_drop(worst) * 100.0
+        );
+    }
+
+    let name = if quick { "TABLE_robustness_quick" } else { "TABLE_robustness" };
+    write_text(&format!("{name}.txt"), &table);
+    write_json(
+        name,
+        &Record {
+            scale: format!("{scale:?}"),
+            quick,
+            dataset_seed: 7,
+            split_seed: 0x5EED,
+            degradation_seed: DEGRADATION_SEED,
+            conf_thresh: detector.conf_thresh,
+            clean: cell_record("clean", 0, false, &clean, &classes),
+            cells: records,
+        },
+    );
+}

@@ -82,6 +82,9 @@ struct MetricsRecord {
     sheds: u64,
     deadline_misses: u64,
     breaker_transitions: u64,
+    sanitize_nonfinite: u64,
+    sanitize_badshape: u64,
+    sanitize_baddims: u64,
 }
 
 impl MetricsRecord {
@@ -96,6 +99,9 @@ impl MetricsRecord {
             sheds: m.counter("serve.sheds").unwrap_or(0),
             deadline_misses: m.counter("serve.deadline_misses").unwrap_or(0),
             breaker_transitions: m.counter("serve.breaker_transitions").unwrap_or(0),
+            sanitize_nonfinite: m.counter("serve.sanitize.nonfinite").unwrap_or(0),
+            sanitize_badshape: m.counter("serve.sanitize.badshape").unwrap_or(0),
+            sanitize_baddims: m.counter("serve.sanitize.baddims").unwrap_or(0),
         }
     }
 }

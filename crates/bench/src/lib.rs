@@ -9,7 +9,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use platter_dataset::{Annotation, BatchLoader, ClassSet, DatasetSpec, LoaderConfig, Split, SyntheticDataset};
+use platter_dataset::{Annotation, BatchLoader, ClassSet, DatasetSpec, DegradedDataset, LoaderConfig, Split, SyntheticDataset};
 use platter_metrics::{evaluate, Evaluation, PredBox};
 use platter_tensor::Tensor;
 use platter_yolo::Detection;
@@ -74,6 +74,34 @@ pub fn render_val_set(dataset: &SyntheticDataset, indices: &[usize], input: usiz
         let b = loader.next_batch();
         tensors.push(Tensor::from_vec(b.data, &b.shape));
         gt.extend(b.annotations);
+    }
+    (tensors, gt)
+}
+
+/// Render a degraded view of the validation subset into `(images,
+/// ground_truth)` batches of CHW tensors, mirroring [`render_val_set`] but
+/// through a [`DegradedDataset`]: each image is degraded on its own seeded
+/// stream, then resized to the model input like the val loader would.
+pub fn render_degraded_val_set(
+    degraded: &DegradedDataset,
+    indices: &[usize],
+    input: usize,
+) -> (Vec<Tensor>, Vec<Vec<Annotation>>) {
+    let mut tensors = Vec::new();
+    let mut gt = Vec::new();
+    for chunk in indices.chunks(8) {
+        let mut data = Vec::with_capacity(chunk.len() * 3 * input * input);
+        for &index in chunk {
+            let (img, anns) = degraded.render(index);
+            let sized = if img.width() == input && img.height() == input {
+                img
+            } else {
+                img.resize(input, input)
+            };
+            data.extend_from_slice(&sized.to_chw());
+            gt.push(anns);
+        }
+        tensors.push(Tensor::from_vec(data, &[chunk.len(), 3, input, input]));
     }
     (tensors, gt)
 }

@@ -1,0 +1,150 @@
+//! Degraded dataset views: a [`SyntheticDataset`] seen through an
+//! adverse-conditions pipeline.
+//!
+//! A [`DegradedDataset`] is a *view*, not a copy — it renders the clean plan
+//! on demand and pushes each image through a fixed sequence of
+//! [`Degradation`] ops with a per-image RNG derived from one master seed.
+//! The same `(base plan, ops, seed)` triple therefore always produces the
+//! same degraded split, which is what lets the robustness benchmark promise
+//! a bit-identical `TABLE_robustness.json` across runs. Boxes come back as
+//! exact ground truth for the degraded image: photometric ops leave them
+//! untouched, geometric ops remap them through the same transform the
+//! pixels took.
+
+use platter_imaging::degrade::{apply_all, Degradation};
+use platter_imaging::synth::LabeledBox;
+use platter_imaging::Image;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::annotation::Annotation;
+use crate::generator::SyntheticDataset;
+
+/// SplitMix64-style spread so consecutive image indices land far apart in
+/// seed space (matches the texture hash's multiplier).
+const SEED_SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A deterministic degraded view over a clean synthetic dataset.
+#[derive(Clone, Debug)]
+pub struct DegradedDataset<'a> {
+    base: &'a SyntheticDataset,
+    ops: Vec<Degradation>,
+    seed: u64,
+}
+
+impl<'a> DegradedDataset<'a> {
+    /// Wrap `base` with a degradation stack and a master seed. Ops are
+    /// already severity-validated by [`Degradation::new`].
+    pub fn new(base: &'a SyntheticDataset, ops: Vec<Degradation>, seed: u64) -> DegradedDataset<'a> {
+        DegradedDataset { base, ops, seed }
+    }
+
+    /// The wrapped clean dataset.
+    pub fn base(&self) -> &SyntheticDataset {
+        self.base
+    }
+
+    /// The degradation stack applied to every image.
+    pub fn ops(&self) -> &[Degradation] {
+        &self.ops
+    }
+
+    /// The master seed the per-image streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of images (same as the base plan).
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True when the base plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The RNG driving image `index`'s degradations — exposed so callers
+    /// that degrade pre-rendered images (e.g. the benchmark's cached val
+    /// set) stay on the exact stream `render` uses.
+    pub fn rng_for(&self, index: usize) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (index as u64 + 1).wrapping_mul(SEED_SPREAD))
+    }
+
+    /// Render the degraded image and its exact ground truth.
+    pub fn render(&self, index: usize) -> (Image, Vec<Annotation>) {
+        let (clean, annotations) = self.base.render(index);
+        let classes = &self.base.spec.classes;
+        let boxes: Vec<LabeledBox> = annotations
+            .iter()
+            .map(|a| LabeledBox { kind: classes.kind(a.class), bbox: a.bbox })
+            .collect();
+        let mut rng = self.rng_for(index);
+        let (image, out_boxes) = apply_all(&self.ops, &clean, &boxes, &mut rng);
+        let out = out_boxes
+            .iter()
+            .filter_map(|b| classes.class_of(b.kind).map(|class| Annotation { class, bbox: b.bbox }))
+            .collect();
+        (image, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassSet;
+    use crate::generator::DatasetSpec;
+    use platter_imaging::degrade::DegradationKind;
+
+    fn base() -> SyntheticDataset {
+        SyntheticDataset::generate(DatasetSpec::micro(ClassSet::indianfood10(), 12, 64, 42))
+    }
+
+    fn ops(kind: DegradationKind, sev: u8) -> Vec<Degradation> {
+        vec![Degradation::new(kind, sev).unwrap()]
+    }
+
+    #[test]
+    fn degraded_view_is_deterministic() {
+        let ds = base();
+        let view = DegradedDataset::new(&ds, ops(DegradationKind::SensorNoise, 3), 77);
+        let (a, aa) = view.render(5);
+        let (b, bb) = view.render(5);
+        assert_eq!(a, b);
+        assert_eq!(aa, bb);
+    }
+
+    #[test]
+    fn photometric_degradations_keep_clean_ground_truth() {
+        let ds = base();
+        let view = DegradedDataset::new(&ds, ops(DegradationKind::LowLight, 4), 77);
+        for i in 0..ds.len() {
+            let (_, clean_anns) = ds.render(i);
+            let (img, anns) = view.render(i);
+            assert_eq!(anns, clean_anns, "image {i}");
+            assert_eq!(img.width(), 64);
+        }
+    }
+
+    #[test]
+    fn different_images_draw_different_streams() {
+        let ds = base();
+        let view = DegradedDataset::new(&ds, ops(DegradationKind::SensorNoise, 5), 9);
+        // Two distinct single-dish images must not share noise: seed spread
+        // keeps per-image streams independent.
+        let (a, _) = view.render(0);
+        let (b, _) = view.render(1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn extreme_scale_view_shrinks_annotations() {
+        let ds = base();
+        let view = DegradedDataset::new(&ds, ops(DegradationKind::ExtremeScale, 4), 13);
+        let (_, clean) = ds.render(0);
+        let (_, degraded) = view.render(0);
+        assert!(!degraded.is_empty());
+        assert!(degraded[0].bbox.w < clean[0].bbox.w * 0.5);
+        assert_eq!(degraded[0].class, clean[0].class);
+    }
+}

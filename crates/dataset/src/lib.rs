@@ -21,6 +21,7 @@
 
 pub mod annotation;
 pub mod classes;
+pub mod degraded;
 pub mod export;
 pub mod generator;
 pub mod loader;
@@ -29,6 +30,7 @@ pub mod stats;
 
 pub use annotation::{from_yolo_txt, to_yolo_txt, Annotation, AnnotationError};
 pub use classes::ClassSet;
+pub use degraded::DegradedDataset;
 pub use export::{export_to_dir, ExportSummary};
 pub use generator::{DatasetItem, DatasetSpec, SyntheticDataset};
 pub use loader::{run_prefetched, BatchLoader, ImageBatch, LoaderConfig, LoaderState};

@@ -90,6 +90,11 @@ impl<'a> BatchLoader<'a> {
     /// Create a loader over `indices` of `dataset`.
     pub fn new(dataset: &'a SyntheticDataset, indices: &[usize], cfg: LoaderConfig) -> BatchLoader<'a> {
         assert!(cfg.batch_size > 0, "batch size must be positive");
+        if let Some(aug) = &cfg.augment {
+            if let Err(e) = aug.validate() {
+                panic!("loader: invalid AugmentConfig: {e}");
+            }
+        }
         let mut loader = BatchLoader {
             dataset,
             indices: indices.to_vec(),

@@ -44,6 +44,76 @@ impl Default for AugmentConfig {
     }
 }
 
+/// An augmentation configuration the pipeline refuses to run: a NaN or
+/// out-of-range field, reported by name (the annotation parser's field-level
+/// error pattern) instead of being silently clamped into a config the user
+/// never asked for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AugmentError {
+    /// A field is NaN or infinite.
+    NonFinite {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A field is finite but outside its legal interval.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for AugmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AugmentError::NonFinite { field } => write!(f, "field `{field}` is not finite"),
+            AugmentError::OutOfRange { field, value, lo, hi } => {
+                write!(f, "field `{field}` = {value} outside [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AugmentError {}
+
+fn check(field: &'static str, value: f64, lo: f64, hi: f64) -> Result<(), AugmentError> {
+    if !value.is_finite() {
+        return Err(AugmentError::NonFinite { field });
+    }
+    if value < lo || value > hi {
+        return Err(AugmentError::OutOfRange { field, value, lo, hi });
+    }
+    Ok(())
+}
+
+impl AugmentConfig {
+    /// Check every field against its legal interval. Gains are factors
+    /// (`>= 1`), probabilities live in `[0, 1]`, and the geometric jitters
+    /// are bounded so boxes cannot be scaled or translated out of meaning.
+    pub fn validate(&self) -> Result<(), AugmentError> {
+        check("hue", self.hue as f64, 0.0, 180.0)?;
+        check("saturation", self.saturation as f64, 1.0, 8.0)?;
+        check("value", self.value as f64, 1.0, 8.0)?;
+        check("flip_prob", self.flip_prob, 0.0, 1.0)?;
+        check("scale_jitter", self.scale_jitter as f64, 0.0, 0.9)?;
+        check("translate", self.translate as f64, 0.0, 0.5)?;
+        check("min_visibility", self.min_visibility as f64, 0.0, 1.0)?;
+        Ok(())
+    }
+
+    /// Consume the config, returning it only if every field is legal —
+    /// construction-site validation for configs built from user input.
+    pub fn validated(self) -> Result<AugmentConfig, AugmentError> {
+        self.validate()?;
+        Ok(self)
+    }
+}
+
 /// Resample `img` under the *output→input* map `x_in = (x_out − tx)/sx`
 /// (normalised coordinates), padding out-of-range samples with grey.
 fn affine_resample(img: &Image, sx: f32, sy: f32, tx: f32, ty: f32) -> Image {
@@ -63,12 +133,19 @@ fn affine_resample(img: &Image, sx: f32, sy: f32, tx: f32, ty: f32) -> Image {
 }
 
 /// Apply the full augmentation pipeline to an image and its boxes.
+///
+/// Panics on an invalid config (NaN / out-of-range field); validate at the
+/// construction site with [`AugmentConfig::validated`] to get the typed
+/// [`AugmentError`] instead.
 pub fn augment(img: &Image, boxes: &[LabeledBox], cfg: &AugmentConfig, rng: &mut StdRng) -> (Image, Vec<LabeledBox>) {
+    if let Err(e) = cfg.validate() {
+        panic!("augment: invalid AugmentConfig: {e}");
+    }
     let mut image = img.clone();
     let mut out_boxes: Vec<LabeledBox> = boxes.to_vec();
 
     // Photometric.
-    let dh = rng.random_range(-cfg.hue..cfg.hue);
+    let dh = if cfg.hue > 0.0 { rng.random_range(-cfg.hue..cfg.hue) } else { 0.0 };
     let sg = sample_gain(rng, cfg.saturation);
     let vg = sample_gain(rng, cfg.value);
     image = image.hsv_shift(dh, sg, vg);
@@ -81,11 +158,13 @@ pub fn augment(img: &Image, boxes: &[LabeledBox], cfg: &AugmentConfig, rng: &mut
         }
     }
 
-    // Scale + translate.
-    let sx = 1.0 + rng.random_range(-cfg.scale_jitter..cfg.scale_jitter);
+    // Scale + translate. A zero jitter is a legal "off switch", so guard
+    // the (half-open, hence empty-at-zero) sample ranges.
+    let jitter = |rng: &mut StdRng, amp: f32| if amp > 0.0 { rng.random_range(-amp..amp) } else { 0.0 };
+    let sx = 1.0 + jitter(rng, cfg.scale_jitter);
     let sy = sx * (1.0 + rng.random_range(-0.05..0.05f32)); // slight anisotropy
-    let tx = rng.random_range(-cfg.translate..cfg.translate);
-    let ty = rng.random_range(-cfg.translate..cfg.translate);
+    let tx = jitter(rng, cfg.translate);
+    let ty = jitter(rng, cfg.translate);
     image = affine_resample(&image, sx, sy, tx, ty);
     let transformed: Vec<LabeledBox> = out_boxes
         .iter()
@@ -163,6 +242,47 @@ mod tests {
         crate::raster::fill_circle(&mut img, 32.0, 32.0, 12.0, Rgb::new(0.9, 0.1, 0.1), 1.0);
         let boxes = vec![LabeledBox { kind: DishKind::Biryani, bbox: NormBox::new(0.5, 0.5, 0.4, 0.4) }];
         (img, boxes)
+    }
+
+    #[test]
+    fn validate_names_the_bad_field() {
+        assert!(AugmentConfig::default().validate().is_ok());
+        let nan = AugmentConfig { flip_prob: f64::NAN, ..Default::default() };
+        assert_eq!(nan.validate(), Err(AugmentError::NonFinite { field: "flip_prob" }));
+        let range = AugmentConfig { saturation: 0.5, ..Default::default() };
+        match range.validated() {
+            Err(AugmentError::OutOfRange { field: "saturation", value, .. }) => {
+                assert!((value - 0.5).abs() < 1e-9);
+            }
+            other => panic!("expected OutOfRange(saturation), got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "augment: invalid AugmentConfig")]
+    fn augment_panics_on_invalid_config_at_the_boundary() {
+        let (img, boxes) = scene();
+        let cfg = AugmentConfig { translate: f32::INFINITY, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = augment(&img, &boxes, &cfg, &mut rng);
+    }
+
+    #[test]
+    fn zero_jitter_fields_are_legal_and_deterministic() {
+        let (img, boxes) = scene();
+        let cfg = AugmentConfig {
+            hue: 0.0,
+            saturation: 1.0,
+            value: 1.0,
+            flip_prob: 0.0,
+            scale_jitter: 0.0,
+            translate: 0.0,
+            min_visibility: 0.3,
+        };
+        cfg.validate().unwrap();
+        let (out, out_boxes) = augment(&img, &boxes, &cfg, &mut StdRng::seed_from_u64(1));
+        assert_eq!(out_boxes.len(), boxes.len());
+        assert_eq!(out.width(), img.width());
     }
 
     #[test]

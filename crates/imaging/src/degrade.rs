@@ -1,0 +1,539 @@
+//! Adverse-condition degradations: deterministic, severity-graded image
+//! corruptions applied *post-render*, so ground-truth boxes stay exact.
+//!
+//! The paper's platters are clean top-down captures; the deployment scenario
+//! it motivates (dietary monitoring from user photos) is motion blur, dim
+//! restaurant light, sensor noise, steam over hot dishes, stacked-thali
+//! occlusion and far-away platters. Each [`Degradation`] models one of those
+//! failure modes at a severity from 1 (mild) to 5 (extreme).
+//!
+//! Determinism contract: no op constructs its own RNG — the caller passes a
+//! [`StdRng`] in, and every random decision is drawn from that stream (noise
+//! field seeds are drawn from it too). Same image + same rng state →
+//! bit-identical output, which is what makes `TABLE_robustness.json`
+//! reproducible. verify.sh grep-gates this file against `seed_from_u64`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt};
+
+use crate::bbox::NormBox;
+use crate::color::Rgb;
+use crate::image::Image;
+use crate::raster::{drop_shadow, fill_circle, fill_ring};
+use crate::synth::LabeledBox;
+use crate::texture::{fbm_noise, gloss_highlight, speckle_ellipse};
+
+/// A degradation request the pipeline refuses to build: out-of-range
+/// severity or a non-finite / out-of-range configuration field. Typed like
+/// the annotation parser's errors — the caller learns *which* field is bad
+/// instead of getting a silently clamped pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DegradeError {
+    /// Severity must be in `1..=5`.
+    BadSeverity {
+        /// The rejected severity value.
+        severity: u8,
+    },
+    /// A configuration field is NaN or infinite.
+    NonFinite {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A configuration field is finite but outside its legal interval.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for DegradeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeError::BadSeverity { severity } => {
+                write!(f, "severity {severity} outside 1..=5")
+            }
+            DegradeError::NonFinite { field } => write!(f, "field `{field}` is not finite"),
+            DegradeError::OutOfRange { field, value, lo, hi } => {
+                write!(f, "field `{field}` = {value} outside [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegradeError {}
+
+/// Validate that `value` is finite and inside `[lo, hi]`.
+fn check_range(field: &'static str, value: f64, lo: f64, hi: f64) -> Result<(), DegradeError> {
+    if !value.is_finite() {
+        return Err(DegradeError::NonFinite { field });
+    }
+    if value < lo || value > hi {
+        return Err(DegradeError::OutOfRange { field, value, lo, hi });
+    }
+    Ok(())
+}
+
+/// The six adverse-condition families the robustness suite measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DegradationKind {
+    /// Directional smear from camera shake during exposure.
+    MotionBlur,
+    /// Under-exposure with gamma crush (dim restaurant light).
+    LowLight,
+    /// Gaussian read noise plus salt-and-pepper hot pixels.
+    SensorNoise,
+    /// Steam haze over hot dishes plus specular highlights.
+    SteamHaze,
+    /// Heavy occlusion: extra stacked dishes composited over the platter.
+    Occlusion,
+    /// Extreme scale: the platter shrinks into a far-away corner.
+    ExtremeScale,
+}
+
+impl DegradationKind {
+    /// Every kind, in the canonical benchmark row order.
+    pub const ALL: [DegradationKind; 6] = [
+        DegradationKind::MotionBlur,
+        DegradationKind::LowLight,
+        DegradationKind::SensorNoise,
+        DegradationKind::SteamHaze,
+        DegradationKind::Occlusion,
+        DegradationKind::ExtremeScale,
+    ];
+
+    /// Stable snake_case identifier used in JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationKind::MotionBlur => "motion_blur",
+            DegradationKind::LowLight => "low_light",
+            DegradationKind::SensorNoise => "sensor_noise",
+            DegradationKind::SteamHaze => "steam_haze",
+            DegradationKind::Occlusion => "occlusion",
+            DegradationKind::ExtremeScale => "extreme_scale",
+        }
+    }
+}
+
+/// One degradation op at a validated severity in `1..=5`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Degradation {
+    kind: DegradationKind,
+    severity: u8,
+}
+
+impl Degradation {
+    /// Build an op, rejecting severities outside `1..=5`.
+    pub fn new(kind: DegradationKind, severity: u8) -> Result<Degradation, DegradeError> {
+        if !(1..=5).contains(&severity) {
+            return Err(DegradeError::BadSeverity { severity });
+        }
+        Ok(Degradation { kind, severity })
+    }
+
+    /// The degradation family.
+    pub fn kind(&self) -> DegradationKind {
+        self.kind
+    }
+
+    /// The severity level (always in `1..=5`).
+    pub fn severity(&self) -> u8 {
+        self.severity
+    }
+
+    /// Apply the op. Output dimensions always equal input dimensions, every
+    /// pixel stays finite in `[0, 1]`, and the returned boxes are the exact
+    /// ground truth for the degraded image (photometric ops return the input
+    /// boxes unchanged; [`DegradationKind::ExtremeScale`] remaps them through
+    /// the same affine it applies to pixels).
+    pub fn apply(&self, img: &Image, boxes: &[LabeledBox], rng: &mut StdRng) -> (Image, Vec<LabeledBox>) {
+        let sev = self.severity as f32;
+        match self.kind {
+            DegradationKind::MotionBlur => (motion_blur(img, sev, rng), boxes.to_vec()),
+            DegradationKind::LowLight => (low_light(img, sev, rng), boxes.to_vec()),
+            DegradationKind::SensorNoise => (sensor_noise(img, sev, rng), boxes.to_vec()),
+            DegradationKind::SteamHaze => (steam_haze(img, sev, rng), boxes.to_vec()),
+            DegradationKind::Occlusion => (occlusion(img, boxes, sev, rng), boxes.to_vec()),
+            DegradationKind::ExtremeScale => extreme_scale(img, boxes, sev, rng),
+        }
+    }
+}
+
+/// A validated sequence of degradations applied in order, each with an
+/// independent per-op application probability.
+#[derive(Clone, Debug)]
+pub struct DegradationConfig {
+    ops: Vec<Degradation>,
+    apply_prob: f64,
+}
+
+impl DegradationConfig {
+    /// Build a pipeline; `apply_prob` must be finite in `[0, 1]` (ops are
+    /// already validated by [`Degradation::new`]).
+    pub fn new(ops: Vec<Degradation>, apply_prob: f64) -> Result<DegradationConfig, DegradeError> {
+        check_range("apply_prob", apply_prob, 0.0, 1.0)?;
+        Ok(DegradationConfig { ops, apply_prob })
+    }
+
+    /// The validated op sequence.
+    pub fn ops(&self) -> &[Degradation] {
+        &self.ops
+    }
+
+    /// Per-op application probability.
+    pub fn apply_prob(&self) -> f64 {
+        self.apply_prob
+    }
+
+    /// Run the pipeline: each op fires independently with `apply_prob`. The
+    /// coin flip is drawn even for skipped ops so downstream draws stay
+    /// aligned across probability settings.
+    pub fn apply(&self, img: &Image, boxes: &[LabeledBox], rng: &mut StdRng) -> (Image, Vec<LabeledBox>) {
+        let mut image = img.clone();
+        let mut out = boxes.to_vec();
+        for op in &self.ops {
+            let fire = rng.random_bool(self.apply_prob);
+            if fire {
+                let (next_img, next_boxes) = op.apply(&image, &out, rng);
+                image = next_img;
+                out = next_boxes;
+            }
+        }
+        (image, out)
+    }
+}
+
+/// Apply every op unconditionally, in order — the benchmark path, where a
+/// grid cell is exactly one op but composed stacks are also legal.
+pub fn apply_all(ops: &[Degradation], img: &Image, boxes: &[LabeledBox], rng: &mut StdRng) -> (Image, Vec<LabeledBox>) {
+    let mut image = img.clone();
+    let mut out = boxes.to_vec();
+    for op in ops {
+        let (next_img, next_boxes) = op.apply(&image, &out, rng);
+        image = next_img;
+        out = next_boxes;
+    }
+    (image, out)
+}
+
+/// Directional box blur along a random shake direction; kernel length grows
+/// with severity (3 px at 1, 11 px at 5).
+fn motion_blur(img: &Image, sev: f32, rng: &mut StdRng) -> Image {
+    let taps = 1 + 2 * sev as usize; // odd, 3..=11
+    let angle = rng.random_range(0.0..std::f32::consts::PI);
+    let (dy, dx) = angle.sin_cos();
+    let half = (taps / 2) as f32;
+    let mut out = Image::new(img.width(), img.height(), Rgb::BLACK);
+    let inv = 1.0 / taps as f32;
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let mut r = 0.0;
+            let mut g = 0.0;
+            let mut b = 0.0;
+            for t in 0..taps {
+                let o = t as f32 - half;
+                let c = img.sample_bilinear(x as f32 + o * dx, y as f32 + o * dy);
+                r += c.r;
+                g += c.g;
+                b += c.b;
+            }
+            out.set(x, y, Rgb::new(r * inv, g * inv, b * inv).clamped());
+        }
+    }
+    out
+}
+
+/// Under-exposure plus gamma crush: darker and flatter shadows the higher
+/// the severity, with a small random exposure jitter.
+fn low_light(img: &Image, sev: f32, rng: &mut StdRng) -> Image {
+    let exposure = (1.0 - 0.14 * sev) * rng.random_range(0.9..1.0f32);
+    let gamma = 1.0 + 0.3 * sev;
+    let mut out = img.clone();
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let c = out.get(x, y);
+            let crush = |v: f32| (v * exposure).clamp(0.0, 1.0).powf(gamma);
+            // Dim light shifts slightly blue (tungsten white balance miss).
+            out.set(x, y, Rgb::new(crush(c.r) * 0.96, crush(c.g), crush(c.b) * 1.04).clamped());
+        }
+    }
+    out
+}
+
+/// Gaussian read noise (σ grows with severity) plus salt-and-pepper hot
+/// pixels at high severity.
+fn sensor_noise(img: &Image, sev: f32, rng: &mut StdRng) -> Image {
+    let sigma = 0.015 + 0.025 * sev;
+    let hot_prob = if sev >= 4.0 { 0.001 * sev as f64 } else { 0.0 };
+    let mut out = img.clone();
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            // Box–Muller from two uniform draws; clamp u away from 0 so the
+            // log stays finite.
+            let u = rng.random_range(0.0..1.0f32).max(1e-12);
+            let v = rng.random_range(0.0..1.0f32);
+            let mag = (-2.0 * u.ln()).sqrt() * sigma;
+            let (s, c2) = (std::f32::consts::TAU * v).sin_cos();
+            let n_luma = mag * c2;
+            let n_chroma = mag * s * 0.5;
+            let c = out.get(x, y);
+            let px = if hot_prob > 0.0 && rng.random_bool(hot_prob) {
+                if rng.random_bool(0.5) {
+                    Rgb::WHITE
+                } else {
+                    Rgb::BLACK
+                }
+            } else {
+                Rgb::new(c.r + n_luma + n_chroma, c.g + n_luma, c.b + n_luma - n_chroma).clamped()
+            };
+            out.set(x, y, px);
+        }
+    }
+    out
+}
+
+/// Low-frequency steam haze (fbm field blended toward near-white) plus a few
+/// specular highlights where droplets catch the light. The field seed is
+/// drawn from the caller's rng — the op owns no generator.
+fn steam_haze(img: &Image, sev: f32, rng: &mut StdRng) -> Image {
+    let field_seed = rng.next_u64();
+    let strength = 0.10 + 0.11 * sev;
+    let cell = (img.width().min(img.height()) as f32 / 4.0).max(4.0);
+    let steam = Rgb::new(0.92, 0.93, 0.95);
+    let mut out = img.clone();
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let n = fbm_noise(field_seed, x as f32 / cell, y as f32 / cell, 3);
+            // Bias the field so even thin haze lifts blacks a little.
+            let k = (strength * (0.35 + n)).clamp(0.0, 0.95);
+            let c = out.get(x, y);
+            out.set(x, y, c.lerp(steam, k).clamped());
+        }
+    }
+    let spots = 1 + sev as usize;
+    for _ in 0..spots {
+        let cx = rng.random_range(0.0..out.width() as f32);
+        let cy = rng.random_range(0.0..out.height() as f32);
+        let r = rng.random_range(0.04..0.10f32) * out.width() as f32 * (0.6 + 0.1 * sev);
+        gloss_highlight(&mut out, cx, cy, r, 0.12 + 0.05 * sev);
+    }
+    out
+}
+
+/// Composite `severity` extra stacked dishes over the platter, each centred
+/// on the rim of a ground-truth box so it partially covers the dish below.
+/// Boxes are *not* edited: the occluded dish is still the label — that is
+/// the point of the test.
+fn occlusion(img: &Image, boxes: &[LabeledBox], sev: f32, rng: &mut StdRng) -> Image {
+    let mut out = img.clone();
+    let w = out.width() as f32;
+    let h = out.height() as f32;
+    // Warm ceramic / steel occluder palettes, like the renderer's crockery.
+    let plates = [Rgb::new(0.93, 0.91, 0.87), Rgb::new(0.78, 0.79, 0.82), Rgb::new(0.88, 0.82, 0.72)];
+    let foods = [Rgb::new(0.72, 0.45, 0.18), Rgb::new(0.85, 0.77, 0.55), Rgb::new(0.45, 0.55, 0.25), Rgb::new(0.6, 0.3, 0.2)];
+    let count = sev as usize;
+    for i in 0..count {
+        // Anchor on a GT box when there is one, else anywhere on the canvas.
+        let (ax, ay, ar) = if boxes.is_empty() {
+            (rng.random_range(0.2..0.8f32) * w, rng.random_range(0.2..0.8f32) * h, 0.12 * w)
+        } else {
+            let b = &boxes[i % boxes.len()].bbox;
+            (b.cx * w, b.cy * h, 0.5 * b.w.min(b.h) * w.min(h))
+        };
+        // Sit on the box rim so part of the dish below stays visible.
+        let ang = rng.random_range(0.0..std::f32::consts::TAU);
+        let cx = ax + ang.cos() * ar * rng.random_range(0.55..0.95f32);
+        let cy = ay + ang.sin() * ar * rng.random_range(0.55..0.95f32);
+        let r = ar * (0.55 + 0.12 * sev) * rng.random_range(0.8..1.2f32);
+        let r = r.clamp(3.0, 0.45 * w.min(h));
+        let plate = plates[rng.random_range(0..plates.len())];
+        let food = foods[rng.random_range(0..foods.len())];
+        drop_shadow(&mut out, cx + r * 0.08, cy + r * 0.12, r * 1.05, r * 1.05, 0.35);
+        fill_circle(&mut out, cx, cy, r, plate, 1.0);
+        fill_ring(&mut out, cx, cy, r * 0.82, r, plate.scaled(0.88).clamped(), 1.0);
+        fill_circle(&mut out, cx, cy, r * 0.72, food, 1.0);
+        speckle_ellipse(&mut out, rng, cx, cy, r * 0.6, r * 0.6, 18, r * 0.06, food.scaled(0.8).clamped(), food.scaled(1.2).clamped());
+        gloss_highlight(&mut out, cx - r * 0.25, cy - r * 0.25, r * 0.4, 0.25);
+    }
+    out
+}
+
+/// Shrink the whole scene by `1/(1 + 0.6·severity)` and drop it at a random
+/// position on a table-coloured canvas; boxes ride the same affine.
+fn extreme_scale(img: &Image, boxes: &[LabeledBox], sev: f32, rng: &mut StdRng) -> (Image, Vec<LabeledBox>) {
+    let w = img.width();
+    let h = img.height();
+    let f = 1.0 / (1.0 + 0.6 * sev);
+    let nw = ((w as f32 * f).round() as usize).clamp(1, w);
+    let nh = ((h as f32 * f).round() as usize).clamp(1, h);
+    let small = img.resize(nw, nh);
+    // Table background: the scene's own mean colour, slightly darkened, so
+    // the pasted platter does not sit on an artificial grey.
+    let [mr, mg, mb] = img.channel_means();
+    let mut canvas = Image::new(w, h, Rgb::new(mr * 0.85, mg * 0.85, mb * 0.85).clamped());
+    let max_tx = w - nw;
+    let max_ty = h - nh;
+    let tx = if max_tx == 0 { 0 } else { rng.random_range(0..=max_tx) };
+    let ty = if max_ty == 0 { 0 } else { rng.random_range(0..=max_ty) };
+    canvas.paste(&small, tx as isize, ty as isize);
+    let fx = nw as f32 / w as f32;
+    let fy = nh as f32 / h as f32;
+    let txn = tx as f32 / w as f32;
+    let tyn = ty as f32 / h as f32;
+    let out_boxes = boxes
+        .iter()
+        .filter_map(|b| {
+            let moved: NormBox = b.bbox.affine(fx, fy, txn, tyn);
+            moved.clipped().map(|bbox| LabeledBox { kind: b.kind, bbox })
+        })
+        .collect();
+    (canvas, out_boxes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DishKind;
+    use rand::SeedableRng;
+
+    fn scene() -> (Image, Vec<LabeledBox>) {
+        let mut img = Image::new(64, 64, Rgb::new(0.35, 0.3, 0.25));
+        fill_circle(&mut img, 32.0, 32.0, 14.0, Rgb::new(0.9, 0.6, 0.2), 1.0);
+        let boxes = vec![LabeledBox { kind: DishKind::Biryani, bbox: NormBox::new(0.5, 0.5, 0.45, 0.45) }];
+        (img, boxes)
+    }
+
+    #[test]
+    fn severity_is_validated() {
+        assert!(Degradation::new(DegradationKind::MotionBlur, 0).is_err());
+        assert!(Degradation::new(DegradationKind::MotionBlur, 6).is_err());
+        for s in 1..=5 {
+            assert!(Degradation::new(DegradationKind::MotionBlur, s).is_ok());
+        }
+        match Degradation::new(DegradationKind::LowLight, 9) {
+            Err(DegradeError::BadSeverity { severity: 9 }) => {}
+            other => panic!("expected BadSeverity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_rejects_bad_probability() {
+        let ops = vec![Degradation::new(DegradationKind::LowLight, 2).unwrap()];
+        assert!(matches!(
+            DegradationConfig::new(ops.clone(), f64::NAN),
+            Err(DegradeError::NonFinite { field: "apply_prob" })
+        ));
+        assert!(matches!(
+            DegradationConfig::new(ops.clone(), 1.5),
+            Err(DegradeError::OutOfRange { field: "apply_prob", .. })
+        ));
+        assert!(DegradationConfig::new(ops, 0.5).is_ok());
+    }
+
+    #[test]
+    fn every_op_preserves_dims_and_finiteness() {
+        let (img, boxes) = scene();
+        for kind in DegradationKind::ALL {
+            for sev in [1u8, 3, 5] {
+                let op = Degradation::new(kind, sev).unwrap();
+                let mut rng = StdRng::seed_from_u64(11);
+                let (out, out_boxes) = op.apply(&img, &boxes, &mut rng);
+                assert_eq!(out.width(), img.width(), "{kind:?} sev {sev}");
+                assert_eq!(out.height(), img.height(), "{kind:?} sev {sev}");
+                for &v in out.raw() {
+                    assert!(v.is_finite() && (0.0..=1.0).contains(&v), "{kind:?} sev {sev}: pixel {v}");
+                }
+                for b in &out_boxes {
+                    assert!(b.bbox.is_valid(), "{kind:?} sev {sev}: box {:?}", b.bbox);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_seed_is_bit_identical() {
+        let (img, boxes) = scene();
+        for kind in DegradationKind::ALL {
+            let op = Degradation::new(kind, 4).unwrap();
+            let (a, ab) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(99));
+            let (b, bb) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(99));
+            assert_eq!(a, b, "{kind:?}");
+            assert_eq!(ab, bb, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn photometric_ops_leave_boxes_untouched() {
+        let (img, boxes) = scene();
+        for kind in [
+            DegradationKind::MotionBlur,
+            DegradationKind::LowLight,
+            DegradationKind::SensorNoise,
+            DegradationKind::SteamHaze,
+            DegradationKind::Occlusion,
+        ] {
+            let op = Degradation::new(kind, 5).unwrap();
+            let (_, out_boxes) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(1));
+            assert_eq!(out_boxes, boxes, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_scale_shrinks_boxes_consistently() {
+        let (img, boxes) = scene();
+        let op = Degradation::new(DegradationKind::ExtremeScale, 5).unwrap();
+        let (_, out_boxes) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(3));
+        assert_eq!(out_boxes.len(), 1);
+        let f = 1.0 / (1.0 + 0.6 * 5.0);
+        assert!((out_boxes[0].bbox.w - boxes[0].bbox.w * f).abs() < 0.02);
+    }
+
+    #[test]
+    fn low_light_darkens() {
+        let (img, boxes) = scene();
+        let op = Degradation::new(DegradationKind::LowLight, 4).unwrap();
+        let (out, _) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(2));
+        let before: f32 = img.channel_means().iter().sum();
+        let after: f32 = out.channel_means().iter().sum();
+        assert!(after < before * 0.6, "means {before} -> {after}");
+    }
+
+    #[test]
+    fn severity_orders_noise_energy() {
+        let (img, boxes) = scene();
+        let noise_energy = |sev: u8| {
+            let op = Degradation::new(DegradationKind::SensorNoise, sev).unwrap();
+            let (out, _) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(7));
+            out.raw().iter().zip(img.raw()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+        };
+        assert!(noise_energy(5) > noise_energy(1) * 1.5);
+    }
+
+    #[test]
+    fn degradation_config_apply_prob_zero_is_identity() {
+        let (img, boxes) = scene();
+        let ops = DegradationKind::ALL.iter().map(|&k| Degradation::new(k, 3).unwrap()).collect();
+        let cfg = DegradationConfig::new(ops, 0.0).unwrap();
+        let (out, out_boxes) = cfg.apply(&img, &boxes, &mut StdRng::seed_from_u64(5));
+        assert_eq!(out, img);
+        assert_eq!(out_boxes, boxes);
+    }
+
+    #[test]
+    fn apply_all_composes_in_order() {
+        let (img, boxes) = scene();
+        let ops = [
+            Degradation::new(DegradationKind::LowLight, 2).unwrap(),
+            Degradation::new(DegradationKind::SensorNoise, 2).unwrap(),
+        ];
+        let (out, out_boxes) = apply_all(&ops, &img, &boxes, &mut StdRng::seed_from_u64(8));
+        assert_eq!(out.width(), img.width());
+        assert_eq!(out_boxes, boxes);
+        assert_ne!(out, img);
+    }
+}

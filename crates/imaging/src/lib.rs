@@ -28,13 +28,16 @@
 pub mod augment;
 pub mod bbox;
 pub mod color;
+pub mod degrade;
 pub mod image;
 pub mod io;
 pub mod raster;
 pub mod synth;
 pub mod texture;
 
+pub use augment::{AugmentConfig, AugmentError};
 pub use bbox::NormBox;
 pub use color::Rgb;
+pub use degrade::{apply_all, DegradationConfig, Degradation, DegradationKind, DegradeError};
 pub use image::{Image, Letterbox};
 pub use synth::{DishKind, LabeledBox, PlatterStyle, SceneSpec};

@@ -1,0 +1,109 @@
+//! Property suite for the degradation pipeline: whatever image, op, severity
+//! and seed the robustness benchmark feeds it, every degradation preserves
+//! the canvas dimensions, keeps every pixel finite in `[0, 1]`, replays
+//! bit-identically from the same rng state, and only ever hands back valid
+//! label boxes. These are the invariants that make `TABLE_robustness.json`
+//! trustworthy: the grid is measured on exact ground truth, not on boxes a
+//! corruption quietly invalidated.
+
+use platter_imaging::degrade::{apply_all, Degradation, DegradationConfig, DegradationKind};
+use platter_imaging::synth::{DishKind, LabeledBox};
+use platter_imaging::{Image, NormBox};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random pixel soup on a small canvas — harsher than any rendered platter.
+fn any_image() -> impl Strategy<Value = Image> {
+    collection::vec(0.0f32..=1.0, 24 * 24 * 3).prop_map(|data| Image::from_raw(24, 24, data))
+}
+
+/// Boxes away from the border so clipping noise does not dominate.
+fn any_boxes() -> impl Strategy<Value = Vec<LabeledBox>> {
+    collection::vec(
+        (0.25f32..=0.75, 0.25f32..=0.75, 0.1f32..=0.4, 0.1f32..=0.4).prop_map(|(cx, cy, w, h)| LabeledBox {
+            kind: DishKind::Biryani,
+            bbox: NormBox::new(cx, cy, w, h),
+        }),
+        0..=4,
+    )
+}
+
+fn any_op() -> impl Strategy<Value = Degradation> {
+    (0usize..DegradationKind::ALL.len(), 1u8..=5)
+        .prop_map(|(k, sev)| Degradation::new(DegradationKind::ALL[k], sev).expect("severity in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ops_preserve_dims_finiteness_and_box_validity(
+        img in any_image(),
+        boxes in any_boxes(),
+        op in any_op(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (out, out_boxes) = op.apply(&img, &boxes, &mut rng);
+        prop_assert_eq!(out.width(), img.width());
+        prop_assert_eq!(out.height(), img.height());
+        for &v in out.raw() {
+            prop_assert!(v.is_finite() && (0.0..=1.0).contains(&v), "pixel {} from {:?}", v, op);
+        }
+        for b in &out_boxes {
+            prop_assert!(b.bbox.is_valid(), "box {:?} from {:?}", b.bbox, op);
+        }
+    }
+
+    #[test]
+    fn ops_replay_bit_identically_from_the_same_seed(
+        img in any_image(),
+        boxes in any_boxes(),
+        op in any_op(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (a, ab) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(seed));
+        let (b, bb) = op.apply(&img, &boxes, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ab, bb);
+    }
+
+    #[test]
+    fn composed_stacks_keep_the_invariants(
+        img in any_image(),
+        boxes in any_boxes(),
+        ops in collection::vec(any_op(), 1..=3),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (out, out_boxes) = apply_all(&ops, &img, &boxes, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(out.width(), img.width());
+        prop_assert_eq!(out.height(), img.height());
+        for &v in out.raw() {
+            prop_assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+        }
+        for b in &out_boxes {
+            prop_assert!(b.bbox.is_valid());
+        }
+    }
+
+    #[test]
+    fn config_pipeline_keeps_the_invariants_at_any_probability(
+        img in any_image(),
+        boxes in any_boxes(),
+        ops in collection::vec(any_op(), 0..=3),
+        p in 0.0f64..=1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = DegradationConfig::new(ops, p).expect("probability in range");
+        let (out, out_boxes) = cfg.apply(&img, &boxes, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(out.width(), img.width());
+        prop_assert_eq!(out.height(), img.height());
+        for &v in out.raw() {
+            prop_assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+        }
+        for b in &out_boxes {
+            prop_assert!(b.bbox.is_valid());
+        }
+    }
+}

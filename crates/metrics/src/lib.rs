@@ -25,9 +25,11 @@ pub mod evaluation;
 pub mod matching;
 pub mod pr;
 pub mod report;
+pub mod robustness;
 
 pub use confusion::ConfusionMatrix;
 pub use evaluation::{evaluate, evaluate_matches, ClassEval, Evaluation};
 pub use matching::{match_detections, MatchResult, MatchedDet, PredBox};
 pub use pr::PrCurve;
+pub use robustness::{ConditionEval, RobustnessGrid};
 pub use report::{pr_curve_csv, render_confusion, render_pr_curve, summary_line, table_per_class_ap, two_column_table};

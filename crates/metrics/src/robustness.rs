@@ -1,0 +1,151 @@
+//! Per-degradation evaluation grouping: the data model behind
+//! `TABLE_robustness.json`.
+//!
+//! A [`RobustnessGrid`] holds one clean-baseline [`Evaluation`] plus one
+//! [`ConditionEval`] per (condition, severity, tta) cell, and answers the
+//! questions the robustness benchmark asks of it: how far did mAP drop in a
+//! cell, which cell is worst, and what does the grid look like as a text
+//! table. Ranking is NaN-safe (`total_cmp` with a stable condition/severity
+//! tie-break), matching the score-path hardening rules of the rest of the
+//! crate.
+
+use crate::evaluation::Evaluation;
+
+/// One evaluated grid cell.
+#[derive(Clone, Debug)]
+pub struct ConditionEval {
+    /// Degradation name (`motion_blur`, `low_light`, …; `clean` is kept
+    /// out of the cells as the grid's baseline).
+    pub condition: String,
+    /// Severity level `1..=5` of the applied degradation.
+    pub severity: u8,
+    /// Whether test-time augmentation was enabled for this cell.
+    pub tta: bool,
+    /// The full evaluation (mAP, per-class AP, P/R/F1) on that cell.
+    pub eval: Evaluation,
+}
+
+/// A degradation × severity grid anchored to a clean baseline.
+#[derive(Clone, Debug)]
+pub struct RobustnessGrid {
+    /// Evaluation on the un-degraded validation split (single-pass).
+    pub clean: Evaluation,
+    /// All degraded (and TTA) cells, in insertion order.
+    pub cells: Vec<ConditionEval>,
+}
+
+impl RobustnessGrid {
+    /// Start a grid from the clean baseline.
+    pub fn new(clean: Evaluation) -> RobustnessGrid {
+        RobustnessGrid { clean, cells: Vec::new() }
+    }
+
+    /// Add one evaluated cell.
+    pub fn push(&mut self, condition: impl Into<String>, severity: u8, tta: bool, eval: Evaluation) {
+        self.cells.push(ConditionEval { condition: condition.into(), severity, tta, eval });
+    }
+
+    /// Look up a cell by its full key.
+    pub fn get(&self, condition: &str, severity: u8, tta: bool) -> Option<&ConditionEval> {
+        self.cells.iter().find(|c| c.condition == condition && c.severity == severity && c.tta == tta)
+    }
+
+    /// Absolute mAP drop of `cell` below the clean baseline (negative when
+    /// the cell somehow beats clean).
+    pub fn map_drop(&self, cell: &ConditionEval) -> f32 {
+        self.clean.map - cell.eval.map
+    }
+
+    /// The cell with the lowest mAP. NaN-safe: `total_cmp` orders NaN
+    /// deterministically, and exact ties fall back to condition name,
+    /// severity, then the TTA flag, so the answer never depends on
+    /// insertion order among tied cells.
+    pub fn worst_cell(&self) -> Option<&ConditionEval> {
+        self.cells.iter().min_by(|a, b| {
+            a.eval
+                .map
+                .total_cmp(&b.eval.map)
+                .then_with(|| a.condition.cmp(&b.condition))
+                .then_with(|| a.severity.cmp(&b.severity))
+                .then_with(|| a.tta.cmp(&b.tta))
+        })
+    }
+
+    /// Render the grid as a fixed-width text table (the `.txt` companion of
+    /// the JSON artifact).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<16} {:>3}  {:>4}  {:>7}  {:>7}\n", "condition", "sev", "tta", "mAP%", "drop"));
+        out.push_str(&format!("{:<16} {:>3}  {:>4}  {:>7.2}  {:>7.2}\n", "clean", "-", "off", self.clean.map * 100.0, 0.0));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:<16} {:>3}  {:>4}  {:>7.2}  {:>7.2}\n",
+                cell.condition,
+                cell.severity,
+                if cell.tta { "on" } else { "off" },
+                cell.eval.map * 100.0,
+                self.map_drop(cell) * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::evaluate;
+    use platter_dataset::Annotation;
+    use platter_imaging::NormBox;
+    use crate::matching::PredBox;
+
+    fn eval_with_hit_rate(hits: usize, total: usize) -> Evaluation {
+        let gt: Vec<Vec<Annotation>> = (0..total)
+            .map(|_| vec![Annotation { class: 0, bbox: NormBox::new(0.5, 0.5, 0.2, 0.2) }])
+            .collect();
+        let preds: Vec<Vec<PredBox>> = (0..total)
+            .map(|i| {
+                if i < hits {
+                    vec![PredBox { class: 0, score: 0.9, bbox: NormBox::new(0.5, 0.5, 0.2, 0.2) }]
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
+        evaluate(&gt, &preds, 1, 0.5)
+    }
+
+    #[test]
+    fn drop_is_relative_to_clean() {
+        let mut grid = RobustnessGrid::new(eval_with_hit_rate(4, 4));
+        grid.push("low_light", 3, false, eval_with_hit_rate(2, 4));
+        let cell = grid.get("low_light", 3, false).unwrap();
+        assert!(grid.map_drop(cell) > 0.3);
+        assert!(grid.get("low_light", 3, true).is_none());
+        assert!(grid.get("motion_blur", 3, false).is_none());
+    }
+
+    #[test]
+    fn worst_cell_picks_the_lowest_map_with_stable_ties() {
+        let mut grid = RobustnessGrid::new(eval_with_hit_rate(4, 4));
+        grid.push("steam_haze", 1, false, eval_with_hit_rate(3, 4));
+        grid.push("occlusion", 5, false, eval_with_hit_rate(0, 4));
+        grid.push("motion_blur", 5, false, eval_with_hit_rate(0, 4));
+        // Both zero-mAP cells tie; the lexicographically first condition wins.
+        let worst = grid.worst_cell().unwrap();
+        assert_eq!(worst.condition, "motion_blur");
+        assert_eq!(worst.eval.map, 0.0);
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let mut grid = RobustnessGrid::new(eval_with_hit_rate(4, 4));
+        grid.push("sensor_noise", 2, false, eval_with_hit_rate(2, 4));
+        grid.push("sensor_noise", 2, true, eval_with_hit_rate(3, 4));
+        let table = grid.render_table();
+        assert_eq!(table.lines().count(), 4, "header + clean + 2 cells");
+        assert!(table.contains("clean"));
+        assert!(table.contains("sensor_noise"));
+        assert!(table.lines().nth(3).unwrap().contains("on"));
+    }
+}

@@ -52,5 +52,6 @@ pub mod sanitize;
 pub use breaker::{BreakerConfig, CircuitBreaker, ExecPath};
 pub use error::ServeError;
 pub use fault::{ServeFault, ServeFaultPlan};
+pub use platter_yolo::TtaConfig;
 pub use pool::{Pending, ServeConfig, ServePool, ServeStats};
 pub use sanitize::{sanitize_image, sanitize_tensor, InputError, Quarantine, QuarantineRecord};

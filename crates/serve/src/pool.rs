@@ -40,7 +40,7 @@ use platter_imaging::Image;
 use platter_obs::{exp_bounds, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use platter_tensor::serialize::{Bytes, LoadMode};
 use platter_tensor::Tensor;
-use platter_yolo::{decode_detections, nms, CompiledModel, Detection, NmsKind, YoloConfig, Yolov4};
+use platter_yolo::{decode_detections, merge_tta, nms, CompiledModel, Detection, NmsKind, TtaConfig, TtaView, YoloConfig, Yolov4};
 use serde::Serialize;
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, ExecPath, Transition};
@@ -80,6 +80,9 @@ pub struct ServeConfig {
     pub nms_iou: f32,
     /// NMS flavour.
     pub nms_kind: NmsKind,
+    /// View recipe used by TTA submissions ([`ServePool::submit_image_tta`]
+    /// and friends); plain submissions ignore it.
+    pub tta: TtaConfig,
 }
 
 impl ServeConfig {
@@ -97,6 +100,7 @@ impl ServeConfig {
             conf_thresh: 0.25,
             nms_iou: 0.45,
             nms_kind: NmsKind::Diou,
+            tta: TtaConfig::standard(),
         }
     }
 }
@@ -119,6 +123,8 @@ struct Job {
     /// When the request was admitted — anchors the end-to-end latency
     /// histogram.
     submitted: Instant,
+    /// Whether this request asked for test-time augmentation.
+    tta: bool,
     reply: SyncSender<Result<Vec<Detection>, ServeError>>,
 }
 
@@ -201,6 +207,13 @@ struct ServeMetrics {
     deadline_misses: Arc<Counter>,
     /// Breaker state transitions (healthy → degraded and back).
     breaker_transitions: Arc<Counter>,
+    /// Sanitization refusals, by reason: non-finite pixels…
+    sanitize_nonfinite: Arc<Counter>,
+    /// …wrong tensor shape…
+    sanitize_badshape: Arc<Counter>,
+    /// …and degenerate / oversized image dimensions. Together these make
+    /// degraded-input shedding observable per failure mode.
+    sanitize_baddims: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -216,7 +229,19 @@ impl ServeMetrics {
             sheds: registry.counter("serve.sheds"),
             deadline_misses: registry.counter("serve.deadline_misses"),
             breaker_transitions: registry.counter("serve.breaker_transitions"),
+            sanitize_nonfinite: registry.counter("serve.sanitize.nonfinite"),
+            sanitize_badshape: registry.counter("serve.sanitize.badshape"),
+            sanitize_baddims: registry.counter("serve.sanitize.baddims"),
             registry,
+        }
+    }
+
+    /// Bump the per-reason refusal counter for `error`.
+    fn on_refusal(&self, error: &crate::sanitize::InputError) {
+        match error {
+            crate::sanitize::InputError::NonFinite { .. } => self.sanitize_nonfinite.inc(),
+            crate::sanitize::InputError::BadShape { .. } => self.sanitize_badshape.inc(),
+            crate::sanitize::InputError::BadDims { .. } => self.sanitize_baddims.inc(),
         }
     }
 
@@ -285,7 +310,7 @@ impl ServePool {
 
     /// Submit an image with the configured default deadline.
     pub fn submit_image(&self, image: &Image) -> Result<Pending, ServeError> {
-        self.submit_image_with_deadline(image, self.default_deadline())
+        self.submit_image_inner(image, self.default_deadline(), false)
     }
 
     /// Submit an image that must start executing before `deadline`.
@@ -293,6 +318,23 @@ impl ServePool {
         &self,
         image: &Image,
         deadline: Option<Instant>,
+    ) -> Result<Pending, ServeError> {
+        self.submit_image_inner(image, deadline, false)
+    }
+
+    /// Submit an image to be served with test-time augmentation (the
+    /// configured [`ServeConfig::tta`] views). The request goes through the
+    /// exact same sanitization and admission control as a plain submission —
+    /// TTA buys recall on degraded inputs, not a side door.
+    pub fn submit_image_tta(&self, image: &Image) -> Result<Pending, ServeError> {
+        self.submit_image_inner(image, self.default_deadline(), true)
+    }
+
+    fn submit_image_inner(
+        &self,
+        image: &Image,
+        deadline: Option<Instant>,
+        tta: bool,
     ) -> Result<Pending, ServeError> {
         let seq = self.shared.submit_seq.fetch_add(1, Ordering::SeqCst);
         if let Err(e) = sanitize_image(image, self.shared.cfg.max_image_dim) {
@@ -309,7 +351,7 @@ impl ServePool {
             orig_w: image.width(),
             orig_h: image.height(),
         };
-        self.enqueue(x, Some(map), deadline)
+        self.enqueue(x, Some(map), deadline, tta)
     }
 
     /// Submit an already-preprocessed `[3, s, s]` tensor with the default
@@ -325,17 +367,37 @@ impl ServePool {
         x: &Tensor,
         deadline: Option<Instant>,
     ) -> Result<Pending, ServeError> {
+        self.submit_tensor_inner(x, deadline, false)
+    }
+
+    /// Submit a tensor to be served with test-time augmentation; same
+    /// sanitization as [`ServePool::submit_tensor`].
+    pub fn submit_tensor_tta(&self, x: &Tensor) -> Result<Pending, ServeError> {
+        self.submit_tensor_inner(x, self.default_deadline(), true)
+    }
+
+    fn submit_tensor_inner(
+        &self,
+        x: &Tensor,
+        deadline: Option<Instant>,
+        tta: bool,
+    ) -> Result<Pending, ServeError> {
         let seq = self.shared.submit_seq.fetch_add(1, Ordering::SeqCst);
         if let Err(e) = sanitize_tensor(x, self.shared.model_cfg.input_size) {
             self.refuse(seq, e.clone(), x.shape().to_vec(), x.as_slice());
             return Err(ServeError::BadInput(e));
         }
-        self.enqueue(x.clone(), None, deadline)
+        self.enqueue(x.clone(), None, deadline, tta)
     }
 
     /// Convenience: submit an image and block for the answer.
     pub fn detect(&self, image: &Image) -> Result<Vec<Detection>, ServeError> {
         self.submit_image(image)?.wait()
+    }
+
+    /// Convenience: submit an image with TTA and block for the answer.
+    pub fn detect_tta(&self, image: &Image) -> Result<Vec<Detection>, ServeError> {
+        self.submit_image_tta(image)?.wait()
     }
 
     /// Snapshot of the pool's counters.
@@ -399,6 +461,7 @@ impl ServePool {
 
     fn refuse(&self, seq: u64, error: crate::sanitize::InputError, shape: Vec<usize>, data: &[f32]) {
         self.shared.stats.rejected_bad_input.fetch_add(1, Ordering::SeqCst);
+        self.shared.metrics.on_refusal(&error);
         lock(&self.shared.quarantine).record(seq, error, shape, data);
     }
 
@@ -407,6 +470,7 @@ impl ServePool {
         x: Tensor,
         map: Option<BoxMap>,
         deadline: Option<Instant>,
+        tta: bool,
     ) -> Result<Pending, ServeError> {
         let (tx, rx) = mpsc::sync_channel(1);
         {
@@ -419,7 +483,7 @@ impl ServePool {
                 self.shared.metrics.sheds.inc();
                 return Err(ServeError::Rejected { queue_depth: q.jobs.len() });
             }
-            q.jobs.push_back(Job { x, map, deadline, submitted: Instant::now(), reply: tx });
+            q.jobs.push_back(Job { x, map, deadline, tta, submitted: Instant::now(), reply: tx });
             self.shared.metrics.queue_depth.record(q.jobs.len() as f64);
         }
         self.shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
@@ -467,8 +531,13 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Run one batch on `path`: forward, output guard, decode, NMS. Panics are
-/// contained here; the caller decides fallback and breaker bookkeeping.
+/// Run one batch on `path`: forward, output guard, decode, NMS. When any job
+/// in the batch asked for TTA the batch runs once per configured view —
+/// identity first (so engine install and fault injection behave exactly as a
+/// plain attempt), auxiliary views after, each with its own output guard —
+/// and per-image results merge through the permutation-invariant TTA merge.
+/// Panics are contained here; the caller decides fallback and breaker
+/// bookkeeping.
 fn run_attempt(
     model: &Yolov4,
     engine: &mut Option<CompiledModel>,
@@ -476,35 +545,79 @@ fn run_attempt(
     x: &Tensor,
     inject: &Injected,
     cfg: &ServeConfig,
+    tta_flags: &[bool],
 ) -> Result<Vec<Vec<Detection>>, ExecFailure> {
+    let n_images = x.shape()[0];
+    let views: Vec<TtaView> =
+        if tta_flags.iter().any(|&f| f) { cfg.tta.views() } else { vec![TtaView::Identity] };
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         if inject.panic {
             panic!("injected worker panic");
         }
-        let mut heads: Vec<Tensor> = match path {
-            ExecPath::Compiled | ExecPath::Probe => {
-                if path == ExecPath::Probe || engine.is_none() {
-                    *engine = Some(model.compile_inference());
+        // Per-image candidate lists, one inner list per executed view.
+        let mut sets: Vec<Vec<Vec<Detection>>> = vec![Vec::new(); n_images];
+        for view in &views {
+            let transformed;
+            let input = if view.is_identity() {
+                x
+            } else {
+                transformed = view.transform_batch(x);
+                &transformed
+            };
+            let mut heads: Vec<Tensor> = match path {
+                ExecPath::Compiled | ExecPath::Probe => {
+                    if (path == ExecPath::Probe && view.is_identity()) || engine.is_none() {
+                        *engine = Some(model.compile_inference());
+                    }
+                    let e = engine.as_mut().expect("engine just installed");
+                    // Shapes were validated at admission; a residual executor
+                    // error means the engine itself is unhealthy.
+                    match e.try_run(input) {
+                        Ok(heads) => heads.to_vec(),
+                        Err(err) => return Err(ExecFailure::Panic(err.to_string())),
+                    }
                 }
-                let e = engine.as_mut().expect("engine just installed");
-                // Shapes were validated at admission; a residual executor
-                // error means the engine itself is unhealthy.
-                match e.try_run(x) {
-                    Ok(heads) => heads.to_vec(),
-                    Err(err) => return Err(ExecFailure::Panic(err.to_string())),
-                }
+                ExecPath::Eager => model.infer(input).to_vec(),
+            };
+            // Injected corruption poisons the identity pass: TTA must not
+            // launder a corrupt primary view through its auxiliaries.
+            if inject.corrupt && view.is_identity() {
+                let first = &heads[0];
+                heads[0] = Tensor::from_vec(vec![f32::NAN; first.numel()], first.shape());
             }
-            ExecPath::Eager => model.infer(x).to_vec(),
-        };
-        if inject.corrupt {
-            let first = &heads[0];
-            heads[0] = Tensor::from_vec(vec![f32::NAN; first.numel()], first.shape());
+            if heads.iter().any(|h| h.as_slice().iter().any(|v| !v.is_finite())) {
+                return Err(ExecFailure::NonFinite);
+            }
+            let candidates = decode_detections(&heads, &model.config, cfg.conf_thresh);
+            for (i, cand) in candidates.into_iter().enumerate() {
+                let back: Vec<Detection> = if view.is_identity() {
+                    cand
+                } else {
+                    cand.into_iter()
+                        .map(|d| Detection {
+                            score: d.score * cfg.tta.aux_weight(),
+                            bbox: view.untransform_box(&d.bbox),
+                            ..d
+                        })
+                        .collect()
+                };
+                sets[i].push(back);
+            }
         }
-        if heads.iter().any(|h| h.as_slice().iter().any(|v| !v.is_finite())) {
-            return Err(ExecFailure::NonFinite);
-        }
-        let candidates = decode_detections(&heads, &model.config, cfg.conf_thresh);
-        Ok(candidates.into_iter().map(|c| nms(c, cfg.nms_iou, cfg.nms_kind)).collect())
+        Ok(sets
+            .into_iter()
+            .enumerate()
+            .map(|(i, per_view)| {
+                if tta_flags.get(i).copied().unwrap_or(false) {
+                    merge_tta(per_view, cfg.nms_iou, cfg.nms_kind)
+                } else {
+                    // Non-TTA jobs in a mixed batch score from the identity
+                    // view alone, exactly as a plain submission would.
+                    let identity = per_view.into_iter().next().unwrap_or_default();
+                    nms(identity, cfg.nms_iou, cfg.nms_kind)
+                }
+            })
+            .collect())
     }));
     match outcome {
         Ok(inner) => inner,
@@ -621,9 +734,10 @@ fn worker_main(shared: &Shared) {
             data.extend_from_slice(job.x.as_slice());
         }
         let x = Tensor::from_vec(data, &[live.len(), 3, size, size]);
+        let tta_flags: Vec<bool> = live.iter().map(|j| j.tta).collect();
 
         let path = lock(&shared.breaker).plan_path();
-        match run_attempt(&model, &mut engine, path, &x, &inject, &shared.cfg) {
+        match run_attempt(&model, &mut engine, path, &x, &inject, &shared.cfg, &tta_flags) {
             Ok(dets) => {
                 shared.metrics.on_breaker(lock(&shared.breaker).record_success(path));
                 let counter = match path {
@@ -650,7 +764,8 @@ fn worker_main(shared: &Shared) {
                 // Same batch, eager retry — the request still succeeds
                 // unless the reference path fails too.
                 let clean = Injected::default();
-                match run_attempt(&model, &mut engine, ExecPath::Eager, &x, &clean, &shared.cfg) {
+                match run_attempt(&model, &mut engine, ExecPath::Eager, &x, &clean, &shared.cfg, &tta_flags)
+                {
                     Ok(dets) => {
                         shared.stats.eager_batches.fetch_add(1, Ordering::SeqCst);
                         reply_ok(shared, live, dets);

@@ -108,3 +108,45 @@ proptest! {
         prop_assert!(pool().detect(&img).is_ok());
     }
 }
+
+/// Deterministic check of the per-reason sanitize counters: a fresh pool
+/// starts at zero, and each refusal lands on exactly the counter named
+/// after its reason.
+#[test]
+fn sanitize_counters_attribute_each_refusal_reason() {
+    let cfg = YoloConfig { input_size: INPUT_SIZE, width: 0.1, ..YoloConfig::micro(10) };
+    let model = Yolov4::new(cfg, 5);
+    let pool = ServePool::new(
+        &model,
+        ServeConfig { max_image_dim: 64, ..ServeConfig::new(1) },
+    );
+    for name in ["serve.sanitize.nonfinite", "serve.sanitize.badshape", "serve.sanitize.baddims"] {
+        assert_eq!(pool.metrics().counter(name), Some(0), "{name} starts at zero");
+    }
+
+    let mut data = vec![0.5f32; 3 * INPUT_SIZE * INPUT_SIZE];
+    data[7] = f32::NAN;
+    let bad_payload = Tensor::from_vec(data, &[3, INPUT_SIZE, INPUT_SIZE]);
+    assert!(matches!(
+        pool.submit_tensor(&bad_payload),
+        Err(ServeError::BadInput(InputError::NonFinite { .. }))
+    ));
+
+    assert!(matches!(
+        pool.submit_tensor(&Tensor::zeros(&[2, 2])),
+        Err(ServeError::BadInput(InputError::BadShape { .. }))
+    ));
+
+    let oversized = Image::new(128, 16, Rgb::new(0.4, 0.4, 0.4));
+    assert!(matches!(
+        pool.submit_image(&oversized),
+        Err(ServeError::BadInput(InputError::BadDims { .. }))
+    ));
+
+    let snap = pool.metrics();
+    assert_eq!(snap.counter("serve.sanitize.nonfinite"), Some(1));
+    assert_eq!(snap.counter("serve.sanitize.badshape"), Some(1));
+    assert_eq!(snap.counter("serve.sanitize.baddims"), Some(1));
+    // The aggregate rejection stat agrees with the per-reason breakdown.
+    assert_eq!(pool.stats().rejected_bad_input, 3);
+}

@@ -44,6 +44,7 @@ pub mod runtime;
 pub mod summary;
 pub mod train;
 pub mod transfer;
+pub mod tta;
 
 pub use anchors::{anchors_to_scales, kmeans_anchors, mean_best_iou};
 pub use assign::{build_targets, ScaleTargets};
@@ -55,4 +56,5 @@ pub use predict::{DetectError, Detector};
 pub use summary::{render_summary, summarize, SummaryRow};
 pub use runtime::{Fault, FaultPlan, ResumePolicy, RunReport, RuntimeConfig, RuntimeError};
 pub use train::{train, RunState, TrainConfig, TrainRecord, Trainer};
+pub use tta::{merge_tta, TtaConfig, TtaError, TtaView};
 pub use transfer::{pretrain_backbone, transfer_backbone, PretextClassifier, PretrainOutcome, PRETEXT_CLASSES};

@@ -9,6 +9,7 @@ use platter_tensor::{ExecError, Tensor};
 
 use crate::model::{CompiledModel, Yolov4};
 use crate::nms::{decode_detections, nms, Detection, NmsKind};
+use crate::tta::{merge_tta, TtaConfig};
 
 /// A request the detector cannot serve, reported before the executor runs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,6 +151,55 @@ impl Detector {
             })
             .collect())
     }
+
+    /// Test-time-augmented batch detection: one plan execution per view in
+    /// `tta` (identity, flip, zoom crops), detections mapped back into the
+    /// original frame and merged through NMS by [`merge_tta`]. Non-identity
+    /// views contribute at `tta.aux_weight()` score.
+    ///
+    /// Panics on a malformed batch like [`Detector::detect_batch`]; serving
+    /// paths use [`Detector::try_detect_batch_tta`].
+    pub fn detect_batch_tta(&self, batch: &Tensor, tta: &TtaConfig) -> Vec<Vec<Detection>> {
+        self.try_detect_batch_tta(batch, tta).unwrap_or_else(|e| panic!("detect_batch_tta: {e}"))
+    }
+
+    /// Like [`Detector::detect_batch_tta`], with the malformed-batch cases
+    /// reported as typed [`DetectError`]s.
+    pub fn try_detect_batch_tta(&self, batch: &Tensor, tta: &TtaConfig) -> Result<Vec<Vec<Detection>>, DetectError> {
+        self.check_batch(batch)?;
+        let n = batch.shape()[0];
+        // Per view: forward the transformed batch, then pull every
+        // detection back into the original frame.
+        let mut per_view: Vec<Vec<Vec<Detection>>> = Vec::new();
+        for view in tta.views() {
+            let x = view.transform_batch(batch);
+            let weight = if view.is_identity() { 1.0 } else { tta.aux_weight() };
+            let candidates = self.detect_candidates(&x).map_err(DetectError::Exec)?;
+            per_view.push(
+                candidates
+                    .into_iter()
+                    .map(|dets| {
+                        dets.into_iter()
+                            .map(|d| Detection {
+                                bbox: view.untransform_box(&d.bbox),
+                                score: d.score * weight,
+                                ..d
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            );
+        }
+        Ok((0..n)
+            .map(|i| {
+                let sets: Vec<Vec<Detection>> = per_view.iter_mut().map(|v| std::mem::take(&mut v[i])).collect();
+                merge_tta(sets, self.nms_iou, self.nms_kind)
+                    .into_iter()
+                    .filter_map(|d| d.bbox.clipped().map(|bbox| Detection { bbox, ..d }))
+                    .collect()
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +253,39 @@ mod tests {
         }
         // A well-formed batch on the same detector still works afterwards.
         assert_eq!(det.try_detect_batch(&Tensor::zeros(&[2, 3, 64, 64])).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tta_batch_runs_and_returns_valid_boxes() {
+        let model = Yolov4::new(YoloConfig::micro(10), 5);
+        let det = Detector::new(model);
+        let tta = TtaConfig::standard();
+        let batch = Tensor::from_vec((0..2 * 3 * 64 * 64).map(|i| (i % 97) as f32 / 97.0).collect(), &[2, 3, 64, 64]);
+        let out = det.try_detect_batch_tta(&batch, &tta).unwrap();
+        assert_eq!(out.len(), 2);
+        for dets in &out {
+            for d in dets {
+                assert!(d.bbox.is_valid());
+                assert!(d.score.is_finite());
+                assert!(d.class < 10);
+            }
+        }
+        // Malformed batches hit the same typed boundary as the plain path.
+        let err = det.try_detect_batch_tta(&Tensor::zeros(&[1, 1, 64, 64]), &tta).unwrap_err();
+        assert!(matches!(err, DetectError::BadShape { .. }));
+    }
+
+    #[test]
+    fn tta_on_symmetric_input_agrees_with_single_pass_shape() {
+        // Identity-weighted TTA can only reshuffle/suppress duplicates of
+        // single-pass detections on a mirror-symmetric input.
+        let model = Yolov4::new(YoloConfig::micro(10), 6);
+        let det = Detector::new(model);
+        let batch = Tensor::zeros(&[1, 3, 64, 64]);
+        let single = det.try_detect_batch(&batch).unwrap();
+        let tta = TtaConfig::new(true, vec![], 1.0).unwrap();
+        let merged = det.try_detect_batch_tta(&batch, &tta).unwrap();
+        assert_eq!(merged.len(), single.len());
     }
 
     #[test]

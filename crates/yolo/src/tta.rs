@@ -1,0 +1,308 @@
+//! Test-time augmentation: run the compiled detector over N deterministic
+//! views of the same batch (identity, horizontal flip, centre zoom-crops),
+//! map every detection back into the original frame, and merge the union
+//! through the hardened NaN-safe [`nms`].
+//!
+//! Each view is one more plan execution on the already-compiled engine — no
+//! recompilation, no tape. The merge pre-sorts the union into a canonical
+//! order (score desc via `total_cmp`, then class and box fields as
+//! tie-breaks) before handing it to `nms`, whose own tie-break is input
+//! order; that makes the merged output invariant under permutation of the
+//! per-view detection sets, which the property suite pins down.
+
+use platter_imaging::NormBox;
+use platter_tensor::Tensor;
+
+use crate::nms::{nms, Detection, NmsKind};
+
+/// A TTA configuration the detector refuses to run: NaN / out-of-range
+/// fields, or a view list that adds nothing over a single pass.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TtaError {
+    /// A field is NaN or infinite.
+    NonFinite {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A field is finite but outside its legal interval.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// Neither a flip nor any zoom crop was requested — that is just a
+    /// slower single pass, so it is rejected as a configuration mistake.
+    NoAuxViews,
+}
+
+impl std::fmt::Display for TtaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TtaError::NonFinite { field } => write!(f, "field `{field}` is not finite"),
+            TtaError::OutOfRange { field, value, lo, hi } => {
+                write!(f, "field `{field}` = {value} outside [{lo}, {hi}]")
+            }
+            TtaError::NoAuxViews => write!(f, "TTA with no flip and no zoom crops is a plain single pass"),
+        }
+    }
+}
+
+impl std::error::Error for TtaError {}
+
+fn check(field: &'static str, value: f64, lo: f64, hi: f64) -> Result<(), TtaError> {
+    if !value.is_finite() {
+        return Err(TtaError::NonFinite { field });
+    }
+    if value < lo || value > hi {
+        return Err(TtaError::OutOfRange { field, value, lo, hi });
+    }
+    Ok(())
+}
+
+/// Validated test-time augmentation settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TtaConfig {
+    hflip: bool,
+    zoom_crops: Vec<f32>,
+    aux_weight: f32,
+}
+
+impl TtaConfig {
+    /// Build a config: every zoom-crop fraction must be finite in
+    /// `[0.2, 0.95]`, `aux_weight` finite in `[0.05, 1.0]`, and at least
+    /// one auxiliary view must be requested.
+    pub fn new(hflip: bool, zoom_crops: Vec<f32>, aux_weight: f32) -> Result<TtaConfig, TtaError> {
+        for &c in &zoom_crops {
+            check("zoom_crop", c as f64, 0.2, 0.95)?;
+        }
+        check("aux_weight", aux_weight as f64, 0.05, 1.0)?;
+        if !hflip && zoom_crops.is_empty() {
+            return Err(TtaError::NoAuxViews);
+        }
+        Ok(TtaConfig { hflip, zoom_crops, aux_weight })
+    }
+
+    /// The default recipe: horizontal flip plus a 0.75 centre zoom-crop,
+    /// auxiliary detections at full weight.
+    pub fn standard() -> TtaConfig {
+        TtaConfig::new(true, vec![0.75], 1.0).expect("standard recipe is valid")
+    }
+
+    /// Whether the horizontal-flip view runs.
+    pub fn hflip(&self) -> bool {
+        self.hflip
+    }
+
+    /// Centre zoom-crop fractions (one extra view each).
+    pub fn zoom_crops(&self) -> &[f32] {
+        &self.zoom_crops
+    }
+
+    /// Score multiplier for non-identity views.
+    pub fn aux_weight(&self) -> f32 {
+        self.aux_weight
+    }
+
+    /// The view sequence: identity first, then flip, then crops.
+    pub fn views(&self) -> Vec<TtaView> {
+        let mut v = vec![TtaView::Identity];
+        if self.hflip {
+            v.push(TtaView::HFlip);
+        }
+        v.extend(self.zoom_crops.iter().map(|&c| TtaView::ZoomCrop(c)));
+        v
+    }
+}
+
+/// One deterministic input transform with a known box inverse.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TtaView {
+    /// The untouched batch.
+    Identity,
+    /// Mirror along the width axis.
+    HFlip,
+    /// Bilinear zoom into the central `fraction` of the frame.
+    ZoomCrop(f32),
+}
+
+impl TtaView {
+    /// True for the un-augmented view (full score weight).
+    pub fn is_identity(&self) -> bool {
+        matches!(self, TtaView::Identity)
+    }
+
+    /// Apply the view to a `[n, c, s, s]` batch.
+    pub fn transform_batch(&self, batch: &Tensor) -> Tensor {
+        let shape = batch.shape().to_vec();
+        assert_eq!(shape.len(), 4, "TTA expects a [n, c, s, s] batch");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let data = batch.as_slice();
+        match *self {
+            TtaView::Identity => batch.clone(),
+            TtaView::HFlip => {
+                let mut out = vec![0.0f32; data.len()];
+                for plane in 0..n * c {
+                    let base = plane * h * w;
+                    for y in 0..h {
+                        let row = base + y * w;
+                        for x in 0..w {
+                            out[row + x] = data[row + (w - 1 - x)];
+                        }
+                    }
+                }
+                Tensor::from_vec(out, &shape)
+            }
+            TtaView::ZoomCrop(frac) => {
+                let mut out = vec![0.0f32; data.len()];
+                let off_x = (1.0 - frac) * 0.5 * w as f32;
+                let off_y = (1.0 - frac) * 0.5 * h as f32;
+                for plane in 0..n * c {
+                    let base = plane * h * w;
+                    for y in 0..h {
+                        let sy = off_y + (y as f32 + 0.5) * frac - 0.5;
+                        for x in 0..w {
+                            let sx = off_x + (x as f32 + 0.5) * frac - 0.5;
+                            out[base + y * w + x] = bilinear_plane(&data[base..base + h * w], w, h, sx, sy);
+                        }
+                    }
+                }
+                Tensor::from_vec(out, &shape)
+            }
+        }
+    }
+
+    /// Map a box detected in this view back into the original frame.
+    pub fn untransform_box(&self, bbox: &NormBox) -> NormBox {
+        match *self {
+            TtaView::Identity => *bbox,
+            TtaView::HFlip => bbox.flipped_horizontal(),
+            TtaView::ZoomCrop(frac) => {
+                let off = (1.0 - frac) * 0.5;
+                bbox.affine(frac, frac, off, off)
+            }
+        }
+    }
+}
+
+/// Clamped bilinear sample on one `w`×`h` channel plane.
+fn bilinear_plane(plane: &[f32], w: usize, h: usize, x: f32, y: f32) -> f32 {
+    let x = x.clamp(0.0, (w - 1) as f32);
+    let y = y.clamp(0.0, (h - 1) as f32);
+    let x0 = x.floor() as usize;
+    let y0 = y.floor() as usize;
+    let x1 = (x0 + 1).min(w - 1);
+    let y1 = (y0 + 1).min(h - 1);
+    let fx = x - x0 as f32;
+    let fy = y - y0 as f32;
+    let top = plane[y0 * w + x0] * (1.0 - fx) + plane[y0 * w + x1] * fx;
+    let bottom = plane[y1 * w + x0] * (1.0 - fx) + plane[y1 * w + x1] * fx;
+    top * (1.0 - fy) + bottom * fy
+}
+
+/// Merge per-view detection sets (already mapped back to the original
+/// frame) through NMS. The union is first sorted into a canonical order —
+/// score descending via `total_cmp`, then class, then box fields — so the
+/// result does not depend on the order the views arrive in.
+pub fn merge_tta(sets: Vec<Vec<Detection>>, iou: f32, kind: NmsKind) -> Vec<Detection> {
+    let mut all: Vec<Detection> = sets.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.class.cmp(&b.class))
+            .then_with(|| a.bbox.cx.total_cmp(&b.bbox.cx))
+            .then_with(|| a.bbox.cy.total_cmp(&b.bbox.cy))
+            .then_with(|| a.bbox.w.total_cmp(&b.bbox.w))
+            .then_with(|| a.bbox.h.total_cmp(&b.bbox.h))
+    });
+    nms(all, iou, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: usize, score: f32, cx: f32, cy: f32, w: f32, h: f32) -> Detection {
+        Detection { class, score, bbox: NormBox::new(cx, cy, w, h) }
+    }
+
+    #[test]
+    fn config_validates_fields() {
+        assert!(TtaConfig::new(true, vec![0.75], 1.0).is_ok());
+        assert!(matches!(
+            TtaConfig::new(true, vec![f32::NAN], 1.0),
+            Err(TtaError::NonFinite { field: "zoom_crop" })
+        ));
+        assert!(matches!(
+            TtaConfig::new(true, vec![0.1], 1.0),
+            Err(TtaError::OutOfRange { field: "zoom_crop", .. })
+        ));
+        assert!(matches!(TtaConfig::new(true, vec![], 0.0), Err(TtaError::OutOfRange { field: "aux_weight", .. })));
+        assert!(matches!(TtaConfig::new(false, vec![], 1.0), Err(TtaError::NoAuxViews)));
+    }
+
+    #[test]
+    fn standard_views_start_with_identity() {
+        let views = TtaConfig::standard().views();
+        assert_eq!(views[0], TtaView::Identity);
+        assert!(views.len() >= 3);
+    }
+
+    #[test]
+    fn hflip_transform_is_an_involution() {
+        let data: Vec<f32> = (0..2 * 3 * 4 * 4).map(|i| i as f32 * 0.01).collect();
+        let x = Tensor::from_vec(data, &[2, 3, 4, 4]);
+        let flipped = TtaView::HFlip.transform_batch(&x);
+        let back = TtaView::HFlip.transform_batch(&flipped);
+        assert_eq!(back.as_slice(), x.as_slice());
+        assert_ne!(flipped.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn zoom_crop_magnifies_the_centre() {
+        // A bright centre pixel spreads out under a 0.5 zoom.
+        let mut data = vec![0.0f32; 8 * 8];
+        data[4 * 8 + 4] = 1.0;
+        let x = Tensor::from_vec(data, &[1, 1, 8, 8]);
+        let zoomed = TtaView::ZoomCrop(0.5).transform_batch(&x);
+        let bright = zoomed.as_slice().iter().filter(|&&v| v > 0.1).count();
+        assert!(bright > 1, "zoom should spread the centre pixel, got {bright}");
+    }
+
+    #[test]
+    fn untransform_inverts_the_view_geometry() {
+        let b = NormBox::new(0.3, 0.6, 0.2, 0.1);
+        // HFlip: mirrored centre.
+        let f = TtaView::HFlip.untransform_box(&b);
+        assert!((f.cx - 0.7).abs() < 1e-6 && (f.cy - 0.6).abs() < 1e-6);
+        // ZoomCrop(c): a box at the view centre lands at the frame centre.
+        let centre = NormBox::new(0.5, 0.5, 0.4, 0.4);
+        let z = TtaView::ZoomCrop(0.75).untransform_box(&centre);
+        assert!((z.cx - 0.5).abs() < 1e-6);
+        assert!((z.w - 0.3).abs() < 1e-6, "width scales by the crop fraction");
+    }
+
+    #[test]
+    fn merge_is_invariant_under_set_permutation() {
+        let a = vec![det(0, 0.9, 0.5, 0.5, 0.2, 0.2), det(1, 0.4, 0.2, 0.2, 0.1, 0.1)];
+        let b = vec![det(0, 0.8, 0.52, 0.5, 0.2, 0.2)];
+        let c = vec![det(0, 0.9, 0.8, 0.8, 0.15, 0.15)];
+        let m1 = merge_tta(vec![a.clone(), b.clone(), c.clone()], 0.45, NmsKind::Diou);
+        let m2 = merge_tta(vec![c, a, b], 0.45, NmsKind::Diou);
+        assert_eq!(m1, m2);
+        assert!(!m1.is_empty());
+    }
+
+    #[test]
+    fn merge_drops_nan_scores() {
+        let bad = vec![det(0, f32::NAN, 0.5, 0.5, 0.2, 0.2)];
+        let good = vec![det(0, 0.7, 0.5, 0.5, 0.2, 0.2)];
+        let m = merge_tta(vec![bad, good], 0.45, NmsKind::Greedy);
+        assert_eq!(m.len(), 1);
+        assert!((m[0].score - 0.7).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property suite for the TTA merge: whatever the N per-view detection sets
+//! contain — NaN scores, duplicates, degenerate boxes — the merged output is
+//! finite, sane, and *invariant under permutation of the sets*. Detection
+//! order across views is an execution detail (views could in principle run
+//! in any order); the merge must not leak it into results.
+
+use platter_imaging::NormBox;
+use platter_yolo::{merge_tta, Detection, NmsKind};
+use proptest::prelude::*;
+
+/// Scores biased toward exact ties plus the non-finite poison values.
+fn any_score() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        0.0f32..=1.0,
+        (0usize..4).prop_map(|i| i as f32 * 0.25),
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+    ]
+}
+
+fn any_det() -> impl Strategy<Value = Detection> {
+    (0usize..3, any_score(), 0.2f32..=0.8, 0.2f32..=0.8, 0.05f32..=0.4, 0.05f32..=0.4)
+        .prop_map(|(class, score, cx, cy, w, h)| Detection { class, score, bbox: NormBox::new(cx, cy, w, h) })
+}
+
+fn any_sets() -> impl Strategy<Value = Vec<Vec<Detection>>> {
+    collection::vec(collection::vec(any_det(), 0..=8), 1..=4)
+}
+
+/// Deterministically rotate the outer set list (a permutation that moves
+/// every element whenever there is more than one set).
+fn rotated(sets: &[Vec<Detection>], by: usize) -> Vec<Vec<Detection>> {
+    let n = sets.len();
+    (0..n).map(|i| sets[(i + by) % n].clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn merge_is_invariant_under_set_permutation(
+        sets in any_sets(),
+        by in 0usize..4,
+        kind in prop_oneof![Just(NmsKind::Greedy), Just(NmsKind::Diou)],
+    ) {
+        let base = merge_tta(sets.clone(), 0.45, kind);
+        let perm = merge_tta(rotated(&sets, by % sets.len().max(1)), 0.45, kind);
+        prop_assert_eq!(base, perm);
+    }
+
+    #[test]
+    fn merged_output_is_finite_and_sane(
+        sets in any_sets(),
+        kind in prop_oneof![Just(NmsKind::Greedy), Just(NmsKind::Diou)],
+    ) {
+        let merged = merge_tta(sets, 0.45, kind);
+        for d in &merged {
+            prop_assert!(d.score.is_finite());
+            prop_assert!(d.bbox.cx.is_finite() && d.bbox.cy.is_finite());
+            prop_assert!(d.bbox.w > 0.0 && d.bbox.h > 0.0);
+        }
+        // Scores come out ranked (nms emits keep-order).
+        for w in merged.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn merge_never_invents_detections(sets in any_sets()) {
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        let merged = merge_tta(sets, 0.45, NmsKind::Diou);
+        prop_assert!(merged.len() <= total);
+    }
+}

@@ -94,4 +94,49 @@ for field in '"queue_depth"' '"batch_size"' '"latency_ms"'; do
   fi
 done
 
+echo "== serving sanitize-counter artifact gate (per-reason rejection counters) =="
+for field in '"sanitize_nonfinite"' '"sanitize_badshape"' '"sanitize_baddims"'; do
+  if ! grep -q "$field" results/BENCH_serve.json; then
+    echo "BENCH_serve.json is missing the $field counter" >&2
+    exit 1
+  fi
+done
+
+echo "== degradation determinism gate (ops never construct their own RNG) =="
+# Every degradation draws from the caller's stream (DESIGN.md §13); an op
+# that seeds its own RNG silently forks the stream and breaks bit-identical
+# robustness artifacts. Noise-field seeds must come from rng.next_u64().
+if grep -q -E 'seed_from_u64|from_state' crates/imaging/src/degrade.rs; then
+  echo "crates/imaging/src/degrade.rs constructs its own RNG (draw from the caller's instead)" >&2
+  exit 1
+fi
+
+echo "== robustness smoke (writes results/TABLE_robustness_quick.json) =="
+# If no shared checkpoint exists, the smoke run trains a weak one; drop it
+# afterwards so a later Standard-scale experiment doesn't silently load it.
+had_cache=1
+[ -f results/cache/yolo_standard.pltw ] || had_cache=0
+cargo run -q --release -p platter-bench --bin bench_robustness -- --smoke --quick
+if [ "$had_cache" = 0 ]; then
+  rm -f results/cache/yolo_standard.pltw
+fi
+
+echo "== robustness artifact gate (finite mAP in every cell) =="
+# The quick grid is clean + 3 conditions + 1 TTA row: at least 6 mAP values,
+# all finite (the vendored serde_json writes non-finite floats as null).
+if [ ! -f results/TABLE_robustness_quick.json ]; then
+  echo "results/TABLE_robustness_quick.json was not written" >&2
+  exit 1
+fi
+if grep -q '"map": *null' results/TABLE_robustness_quick.json; then
+  echo "TABLE_robustness_quick.json contains a non-finite mAP cell" >&2
+  exit 1
+fi
+map_cells=$(grep -c '"map":' results/TABLE_robustness_quick.json || true)
+if [ "$map_cells" -lt 6 ]; then
+  echo "TABLE_robustness_quick.json has only $map_cells mAP cells, need >= 6" >&2
+  exit 1
+fi
+echo "robustness cells: $map_cells, all finite"
+
 echo "== verify OK =="
