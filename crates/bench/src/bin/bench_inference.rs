@@ -4,7 +4,9 @@
 //! `Yolov4::infer` (fresh `Graph` per call) and the compiled engine from
 //! `Yolov4::compile_inference` (BN folded, static arena) — at batch 1 and
 //! batch 8, and writes medians plus plan statistics to
-//! `results/BENCH_inference.json`.
+//! `results/BENCH_inference.json`. Each batch size is timed over three
+//! independent rounds and the median round is reported, so the CI speedup
+//! gate keys on a number that survives scheduler jitter.
 //!
 //! After the timed comparison (so profiling overhead cannot contaminate
 //! the speedup numbers) the compiled engine is re-run under the
@@ -17,9 +19,8 @@
 
 use std::time::Instant;
 
-use platter_bench::{write_json, write_text, RunScale};
+use platter_bench::{host_record, write_json, write_text, HostRecord, RunScale};
 use platter_obs::ProfileReport;
-use platter_tensor::gemm::effective_threads;
 use platter_tensor::Tensor;
 use platter_yolo::{YoloConfig, Yolov4};
 use rand::rngs::StdRng;
@@ -34,13 +35,18 @@ struct BatchResult {
     speedup: f64,
 }
 
+/// Timing rounds per batch size; the reported number is the median round.
+const ROUNDS: usize = 3;
+
 #[derive(Serialize)]
 struct BenchReport {
     config: &'static str,
     input_size: usize,
     reps: usize,
-    /// GEMM worker threads (`PLATTER_THREADS` override, else host cores).
-    threads: usize,
+    /// Timing rounds per batch size; the reported row is the median round.
+    rounds: usize,
+    /// Execution resources (single engine; `threads` is the GEMM pool).
+    host: HostRecord,
     plan_values: usize,
     plan_slots: usize,
     peak_arena_bytes: usize,
@@ -83,26 +89,39 @@ fn main() {
         let _ = model.infer(&x);
         let _ = engine.run(&x);
 
-        let eager_ms = median_ms(reps, || {
-            let _ = model.infer(&x);
-        });
-        let compiled_ms = median_ms(reps, || {
-            let _ = engine.run(&x);
-        });
+        // One eager/compiled pair is at the mercy of scheduler jitter (the
+        // eager side alone swings several ms run to run), and CI gates on
+        // the batch-1 speedup. Measure `ROUNDS` independent rounds and keep
+        // the whole median-speedup round, so the reported eager/compiled
+        // times stay a consistent pair.
+        let mut rounds: Vec<BatchResult> = (0..ROUNDS)
+            .map(|_| {
+                let eager_ms = median_ms(reps, || {
+                    let _ = model.infer(&x);
+                });
+                let compiled_ms = median_ms(reps, || {
+                    let _ = engine.run(&x);
+                });
+                BatchResult { batch, eager_ms, compiled_ms, speedup: eager_ms / compiled_ms }
+            })
+            .collect();
         peak_arena = peak_arena.max(engine.arena_bytes());
+        rounds.sort_by(|a, b| a.speedup.total_cmp(&b.speedup));
+        let median = rounds.swap_remove(ROUNDS / 2);
 
-        let speedup = eager_ms / compiled_ms;
         println!(
-            "batch {batch}: eager {eager_ms:8.2} ms   compiled {compiled_ms:8.2} ms   speedup {speedup:.2}x"
+            "batch {batch}: eager {:8.2} ms   compiled {:8.2} ms   speedup {:.2}x (median of {ROUNDS} rounds)",
+            median.eager_ms, median.compiled_ms, median.speedup
         );
-        results.push(BatchResult { batch, eager_ms, compiled_ms, speedup });
+        results.push(median);
     }
 
     let report = BenchReport {
         config: "micro",
         input_size: size,
         reps,
-        threads: effective_threads(),
+        rounds: ROUNDS,
+        host: host_record(1),
         plan_values: engine.plan().num_values(),
         plan_slots: engine.plan().num_slots(),
         peak_arena_bytes: peak_arena,

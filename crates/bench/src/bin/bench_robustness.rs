@@ -20,8 +20,8 @@
 //! `scripts/verify.sh` runs).
 
 use platter_bench::{
-    ensure_trained_yolo, evaluate_detector, render_degraded_val_set, write_json, write_text,
-    RunScale, Timer,
+    ensure_trained_yolo, evaluate_detector, host_record, render_degraded_val_set, write_json,
+    write_text, HostRecord, RunScale, Timer,
 };
 use platter_dataset::{ClassSet, DegradedDataset, SyntheticDataset};
 use platter_imaging::{Degradation, DegradationKind};
@@ -48,6 +48,8 @@ struct CellRecord {
 struct Record {
     scale: String,
     quick: bool,
+    /// Execution resources (single detector; `threads` is the GEMM pool).
+    host: HostRecord,
     dataset_seed: u64,
     split_seed: u64,
     degradation_seed: u64,
@@ -160,6 +162,7 @@ fn main() {
         &Record {
             scale: format!("{scale:?}"),
             quick,
+            host: host_record(1),
             dataset_seed: 7,
             split_seed: 0x5EED,
             degradation_seed: DEGRADATION_SEED,

@@ -10,6 +10,12 @@
 //!   overload single-request dispatch; reports p50/p99 latency and the
 //!   shed rate from admission control (bounded queue of 32).
 //!
+//! A final sweep holds `max_batch = 8` and scales the pool from one worker
+//! up to `min(host_cpus, 4)`, recording burst throughput and the speedup
+//! over one worker plus each worker's batch/steal counters — on a 1-core
+//! host that sweep degenerates to the single-worker row and CI skips its
+//! scaling gate.
+//!
 //! Results go to `results/BENCH_serve.json`. Scale flags: `--smoke` /
 //! `--extended` (default standard).
 
@@ -17,7 +23,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use platter_bench::{write_json, RunScale};
+use platter_bench::{host_record, write_json, HostRecord, RunScale};
 use platter_obs::{HistogramSnapshot, MetricsSnapshot};
 use platter_serve::{Pending, ServeConfig, ServeError, ServePool};
 use platter_tensor::Tensor;
@@ -72,6 +78,32 @@ impl HistogramRecord {
     }
 }
 
+/// One worker's share of the pool's work: batches it executed and jobs it
+/// stole from sibling queues.
+#[derive(Serialize)]
+struct WorkerCounterRecord {
+    id: usize,
+    batches: u64,
+    steals: u64,
+}
+
+/// Collect `serve.worker.{i}.*` counters for however many workers the pool
+/// registered (probing until the first missing id).
+fn worker_counters(m: &MetricsSnapshot) -> Vec<WorkerCounterRecord> {
+    let mut rows = Vec::new();
+    loop {
+        let i = rows.len();
+        match m.counter(&format!("serve.worker.{i}.batches")) {
+            Some(batches) => rows.push(WorkerCounterRecord {
+                id: i,
+                batches,
+                steals: m.counter(&format!("serve.worker.{i}.steals")).unwrap_or(0),
+            }),
+            None => break rows,
+        }
+    }
+}
+
 /// The pool's observability registry for one open-loop run: distribution
 /// data the monotonic `ServeStats` counters cannot express.
 #[derive(Serialize)]
@@ -85,6 +117,8 @@ struct MetricsRecord {
     sanitize_nonfinite: u64,
     sanitize_badshape: u64,
     sanitize_baddims: u64,
+    /// Per-worker batch/steal counters (one row per worker thread).
+    worker_counters: Vec<WorkerCounterRecord>,
 }
 
 impl MetricsRecord {
@@ -102,8 +136,19 @@ impl MetricsRecord {
             sanitize_nonfinite: m.counter("serve.sanitize.nonfinite").unwrap_or(0),
             sanitize_badshape: m.counter("serve.sanitize.badshape").unwrap_or(0),
             sanitize_baddims: m.counter("serve.sanitize.baddims").unwrap_or(0),
+            worker_counters: worker_counters(m),
         }
     }
+}
+
+/// One row of the worker-scaling sweep (fixed `max_batch = 8`).
+#[derive(Serialize)]
+struct WorkerScalingResult {
+    workers: usize,
+    burst_throughput_rps: f64,
+    /// Throughput relative to the single-worker row of the same sweep.
+    speedup_vs_one: f64,
+    worker_counters: Vec<WorkerCounterRecord>,
 }
 
 #[derive(Serialize)]
@@ -121,14 +166,17 @@ struct ModeResult {
 struct ServeBenchReport {
     config: &'static str,
     input_size: usize,
-    workers: usize,
-    /// Hardware threads visible to the process. With one core the batching
-    /// gain is pure dispatch-overhead amortization (the forward pass itself
-    /// is serial either way), so expect modest margins there.
-    host_cpus: usize,
+    /// Execution resources. `workers` is the widest pool the scaling sweep
+    /// drove; with one core the batching gain is pure dispatch-overhead
+    /// amortization (the forward pass itself is serial either way), so
+    /// expect modest margins there and a single-row scaling sweep.
+    host: HostRecord,
     per_request_rps: f64,
     batching_gain_at_4: f64,
     batching_gain_at_8: f64,
+    /// Burst throughput at `max_batch = 8` for 1..=min(host_cpus, 4)
+    /// workers sharing one set of plan weights.
+    worker_scaling: Vec<WorkerScalingResult>,
     results: Vec<ModeResult>,
 }
 
@@ -137,12 +185,12 @@ fn nano_model() -> Yolov4 {
     Yolov4::new(cfg, 42)
 }
 
-fn pool_config(max_batch: usize, queue_capacity: usize) -> ServeConfig {
+fn pool_config(workers: usize, max_batch: usize, queue_capacity: usize) -> ServeConfig {
     ServeConfig {
         queue_capacity,
         max_batch,
         max_wait: Duration::from_millis(2),
-        ..ServeConfig::new(1)
+        ..ServeConfig::new(workers)
     }
 }
 
@@ -268,7 +316,7 @@ fn main() {
 
     // Calibrate the open-loop arrival rate against single-request dispatch
     // so the same offered load overloads it but not the batcher.
-    let calib_pool = ServePool::new(&model, pool_config(1, n_burst));
+    let calib_pool = ServePool::new(&model, pool_config(1, 1, n_burst));
     warm(&calib_pool, &x, 32);
     let calib_secs = burst_throughput(&calib_pool, &x, n_burst.min(128), 2);
     calib_pool.shutdown();
@@ -277,7 +325,7 @@ fn main() {
     let interval = Duration::from_secs_f64(1.0 / offered_rps);
 
     // Baseline: per-request dispatch (no batching, no pipelining).
-    let base_pool = ServePool::new(&model, pool_config(1, n_burst));
+    let base_pool = ServePool::new(&model, pool_config(1, 1, n_burst));
     warm(&base_pool, &x, 32);
     let per_request_secs = per_request_throughput(&base_pool, &x, n_burst, reps);
     let per_request_rps = n_burst as f64 / per_request_secs;
@@ -286,7 +334,7 @@ fn main() {
 
     let mut results = Vec::new();
     for max_batch in [1usize, 4, 8] {
-        let pool = ServePool::new(&model, pool_config(max_batch, n_burst));
+        let pool = ServePool::new(&model, pool_config(1, max_batch, n_burst));
         // Warm until the arena has grown to `max_batch` capacity: the first
         // full batch pays plan + allocation, every later one is steady-state.
         warm(&pool, &x, 4 * max_batch.max(8));
@@ -297,7 +345,7 @@ fn main() {
 
         // Fresh pool with a small queue so overload sheds instead of
         // building a deep backlog.
-        let pool = ServePool::new(&model, pool_config(max_batch, 32));
+        let pool = ServePool::new(&model, pool_config(1, max_batch, 32));
         warm(&pool, &x, 4 * max_batch.max(8));
         let open = open_loop(&pool, &x, n_burst, interval);
         let stats = pool.stats();
@@ -330,14 +378,43 @@ fn main() {
         println!("batcher (max_batch {}) vs per-request dispatch: {gain:.2}x throughput", r.max_batch);
     }
 
+    // Worker-scaling sweep: same burst, `max_batch = 8`, pool width 1..=N.
+    // All pools fork from one compiled master, so weights are never copied;
+    // the counters show how evenly the burst spread (and how much of it
+    // arrived by stealing).
+    let host = host_record(
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
+    );
+    let mut worker_scaling: Vec<WorkerScalingResult> = Vec::new();
+    for workers in 1..=host.workers {
+        let pool = ServePool::new(&model, pool_config(workers, 8, n_burst));
+        warm(&pool, &x, 32 * workers);
+        let secs = burst_throughput(&pool, &x, n_burst, reps);
+        let rps = n_burst as f64 / secs;
+        let counters = worker_counters(&pool.metrics());
+        assert_eq!(pool.stats().worker_panics, 0, "bench must run clean");
+        pool.shutdown();
+        let speedup_vs_one = worker_scaling.first().map_or(1.0, |one| rps / one.burst_throughput_rps);
+        println!(
+            "workers {workers}: burst {rps:7.1} req/s   {speedup_vs_one:.2}x vs one worker   steals {}",
+            counters.iter().map(|w| w.steals).sum::<u64>()
+        );
+        worker_scaling.push(WorkerScalingResult {
+            workers,
+            burst_throughput_rps: rps,
+            speedup_vs_one,
+            worker_counters: counters,
+        });
+    }
+
     let report = ServeBenchReport {
         config: "nano",
         input_size: size,
-        workers: 1,
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host,
         per_request_rps,
         batching_gain_at_4: results[1].burst_throughput_rps / per_request_rps,
         batching_gain_at_8: results[2].burst_throughput_rps / per_request_rps,
+        worker_scaling,
         results,
     };
     write_json("BENCH_serve", &report);

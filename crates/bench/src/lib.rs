@@ -284,6 +284,34 @@ pub fn standard_split(dataset: &SyntheticDataset) -> Split {
     Split::eighty_twenty(dataset.len(), 0x5EED)
 }
 
+/// Execution resources behind a benchmark artifact. Every experiment
+/// binary that times anything stamps one of these (field name `host`) into
+/// its JSON record so numbers can be compared across machines and CI gates
+/// can tell a 1-core host from a real one: `workers` is the number of
+/// serve/engine workers the benchmark drove, `threads` the GEMM worker
+/// threads each engine uses, and `host_cpus` the hardware parallelism the
+/// process saw.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HostRecord {
+    /// Worker engines driven by the benchmark (1 for single-engine runs).
+    pub workers: usize,
+    /// GEMM threads per engine (`PLATTER_THREADS` override, else cores).
+    pub threads: usize,
+    /// Hardware threads visible to the process.
+    pub host_cpus: usize,
+}
+
+/// Build the standard [`HostRecord`] for a benchmark driving `workers`
+/// engines. This is the single source of the `workers`/`threads` fields in
+/// every `results/*.json` artifact — binaries must not hand-roll them.
+pub fn host_record(workers: usize) -> HostRecord {
+    HostRecord {
+        workers,
+        threads: platter_tensor::gemm::effective_threads(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
 /// Results directory (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");

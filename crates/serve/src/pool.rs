@@ -22,14 +22,22 @@
 //!   [`CircuitBreaker`]; past a threshold the pool serves on the eager
 //!   reference path and periodically probes a recompile until the fast
 //!   path proves healthy again.
+//! * **Data-parallel workers, one copy of the weights** — the pool compiles
+//!   the network once into a master [`CompiledModel`] and each worker
+//!   [`CompiledModel::fork_worker`]s a private engine off it: the plan and
+//!   its folded parameters are shared behind an `Arc`, only the activation
+//!   arena is per-worker. Requests land on per-worker queues (round-robin),
+//!   and an idle worker **steals** from the deepest sibling queue, so a
+//!   burst aimed at one queue is absorbed by the whole pool.
 //!
-//! `Yolov4` holds its parameters behind `Rc` and is not `Send`, so each
-//! worker thread reconstructs a private replica from the source model's
-//! config and a weight snapshot taken at pool construction.
+//! `Yolov4` itself holds parameters behind `Rc` and is not `Send`; only the
+//! *eager fallback* still needs it, so each worker rebuilds that replica
+//! lazily from the pool's weight snapshot on first degraded batch — a
+//! healthy pool shares everything.
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -142,10 +150,6 @@ impl Pending {
     }
 }
 
-struct Queue {
-    jobs: VecDeque<Job>,
-    open: bool,
-}
 
 /// Monotonic counters describing everything the pool has done.
 #[derive(Clone, Debug, Default, Serialize)]
@@ -214,10 +218,17 @@ struct ServeMetrics {
     /// …and degenerate / oversized image dimensions. Together these make
     /// degraded-input shedding observable per failure mode.
     sanitize_baddims: Arc<Counter>,
+    /// Batches executed by worker `i` (`serve.worker.{i}.batches`) — the
+    /// balance across workers is the data-parallelism actually achieved.
+    worker_batches: Vec<Arc<Counter>>,
+    /// Jobs worker `i` stole from sibling queues
+    /// (`serve.worker.{i}.steals`) — nonzero steals mean bursts were
+    /// absorbed by idle workers instead of waiting on their home queue.
+    worker_steals: Vec<Arc<Counter>>,
 }
 
 impl ServeMetrics {
-    fn new(queue_capacity: usize) -> ServeMetrics {
+    fn new(queue_capacity: usize, workers: usize) -> ServeMetrics {
         let registry = Arc::new(MetricsRegistry::new());
         // Power-of-two buckets cover 1..=capacity (depth), 1..=64 (batch),
         // and 0.25 ms..~8 s (latency) with a handful of buckets each.
@@ -232,6 +243,12 @@ impl ServeMetrics {
             sanitize_nonfinite: registry.counter("serve.sanitize.nonfinite"),
             sanitize_badshape: registry.counter("serve.sanitize.badshape"),
             sanitize_baddims: registry.counter("serve.sanitize.baddims"),
+            worker_batches: (0..workers)
+                .map(|i| registry.counter(&format!("serve.worker.{i}.batches")))
+                .collect(),
+            worker_steals: (0..workers)
+                .map(|i| registry.counter(&format!("serve.worker.{i}.steals")))
+                .collect(),
             registry,
         }
     }
@@ -255,8 +272,26 @@ impl ServeMetrics {
 struct Shared {
     cfg: ServeConfig,
     model_cfg: YoloConfig,
+    /// Weight snapshot for the *eager fallback* replicas only; the compiled
+    /// path shares `engine`'s plan instead of reparsing this.
     weights: Bytes,
-    queue: Mutex<Queue>,
+    /// Master compiled engine. Workers fork it (`fork_worker`): every fork
+    /// shares this engine's plan + folded weights and owns only scratch.
+    engine: CompiledModel,
+    /// One job queue per worker, fed round-robin by `next_queue`. Idle
+    /// workers steal from the deepest sibling. (With zero workers a single
+    /// queue still exists so admission control is testable in isolation.)
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Total jobs across all queues — the admission bound and the value
+    /// sleeping workers re-check before waiting.
+    queued: AtomicUsize,
+    /// Round-robin cursor for queue placement.
+    next_queue: AtomicUsize,
+    /// Whether the pool still admits work. This mutex is `job_ready`'s
+    /// companion: producers bump `queued` and notify while holding it, and
+    /// workers re-check `queued` under it before sleeping, so a wakeup can
+    /// never fall between check and wait.
+    admission: Mutex<bool>,
     job_ready: Condvar,
     breaker: Mutex<CircuitBreaker>,
     quarantine: Mutex<Quarantine>,
@@ -285,7 +320,13 @@ impl ServePool {
         let shared = Arc::new(Shared {
             model_cfg: model.config.clone(),
             weights: model.save(),
-            queue: Mutex::new(Queue { jobs: VecDeque::new(), open: true }),
+            // Compile once, up front: workers fork this engine instead of
+            // recompiling, so N workers hold one copy of the weights.
+            engine: model.compile_inference(),
+            queues: (0..cfg.workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            next_queue: AtomicUsize::new(0),
+            admission: Mutex::new(true),
             job_ready: Condvar::new(),
             breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
             quarantine: Mutex::new(Quarantine::new(cfg.quarantine_capacity)),
@@ -293,7 +334,7 @@ impl ServePool {
             batch_seq: AtomicU64::new(0),
             submit_seq: AtomicU64::new(0),
             stats: Counters::default(),
-            metrics: ServeMetrics::new(cfg.queue_capacity),
+            metrics: ServeMetrics::new(cfg.queue_capacity, cfg.workers),
             cfg,
         });
         let workers = (0..shared.cfg.workers)
@@ -301,7 +342,7 @@ impl ServePool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_main(&shared))
+                    .spawn(move || worker_main(&shared, i))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -439,15 +480,23 @@ impl ServePool {
         lock(&self.shared.breaker).is_open()
     }
 
-    /// Requests currently queued.
+    /// Requests currently queued (summed across worker queues).
     pub fn queue_depth(&self) -> usize {
-        lock(&self.shared.queue).jobs.len()
+        self.shared.queued.load(Ordering::SeqCst)
     }
 
-    /// Stop admitting work, let workers drain the queue, and join them.
+    /// The parameter store all worker engines share. The returned `Arc`'s
+    /// strong count drops back to 1 once the pool (and every engine forked
+    /// from its plan) is gone — the leak check after panic-isolation
+    /// discards.
+    pub fn shared_weights(&self) -> Arc<platter_tensor::PlanWeights> {
+        self.shared.engine.shared_weights()
+    }
+
+    /// Stop admitting work, let workers drain the queues, and join them.
     /// Idempotent; also invoked by `Drop`.
     pub fn shutdown(&self) {
-        lock(&self.shared.queue).open = false;
+        *lock(&self.shared.admission) = false;
         self.shared.job_ready.notify_all();
         let handles: Vec<JoinHandle<()>> = lock(&self.workers).drain(..).collect();
         for h in handles {
@@ -472,22 +521,38 @@ impl ServePool {
         deadline: Option<Instant>,
         tta: bool,
     ) -> Result<Pending, ServeError> {
+        let shared = &self.shared;
         let (tx, rx) = mpsc::sync_channel(1);
         {
-            let mut q = lock(&self.shared.queue);
-            if !q.open {
+            // The admission lock serialises the capacity check with the
+            // push and the notify: a worker re-checking `queued` under this
+            // lock can never miss the wakeup.
+            let open = lock(&shared.admission);
+            if !*open {
                 return Err(ServeError::ShuttingDown);
             }
-            if q.jobs.len() >= self.shared.cfg.queue_capacity {
-                self.shared.stats.rejected_full.fetch_add(1, Ordering::SeqCst);
-                self.shared.metrics.sheds.inc();
-                return Err(ServeError::Rejected { queue_depth: q.jobs.len() });
+            let depth = shared.queued.load(Ordering::SeqCst);
+            if depth >= shared.cfg.queue_capacity {
+                shared.stats.rejected_full.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.sheds.inc();
+                return Err(ServeError::Rejected { queue_depth: depth });
             }
-            q.jobs.push_back(Job { x, map, deadline, tta, submitted: Instant::now(), reply: tx });
-            self.shared.metrics.queue_depth.record(q.jobs.len() as f64);
+            // Round-robin placement; an idle worker steals across queues,
+            // so placement balances the steady state, stealing the bursts.
+            let qi = shared.next_queue.fetch_add(1, Ordering::SeqCst) % shared.queues.len();
+            lock(&shared.queues[qi]).push_back(Job {
+                x,
+                map,
+                deadline,
+                tta,
+                submitted: Instant::now(),
+                reply: tx,
+            });
+            shared.queued.fetch_add(1, Ordering::SeqCst);
+            shared.metrics.queue_depth.record((depth + 1) as f64);
+            shared.job_ready.notify_one();
         }
-        self.shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
-        self.shared.job_ready.notify_one();
+        shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
         Ok(Pending { rx })
     }
 }
@@ -538,15 +603,22 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// and per-image results merge through the permutation-invariant TTA merge.
 /// Panics are contained here; the caller decides fallback and breaker
 /// bookkeeping.
+///
+/// `engine` is the worker's private fork of the pool's master engine; a
+/// probe (or a post-discard rebuild) re-forks rather than recompiles — the
+/// shared weights are immutable, so only the scratch arena can have been
+/// left inconsistent. `eager` is the worker's lazily-built `Yolov4` replica,
+/// touched only on the degraded path.
 fn run_attempt(
-    model: &Yolov4,
+    shared: &Shared,
+    eager: &mut Option<Yolov4>,
     engine: &mut Option<CompiledModel>,
     path: ExecPath,
     x: &Tensor,
     inject: &Injected,
-    cfg: &ServeConfig,
     tta_flags: &[bool],
 ) -> Result<Vec<Vec<Detection>>, ExecFailure> {
+    let cfg = &shared.cfg;
     let n_images = x.shape()[0];
     let views: Vec<TtaView> =
         if tta_flags.iter().any(|&f| f) { cfg.tta.views() } else { vec![TtaView::Identity] };
@@ -567,7 +639,7 @@ fn run_attempt(
             let mut heads: Vec<Tensor> = match path {
                 ExecPath::Compiled | ExecPath::Probe => {
                     if (path == ExecPath::Probe && view.is_identity()) || engine.is_none() {
-                        *engine = Some(model.compile_inference());
+                        *engine = Some(shared.engine.fork_worker());
                     }
                     let e = engine.as_mut().expect("engine just installed");
                     // Shapes were validated at admission; a residual executor
@@ -577,7 +649,18 @@ fn run_attempt(
                         Err(err) => return Err(ExecFailure::Panic(err.to_string())),
                     }
                 }
-                ExecPath::Eager => model.infer(input).to_vec(),
+                ExecPath::Eager => {
+                    let model = eager.get_or_insert_with(|| {
+                        // First degraded batch on this worker: rebuild the
+                        // reference replica from the snapshot. Strict mode —
+                        // the snapshot comes from an identical config.
+                        let m = Yolov4::new(shared.model_cfg.clone(), 0);
+                        m.load(&shared.weights, LoadMode::Strict)
+                            .expect("weight snapshot matches config");
+                        m
+                    });
+                    model.infer(input).to_vec()
+                }
             };
             // Injected corruption poisons the identity pass: TTA must not
             // launder a corrupt primary view through its auxiliaries.
@@ -588,7 +671,7 @@ fn run_attempt(
             if heads.iter().any(|h| h.as_slice().iter().any(|v| !v.is_finite())) {
                 return Err(ExecFailure::NonFinite);
             }
-            let candidates = decode_detections(&heads, &model.config, cfg.conf_thresh);
+            let candidates = decode_detections(&heads, &shared.model_cfg, cfg.conf_thresh);
             for (i, cand) in candidates.into_iter().enumerate() {
                 let back: Vec<Detection> = if view.is_identity() {
                     cand
@@ -655,54 +738,116 @@ fn reply_err(jobs: Vec<Job>, err: &ServeError) {
     }
 }
 
-/// Pull the next batch: block for the first job, then coalesce more until
-/// `max_batch` or `max_wait`. Returns `None` when the pool is closed and
-/// the queue is drained — workers finish everything that was admitted.
-fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
-    let mut q = lock(&shared.queue);
-    loop {
-        if !q.jobs.is_empty() {
-            break;
-        }
-        if !q.open {
-            return None;
-        }
-        q = shared.job_ready.wait(q).unwrap_or_else(|e| e.into_inner());
-    }
-    let mut batch = vec![q.jobs.pop_front().expect("checked non-empty")];
-    let wait_until = Instant::now() + shared.cfg.max_wait;
-    while batch.len() < shared.cfg.max_batch {
-        if let Some(job) = q.jobs.pop_front() {
-            batch.push(job);
-            continue;
-        }
-        if !q.open {
-            break;
-        }
-        let now = Instant::now();
-        if now >= wait_until {
-            break;
-        }
-        let (guard, timeout) = shared
-            .job_ready
-            .wait_timeout(q, wait_until - now)
-            .unwrap_or_else(|e| e.into_inner());
-        q = guard;
-        if timeout.timed_out() && q.jobs.is_empty() {
-            break;
-        }
-    }
-    Some(batch)
+/// Take up to `room` jobs from worker `wid`'s own queue into `batch`.
+/// Returns how many were taken. The global `queued` count is decremented by
+/// the caller.
+fn take_own(shared: &Shared, wid: usize, batch: &mut Vec<Job>, room: usize) -> usize {
+    let mut q = lock(&shared.queues[wid]);
+    let take = room.min(q.len());
+    batch.extend(q.drain(..take));
+    take
 }
 
-fn worker_main(shared: &Shared) {
-    // Private replica: `Yolov4` is not `Send`, so rebuild from the weight
-    // snapshot. Strict mode — the snapshot comes from an identical config.
-    let model = Yolov4::new(shared.model_cfg.clone(), 0);
-    model.load(&shared.weights, LoadMode::Strict).expect("weight snapshot matches config");
-    let mut engine: Option<CompiledModel> = None;
+/// Steal jobs from sibling queues until `batch` is full or every sibling is
+/// empty, deepest victim first — burst absorption: a queue that went deep
+/// while its owner was busy is drained by whoever is idle. Returns the
+/// number stolen.
+fn steal_from_siblings(shared: &Shared, wid: usize, batch: &mut Vec<Job>) -> usize {
+    let mut stolen = 0usize;
+    while batch.len() < shared.cfg.max_batch {
+        let mut victim = None;
+        let mut victim_len = 0usize;
+        for (i, q) in shared.queues.iter().enumerate() {
+            if i == wid {
+                continue;
+            }
+            let len = lock(q).len();
+            if len > victim_len {
+                victim_len = len;
+                victim = Some(i);
+            }
+        }
+        let Some(vi) = victim else { break };
+        let mut vq = lock(&shared.queues[vi]);
+        // Re-check under the victim's lock: another thief may have raced us.
+        let take = (shared.cfg.max_batch - batch.len()).min(vq.len());
+        if take == 0 {
+            break;
+        }
+        batch.extend(vq.drain(..take));
+        stolen += take;
+    }
+    stolen
+}
 
-    while let Some(jobs) = next_batch(shared) {
+/// Pull worker `wid`'s next batch: drain the own queue, top up by stealing
+/// from siblings, and if the batch is still short linger up to `max_wait`
+/// for more work (blocking indefinitely while empty). Returns the batch and
+/// how many of its jobs were stolen; `None` when the pool is closed and
+/// every queue is drained — workers finish everything that was admitted.
+fn next_batch(shared: &Shared, wid: usize) -> Option<(Vec<Job>, u64)> {
+    let mut batch: Vec<Job> = Vec::new();
+    let mut stolen = 0u64;
+    let mut linger_until: Option<Instant> = None;
+    loop {
+        let before = batch.len();
+        let room = shared.cfg.max_batch - batch.len();
+        take_own(shared, wid, &mut batch, room);
+        stolen += steal_from_siblings(shared, wid, &mut batch) as u64;
+        let took = batch.len() - before;
+        if took > 0 {
+            shared.queued.fetch_sub(took, Ordering::SeqCst);
+        }
+        if batch.len() >= shared.cfg.max_batch {
+            return Some((batch, stolen));
+        }
+        if !batch.is_empty() && linger_until.is_none() {
+            linger_until = Some(Instant::now() + shared.cfg.max_wait);
+        }
+        // Sleep — or bail — under the admission lock. Producers notify
+        // while holding it, so checking `queued` here closes the
+        // check-then-wait race across per-worker queues.
+        let open = lock(&shared.admission);
+        if shared.queued.load(Ordering::SeqCst) > 0 {
+            continue; // guard drops; rescan the queues
+        }
+        if !*open {
+            return if batch.is_empty() { None } else { Some((batch, stolen)) };
+        }
+        match linger_until {
+            // Nothing batched yet: block until work or shutdown.
+            None => {
+                let _g = shared.job_ready.wait(open).unwrap_or_else(|e| e.into_inner());
+            }
+            // Partial batch: linger for stragglers, then run what we have.
+            Some(until) => {
+                let now = Instant::now();
+                if now >= until {
+                    return Some((batch, stolen));
+                }
+                let (_g, timeout) = shared
+                    .job_ready
+                    .wait_timeout(open, until - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                if timeout.timed_out() && shared.queued.load(Ordering::SeqCst) == 0 {
+                    return Some((batch, stolen));
+                }
+            }
+        }
+    }
+}
+
+fn worker_main(shared: &Shared, wid: usize) {
+    // Fork the master engine: shares the compiled plan + weights, owns a
+    // fresh arena. The eager replica is built only if this worker ever
+    // degrades — a healthy pool holds one copy of the parameters total.
+    let mut engine: Option<CompiledModel> = Some(shared.engine.fork_worker());
+    let mut eager: Option<Yolov4> = None;
+
+    while let Some((jobs, stolen)) = next_batch(shared, wid) {
+        if stolen > 0 {
+            shared.metrics.worker_steals[wid].add(stolen);
+        }
         let batch_idx = shared.batch_seq.fetch_add(1, Ordering::SeqCst);
         let mut inject = Injected::default();
         for fault in lock(&shared.faults).take(batch_idx) {
@@ -736,8 +881,9 @@ fn worker_main(shared: &Shared) {
         let x = Tensor::from_vec(data, &[live.len(), 3, size, size]);
         let tta_flags: Vec<bool> = live.iter().map(|j| j.tta).collect();
 
+        shared.metrics.worker_batches[wid].inc();
         let path = lock(&shared.breaker).plan_path();
-        match run_attempt(&model, &mut engine, path, &x, &inject, &shared.cfg, &tta_flags) {
+        match run_attempt(shared, &mut eager, &mut engine, path, &x, &inject, &tta_flags) {
             Ok(dets) => {
                 shared.metrics.on_breaker(lock(&shared.breaker).record_success(path));
                 let counter = match path {
@@ -759,12 +905,14 @@ fn worker_main(shared: &Shared) {
                     continue;
                 }
                 // The compiled attempt may have unwound mid-run, leaving
-                // the arena inconsistent: discard and rebuild lazily.
+                // this worker's arena inconsistent: discard the fork (the
+                // shared weights are immutable and unaffected) and re-fork
+                // lazily.
                 engine = None;
                 // Same batch, eager retry — the request still succeeds
                 // unless the reference path fails too.
                 let clean = Injected::default();
-                match run_attempt(&model, &mut engine, ExecPath::Eager, &x, &clean, &shared.cfg, &tta_flags)
+                match run_attempt(shared, &mut eager, &mut engine, ExecPath::Eager, &x, &clean, &tta_flags)
                 {
                     Ok(dets) => {
                         shared.stats.eager_batches.fetch_add(1, Ordering::SeqCst);

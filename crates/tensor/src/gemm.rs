@@ -92,8 +92,36 @@ const I_TILE: usize = 4;
 /// `bias[i]`; `act` is applied to every finished element while the tile is
 /// still cache-hot. Compared to prefill + `gemm_into` + a separate activation
 /// pass this touches C once instead of five times.
+///
+/// Fans out across [`effective_threads`] workers when the problem is large
+/// enough — see [`gemm_bias_act_threads`] for the decomposition and the
+/// bit-identity guarantee.
 #[allow(clippy::too_many_arguments)] // flat GEMM geometry plus the epilogue
-pub fn gemm_bias_act<F: Fn(f32) -> f32 + Copy>(
+pub fn gemm_bias_act<F: Fn(f32) -> f32 + Copy + Send + Sync>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bias: &[f32],
+    act: F,
+) {
+    gemm_bias_act_threads(effective_threads(), a, b, c, m, k, n, bias, act)
+}
+
+/// [`gemm_bias_act`] with an explicit worker count.
+///
+/// Parallelism is over **column panels** of C rather than row bands: for a
+/// conv at batch 1, `m` is the channel count (often a handful) while `n` is
+/// the spatial extent (thousands), so columns are where the work is — this
+/// is what makes a single large layer scale even without batching. Every
+/// output element is computed by exactly one worker with the same k-order
+/// accumulation as the serial path, so results are **bit-identical for any
+/// thread count** — the multi-worker parity suites depend on this.
+#[allow(clippy::too_many_arguments)] // flat GEMM geometry plus the epilogue
+pub fn gemm_bias_act_threads<F: Fn(f32) -> f32 + Copy + Send + Sync>(
+    threads: usize,
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -107,11 +135,65 @@ pub fn gemm_bias_act<F: Fn(f32) -> f32 + Copy>(
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     debug_assert_eq!(bias.len(), m);
+    // Panel count: never more than the threads asked for, never so many
+    // that a panel is narrower than one register tile.
+    let panels = threads.min(n / J_TILE).max(1);
+    if panels <= 1 || m * k * n < PAR_THRESHOLD {
+        // SAFETY: the pointer covers all of `c` (len m*n) and there is no
+        // other writer.
+        unsafe { fused_cols(a, b, ColumnsPtr(c.as_mut_ptr()), m, k, n, 0, n, bias, act) };
+        return;
+    }
+    // Tile-aligned panel width; the last panel absorbs the remainder
+    // (including the scalar column tail).
+    let per = (n / panels / J_TILE).max(1) * J_TILE;
+    let cptr = ColumnsPtr(c.as_mut_ptr());
+    crossbeam::scope(|scope| {
+        for idx in 0..panels {
+            let j0 = idx * per;
+            let j1 = if idx == panels - 1 { n } else { j0 + per };
+            scope.spawn(move |_| {
+                // SAFETY: panels partition [0, n) disjointly, and
+                // `fused_cols` writes only columns [j0, j1) of the m×n
+                // matrix behind `cptr`, which outlives the scope.
+                unsafe { fused_cols(a, b, cptr, m, k, n, j0, j1, bias, act) };
+            });
+        }
+    })
+    .expect("gemm_bias_act worker panicked");
+}
+
+/// Raw base pointer to C, shared across panel workers. Each worker writes a
+/// disjoint column range, so no element is ever written twice; `Send`/`Sync`
+/// are sound under that discipline (enforced by the single call site).
+#[derive(Clone, Copy)]
+struct ColumnsPtr(*mut f32);
+unsafe impl Send for ColumnsPtr {}
+unsafe impl Sync for ColumnsPtr {}
+
+/// Compute columns `[j0, j1)` of `C = act(bias + A·B)` across all `m` rows.
+///
+/// # Safety
+/// `c` must point to an `m`×`n` row-major matrix valid for writes, and no
+/// other thread may concurrently touch columns `[j0, j1)` of it.
+#[allow(clippy::too_many_arguments)] // flat GEMM geometry plus the epilogue
+unsafe fn fused_cols<F: Fn(f32) -> f32 + Copy>(
+    a: &[f32],
+    b: &[f32],
+    c: ColumnsPtr,
+    m: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    j1: usize,
+    bias: &[f32],
+    act: F,
+) {
     let mut i = 0;
     while i < m {
         let ib = I_TILE.min(m - i);
-        let mut j = 0;
-        while j + J_TILE <= n {
+        let mut j = j0;
+        while j + J_TILE <= j1 {
             match ib {
                 4 => fused_tile::<4, F>(a, b, c, k, n, i, j, bias, act),
                 3 => fused_tile::<3, F>(a, b, c, k, n, i, j, bias, act),
@@ -120,15 +202,15 @@ pub fn gemm_bias_act<F: Fn(f32) -> f32 + Copy>(
             }
             j += J_TILE;
         }
-        // Scalar tail for the last n % J_TILE columns.
+        // Scalar tail for the last (j1 - j0) % J_TILE columns.
         for ii in 0..ib {
             let arow = &a[(i + ii) * k..(i + ii + 1) * k];
-            for jj in j..n {
+            for jj in j..j1 {
                 let mut acc = bias[i + ii];
                 for (p, &av) in arow.iter().enumerate() {
                     acc += av * b[p * n + jj];
                 }
-                c[(i + ii) * n + jj] = act(acc);
+                c.0.add((i + ii) * n + jj).write(act(acc));
             }
         }
         i += ib;
@@ -136,14 +218,20 @@ pub fn gemm_bias_act<F: Fn(f32) -> f32 + Copy>(
 }
 
 /// Fused-epilogue variant of [`tile_kernel`]: accumulators start at the row
-/// bias and the activation is applied at writeback.
+/// bias and the activation is applied at writeback. Writes through the panel
+/// pointer; same k-order accumulation as the scalar tail, so an element's
+/// value does not depend on which path produced it.
+///
+/// # Safety
+/// As [`fused_cols`]: `c` valid for the `m`×`n` matrix, columns
+/// `[j, j+J_TILE)` owned by this thread.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)] // flat GEMM geometry plus the epilogue
 #[allow(clippy::needless_range_loop)] // p walks A rows and B rows in lockstep
-fn fused_tile<const IB: usize, F: Fn(f32) -> f32 + Copy>(
+unsafe fn fused_tile<const IB: usize, F: Fn(f32) -> f32 + Copy>(
     a: &[f32],
     b: &[f32],
-    c: &mut [f32],
+    c: ColumnsPtr,
     k: usize,
     n: usize,
     i0: usize,
@@ -168,8 +256,8 @@ fn fused_tile<const IB: usize, F: Fn(f32) -> f32 + Copy>(
     }
     for (ii, accr) in acc.iter().enumerate() {
         let base = (i0 + ii) * n + j;
-        for (cv, &av) in c[base..base + J_TILE].iter_mut().zip(accr) {
-            *cv = act(av);
+        for (t, &av) in accr.iter().enumerate() {
+            c.0.add(base + t).write(act(av));
         }
     }
 }
@@ -330,5 +418,47 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         matmul(&a, &b);
+    }
+
+    #[test]
+    fn fused_epilogue_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 2), (5, 9, 35), (4, 8, 16)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.25 - 0.5).collect();
+            let mut c = vec![f32::NAN; m * n]; // previous contents must be ignored
+            gemm_bias_act(a.as_slice(), b.as_slice(), &mut c, m, k, n, &bias, |v| v.max(0.0));
+            let plain = naive(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    let want = (plain.as_slice()[i * n + j] + bias[i]).max(0.0);
+                    let got = c[i * n + j];
+                    assert!((got - want).abs() < 1e-4, "({m},{k},{n})[{i},{j}]: {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_bit_identical_across_thread_counts() {
+        // The serving parity suites assume a forked worker computes the same
+        // bits regardless of the host's core count; that reduces to this:
+        // panel decomposition must not change any element's accumulation
+        // order. Shapes chosen to exercise tile interiors, scalar column
+        // tails, narrow-n serial fallback, and sub-threshold sizes.
+        let mut rng = StdRng::seed_from_u64(4);
+        for &(m, k, n) in &[(4usize, 160usize, 640usize), (3, 96, 1000), (8, 512, 257), (2, 7, 33)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let bias: Vec<f32> = (0..m).map(|i| (i as f32).sin()).collect();
+            let mut want = vec![0.0f32; m * n];
+            gemm_bias_act_threads(1, a.as_slice(), b.as_slice(), &mut want, m, k, n, &bias, |v| v);
+            for threads in [2usize, 3, 5, 64] {
+                let mut got = vec![f32::NAN; m * n];
+                gemm_bias_act_threads(threads, a.as_slice(), b.as_slice(), &mut got, m, k, n, &bias, |v| v);
+                assert_eq!(got, want, "({m},{k},{n}) threads={threads} must be bit-identical");
+            }
+        }
     }
 }

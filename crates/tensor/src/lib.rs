@@ -49,6 +49,7 @@ pub mod serialize;
 mod shape;
 mod tensor;
 mod trace;
+pub mod weights;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -62,5 +63,6 @@ pub use tensor::Tensor;
 
 pub use ops::Conv2dSpec;
 pub use plan::{ExecError, Executor, Plan, Planner, ValueId};
+pub use weights::{PlanWeights, WeightId};
 
 pub use crate::ops::softmax_rows;

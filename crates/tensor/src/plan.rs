@@ -19,6 +19,12 @@
 //! the first call at a given batch size, the steady-state hot path performs
 //! no heap allocation at all.
 //!
+//! Ownership is split for data-parallel serving: all parameters live in a
+//! write-once [`PlanWeights`] frozen by [`Planner::finish`] and shared via
+//! `Arc`, while each [`Executor`] owns only mutable scratch. A serving pool
+//! calls [`Executor::fork`] once per worker — N workers, one copy of the
+//! weights, bit-identical outputs (see [`crate::weights`]).
+//!
 //! Layers do not target the planner directly: they describe their topology
 //! once via [`crate::Trace`], and `Planner` is simply the backend that
 //! records the trace into the IR (the other backend, [`crate::Graph`], runs
@@ -42,6 +48,8 @@
 //! assert_eq!(out[0].shape(), &[2, 8, 16, 16]);
 //! ```
 
+use std::sync::Arc;
+
 use platter_obs::Profiler;
 
 use crate::gemm::{gemm_bias_act, gemm_into};
@@ -50,6 +58,7 @@ use crate::ops::conv::{im2col, is_pointwise};
 use crate::ops::elementwise::{mish_f, LEAKY_SLOPE};
 use crate::ops::Conv2dSpec;
 use crate::tensor::Tensor;
+use crate::weights::{PlanWeights, WeightId};
 
 /// Handle to a planned value. Cheap to copy; only meaningful for the
 /// [`Planner`] (and resulting [`Plan`]) that created it.
@@ -57,7 +66,9 @@ use crate::tensor::Tensor;
 pub struct ValueId(pub(crate) usize);
 
 /// One node of the inference IR. Each op produces exactly one value, so a
-/// value id doubles as the index of its producing op.
+/// value id doubles as the index of its producing op. Parameter buffers are
+/// referenced by [`WeightId`] into the plan's shared [`PlanWeights`] — the
+/// IR itself owns no parameter data.
 enum PlanOp {
     /// External input `index` of the executed plan.
     Input { index: usize },
@@ -66,8 +77,8 @@ enum PlanOp {
     /// entries (zeros when the layer is unbiased).
     Conv2d {
         x: ValueId,
-        weight: Vec<f32>,
-        bias: Vec<f32>,
+        weight: WeightId,
+        bias: WeightId,
         cout: usize,
         cin: usize,
         kh: usize,
@@ -77,7 +88,7 @@ enum PlanOp {
     },
     /// Per-channel affine `y = x·scale[c] + shift[c]` — inference batch norm
     /// that could not be folded into a preceding conv.
-    ScaleBias { x: ValueId, scale: Vec<f32>, shift: Vec<f32>, act: Activation },
+    ScaleBias { x: ValueId, scale: WeightId, shift: WeightId, act: Activation },
     /// Standalone activation (when fusion into the producer wasn't legal).
     Activation { x: ValueId, act: Activation },
     /// Max pooling over `k`×`k` windows.
@@ -90,7 +101,7 @@ enum PlanOp {
     Add { a: ValueId, b: ValueId },
     /// Affine `y = x·wᵀ + b` with fused activation. `wt` is the transposed
     /// weight `[d_in, d_out]` so execution is a single GEMM.
-    Linear { x: ValueId, wt: Vec<f32>, bias: Vec<f32>, d_in: usize, d_out: usize, act: Activation },
+    Linear { x: ValueId, wt: WeightId, bias: WeightId, d_in: usize, d_out: usize, act: Activation },
 }
 
 impl PlanOp {
@@ -126,13 +137,23 @@ pub struct Planner {
     shapes: Vec<Vec<usize>>,
     /// How many ops consume each value so far (fusion legality).
     consumers: Vec<usize>,
+    /// Staging parameter buffers, indexed by [`WeightId`]. Mutable only
+    /// during the build (BN folding rewrites conv entries in place);
+    /// [`Planner::finish`] freezes them into an immutable [`PlanWeights`].
+    wbufs: Vec<Vec<f32>>,
     num_inputs: usize,
 }
 
 impl Planner {
     /// An empty planner.
     pub fn new() -> Planner {
-        Planner { ops: Vec::new(), shapes: Vec::new(), consumers: Vec::new(), num_inputs: 0 }
+        Planner { ops: Vec::new(), shapes: Vec::new(), consumers: Vec::new(), wbufs: Vec::new(), num_inputs: 0 }
+    }
+
+    /// Stage a parameter buffer and hand back its handle.
+    fn alloc_weight(&mut self, data: Vec<f32>) -> WeightId {
+        self.wbufs.push(data);
+        WeightId(self.wbufs.len() - 1)
     }
 
     /// Per-item shape of `v`.
@@ -179,18 +200,10 @@ impl Planner {
             }
             None => vec![0.0; cout],
         };
+        let weight = self.alloc_weight(weight.as_slice().to_vec());
+        let bias = self.alloc_weight(bias);
         self.push(
-            PlanOp::Conv2d {
-                x,
-                weight: weight.as_slice().to_vec(),
-                bias,
-                cout,
-                cin,
-                kh,
-                kw,
-                spec,
-                act: Activation::Linear,
-            },
+            PlanOp::Conv2d { x, weight, bias, cout, cin, kh, kw, spec, act: Activation::Linear },
             vec![cout, hout, wout],
         )
     }
@@ -203,20 +216,30 @@ impl Planner {
         assert_eq!(scale.len(), c, "scale_bias expects {c} scales, got {}", scale.len());
         assert_eq!(shift.len(), c, "scale_bias expects {c} shifts, got {}", shift.len());
         if self.consumers[x.0] == 0 {
-            if let PlanOp::Conv2d { weight, bias, cout, act: Activation::Linear, .. } = &mut self.ops[x.0] {
+            if let PlanOp::Conv2d { weight, bias, cout, act: Activation::Linear, .. } = &self.ops[x.0] {
                 // Fold: w'[o,·] = w[o,·]·s[o], b'[o] = b[o]·s[o] + t[o].
-                let row = weight.len() / *cout;
-                for o in 0..*cout {
-                    for v in &mut weight[o * row..(o + 1) * row] {
+                // The rewrite targets the *staging* buffers — handles are
+                // copied out first so the op table borrow ends before the
+                // buffer borrow starts. Legal only pre-freeze.
+                let (wid, bid, cout) = (*weight, *bias, *cout);
+                let w = &mut self.wbufs[wid.0];
+                let row = w.len() / cout;
+                for o in 0..cout {
+                    for v in &mut w[o * row..(o + 1) * row] {
                         *v *= scale[o];
                     }
-                    bias[o] = bias[o] * scale[o] + shift[o];
+                }
+                let b = &mut self.wbufs[bid.0];
+                for o in 0..cout {
+                    b[o] = b[o] * scale[o] + shift[o];
                 }
                 return x;
             }
         }
+        let scale = self.alloc_weight(scale.to_vec());
+        let shift = self.alloc_weight(shift.to_vec());
         self.push(
-            PlanOp::ScaleBias { x, scale: scale.to_vec(), shift: shift.to_vec(), act: Activation::Linear },
+            PlanOp::ScaleBias { x, scale, shift, act: Activation::Linear },
             self.shape(x).to_vec(),
         )
     }
@@ -302,17 +325,9 @@ impl Planner {
             }
             None => vec![0.0; d_out],
         };
-        self.push(
-            PlanOp::Linear {
-                x,
-                wt: weight.transpose2d().as_slice().to_vec(),
-                bias,
-                d_in,
-                d_out,
-                act: Activation::Linear,
-            },
-            vec![d_out],
-        )
+        let wt = self.alloc_weight(weight.transpose2d().as_slice().to_vec());
+        let bias = self.alloc_weight(bias);
+        self.push(PlanOp::Linear { x, wt, bias, d_in, d_out, act: Activation::Linear }, vec![d_out])
     }
 
     /// Finalise: liveness analysis + static slot assignment.
@@ -393,6 +408,7 @@ impl Planner {
             outputs: outputs.to_vec(),
             col_len,
             num_inputs: self.num_inputs,
+            weights: Arc::new(PlanWeights::freeze(self.wbufs)),
         }
     }
 }
@@ -416,8 +432,11 @@ pub struct SlotInfo {
     pub last_use: usize,
 }
 
-/// A finalised inference program: ops, per-item shapes and the static arena
-/// layout. Build with [`Planner::finish`]; run with an [`Executor`].
+/// A finalised inference program: ops, per-item shapes, the static arena
+/// layout, and the frozen parameter store. Build with [`Planner::finish`];
+/// run with an [`Executor`]. A `Plan` is immutable and `Send + Sync`, so one
+/// `Arc<Plan>` backs any number of concurrent executors — the parameters
+/// ([`PlanWeights`]) exist once per compile, not once per worker.
 pub struct Plan {
     ops: Vec<PlanOp>,
     shapes: Vec<Vec<usize>>,
@@ -428,6 +447,8 @@ pub struct Plan {
     outputs: Vec<ValueId>,
     col_len: usize,
     num_inputs: usize,
+    /// Frozen parameters, shared by every executor forked off this plan.
+    weights: Arc<PlanWeights>,
 }
 
 impl Plan {
@@ -444,6 +465,13 @@ impl Plan {
     /// Arena elements per batch item (activation slots + im2col scratch).
     pub fn per_item_arena_elems(&self) -> usize {
         self.slot_caps.iter().sum::<usize>() + self.col_len
+    }
+
+    /// The frozen parameter store this plan's ops index into. Cloning the
+    /// `Arc` is how callers observe sharing (e.g. leak checks on worker-pool
+    /// drain assert the strong count returns to baseline).
+    pub fn weights(&self) -> &Arc<PlanWeights> {
+        &self.weights
     }
 
     /// Liveness + slot assignment of every value, for verification.
@@ -491,9 +519,11 @@ impl Plan {
             elems += self.item_numel[v.0] * n;
         }
         elems += match op {
-            PlanOp::Conv2d { weight, bias, .. } => weight.len() + bias.len(),
-            PlanOp::Linear { wt, bias, .. } => wt.len() + bias.len(),
-            PlanOp::ScaleBias { scale, shift, .. } => scale.len() + shift.len(),
+            PlanOp::Conv2d { weight, bias, .. } => self.weights.len_of(*weight) + self.weights.len_of(*bias),
+            PlanOp::Linear { wt, bias, .. } => self.weights.len_of(*wt) + self.weights.len_of(*bias),
+            PlanOp::ScaleBias { scale, shift, .. } => {
+                self.weights.len_of(*scale) + self.weights.len_of(*shift)
+            }
             _ => 0,
         };
         (elems * std::mem::size_of::<f32>()) as u64
@@ -546,12 +576,10 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Runs a [`Plan`] with a persistent arena. Buffers grow to the largest
-/// batch size seen and are then reused for any batch up to that size, so a
-/// serving loop dispatching variable-size batches reallocates nothing once
-/// warm.
-pub struct Executor {
-    plan: Plan,
+/// Per-worker mutable scratch of an [`Executor`]: the activation arena,
+/// im2col buffer, and output staging tensors. This is everything a forked
+/// worker owns privately — the plan and its weights stay shared.
+struct ExecutorState {
     slots: Vec<Vec<f32>>,
     col: Vec<f32>,
     outs: Vec<Tensor>,
@@ -559,11 +587,43 @@ pub struct Executor {
     batch_cap: usize,
 }
 
+impl ExecutorState {
+    fn empty(num_slots: usize) -> ExecutorState {
+        ExecutorState { slots: vec![Vec::new(); num_slots], col: Vec::new(), outs: Vec::new(), batch: 0, batch_cap: 0 }
+    }
+}
+
+/// Runs a [`Plan`] with a persistent arena. Buffers grow to the largest
+/// batch size seen and are then reused for any batch up to that size, so a
+/// serving loop dispatching variable-size batches reallocates nothing once
+/// warm.
+///
+/// The plan (ops + [`PlanWeights`]) sits behind an `Arc`; the arena is
+/// private. [`Executor::fork`] therefore yields an independent executor that
+/// shares all parameters with its parent — the unit of data-parallel
+/// serving: one compile, N workers, one copy of the weights.
+pub struct Executor {
+    plan: Arc<Plan>,
+    state: ExecutorState,
+}
+
 impl Executor {
     /// Wrap a plan with an (initially empty) arena.
     pub fn new(plan: Plan) -> Executor {
-        let slots = vec![Vec::new(); plan.num_slots()];
-        Executor { plan, slots, col: Vec::new(), outs: Vec::new(), batch: 0, batch_cap: 0 }
+        Executor::from_shared(Arc::new(plan))
+    }
+
+    /// An executor over an already-shared plan, with a fresh empty arena.
+    pub fn from_shared(plan: Arc<Plan>) -> Executor {
+        let state = ExecutorState::empty(plan.num_slots());
+        Executor { plan, state }
+    }
+
+    /// A new executor sharing this one's plan and weights, with its own
+    /// empty arena. O(num_slots) — no parameter data is copied, so forking
+    /// a worker costs pointer bumps, not megabytes.
+    pub fn fork(&self) -> Executor {
+        Executor::from_shared(self.plan.clone())
     }
 
     /// The plan being executed.
@@ -571,23 +631,30 @@ impl Executor {
         &self.plan
     }
 
-    /// Bytes currently held by the arena (slots + im2col scratch).
+    /// The shared handle to the plan, for spawning sibling executors.
+    pub fn shared_plan(&self) -> Arc<Plan> {
+        self.plan.clone()
+    }
+
+    /// Bytes currently held by this executor's private arena (slots +
+    /// im2col scratch). Shared weight bytes are [`Plan::weights`]' concern.
     pub fn arena_bytes(&self) -> usize {
-        (self.slots.iter().map(|s| s.len()).sum::<usize>() + self.col.len()) * std::mem::size_of::<f32>()
+        (self.state.slots.iter().map(|s| s.len()).sum::<usize>() + self.state.col.len())
+            * std::mem::size_of::<f32>()
     }
 
     fn ensure_batch(&mut self, n: usize) {
-        if n > self.batch_cap {
+        if n > self.state.batch_cap {
             // Grow-only: every slot holds `cap` elements per item, so a
             // buffer sized for the largest batch serves any smaller one.
-            for (slot, &cap) in self.slots.iter_mut().zip(&self.plan.slot_caps) {
+            for (slot, &cap) in self.state.slots.iter_mut().zip(&self.plan.slot_caps) {
                 slot.resize(cap * n, 0.0);
             }
-            self.col.resize(self.plan.col_len, 0.0);
-            self.batch_cap = n;
+            self.state.col.resize(self.plan.col_len, 0.0);
+            self.state.batch_cap = n;
         }
-        if self.batch != n {
-            self.outs = self
+        if self.state.batch != n {
+            self.state.outs = self
                 .plan
                 .outputs
                 .iter()
@@ -597,7 +664,7 @@ impl Executor {
                     Tensor::zeros(&shape)
                 })
                 .collect();
-            self.batch = n;
+            self.state.batch = n;
         }
     }
 
@@ -680,9 +747,9 @@ impl Executor {
                 .iter()
                 .all(|v| self.plan.slot_of[v.0] != dst_slot));
             let op_start = profiler.as_ref().map(|_| std::time::Instant::now());
-            let mut dst = std::mem::take(&mut self.slots[dst_slot]);
+            let mut dst = std::mem::take(&mut self.state.slots[dst_slot]);
             self.exec_op(i, n, inputs, &mut dst[..out_len]);
-            self.slots[dst_slot] = dst;
+            self.state.slots[dst_slot] = dst;
             if let (Some(p), Some(t0)) = (profiler.as_deref_mut(), op_start) {
                 let kinds = kinds.as_ref().expect("kinds computed when profiling");
                 p.record_op(i, &kinds[i], t0.elapsed().as_nanos() as u64, self.plan.op_io_bytes(i, n));
@@ -691,14 +758,14 @@ impl Executor {
 
         for (j, &v) in self.plan.outputs.iter().enumerate() {
             let len = self.plan.item_numel[v.0] * n;
-            self.outs[j]
+            self.state.outs[j]
                 .as_mut_slice()
-                .copy_from_slice(&self.slots[self.plan.slot_of[v.0]][..len]);
+                .copy_from_slice(&self.state.slots[self.plan.slot_of[v.0]][..len]);
         }
         if let (Some(p), Some(t0)) = (profiler, run_start) {
             p.record_run(t0.elapsed().as_nanos() as u64);
         }
-        &self.outs
+        &self.state.outs
     }
 
     /// Slice of value `v` within its slot (first `numel·n` elements).
@@ -707,8 +774,9 @@ impl Executor {
     }
 
     fn exec_op(&mut self, i: usize, n: usize, inputs: &[&Tensor], dst: &mut [f32]) {
-        let plan = &self.plan;
-        let slots = &self.slots;
+        let plan = &*self.plan;
+        let weights = &*plan.weights;
+        let slots = &self.state.slots;
         match &plan.ops[i] {
             PlanOp::Input { index } => {
                 let t = inputs[*index];
@@ -722,6 +790,8 @@ impl Executor {
             }
             PlanOp::Conv2d { x, weight, bias, cout, cin, kh, kw, spec, act } => {
                 let xs = Self::val(slots, plan, *x, n);
+                let weight = weights.get(*weight);
+                let bias = weights.get(*bias);
                 let (h, w) = (plan.shapes[x.0][1], plan.shapes[x.0][2]);
                 let (hout, wout) = (plan.shapes[i][1], plan.shapes[i][2]);
                 let hw = hout * wout;
@@ -737,7 +807,7 @@ impl Executor {
                         // input plane — plain GEMM, no im2col.
                         conv_gemm(weight, src, out, *cout, kdim, hw, bias, *act);
                     } else {
-                        let col = &mut self.col[..kdim * hw];
+                        let col = &mut self.state.col[..kdim * hw];
                         im2col(src, (*cin, h, w), (*kh, *kw), *spec, (hout, wout), col);
                         conv_gemm(weight, col, out, *cout, kdim, hw, bias, *act);
                     }
@@ -745,6 +815,8 @@ impl Executor {
             }
             PlanOp::ScaleBias { x, scale, shift, act } => {
                 let xs = Self::val(slots, plan, *x, n);
+                let scale = weights.get(*scale);
+                let shift = weights.get(*shift);
                 let c = plan.shapes[i][0];
                 let hw = plan.item_numel[i] / c;
                 for b in 0..n {
@@ -809,6 +881,8 @@ impl Executor {
             }
             PlanOp::Linear { x, wt, bias, d_in, d_out, act } => {
                 let xs = Self::val(slots, plan, *x, n);
+                let wt = weights.get(*wt);
+                let bias = weights.get(*bias);
                 for row in dst.chunks_mut(*d_out) {
                     row.copy_from_slice(bias);
                 }
@@ -1174,6 +1248,57 @@ mod tests {
         ));
         // A rejected call leaves the executor fully usable.
         assert!(exec.try_run(&[&a, &b]).is_ok());
+    }
+
+    #[test]
+    fn fork_shares_weights_and_matches_parent_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let w = Tensor::randn(&[5, 3, 3, 3], &mut rng);
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 6, 6]);
+        let yi = p.conv2d(xi, &w, None, Conv2dSpec::same(3));
+        let zi = p.activation(yi, Activation::Mish);
+        let mut parent = Executor::new(p.finish(&[zi]));
+
+        // Weights exist exactly once before forking…
+        assert_eq!(std::sync::Arc::strong_count(parent.plan().weights()), 1);
+        let mut forks: Vec<Executor> = (0..3).map(|_| parent.fork()).collect();
+        // …and still exactly once after: forks share the plan Arc (weights
+        // are nested inside it), so the weights Arc itself is untouched.
+        assert_eq!(std::sync::Arc::strong_count(parent.plan().weights()), 1);
+
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let want = parent.run(&[&x])[0].clone();
+        for (i, f) in forks.iter_mut().enumerate() {
+            let got = f.run(&[&x])[0].clone();
+            assert_eq!(got.as_slice(), want.as_slice(), "fork {i} must be bit-identical");
+        }
+        // A fork is a fresh arena: warming it never disturbed the parent.
+        let again = parent.run(&[&x])[0].clone();
+        assert_eq!(again.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn forks_have_independent_arenas() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let mut p = Planner::new();
+        let xi = p.input(&[3, 6, 6]);
+        let yi = p.conv2d(xi, &w, None, Conv2dSpec::same(3));
+        let mut parent = Executor::new(p.finish(&[yi]));
+        let mut fork = parent.fork();
+        assert_eq!(fork.arena_bytes(), 0, "fork starts with an empty arena");
+
+        // Different batch sizes grow each arena independently.
+        parent.run(&[&Tensor::randn(&[4, 3, 6, 6], &mut rng)]);
+        fork.run(&[&Tensor::randn(&[1, 3, 6, 6], &mut rng)]);
+        assert!(parent.arena_bytes() > fork.arena_bytes());
+
+        // Dropping the parent leaves the fork fully usable (plan is shared).
+        let x = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        drop(parent);
+        let out = fork.run(&[&x]);
+        assert_eq!(out[0].shape(), &[2, 4, 6, 6]);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Frozen parameter storage for compiled plans.
+//!
+//! A [`crate::plan::Plan`] used to embed every weight buffer inside its op
+//! IR, which made a compiled network a single owned blob: serving N workers
+//! meant N full copies of the parameters. This module splits the parameters
+//! out into [`PlanWeights`], a **write-once** store finalised by
+//! [`crate::plan::Planner::finish`] and shared across executors behind an
+//! `Arc`. Ops refer to their buffers by [`WeightId`]; mutable state (the
+//! activation arena, im2col scratch) stays per-executor.
+//!
+//! The type is deliberately immutable after construction — there is no
+//! `&mut self` method on `PlanWeights` at all, and construction is
+//! crate-private. Build-time rewrites (conv+BN folding) happen in the
+//! planner's staging buffers *before* the freeze; once frozen, every worker
+//! reads the same bytes forever. CI greps for `&mut PlanWeights` to keep it
+//! that way.
+
+/// Handle to one parameter buffer inside a [`PlanWeights`]. Cheap to copy;
+/// only meaningful for the plan that allocated it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WeightId(pub(crate) usize);
+
+/// Immutable, shareable parameter store of a compiled plan: conv weights and
+/// folded biases, scale/shift vectors, transposed linear weights. Created by
+/// [`crate::plan::Planner::finish`] (crate-private constructor) and held by
+/// the [`crate::plan::Plan`] behind an `Arc`, so forking a worker shares the
+/// parameters and clones nothing but scratch.
+pub struct PlanWeights {
+    /// One boxed slice per [`WeightId`], in allocation order. Boxed slices
+    /// rather than `Vec`s: the lengths are final, and the missing spare
+    /// capacity makes accidental growth a type error.
+    bufs: Vec<Box<[f32]>>,
+}
+
+impl PlanWeights {
+    /// Freeze the planner's staging buffers. Crate-private on purpose: after
+    /// this call nothing can obtain mutable access to the contents.
+    pub(crate) fn freeze(bufs: Vec<Vec<f32>>) -> PlanWeights {
+        PlanWeights { bufs: bufs.into_iter().map(Vec::into_boxed_slice).collect() }
+    }
+
+    /// The buffer behind `id`.
+    #[inline]
+    pub fn get(&self, id: WeightId) -> &[f32] {
+        &self.bufs[id.0]
+    }
+
+    /// Element count of the buffer behind `id`.
+    #[inline]
+    pub fn len_of(&self, id: WeightId) -> usize {
+        self.bufs[id.0].len()
+    }
+
+    /// Number of parameter buffers.
+    pub fn num_buffers(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Total `f32` elements across all buffers.
+    pub fn total_elems(&self) -> usize {
+        self.bufs.iter().map(|b| b.len()).sum()
+    }
+
+    /// Total parameter bytes — the memory N workers share instead of
+    /// replicating.
+    pub fn bytes(&self) -> usize {
+        self.total_elems() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_preserves_contents_and_sizes() {
+        let w = PlanWeights::freeze(vec![vec![1.0, 2.0], vec![], vec![3.0; 5]]);
+        assert_eq!(w.num_buffers(), 3);
+        assert_eq!(w.get(WeightId(0)), &[1.0, 2.0]);
+        assert_eq!(w.get(WeightId(1)), &[] as &[f32]);
+        assert_eq!(w.len_of(WeightId(2)), 5);
+        assert_eq!(w.total_elems(), 7);
+        assert_eq!(w.bytes(), 28);
+    }
+}

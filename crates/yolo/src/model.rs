@@ -134,12 +134,30 @@ impl Yolov4 {
 /// [`Yolov4::compile_inference`]). Holds the op plan plus a persistent
 /// arena; after the first call at a given batch size, [`CompiledModel::run`]
 /// allocates nothing.
+///
+/// The plan and its folded weights live behind an `Arc`, so
+/// [`CompiledModel::fork_worker`] hands a serving pool N independent engines
+/// that share one copy of the parameters — unlike the tape-bound [`Yolov4`]
+/// itself, a `CompiledModel` is `Send` and crosses thread boundaries.
 pub struct CompiledModel {
     exec: Executor,
     input_size: usize,
 }
 
 impl CompiledModel {
+    /// A sibling engine sharing this one's plan and weights, with a fresh
+    /// private arena. This is the unit of data-parallel serving: compile
+    /// once, fork per worker; outputs are bit-identical to the parent's.
+    pub fn fork_worker(&self) -> CompiledModel {
+        CompiledModel { exec: self.exec.fork(), input_size: self.input_size }
+    }
+
+    /// The shared parameter store. The `Arc`'s strong count counts plans,
+    /// not workers (forks share the plan); it is the handle leak-checks and
+    /// memory accounting key on.
+    pub fn shared_weights(&self) -> std::sync::Arc<platter_tensor::PlanWeights> {
+        self.exec.plan().weights().clone()
+    }
     /// Raw head logits `[stride8, stride16, stride32]` for an
     /// `[n, 3, s, s]` input batch. The returned slice (always length 3)
     /// aliases executor-owned tensors and is overwritten by the next call.

@@ -1,0 +1,82 @@
+//! Weight-sharing concurrency suite for the compiled engine.
+//!
+//! The serving pool's whole ownership story rests on two properties of
+//! [`CompiledModel::fork_worker`]: forks running concurrently on their own
+//! threads produce outputs bit-identical to the master engine, and dropping
+//! the engines releases the shared plan + weights (no copies were made, and
+//! nothing leaks). Both are pinned here at the yolo layer, below any
+//! serving machinery.
+
+use std::sync::Arc;
+
+use platter_tensor::Tensor;
+use platter_yolo::{YoloConfig, Yolov4};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn nano_model(seed: u64) -> Yolov4 {
+    Yolov4::new(YoloConfig { input_size: 32, width: 0.1, ..YoloConfig::micro(10) }, seed)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn forked_workers_match_master_bit_for_bit_across_threads() {
+    let model = nano_model(11);
+    let mut master = model.compile_inference();
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs: Vec<Tensor> =
+        (0..3).map(|_| Tensor::randn(&[2, 3, 32, 32], &mut rng)).collect();
+
+    // Reference outputs from the master engine, single-threaded.
+    let want: Vec<Vec<Vec<u32>>> = inputs
+        .iter()
+        .map(|x| master.run(x).iter().map(bits).collect())
+        .collect();
+
+    // Four forks, each on its own thread, each running every input. The
+    // forks share the master's plan and weights; only scratch is private,
+    // so every head tensor must come back bit-identical.
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let mut engine = master.fork_worker();
+            let inputs = &inputs;
+            let want = &want;
+            scope.spawn(move || {
+                for (i, x) in inputs.iter().enumerate() {
+                    let got: Vec<Vec<u32>> = engine.run(x).iter().map(bits).collect();
+                    assert_eq!(got, want[i], "worker {worker} diverged on input {i}");
+                }
+            });
+        }
+    });
+
+    // The master is untouched by its forks' work.
+    let after: Vec<Vec<u32>> = master.run(&inputs[0]).iter().map(bits).collect();
+    assert_eq!(after, want[0]);
+}
+
+#[test]
+fn dropping_engines_releases_the_shared_weights() {
+    let model = nano_model(12);
+    let master = model.compile_inference();
+    let weights = master.shared_weights();
+    // One count inside the plan, one held here. Forks share the plan (which
+    // owns the weights), so the count stays put no matter how many workers
+    // exist — that is the whole point of the split.
+    assert_eq!(Arc::strong_count(&weights), 2);
+    let forks: Vec<_> = (0..8).map(|_| master.fork_worker()).collect();
+    assert_eq!(Arc::strong_count(&weights), 2);
+
+    // A fork keeps working after the master is gone…
+    let mut survivor = forks.into_iter().next().unwrap();
+    drop(master);
+    let out = survivor.run(&Tensor::zeros(&[1, 3, 32, 32]));
+    assert_eq!(out.len(), 3);
+
+    // …and once the last engine drops, only our handle remains.
+    drop(survivor);
+    assert_eq!(Arc::strong_count(&weights), 1);
+}
