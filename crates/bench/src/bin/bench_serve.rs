@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use platter_bench::{host_record, write_json, HostRecord, RunScale};
 use platter_obs::{HistogramSnapshot, MetricsSnapshot};
-use platter_serve::{Pending, ServeConfig, ServeError, ServePool};
+use platter_serve::{ModelRegistry, Pending, ServeConfig, ServeError, ServePool};
 use platter_tensor::Tensor;
 use platter_yolo::{YoloConfig, Yolov4};
 use rand::rngs::StdRng;
@@ -151,6 +151,115 @@ struct WorkerScalingResult {
     worker_counters: Vec<WorkerCounterRecord>,
 }
 
+/// Hot-swap under sustained load: the registry flips the live model while
+/// closed-loop submitters keep the pool busy. The claim under test is the
+/// DESIGN.md §15 one — a swap is a pointer flip plus a drain, so it must
+/// cost microseconds on the control path and drop **zero** accepted jobs.
+#[derive(Serialize)]
+struct SwapRecord {
+    /// Number of live-model flips performed during the run.
+    swaps: u64,
+    mean_swap_ms: f64,
+    max_swap_ms: f64,
+    /// Deepest accepted-but-unanswered backlog observed at a flip instant —
+    /// the work that must drain on the outgoing model's forks.
+    max_inflight_at_swap: u64,
+    accepted: u64,
+    completed: u64,
+    /// `accepted - completed` after every submitter joined. The verify
+    /// gate requires this to be exactly zero.
+    dropped_jobs: u64,
+    /// Stale-fork rebuilds across all workers (each worker re-forks once
+    /// per flip it observes).
+    reforks: u64,
+    /// Drained models the registry released back to a single weight ref.
+    retired: usize,
+}
+
+/// Flip the live model `swaps` times while `submitters` closed-loop
+/// threads keep traffic flowing, alternating between two weight sets so
+/// every flip lands on genuinely different parameters.
+fn swap_under_load(model: &Yolov4, x: &Tensor, swaps: u64, submitters: usize) -> SwapRecord {
+    let dir = std::env::temp_dir().join(format!("platter-bench-swap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cfg_b = YoloConfig { input_size: 32, width: 0.05, ..YoloConfig::micro(10) };
+    let other = Yolov4::new(cfg_b.clone(), 43);
+    let path_a = dir.join("a.pltw");
+    let path_b = dir.join("b.pltw");
+    std::fs::write(&path_a, model.save()).expect("write weights");
+    std::fs::write(&path_b, other.save()).expect("write weights");
+
+    let pool = Arc::new(ServePool::new(model, pool_config(2, 8, 256)));
+    warm(&pool, x, 64);
+    let registry = ModelRegistry::default();
+    registry.adopt_live(&pool).expect("adopt live");
+    // Load and smoke every candidate before the clock starts: eligibility
+    // is off the hot path by design.
+    let keys: Vec<String> = (1..=swaps)
+        .map(|v| {
+            let path = if v % 2 == 1 { &path_b } else { &path_a };
+            registry
+                .load_file("default", v, cfg_b.clone(), path)
+                .expect("candidate loads and smokes")
+        })
+        .collect();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let threads: Vec<_> = (0..submitters)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            let x = x.clone();
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match pool.submit_tensor(&x) {
+                        Ok(p) => {
+                            p.wait().expect("swap must never fail a request");
+                        }
+                        Err(ServeError::Rejected { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut swap_secs = Vec::with_capacity(swaps as usize);
+    let mut max_inflight = 0u64;
+    let mut retired = 0usize;
+    for key in &keys {
+        std::thread::sleep(Duration::from_millis(5));
+        let s = pool.stats();
+        max_inflight = max_inflight.max(s.accepted - s.completed);
+        let t = Instant::now();
+        registry.hot_swap(&pool, key).expect("swap");
+        swap_secs.push(t.elapsed().as_secs_f64());
+        retired += registry.retire_drained().len();
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for t in threads {
+        t.join().expect("submitter");
+    }
+    retired += registry.retire_drained().len();
+
+    let stats = pool.stats();
+    let reforks = pool.metrics().counter("serve.swap.reforks").unwrap_or(0);
+    pool.shutdown();
+    assert_eq!(stats.swaps, swaps, "every flip must be counted");
+    SwapRecord {
+        swaps: stats.swaps,
+        mean_swap_ms: swap_secs.iter().sum::<f64>() / swap_secs.len() as f64 * 1e3,
+        max_swap_ms: swap_secs.iter().cloned().fold(0.0, f64::max) * 1e3,
+        max_inflight_at_swap: max_inflight,
+        accepted: stats.accepted,
+        completed: stats.completed,
+        dropped_jobs: stats.accepted - stats.completed,
+        reforks,
+        retired,
+    }
+}
+
 #[derive(Serialize)]
 struct ModeResult {
     max_batch: usize,
@@ -177,6 +286,8 @@ struct ServeBenchReport {
     /// Burst throughput at `max_batch = 8` for 1..=min(host_cpus, 4)
     /// workers sharing one set of plan weights.
     worker_scaling: Vec<WorkerScalingResult>,
+    /// Registry hot-swaps under sustained closed-loop load.
+    swap: SwapRecord,
     results: Vec<ModeResult>,
 }
 
@@ -407,6 +518,19 @@ fn main() {
         });
     }
 
+    // Hot-swap under load: flips scale with the run, load width with the host.
+    let n_swaps = match scale {
+        RunScale::Smoke => 4,
+        RunScale::Standard => 8,
+        RunScale::Extended => 16,
+    };
+    let swap = swap_under_load(&model, &x, n_swaps, host.workers.min(2));
+    println!(
+        "hot-swap under load: {} swaps  mean {:.3} ms  max {:.3} ms  inflight<= {}  dropped {}",
+        swap.swaps, swap.mean_swap_ms, swap.max_swap_ms, swap.max_inflight_at_swap, swap.dropped_jobs
+    );
+    assert_eq!(swap.dropped_jobs, 0, "a hot swap must never drop an accepted job");
+
     let report = ServeBenchReport {
         config: "nano",
         input_size: size,
@@ -415,6 +539,7 @@ fn main() {
         batching_gain_at_4: results[1].burst_throughput_rps / per_request_rps,
         batching_gain_at_8: results[2].burst_throughput_rps / per_request_rps,
         worker_scaling,
+        swap,
         results,
     };
     write_json("BENCH_serve", &report);

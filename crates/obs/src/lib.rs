@@ -22,7 +22,7 @@ pub mod profile;
 mod json;
 
 pub use metrics::{
-    exp_bounds, BucketCount, Counter, CounterSnapshot, Histogram, HistogramSnapshot,
-    MetricsRegistry, MetricsSnapshot,
+    exp_bounds, metric_label, BucketCount, Counter, CounterSnapshot, Histogram,
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use profile::{OpStat, ProfileReport, Profiler, StepStat};

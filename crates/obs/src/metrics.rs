@@ -187,6 +187,24 @@ pub fn exp_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
     (0..count).map(|i| start * factor.powi(i as i32)).collect()
 }
 
+/// Sanitize a free-form label (a model name, a file stem) into one
+/// dot-path-safe metric segment: `[A-Za-z0-9_-]` pass through, everything
+/// else — including `.`, which would silently split the label into extra
+/// path segments — becomes `_`. Empty input becomes `"_"` so the resulting
+/// metric name never has a zero-width segment.
+///
+/// This is what lets per-model-version metrics like
+/// `serve.model.{label}.batches` embed operator-supplied version names
+/// without corrupting the metric namespace.
+pub fn metric_label(raw: &str) -> String {
+    if raw.is_empty() {
+        return "_".to_string();
+    }
+    raw.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
 #[derive(Default)]
 struct RegistryInner {
     counters: Vec<(String, Arc<Counter>)>,
@@ -460,6 +478,17 @@ mod tests {
         assert_eq!(s.count, 1);
         assert_eq!(s.dropped, 2);
         assert!(s.sum.is_finite() && s.p99.is_finite());
+    }
+
+    #[test]
+    fn metric_label_sanitizes_to_one_segment() {
+        assert_eq!(metric_label("yolov4-v2"), "yolov4-v2");
+        assert_eq!(metric_label("indianfood.v2"), "indianfood_v2", "dots would split the path");
+        assert_eq!(metric_label("weights/run 3@prod"), "weights_run_3_prod");
+        assert_eq!(metric_label(""), "_");
+        // Idempotent: a sanitized label sanitizes to itself.
+        let once = metric_label("a.b/c d");
+        assert_eq!(metric_label(&once), once);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum ServeError {
     CorruptOutput,
     /// The pool is shutting down (or was dropped with the request queued).
     ShuttingDown,
+    /// A routed submission named a model the pool does not expose. Refused
+    /// at the door — an unknown route must not cost queue space.
+    UnknownModel {
+        /// The route key the request asked for.
+        model: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -49,6 +55,9 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
             ServeError::CorruptOutput => write!(f, "model produced non-finite outputs"),
             ServeError::ShuttingDown => write!(f, "serving pool is shutting down"),
+            ServeError::UnknownModel { model } => {
+                write!(f, "no routed model named {model}")
+            }
         }
     }
 }
@@ -107,6 +116,7 @@ mod tests {
             ServeError::WorkerPanic { message: "boom".into() },
             ServeError::CorruptOutput,
             ServeError::ShuttingDown,
+            ServeError::UnknownModel { model: "resnet@v9".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -1,15 +1,30 @@
 //! Deterministic fault injection for the serving pool.
 //!
 //! Mirrors the training runtime's `FaultPlan` (see `platter-yolo`'s
-//! `runtime` module): faults are keyed to the global *batch sequence
-//! number* the pool assigns as workers pick up work, not to wall-clock
-//! time, so a seeded plan reproduces the exact same trip/recover trace on
-//! every run. Each fault fires exactly once.
+//! `runtime` module): faults are keyed to deterministic sequence numbers,
+//! not to wall-clock time, so a seeded plan reproduces the exact same
+//! trip/recover trace on every run. Each fault fires exactly once.
+//!
+//! Two sequences exist side by side:
+//!
+//! * **batch faults** ([`ServeFaultPlan::at`]) are keyed to the global
+//!   *batch sequence number* the pool assigns as workers pick up work, and
+//!   are consumed inside the worker's execution attempt
+//!   ([`ServeFault::WorkerPanic`], [`ServeFault::SlowExec`],
+//!   [`ServeFault::CorruptOutput`]);
+//! * **swap faults** ([`ServeFaultPlan::at_swap`]) are keyed to the model
+//!   registry's *load/swap attempt number* and are consumed by
+//!   `ModelRegistry::load_file` — they corrupt, stall, or de-calibrate a
+//!   *candidate* model while it is still off the hot path
+//!   ([`ServeFault::CorruptCandidate`], [`ServeFault::SlowLoad`],
+//!   [`ServeFault::CandidateParityFail`]), proving a bad candidate is
+//!   rejected on a typed counter while the incumbent keeps serving.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// A failure injected into the execution of one batch.
+/// A failure injected into the execution of one batch, or into the load of
+/// one candidate model.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServeFault {
     /// Panic inside the worker's forward pass (tests `catch_unwind`
@@ -25,12 +40,30 @@ pub enum ServeFault {
     /// Overwrite the compiled head outputs with NaNs (tests the output
     /// guard and the breaker's eager fallback).
     CorruptOutput,
+    /// Flip one byte of the candidate's weight file contents after the
+    /// read — the CRC check must reject it as `WeightError::Corrupt`
+    /// before any tensor is built (swap-time; schedule with
+    /// [`ServeFaultPlan::at_swap`]).
+    CorruptCandidate,
+    /// Stall the candidate load for `delay` — the load happens off the hot
+    /// path, so the incumbent must keep answering at full rate throughout
+    /// (swap-time).
+    SlowLoad {
+        /// How long the load appears to hang.
+        delay: Duration,
+    },
+    /// Perturb one candidate parameter *after* the engine is compiled, so
+    /// the eager reference and the compiled plan disagree and the parity
+    /// smoke must reject the candidate (swap-time).
+    CandidateParityFail,
 }
 
-/// A schedule of injected faults keyed by batch sequence number.
+/// A schedule of injected faults keyed by batch sequence number (worker
+/// faults) and by swap attempt number (registry faults).
 #[derive(Clone, Debug, Default)]
 pub struct ServeFaultPlan {
     faults: BTreeMap<u64, Vec<ServeFault>>,
+    swap_faults: BTreeMap<u64, Vec<ServeFault>>,
 }
 
 impl ServeFaultPlan {
@@ -45,15 +78,28 @@ impl ServeFaultPlan {
         self
     }
 
+    /// Schedule `fault` to fire during the registry's `swap`-th load/swap
+    /// attempt (0-based, counted across the registry's lifetime).
+    pub fn at_swap(mut self, swap: u64, fault: ServeFault) -> ServeFaultPlan {
+        self.swap_faults.entry(swap).or_default().push(fault);
+        self
+    }
+
     /// Remove and return the faults scheduled for `batch` (each fires
     /// once).
     pub fn take(&mut self, batch: u64) -> Vec<ServeFault> {
         self.faults.remove(&batch).unwrap_or_default()
     }
 
-    /// True when no faults remain.
+    /// Remove and return the faults scheduled for swap attempt `swap`
+    /// (each fires once).
+    pub fn take_swap(&mut self, swap: u64) -> Vec<ServeFault> {
+        self.swap_faults.remove(&swap).unwrap_or_default()
+    }
+
+    /// True when no faults remain in either sequence.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.swap_faults.is_empty()
     }
 }
 
@@ -77,6 +123,21 @@ mod tests {
         assert!(plan.take(0).is_empty(), "batch-0 faults fire exactly once");
         assert!(plan.take(1).is_empty());
         assert_eq!(plan.take(2), vec![ServeFault::WorkerPanic]);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn swap_faults_are_a_separate_sequence() {
+        let mut plan = ServeFaultPlan::new()
+            .at(0, ServeFault::WorkerPanic)
+            .at_swap(0, ServeFault::CorruptCandidate)
+            .at_swap(1, ServeFault::CandidateParityFail);
+        // Swap attempt 0 sees only the swap-keyed fault, not the batch one.
+        assert_eq!(plan.take_swap(0), vec![ServeFault::CorruptCandidate]);
+        assert!(plan.take_swap(0).is_empty(), "swap faults fire exactly once");
+        assert_eq!(plan.take(0), vec![ServeFault::WorkerPanic]);
+        assert!(!plan.is_empty(), "swap attempt 1 still pending");
+        assert_eq!(plan.take_swap(1), vec![ServeFault::CandidateParityFail]);
         assert!(plan.is_empty());
     }
 }

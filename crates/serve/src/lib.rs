@@ -22,9 +22,17 @@
 //!   path, and periodic recompile probes restore the fast path when it
 //!   heals.
 //!
+//! On top of the pool sits the [`ModelRegistry`] (DESIGN.md §15): named,
+//! versioned models loaded from CRC-verified weight files, parity-smoked
+//! against the eager reference before they may touch traffic, hot-swapped
+//! into the live slot with zero dropped requests, shadow-deployed against
+//! a deterministic fraction of traffic, and promoted or rolled back by a
+//! canary controller that never promotes into an open circuit breaker.
+//!
 //! Everything is deterministic under test: the fault-injection schedule
-//! ([`ServeFaultPlan`]) is keyed to batch sequence numbers, and the
-//! breaker counts batches rather than seconds.
+//! ([`ServeFaultPlan`]) is keyed to batch sequence numbers (and swap
+//! attempts, for registry faults), and the breaker counts batches rather
+//! than seconds.
 //!
 //! ## Example
 //!
@@ -47,11 +55,16 @@ pub mod breaker;
 pub mod error;
 pub mod fault;
 pub mod pool;
+pub mod registry;
 pub mod sanitize;
 
 pub use breaker::{BreakerConfig, CircuitBreaker, ExecPath};
 pub use error::ServeError;
 pub use fault::{ServeFault, ServeFaultPlan};
 pub use platter_yolo::TtaConfig;
-pub use pool::{Pending, ServeConfig, ServePool, ServeStats};
+pub use pool::{Pending, ServeConfig, ServePool, ServeStats, ShadowStatus};
+pub use registry::{
+    CanaryConfig, CanaryDecision, ModelInfo, ModelRegistry, ModelState, RegistryConfig,
+    RegistryError, RollbackReason, SwapReport,
+};
 pub use sanitize::{sanitize_image, sanitize_tensor, InputError, Quarantine, QuarantineRecord};

@@ -29,13 +29,26 @@
 //!   arena is per-worker. Requests land on per-worker queues (round-robin),
 //!   and an idle worker **steals** from the deepest sibling queue, so a
 //!   burst aimed at one queue is absorbed by the whole pool.
+//! * **Zero-downtime model swaps** — the served model lives in an
+//!   epoch-stamped *live slot*. `ServePool::swap_live` (crate-internal;
+//!   only the [`ModelRegistry`](crate::ModelRegistry) calls it, and CI
+//!   gates that) replaces the slot atomically; each worker notices the
+//!   epoch bump at its next batch, forks the new plan, and drops its old
+//!   fork — in-flight batches finish on the engine they started on, no
+//!   request is dropped, and the retired plan's weights are freed once the
+//!   last fork is gone.
+//! * **Routing and shadowing** — requests may target a named model
+//!   ([`ServePool::submit_image_to`]) registered alongside the default,
+//!   and a shadow model can mirror a deterministic fraction of default
+//!   traffic, its detections diffed bit-exactly into metrics without ever
+//!   touching a response or the breaker.
 //!
 //! `Yolov4` itself holds parameters behind `Rc` and is not `Send`; only the
 //! *eager fallback* still needs it, so each worker rebuilds that replica
-//! lazily from the pool's weight snapshot on first degraded batch — a
-//! healthy pool shares everything.
+//! lazily from the served model's weight snapshot on first degraded batch —
+//! a healthy pool shares everything.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -46,14 +59,14 @@ use std::time::{Duration, Instant};
 use platter_imaging::augment::unletterbox_box;
 use platter_imaging::Image;
 use platter_obs::{exp_bounds, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
-use platter_tensor::serialize::{Bytes, LoadMode};
 use platter_tensor::Tensor;
-use platter_yolo::{decode_detections, merge_tta, nms, CompiledModel, Detection, NmsKind, TtaConfig, TtaView, YoloConfig, Yolov4};
+use platter_yolo::{decode_detections, merge_tta, nms, CompiledModel, Detection, NmsKind, TtaConfig, TtaView, Yolov4};
 use serde::Serialize;
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, ExecPath, Transition};
 use crate::error::ServeError;
 use crate::fault::{ServeFault, ServeFaultPlan};
+use crate::registry::ModelEntry;
 use crate::sanitize::{sanitize_image, sanitize_tensor, Quarantine, QuarantineRecord};
 
 /// Lock a mutex, recovering the data if a previous holder panicked — a
@@ -91,6 +104,11 @@ pub struct ServeConfig {
     /// View recipe used by TTA submissions ([`ServePool::submit_image_tta`]
     /// and friends); plain submissions ignore it.
     pub tta: TtaConfig,
+    /// Name of the model the pool is constructed with (labels its metrics
+    /// as `serve.model.{name}-v{version}.*` and keys it in the registry).
+    pub model_name: String,
+    /// Version of the constructed model.
+    pub model_version: u64,
 }
 
 impl ServeConfig {
@@ -109,6 +127,8 @@ impl ServeConfig {
             nms_iou: 0.45,
             nms_kind: NmsKind::Diou,
             tta: TtaConfig::standard(),
+            model_name: "default".to_string(),
+            model_version: 0,
         }
     }
 }
@@ -133,6 +153,9 @@ struct Job {
     submitted: Instant,
     /// Whether this request asked for test-time augmentation.
     tta: bool,
+    /// Pinned model for routed submissions; `None` serves on the pool-wide
+    /// default (whatever is live when the batch runs).
+    route: Option<Arc<ModelEntry>>,
     reply: SyncSender<Result<Vec<Detection>, ServeError>>,
 }
 
@@ -178,6 +201,8 @@ pub struct ServeStats {
     pub breaker_recoveries: u64,
     /// Recompile probes attempted.
     pub breaker_probes: u64,
+    /// Live-slot hot swaps performed.
+    pub swaps: u64,
 }
 
 #[derive(Default)]
@@ -191,6 +216,7 @@ struct Counters {
     corrupt_outputs: AtomicU64,
     compiled_batches: AtomicU64,
     eager_batches: AtomicU64,
+    swaps: AtomicU64,
 }
 
 /// Observability handles registered in the pool-owned [`MetricsRegistry`].
@@ -218,6 +244,20 @@ struct ServeMetrics {
     /// …and degenerate / oversized image dimensions. Together these make
     /// degraded-input shedding observable per failure mode.
     sanitize_baddims: Arc<Counter>,
+    /// Live-slot swaps (`serve.swap.count`) and the stale forks workers
+    /// dropped when they picked a swap up (`serve.swap.reforks`): reforks
+    /// reaching the worker count is the drain completing.
+    swap_count: Arc<Counter>,
+    swap_reforks: Arc<Counter>,
+    /// Shadow mirroring: batches mirrored, images whose detections
+    /// diverged from the incumbent's (bit-exact comparison), and shadow
+    /// execution failures. Shadow outcomes feed *only* these counters —
+    /// never a response, never the breaker.
+    shadow_batches: Arc<Counter>,
+    shadow_disagreements: Arc<Counter>,
+    shadow_errors: Arc<Counter>,
+    /// Per-batch fraction of mirrored images that disagreed.
+    shadow_disagreement: Arc<Histogram>,
     /// Batches executed by worker `i` (`serve.worker.{i}.batches`) — the
     /// balance across workers is the data-parallelism actually achieved.
     worker_batches: Vec<Arc<Counter>>,
@@ -243,6 +283,13 @@ impl ServeMetrics {
             sanitize_nonfinite: registry.counter("serve.sanitize.nonfinite"),
             sanitize_badshape: registry.counter("serve.sanitize.badshape"),
             sanitize_baddims: registry.counter("serve.sanitize.baddims"),
+            swap_count: registry.counter("serve.swap.count"),
+            swap_reforks: registry.counter("serve.swap.reforks"),
+            shadow_batches: registry.counter("serve.shadow.batches"),
+            shadow_disagreements: registry.counter("serve.shadow.disagreements"),
+            shadow_errors: registry.counter("serve.shadow.errors"),
+            shadow_disagreement: registry
+                .histogram("serve.shadow.disagreement", &[0.01, 0.05, 0.25, 0.5, 1.0]),
             worker_batches: (0..workers)
                 .map(|i| registry.counter(&format!("serve.worker.{i}.batches")))
                 .collect(),
@@ -262,22 +309,71 @@ impl ServeMetrics {
         }
     }
 
-    fn on_breaker(&self, t: Transition) {
+    /// Batches executed on the model labelled `label`
+    /// (`serve.model.{label}.batches`).
+    fn model_batches(&self, label: &str) -> Arc<Counter> {
+        self.registry.counter(&format!("serve.model.{label}.batches"))
+    }
+
+    /// Record a breaker transition globally and against the model that was
+    /// serving when it happened (`serve.model.{label}.breaker_transitions`)
+    /// — after a swap the two series tell incumbent and candidate apart.
+    fn on_breaker(&self, t: Transition, label: &str) {
         if t != Transition::None {
             self.breaker_transitions.inc();
+            self.registry.counter(&format!("serve.model.{label}.breaker_transitions")).inc();
         }
     }
 }
 
+/// The epoch-stamped live slot: which model new default batches fork.
+struct LiveSlot {
+    entry: Arc<ModelEntry>,
+    /// Bumped on every swap; workers compare it at batch start and re-fork
+    /// when stale.
+    epoch: u64,
+}
+
+/// Progress of the current shadow deployment. Returned by
+/// [`ServePool::shadow_status`]; the canary controller reads it.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct ShadowStatus {
+    /// Default batches mirrored onto the shadow model.
+    pub batches: u64,
+    /// Images mirrored in those batches.
+    pub images: u64,
+    /// Mirrored images whose detections differed (bit-exact multiset
+    /// comparison) from the incumbent's.
+    pub disagreements: u64,
+    /// Shadow executions that failed (panic, non-finite outputs, executor
+    /// error). Failures stay here — they never reach a client or the
+    /// breaker.
+    pub errors: u64,
+}
+
+struct ShadowState {
+    entry: Arc<ModelEntry>,
+    /// Mirror batch `b` iff `b % den < num` — a deterministic `num/den`
+    /// fraction keyed to the batch sequence, so fault-free runs replay
+    /// identical shadow traffic.
+    num: u64,
+    den: u64,
+    status: ShadowStatus,
+}
+
 struct Shared {
     cfg: ServeConfig,
-    model_cfg: YoloConfig,
-    /// Weight snapshot for the *eager fallback* replicas only; the compiled
-    /// path shares `engine`'s plan instead of reparsing this.
-    weights: Bytes,
-    /// Master compiled engine. Workers fork it (`fork_worker`): every fork
-    /// shares this engine's plan + folded weights and owns only scratch.
-    engine: CompiledModel,
+    /// Input size every model served by this pool must share (fixed by the
+    /// model the pool was constructed with; the registry enforces it for
+    /// candidates).
+    input_size: usize,
+    /// The live slot. Locked only for pointer reads, swaps, and epoch
+    /// checks — never across a forward pass.
+    live: Mutex<LiveSlot>,
+    /// Named side models for routed submissions.
+    routes: Mutex<HashMap<String, Arc<ModelEntry>>>,
+    /// The shadow deployment, if one is running.
+    shadow: Mutex<Option<ShadowState>>,
     /// One job queue per worker, fed round-robin by `next_queue`. Idle
     /// workers steal from the deepest sibling. (With zero workers a single
     /// queue still exists so admission control is testable in isolation.)
@@ -317,12 +413,14 @@ impl ServePool {
     /// Like [`ServePool::new`], with a deterministic fault schedule (see
     /// [`ServeFaultPlan`]). Production pools pass an empty plan.
     pub fn with_faults(model: &Yolov4, cfg: ServeConfig, faults: ServeFaultPlan) -> ServePool {
+        // Compile once, up front: workers fork this entry's engine instead
+        // of recompiling, so N workers hold one copy of the weights.
+        let entry = Arc::new(ModelEntry::from_model(&cfg.model_name, cfg.model_version, model));
         let shared = Arc::new(Shared {
-            model_cfg: model.config.clone(),
-            weights: model.save(),
-            // Compile once, up front: workers fork this engine instead of
-            // recompiling, so N workers hold one copy of the weights.
-            engine: model.compile_inference(),
+            input_size: model.config.input_size,
+            live: Mutex::new(LiveSlot { entry, epoch: 0 }),
+            routes: Mutex::new(HashMap::new()),
+            shadow: Mutex::new(None),
             queues: (0..cfg.workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
             next_queue: AtomicUsize::new(0),
@@ -351,7 +449,7 @@ impl ServePool {
 
     /// Submit an image with the configured default deadline.
     pub fn submit_image(&self, image: &Image) -> Result<Pending, ServeError> {
-        self.submit_image_inner(image, self.default_deadline(), false)
+        self.submit_image_inner(image, self.default_deadline(), false, None)
     }
 
     /// Submit an image that must start executing before `deadline`.
@@ -360,7 +458,7 @@ impl ServePool {
         image: &Image,
         deadline: Option<Instant>,
     ) -> Result<Pending, ServeError> {
-        self.submit_image_inner(image, deadline, false)
+        self.submit_image_inner(image, deadline, false, None)
     }
 
     /// Submit an image to be served with test-time augmentation (the
@@ -368,7 +466,16 @@ impl ServePool {
     /// exact same sanitization and admission control as a plain submission —
     /// TTA buys recall on degraded inputs, not a side door.
     pub fn submit_image_tta(&self, image: &Image) -> Result<Pending, ServeError> {
-        self.submit_image_inner(image, self.default_deadline(), true)
+        self.submit_image_inner(image, self.default_deadline(), true, None)
+    }
+
+    /// Submit an image pinned to the routed model `model` (a registry key
+    /// exposed via [`ModelRegistry::route`](crate::ModelRegistry::route)).
+    /// Unknown keys answer [`ServeError::UnknownModel`] at the door; a
+    /// routed request keeps its model even across live-slot swaps.
+    pub fn submit_image_to(&self, model: &str, image: &Image) -> Result<Pending, ServeError> {
+        let route = self.resolve_route(model)?;
+        self.submit_image_inner(image, self.default_deadline(), false, Some(route))
     }
 
     fn submit_image_inner(
@@ -376,13 +483,14 @@ impl ServePool {
         image: &Image,
         deadline: Option<Instant>,
         tta: bool,
+        route: Option<Arc<ModelEntry>>,
     ) -> Result<Pending, ServeError> {
         let seq = self.shared.submit_seq.fetch_add(1, Ordering::SeqCst);
         if let Err(e) = sanitize_image(image, self.shared.cfg.max_image_dim) {
             self.refuse(seq, e.clone(), vec![image.width(), image.height()], image.raw());
             return Err(ServeError::BadInput(e));
         }
-        let size = self.shared.model_cfg.input_size;
+        let size = self.shared.input_size;
         let lb = image.letterbox(size);
         let x = Tensor::from_vec(lb.image.to_chw(), &[3, size, size]);
         let map = BoxMap {
@@ -392,7 +500,7 @@ impl ServePool {
             orig_w: image.width(),
             orig_h: image.height(),
         };
-        self.enqueue(x, Some(map), deadline, tta)
+        self.enqueue(x, Some(map), deadline, tta, route)
     }
 
     /// Submit an already-preprocessed `[3, s, s]` tensor with the default
@@ -408,13 +516,20 @@ impl ServePool {
         x: &Tensor,
         deadline: Option<Instant>,
     ) -> Result<Pending, ServeError> {
-        self.submit_tensor_inner(x, deadline, false)
+        self.submit_tensor_inner(x, deadline, false, None)
     }
 
     /// Submit a tensor to be served with test-time augmentation; same
     /// sanitization as [`ServePool::submit_tensor`].
     pub fn submit_tensor_tta(&self, x: &Tensor) -> Result<Pending, ServeError> {
-        self.submit_tensor_inner(x, self.default_deadline(), true)
+        self.submit_tensor_inner(x, self.default_deadline(), true, None)
+    }
+
+    /// Submit a tensor pinned to the routed model `model`; see
+    /// [`ServePool::submit_image_to`].
+    pub fn submit_tensor_to(&self, model: &str, x: &Tensor) -> Result<Pending, ServeError> {
+        let route = self.resolve_route(model)?;
+        self.submit_tensor_inner(x, self.default_deadline(), false, Some(route))
     }
 
     fn submit_tensor_inner(
@@ -422,13 +537,14 @@ impl ServePool {
         x: &Tensor,
         deadline: Option<Instant>,
         tta: bool,
+        route: Option<Arc<ModelEntry>>,
     ) -> Result<Pending, ServeError> {
         let seq = self.shared.submit_seq.fetch_add(1, Ordering::SeqCst);
-        if let Err(e) = sanitize_tensor(x, self.shared.model_cfg.input_size) {
+        if let Err(e) = sanitize_tensor(x, self.shared.input_size) {
             self.refuse(seq, e.clone(), x.shape().to_vec(), x.as_slice());
             return Err(ServeError::BadInput(e));
         }
-        self.enqueue(x.clone(), None, deadline, tta)
+        self.enqueue(x.clone(), None, deadline, tta, route)
     }
 
     /// Convenience: submit an image and block for the answer.
@@ -439,6 +555,12 @@ impl ServePool {
     /// Convenience: submit an image with TTA and block for the answer.
     pub fn detect_tta(&self, image: &Image) -> Result<Vec<Detection>, ServeError> {
         self.submit_image_tta(image)?.wait()
+    }
+
+    /// Convenience: submit an image pinned to routed model `model` and
+    /// block for the answer.
+    pub fn detect_with(&self, model: &str, image: &Image) -> Result<Vec<Detection>, ServeError> {
+        self.submit_image_to(model, image)?.wait()
     }
 
     /// Snapshot of the pool's counters.
@@ -458,14 +580,17 @@ impl ServePool {
             breaker_trips: b.trips(),
             breaker_recoveries: b.recoveries(),
             breaker_probes: b.probes(),
+            swaps: s.swaps.load(Ordering::SeqCst),
         }
     }
 
     /// Snapshot of the observability registry: `serve.queue_depth`,
     /// `serve.batch_size`, and `serve.latency_ms` histograms (count, mean,
     /// p50/p90/p99, buckets) plus shed / deadline-miss / breaker-transition
-    /// counters. Complements [`ServePool::stats`], which is monotonic
-    /// counters only.
+    /// counters, per-model batch counters (`serve.model.{label}.batches`),
+    /// swap counters (`serve.swap.*`), and shadow diff counters
+    /// (`serve.shadow.*`). Complements [`ServePool::stats`], which is
+    /// monotonic counters only.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.registry.snapshot()
     }
@@ -485,12 +610,36 @@ impl ServePool {
         self.shared.queued.load(Ordering::SeqCst)
     }
 
-    /// The parameter store all worker engines share. The returned `Arc`'s
-    /// strong count drops back to 1 once the pool (and every engine forked
-    /// from its plan) is gone — the leak check after panic-isolation
-    /// discards.
+    /// Input size every model served by this pool must share.
+    pub fn input_size(&self) -> usize {
+        self.shared.input_size
+    }
+
+    /// Name, version, and weight fingerprint of the model currently in the
+    /// live slot.
+    pub fn live_model(&self) -> (String, u64, u64) {
+        let live = lock(&self.shared.live);
+        (live.entry.name().to_string(), live.entry.version(), live.entry.fingerprint())
+    }
+
+    /// Keys currently routable via [`ServePool::submit_image_to`], sorted.
+    pub fn routes(&self) -> Vec<String> {
+        let mut keys: Vec<String> = lock(&self.shared.routes).keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Progress of the current shadow deployment, if one is running.
+    pub fn shadow_status(&self) -> Option<ShadowStatus> {
+        lock(&self.shared.shadow).as_ref().map(|s| s.status)
+    }
+
+    /// The parameter store the live model's worker engines share. The
+    /// returned `Arc`'s strong count drops back to 1 once every engine
+    /// forked from the plan is gone — the leak check behind both
+    /// panic-isolation discards and hot-swap drains.
     pub fn shared_weights(&self) -> Arc<platter_tensor::PlanWeights> {
-        self.shared.engine.shared_weights()
+        lock(&self.shared.live).entry.shared_weights()
     }
 
     /// Stop admitting work, let workers drain the queues, and join them.
@@ -502,6 +651,69 @@ impl ServePool {
         for h in handles {
             let _ = h.join();
         }
+    }
+
+    /// The live entry (crate-internal; the registry adopts it).
+    pub(crate) fn live_entry(&self) -> Arc<ModelEntry> {
+        Arc::clone(&lock(&self.shared.live).entry)
+    }
+
+    /// Atomically replace the live model and bump the epoch, returning the
+    /// displaced incumbent. Workers notice the epoch change at their next
+    /// batch and re-fork; batches already executing finish on the old
+    /// engine — nothing in flight is dropped.
+    ///
+    /// This is the **only** place the live slot changes hands, and the
+    /// `ModelRegistry` is its only caller — `scripts/verify.sh` gates
+    /// both, so every swap provably went through load → CRC check →
+    /// parity smoke first.
+    pub(crate) fn swap_live(&self, entry: Arc<ModelEntry>) -> Arc<ModelEntry> {
+        let displaced = {
+            let mut live = lock(&self.shared.live);
+            live.epoch += 1;
+            std::mem::replace(&mut live.entry, entry)
+        };
+        self.shared.stats.swaps.fetch_add(1, Ordering::SeqCst);
+        self.shared.metrics.swap_count.inc();
+        displaced
+    }
+
+    /// Expose `entry` for routed submissions under `key`.
+    pub(crate) fn set_route(&self, key: &str, entry: Arc<ModelEntry>) {
+        lock(&self.shared.routes).insert(key.to_string(), entry);
+    }
+
+    /// Remove a routed model; queued jobs already resolved keep their pin.
+    pub(crate) fn clear_route(&self, key: &str) -> bool {
+        lock(&self.shared.routes).remove(key).is_some()
+    }
+
+    /// Install (`Some((entry, num, den))`) or clear (`None`) the shadow
+    /// deployment, returning the previously shadowed entry. Counters start
+    /// from zero for a new shadow.
+    pub(crate) fn set_shadow(
+        &self,
+        shadow: Option<(Arc<ModelEntry>, u64, u64)>,
+    ) -> Option<Arc<ModelEntry>> {
+        let next = shadow.map(|(entry, num, den)| ShadowState {
+            entry,
+            num,
+            den: den.max(1),
+            status: ShadowStatus::default(),
+        });
+        std::mem::replace(&mut *lock(&self.shared.shadow), next).map(|s| s.entry)
+    }
+
+    /// The currently shadowed entry, if any.
+    pub(crate) fn shadow_entry(&self) -> Option<Arc<ModelEntry>> {
+        lock(&self.shared.shadow).as_ref().map(|s| Arc::clone(&s.entry))
+    }
+
+    fn resolve_route(&self, model: &str) -> Result<Arc<ModelEntry>, ServeError> {
+        lock(&self.shared.routes)
+            .get(model)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel { model: model.to_string() })
     }
 
     fn default_deadline(&self) -> Option<Instant> {
@@ -520,6 +732,7 @@ impl ServePool {
         map: Option<BoxMap>,
         deadline: Option<Instant>,
         tta: bool,
+        route: Option<Arc<ModelEntry>>,
     ) -> Result<Pending, ServeError> {
         let shared = &self.shared;
         let (tx, rx) = mpsc::sync_channel(1);
@@ -545,6 +758,7 @@ impl ServePool {
                 map,
                 deadline,
                 tta,
+                route,
                 submitted: Instant::now(),
                 reply: tx,
             });
@@ -596,6 +810,41 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// A worker's execution context for one model: which entry it serves, the
+/// epoch it was forked at (for swap detection on the default model), the
+/// private compiled fork, the lazily-built eager replica, and the labelled
+/// batch counter. Dropping it releases the fork and the entry `Arc` — that
+/// drop *is* the drain step of a hot swap.
+struct WorkerEngine {
+    entry: Arc<ModelEntry>,
+    epoch: u64,
+    engine: Option<CompiledModel>,
+    eager: Option<Yolov4>,
+    /// `serve.model.{label}.batches`.
+    batches: Arc<Counter>,
+}
+
+impl WorkerEngine {
+    fn new(shared: &Shared, entry: Arc<ModelEntry>, epoch: u64) -> WorkerEngine {
+        let batches = shared.metrics.model_batches(entry.label());
+        WorkerEngine { entry, epoch, engine: None, eager: None, batches }
+    }
+
+    fn from_live(shared: &Shared) -> WorkerEngine {
+        let (entry, epoch) = {
+            let live = lock(&shared.live);
+            (Arc::clone(&live.entry), live.epoch)
+        };
+        let mut we = WorkerEngine::new(shared, entry, epoch);
+        // Fork the master engine eagerly: shares the compiled plan +
+        // weights, owns a fresh arena. The eager replica is built only if
+        // this worker ever degrades — a healthy pool holds one copy of the
+        // parameters total.
+        we.engine = Some(we.entry.fork_engine());
+        we
+    }
+}
+
 /// Run one batch on `path`: forward, output guard, decode, NMS. When any job
 /// in the batch asked for TTA the batch runs once per configured view —
 /// identity first (so engine install and fault injection behave exactly as a
@@ -604,15 +853,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Panics are contained here; the caller decides fallback and breaker
 /// bookkeeping.
 ///
-/// `engine` is the worker's private fork of the pool's master engine; a
+/// `we.engine` is the worker's private fork of `we.entry`'s master engine; a
 /// probe (or a post-discard rebuild) re-forks rather than recompiles — the
 /// shared weights are immutable, so only the scratch arena can have been
-/// left inconsistent. `eager` is the worker's lazily-built `Yolov4` replica,
-/// touched only on the degraded path.
+/// left inconsistent. `we.eager` is the worker's lazily-built `Yolov4`
+/// replica, touched only on the degraded path.
 fn run_attempt(
     shared: &Shared,
-    eager: &mut Option<Yolov4>,
-    engine: &mut Option<CompiledModel>,
+    we: &mut WorkerEngine,
     path: ExecPath,
     x: &Tensor,
     inject: &Injected,
@@ -622,6 +870,7 @@ fn run_attempt(
     let n_images = x.shape()[0];
     let views: Vec<TtaView> =
         if tta_flags.iter().any(|&f| f) { cfg.tta.views() } else { vec![TtaView::Identity] };
+    let WorkerEngine { entry, engine, eager, .. } = we;
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         if inject.panic {
             panic!("injected worker panic");
@@ -639,7 +888,7 @@ fn run_attempt(
             let mut heads: Vec<Tensor> = match path {
                 ExecPath::Compiled | ExecPath::Probe => {
                     if (path == ExecPath::Probe && view.is_identity()) || engine.is_none() {
-                        *engine = Some(shared.engine.fork_worker());
+                        *engine = Some(entry.fork_engine());
                     }
                     let e = engine.as_mut().expect("engine just installed");
                     // Shapes were validated at admission; a residual executor
@@ -650,15 +899,9 @@ fn run_attempt(
                     }
                 }
                 ExecPath::Eager => {
-                    let model = eager.get_or_insert_with(|| {
-                        // First degraded batch on this worker: rebuild the
-                        // reference replica from the snapshot. Strict mode —
-                        // the snapshot comes from an identical config.
-                        let m = Yolov4::new(shared.model_cfg.clone(), 0);
-                        m.load(&shared.weights, LoadMode::Strict)
-                            .expect("weight snapshot matches config");
-                        m
-                    });
+                    // First degraded batch on this engine: rebuild the
+                    // reference replica from the entry's weight snapshot.
+                    let model = eager.get_or_insert_with(|| entry.eager_replica());
                     model.infer(input).to_vec()
                 }
             };
@@ -671,7 +914,7 @@ fn run_attempt(
             if heads.iter().any(|h| h.as_slice().iter().any(|v| !v.is_finite())) {
                 return Err(ExecFailure::NonFinite);
             }
-            let candidates = decode_detections(&heads, &shared.model_cfg, cfg.conf_thresh);
+            let candidates = decode_detections(&heads, entry.cfg(), cfg.conf_thresh);
             for (i, cand) in candidates.into_iter().enumerate() {
                 let back: Vec<Detection> = if view.is_identity() {
                     cand
@@ -710,7 +953,7 @@ fn run_attempt(
 
 /// Answer every job in `jobs` with its mapped detections.
 fn reply_ok(shared: &Shared, jobs: Vec<Job>, detections: Vec<Vec<Detection>>) {
-    let size = shared.model_cfg.input_size;
+    let size = shared.input_size;
     for (job, dets) in jobs.into_iter().zip(detections) {
         let out: Vec<Detection> = match &job.map {
             Some(m) => dets
@@ -837,12 +1080,161 @@ fn next_batch(shared: &Shared, wid: usize) -> Option<(Vec<Job>, u64)> {
     }
 }
 
+/// Bit-exact detection identity: class, score bits, box coordinate bits.
+fn det_key(d: &Detection) -> (usize, u32, [u32; 4]) {
+    (
+        d.class,
+        d.score.to_bits(),
+        [d.bbox.cx.to_bits(), d.bbox.cy.to_bits(), d.bbox.w.to_bits(), d.bbox.h.to_bits()],
+    )
+}
+
+/// Whether two detection lists are the same multiset, bit for bit. Forks of
+/// one plan answer bit-identically, so any difference here is a real model
+/// difference, not numeric jitter.
+fn dets_bit_equal(a: &[Detection], b: &[Detection]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut ka: Vec<_> = a.iter().map(det_key).collect();
+    let mut kb: Vec<_> = b.iter().map(det_key).collect();
+    ka.sort_unstable();
+    kb.sort_unstable();
+    ka == kb
+}
+
+/// If a shadow deployment is running and batch `batch_idx` falls in its
+/// deterministic fraction, return the entry to mirror onto.
+fn shadow_pick(shared: &Shared, batch_idx: u64) -> Option<Arc<ModelEntry>> {
+    let guard = lock(&shared.shadow);
+    let s = guard.as_ref()?;
+    if batch_idx % s.den < s.num {
+        Some(Arc::clone(&s.entry))
+    } else {
+        None
+    }
+}
+
+/// Mirror an already-answered default batch onto the shadow entry and diff
+/// the detections. Runs *after* the primary replies went out, never feeds
+/// the breaker, and swallows its own failures into `serve.shadow.errors` —
+/// a broken candidate can cost shadow compute, never a response.
+fn run_shadow(
+    shared: &Shared,
+    entry: Arc<ModelEntry>,
+    x: &Tensor,
+    tta_flags: &[bool],
+    primary: &[Vec<Detection>],
+) {
+    let mut we = WorkerEngine::new(shared, Arc::clone(&entry), 0);
+    let clean = Injected::default();
+    let outcome = run_attempt(shared, &mut we, ExecPath::Compiled, x, &clean, tta_flags);
+    let m = &shared.metrics;
+    let mut guard = lock(&shared.shadow);
+    // The shadow may have been promoted/rolled back while we ran; results
+    // for a stale shadow are discarded rather than polluting the new one.
+    let Some(s) = guard.as_mut() else { return };
+    if !Arc::ptr_eq(&s.entry, &entry) {
+        return;
+    }
+    s.status.batches += 1;
+    m.shadow_batches.inc();
+    match outcome {
+        Ok(dets) => {
+            let total = primary.len();
+            let differing =
+                primary.iter().zip(&dets).filter(|(a, b)| !dets_bit_equal(a, b)).count();
+            s.status.images += total as u64;
+            s.status.disagreements += differing as u64;
+            m.shadow_disagreements.add(differing as u64);
+            m.shadow_disagreement.record(differing as f64 / total.max(1) as f64);
+        }
+        Err(_) => {
+            s.status.errors += 1;
+            m.shadow_errors.inc();
+        }
+    }
+}
+
+/// Execute one same-model group of a picked batch: assemble the input,
+/// plan the breaker path, run (with eager retry on compiled failure),
+/// reply, and — for the default group only — mirror onto the shadow.
+fn run_group(
+    shared: &Shared,
+    we: &mut WorkerEngine,
+    jobs: Vec<Job>,
+    inject: &Injected,
+    batch_idx: u64,
+    mirror: bool,
+) {
+    let size = shared.input_size;
+    let mut data = Vec::with_capacity(jobs.len() * 3 * size * size);
+    for job in &jobs {
+        data.extend_from_slice(job.x.as_slice());
+    }
+    let x = Tensor::from_vec(data, &[jobs.len(), 3, size, size]);
+    let tta_flags: Vec<bool> = jobs.iter().map(|j| j.tta).collect();
+
+    we.batches.inc();
+    let path = lock(&shared.breaker).plan_path();
+    match run_attempt(shared, we, path, &x, inject, &tta_flags) {
+        Ok(dets) => {
+            shared
+                .metrics
+                .on_breaker(lock(&shared.breaker).record_success(path), we.entry.label());
+            let counter = match path {
+                ExecPath::Eager => &shared.stats.eager_batches,
+                _ => &shared.stats.compiled_batches,
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
+            let shadow = if mirror { shadow_pick(shared, batch_idx) } else { None };
+            let primary = shadow.as_ref().map(|_| dets.clone());
+            reply_ok(shared, jobs, dets);
+            if let (Some(entry), Some(primary)) = (shadow, primary) {
+                run_shadow(shared, entry, &x, &tta_flags, &primary);
+            }
+        }
+        Err(failure) => {
+            let counter = match &failure {
+                ExecFailure::Panic(_) => &shared.stats.worker_panics,
+                ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
+            };
+            counter.fetch_add(1, Ordering::SeqCst);
+            shared
+                .metrics
+                .on_breaker(lock(&shared.breaker).record_failure(path), we.entry.label());
+            if path == ExecPath::Eager {
+                reply_err(jobs, &failure.to_error());
+                return;
+            }
+            // The compiled attempt may have unwound mid-run, leaving
+            // this engine's arena inconsistent: discard the fork (the
+            // shared weights are immutable and unaffected) and re-fork
+            // lazily.
+            we.engine = None;
+            // Same batch, eager retry — the request still succeeds
+            // unless the reference path fails too.
+            let clean = Injected::default();
+            match run_attempt(shared, we, ExecPath::Eager, &x, &clean, &tta_flags) {
+                Ok(dets) => {
+                    shared.stats.eager_batches.fetch_add(1, Ordering::SeqCst);
+                    reply_ok(shared, jobs, dets);
+                }
+                Err(second) => {
+                    let counter = match &second {
+                        ExecFailure::Panic(_) => &shared.stats.worker_panics,
+                        ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
+                    };
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    reply_err(jobs, &second.to_error());
+                }
+            }
+        }
+    }
+}
+
 fn worker_main(shared: &Shared, wid: usize) {
-    // Fork the master engine: shares the compiled plan + weights, owns a
-    // fresh arena. The eager replica is built only if this worker ever
-    // degrades — a healthy pool holds one copy of the parameters total.
-    let mut engine: Option<CompiledModel> = Some(shared.engine.fork_worker());
-    let mut eager: Option<Yolov4> = None;
+    let mut we = WorkerEngine::from_live(shared);
 
     while let Some((jobs, stolen)) = next_batch(shared, wid) {
         if stolen > 0 {
@@ -855,6 +1247,25 @@ fn worker_main(shared: &Shared, wid: usize) {
                 ServeFault::WorkerPanic => inject.panic = true,
                 ServeFault::CorruptOutput => inject.corrupt = true,
                 ServeFault::SlowExec { delay } => std::thread::sleep(delay),
+                // Swap faults scheduled on the batch sequence have nothing
+                // to corrupt inside a worker.
+                _ => {}
+            }
+        }
+
+        // Hot-swap pickup, *before* execution: if the live slot moved since
+        // this worker last forked, drop the stale context (fork + entry
+        // handle — this is the drain) and rebuild from the new entry. The
+        // request that triggered the pickup is already served by the new
+        // model.
+        {
+            let (entry, epoch) = {
+                let live = lock(&shared.live);
+                (Arc::clone(&live.entry), live.epoch)
+            };
+            if epoch != we.epoch {
+                we = WorkerEngine::new(shared, entry, epoch);
+                shared.metrics.swap_reforks.inc();
             }
         }
 
@@ -872,60 +1283,42 @@ fn worker_main(shared: &Shared, wid: usize) {
             continue;
         }
         shared.metrics.batch_size.record(live.len() as f64);
-
-        let size = shared.model_cfg.input_size;
-        let mut data = Vec::with_capacity(live.len() * 3 * size * size);
-        for job in &live {
-            data.extend_from_slice(job.x.as_slice());
-        }
-        let x = Tensor::from_vec(data, &[live.len(), 3, size, size]);
-        let tta_flags: Vec<bool> = live.iter().map(|j| j.tta).collect();
-
         shared.metrics.worker_batches[wid].inc();
-        let path = lock(&shared.breaker).plan_path();
-        match run_attempt(shared, &mut eager, &mut engine, path, &x, &inject, &tta_flags) {
-            Ok(dets) => {
-                shared.metrics.on_breaker(lock(&shared.breaker).record_success(path));
-                let counter = match path {
-                    ExecPath::Eager => &shared.stats.eager_batches,
-                    _ => &shared.stats.compiled_batches,
-                };
-                counter.fetch_add(1, Ordering::SeqCst);
-                reply_ok(shared, live, dets);
-            }
-            Err(failure) => {
-                let counter = match &failure {
-                    ExecFailure::Panic(_) => &shared.stats.worker_panics,
-                    ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
-                };
-                counter.fetch_add(1, Ordering::SeqCst);
-                shared.metrics.on_breaker(lock(&shared.breaker).record_failure(path));
-                if path == ExecPath::Eager {
-                    reply_err(live, &failure.to_error());
-                    continue;
+
+        // Group the batch by pinned model, preserving arrival order within
+        // each group. The common case — no routed jobs — is one default
+        // group and behaves exactly as a single-model batch.
+        let mut groups: Vec<(Option<Arc<ModelEntry>>, Vec<Job>)> = Vec::new();
+        for job in live {
+            let pos = groups.iter().position(|(r, _)| match (r, &job.route) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            });
+            match pos {
+                Some(i) => groups[i].1.push(job),
+                None => {
+                    let route = job.route.clone();
+                    groups.push((route, vec![job]));
                 }
-                // The compiled attempt may have unwound mid-run, leaving
-                // this worker's arena inconsistent: discard the fork (the
-                // shared weights are immutable and unaffected) and re-fork
-                // lazily.
-                engine = None;
-                // Same batch, eager retry — the request still succeeds
-                // unless the reference path fails too.
-                let clean = Injected::default();
-                match run_attempt(shared, &mut eager, &mut engine, ExecPath::Eager, &x, &clean, &tta_flags)
-                {
-                    Ok(dets) => {
-                        shared.stats.eager_batches.fetch_add(1, Ordering::SeqCst);
-                        reply_ok(shared, live, dets);
-                    }
-                    Err(second) => {
-                        let counter = match &second {
-                            ExecFailure::Panic(_) => &shared.stats.worker_panics,
-                            ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
-                        };
-                        counter.fetch_add(1, Ordering::SeqCst);
-                        reply_err(live, &second.to_error());
-                    }
+            }
+        }
+
+        // Injected batch faults hit the first group (with default-only
+        // traffic, the whole batch — the deterministic suites rely on it);
+        // later groups run clean.
+        let mut first = true;
+        for (route, group_jobs) in groups {
+            let inj = if first { std::mem::take(&mut inject) } else { Injected::default() };
+            first = false;
+            match route {
+                None => run_group(shared, &mut we, group_jobs, &inj, batch_idx, true),
+                Some(entry) => {
+                    // Routed groups run on a per-batch context: routed
+                    // traffic is assumed occasional (A/B checks, pinned
+                    // clients), so the fork cost stays off the default path.
+                    let mut routed = WorkerEngine::new(shared, entry, 0);
+                    run_group(shared, &mut routed, group_jobs, &inj, batch_idx, false);
                 }
             }
         }

@@ -59,17 +59,34 @@ pub fn assert_outputs_match(eager: &[Tensor], planned: &[Tensor], tol_worst: f32
     assert_eq!(eager.len(), planned.len(), "head count mismatch");
     for (s, (e, c)) in eager.iter().zip(planned).enumerate() {
         assert_eq!(e.shape(), c.shape(), "head {s} shape mismatch");
-        let mut worst = 0f32;
-        let mut sum = 0f64;
-        for (a, b) in e.as_slice().iter().zip(c.as_slice()) {
-            let d = (a - b).abs() / (1.0 + a.abs());
-            worst = worst.max(d);
-            sum += d as f64;
-        }
-        let mean = sum / e.as_slice().len().max(1) as f64;
+        let (worst, mean) = output_error(e, c);
         assert!(worst <= tol_worst, "head {s}: worst error {worst} > {tol_worst}");
         assert!(mean <= tol_mean, "head {s}: mean error {mean} > {tol_mean}");
     }
+}
+
+/// The `(worst, mean)` relative error between two same-shaped tensors, using
+/// the same `|a − b| / (1 + |a|)` measure as [`assert_outputs_match`].
+///
+/// This is the non-panicking core of the parity check: callers that must
+/// *reject* a divergent model rather than fail a test (the serving model
+/// registry's parity smoke) compare these values against the suite bounds
+/// and surface a typed error. NaN in either tensor makes the worst error
+/// infinite, so non-finite outputs can never pass a bound.
+pub fn output_error(a: &Tensor, b: &Tensor) -> (f32, f64) {
+    let mut worst = 0f32;
+    let mut sum = 0f64;
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        let d = (x - y).abs() / (1.0 + x.abs());
+        if d.is_nan() {
+            worst = f32::INFINITY;
+            sum = f64::INFINITY;
+            continue;
+        }
+        worst = worst.max(d);
+        sum += d as f64;
+    }
+    (worst, sum / a.as_slice().len().max(1) as f64)
 }
 
 #[cfg(test)]
@@ -91,6 +108,20 @@ mod tests {
     fn matching_outputs_pass() {
         let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
         assert_outputs_match(std::slice::from_ref(&t), std::slice::from_ref(&t), 1e-6, 1e-7);
+    }
+
+    #[test]
+    fn output_error_measures_divergence_and_poisons_on_nan() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let (worst, mean) = output_error(&a, &a);
+        assert_eq!(worst, 0.0);
+        assert_eq!(mean, 0.0);
+        let b = Tensor::from_vec(vec![1.0, 2.5], &[2]);
+        let (worst, mean) = output_error(&a, &b);
+        assert!(worst > 0.1 && mean > 0.05);
+        let nan = Tensor::from_vec(vec![1.0, f32::NAN], &[2]);
+        let (worst, _) = output_error(&a, &nan);
+        assert_eq!(worst, f32::INFINITY, "NaN must never pass a parity bound");
     }
 
     #[test]

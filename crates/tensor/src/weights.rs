@@ -30,13 +30,45 @@ pub struct PlanWeights {
     /// rather than `Vec`s: the lengths are final, and the missing spare
     /// capacity makes accidental growth a type error.
     bufs: Vec<Box<[f32]>>,
+    /// Content identity, fixed at freeze time (see
+    /// [`PlanWeights::fingerprint`]).
+    fingerprint: u64,
 }
 
 impl PlanWeights {
     /// Freeze the planner's staging buffers. Crate-private on purpose: after
-    /// this call nothing can obtain mutable access to the contents.
+    /// this call nothing can obtain mutable access to the contents. The
+    /// content fingerprint is computed here, once — it can never go stale
+    /// because the buffers can never change again.
     pub(crate) fn freeze(bufs: Vec<Vec<f32>>) -> PlanWeights {
-        PlanWeights { bufs: bufs.into_iter().map(Vec::into_boxed_slice).collect() }
+        // FNV-1a over the exact bit patterns, with buffer boundaries mixed
+        // in so `[1.0][2.0]` and `[1.0, 2.0]` hash differently.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for buf in &bufs {
+            mix(buf.len() as u64);
+            for &v in buf {
+                mix(v.to_bits() as u64);
+            }
+        }
+        PlanWeights { bufs: bufs.into_iter().map(Vec::into_boxed_slice).collect(), fingerprint: h }
+    }
+
+    /// A 64-bit identity of the frozen contents: two `PlanWeights` with the
+    /// same fingerprint hold bit-identical parameters (up to hash
+    /// collision). This is the version tag the serving registry uses to
+    /// label model versions and to assert that a hot-swap actually changed
+    /// (or restored) the parameters a pool serves from — cheaper and less
+    /// error-prone than threading a user-supplied version string through
+    /// every compile.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The buffer behind `id`.
@@ -81,5 +113,24 @@ mod tests {
         assert_eq!(w.len_of(WeightId(2)), 5);
         assert_eq!(w.total_elems(), 7);
         assert_eq!(w.bytes(), 28);
+    }
+
+    #[test]
+    fn fingerprint_is_content_identity() {
+        let a = PlanWeights::freeze(vec![vec![1.0, 2.0], vec![3.0]]);
+        let b = PlanWeights::freeze(vec![vec![1.0, 2.0], vec![3.0]]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same contents, same identity");
+
+        let c = PlanWeights::freeze(vec![vec![1.0, 2.5], vec![3.0]]);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "one changed value changes identity");
+
+        // Boundary-sensitive: the flat contents match but the split differs.
+        let d = PlanWeights::freeze(vec![vec![1.0], vec![2.0, 3.0]]);
+        assert_ne!(a.fingerprint(), d.fingerprint(), "buffer boundaries are part of identity");
+
+        // -0.0 and 0.0 are different bit patterns, hence different weights.
+        let z0 = PlanWeights::freeze(vec![vec![0.0]]);
+        let z1 = PlanWeights::freeze(vec![vec![-0.0]]);
+        assert_ne!(z0.fingerprint(), z1.fingerprint());
     }
 }

@@ -56,5 +56,5 @@ pub use predict::{DetectError, Detector};
 pub use summary::{render_summary, summarize, SummaryRow};
 pub use runtime::{Fault, FaultPlan, ResumePolicy, RunReport, RuntimeConfig, RuntimeError};
 pub use train::{train, RunState, TrainConfig, TrainRecord, Trainer};
-pub use tta::{merge_tta, TtaConfig, TtaError, TtaView};
+pub use tta::{merge_tta, TtaCondition, TtaConfig, TtaError, TtaView};
 pub use transfer::{pretrain_backbone, transfer_backbone, PretextClassifier, PretrainOutcome, PRETEXT_CLASSES};

@@ -34,6 +34,22 @@ impl Yolov4 {
         }
     }
 
+    /// Build a model directly from a checkpoint buffer: fresh topology for
+    /// `config`, every parameter restored strictly from `buf`. This is the
+    /// registry's fork-from-weights surface — one call takes a CRC-verified
+    /// PLTW buffer to a servable model, with every failure (corrupt buffer,
+    /// wrong-architecture shapes, missing entries) surfacing as a typed
+    /// [`WeightError`] instead of a half-initialised model.
+    ///
+    /// The Kaiming init the constructor runs is immediately overwritten, so
+    /// the seed is fixed; strict mode guarantees no initialised value
+    /// survives into the returned model.
+    pub fn from_weights(config: YoloConfig, buf: &[u8]) -> Result<Yolov4, WeightError> {
+        let model = Yolov4::new(config, 0);
+        model.load(buf, LoadMode::Strict)?;
+        Ok(model)
+    }
+
     /// Trace the whole network onto a backend, producing raw head logits
     /// `[stride8, stride16, stride32]`. This is the **single definition** of
     /// the YOLOv4 topology: the eager tape ([`Graph`]) and the inference
@@ -158,6 +174,15 @@ impl CompiledModel {
     pub fn shared_weights(&self) -> std::sync::Arc<platter_tensor::PlanWeights> {
         self.exec.plan().weights().clone()
     }
+
+    /// Identity of the folded parameters this engine serves from (see
+    /// [`platter_tensor::PlanWeights::fingerprint`]). Two engines with equal
+    /// fingerprints answer bit-identically; the serving registry uses this
+    /// to tag model versions and to verify which weights a pool is actually
+    /// running after a hot-swap.
+    pub fn weights_fingerprint(&self) -> u64 {
+        self.exec.plan().weights().fingerprint()
+    }
     /// Raw head logits `[stride8, stride16, stride32]` for an
     /// `[n, 3, s, s]` input batch. The returned slice (always length 3)
     /// aliases executor-owned tensors and is overwritten by the next call.
@@ -246,6 +271,36 @@ mod tests {
             } else {
                 assert!(!p.is_frozen(), "{}", p.name());
             }
+        }
+    }
+
+    #[test]
+    fn from_weights_reproduces_the_checkpointed_model() {
+        let src = Yolov4::new(YoloConfig::micro(5), 9);
+        let buf = src.save();
+        let dst = Yolov4::from_weights(YoloConfig::micro(5), &buf).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(&[1, 3, 64, 64], &mut rng);
+        let a = src.infer(&x);
+        let b = dst.infer(&x);
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.as_slice(), tb.as_slice(), "restored model must match bit-for-bit");
+        }
+        assert_eq!(
+            src.compile_inference().weights_fingerprint(),
+            dst.compile_inference().weights_fingerprint(),
+            "same parameters fold to the same plan-weights identity"
+        );
+    }
+
+    #[test]
+    fn from_weights_rejects_wrong_architecture() {
+        let src = Yolov4::new(YoloConfig::micro(5), 9);
+        let buf = src.save();
+        // Different class count changes head shapes: strict load must fail.
+        match Yolov4::from_weights(YoloConfig::micro(7), &buf) {
+            Err(WeightError::Incompatible(_)) => {}
+            other => panic!("expected Incompatible, got {:?}", other.map(|_| "model")),
         }
     }
 

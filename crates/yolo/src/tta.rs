@@ -93,6 +93,33 @@ impl TtaConfig {
         TtaConfig::new(true, vec![0.75], 1.0).expect("standard recipe is valid")
     }
 
+    /// A view set tuned for one degradation condition, instead of the
+    /// one-size [`TtaConfig::standard`] recipe (the robustness table showed
+    /// occlusion and extreme scale are the two conditions where TTA pays;
+    /// see DESIGN.md §13).
+    ///
+    /// * [`TtaCondition::Occlusion`] — partially hidden dishes: two zoom
+    ///   levels so an occluder at one scale still leaves an unblocked view,
+    ///   auxiliaries slightly discounted (crops also magnify the occluder
+    ///   when it is central).
+    /// * [`TtaCondition::ExtremeScale`] — dishes rendered far smaller than
+    ///   the anchor prior: deeper crops (0.5, 0.7) so small objects reach
+    ///   the scale the detector was trained at, full auxiliary weight — the
+    ///   zoomed views are the *better* views here.
+    /// * [`TtaCondition::Standard`] — the default recipe, so callers can
+    ///   key the preset off a condition label unconditionally.
+    pub fn for_condition(condition: TtaCondition) -> TtaConfig {
+        match condition {
+            TtaCondition::Standard => TtaConfig::standard(),
+            TtaCondition::Occlusion => {
+                TtaConfig::new(true, vec![0.6, 0.8], 0.85).expect("occlusion recipe is valid")
+            }
+            TtaCondition::ExtremeScale => {
+                TtaConfig::new(true, vec![0.5, 0.7], 1.0).expect("extreme-scale recipe is valid")
+            }
+        }
+    }
+
     /// Whether the horizontal-flip view runs.
     pub fn hflip(&self) -> bool {
         self.hflip
@@ -117,6 +144,19 @@ impl TtaConfig {
         v.extend(self.zoom_crops.iter().map(|&c| TtaView::ZoomCrop(c)));
         v
     }
+}
+
+/// A degradation condition with a tuned TTA preset (see
+/// [`TtaConfig::for_condition`]). Named after the `imaging::degrade` ops
+/// whose robustness cells TTA measurably improves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TtaCondition {
+    /// No particular degradation expected: the default recipe.
+    Standard,
+    /// Dishes partially hidden behind occluders.
+    Occlusion,
+    /// Dishes far smaller (or larger) than the training scale.
+    ExtremeScale,
 }
 
 /// One deterministic input transform with a known box inverse.
@@ -243,6 +283,29 @@ mod tests {
         ));
         assert!(matches!(TtaConfig::new(true, vec![], 0.0), Err(TtaError::OutOfRange { field: "aux_weight", .. })));
         assert!(matches!(TtaConfig::new(false, vec![], 1.0), Err(TtaError::NoAuxViews)));
+    }
+
+    #[test]
+    fn condition_presets_table() {
+        // (condition, expected views, expected zoom crops, aux weight)
+        let table: &[(TtaCondition, usize, &[f32], f32)] = &[
+            (TtaCondition::Standard, 3, &[0.75], 1.0),
+            (TtaCondition::Occlusion, 4, &[0.6, 0.8], 0.85),
+            (TtaCondition::ExtremeScale, 4, &[0.5, 0.7], 1.0),
+        ];
+        for &(cond, n_views, crops, aux) in table {
+            let cfg = TtaConfig::for_condition(cond);
+            let views = cfg.views();
+            assert_eq!(views.len(), n_views, "{cond:?}: view count");
+            assert_eq!(views[0], TtaView::Identity, "{cond:?}: identity first");
+            assert!(cfg.hflip(), "{cond:?}: every preset keeps the flip view");
+            assert_eq!(cfg.zoom_crops(), crops, "{cond:?}: zoom crops");
+            assert!((cfg.aux_weight() - aux).abs() < 1e-6, "{cond:?}: aux weight");
+            // Every preset must round-trip the validating constructor.
+            TtaConfig::new(cfg.hflip(), cfg.zoom_crops().to_vec(), cfg.aux_weight())
+                .expect("preset passes its own validation");
+        }
+        assert_eq!(TtaConfig::for_condition(TtaCondition::Standard), TtaConfig::standard());
     }
 
     #[test]

@@ -45,8 +45,10 @@ echo "== shared-weights immutability gate (PlanWeights is write-once) =="
 # crates/tensor/src/weights.rs, which takes the staged buffers by value —
 # so `&mut PlanWeights` must not exist in any crate, and the type itself
 # must expose no `&mut self` method.
+# Skip comment lines: the module docs in weights.rs name the banned
+# borrow on purpose (they document this very gate).
 wmuts=$(git ls-files 'crates/*/src/**/*.rs' 'crates/*/src/*.rs' 'crates/*/tests/*.rs' \
-  | xargs -r grep -l -F '&mut PlanWeights' || true)
+  | xargs -r grep -n -F '&mut PlanWeights' | grep -v -E ':[[:space:]]*//' || true)
 if [ -n "$wmuts" ]; then
   echo "mutable PlanWeights borrows found (weights are write-once, frozen at plan build):" >&2
   echo "$wmuts" >&2
@@ -82,6 +84,22 @@ cargo test -q --release -p platter-baselines --test golden_plan
 echo "== serving fault-injection + input-fuzz suites =="
 cargo test -q --release -p platter-serve --test fault_injection
 cargo test -q --release -p platter-serve --test prop_validation
+
+echo "== model registry rollout suite (hot swap / shadow / canary / fault replay) =="
+cargo test -q --release -p platter-serve --test registry
+
+echo "== single-flip-point gate (swap_live is called only by the registry) =="
+# The live-model slot has exactly one writer: ModelRegistry::flip
+# (DESIGN.md §15). A second call site would let a model reach traffic
+# without the CRC check and parity smoke that eligibility requires.
+flips=$(git ls-files 'crates/serve/src/*.rs' 'crates/serve/tests/*.rs' \
+  | grep -v '^crates/serve/src/registry.rs$' \
+  | xargs -r grep -n -F '.swap_live(' || true)
+if [ -n "$flips" ]; then
+  echo "swap_live call sites outside crates/serve/src/registry.rs:" >&2
+  echo "$flips" >&2
+  exit 1
+fi
 
 echo "== compiled inference smoke (writes results/BENCH_inference.json + PROFILE_inference.json) =="
 cargo run -q --release -p platter-bench --bin bench_inference
@@ -155,13 +173,32 @@ for field in '"sanitize_nonfinite"' '"sanitize_badshape"' '"sanitize_baddims"'; 
   fi
 done
 
+echo "== hot-swap artifact gate (swap record present, zero dropped jobs) =="
+# bench_serve flips the live model under sustained closed-loop load
+# (DESIGN.md §15); the record must exist and must show that not one
+# accepted request was dropped across any flip.
+for field in '"swap"' '"mean_swap_ms"' '"max_inflight_at_swap"' '"reforks"'; do
+  if ! grep -q "$field" results/BENCH_serve.json; then
+    echo "BENCH_serve.json is missing the $field swap field" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"dropped_jobs": *0\b' results/BENCH_serve.json; then
+  echo "BENCH_serve.json swap record shows dropped jobs (or is missing dropped_jobs)" >&2
+  exit 1
+fi
+swaps=$(grep -o '"swaps": *[0-9]*' results/BENCH_serve.json | head -1 | grep -o '[0-9]*$')
+echo "hot swaps under load: ${swaps:-0}, dropped jobs: 0"
+
 echo "== degradation determinism gate (ops never construct their own RNG) =="
 # Every degradation draws from the caller's stream (DESIGN.md §13); an op
 # that seeds its own RNG silently forks the stream and breaks bit-identical
 # robustness artifacts. Noise-field seeds must come from rng.next_u64().
 # Only op code is gated — the #[cfg(test)] module at the bottom of the file
-# seeds RNGs on purpose (that's how the replay tests pin determinism).
-if sed '/#\[cfg(test)\]/,$d' crates/imaging/src/degrade.rs | grep -q -E 'seed_from_u64|from_state'; then
+# seeds RNGs on purpose (that's how the replay tests pin determinism), and
+# comment lines are skipped (the module docs name this very gate).
+if sed '/#\[cfg(test)\]/,$d' crates/imaging/src/degrade.rs \
+  | grep -v -E '^[[:space:]]*//' | grep -q -E 'seed_from_u64|from_state'; then
   echo "crates/imaging/src/degrade.rs constructs its own RNG (draw from the caller's instead)" >&2
   exit 1
 fi
