@@ -174,11 +174,18 @@ struct SwapRecord {
     reforks: u64,
     /// Drained models the registry released back to a single weight ref.
     retired: usize,
+    /// `{key}={dtype}` for every model the registry saw during the run —
+    /// odd-version candidates are compiled INT8, so a healthy run shows a
+    /// mixed f32/i8 fleet swapping through the same pool.
+    model_dtypes: Vec<String>,
+    /// Weight dtype of the model serving when the run ended.
+    final_live_dtype: &'static str,
 }
 
 /// Flip the live model `swaps` times while `submitters` closed-loop
-/// threads keep traffic flowing, alternating between two weight sets so
-/// every flip lands on genuinely different parameters.
+/// threads keep traffic flowing, alternating between two weight sets —
+/// the odd one compiled INT8 — so every flip lands on genuinely
+/// different parameters and the pool alternates weight dtypes under load.
 fn swap_under_load(model: &Yolov4, x: &Tensor, swaps: u64, submitters: usize) -> SwapRecord {
     let dir = std::env::temp_dir().join(format!("platter-bench-swap-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -194,13 +201,24 @@ fn swap_under_load(model: &Yolov4, x: &Tensor, swaps: u64, submitters: usize) ->
     let registry = ModelRegistry::default();
     registry.adopt_live(&pool).expect("adopt live");
     // Load and smoke every candidate before the clock starts: eligibility
-    // is off the hot path by design.
+    // is off the hot path by design. Odd versions are compiled INT8 so the
+    // swap sequence alternates weight dtypes through the same pool.
+    let calib: Vec<Tensor> = {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = model.config.input_size;
+        (0..2).map(|_| Tensor::rand_uniform(&[2, 3, s, s], 0.0, 1.0, &mut rng)).collect()
+    };
     let keys: Vec<String> = (1..=swaps)
         .map(|v| {
-            let path = if v % 2 == 1 { &path_b } else { &path_a };
-            registry
-                .load_file("default", v, cfg_b.clone(), path)
-                .expect("candidate loads and smokes")
+            if v % 2 == 1 {
+                registry
+                    .load_file_quantized("default", v, cfg_b.clone(), &path_b, &calib)
+                    .expect("quantized candidate loads and smokes")
+            } else {
+                registry
+                    .load_file("default", v, cfg_b.clone(), &path_a)
+                    .expect("candidate loads and smokes")
+            }
         })
         .collect();
 
@@ -245,6 +263,9 @@ fn swap_under_load(model: &Yolov4, x: &Tensor, swaps: u64, submitters: usize) ->
 
     let stats = pool.stats();
     let reforks = pool.metrics().counter("serve.swap.reforks").unwrap_or(0);
+    let model_dtypes: Vec<String> =
+        registry.list().iter().map(|m| format!("{}={}", m.key, m.dtype)).collect();
+    let final_live_dtype = pool.live_dtype();
     pool.shutdown();
     assert_eq!(stats.swaps, swaps, "every flip must be counted");
     SwapRecord {
@@ -257,6 +278,8 @@ fn swap_under_load(model: &Yolov4, x: &Tensor, swaps: u64, submitters: usize) ->
         dropped_jobs: stats.accepted - stats.completed,
         reforks,
         retired,
+        model_dtypes,
+        final_live_dtype,
     }
 }
 
@@ -526,8 +549,13 @@ fn main() {
     };
     let swap = swap_under_load(&model, &x, n_swaps, host.workers.min(2));
     println!(
-        "hot-swap under load: {} swaps  mean {:.3} ms  max {:.3} ms  inflight<= {}  dropped {}",
-        swap.swaps, swap.mean_swap_ms, swap.max_swap_ms, swap.max_inflight_at_swap, swap.dropped_jobs
+        "hot-swap under load: {} swaps  mean {:.3} ms  max {:.3} ms  inflight<= {}  dropped {}  live dtype {}",
+        swap.swaps,
+        swap.mean_swap_ms,
+        swap.max_swap_ms,
+        swap.max_inflight_at_swap,
+        swap.dropped_jobs,
+        swap.final_live_dtype
     );
     assert_eq!(swap.dropped_jobs, 0, "a hot swap must never drop an accepted job");
 

@@ -367,6 +367,11 @@ struct Shared {
     /// model the pool was constructed with; the registry enforces it for
     /// candidates).
     input_size: usize,
+    /// Class count every model served by this pool must share — clients
+    /// decode detections against one label space, so a candidate with a
+    /// different head is architecturally incompatible (the registry
+    /// enforces this for candidates).
+    num_classes: usize,
     /// The live slot. Locked only for pointer reads, swaps, and epoch
     /// checks — never across a forward pass.
     live: Mutex<LiveSlot>,
@@ -418,6 +423,7 @@ impl ServePool {
         let entry = Arc::new(ModelEntry::from_model(&cfg.model_name, cfg.model_version, model));
         let shared = Arc::new(Shared {
             input_size: model.config.input_size,
+            num_classes: model.config.num_classes,
             live: Mutex::new(LiveSlot { entry, epoch: 0 }),
             routes: Mutex::new(HashMap::new()),
             shadow: Mutex::new(None),
@@ -613,6 +619,18 @@ impl ServePool {
     /// Input size every model served by this pool must share.
     pub fn input_size(&self) -> usize {
         self.shared.input_size
+    }
+
+    /// Class count every model served by this pool must share (fixed by
+    /// the model the pool was constructed with).
+    pub fn num_classes(&self) -> usize {
+        self.shared.num_classes
+    }
+
+    /// Weight dtype of the model currently in the live slot (`"f32"`, or
+    /// `"i8"` after a quantized candidate is promoted).
+    pub fn live_dtype(&self) -> &'static str {
+        lock(&self.shared.live).entry.dtype().name()
     }
 
     /// Name, version, and weight fingerprint of the model currently in the

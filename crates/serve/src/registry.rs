@@ -47,9 +47,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use platter_obs::{metric_label, Counter, MetricsRegistry, MetricsSnapshot};
-use platter_tensor::parity::output_error;
+use platter_tensor::parity::{output_error, QUANT_TOL_MEAN, QUANT_TOL_WORST};
 use platter_tensor::serialize::{Bytes, WeightError};
-use platter_tensor::{PlanWeights, Tensor};
+use platter_tensor::{DType, PlanWeights, QuantError, Tensor};
 use platter_yolo::{CompiledModel, YoloConfig, Yolov4};
 use serde::Serialize;
 
@@ -93,6 +93,26 @@ impl ModelEntry {
         }
     }
 
+    /// Like [`ModelEntry::from_model`], but the master engine is the INT8
+    /// path from [`Yolov4::compile_inference_quantized`], calibrated on
+    /// `calibration`. The eager-fallback weight snapshot stays f32 (eager
+    /// replicas exist for reference answers, not throughput).
+    pub(crate) fn from_model_quantized(
+        name: &str,
+        version: u64,
+        model: &Yolov4,
+        calibration: &[Tensor],
+    ) -> Result<ModelEntry, QuantError> {
+        Ok(ModelEntry {
+            name: name.to_string(),
+            version,
+            label: format!("{}-v{}", metric_label(name), version),
+            cfg: model.config.clone(),
+            weights: model.save(),
+            engine: model.compile_inference_quantized(calibration)?,
+        })
+    }
+
     pub(crate) fn name(&self) -> &str {
         &self.name
     }
@@ -114,9 +134,17 @@ impl ModelEntry {
     }
 
     /// Content identity of the folded weights (two entries with equal
-    /// fingerprints answer bit-identically).
+    /// fingerprints answer bit-identically). The fingerprint mixes the
+    /// weight dtype, so an f32 and an i8 build of the same checkpoint are
+    /// distinct manifest identities.
     pub(crate) fn fingerprint(&self) -> u64 {
         self.engine.weights_fingerprint()
+    }
+
+    /// Numeric format of the compiled engine's weights ([`DType::I8`] for
+    /// quantized entries).
+    pub(crate) fn dtype(&self) -> DType {
+        self.engine.dtype()
     }
 
     /// Fork a private executor off the master engine (shares plan +
@@ -207,6 +235,21 @@ pub enum RegistryError {
         /// Pool input size.
         pool: usize,
     },
+    /// The candidate's architecture does not match what the pool was
+    /// compiled to serve (different class count means different head
+    /// shapes and decode tables) — routing it would answer requests with a
+    /// different label space than every other model in the pool.
+    Incompatible {
+        /// The key that was refused.
+        key: String,
+        /// Candidate class count.
+        model_classes: usize,
+        /// Pool class count.
+        pool_classes: usize,
+    },
+    /// The INT8 build of the candidate failed: empty calibration set,
+    /// non-finite recorded ranges, or nothing quantizable.
+    Quant(QuantError),
     /// No registered model under this key.
     UnknownModel {
         /// The key looked up.
@@ -251,6 +294,11 @@ impl std::fmt::Display for RegistryError {
             RegistryError::WrongInputSize { model, pool } => {
                 write!(f, "candidate input size {model} does not match pool input size {pool}")
             }
+            RegistryError::Incompatible { key, model_classes, pool_classes } => write!(
+                f,
+                "model {key} serves {model_classes} classes but the pool was compiled for {pool_classes}"
+            ),
+            RegistryError::Quant(e) => write!(f, "candidate failed to quantize: {e}"),
             RegistryError::UnknownModel { key } => write!(f, "no model registered as {key}"),
             RegistryError::NotEligible { key, state } => {
                 write!(f, "model {key} is {state}, not eligible for this operation")
@@ -269,6 +317,12 @@ impl std::error::Error for RegistryError {}
 impl From<WeightError> for RegistryError {
     fn from(e: WeightError) -> RegistryError {
         RegistryError::Weights(e)
+    }
+}
+
+impl From<QuantError> for RegistryError {
+    fn from(e: QuantError) -> RegistryError {
+        RegistryError::Quant(e)
     }
 }
 
@@ -355,8 +409,10 @@ pub enum CanaryDecision {
 pub struct SwapReport {
     /// Key now live.
     pub key: String,
-    /// Weight fingerprint now live.
+    /// Weight fingerprint now live (mixes the weight dtype).
     pub fingerprint: u64,
+    /// Weight dtype now live (`"f32"` or `"i8"`).
+    pub dtype: &'static str,
     /// Key of the displaced incumbent, when the registry knew it.
     pub retired: Option<String>,
 }
@@ -372,8 +428,11 @@ pub struct ModelInfo {
     pub version: u64,
     /// Rollout state.
     pub state: ModelState,
-    /// Weight fingerprint (0 once retired).
+    /// Weight fingerprint (0 once retired). Mixes the weight dtype, so the
+    /// same checkpoint compiled f32 and i8 has two distinct identities.
     pub fingerprint: u64,
+    /// Weight dtype of the compiled engine (`"f32"` or `"i8"`).
+    pub dtype: &'static str,
 }
 
 struct Record {
@@ -382,6 +441,9 @@ struct Record {
     version: u64,
     state: ModelState,
     fingerprint: u64,
+    /// Weight dtype of the compiled engine; survives retirement so the
+    /// registry's history stays honest after the entry is dropped.
+    dtype: &'static str,
     /// Dropped on retirement — the registry must not keep retired weights
     /// alive.
     entry: Option<Arc<ModelEntry>>,
@@ -418,17 +480,19 @@ impl RegistryMetrics {
         }
     }
 
-    /// Bump the typed rejection counter for a load failure.
+    /// Bump the typed rejection counter for a load or eligibility failure.
     fn on_reject(&self, e: &RegistryError) {
         match e {
             RegistryError::Io { .. } => self.rejected_io.inc(),
-            RegistryError::Weights(WeightError::Incompatible(_)) => {
-                self.rejected_incompatible.inc()
-            }
+            RegistryError::Weights(WeightError::Incompatible(_))
+            | RegistryError::Incompatible { .. } => self.rejected_incompatible.inc(),
             RegistryError::Weights(_) => self.rejected_corrupt.inc(),
-            RegistryError::ParityFail { .. } | RegistryError::Smoke { .. } => {
-                self.rejected_parity.inc()
-            }
+            // A quantization failure is a numeric-quality rejection (the
+            // calibration pass saw non-finite activations, or nothing could
+            // be quantized) — same family as a parity miss.
+            RegistryError::ParityFail { .. }
+            | RegistryError::Smoke { .. }
+            | RegistryError::Quant(_) => self.rejected_parity.inc(),
             _ => {}
         }
     }
@@ -489,6 +553,7 @@ impl ModelRegistry {
             version: entry.version(),
             state: ModelState::Live,
             fingerprint: entry.fingerprint(),
+            dtype: entry.dtype().name(),
             entry: Some(entry),
         });
         Ok(key)
@@ -507,6 +572,36 @@ impl ModelRegistry {
         model_cfg: YoloConfig,
         path: &Path,
     ) -> Result<String, RegistryError> {
+        self.load_file_with(name, version, model_cfg, path, None)
+    }
+
+    /// Like [`ModelRegistry::load_file`], but the candidate is compiled
+    /// through the INT8 path ([`Yolov4::compile_inference_quantized`],
+    /// calibrated on `calibration`) and parity-smoked against its f32 eager
+    /// reference under the **loosened quantization bounds**
+    /// ([`QUANT_TOL_WORST`] / [`QUANT_TOL_MEAN`]) — 8-bit rounding moves
+    /// individual elements legitimately, so the f32 smoke bounds would
+    /// reject every honest quantized build. Everything else is identical:
+    /// CRC-verified load, typed rejections, `Smoked` on success.
+    pub fn load_file_quantized(
+        &self,
+        name: &str,
+        version: u64,
+        model_cfg: YoloConfig,
+        path: &Path,
+        calibration: &[Tensor],
+    ) -> Result<String, RegistryError> {
+        self.load_file_with(name, version, model_cfg, path, Some(calibration))
+    }
+
+    fn load_file_with(
+        &self,
+        name: &str,
+        version: u64,
+        model_cfg: YoloConfig,
+        path: &Path,
+        quantize: Option<&[Tensor]>,
+    ) -> Result<String, RegistryError> {
         let attempt = self.attempt_seq.fetch_add(1, Ordering::SeqCst);
         let mut corrupt_candidate = false;
         let mut parity_fail = false;
@@ -520,17 +615,19 @@ impl ModelRegistry {
                 _ => {}
             }
         }
-        self.load_file_inner(name, version, model_cfg, path, corrupt_candidate, parity_fail)
+        self.load_file_inner(name, version, model_cfg, path, quantize, corrupt_candidate, parity_fail)
             .inspect(|_| self.metrics.loads.inc())
             .inspect_err(|e| self.metrics.on_reject(e))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn load_file_inner(
         &self,
         name: &str,
         version: u64,
         model_cfg: YoloConfig,
         path: &Path,
+        quantize: Option<&[Tensor]>,
         corrupt_candidate: bool,
         parity_fail: bool,
     ) -> Result<String, RegistryError> {
@@ -553,7 +650,12 @@ impl ModelRegistry {
         // Strict decode: truncation/bit-flips surface as Malformed/Corrupt,
         // wrong-architecture checkpoints as Incompatible.
         let model = Yolov4::from_weights(model_cfg, &buf)?;
-        let entry = Arc::new(ModelEntry::from_model(name, version, &model));
+        let entry = Arc::new(match quantize {
+            Some(calibration) => {
+                ModelEntry::from_model_quantized(name, version, &model, calibration)?
+            }
+            None => ModelEntry::from_model(name, version, &model),
+        });
         {
             // The record exists (Loaded) while the smoke runs; it is removed
             // again if the smoke rejects the candidate.
@@ -564,6 +666,7 @@ impl ModelRegistry {
                 version,
                 state: ModelState::Loaded,
                 fingerprint: entry.fingerprint(),
+                dtype: entry.dtype().name(),
                 entry: Some(entry.clone()),
             });
         }
@@ -593,8 +696,16 @@ impl ModelRegistry {
     }
 
     /// Run the candidate's compiled plan against its eager reference on a
-    /// deterministic batch and enforce the parity bounds.
+    /// deterministic batch and enforce the parity bounds. A quantized
+    /// candidate is held to the loosened quantization bounds instead of
+    /// the configured f32 bounds — the eager reference is always f32, so
+    /// i8 rounding noise is expected and only bulk shifts or non-finite
+    /// outputs must reject.
     fn smoke(&self, entry: &ModelEntry, model: &Yolov4) -> Result<(), RegistryError> {
+        let (tol_worst, tol_mean) = match entry.dtype() {
+            DType::I8 => (QUANT_TOL_WORST, QUANT_TOL_MEAN),
+            DType::F32 => (self.cfg.parity_worst, self.cfg.parity_mean),
+        };
         let s = entry.input_size();
         let n = self.cfg.smoke_batch.max(1);
         // Deterministic pseudo-random pixels in [0, 1): the smoke must
@@ -615,7 +726,7 @@ impl ModelRegistry {
             worst = worst.max(w);
             mean = mean.max(m);
         }
-        if worst > self.cfg.parity_worst || mean > self.cfg.parity_mean {
+        if worst > tol_worst || mean > tol_mean {
             return Err(RegistryError::ParityFail { worst, mean });
         }
         Ok(())
@@ -626,7 +737,7 @@ impl ModelRegistry {
     /// rollout state; routing does not make it the default.
     pub fn route(&self, pool: &ServePool, key: &str) -> Result<(), RegistryError> {
         let entry = self.eligible_entry(key)?;
-        check_input_size(&entry, pool)?;
+        self.check_compatible(&entry, pool, key)?;
         pool.set_route(key, entry);
         Ok(())
     }
@@ -641,7 +752,7 @@ impl ModelRegistry {
     /// traffic has moved to release its weights.
     pub fn hot_swap(&self, pool: &ServePool, key: &str) -> Result<SwapReport, RegistryError> {
         let entry = self.eligible_entry(key)?;
-        check_input_size(&entry, pool)?;
+        self.check_compatible(&entry, pool, key)?;
         // A model being promoted out of shadow must stop mirroring first.
         if let Some(shadowed) = pool.shadow_entry() {
             if Arc::ptr_eq(&shadowed, &entry) {
@@ -654,6 +765,7 @@ impl ModelRegistry {
     /// The single place the live slot changes hands.
     fn flip(&self, pool: &ServePool, key: &str, entry: Arc<ModelEntry>) -> SwapReport {
         let fingerprint = entry.fingerprint();
+        let dtype = entry.dtype().name();
         let displaced = pool.swap_live(entry);
         let mut records = lock(&self.records);
         let mut retired_key = None;
@@ -670,7 +782,7 @@ impl ModelRegistry {
         // registry record (if adopted) and still-draining workers hold it.
         drop(displaced);
         self.metrics.swaps.inc();
-        SwapReport { key: key.to_string(), fingerprint, retired: retired_key }
+        SwapReport { key: key.to_string(), fingerprint, dtype, retired: retired_key }
     }
 
     /// Start mirroring `num/den` of the pool's default traffic onto `key`
@@ -687,7 +799,7 @@ impl ModelRegistry {
             return Err(RegistryError::BadFraction { num, den });
         }
         let entry = self.eligible_entry(key)?;
-        check_input_size(&entry, pool)?;
+        self.check_compatible(&entry, pool, key)?;
         let previous = pool.set_shadow(Some((entry, num, den)));
         let mut records = lock(&self.records);
         for r in records.iter_mut() {
@@ -816,6 +928,7 @@ impl ModelRegistry {
                 version: r.version,
                 state: r.state,
                 fingerprint: r.fingerprint,
+                dtype: r.dtype,
             })
             .collect()
     }
@@ -843,13 +956,37 @@ impl ModelRegistry {
             state => Err(RegistryError::NotEligible { key: key.to_string(), state }),
         }
     }
-}
 
-fn check_input_size(entry: &ModelEntry, pool: &ServePool) -> Result<(), RegistryError> {
-    let model = entry.input_size();
-    let pool_size = pool.input_size();
-    if model != pool_size {
-        return Err(RegistryError::WrongInputSize { model, pool: pool_size });
+    /// Gate a model against the pool's compiled expectations before it can
+    /// touch traffic: input size (the admission pipeline is sized for it)
+    /// and class count (the label space clients decode against). A dtype
+    /// *difference* is deliberately not a mismatch — promoting an i8 build
+    /// into an f32 pool is the whole point of the quantized rollout path.
+    /// Failures bump the typed rejection counters
+    /// (`registry.rejected.incompatible` for an architecture mismatch).
+    fn check_compatible(
+        &self,
+        entry: &ModelEntry,
+        pool: &ServePool,
+        key: &str,
+    ) -> Result<(), RegistryError> {
+        let result = (|| {
+            let model = entry.input_size();
+            let pool_size = pool.input_size();
+            if model != pool_size {
+                return Err(RegistryError::WrongInputSize { model, pool: pool_size });
+            }
+            let model_classes = entry.cfg().num_classes;
+            let pool_classes = pool.num_classes();
+            if model_classes != pool_classes {
+                return Err(RegistryError::Incompatible {
+                    key: key.to_string(),
+                    model_classes,
+                    pool_classes,
+                });
+            }
+            Ok(())
+        })();
+        result.inspect_err(|e| self.metrics.on_reject(e))
     }
-    Ok(())
 }

@@ -487,3 +487,138 @@ fn state_machine_guards_refuse_illegal_transitions() {
     assert!(matches!(registry.stop_shadow(&pool), Err(RegistryError::NoShadow)));
     pool.shutdown();
 }
+
+/// Deterministic `[2, 3, 32, 32]` calibration batches for quantized loads.
+fn calibration_batches(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|b| {
+            let data: Vec<f32> = (0..2 * 3 * 32 * 32)
+                .map(|i| ((i * 17 + b * 101) % 239) as f32 / 239.0)
+                .collect();
+            Tensor::from_vec(data, &[2, 3, 32, 32])
+        })
+        .collect()
+}
+
+#[test]
+fn quantized_candidate_rides_the_full_rollout_path() {
+    let incumbent = nano_model(16);
+    let pool = ServePool::new(&incumbent, serve_cfg(1, "inc"));
+    let registry = ModelRegistry::default();
+    registry.adopt_live(&pool).expect("adopt");
+
+    // Same weights, INT8 build: loads, compiles through the quantized
+    // path, and passes the *loosened* parity smoke (the f32 bounds would
+    // reject honest i8 rounding, which is exactly what the default config
+    // encodes for f32 candidates).
+    let key = registry
+        .load_file_quantized(
+            "inc",
+            1,
+            nano_cfg(),
+            &weights_file(&incumbent, "quant-candidate"),
+            &calibration_batches(3),
+        )
+        .expect("quantized candidate loads and smokes");
+    assert_eq!(registry.state(&key), Some(ModelState::Smoked));
+
+    // The registry records the dtype per model, and the i8 build is a
+    // distinct weight identity from the f32 incumbent built on the very
+    // same checkpoint.
+    let infos = registry.list();
+    let inc = infos.iter().find(|m| m.version == 0).expect("incumbent listed");
+    let quant = infos.iter().find(|m| m.key == key).expect("candidate listed");
+    assert_eq!(inc.dtype, "f32");
+    assert_eq!(quant.dtype, "i8");
+    assert_ne!(inc.fingerprint, quant.fingerprint, "dtype must be part of the manifest identity");
+
+    // Routable: explicitly routed requests serve on the i8 engine.
+    registry.route(&pool, &key).expect("routes");
+    let routed = pool.submit_tensor_to(&key, &test_tensor(0)).expect("admitted").wait().expect("answered");
+    for d in &routed {
+        assert!(d.score.is_finite(), "quantized route must answer finite detections");
+    }
+    registry.unroute(&pool, &key);
+
+    // Shadow-able: mirror every default batch, then stop cleanly.
+    registry.start_shadow(&pool, &key, 1, 1).expect("shadows");
+    assert_eq!(registry.state(&key), Some(ModelState::Shadow));
+    for i in 0..4 {
+        ask(&pool, i);
+    }
+    // The mirror executes after the client's reply is delivered; give the
+    // worker a moment to finish diffing the final batch.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let status = loop {
+        let status = pool.shadow_status().expect("shadow running");
+        if status.batches == 4 || std::time::Instant::now() > deadline {
+            break status;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(status.batches, 4, "every default batch must have been mirrored");
+    assert_eq!(status.errors, 0, "the i8 engine must not fail a shadow execution");
+    assert_eq!(registry.stop_shadow(&pool).expect("stops"), key);
+
+    // Hot-swappable: the i8 build takes the live slot mid-stream with zero
+    // dropped jobs, and the pool reports the live dtype flip.
+    assert_eq!(pool.live_dtype(), "f32");
+    let report = registry.hot_swap(&pool, &key).expect("swaps");
+    assert_eq!(report.dtype, "i8");
+    for i in 4..8 {
+        ask(&pool, i);
+    }
+    assert_eq!(pool.live_dtype(), "i8");
+    let stats = pool.stats();
+    assert_eq!(stats.accepted, stats.completed, "a swap to i8 dropped an accepted job");
+    assert_eq!(registry.retire_drained().len(), 1, "the f32 incumbent drains and retires");
+    pool.shutdown();
+}
+
+#[test]
+fn architecture_mismatch_is_a_typed_incompatible_rejection() {
+    let incumbent = nano_model(17);
+    let pool = ServePool::new(&incumbent, serve_cfg(1, "inc"));
+    let registry = ModelRegistry::default();
+    registry.adopt_live(&pool).expect("adopt");
+
+    // A valid 7-class checkpoint loads and smokes fine on its own — the
+    // registry has no pool context yet. It is only when the model tries to
+    // touch this 10-class pool's traffic that the label spaces collide.
+    let seven_cfg = YoloConfig { input_size: 32, width: 0.1, ..YoloConfig::micro(7) };
+    let seven = Yolov4::new(seven_cfg.clone(), 18);
+    let key = registry
+        .load_file("seven", 1, seven_cfg, &weights_file(&seven, "seven-classes"))
+        .expect("self-consistent checkpoint loads");
+    assert_eq!(registry.state(&key), Some(ModelState::Smoked));
+
+    for attempt in 1..=3u64 {
+        let err = match attempt {
+            1 => registry.route(&pool, &key).unwrap_err(),
+            2 => registry.hot_swap(&pool, &key).map(|_| ()).unwrap_err(),
+            _ => registry.start_shadow(&pool, &key, 1, 2).unwrap_err(),
+        };
+        match err {
+            RegistryError::Incompatible { key: k, model_classes, pool_classes } => {
+                assert_eq!(k, key);
+                assert_eq!(model_classes, 7);
+                assert_eq!(pool_classes, 10);
+            }
+            other => panic!("expected Incompatible, got {other}"),
+        }
+        assert_eq!(
+            registry.metrics().counter("registry.rejected.incompatible"),
+            Some(attempt),
+            "every refusal must bump the typed counter"
+        );
+    }
+
+    // The pool never saw the incompatible model: no route, no shadow, the
+    // incumbent still owns the live slot and still serves.
+    assert!(pool.routes().is_empty());
+    assert!(pool.shadow_status().is_none());
+    assert_eq!(pool.live_model().0, "inc");
+    ask(&pool, 0);
+    assert_eq!(pool.stats().completed, 1);
+    pool.shutdown();
+}

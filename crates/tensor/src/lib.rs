@@ -44,6 +44,8 @@ pub mod ops;
 mod param;
 pub mod parity;
 pub mod plan;
+pub mod qgemm;
+pub mod quant;
 pub mod optim;
 pub mod serialize;
 mod shape;
@@ -63,6 +65,7 @@ pub use tensor::Tensor;
 
 pub use ops::Conv2dSpec;
 pub use plan::{ExecError, Executor, Plan, Planner, ValueId};
-pub use weights::{PlanWeights, WeightId};
+pub use quant::{quantize_plan, Calibration, QuantError};
+pub use weights::{DType, PlanWeights, WeightId};
 
 pub use crate::ops::softmax_rows;

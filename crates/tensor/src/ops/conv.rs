@@ -37,16 +37,21 @@ pub(crate) fn is_pointwise(kh: usize, kw: usize, spec: Conv2dSpec) -> bool {
     kh == 1 && kw == 1 && spec.stride == 1 && spec.pad == 0
 }
 
-/// Unfold `x[n]` into a `[cin*kh*kw, hout*wout]` column matrix.
-pub(crate) fn im2col(
-    x: &[f32],
+/// Unfold `x[n]` into a `[cin*kh*kw, hout*wout]` column matrix. Generic over
+/// the element type so the f32 and quantized (i8) executors share one
+/// unfolding routine; padding cells take `T::default()` (0.0 / 0 — for
+/// symmetric i8 quantization, zero-point is 0, so integer zero *is* the
+/// quantized padding value).
+pub(crate) fn im2col<T: Copy + Default>(
+    x: &[T],
     (cin, h, w): (usize, usize, usize),
     (kh, kw): (usize, usize),
     spec: Conv2dSpec,
     (hout, wout): (usize, usize),
-    col: &mut [f32],
+    col: &mut [T],
 ) {
     debug_assert_eq!(col.len(), cin * kh * kw * hout * wout);
+    let zero = T::default();
     let mut row = 0usize;
     for c in 0..cin {
         let plane = &x[c * h * w..(c + 1) * h * w];
@@ -58,13 +63,13 @@ pub(crate) fn im2col(
                     let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
                     let dst_row = &mut dst[oy * wout..(oy + 1) * wout];
                     if iy < 0 || iy as usize >= h {
-                        dst_row.fill(0.0);
+                        dst_row.fill(zero);
                         continue;
                     }
                     let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
                     for (ox, d) in dst_row.iter_mut().enumerate() {
                         let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                        *d = if ix < 0 || ix as usize >= w { 0.0 } else { src_row[ix as usize] };
+                        *d = if ix < 0 || ix as usize >= w { zero } else { src_row[ix as usize] };
                     }
                 }
             }

@@ -1,0 +1,130 @@
+//! Property suite for the INT8 quantizer: the invariants the quantized
+//! inference path rests on, checked over arbitrary weight matrices and
+//! calibration data rather than a few hand-picked cases.
+//!
+//! 1. **Roundtrip bound** — per-channel symmetric quantize→dequantize moves
+//!    no element by more than half that channel's scale (round-to-nearest on
+//!    a uniform grid can't do worse), and the scale itself is the smallest
+//!    that covers the channel's range.
+//! 2. **Symmetric zero-point** — zero quantizes to exactly 0 and dequantizes
+//!    back to exactly 0.0 for every scale; negation of the input negates the
+//!    quantized code (no zero-point offset to break the symmetry), and codes
+//!    never leave `[-127, 127]` (−128 is unused by construction).
+//! 3. **Calibration determinism** — recording the same batches over the same
+//!    plan twice yields bit-identical ranges, and therefore bit-identical
+//!    quantized plans (equal weight-store fingerprints).
+
+use platter_tensor::nn::Activation;
+use platter_tensor::plan::{Executor, Planner};
+use platter_tensor::quant::{dequantize, quantize_rows, quantize_value};
+use platter_tensor::{quantize_plan, Calibration, Conv2dSpec, DType, Tensor};
+use proptest::prelude::*;
+
+/// Weight values spanning typical trained magnitudes plus awkward cases:
+/// exact zeros, denormal-adjacent tinies, and large outliers.
+fn any_weight() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -2.0f32..=2.0,
+        Just(0.0f32),
+        -1e-6f32..=1e-6,
+        -40.0f32..=40.0,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale_per_channel(
+        w in collection::vec(any_weight(), 1..=96),
+        rows in 1usize..=8,
+    ) {
+        // Pad to a whole number of rows.
+        let cols = w.len().div_ceil(rows);
+        let mut w = w;
+        w.resize(rows * cols, 0.0);
+
+        let (q, scales) = quantize_rows(&w, rows);
+        prop_assert_eq!(q.len(), w.len());
+        prop_assert_eq!(scales.len(), rows);
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let s = scales[r];
+            prop_assert!(s > 0.0 && s.is_finite(), "scale must be positive and finite, got {}", s);
+            if max_abs > 0.0 {
+                // The scale is exactly the one that maps the channel's
+                // extreme onto the last code.
+                prop_assert!((s - max_abs / 127.0).abs() <= f32::EPSILON * max_abs.max(1.0));
+            }
+            for c in 0..cols {
+                let orig = row[c];
+                let back = dequantize(q[r * cols + c], s);
+                // Round-to-nearest on a grid of pitch `s`: error ≤ s/2
+                // (plus one ulp of slack for the f32 multiply).
+                prop_assert!(
+                    (orig - back).abs() <= s / 2.0 + s.abs() * 1e-5,
+                    "row {} col {}: |{} - {}| > {}/2", r, c, orig, back, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_mode_has_a_true_zero_point(
+        scale in 1e-6f32..=100.0,
+        v in -500.0f32..=500.0,
+    ) {
+        let inv = 1.0 / scale;
+        // Zero is exact in both directions: symmetric quantization has no
+        // zero-point offset to round through.
+        prop_assert_eq!(quantize_value(0.0, inv), 0);
+        prop_assert_eq!(quantize_value(-0.0, inv), 0);
+        prop_assert_eq!(dequantize(0, scale), 0.0);
+        // Negation symmetry and range: codes live in [-127, 127].
+        let q = quantize_value(v, inv);
+        prop_assert_eq!(quantize_value(-v, inv), -q);
+        prop_assert!((-127..=127).contains(&(q as i32)), "code {} out of symmetric range", q);
+    }
+
+    #[test]
+    fn calibration_and_quantization_are_deterministic(
+        seed in 0u64..1000,
+        batches in 1usize..=3,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w1 = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let w2 = Tensor::randn(&[2, 4, 1, 1], &mut rng);
+        let mut p = Planner::new();
+        let x = p.input(&[3, 6, 6]);
+        let c1 = p.conv2d(x, &w1, None, Conv2dSpec::same(3));
+        let a1 = p.activation(c1, Activation::Leaky);
+        let c2 = p.conv2d(a1, &w2, None, Conv2dSpec::same(1));
+        let plan = std::sync::Arc::new(p.finish(&[c2]));
+
+        let data: Vec<Tensor> = (0..batches).map(|_| Tensor::randn(&[1, 3, 6, 6], &mut rng)).collect();
+        let record = || {
+            let mut calib = Calibration::for_plan(&plan);
+            let mut exec = Executor::from_shared(plan.clone());
+            for b in &data {
+                exec.run_calibrating(&[b], &mut calib).expect("calibration pass");
+            }
+            calib
+        };
+        let (ca, cb) = (record(), record());
+        prop_assert_eq!(ca.passes(), batches);
+        for v in 0..plan.num_values() {
+            // Ranges must not depend on which recording run produced them.
+            prop_assert_eq!(ca.max_abs(v).to_bits(), cb.max_abs(v).to_bits());
+        }
+        // Identical calibration must freeze identical quantized parameters.
+        let qa = quantize_plan(&plan, &ca).expect("quantize");
+        let qb = quantize_plan(&plan, &cb).expect("quantize");
+        prop_assert_eq!(qa.weights().fingerprint(), qb.weights().fingerprint());
+        prop_assert_eq!(qa.dtype(), DType::I8);
+        prop_assert_eq!(qa.op_kinds(), qb.op_kinds());
+    }
+}
