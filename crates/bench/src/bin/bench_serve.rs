@@ -111,6 +111,10 @@ struct MetricsRecord {
     queue_depth: HistogramRecord,
     batch_size: HistogramRecord,
     latency_ms: HistogramRecord,
+    /// Queue wait of deadline-culled jobs — the overload signal that used
+    /// to vanish entirely from the latency series (culled jobs never reach
+    /// `latency_ms`).
+    culled_wait_ms: HistogramRecord,
     sheds: u64,
     deadline_misses: u64,
     breaker_transitions: u64,
@@ -130,6 +134,7 @@ impl MetricsRecord {
             queue_depth: hist("serve.queue_depth"),
             batch_size: hist("serve.batch_size"),
             latency_ms: hist("serve.latency_ms"),
+            culled_wait_ms: hist("serve.culled_wait_ms"),
             sheds: m.counter("serve.sheds").unwrap_or(0),
             deadline_misses: m.counter("serve.deadline_misses").unwrap_or(0),
             breaker_transitions: m.counter("serve.breaker_transitions").unwrap_or(0),

@@ -5,8 +5,9 @@
 //! rasteriser, seeded procedural textures, the **synthetic Indian-food
 //! renderer** that stands in for the paper's Instagram corpus (DESIGN.md §2),
 //! the YOLOv4 augmentation pipeline (mosaic, HSV jitter, flips, affine
-//! jitter with box-consistent transforms), and PPM I/O with detection
-//! overlays for the qualitative figures.
+//! jitter with box-consistent transforms), deterministic **video synthesis**
+//! (camera pans over a platter with exact ground-truth tracks), and PPM I/O
+//! with detection overlays for the qualitative figures.
 //!
 //! ## Example: render a thali and save it
 //!
@@ -14,15 +15,36 @@
 //! use platter_imaging::synth::{render_scene, DishKind, PlatterStyle, SceneSpec};
 //! use platter_imaging::io::write_ppm;
 //!
-//! let spec = SceneSpec {
-//!     size: 256,
-//!     seed: 42,
-//!     dishes: vec![DishKind::Chapati, DishKind::PalakPaneer, DishKind::PlainRice],
-//!     style: PlatterStyle::Thali,
-//! };
-//! let (image, boxes) = render_scene(&spec);
-//! assert_eq!(boxes.len(), 3);
-//! write_ppm(&image, "thali.ppm").unwrap();
+//! fn main() -> std::io::Result<()> {
+//!     let spec = SceneSpec {
+//!         size: 256,
+//!         seed: 42,
+//!         dishes: vec![DishKind::Chapati, DishKind::PalakPaneer, DishKind::PlainRice],
+//!         style: PlatterStyle::Thali,
+//!     };
+//!     let (image, boxes) = render_scene(&spec);
+//!     assert_eq!(boxes.len(), 3);
+//!     write_ppm(&image, "thali.ppm")?;
+//!     Ok(())
+//! }
+//! ```
+//!
+//! ## Example: render a pan sequence with ground-truth tracks
+//!
+//! ```
+//! use platter_imaging::synth::DishKind;
+//! use platter_imaging::video::{render_video, VideoError, VideoSpec};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! fn main() -> Result<(), VideoError> {
+//!     let spec = VideoSpec::pan(64, 8, vec![DishKind::Chapati, DishKind::Biryani]);
+//!     let mut rng = StdRng::seed_from_u64(7);
+//!     let seq = render_video(&spec, &mut rng)?;
+//!     assert_eq!(seq.frames.len(), 8);
+//!     assert_eq!(seq.frames.len(), seq.gt.len());
+//!     Ok(())
+//! }
 //! ```
 
 pub mod augment;
@@ -34,6 +56,7 @@ pub mod io;
 pub mod raster;
 pub mod synth;
 pub mod texture;
+pub mod video;
 
 pub use augment::{AugmentConfig, AugmentError};
 pub use bbox::NormBox;
@@ -41,3 +64,4 @@ pub use color::Rgb;
 pub use degrade::{apply_all, DegradationConfig, Degradation, DegradationKind, DegradeError};
 pub use image::{Image, Letterbox};
 pub use synth::{DishKind, LabeledBox, PlatterStyle, SceneSpec};
+pub use video::{render_video, GtTrackBox, VideoError, VideoSequence, VideoSpec};

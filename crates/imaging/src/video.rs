@@ -1,0 +1,401 @@
+//! Deterministic video synthesis: a camera panning (with optional jitter)
+//! over a rendered platter, emitting per-frame ground-truth **tracks**.
+//!
+//! The paper's application — dietary tracking of platters — is a video
+//! problem: a phone camera sweeps over a thali, dishes slide into and out
+//! of frame, and the downstream consumer wants *identities over time*, not
+//! per-frame detections. This module turns the existing still-image
+//! renderer into that workload: one *world* scene is rendered once at a
+//! larger canvas, and each frame is a camera window cropped out of it along
+//! a pan path. Because the world is static and the camera motion is exact,
+//! every frame's ground truth falls out as a pure coordinate transform —
+//! each dish keeps a stable `track_id` for the whole sequence, and a dish
+//! whose visible area drops below [`VideoSpec::min_visibility`] has simply
+//! left the frame.
+//!
+//! Determinism contract (same as [`crate::degrade`], and CI-gated the same
+//! way): rendering never constructs its own RNG — the caller passes a
+//! `StdRng` in and every random choice (the world scene seed, per-frame
+//! jitter) is drawn from that stream. Same spec + same rng state ⇒
+//! bit-identical frames and ground truth, which is what makes
+//! `BENCH_track.json` reproducible and the serve-layer replay tests
+//! meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt};
+
+use crate::bbox::NormBox;
+use crate::image::Image;
+use crate::synth::{render_scene, DishKind, LabeledBox, PlatterStyle, SceneSpec};
+
+/// A video request the renderer refuses to build: degenerate geometry or a
+/// non-finite / out-of-range field. Typed like [`crate::degrade::DegradeError`]
+/// — the caller learns *which* field is bad instead of getting a silently
+/// clamped sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VideoError {
+    /// The sequence must have at least one frame.
+    NoFrames,
+    /// The world canvas must be strictly larger than the camera frame
+    /// (otherwise there is nothing to pan over).
+    WorldTooSmall {
+        /// Rendered world canvas edge, pixels.
+        world: usize,
+        /// Camera frame edge, pixels.
+        frame: usize,
+    },
+    /// The scene needs at least one dish to track.
+    NoDishes,
+    /// A configuration field is NaN or infinite.
+    NonFinite {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A configuration field is finite but outside its legal interval.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for VideoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VideoError::NoFrames => write!(f, "video needs at least one frame"),
+            VideoError::WorldTooSmall { world, frame } => {
+                write!(f, "world canvas {world}px must exceed frame size {frame}px")
+            }
+            VideoError::NoDishes => write!(f, "video scene needs at least one dish"),
+            VideoError::NonFinite { field } => write!(f, "field `{field}` is not finite"),
+            VideoError::OutOfRange { field, value, lo, hi } => {
+                write!(f, "field `{field}` = {value} outside [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VideoError {}
+
+fn check_unit(field: &'static str, value: f32) -> Result<(), VideoError> {
+    if !value.is_finite() {
+        return Err(VideoError::NonFinite { field });
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(VideoError::OutOfRange { field, value: value as f64, lo: 0.0, hi: 1.0 });
+    }
+    Ok(())
+}
+
+/// Full description of a video sequence. Rendering is a pure function of
+/// this value plus the caller's RNG state.
+#[derive(Clone, Debug)]
+pub struct VideoSpec {
+    /// Square camera frame edge, pixels.
+    pub frame_size: usize,
+    /// Square world canvas edge, pixels; must exceed `frame_size`. The
+    /// world scene is rendered once at this size and every frame is cropped
+    /// from it.
+    pub world_size: usize,
+    /// Number of frames.
+    pub frames: usize,
+    /// Dishes placed in the world scene (each becomes one ground-truth
+    /// track).
+    pub dishes: Vec<DishKind>,
+    /// World scene layout.
+    pub style: PlatterStyle,
+    /// Camera top-left at frame 0, as a fraction of the legal pan range
+    /// (`0.0` = top-left-most window, `1.0` = bottom-right-most), per axis.
+    pub pan_from: (f32, f32),
+    /// Camera top-left at the last frame, same convention.
+    pub pan_to: (f32, f32),
+    /// Maximum per-frame camera jitter in pixels, applied independently per
+    /// axis on top of the pan path. `0` gives the smooth, jitter-free pan
+    /// the tracking gate in `verify.sh` is pinned to.
+    pub jitter_px: usize,
+    /// Minimum fraction of a dish's box area that must be inside the frame
+    /// for it to appear in that frame's ground truth (dishes below it have
+    /// "left the frame").
+    pub min_visibility: f32,
+}
+
+impl VideoSpec {
+    /// A standard left-to-right pan: world twice the frame edge, horizontal
+    /// sweep across the full pan range, no jitter, quarter-visibility
+    /// threshold.
+    pub fn pan(frame_size: usize, frames: usize, dishes: Vec<DishKind>) -> VideoSpec {
+        VideoSpec {
+            frame_size,
+            world_size: frame_size * 2,
+            frames,
+            dishes,
+            style: PlatterStyle::Thali,
+            pan_from: (0.0, 0.5),
+            pan_to: (1.0, 0.5),
+            jitter_px: 0,
+            min_visibility: 0.25,
+        }
+    }
+
+    /// Validate every field, returning the first offending one.
+    pub fn validate(&self) -> Result<(), VideoError> {
+        if self.frames == 0 {
+            return Err(VideoError::NoFrames);
+        }
+        if self.frame_size == 0 || self.world_size <= self.frame_size {
+            return Err(VideoError::WorldTooSmall {
+                world: self.world_size,
+                frame: self.frame_size,
+            });
+        }
+        if self.dishes.is_empty() {
+            return Err(VideoError::NoDishes);
+        }
+        check_unit("pan_from.x", self.pan_from.0)?;
+        check_unit("pan_from.y", self.pan_from.1)?;
+        check_unit("pan_to.x", self.pan_to.0)?;
+        check_unit("pan_to.y", self.pan_to.1)?;
+        check_unit("min_visibility", self.min_visibility)?;
+        let range = self.world_size - self.frame_size;
+        if self.jitter_px > range / 2 {
+            return Err(VideoError::OutOfRange {
+                field: "jitter_px",
+                value: self.jitter_px as f64,
+                lo: 0.0,
+                hi: (range / 2) as f64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One ground-truth box in one frame, carrying its sequence-stable track
+/// identity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GtTrackBox {
+    /// Identity of the dish across the whole sequence (index into
+    /// [`VideoSequence::tracks`]).
+    pub track_id: u64,
+    /// What the box contains.
+    pub kind: DishKind,
+    /// Box in the *frame's* normalised coordinates, clipped to the frame.
+    pub bbox: NormBox,
+}
+
+/// A rendered sequence: frames plus exact per-frame ground-truth tracks.
+#[derive(Clone, Debug)]
+pub struct VideoSequence {
+    /// The camera frames, in order.
+    pub frames: Vec<Image>,
+    /// Per-frame ground truth; `gt[t]` lists every dish visible in frame
+    /// `t` with its stable track id.
+    pub gt: Vec<Vec<GtTrackBox>>,
+    /// The world-scene annotation behind each track id (`tracks[i]` is the
+    /// dish `track_id == i` refers to, with its box in *world* normalised
+    /// coordinates).
+    pub tracks: Vec<LabeledBox>,
+    /// Camera top-left per frame, world pixels — the exact transform each
+    /// frame's ground truth went through.
+    pub camera: Vec<(usize, usize)>,
+}
+
+/// Render a video sequence. All randomness — the world scene seed and the
+/// per-frame jitter — is drawn from `rng`; same spec + same rng state ⇒
+/// bit-identical output.
+pub fn render_video(spec: &VideoSpec, rng: &mut StdRng) -> Result<VideoSequence, VideoError> {
+    spec.validate()?;
+    let scene_seed = rng.next_u64();
+    let (world, tracks) = render_scene(&SceneSpec {
+        size: spec.world_size,
+        seed: scene_seed,
+        dishes: spec.dishes.clone(),
+        style: spec.style,
+    });
+
+    let range = (spec.world_size - spec.frame_size) as f32;
+    let steps = spec.frames.saturating_sub(1).max(1) as f32;
+    let mut frames = Vec::with_capacity(spec.frames);
+    let mut gt = Vec::with_capacity(spec.frames);
+    let mut camera = Vec::with_capacity(spec.frames);
+    for t in 0..spec.frames {
+        let alpha = t as f32 / steps;
+        let base_x = (spec.pan_from.0 + (spec.pan_to.0 - spec.pan_from.0) * alpha) * range;
+        let base_y = (spec.pan_from.1 + (spec.pan_to.1 - spec.pan_from.1) * alpha) * range;
+        let (jx, jy) = if spec.jitter_px > 0 {
+            let j = spec.jitter_px as i64;
+            (rng.random_range(-j..=j) as f32, rng.random_range(-j..=j) as f32)
+        } else {
+            (0.0, 0.0)
+        };
+        let cam_x = (base_x + jx).round().clamp(0.0, range) as usize;
+        let cam_y = (base_y + jy).round().clamp(0.0, range) as usize;
+        frames.push(world.crop(cam_x, cam_y, spec.frame_size, spec.frame_size));
+        gt.push(frame_ground_truth(&tracks, cam_x, cam_y, spec));
+        camera.push((cam_x, cam_y));
+    }
+    Ok(VideoSequence { frames, gt, tracks, camera })
+}
+
+/// Transform the world tracks into one frame's ground truth: translate into
+/// the camera window, clip, and drop dishes whose visible area fraction
+/// falls below the spec's threshold.
+fn frame_ground_truth(
+    tracks: &[LabeledBox],
+    cam_x: usize,
+    cam_y: usize,
+    spec: &VideoSpec,
+) -> Vec<GtTrackBox> {
+    let fs = spec.frame_size as f32;
+    let ws = spec.world_size as f32;
+    let mut out = Vec::new();
+    for (id, t) in tracks.iter().enumerate() {
+        // World-normalised → frame pixels → frame-normalised.
+        let (wx0, wy0, wx1, wy1) = t.bbox.xyxy();
+        let full = NormBox::from_xyxy(
+            (wx0 * ws - cam_x as f32) / fs,
+            (wy0 * ws - cam_y as f32) / fs,
+            (wx1 * ws - cam_x as f32) / fs,
+            (wy1 * ws - cam_y as f32) / fs,
+        );
+        let Some(clipped) = full.clipped() else { continue };
+        if clipped.area() < spec.min_visibility * full.area() {
+            continue;
+        }
+        out.push(GtTrackBox { track_id: id as u64, kind: t.kind, bbox: clipped });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec() -> VideoSpec {
+        VideoSpec::pan(
+            64,
+            12,
+            vec![DishKind::Chapati, DishKind::PalakPaneer, DishKind::PlainRice],
+        )
+    }
+
+    #[test]
+    fn rendering_is_bit_identical_for_one_rng_state() {
+        let s = spec();
+        let a = render_video(&s, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = render_video(&s, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.gt, b.gt);
+        assert_eq!(a.camera, b.camera);
+    }
+
+    #[test]
+    fn jitter_draws_from_the_caller_stream() {
+        let mut s = spec();
+        s.jitter_px = 4;
+        let a = render_video(&s, &mut StdRng::seed_from_u64(3)).unwrap();
+        let b = render_video(&s, &mut StdRng::seed_from_u64(4)).unwrap();
+        assert_ne!(a.camera, b.camera, "different streams jitter differently");
+        let c = render_video(&s, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a.camera, c.camera);
+    }
+
+    #[test]
+    fn track_ids_are_stable_and_boxes_move_with_the_pan() {
+        let seq = render_video(&spec(), &mut StdRng::seed_from_u64(11)).unwrap();
+        // Every ground-truth id refers to a world track of the same kind.
+        for frame in &seq.gt {
+            for g in frame {
+                assert_eq!(seq.tracks[g.track_id as usize].kind, g.kind);
+                assert!(g.bbox.is_valid());
+            }
+        }
+        // A dish visible in consecutive frames of a left-to-right pan moves
+        // left (or stays put at the clamp) — never right.
+        for w in seq.gt.windows(2) {
+            for g0 in &w[0] {
+                if let Some(g1) = w[1].iter().find(|g| g.track_id == g0.track_id) {
+                    let (x0, ..) = g0.bbox.xyxy();
+                    let (x1, ..) = g1.bbox.xyxy();
+                    assert!(x1 <= x0 + 1e-4, "track {} moved right under a rightward pan", g0.track_id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dishes_enter_and_leave_the_frame() {
+        // A full-range pan over a thali must change which dishes are
+        // visible at some point in the sequence.
+        let s = VideoSpec::pan(
+            48,
+            24,
+            vec![
+                DishKind::Chapati,
+                DishKind::PalakPaneer,
+                DishKind::PlainRice,
+                DishKind::Biryani,
+                DishKind::Rasgulla,
+            ],
+        );
+        let seq = render_video(&s, &mut StdRng::seed_from_u64(5)).unwrap();
+        let visible: Vec<Vec<u64>> = seq
+            .gt
+            .iter()
+            .map(|f| {
+                let mut ids: Vec<u64> = f.iter().map(|g| g.track_id).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+        assert!(
+            visible.windows(2).any(|w| w[0] != w[1]),
+            "visibility never changed across a full pan: {visible:?}"
+        );
+    }
+
+    #[test]
+    fn frames_are_crops_of_one_static_world() {
+        let seq = render_video(&spec(), &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_eq!(seq.frames.len(), 12);
+        for f in &seq.frames {
+            assert_eq!((f.width(), f.height()), (64, 64));
+        }
+        // Jitter-free pan at fixed y: all cameras share the y coordinate
+        // and x is non-decreasing.
+        for w in seq.camera.windows(2) {
+            assert_eq!(w[0].1, w[1].1);
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_typed_rejections() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = spec();
+        let cases: Vec<(VideoSpec, VideoError)> = vec![
+            (VideoSpec { frames: 0, ..base.clone() }, VideoError::NoFrames),
+            (
+                VideoSpec { world_size: 64, ..base.clone() },
+                VideoError::WorldTooSmall { world: 64, frame: 64 },
+            ),
+            (VideoSpec { dishes: vec![], ..base.clone() }, VideoError::NoDishes),
+            (
+                VideoSpec { pan_to: (1.5, 0.5), ..base.clone() },
+                VideoError::OutOfRange { field: "pan_to.x", value: 1.5, lo: 0.0, hi: 1.0 },
+            ),
+            (
+                VideoSpec { min_visibility: f32::NAN, ..base.clone() },
+                VideoError::NonFinite { field: "min_visibility" },
+            ),
+        ];
+        for (bad, want) in cases {
+            assert_eq!(render_video(&bad, &mut rng).unwrap_err(), want);
+        }
+    }
+}

@@ -23,6 +23,7 @@
 pub mod confusion;
 pub mod evaluation;
 pub mod matching;
+pub mod mot;
 pub mod pr;
 pub mod report;
 pub mod robustness;
@@ -30,6 +31,7 @@ pub mod robustness;
 pub use confusion::ConfusionMatrix;
 pub use evaluation::{evaluate, evaluate_matches, ClassEval, Evaluation};
 pub use matching::{match_detections, MatchResult, MatchedDet, PredBox};
+pub use mot::{evaluate_mot, MotGt, MotHyp, MotSummary};
 pub use pr::PrCurve;
 pub use robustness::{ConditionEval, RobustnessGrid};
 pub use report::{pr_curve_csv, render_confusion, render_pr_curve, summary_line, table_per_class_ap, two_column_table};

@@ -1,0 +1,307 @@
+//! Multi-object-tracking evaluation in the CLEAR-MOT style: ID switches,
+//! track fragments, MOTA and MOTP over per-frame ground-truth tracks.
+//!
+//! The video workload renders exact ground-truth tracks (every dish keeps
+//! one id for the whole sequence), so tracking quality is scored directly:
+//! per frame, ground-truth boxes are matched to hypothesis tracks —
+//! carrying over the previous frame's correspondence first, as CLEAR-MOT
+//! prescribes, so a stable pairing is never broken by a marginally better
+//! IoU — and the error events are counted. An **ID switch** is a ground
+//! truth matching a different hypothesis than it last matched; a
+//! **fragment** is a gap in a ground truth's matched run; MOTA folds
+//! misses, false positives and switches into one number, MOTP is the mean
+//! IoU of the matches.
+//!
+//! Determinism: no RNG, no `partial_cmp` — candidate pairs are ranked by
+//! IoU via `total_cmp` with explicit id tie-breaks, so the score is a pure
+//! function of the two track sets (same CI contract as
+//! [`crate::matching`]).
+
+use platter_imaging::NormBox;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One ground-truth box in one frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MotGt {
+    /// Sequence-stable ground-truth identity.
+    pub track_id: u64,
+    /// Class id.
+    pub class: usize,
+    /// Normalised box.
+    pub bbox: NormBox,
+}
+
+/// One hypothesis (tracker output) box in one frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MotHyp {
+    /// Tracker-assigned identity.
+    pub track_id: u64,
+    /// Class id.
+    pub class: usize,
+    /// Normalised box.
+    pub bbox: NormBox,
+}
+
+/// CLEAR-MOT summary over a sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MotSummary {
+    /// Frames evaluated.
+    pub frames: usize,
+    /// Total ground-truth boxes over all frames.
+    pub total_gt: usize,
+    /// Matched (gt, hyp) pairs over all frames.
+    pub matches: usize,
+    /// Ground truths left unmatched (misses).
+    pub false_negatives: usize,
+    /// Hypotheses left unmatched.
+    pub false_positives: usize,
+    /// Frames where a ground truth matched a different hypothesis than its
+    /// last match.
+    pub id_switches: usize,
+    /// Gaps in ground truths' matched runs (tracked → lost → tracked).
+    pub fragments: usize,
+    /// `1 − (FN + FP + IDSW) / total_gt`; can be negative for a tracker
+    /// worse than reporting nothing, and is `0` on an empty sequence.
+    pub mota: f64,
+    /// Mean IoU of the matches (`0` when nothing matched).
+    pub motp: f64,
+}
+
+/// Evaluate a hypothesis track set against ground-truth tracks.
+///
+/// `ground_truth[t]` and `hypotheses[t]` describe frame `t`; a match
+/// requires equal class and IoU ≥ `iou_thresh`. Panics if the two
+/// sequences disagree on length (they describe the same video) or if a
+/// frame repeats a track id (ids are identities, one box each per frame).
+pub fn evaluate_mot(
+    ground_truth: &[Vec<MotGt>],
+    hypotheses: &[Vec<MotHyp>],
+    iou_thresh: f32,
+) -> MotSummary {
+    assert_eq!(ground_truth.len(), hypotheses.len(), "frame count mismatch");
+
+    // gt id → hyp id it last matched (any earlier frame).
+    let mut last_match: HashMap<u64, u64> = HashMap::new();
+    // gt id → was it matched in the previous frame it appeared in?
+    let mut was_tracked: HashMap<u64, bool> = HashMap::new();
+
+    let mut total_gt = 0usize;
+    let mut matches = 0usize;
+    let mut false_negatives = 0usize;
+    let mut false_positives = 0usize;
+    let mut id_switches = 0usize;
+    let mut fragments = 0usize;
+    let mut iou_sum = 0f64;
+
+    for (gts, hyps) in ground_truth.iter().zip(hypotheses) {
+        assert_unique_ids(gts.iter().map(|g| g.track_id), "ground-truth");
+        assert_unique_ids(hyps.iter().map(|h| h.track_id), "hypothesis");
+        total_gt += gts.len();
+
+        let mut gt_matched = vec![false; gts.len()];
+        let mut hyp_matched = vec![false; hyps.len()];
+        let mut pairs: Vec<(usize, usize, f32)> = Vec::new();
+
+        // Phase 1 — carry over yesterday's correspondence wherever it still
+        // holds, so a persistent pairing is never stolen by a marginally
+        // closer competitor (this is what makes ID switches meaningful).
+        for (gi, g) in gts.iter().enumerate() {
+            let Some(&prev_hyp) = last_match.get(&g.track_id) else { continue };
+            let Some(hi) = hyps.iter().position(|h| h.track_id == prev_hyp) else { continue };
+            if hyp_matched[hi] || hyps[hi].class != g.class {
+                continue;
+            }
+            let iou = g.bbox.iou(&hyps[hi].bbox);
+            if iou >= iou_thresh {
+                gt_matched[gi] = true;
+                hyp_matched[hi] = true;
+                pairs.push((gi, hi, iou));
+            }
+        }
+
+        // Phase 2 — greedily match the rest by descending IoU with id
+        // tie-breaks (deterministic; ties are rare and never ambiguous for
+        // a fixed input).
+        let mut candidates: Vec<(usize, usize, f32)> = Vec::new();
+        for (gi, g) in gts.iter().enumerate() {
+            if gt_matched[gi] {
+                continue;
+            }
+            for (hi, h) in hyps.iter().enumerate() {
+                if hyp_matched[hi] || h.class != g.class {
+                    continue;
+                }
+                let iou = g.bbox.iou(&h.bbox);
+                if iou >= iou_thresh {
+                    candidates.push((gi, hi, iou));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        for (gi, hi, iou) in candidates {
+            if !gt_matched[gi] && !hyp_matched[hi] {
+                gt_matched[gi] = true;
+                hyp_matched[hi] = true;
+                pairs.push((gi, hi, iou));
+            }
+        }
+
+        // Count the frame's events.
+        matches += pairs.len();
+        false_negatives += gts.len() - pairs.len();
+        false_positives += hyps.len() - pairs.len();
+        for &(gi, hi, iou) in &pairs {
+            iou_sum += iou as f64;
+            let gt_id = gts[gi].track_id;
+            let hyp_id = hyps[hi].track_id;
+            if let Some(&prev) = last_match.get(&gt_id) {
+                if prev != hyp_id {
+                    id_switches += 1;
+                }
+            }
+            last_match.insert(gt_id, hyp_id);
+        }
+        for (gi, g) in gts.iter().enumerate() {
+            let tracked_now = gt_matched[gi];
+            if let Some(&tracked_before) = was_tracked.get(&g.track_id) {
+                if tracked_now && !tracked_before {
+                    fragments += 1;
+                }
+            }
+            was_tracked.insert(g.track_id, tracked_now);
+        }
+    }
+
+    let mota = if total_gt == 0 {
+        0.0
+    } else {
+        1.0 - (false_negatives + false_positives + id_switches) as f64 / total_gt as f64
+    };
+    let motp = if matches == 0 { 0.0 } else { iou_sum / matches as f64 };
+
+    MotSummary {
+        frames: ground_truth.len(),
+        total_gt,
+        matches,
+        false_negatives,
+        false_positives,
+        id_switches,
+        fragments,
+        mota,
+        motp,
+    }
+}
+
+fn assert_unique_ids(ids: impl Iterator<Item = u64>, what: &str) {
+    let mut seen = std::collections::HashSet::new();
+    for id in ids {
+        assert!(seen.insert(id), "{what} frame repeats track id {id}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(id: u64, class: usize, cx: f32, cy: f32) -> MotGt {
+        MotGt { track_id: id, class, bbox: NormBox::new(cx, cy, 0.2, 0.2) }
+    }
+
+    fn hyp(id: u64, class: usize, cx: f32, cy: f32) -> MotHyp {
+        MotHyp { track_id: id, class, bbox: NormBox::new(cx, cy, 0.2, 0.2) }
+    }
+
+    #[test]
+    fn perfect_tracking_scores_one() {
+        let g = vec![vec![gt(0, 1, 0.3, 0.3)], vec![gt(0, 1, 0.4, 0.3)]];
+        let h = vec![vec![hyp(7, 1, 0.3, 0.3)], vec![hyp(7, 1, 0.4, 0.3)]];
+        let s = evaluate_mot(&g, &h, 0.5);
+        assert_eq!(s.mota, 1.0);
+        assert_eq!(s.id_switches, 0);
+        assert_eq!(s.fragments, 0);
+        assert!((s.motp - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hyp_identity_change_is_an_id_switch() {
+        let g = vec![vec![gt(0, 1, 0.3, 0.3)], vec![gt(0, 1, 0.3, 0.3)]];
+        let h = vec![vec![hyp(5, 1, 0.3, 0.3)], vec![hyp(6, 1, 0.3, 0.3)]];
+        let s = evaluate_mot(&g, &h, 0.5);
+        assert_eq!(s.id_switches, 1);
+        assert_eq!(s.matches, 2);
+        // MOTA = 1 − (0 + 0 + 1)/2.
+        assert!((s.mota - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_then_reacquire_is_a_fragment_not_a_switch() {
+        let g = vec![
+            vec![gt(0, 1, 0.3, 0.3)],
+            vec![gt(0, 1, 0.3, 0.3)],
+            vec![gt(0, 1, 0.3, 0.3)],
+        ];
+        let h = vec![
+            vec![hyp(5, 1, 0.3, 0.3)],
+            vec![], // tracker lost it
+            vec![hyp(5, 1, 0.3, 0.3)],
+        ];
+        let s = evaluate_mot(&g, &h, 0.5);
+        assert_eq!(s.fragments, 1);
+        assert_eq!(s.id_switches, 0);
+        assert_eq!(s.false_negatives, 1);
+    }
+
+    #[test]
+    fn carry_over_resists_a_marginally_better_competitor() {
+        // gt 0 matched hyp 5 in frame 0. In frame 1, hyp 6 sits slightly
+        // closer to gt 0 — but the standing pairing must persist and hyp 6
+        // must not trigger an ID switch.
+        let g = vec![vec![gt(0, 1, 0.30, 0.3)], vec![gt(0, 1, 0.30, 0.3)]];
+        let h = vec![
+            vec![hyp(5, 1, 0.32, 0.3)],
+            vec![hyp(5, 1, 0.32, 0.3), hyp(6, 1, 0.30, 0.3)],
+        ];
+        let s = evaluate_mot(&g, &h, 0.5);
+        assert_eq!(s.id_switches, 0);
+        assert_eq!(s.false_positives, 1, "the competitor is an unmatched FP");
+    }
+
+    #[test]
+    fn class_mismatch_never_matches() {
+        let g = vec![vec![gt(0, 1, 0.3, 0.3)]];
+        let h = vec![vec![hyp(5, 2, 0.3, 0.3)]];
+        let s = evaluate_mot(&g, &h, 0.5);
+        assert_eq!(s.matches, 0);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert!((s.mota - -1.0).abs() < 1e-9, "FN + FP over 1 gt");
+    }
+
+    #[test]
+    fn empty_sequence_is_zero_not_nan() {
+        let s = evaluate_mot(&[], &[], 0.5);
+        assert_eq!(s.mota, 0.0);
+        assert_eq!(s.motp, 0.0);
+        assert!(s.mota.is_finite());
+    }
+
+    #[test]
+    fn greedy_prefers_highest_iou() {
+        // One hyp between two gts, clearly closer to gt 1.
+        let g = vec![vec![gt(0, 1, 0.30, 0.3), gt(1, 1, 0.42, 0.3)]];
+        let h = vec![vec![hyp(5, 1, 0.40, 0.3)]];
+        let s = evaluate_mot(&g, &h, 0.1);
+        assert_eq!(s.matches, 1);
+        assert_eq!(s.false_negatives, 1);
+        // Frame 2 confirms which gt took it: gt 1 keeps hyp 5 without a
+        // switch.
+        let g2 = vec![
+            vec![gt(0, 1, 0.30, 0.3), gt(1, 1, 0.42, 0.3)],
+            vec![gt(1, 1, 0.42, 0.3)],
+        ];
+        let h2 = vec![vec![hyp(5, 1, 0.40, 0.3)], vec![hyp(5, 1, 0.42, 0.3)]];
+        let s2 = evaluate_mot(&g2, &h2, 0.1);
+        assert_eq!(s2.id_switches, 0);
+    }
+}

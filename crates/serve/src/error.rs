@@ -42,6 +42,23 @@ pub enum ServeError {
         /// The route key the request asked for.
         model: String,
     },
+    /// A frame named a stream session the pool does not hold (never opened,
+    /// or already closed). Refused at the door.
+    UnknownSession {
+        /// The session id the frame asked for.
+        session: u64,
+    },
+    /// The session was torn down — its worker panicked mid-stream (state
+    /// was breaker-isolated and discarded) or the client closed it with
+    /// frames still buffered. The client must open a fresh session.
+    SessionTornDown,
+    /// The tracker configuration passed to
+    /// [`ServePool::open_session_with`](crate::ServePool::open_session_with)
+    /// was invalid.
+    BadTrackConfig {
+        /// The tracker's own validation message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -57,6 +74,13 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "serving pool is shutting down"),
             ServeError::UnknownModel { model } => {
                 write!(f, "no routed model named {model}")
+            }
+            ServeError::UnknownSession { session } => {
+                write!(f, "no open stream session {session}")
+            }
+            ServeError::SessionTornDown => write!(f, "stream session was torn down"),
+            ServeError::BadTrackConfig { message } => {
+                write!(f, "invalid tracker configuration: {message}")
             }
         }
     }
@@ -117,6 +141,9 @@ mod tests {
             ServeError::CorruptOutput,
             ServeError::ShuttingDown,
             ServeError::UnknownModel { model: "resnet@v9".into() },
+            ServeError::UnknownSession { session: 7 },
+            ServeError::SessionTornDown,
+            ServeError::BadTrackConfig { message: "iou_thresh is NaN".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }

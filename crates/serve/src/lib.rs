@@ -29,6 +29,12 @@
 //! a deterministic fraction of traffic, and promoted or rolled back by a
 //! canary controller that never promotes into an open circuit breaker.
 //!
+//! For video traffic the pool speaks **stream sessions**: a client opens a
+//! session ([`ServePool::open_session`]), submits frames to it, and every
+//! answer carries detections plus SORT track identities ([`TrackedFrame`]).
+//! Frames of one session execute in submission order; frames of different
+//! sessions still batch freely.
+//!
 //! Everything is deterministic under test: the fault-injection schedule
 //! ([`ServeFaultPlan`]) is keyed to batch sequence numbers (and swap
 //! attempts, for registry faults), and the breaker counts batches rather
@@ -38,17 +44,42 @@
 //!
 //! ```
 //! use platter_imaging::{Image, Rgb};
-//! use platter_serve::{ServeConfig, ServePool};
+//! use platter_serve::{ServeConfig, ServeError, ServePool};
 //! use platter_yolo::{YoloConfig, Yolov4};
 //!
-//! let model = Yolov4::new(YoloConfig::micro(10), 42);
-//! let pool = ServePool::new(&model, ServeConfig::new(1));
-//! let image = Image::new(100, 60, Rgb::new(0.4, 0.3, 0.2));
-//! let detections = pool.detect(&image).unwrap();
-//! for d in &detections {
-//!     assert!(d.bbox.is_valid());
+//! fn main() -> Result<(), ServeError> {
+//!     let model = Yolov4::new(YoloConfig::micro(10), 42);
+//!     let pool = ServePool::new(&model, ServeConfig::new(1));
+//!     let image = Image::new(100, 60, Rgb::new(0.4, 0.3, 0.2));
+//!     let detections = pool.detect(&image)?;
+//!     for d in &detections {
+//!         assert!(d.bbox.is_valid());
+//!     }
+//!     pool.shutdown();
+//!     Ok(())
 //! }
-//! pool.shutdown();
+//! ```
+//!
+//! ## Example: a stream session
+//!
+//! ```
+//! use platter_imaging::{Image, Rgb};
+//! use platter_serve::{ServeConfig, ServeError, ServePool};
+//! use platter_yolo::{YoloConfig, Yolov4};
+//!
+//! fn main() -> Result<(), ServeError> {
+//!     let model = Yolov4::new(YoloConfig::micro(10), 42);
+//!     let pool = ServePool::new(&model, ServeConfig::new(1));
+//!     let session = pool.open_session()?;
+//!     for i in 0..3 {
+//!         let frame = Image::new(64, 64, Rgb::new(0.3, 0.3, 0.3));
+//!         let answer = pool.submit_frame(session, &frame)?.wait()?;
+//!         assert_eq!(answer.frame, i, "frames answer in submission order");
+//!     }
+//!     pool.close_session(session)?;
+//!     pool.shutdown();
+//!     Ok(())
+//! }
 //! ```
 
 pub mod breaker;
@@ -61,8 +92,11 @@ pub mod sanitize;
 pub use breaker::{BreakerConfig, CircuitBreaker, ExecPath};
 pub use error::ServeError;
 pub use fault::{ServeFault, ServeFaultPlan};
-pub use platter_yolo::TtaConfig;
-pub use pool::{Pending, ServeConfig, ServePool, ServeStats, ShadowStatus};
+pub use platter_yolo::{SortTracker, Track, TrackConfig, TtaConfig};
+pub use pool::{
+    Pending, PendingFrame, ServeConfig, ServePool, ServeStats, SessionId, ShadowStatus,
+    TrackedFrame,
+};
 pub use registry::{
     CanaryConfig, CanaryDecision, ModelInfo, ModelRegistry, ModelState, RegistryConfig,
     RegistryError, RollbackReason, SwapReport,

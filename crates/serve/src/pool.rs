@@ -42,6 +42,18 @@
 //!   and a shadow model can mirror a deterministic fraction of default
 //!   traffic, its detections diffed bit-exactly into metrics without ever
 //!   touching a response or the breaker.
+//! * **Stream sessions** — a client opens a session
+//!   ([`ServePool::open_session`]) and submits video frames to it; the
+//!   pool keeps a per-session [`SortTracker`] and answers every frame
+//!   with detections *plus* track identities ([`TrackedFrame`]). Frames
+//!   within a session execute **in order** (at most one is ever in the
+//!   worker queues; the next is released when it answers), while frames
+//!   of different sessions batch freely with each other and with plain
+//!   submissions. Deadlines apply per frame — an expired frame answers
+//!   [`ServeError::DeadlineExceeded`] and the stream continues. Session
+//!   state lives outside the live slot, so it survives hot swaps; a
+//!   breaker-isolated panic that reaches a frame's final answer tears the
+//!   session down ([`ServeError::SessionTornDown`]).
 //!
 //! `Yolov4` itself holds parameters behind `Rc` and is not `Send`; only the
 //! *eager fallback* still needs it, so each worker rebuilds that replica
@@ -60,7 +72,7 @@ use platter_imaging::augment::unletterbox_box;
 use platter_imaging::Image;
 use platter_obs::{exp_bounds, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 use platter_tensor::Tensor;
-use platter_yolo::{decode_detections, merge_tta, nms, CompiledModel, Detection, NmsKind, TtaConfig, TtaView, Yolov4};
+use platter_yolo::{decode_detections, merge_tta, nms, CompiledModel, Detection, NmsKind, SortTracker, Track, TrackConfig, TtaConfig, TtaView, Yolov4};
 use serde::Serialize;
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, ExecPath, Transition};
@@ -156,7 +168,52 @@ struct Job {
     /// Pinned model for routed submissions; `None` serves on the pool-wide
     /// default (whatever is live when the batch runs).
     route: Option<Arc<ModelEntry>>,
-    reply: SyncSender<Result<Vec<Detection>, ServeError>>,
+    reply: Reply,
+}
+
+/// Where a job's answer goes: a plain detection reply, or a session frame
+/// whose answer additionally steps the session tracker and releases the
+/// session's next buffered frame.
+enum Reply {
+    Dets(SyncSender<Result<Vec<Detection>, ServeError>>),
+    Frame {
+        /// Owning session.
+        session: u64,
+        /// Frame index within the session (assigned at submission).
+        frame: u64,
+        tx: SyncSender<Result<TrackedFrame, ServeError>>,
+    },
+}
+
+/// How a submission's deadline is chosen. Every submit path routes through
+/// [`make_job`], the **single** stamping point — routed, TTA, and session
+/// submissions all resolve `Default` against the same clock read as the
+/// job's `submitted` anchor, so no path can drift from another.
+#[derive(Clone, Copy, Debug)]
+enum DeadlineSpec {
+    /// Apply [`ServeConfig::default_deadline`], if configured.
+    Default,
+    /// Use exactly this deadline (`None` = no deadline).
+    Explicit(Option<Instant>),
+}
+
+/// Build a job, stamping `submitted` and resolving the deadline from one
+/// `Instant::now()` read. This is the only place deadlines are stamped.
+fn make_job(
+    cfg: &ServeConfig,
+    x: Tensor,
+    map: Option<BoxMap>,
+    spec: DeadlineSpec,
+    tta: bool,
+    route: Option<Arc<ModelEntry>>,
+    reply: Reply,
+) -> Job {
+    let now = Instant::now();
+    let deadline = match spec {
+        DeadlineSpec::Default => cfg.default_deadline.map(|d| now + d),
+        DeadlineSpec::Explicit(d) => d,
+    };
+    Job { x, map, deadline, submitted: now, tta, route, reply }
 }
 
 /// Handle to an admitted request's eventual answer.
@@ -170,6 +227,76 @@ impl Pending {
     /// request still queued answers [`ServeError::ShuttingDown`].
     pub fn wait(self) -> Result<Vec<Detection>, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// Handle to a session frame's eventual answer.
+#[derive(Debug)]
+pub struct PendingFrame {
+    rx: Receiver<Result<TrackedFrame, ServeError>>,
+}
+
+impl PendingFrame {
+    /// Block until the frame is answered. A pool torn down with the frame
+    /// still queued answers [`ServeError::ShuttingDown`].
+    pub fn wait(self) -> Result<TrackedFrame, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// Opaque handle to an open stream session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The numeric id (stable for the pool's lifetime, never reused).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One answered session frame: the detections in source coordinates plus
+/// the tracker's view of them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrackedFrame {
+    /// Frame index within the session, in submission order.
+    pub frame: u64,
+    /// Per-frame detections, exactly as a plain submission would answer.
+    pub detections: Vec<Detection>,
+    /// Live tracks after folding this frame in (stable ids across frames).
+    pub tracks: Vec<Track>,
+}
+
+/// Per-session state, owned by the pool (not by any model): the tracker,
+/// the in-order frame gate, and the frames waiting behind it.
+struct SessionState {
+    tracker: SortTracker,
+    /// Frames buffered behind the in-flight one; released one at a time as
+    /// answers come back, which is what guarantees in-session ordering.
+    pending: VecDeque<Job>,
+    /// Whether a frame of this session is currently in the worker queues
+    /// (or executing).
+    in_flight: bool,
+    /// Set when a frame's final answer was a contained execution failure:
+    /// the tracker state is no longer trustworthy, so the stream is dead.
+    torn_down: bool,
+    /// Set by [`ServePool::close_session`] while a frame is still in
+    /// flight; the entry is removed when that frame answers.
+    closing: bool,
+    /// Frames accepted so far (assigns frame indices).
+    frames_submitted: u64,
+}
+
+impl SessionState {
+    fn new(tracker: SortTracker) -> SessionState {
+        SessionState {
+            tracker,
+            pending: VecDeque::new(),
+            in_flight: false,
+            torn_down: false,
+            closing: false,
+            frames_submitted: 0,
+        }
     }
 }
 
@@ -231,6 +358,11 @@ struct ServeMetrics {
     batch_size: Arc<Histogram>,
     /// Admission-to-answer latency of completed requests, milliseconds.
     latency_ms: Arc<Histogram>,
+    /// Queue wait of deadline-culled requests, milliseconds. Culled jobs
+    /// never reach `latency_ms` (they have no answer latency), which made
+    /// p50/p99 read optimistic exactly when the pool was overloaded; this
+    /// histogram is where that tail lives.
+    culled_wait_ms: Arc<Histogram>,
     /// Requests shed at admission (queue full).
     sheds: Arc<Counter>,
     /// Requests dropped because their deadline passed before execution.
@@ -277,6 +409,7 @@ impl ServeMetrics {
             queue_depth: registry.histogram("serve.queue_depth", &exp_bounds(1.0, 2.0, depth_buckets)),
             batch_size: registry.histogram("serve.batch_size", &exp_bounds(1.0, 2.0, 7)),
             latency_ms: registry.histogram("serve.latency_ms", &exp_bounds(0.25, 2.0, 16)),
+            culled_wait_ms: registry.histogram("serve.culled_wait_ms", &exp_bounds(0.25, 2.0, 16)),
             sheds: registry.counter("serve.sheds"),
             deadline_misses: registry.counter("serve.deadline_misses"),
             breaker_transitions: registry.counter("serve.breaker_transitions"),
@@ -379,6 +512,17 @@ struct Shared {
     routes: Mutex<HashMap<String, Arc<ModelEntry>>>,
     /// The shadow deployment, if one is running.
     shadow: Mutex<Option<ShadowState>>,
+    /// Open stream sessions. Owned here — deliberately outside the live
+    /// slot — so tracker state survives hot swaps untouched. Lock order:
+    /// `admission` before `sessions`, and never hold `sessions` across a
+    /// queue push or a reply send.
+    sessions: Mutex<HashMap<u64, SessionState>>,
+    /// Session id allocator (never reused).
+    next_session: AtomicU64,
+    /// Frames buffered inside sessions (behind their in-flight frame).
+    /// Counted against `queue_capacity` together with `queued`, so a stuck
+    /// session cannot grow the backlog unboundedly.
+    session_pending: AtomicUsize,
     /// One job queue per worker, fed round-robin by `next_queue`. Idle
     /// workers steal from the deepest sibling. (With zero workers a single
     /// queue still exists so admission control is testable in isolation.)
@@ -427,6 +571,9 @@ impl ServePool {
             live: Mutex::new(LiveSlot { entry, epoch: 0 }),
             routes: Mutex::new(HashMap::new()),
             shadow: Mutex::new(None),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            session_pending: AtomicUsize::new(0),
             queues: (0..cfg.workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
             next_queue: AtomicUsize::new(0),
@@ -455,7 +602,7 @@ impl ServePool {
 
     /// Submit an image with the configured default deadline.
     pub fn submit_image(&self, image: &Image) -> Result<Pending, ServeError> {
-        self.submit_image_inner(image, self.default_deadline(), false, None)
+        self.submit_image_inner(image, DeadlineSpec::Default, false, None)
     }
 
     /// Submit an image that must start executing before `deadline`.
@@ -464,7 +611,7 @@ impl ServePool {
         image: &Image,
         deadline: Option<Instant>,
     ) -> Result<Pending, ServeError> {
-        self.submit_image_inner(image, deadline, false, None)
+        self.submit_image_inner(image, DeadlineSpec::Explicit(deadline), false, None)
     }
 
     /// Submit an image to be served with test-time augmentation (the
@@ -472,7 +619,7 @@ impl ServePool {
     /// exact same sanitization and admission control as a plain submission —
     /// TTA buys recall on degraded inputs, not a side door.
     pub fn submit_image_tta(&self, image: &Image) -> Result<Pending, ServeError> {
-        self.submit_image_inner(image, self.default_deadline(), true, None)
+        self.submit_image_inner(image, DeadlineSpec::Default, true, None)
     }
 
     /// Submit an image pinned to the routed model `model` (a registry key
@@ -481,16 +628,11 @@ impl ServePool {
     /// routed request keeps its model even across live-slot swaps.
     pub fn submit_image_to(&self, model: &str, image: &Image) -> Result<Pending, ServeError> {
         let route = self.resolve_route(model)?;
-        self.submit_image_inner(image, self.default_deadline(), false, Some(route))
+        self.submit_image_inner(image, DeadlineSpec::Default, false, Some(route))
     }
 
-    fn submit_image_inner(
-        &self,
-        image: &Image,
-        deadline: Option<Instant>,
-        tta: bool,
-        route: Option<Arc<ModelEntry>>,
-    ) -> Result<Pending, ServeError> {
+    /// Sanitize and letterbox an image into its job tensor + box map.
+    fn prepare_image(&self, image: &Image) -> Result<(Tensor, BoxMap), ServeError> {
         let seq = self.shared.submit_seq.fetch_add(1, Ordering::SeqCst);
         if let Err(e) = sanitize_image(image, self.shared.cfg.max_image_dim) {
             self.refuse(seq, e.clone(), vec![image.width(), image.height()], image.raw());
@@ -506,14 +648,28 @@ impl ServePool {
             orig_w: image.width(),
             orig_h: image.height(),
         };
-        self.enqueue(x, Some(map), deadline, tta, route)
+        Ok((x, map))
+    }
+
+    fn submit_image_inner(
+        &self,
+        image: &Image,
+        spec: DeadlineSpec,
+        tta: bool,
+        route: Option<Arc<ModelEntry>>,
+    ) -> Result<Pending, ServeError> {
+        let (x, map) = self.prepare_image(image)?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = make_job(&self.shared.cfg, x, Some(map), spec, tta, route, Reply::Dets(tx));
+        self.enqueue(job)?;
+        Ok(Pending { rx })
     }
 
     /// Submit an already-preprocessed `[3, s, s]` tensor with the default
     /// deadline. Detections come back in letterboxed coordinates (no
     /// un-mapping is possible without the source geometry).
     pub fn submit_tensor(&self, x: &Tensor) -> Result<Pending, ServeError> {
-        self.submit_tensor_with_deadline(x, self.default_deadline())
+        self.submit_tensor_inner(x, DeadlineSpec::Default, false, None)
     }
 
     /// Submit a tensor that must start executing before `deadline`.
@@ -522,26 +678,26 @@ impl ServePool {
         x: &Tensor,
         deadline: Option<Instant>,
     ) -> Result<Pending, ServeError> {
-        self.submit_tensor_inner(x, deadline, false, None)
+        self.submit_tensor_inner(x, DeadlineSpec::Explicit(deadline), false, None)
     }
 
     /// Submit a tensor to be served with test-time augmentation; same
     /// sanitization as [`ServePool::submit_tensor`].
     pub fn submit_tensor_tta(&self, x: &Tensor) -> Result<Pending, ServeError> {
-        self.submit_tensor_inner(x, self.default_deadline(), true, None)
+        self.submit_tensor_inner(x, DeadlineSpec::Default, true, None)
     }
 
     /// Submit a tensor pinned to the routed model `model`; see
     /// [`ServePool::submit_image_to`].
     pub fn submit_tensor_to(&self, model: &str, x: &Tensor) -> Result<Pending, ServeError> {
         let route = self.resolve_route(model)?;
-        self.submit_tensor_inner(x, self.default_deadline(), false, Some(route))
+        self.submit_tensor_inner(x, DeadlineSpec::Default, false, Some(route))
     }
 
     fn submit_tensor_inner(
         &self,
         x: &Tensor,
-        deadline: Option<Instant>,
+        spec: DeadlineSpec,
         tta: bool,
         route: Option<Arc<ModelEntry>>,
     ) -> Result<Pending, ServeError> {
@@ -550,7 +706,112 @@ impl ServePool {
             self.refuse(seq, e.clone(), x.shape().to_vec(), x.as_slice());
             return Err(ServeError::BadInput(e));
         }
-        self.enqueue(x.clone(), None, deadline, tta, route)
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = make_job(&self.shared.cfg, x.clone(), None, spec, tta, route, Reply::Dets(tx));
+        self.enqueue(job)?;
+        Ok(Pending { rx })
+    }
+
+    /// Open a stream session with the default tracker configuration.
+    pub fn open_session(&self) -> Result<SessionId, ServeError> {
+        self.open_session_with(TrackConfig::default())
+    }
+
+    /// Open a stream session with an explicit tracker configuration. The
+    /// pool owns a [`SortTracker`] per session; every frame submitted to
+    /// the session answers with detections *and* the tracker's updated
+    /// view. Invalid configurations are refused at the door.
+    pub fn open_session_with(&self, cfg: TrackConfig) -> Result<SessionId, ServeError> {
+        let tracker = SortTracker::new(cfg)
+            .map_err(|e| ServeError::BadTrackConfig { message: e.to_string() })?;
+        if !*lock(&self.shared.admission) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let id = self.shared.next_session.fetch_add(1, Ordering::SeqCst);
+        lock(&self.shared.sessions).insert(id, SessionState::new(tracker));
+        Ok(SessionId(id))
+    }
+
+    /// Submit a video frame to an open session, with the configured
+    /// default deadline applied to this frame. Frames of one session
+    /// execute in submission order — at most one is ever in the worker
+    /// queues; later frames wait inside the session and are released one
+    /// by one as answers come back. Buffered frames count against
+    /// [`ServeConfig::queue_capacity`] exactly like queued ones.
+    pub fn submit_frame(&self, session: SessionId, image: &Image) -> Result<PendingFrame, ServeError> {
+        let (x, map) = self.prepare_image(image)?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        let shared = &self.shared;
+        let job = {
+            // Same lock order as everywhere else: `admission`, then
+            // `sessions`. Holding admission across the session update keeps
+            // the capacity check and the buffer/queue decision atomic.
+            let open = lock(&shared.admission);
+            if !*open {
+                return Err(ServeError::ShuttingDown);
+            }
+            let depth = shared.queued.load(Ordering::SeqCst)
+                + shared.session_pending.load(Ordering::SeqCst);
+            if depth >= shared.cfg.queue_capacity {
+                shared.stats.rejected_full.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.sheds.inc();
+                return Err(ServeError::Rejected { queue_depth: depth });
+            }
+            let mut sessions = lock(&shared.sessions);
+            let s = sessions
+                .get_mut(&session.0)
+                .ok_or(ServeError::UnknownSession { session: session.0 })?;
+            if s.torn_down || s.closing {
+                return Err(ServeError::SessionTornDown);
+            }
+            let frame = s.frames_submitted;
+            s.frames_submitted += 1;
+            let reply = Reply::Frame { session: session.0, frame, tx };
+            let job = make_job(&shared.cfg, x, Some(map), DeadlineSpec::Default, false, None, reply);
+            if s.in_flight {
+                // A frame of this session is already out: buffer behind it.
+                s.pending.push_back(job);
+                shared.session_pending.fetch_add(1, Ordering::SeqCst);
+                None
+            } else {
+                s.in_flight = true;
+                Some(job)
+            }
+        };
+        if let Some(job) = job {
+            push_job(shared, job);
+        }
+        shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
+        Ok(PendingFrame { rx })
+    }
+
+    /// Close a session. Frames already in the worker queues still answer
+    /// normally; frames buffered behind them answer
+    /// [`ServeError::SessionTornDown`]. Closing an unknown session answers
+    /// [`ServeError::UnknownSession`].
+    pub fn close_session(&self, session: SessionId) -> Result<(), ServeError> {
+        let drained: Vec<Job> = {
+            let mut sessions = lock(&self.shared.sessions);
+            let s = sessions
+                .get_mut(&session.0)
+                .ok_or(ServeError::UnknownSession { session: session.0 })?;
+            let drained = s.pending.drain(..).collect();
+            if s.in_flight {
+                // The in-flight frame's answer removes the entry.
+                s.closing = true;
+            } else {
+                sessions.remove(&session.0);
+            }
+            drained
+        };
+        fail_session_jobs(&self.shared, drained, &ServeError::SessionTornDown);
+        Ok(())
+    }
+
+    /// Number of stream sessions currently held (torn-down sessions count
+    /// until closed).
+    pub fn open_sessions(&self) -> usize {
+        lock(&self.shared.sessions).len()
     }
 
     /// Convenience: submit an image and block for the answer.
@@ -669,6 +930,24 @@ impl ServePool {
         for h in handles {
             let _ = h.join();
         }
+        // Workers drain the queues and session chains before exiting, so
+        // both drains below are normally empty — but a zero-worker pool
+        // (or a race with teardown) can leave work behind whose senders
+        // would otherwise block their clients forever.
+        let drained: Vec<Job> = {
+            let mut sessions = lock(&self.shared.sessions);
+            sessions.values_mut().flat_map(|s| s.pending.drain(..)).collect()
+        };
+        fail_session_jobs(&self.shared, drained, &ServeError::ShuttingDown);
+        let queued: Vec<Job> = {
+            let mut jobs = Vec::new();
+            for q in &self.shared.queues {
+                jobs.extend(lock(q).drain(..));
+            }
+            jobs
+        };
+        self.shared.queued.fetch_sub(queued.len(), Ordering::SeqCst);
+        reply_err(&self.shared, queued, &ServeError::ShuttingDown);
     }
 
     /// The live entry (crate-internal; the registry adopts it).
@@ -734,26 +1013,15 @@ impl ServePool {
             .ok_or_else(|| ServeError::UnknownModel { model: model.to_string() })
     }
 
-    fn default_deadline(&self) -> Option<Instant> {
-        self.shared.cfg.default_deadline.map(|d| Instant::now() + d)
-    }
-
     fn refuse(&self, seq: u64, error: crate::sanitize::InputError, shape: Vec<usize>, data: &[f32]) {
         self.shared.stats.rejected_bad_input.fetch_add(1, Ordering::SeqCst);
         self.shared.metrics.on_refusal(&error);
         lock(&self.shared.quarantine).record(seq, error, shape, data);
     }
 
-    fn enqueue(
-        &self,
-        x: Tensor,
-        map: Option<BoxMap>,
-        deadline: Option<Instant>,
-        tta: bool,
-        route: Option<Arc<ModelEntry>>,
-    ) -> Result<Pending, ServeError> {
+    /// Admit a prebuilt job into the worker queues.
+    fn enqueue(&self, job: Job) -> Result<(), ServeError> {
         let shared = &self.shared;
-        let (tx, rx) = mpsc::sync_channel(1);
         {
             // The admission lock serialises the capacity check with the
             // push and the notify: a worker re-checking `queued` under this
@@ -762,30 +1030,53 @@ impl ServePool {
             if !*open {
                 return Err(ServeError::ShuttingDown);
             }
-            let depth = shared.queued.load(Ordering::SeqCst);
+            let depth = shared.queued.load(Ordering::SeqCst)
+                + shared.session_pending.load(Ordering::SeqCst);
             if depth >= shared.cfg.queue_capacity {
                 shared.stats.rejected_full.fetch_add(1, Ordering::SeqCst);
                 shared.metrics.sheds.inc();
                 return Err(ServeError::Rejected { queue_depth: depth });
             }
-            // Round-robin placement; an idle worker steals across queues,
-            // so placement balances the steady state, stealing the bursts.
-            let qi = shared.next_queue.fetch_add(1, Ordering::SeqCst) % shared.queues.len();
-            lock(&shared.queues[qi]).push_back(Job {
-                x,
-                map,
-                deadline,
-                tta,
-                route,
-                submitted: Instant::now(),
-                reply: tx,
-            });
-            shared.queued.fetch_add(1, Ordering::SeqCst);
-            shared.metrics.queue_depth.record((depth + 1) as f64);
-            shared.job_ready.notify_one();
+            push_job_locked(shared, job, depth);
         }
         shared.stats.accepted.fetch_add(1, Ordering::SeqCst);
-        Ok(Pending { rx })
+        Ok(())
+    }
+}
+
+/// Round-robin a job into a worker queue and wake a worker. Callers must
+/// hold the admission lock (pass the observed depth for the histogram).
+fn push_job_locked(shared: &Shared, job: Job, depth: usize) {
+    // Round-robin placement; an idle worker steals across queues, so
+    // placement balances the steady state, stealing the bursts.
+    let qi = shared.next_queue.fetch_add(1, Ordering::SeqCst) % shared.queues.len();
+    lock(&shared.queues[qi]).push_back(job);
+    shared.queued.fetch_add(1, Ordering::SeqCst);
+    shared.metrics.queue_depth.record((depth + 1) as f64);
+    shared.job_ready.notify_one();
+}
+
+/// Push an already-admitted job (a session frame being submitted or
+/// released) into the worker queues. No capacity check: the job was counted
+/// at admission. Pushing past shutdown is safe — the pushing thread is
+/// either a producer that held the admission lock while it was open, or a
+/// worker that will drain the queue itself before exiting.
+fn push_job(shared: &Shared, job: Job) {
+    let _open = lock(&shared.admission);
+    let depth = shared.queued.load(Ordering::SeqCst);
+    push_job_locked(shared, job, depth);
+}
+
+/// Answer session jobs that will never run (teardown / close / shutdown).
+fn fail_session_jobs(shared: &Shared, jobs: Vec<Job>, err: &ServeError) {
+    if jobs.is_empty() {
+        return;
+    }
+    shared.session_pending.fetch_sub(jobs.len(), Ordering::SeqCst);
+    for job in jobs {
+        if let Reply::Frame { tx, .. } = job.reply {
+            let _ = tx.send(Err(err.clone()));
+        }
     }
 }
 
@@ -989,13 +1280,103 @@ fn reply_ok(shared: &Shared, jobs: Vec<Job>, detections: Vec<Vec<Detection>>) {
         };
         shared.stats.completed.fetch_add(1, Ordering::SeqCst);
         shared.metrics.latency_ms.record(job.submitted.elapsed().as_secs_f64() * 1e3);
-        let _ = job.reply.send(Ok(out));
+        match job.reply {
+            Reply::Dets(tx) => {
+                let _ = tx.send(Ok(out));
+            }
+            Reply::Frame { session, frame, tx } => {
+                finish_session_frame(shared, session, frame, Ok(out), tx);
+            }
+        }
     }
 }
 
-fn reply_err(jobs: Vec<Job>, err: &ServeError) {
+/// Answer every job in `jobs` with a final execution error. A session
+/// frame whose final answer is a contained execution failure tears its
+/// session down: the tracker missed a frame it cannot recover from
+/// bit-exactly, so the stream is no longer trustworthy.
+fn reply_err(shared: &Shared, jobs: Vec<Job>, err: &ServeError) {
     for job in jobs {
-        let _ = job.reply.send(Err(err.clone()));
+        match job.reply {
+            Reply::Dets(tx) => {
+                let _ = tx.send(Err(err.clone()));
+            }
+            Reply::Frame { session, frame: _, tx } => {
+                let _ = tx.send(Err(err.clone()));
+                teardown_session(shared, session);
+            }
+        }
+    }
+}
+
+/// Tear a session down after a contained execution failure on one of its
+/// frames. Buffered frames answer [`ServeError::SessionTornDown`]; the
+/// entry stays behind (flagged) so later submissions also see
+/// `SessionTornDown` rather than `UnknownSession` — unless the client had
+/// already asked to close, in which case the entry goes now.
+fn teardown_session(shared: &Shared, session: u64) {
+    let drained: Vec<Job> = {
+        let mut sessions = lock(&shared.sessions);
+        match sessions.get_mut(&session) {
+            Some(s) => {
+                s.in_flight = false;
+                let drained = s.pending.drain(..).collect();
+                if s.closing {
+                    sessions.remove(&session);
+                } else {
+                    s.torn_down = true;
+                }
+                drained
+            }
+            None => Vec::new(),
+        }
+    };
+    fail_session_jobs(shared, drained, &ServeError::SessionTornDown);
+}
+
+/// Complete a session frame: step the tracker on a successful answer, send
+/// the reply, and release the session's next buffered frame into the
+/// worker queues — that release is what serialises a session's frames.
+/// `result` is `Err` only for a deadline miss: the frame is skipped (the
+/// tracker never sees it) and the stream continues.
+fn finish_session_frame(
+    shared: &Shared,
+    session: u64,
+    frame: u64,
+    result: Result<Vec<Detection>, ServeError>,
+    tx: SyncSender<Result<TrackedFrame, ServeError>>,
+) {
+    let (msg, release) = {
+        let mut sessions = lock(&shared.sessions);
+        match sessions.get_mut(&session) {
+            Some(s) => {
+                let msg = result.map(|detections| {
+                    let tracks = s.tracker.step(&detections);
+                    TrackedFrame { frame, detections, tracks }
+                });
+                let release = s.pending.pop_front();
+                if release.is_none() {
+                    s.in_flight = false;
+                    if s.closing {
+                        sessions.remove(&session);
+                    }
+                }
+                (msg, release)
+            }
+            // Session vanished under the frame (shutdown race): answer the
+            // detections without track context.
+            None => (
+                result.map(|detections| TrackedFrame { frame, detections, tracks: Vec::new() }),
+                None,
+            ),
+        }
+    };
+    // Send and push with the sessions lock released — `push_job` takes the
+    // admission lock, which is never acquired after `sessions`.
+    let _ = tx.send(msg);
+    if let Some(job) = release {
+        shared.session_pending.fetch_sub(1, Ordering::SeqCst);
+        push_job(shared, job);
     }
 }
 
@@ -1222,7 +1603,7 @@ fn run_group(
                 .metrics
                 .on_breaker(lock(&shared.breaker).record_failure(path), we.entry.label());
             if path == ExecPath::Eager {
-                reply_err(jobs, &failure.to_error());
+                reply_err(shared, jobs, &failure.to_error());
                 return;
             }
             // The compiled attempt may have unwound mid-run, leaving
@@ -1244,7 +1625,7 @@ fn run_group(
                         ExecFailure::NonFinite => &shared.stats.corrupt_outputs,
                     };
                     counter.fetch_add(1, Ordering::SeqCst);
-                    reply_err(jobs, &second.to_error());
+                    reply_err(shared, jobs, &second.to_error());
                 }
             }
         }
@@ -1295,7 +1676,29 @@ fn worker_main(shared: &Shared, wid: usize) {
         if !dead.is_empty() {
             shared.stats.deadline_dropped.fetch_add(dead.len() as u64, Ordering::SeqCst);
             shared.metrics.deadline_misses.add(dead.len() as u64);
-            reply_err(dead, &ServeError::DeadlineExceeded);
+            for job in dead {
+                // Culled jobs never reach `latency_ms` (no answer exists);
+                // their queue wait is recorded here instead of vanishing
+                // from every latency series under overload.
+                shared
+                    .metrics
+                    .culled_wait_ms
+                    .record(job.submitted.elapsed().as_secs_f64() * 1e3);
+                match job.reply {
+                    Reply::Dets(tx) => {
+                        let _ = tx.send(Err(ServeError::DeadlineExceeded));
+                    }
+                    // Deadlines are per frame: the miss skips this frame
+                    // and the session continues with its next one.
+                    Reply::Frame { session, frame, tx } => finish_session_frame(
+                        shared,
+                        session,
+                        frame,
+                        Err(ServeError::DeadlineExceeded),
+                        tx,
+                    ),
+                }
+            }
         }
         if live.is_empty() {
             continue;

@@ -1,0 +1,112 @@
+//! Deadline-stamping regression suite.
+//!
+//! Deadlines used to be resolved by each submit wrapper against its own
+//! clock read, so routed and TTA submissions — which do more preparation
+//! work before enqueueing — could drift from plain ones, and none of them
+//! was guaranteed to share its anchor with the job's `submitted` stamp.
+//! All stamping now happens at one point (`make_job`), and this suite
+//! pins the observable contract:
+//!
+//! 1. Every submit path — plain image, plain tensor, TTA, routed — culls
+//!    against the *same* default deadline when made to outwait it.
+//! 2. An explicit `None` deadline means "no deadline", never silently
+//!    replaced by the configured default.
+//! 3. An explicitly expired deadline culls without costing a forward pass.
+//! 4. Culled work lands in `serve.culled_wait_ms` (queue wait recorded)
+//!    and never in `serve.latency_ms` (answers only).
+
+use std::time::{Duration, Instant};
+
+use platter_imaging::{Image, Rgb};
+use platter_serve::{ModelRegistry, ServeConfig, ServeError, ServePool};
+use platter_tensor::Tensor;
+use platter_yolo::{YoloConfig, Yolov4};
+
+fn nano_cfg() -> YoloConfig {
+    YoloConfig { input_size: 32, width: 0.1, ..YoloConfig::micro(10) }
+}
+
+/// A finite, deterministic `[3, 32, 32]` input.
+fn test_tensor(seed: usize) -> Tensor {
+    let data: Vec<f32> =
+        (0..3 * 32 * 32).map(|i| ((i * 31 + seed * 137) % 251) as f32 / 251.0 - 0.5).collect();
+    Tensor::from_vec(data, &[3, 32, 32])
+}
+
+fn test_image(seed: usize) -> Image {
+    Image::new(40 + seed % 13, 30 + seed % 11, Rgb::new(0.3, 0.4, 0.2))
+}
+
+#[test]
+fn every_submit_path_culls_against_the_same_default_deadline() {
+    let model = Yolov4::new(nano_cfg(), 21);
+    // One worker, a batch window far longer than the deadline, and a batch
+    // large enough to hold every submission: all requests coalesce into
+    // one batch that only runs after their shared default deadline has
+    // passed. If any wrapper stamped its own deadline differently, it
+    // would be the one answering detections here.
+    let cfg = ServeConfig {
+        max_batch: 16,
+        max_wait: Duration::from_millis(150),
+        default_deadline: Some(Duration::from_millis(10)),
+        model_name: "live".to_string(),
+        ..ServeConfig::new(1)
+    };
+    let pool = ServePool::new(&model, cfg);
+    let registry = ModelRegistry::default();
+    let key = registry.adopt_live(&pool).expect("adopt live");
+    registry.route(&pool, &key).expect("route live model");
+
+    let culled = vec![
+        pool.submit_image(&test_image(0)).expect("plain image"),
+        pool.submit_tensor(&test_tensor(1)).expect("plain tensor"),
+        pool.submit_image_tta(&test_image(2)).expect("tta image"),
+        pool.submit_tensor_tta(&test_tensor(3)).expect("tta tensor"),
+        pool.submit_image_to(&key, &test_image(4)).expect("routed image"),
+        pool.submit_tensor_to(&key, &test_tensor(5)).expect("routed tensor"),
+    ];
+    // The control: an explicit `None` deadline must survive the same wait.
+    // Before stamping was centralised this was the path most at risk of
+    // silently inheriting the default.
+    let undying =
+        pool.submit_tensor_with_deadline(&test_tensor(6), None).expect("undying tensor");
+
+    let n = culled.len() as u64;
+    for (i, p) in culled.into_iter().enumerate() {
+        assert_eq!(
+            p.wait(),
+            Err(ServeError::DeadlineExceeded),
+            "submit path {i} outlived a deadline the other paths missed"
+        );
+    }
+    assert!(undying.wait().is_ok(), "an explicit None deadline must never be culled");
+
+    let stats = pool.stats();
+    assert_eq!(stats.deadline_dropped, n);
+    assert_eq!(stats.completed, 1);
+
+    let metrics = pool.metrics();
+    let culled_wait = metrics.histogram("serve.culled_wait_ms").expect("registered");
+    assert_eq!(culled_wait.count, n, "every culled job's queue wait is recorded");
+    assert!(culled_wait.min > 0.0, "culled work waited a positive time");
+    let latency = metrics.histogram("serve.latency_ms").expect("registered");
+    assert_eq!(latency.count, 1, "latency histogram must record answers only");
+
+    pool.shutdown();
+}
+
+#[test]
+fn an_already_expired_deadline_culls_without_a_forward_pass() {
+    let model = Yolov4::new(nano_cfg(), 22);
+    let pool = ServePool::new(&model, ServeConfig::new(1));
+
+    let expired = Some(Instant::now() - Duration::from_millis(1));
+    let p = pool.submit_image_with_deadline(&test_image(7), expired).expect("admitted");
+    assert_eq!(p.wait(), Err(ServeError::DeadlineExceeded));
+
+    let stats = pool.stats();
+    assert_eq!(stats.deadline_dropped, 1);
+    assert_eq!(stats.completed, 0, "expired work must not reach the model");
+    assert_eq!(stats.compiled_batches + stats.eager_batches, 0, "no batch may run for it");
+    pool.shutdown();
+}

@@ -42,6 +42,7 @@ pub mod nms;
 pub mod predict;
 pub mod runtime;
 pub mod summary;
+pub mod track;
 pub mod train;
 pub mod transfer;
 pub mod tta;
@@ -54,6 +55,7 @@ pub use model::{CompiledModel, Yolov4};
 pub use nms::{decode_detections, nms, Detection, NmsKind};
 pub use predict::{DetectError, Detector};
 pub use summary::{render_summary, summarize, SummaryRow};
+pub use track::{SortTracker, Track, TrackConfig, TrackError};
 pub use runtime::{Fault, FaultPlan, ResumePolicy, RunReport, RuntimeConfig, RuntimeError};
 pub use train::{train, RunState, TrainConfig, TrainRecord, Trainer};
 pub use tta::{merge_tta, TtaCondition, TtaConfig, TtaError, TtaView};

@@ -1,0 +1,593 @@
+//! SORT-style tracking-by-detection: constant-velocity Kalman filters,
+//! an IoU cost matrix, and Hungarian assignment.
+//!
+//! The serving layer runs a detector per frame; this module turns those
+//! per-frame detections into *identities over time* — the dietary-tracking
+//! application the paper motivates needs "the same bowl of dal across the
+//! pan", not sixty independent detections of dal. The design follows the
+//! classic SORT recipe: each track carries a constant-velocity Kalman
+//! filter (one independent position/velocity filter per box coordinate, so
+//! no matrix inversion is ever needed), frames associate detections to
+//! predicted tracks by maximising IoU through an optimal Hungarian
+//! assignment, and track lifecycle is governed by `max_age` (frames a
+//! track survives unmatched) and `min_hits` (consecutive matches before a
+//! track is reported).
+//!
+//! Determinism contract (CI-gated like `metrics::matching`): the tracker
+//! holds **no RNG** and never calls `partial_cmp` — detections are first
+//! put into a canonical order (score descending via `total_cmp`, then
+//! class, then box bit patterns), so [`SortTracker::step`] is a pure
+//! function of the detection *multiset* and the tracker state. Same
+//! stream ⇒ bit-identical track ids, which is what the serve-layer replay
+//! gate in `verify.sh` pins.
+
+use crate::nms::Detection;
+use platter_imaging::NormBox;
+
+/// Association cost assigned to forbidden pairs (class mismatch) and to
+/// padding cells; any real association costs at most `1.0`.
+const FORBIDDEN: f64 = 1e6;
+
+/// A tracker configuration the constructor refuses: NaN or out-of-range.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrackError {
+    /// A configuration field is NaN or infinite.
+    NonFinite {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// A configuration field is finite but outside its legal interval.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for TrackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackError::NonFinite { field } => write!(f, "field `{field}` is not finite"),
+            TrackError::OutOfRange { field, value, lo, hi } => {
+                write!(f, "field `{field}` = {value} outside [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrackError {}
+
+/// SORT lifecycle and gating knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrackConfig {
+    /// Minimum IoU between a predicted track box and a detection for the
+    /// pair to count as an association.
+    pub iou_thresh: f32,
+    /// Frames a track survives without a match before deletion. Deleted
+    /// ids are never reused — a dish that reappears later is a new track.
+    pub max_age: u32,
+    /// Consecutive matches required before a track is reported (suppresses
+    /// one-frame false positives). Tracks born in the first `min_hits`
+    /// frames report immediately, so short clips still produce output.
+    pub min_hits: u32,
+}
+
+impl Default for TrackConfig {
+    fn default() -> TrackConfig {
+        TrackConfig { iou_thresh: 0.3, max_age: 3, min_hits: 2 }
+    }
+}
+
+impl TrackConfig {
+    /// Validate every field, returning the first offending one.
+    pub fn validate(&self) -> Result<(), TrackError> {
+        if !self.iou_thresh.is_finite() {
+            return Err(TrackError::NonFinite { field: "iou_thresh" });
+        }
+        if !(0.0..=1.0).contains(&self.iou_thresh) {
+            return Err(TrackError::OutOfRange {
+                field: "iou_thresh",
+                value: self.iou_thresh as f64,
+                lo: 0.0,
+                hi: 1.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One reported track in one frame.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Track {
+    /// Stable identity, unique across the tracker's lifetime.
+    pub id: u64,
+    /// Class the track was created with (association is class-gated, so it
+    /// never changes).
+    pub class: usize,
+    /// Kalman-filtered box estimate for this frame.
+    pub bbox: NormBox,
+    /// Score of the most recent matched detection.
+    pub score: f32,
+    /// Total matches over the track's lifetime.
+    pub hits: u32,
+}
+
+/// One scalar constant-velocity Kalman filter: state `(position,
+/// velocity)` with a symmetric 2×2 covariance. Four of these — cx, cy, w,
+/// h — make a box filter without any matrix inversion.
+#[derive(Clone, Copy, Debug)]
+struct Axis {
+    pos: f32,
+    vel: f32,
+    c00: f32,
+    c01: f32,
+    c11: f32,
+}
+
+/// Process noise on position per frame.
+const Q_POS: f32 = 1e-4;
+/// Process noise on velocity per frame.
+const Q_VEL: f32 = 1e-4;
+/// Measurement noise (detections are normalised coordinates).
+const R_MEAS: f32 = 1e-3;
+
+impl Axis {
+    fn new(pos: f32) -> Axis {
+        // Position observed once; velocity unknown.
+        Axis { pos, vel: 0.0, c00: R_MEAS, c01: 0.0, c11: 1.0 }
+    }
+
+    /// Advance one frame under the constant-velocity model.
+    fn predict(&mut self) {
+        self.pos += self.vel;
+        self.c00 += 2.0 * self.c01 + self.c11 + Q_POS;
+        self.c01 += self.c11;
+        self.c11 += Q_VEL;
+    }
+
+    /// Fold in a position measurement.
+    fn update(&mut self, z: f32) {
+        let innovation = z - self.pos;
+        let s = self.c00 + R_MEAS;
+        let k0 = self.c00 / s;
+        let k1 = self.c01 / s;
+        self.pos += k0 * innovation;
+        self.vel += k1 * innovation;
+        let c00 = (1.0 - k0) * self.c00;
+        let c01 = (1.0 - k0) * self.c01;
+        let c11 = self.c11 - k1 * self.c01;
+        self.c00 = c00;
+        self.c01 = c01;
+        self.c11 = c11;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct TrackState {
+    id: u64,
+    class: usize,
+    axes: [Axis; 4],
+    score: f32,
+    hits: u32,
+    hit_streak: u32,
+    time_since_update: u32,
+}
+
+impl TrackState {
+    fn new(id: u64, det: &Detection) -> TrackState {
+        TrackState {
+            id,
+            class: det.class,
+            axes: [
+                Axis::new(det.bbox.cx),
+                Axis::new(det.bbox.cy),
+                Axis::new(det.bbox.w),
+                Axis::new(det.bbox.h),
+            ],
+            score: det.score,
+            hits: 1,
+            hit_streak: 1,
+            time_since_update: 0,
+        }
+    }
+
+    fn bbox(&self) -> NormBox {
+        NormBox {
+            cx: self.axes[0].pos,
+            cy: self.axes[1].pos,
+            // A filter briefly predicting a non-positive size must still
+            // yield a usable box for IoU gating.
+            w: self.axes[2].pos.max(1e-4),
+            h: self.axes[3].pos.max(1e-4),
+        }
+    }
+}
+
+/// The tracker: owns all live tracks and a monotone id counter.
+#[derive(Clone, Debug)]
+pub struct SortTracker {
+    cfg: TrackConfig,
+    tracks: Vec<TrackState>,
+    next_id: u64,
+    frame_count: u64,
+}
+
+impl SortTracker {
+    /// Build a tracker, rejecting invalid configurations.
+    pub fn new(cfg: TrackConfig) -> Result<SortTracker, TrackError> {
+        cfg.validate()?;
+        Ok(SortTracker { cfg, tracks: Vec::new(), next_id: 0, frame_count: 0 })
+    }
+
+    /// The configuration the tracker was built with.
+    pub fn config(&self) -> &TrackConfig {
+        &self.cfg
+    }
+
+    /// Frames stepped so far.
+    pub fn frames(&self) -> u64 {
+        self.frame_count
+    }
+
+    /// Advance one frame: predict every track, associate `detections`,
+    /// update matched tracks, spawn tracks for unmatched detections, retire
+    /// tracks unmatched for more than `max_age` frames. Returns the
+    /// reported tracks in id order.
+    ///
+    /// Detections with a non-finite score or an invalid box are dropped
+    /// (the serve pool sanitises upstream, but the tracker must never let
+    /// a NaN into a cost matrix). Input order is irrelevant: detections
+    /// are canonically re-ordered before association.
+    pub fn step(&mut self, detections: &[Detection]) -> Vec<Track> {
+        self.frame_count += 1;
+        let dets = canonical_detections(detections);
+
+        for t in &mut self.tracks {
+            for a in &mut t.axes {
+                a.predict();
+            }
+        }
+
+        // Associate: rows = tracks, cols = detections, cost = 1 − IoU for
+        // same-class pairs, FORBIDDEN otherwise; pad square so Hungarian
+        // sees a complete bipartite problem.
+        let n_tracks = self.tracks.len();
+        let n_dets = dets.len();
+        let mut det_of_track = vec![usize::MAX; n_tracks];
+        let mut track_of_det = vec![usize::MAX; n_dets];
+        if n_tracks > 0 && n_dets > 0 {
+            let n = n_tracks.max(n_dets);
+            let mut cost = vec![vec![FORBIDDEN; n]; n];
+            for (i, t) in self.tracks.iter().enumerate() {
+                let pred = t.bbox();
+                for (j, d) in dets.iter().enumerate() {
+                    if t.class == d.class {
+                        let iou = pred.iou(&d.bbox);
+                        if iou >= self.cfg.iou_thresh {
+                            cost[i][j] = 1.0 - iou as f64;
+                        }
+                    }
+                }
+            }
+            for (i, j) in hungarian(&cost) {
+                if i < n_tracks && j < n_dets && cost[i][j] < FORBIDDEN {
+                    det_of_track[i] = j;
+                    track_of_det[j] = i;
+                }
+            }
+        }
+
+        for (i, t) in self.tracks.iter_mut().enumerate() {
+            let j = det_of_track[i];
+            if j != usize::MAX {
+                let d = &dets[j];
+                t.axes[0].update(d.bbox.cx);
+                t.axes[1].update(d.bbox.cy);
+                t.axes[2].update(d.bbox.w);
+                t.axes[3].update(d.bbox.h);
+                t.score = d.score;
+                t.hits += 1;
+                t.hit_streak += 1;
+                t.time_since_update = 0;
+            } else {
+                t.hit_streak = 0;
+                t.time_since_update += 1;
+            }
+        }
+
+        // Births in canonical detection order, so id assignment is a
+        // function of the multiset too.
+        for (j, d) in dets.iter().enumerate() {
+            if track_of_det[j] == usize::MAX {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.tracks.push(TrackState::new(id, d));
+            }
+        }
+
+        let max_age = self.cfg.max_age;
+        self.tracks.retain(|t| t.time_since_update <= max_age);
+
+        let mut out: Vec<Track> = self
+            .tracks
+            .iter()
+            .filter(|t| {
+                t.time_since_update == 0
+                    && (t.hit_streak >= self.cfg.min_hits
+                        || self.frame_count <= self.cfg.min_hits as u64)
+            })
+            .map(|t| Track {
+                id: t.id,
+                class: t.class,
+                bbox: t.bbox(),
+                score: t.score,
+                hits: t.hits,
+            })
+            .collect();
+        out.sort_by_key(|t| t.id);
+        out
+    }
+}
+
+/// Drop unusable detections and impose the canonical order: score
+/// descending (`total_cmp`), then class, then box bit patterns. Two calls
+/// with permutations of the same multiset produce identical vectors.
+fn canonical_detections(detections: &[Detection]) -> Vec<Detection> {
+    let mut dets: Vec<Detection> = detections
+        .iter()
+        .filter(|d| d.score.is_finite() && d.bbox.is_valid())
+        .copied()
+        .collect();
+    dets.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.class.cmp(&b.class))
+            .then(a.bbox.cx.to_bits().cmp(&b.bbox.cx.to_bits()))
+            .then(a.bbox.cy.to_bits().cmp(&b.bbox.cy.to_bits()))
+            .then(a.bbox.w.to_bits().cmp(&b.bbox.w.to_bits()))
+            .then(a.bbox.h.to_bits().cmp(&b.bbox.h.to_bits()))
+    });
+    dets
+}
+
+/// Minimum-cost perfect assignment on a square cost matrix (the classic
+/// O(n³) potentials formulation). Returns `(row, col)` pairs. All costs
+/// must be finite; ties resolve deterministically by index order, which —
+/// combined with the canonical detection order upstream — is what makes
+/// association permutation-invariant.
+fn hungarian(cost: &[Vec<f64>]) -> Vec<(usize, usize)> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut matched_row = vec![0usize; n + 1]; // matched_row[col] = row (1-based)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        matched_row[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = matched_row[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[matched_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if matched_row[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            matched_row[j0] = matched_row[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for (j, &row) in matched_row.iter().enumerate().skip(1) {
+        if row != 0 {
+            out.push((row - 1, j - 1));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: usize, score: f32, cx: f32, cy: f32, w: f32, h: f32) -> Detection {
+        Detection { class, score, bbox: NormBox::new(cx, cy, w, h) }
+    }
+
+    #[test]
+    fn hungarian_picks_the_optimal_assignment() {
+        // Greedy row-wise would pick (0,0)=1 then (1,1)=4 → 5; optimal is
+        // (0,1)+(1,0) = 2+2 = 4.
+        let cost = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(hungarian(&cost), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn hungarian_three_by_three() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let m = hungarian(&cost);
+        let total: f64 = m.iter().map(|&(i, j)| cost[i][j]).sum();
+        assert_eq!(total, 5.0, "optimal is 1 + 2 + 2");
+    }
+
+    #[test]
+    fn smooth_motion_keeps_one_id() {
+        let mut tr = SortTracker::new(TrackConfig::default()).unwrap();
+        for t in 0..10 {
+            let cx = 0.2 + 0.05 * t as f32;
+            let out = tr.step(&[det(3, 0.9, cx, 0.5, 0.2, 0.2)]);
+            if t >= 1 {
+                assert_eq!(out.len(), 1);
+                assert_eq!(out[0].id, 0);
+                assert_eq!(out[0].class, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn min_hits_gates_reporting() {
+        let cfg = TrackConfig { min_hits: 3, ..TrackConfig::default() };
+        let mut tr = SortTracker::new(cfg).unwrap();
+        // Start past the warm-up window: empty frames first.
+        for _ in 0..5 {
+            assert!(tr.step(&[]).is_empty());
+        }
+        assert!(tr.step(&[det(0, 0.9, 0.5, 0.5, 0.2, 0.2)]).is_empty());
+        assert!(tr.step(&[det(0, 0.9, 0.5, 0.5, 0.2, 0.2)]).is_empty());
+        let out = tr.step(&[det(0, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        assert_eq!(out.len(), 1, "third consecutive hit reports");
+    }
+
+    #[test]
+    fn occlusion_within_max_age_keeps_the_id() {
+        let mut tr = SortTracker::new(TrackConfig::default()).unwrap();
+        tr.step(&[det(1, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        tr.step(&[det(1, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        // Two missed frames (max_age = 3 tolerates them). The streak
+        // resets, so the track resurfaces after min_hits = 2 re-matches.
+        tr.step(&[]);
+        tr.step(&[]);
+        assert!(tr.step(&[det(1, 0.9, 0.5, 0.5, 0.2, 0.2)]).is_empty());
+        let out = tr.step(&[det(1, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0, "track survives a short occlusion");
+    }
+
+    #[test]
+    fn no_resurrection_after_max_age() {
+        let cfg = TrackConfig { max_age: 2, min_hits: 1, ..TrackConfig::default() };
+        let mut tr = SortTracker::new(cfg).unwrap();
+        tr.step(&[det(1, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        for _ in 0..3 {
+            tr.step(&[]);
+        }
+        let out = tr.step(&[det(1, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        assert_eq!(out.len(), 1);
+        assert_ne!(out[0].id, 0, "expired identity must not come back");
+    }
+
+    #[test]
+    fn association_is_class_gated() {
+        let cfg = TrackConfig { min_hits: 1, ..TrackConfig::default() };
+        let mut tr = SortTracker::new(cfg).unwrap();
+        tr.step(&[det(1, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        // Same place, different class: must be a new track, not an update.
+        let out = tr.step(&[det(2, 0.9, 0.5, 0.5, 0.2, 0.2)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].class, 2);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        let a = det(0, 0.9, 0.3, 0.3, 0.2, 0.2);
+        let b = det(1, 0.8, 0.7, 0.7, 0.2, 0.2);
+        let mut t1 = SortTracker::new(TrackConfig::default()).unwrap();
+        let mut t2 = SortTracker::new(TrackConfig::default()).unwrap();
+        for _ in 0..4 {
+            let o1 = t1.step(&[a, b]);
+            let o2 = t2.step(&[b, a]);
+            assert_eq!(o1, o2);
+        }
+    }
+
+    #[test]
+    fn non_finite_detections_are_dropped() {
+        let cfg = TrackConfig { min_hits: 1, ..TrackConfig::default() };
+        let mut tr = SortTracker::new(cfg).unwrap();
+        let out = tr.step(&[
+            det(0, f32::NAN, 0.5, 0.5, 0.2, 0.2),
+            det(0, 0.9, f32::NAN, 0.5, 0.2, 0.2),
+            det(0, 0.9, 0.3, 0.3, 0.2, 0.2),
+        ]);
+        assert_eq!(out.len(), 1, "only the clean detection survives");
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let nan = TrackConfig { iou_thresh: f32::NAN, ..TrackConfig::default() };
+        assert_eq!(
+            SortTracker::new(nan).unwrap_err(),
+            TrackError::NonFinite { field: "iou_thresh" }
+        );
+        let big = TrackConfig { iou_thresh: 1.5, ..TrackConfig::default() };
+        assert_eq!(
+            SortTracker::new(big).unwrap_err(),
+            TrackError::OutOfRange { field: "iou_thresh", value: 1.5, lo: 0.0, hi: 1.0 }
+        );
+    }
+
+    #[test]
+    fn crossing_objects_keep_their_ids() {
+        // Two same-class boxes swap sides; optimal IoU association must
+        // follow each one through the crossing rather than swapping ids.
+        let cfg = TrackConfig { min_hits: 1, ..TrackConfig::default() };
+        let mut tr = SortTracker::new(cfg).unwrap();
+        let mut id_left = None;
+        for t in 0..=10 {
+            let x_a = 0.2 + 0.06 * t as f32; // moves right
+            let x_b = 0.8 - 0.06 * t as f32; // moves left
+            let out = tr.step(&[
+                det(0, 0.9, x_a, 0.4, 0.15, 0.15),
+                det(0, 0.9, x_b, 0.6, 0.15, 0.15),
+            ]);
+            assert_eq!(out.len(), 2);
+            if t == 0 {
+                id_left = Some(out.iter().min_by(|p, q| p.bbox.cx.total_cmp(&q.bbox.cx)).unwrap().id);
+            }
+        }
+        // After crossing, the track that started on the left is now on the
+        // right.
+        let final_out = tr.step(&[
+            det(0, 0.9, 0.2 + 0.06 * 11.0, 0.4, 0.15, 0.15),
+            det(0, 0.9, 0.8 - 0.06 * 11.0, 0.6, 0.15, 0.15),
+        ]);
+        let rightmost = final_out
+            .iter()
+            .max_by(|p, q| p.bbox.cx.total_cmp(&q.bbox.cx))
+            .unwrap();
+        assert_eq!(Some(rightmost.id), id_left);
+    }
+}

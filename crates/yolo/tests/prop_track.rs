@@ -1,0 +1,160 @@
+//! Property suite for the SORT tracker. The tracker is specified as a
+//! *pure function of the detection stream* (DESIGN.md §17): same stream in,
+//! bit-identical tracks out, regardless of how the caller happened to order
+//! each frame's detections, and no identity may ever return from the dead
+//! once `max_age` has passed. NaN-poisoned inputs must be shed at the door,
+//! never absorbed into filter state.
+
+use platter_imaging::NormBox;
+use platter_yolo::{Detection, SortTracker, Track, TrackConfig};
+use proptest::prelude::*;
+
+/// Scores biased toward exact ties plus the non-finite poison values.
+fn any_score() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        0.0f32..=1.0,
+        (0usize..4).prop_map(|i| i as f32 * 0.25),
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+    ]
+}
+
+fn any_det() -> impl Strategy<Value = Detection> {
+    (0usize..3, any_score(), 0.2f32..=0.8, 0.2f32..=0.8, 0.05f32..=0.4, 0.05f32..=0.4)
+        .prop_map(|(class, score, cx, cy, w, h)| Detection { class, score, bbox: NormBox::new(cx, cy, w, h) })
+}
+
+/// A detection stream: one inner vec per frame.
+fn any_stream() -> impl Strategy<Value = Vec<Vec<Detection>>> {
+    collection::vec(collection::vec(any_det(), 0..=6), 1..=16)
+}
+
+/// One track collapsed to raw bits: (id, class, score, bbox, hits).
+type TrackBits = (u64, usize, u32, [u32; 4], u32);
+
+/// Collapse a frame of tracks to raw bits so equality means *bit*-equality.
+fn track_bits(tracks: &[Track]) -> Vec<TrackBits> {
+    tracks
+        .iter()
+        .map(|t| {
+            (t.id, t.class, t.score.to_bits(), [
+                t.bbox.cx.to_bits(),
+                t.bbox.cy.to_bits(),
+                t.bbox.w.to_bits(),
+                t.bbox.h.to_bits(),
+            ], t.hits)
+        })
+        .collect()
+}
+
+fn run(cfg: TrackConfig, stream: &[Vec<Detection>]) -> Vec<Vec<TrackBits>> {
+    let mut tracker = SortTracker::new(cfg).expect("valid config");
+    stream.iter().map(|frame| track_bits(&tracker.step(frame))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Two trackers fed the identical stream agree to the bit. This is the
+    /// replay guarantee the serve layer leans on: a session replayed from a
+    /// recorded detection stream reproduces its track ids exactly.
+    #[test]
+    fn replay_is_bit_identical(stream in any_stream()) {
+        let cfg = TrackConfig::default();
+        prop_assert_eq!(run(cfg, &stream), run(cfg, &stream));
+    }
+
+    /// Association must not leak the caller's detection order: rotating
+    /// every frame's detection list (a permutation that moves every element
+    /// whenever there is more than one) changes nothing in the output.
+    #[test]
+    fn association_is_permutation_invariant(stream in any_stream(), by in 1usize..5) {
+        let rotated: Vec<Vec<Detection>> = stream
+            .iter()
+            .map(|frame| {
+                let n = frame.len().max(1);
+                (0..frame.len()).map(|i| frame[(i + by) % n]).collect()
+            })
+            .collect();
+        let cfg = TrackConfig::default();
+        prop_assert_eq!(run(cfg, &stream), run(cfg, &rotated));
+    }
+
+    /// With `min_hits: 1` a live identity can stay silent for at most
+    /// `max_age` consecutive frames (coasting unmatched). Any longer gap
+    /// means the track was deleted — and a deleted id must never be
+    /// reported again.
+    #[test]
+    fn no_identity_survives_a_gap_longer_than_max_age(
+        stream in any_stream(),
+        max_age in 1u32..4,
+    ) {
+        let cfg = TrackConfig { max_age, min_hits: 1, ..TrackConfig::default() };
+        let mut tracker = SortTracker::new(cfg).expect("valid config");
+        let mut last_seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (frame_idx, frame) in stream.iter().enumerate() {
+            for t in tracker.step(frame) {
+                if let Some(prev) = last_seen.insert(t.id, frame_idx) {
+                    prop_assert!(
+                        frame_idx - prev <= max_age as usize + 1,
+                        "id {} reappeared after a gap of {} frames (max_age {})",
+                        t.id, frame_idx - prev - 1, max_age
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scripted resurrection attempt: hold one object steady, remove it for
+    /// strictly more than `max_age` frames, then put the identical box back.
+    /// The re-acquired object must carry a *fresh* id.
+    #[test]
+    fn a_track_dead_past_max_age_never_resurrects(
+        max_age in 1u32..5,
+        extra_gap in 1u32..4,
+        warmup in 2usize..6,
+    ) {
+        let cfg = TrackConfig { max_age, min_hits: 1, ..TrackConfig::default() };
+        let mut tracker = SortTracker::new(cfg).expect("valid config");
+        let det = Detection { class: 0, score: 0.9, bbox: NormBox::new(0.5, 0.5, 0.2, 0.2) };
+
+        let mut before = std::collections::HashSet::new();
+        for _ in 0..warmup {
+            for t in tracker.step(&[det]) {
+                before.insert(t.id);
+            }
+        }
+        prop_assert!(!before.is_empty(), "warmup frames must report the track");
+        for _ in 0..(max_age + extra_gap) {
+            prop_assert!(tracker.step(&[]).is_empty(), "nothing to report during the gap");
+        }
+        // Step until the object reports again (min_hits is 1, so this is
+        // immediate) and check its identity is new.
+        let reacquired = tracker.step(&[det]);
+        prop_assert_eq!(reacquired.len(), 1);
+        prop_assert!(
+            !before.contains(&reacquired[0].id),
+            "id {} resurrected after {} unmatched frames (max_age {})",
+            reacquired[0].id, max_age + extra_gap, max_age
+        );
+    }
+
+    /// Whatever poison the stream carries, reported tracks are finite and
+    /// valid, ids are unique within a frame, and output is id-sorted.
+    #[test]
+    fn reported_tracks_are_finite_unique_and_sorted(stream in any_stream()) {
+        let mut tracker = SortTracker::new(TrackConfig::default()).expect("valid config");
+        for frame in &stream {
+            let tracks = tracker.step(frame);
+            for w in tracks.windows(2) {
+                prop_assert!(w[0].id < w[1].id, "output must be strictly id-sorted");
+            }
+            for t in &tracks {
+                prop_assert!(t.score.is_finite());
+                prop_assert!(t.bbox.is_valid(), "reported bbox must be valid: {:?}", t.bbox);
+                prop_assert!(t.hits >= 1);
+            }
+        }
+    }
+}

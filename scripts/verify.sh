@@ -108,6 +108,26 @@ cargo test -q --release -p platter-serve --test prop_validation
 echo "== model registry rollout suite (hot swap / shadow / canary / fault replay) =="
 cargo test -q --release -p platter-serve --test registry
 
+echo "== video tracking suites (SORT properties / stream sessions / deadline stamping) =="
+cargo test -q --release -p platter-yolo --test prop_track
+cargo test -q --release -p platter-serve --test sessions
+cargo test -q --release -p platter-serve --test deadlines
+
+echo "== tracker determinism gate (SORT is a pure function of the detection stream) =="
+# The tracker's bit-identical replay guarantee (DESIGN.md §17) rests on two
+# bans: no RNG construction (an internal stream would fork per run) and no
+# partial_cmp (non-transitive under NaN, scrambles association order). The
+# repo-wide partial_cmp gate above already covers the second; this one
+# re-checks both on the tracker module itself so a future exemption to the
+# global gate cannot silently include it. Comment lines are skipped (the
+# module docs name these very constructs) and so is the #[cfg(test)] tail.
+if sed '/#\[cfg(test)\]/,$d' crates/yolo/src/track.rs \
+  | grep -v -E '^[[:space:]]*//' \
+  | grep -q -E 'seed_from_u64|from_state|\.partial_cmp\('; then
+  echo "crates/yolo/src/track.rs constructs an RNG or uses partial_cmp (tracker must replay bit-identically)" >&2
+  exit 1
+fi
+
 echo "== single-flip-point gate (swap_live is called only by the registry) =="
 # The live-model slot has exactly one writer: ModelRegistry::flip
 # (DESIGN.md §15). A second call site would let a model reach traffic
@@ -170,7 +190,7 @@ echo "== serving smoke (writes results/BENCH_serve.json) =="
 cargo run -q --release -p platter-bench --bin bench_serve -- --smoke
 
 echo "== serving metrics artifact gate (histograms present in BENCH_serve.json) =="
-for field in '"queue_depth"' '"batch_size"' '"latency_ms"'; do
+for field in '"queue_depth"' '"batch_size"' '"latency_ms"' '"culled_wait_ms"'; do
   if ! grep -q "$field" results/BENCH_serve.json; then
     echo "BENCH_serve.json is missing the $field histogram" >&2
     exit 1
@@ -255,6 +275,35 @@ if sed '/#\[cfg(test)\]/,$d' crates/imaging/src/degrade.rs \
   echo "crates/imaging/src/degrade.rs constructs its own RNG (draw from the caller's instead)" >&2
   exit 1
 fi
+
+echo "== video-tracking smoke (writes results/BENCH_track.json) =="
+cargo run -q --release -p platter-bench --bin bench_track -- --smoke
+
+echo "== tracking artifact gate (finite MOTA, zero ID switches, bit-identical replay) =="
+# The report's first section is the jitter-free oracle run — the renderer's
+# ground truth fed straight to SORT, so the association problem is exactly
+# solvable: its MOTA must be finite (the vendored serde_json writes
+# non-finite floats as null) and its ID-switch count must be exactly zero.
+# The pool section must show two full serving runs answering bit-identical
+# track identities.
+if [ ! -f results/BENCH_track.json ]; then
+  echo "results/BENCH_track.json was not written" >&2
+  exit 1
+fi
+if grep -q '"mota": *null' results/BENCH_track.json; then
+  echo "BENCH_track.json contains a non-finite MOTA" >&2
+  exit 1
+fi
+switches=$(grep -o '"id_switches": *[0-9]*' results/BENCH_track.json | head -1 | grep -o '[0-9]*$')
+if [ "${switches:-missing}" != 0 ]; then
+  echo "jitter-free oracle run shows ${switches:-no} ID switches, need exactly 0" >&2
+  exit 1
+fi
+if ! grep -q '"bit_identical": true' results/BENCH_track.json; then
+  echo "BENCH_track.json pool section is not bit-identical across runs" >&2
+  exit 1
+fi
+echo "oracle ID switches: 0, pool replay: bit-identical"
 
 echo "== robustness smoke (writes results/TABLE_robustness_quick.json) =="
 # If no shared checkpoint exists, the smoke run trains a weak one; drop it
